@@ -1,0 +1,221 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation — these probe the robustness of the
+reproduced shapes:
+
+* **lock kind** — §4.3 notes spin locks performed *worse* than mutexes
+  for the shared design, because waiters also burn CPU;
+* **hybrid** — §4.4 argues the local+global hybrid degenerates toward a
+  parent design at either end of the skew spectrum;
+* **merge strategy** — §4.1/4.3: hierarchical merge does not beat serial
+  merge in practice because of the per-level barriers;
+* **cost-model sensitivity** — scaling every cost constant together must
+  not change any ordering (the shapes come from structure, not from the
+  calibration);
+* **lean camp** — a 64-context UltraSPARC-T2-like machine (the paper's
+  future work) runs the CoTS framework without protocol issues.
+"""
+
+from __future__ import annotations
+
+from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.parallel import (
+    SchemeConfig,
+    run_hybrid,
+    run_independent,
+    run_sequential,
+    run_shared,
+)
+from repro.simcore import CostModel, MachineSpec
+from repro.workloads import zipf_stream
+
+
+def test_ablation_spin_locks_burn_cpu(benchmark, scale, record):
+    """Spin waiters contend for the CPU (§4.3's complaint about spin).
+
+    The paper observed spin locks performing *worse* overall on its
+    saturated 4-core box; in the simulator's scaled runs the short
+    critical sections let spin win on wall time (the classic
+    short-section trade-off), but the paper's underlying mechanism is
+    still visible and asserted here: spinning burns strictly more
+    aggregate CPU than blocking for the same work.  See EXPERIMENTS.md
+    for the recorded deviation.
+    """
+    stream = zipf_stream(
+        scale.profile_stream, scale.alphabet, 2.5, seed=scale.seed
+    )
+
+    def run():
+        config = SchemeConfig(threads=8, capacity=scale.capacity)
+        mutex = run_shared(stream, config, lock_kind="mutex")
+        config = SchemeConfig(threads=8, capacity=scale.capacity)
+        spin = run_shared(stream, config, lock_kind="spin")
+        return mutex, spin
+
+    mutex, spin = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def busy(result):
+        return sum(t.busy_cycles for t in result.execution.threads.values())
+
+    retries = sum(
+        t.spin_retries for t in spin.execution.threads.values()
+    )
+    print(
+        f"\nshared mutex={mutex.seconds:.6f}s busy={busy(mutex)}cy  "
+        f"spin={spin.seconds:.6f}s busy={busy(spin)}cy retries={retries}"
+    )
+    assert retries > 0
+    assert busy(spin) > busy(mutex)
+
+
+def test_ablation_hybrid_between_parents(benchmark, scale, record):
+    """The hybrid sits near a parent at both skew extremes (§4.4)."""
+    results = {}
+
+    def run():
+        for alpha in (1.2, 3.0):
+            stream = zipf_stream(
+                scale.profile_stream, scale.alphabet, alpha, seed=scale.seed
+            )
+            hybrid = run_hybrid(
+                stream, SchemeConfig(threads=4, capacity=scale.capacity)
+            )
+            shared = run_shared(
+                stream, SchemeConfig(threads=4, capacity=scale.capacity)
+            )
+            results[alpha] = (hybrid.seconds, shared.seconds)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    for alpha, (hybrid_s, shared_s) in results.items():
+        print(f"\nalpha={alpha}: hybrid={hybrid_s:.6f}s shared={shared_s:.6f}s")
+        # the local cache can only help; it must never be dramatically
+        # worse than the lock-based parent
+        assert hybrid_s < shared_s * 1.5
+
+
+def test_ablation_hierarchical_merge_no_better(benchmark, scale, record):
+    """Hierarchical merge does not beat serial merge (barrier overhead)."""
+    stream = zipf_stream(
+        scale.profile_stream, scale.alphabet, 2.5, seed=scale.seed
+    )
+    interval = scale.query_interval(len(stream))
+
+    def run():
+        serial = run_independent(
+            stream,
+            SchemeConfig(threads=8, capacity=scale.capacity),
+            merge_every=interval,
+            strategy="serial",
+        )
+        hierarchical = run_independent(
+            stream,
+            SchemeConfig(threads=8, capacity=scale.capacity),
+            merge_every=interval,
+            strategy="hierarchical",
+        )
+        return serial, hierarchical
+
+    serial, hierarchical = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nserial={serial.seconds:.6f}s hierarchical="
+        f"{hierarchical.seconds:.6f}s"
+    )
+    assert hierarchical.seconds > serial.seconds * 0.6
+    # both merges answer identically
+    assert [e.element for e in serial.counter.top_k(5)] == [
+        e.element for e in hierarchical.counter.top_k(5)
+    ]
+
+
+def test_ablation_cost_scaling_preserves_ordering(benchmark, scale, record):
+    """Scaling every cost by 2x must not flip who wins at high skew."""
+    stream = zipf_stream(
+        scale.fig11_stream, scale.alphabet, 3.0, seed=scale.seed
+    )
+
+    def compare(costs: CostModel):
+        seq = run_sequential(
+            stream, SchemeConfig(capacity=scale.capacity, costs=costs)
+        )
+        cots = run_cots(
+            stream,
+            CoTSRunConfig(
+                threads=max(scale.cots_threads),
+                capacity=scale.capacity,
+                costs=costs,
+            ),
+        )
+        return seq.seconds / cots.seconds
+
+    def run():
+        return compare(CostModel()), compare(CostModel().scaled(2.0))
+
+    base_win, scaled_win = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncots-vs-seq win: base={base_win:.2f} costs-x2={scaled_win:.2f}")
+    if scale.strict:
+        assert base_win > 1.0
+        assert scaled_win > 1.0
+    # the verdict must be stable under uniform cost scaling either way
+    assert 0.5 <= scaled_win / base_win <= 2.0
+
+
+def test_ablation_open_addressing_suffers_under_churn(benchmark, scale, record):
+    """§5.2.1's argument, measured: with constant eviction churn, the
+    open-addressing search structure accumulates tombstones and pays
+    stop-the-world rehashes that the chained table never needs."""
+    from repro.cots.open_table import OpenAddressingTable
+    from repro.workloads import churn_stream
+
+    stream = churn_stream(scale.profile_stream)
+
+    def run():
+        chained = run_cots(
+            stream, CoTSRunConfig(threads=8, capacity=16)
+        )
+        open_run = run_cots(
+            stream,
+            CoTSRunConfig(threads=8, capacity=16, table_size=64),
+            table_cls=OpenAddressingTable,
+        )
+        return chained, open_run
+
+    chained, open_run = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = open_run.extras["framework"].table
+    print(
+        f"\nchained={chained.seconds:.6f}s  open={open_run.seconds:.6f}s  "
+        f"rehashes={table.rehashes} ({table.rehash_cycles} cycles)"
+    )
+    # the chained table needs no rehash, ever; the open table pays
+    # stop-the-world rebuilds whose cost shows directly in its telemetry
+    assert table.rehashes > 0
+    assert table.rehash_cycles > 0
+    # wall-time penalty is visible whenever the search structure is on the
+    # critical path; when the minimum-bucket overwrite chain dominates
+    # instead, the two come out close — the open design must never win
+    # meaningfully
+    assert open_run.seconds > chained.seconds * 0.95
+
+
+def test_ablation_lean_camp_machine(benchmark, scale, record):
+    """CoTS on a 64-context 'lean camp' machine stays correct and fast."""
+    stream = zipf_stream(
+        scale.fig11_stream, scale.alphabet, 2.5, seed=scale.seed
+    )
+
+    def run():
+        return run_cots(
+            stream,
+            CoTSRunConfig(
+                threads=128,
+                capacity=scale.capacity,
+                machine=MachineSpec.lean_camp(),
+            ),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nlean-camp 128 threads: {result.seconds:.6f}s "
+        f"({result.throughput / 1e6:.1f}M elem/s)"
+    )
+    assert result.counter.summary.total_count == len(stream)

@@ -1,0 +1,75 @@
+"""Host-side performance of the discrete-event engine itself.
+
+Unlike the figure benchmarks (which report *simulated* time), these
+measure the wall-clock cost of simulating — the events/second the engine
+sustains on the host.  They guard against accidental slowdowns of the
+hot dispatch loop, which every experiment in the repository multiplies.
+"""
+
+from __future__ import annotations
+
+from repro.simcore import (
+    AtomicCell,
+    Compute,
+    CostModel,
+    Engine,
+    MachineSpec,
+    Mutex,
+)
+
+
+def _compute_run(threads: int, effects: int):
+    engine = Engine(machine=MachineSpec(cores=4), costs=CostModel())
+
+    def program():
+        for _ in range(effects):
+            yield Compute(20)
+
+    for _ in range(threads):
+        engine.spawn(program())
+    return engine.run()
+
+
+def test_engine_compute_dispatch_rate(benchmark):
+    result = benchmark.pedantic(
+        lambda: _compute_run(threads=8, effects=2_000),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.events == 16_000
+
+
+def test_engine_atomic_contention_rate(benchmark):
+    def run():
+        engine = Engine(machine=MachineSpec(cores=4), costs=CostModel())
+        cell = AtomicCell(0)
+
+        def program():
+            for _ in range(2_000):
+                yield cell.add(1)
+
+        for _ in range(8):
+            engine.spawn(program())
+        return engine.run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.events == 16_000
+
+
+def test_engine_mutex_blocking_rate(benchmark):
+    def run():
+        engine = Engine(machine=MachineSpec(cores=4), costs=CostModel())
+        mutex = Mutex()
+
+        def program():
+            for _ in range(500):
+                yield mutex.acquire()
+                yield Compute(20)
+                yield mutex.release()
+
+        for _ in range(8):
+            engine.spawn(program())
+        return engine.run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.events >= 12_000

@@ -1,0 +1,45 @@
+"""Figure 3: speedup of the naive parallelization schemes.
+
+Paper shapes: (a) Independent Structures peaks below ~2x and declines as
+threads grow (merges dominate); (b) the mutex-synchronized Shared
+Structure *degrades* from 1 to 4 threads and stays flat beyond the core
+count.  Both are asserted here, on top of regenerating the series.
+"""
+
+from __future__ import annotations
+
+
+def test_fig3a_independent_speedup(benchmark, scale, record):
+    from repro.experiments import fig3a
+
+    result = benchmark.pedantic(
+        lambda: fig3a(scale), rounds=1, iterations=1
+    )
+    record(result)
+    for alpha in scale.alphas_naive:
+        rows = result.filtered(alpha=alpha)
+        speedups = [row["speedup"] for row in rows]
+        # no useful scaling: the best speedup stays far below linear
+        assert max(speedups) < max(scale.naive_threads) / 2
+        # adding many threads hurts: the largest config is worse than the best
+        assert speedups[-1] <= max(speedups)
+
+
+def test_fig3b_shared_speedup(benchmark, scale, record):
+    from repro.experiments import fig3b
+
+    result = benchmark.pedantic(
+        lambda: fig3b(scale), rounds=1, iterations=1
+    )
+    record(result)
+    cores = 4
+    for alpha in scale.alphas_naive:
+        rows = result.filtered(alpha=alpha)
+        speedups = {row["threads"]: row["speedup"] for row in rows}
+        # degrades from 1 to 4 threads
+        if cores in speedups:
+            assert speedups[cores] < 1.0
+        # roughly steady beyond the core count (within 3x of each other)
+        beyond = [s for t, s in speedups.items() if t >= cores]
+        if len(beyond) >= 2:
+            assert max(beyond) <= 3 * min(beyond)

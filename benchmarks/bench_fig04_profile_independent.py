@@ -1,0 +1,23 @@
+"""Figure 4: time breakdown of Independent Structures.
+
+Paper shape: counting scales with threads while the periodic merges eat
+a growing share of total time as threads are added.
+"""
+
+from __future__ import annotations
+
+
+def test_fig4_merge_share_grows(benchmark, scale, record):
+    from repro.experiments import fig4
+
+    result = benchmark.pedantic(lambda: fig4(scale), rounds=1, iterations=1)
+    record(result)
+    for alpha in scale.alphas_naive:
+        rows = sorted(result.filtered(alpha=alpha), key=lambda r: r["threads"])
+        merge_shares = [row["merge_pct"] for row in rows]
+        # merge share at the largest thread count well above single-thread
+        assert merge_shares[-1] > merge_shares[0]
+        # percentages sane
+        for row in rows:
+            total = row["counting_pct"] + row["merge_pct"] + row["rest_pct"]
+            assert 99.0 <= total <= 101.0

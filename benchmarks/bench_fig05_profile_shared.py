@@ -1,0 +1,34 @@
+"""Figure 5: time breakdown of the Shared Structure.
+
+Paper shapes: the "Hash Opns" share (element-level blocking) grows with
+thread count, and grows *faster* for more skewed streams, because more
+threads pile up on the same hot element.
+"""
+
+from __future__ import annotations
+
+
+def test_fig5_hash_share_grows_with_threads_and_skew(benchmark, scale, record):
+    from repro.experiments import fig5
+
+    result = benchmark.pedantic(lambda: fig5(scale), rounds=1, iterations=1)
+    record(result)
+    growths = {}
+    for alpha in scale.alphas_naive:
+        rows = sorted(result.filtered(alpha=alpha), key=lambda r: r["threads"])
+        hash_shares = [row["hash_pct"] for row in rows]
+        # hash share grows from 1 thread to the largest thread count
+        assert hash_shares[-1] > hash_shares[0]
+        growths[alpha] = hash_shares[-1]
+        for row in rows:
+            total = (
+                row["hash_pct"]
+                + row["structure_pct"]
+                + row["minmax_pct"]
+                + row["bucket_pct"]
+                + row["rest_pct"]
+            )
+            assert 99.0 <= total <= 101.0
+    # more skew => larger hash (element-level) share at max threads
+    alphas = sorted(growths)
+    assert growths[alphas[-1]] >= growths[alphas[0]] * 0.8

@@ -1,0 +1,34 @@
+"""Figure 6: Independent Structures over input size × threads.
+
+Paper shapes: execution time *increases* with the number of threads
+(merges every 1% of the stream dominate), and the penalty is more
+noticeable for larger inputs.
+"""
+
+from __future__ import annotations
+
+
+def test_fig6_threads_hurt_more_for_larger_inputs(benchmark, scale, record):
+    from repro.experiments import fig6
+
+    result = benchmark.pedantic(lambda: fig6(scale), rounds=1, iterations=1)
+    record(result)
+    for alpha in scale.alphas_naive:
+        largest = max(scale.size_multipliers)
+        rows = sorted(
+            result.filtered(alpha=alpha, multiplier=largest),
+            key=lambda r: r["threads"],
+        )
+        times = [row["seconds"] for row in rows]
+        # many threads are slower than few threads at the largest input
+        assert times[-1] > times[0]
+        if not scale.strict:
+            continue
+        # time grows with input size at the largest thread count
+        top_threads = max(scale.naive_threads)
+        sizes = sorted(
+            result.filtered(alpha=alpha, threads=top_threads),
+            key=lambda r: r["multiplier"],
+        )
+        size_times = [row["seconds"] for row in sizes]
+        assert size_times == sorted(size_times)

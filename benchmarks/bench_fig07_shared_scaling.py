@@ -1,0 +1,33 @@
+"""Figure 7: Shared Structure over input size × threads.
+
+Paper shapes: time increases almost linearly with input length, and
+adding threads never improves it at any size.
+"""
+
+from __future__ import annotations
+
+
+def test_fig7_linear_in_size_no_thread_scaling(benchmark, scale, record):
+    from repro.experiments import fig7
+
+    result = benchmark.pedantic(lambda: fig7(scale), rounds=1, iterations=1)
+    record(result)
+    for alpha in scale.alphas_naive:
+        # linear-ish in input size at 4 threads: doubling size roughly
+        # doubles the time (within a 40% tolerance band)
+        rows = sorted(
+            result.filtered(alpha=alpha, threads=4),
+            key=lambda r: r["multiplier"],
+        )
+        if len(rows) >= 2:
+            first, last = rows[0], rows[-1]
+            ratio = last["seconds"] / first["seconds"]
+            size_ratio = last["multiplier"] / first["multiplier"]
+            assert 0.6 * size_ratio <= ratio <= 1.6 * size_ratio
+        # threads never help: the 1-thread run is the fastest at max size
+        largest = max(scale.size_multipliers)
+        per_thread = {
+            row["threads"]: row["seconds"]
+            for row in result.filtered(alpha=alpha, multiplier=largest)
+        }
+        assert per_thread[min(per_thread)] == min(per_thread.values())

@@ -1,0 +1,29 @@
+"""Figure 11: CoTS scalability with increasing threads (baseline: 4).
+
+Paper shapes: throughput keeps growing with thread count for skewed
+streams (alpha >= 2.0); alpha = 1.5 stops scaling around 8-16 threads
+but does not collapse, because the cooperation model keeps contention
+low.
+"""
+
+from __future__ import annotations
+
+
+def test_fig11_cots_scales_with_threads(benchmark, scale, record):
+    from repro.experiments import fig11
+
+    result = benchmark.pedantic(lambda: fig11(scale), rounds=1, iterations=1)
+    record(result)
+    peak_by_alpha = {}
+    for alpha in scale.alphas_cots:
+        rows = sorted(result.filtered(alpha=alpha), key=lambda r: r["threads"])
+        speedups = [row["speedup"] for row in rows]
+        peak_by_alpha[alpha] = max(speedups)
+        # growth beyond the 4-thread baseline for every alpha
+        assert max(speedups) > 1.5
+        if alpha >= 2.0:
+            # skewed streams keep improving towards the largest counts
+            assert speedups[-1] >= 0.7 * max(speedups)
+    # skew pays: the most skewed stream out-scales the least skewed one
+    alphas = sorted(peak_by_alpha)
+    assert peak_by_alpha[alphas[-1]] > peak_by_alpha[alphas[0]]

@@ -1,0 +1,44 @@
+"""Figure 12: CoTS execution time over input size × threads.
+
+Paper shapes: execution time grows linearly with stream length, and the
+relative ordering of thread counts is preserved across sizes ("the
+scalability remains the same irrespective of the size of the input").
+"""
+
+from __future__ import annotations
+
+
+def test_fig12_linear_in_size_scaling_preserved(benchmark, scale, record):
+    from repro.experiments import fig12
+
+    result = benchmark.pedantic(lambda: fig12(scale), rounds=1, iterations=1)
+    record(result)
+    top_threads = max(scale.cots_threads)
+    low_threads = min(scale.cots_threads)
+    for alpha in scale.alphas_naive:
+        rows = sorted(
+            result.filtered(alpha=alpha, threads=top_threads),
+            key=lambda r: r["multiplier"],
+        )
+        times = [row["seconds"] for row in rows]
+        # monotone growth in input size
+        assert times == sorted(times)
+        # roughly linear: time per element within a band across the larger
+        # sizes (the smallest sizes give each of the many threads only a
+        # handful of elements, so startup dominates there)
+        floor = max(scale.size_multipliers) // 4
+        per_element = [
+            row["seconds"] / row["elements"]
+            for row in rows
+            if row["multiplier"] >= floor
+        ]
+        assert max(per_element) <= 2.5 * min(per_element)
+        # more threads stay faster than few threads at every size
+        for multiplier in scale.size_multipliers:
+            many = result.filtered(
+                alpha=alpha, threads=top_threads, multiplier=multiplier
+            )[0]["seconds"]
+            few = result.filtered(
+                alpha=alpha, threads=low_threads, multiplier=multiplier
+            )[0]["seconds"]
+            assert many < few

@@ -1,0 +1,32 @@
+"""Table 2: best-case absolute times, Sequential vs Shared vs CoTS.
+
+Paper shapes: Shared is an order of magnitude slower than Sequential at
+every skew; CoTS trails Sequential at alpha = 2.0 but beats it at 2.5
+and 3.0 (the paper reports 2-4x); peak CoTS throughput is tens of
+millions of elements per second.
+"""
+
+from __future__ import annotations
+
+
+def test_table2_ordering(benchmark, scale, record):
+    from repro.experiments import table2
+
+    result = benchmark.pedantic(lambda: table2(scale), rounds=1, iterations=1)
+    record(result)
+    by_alpha = {row["alpha"]: row for row in result.rows}
+    for alpha, row in by_alpha.items():
+        # shared is far worse than sequential everywhere
+        assert row["shared_vs_seq"] > 4.0
+    alphas = sorted(by_alpha)
+    # CoTS loses (or roughly ties) at the lowest skew...
+    assert by_alpha[alphas[0]]["cots_speedup_vs_seq"] < 1.3
+    # ...and clearly wins at the highest skew (needs full-scale streams
+    # for the delegation chains to pay off)
+    if scale.strict:
+        assert by_alpha[alphas[-1]]["cots_speedup_vs_seq"] > 1.5
+    # win factor ordered by skew
+    wins = [by_alpha[a]["cots_speedup_vs_seq"] for a in alphas]
+    assert wins[-1] >= wins[0]
+    # peak throughput in the tens of millions of elements/second
+    assert max(row["cots_peak_meps"] for row in result.rows) > 10.0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and prints
+(and archives under ``benchmarks/results/``) the same rows/series the
+paper reports.  Select the workload size with ``REPRO_SCALE``:
+
+    REPRO_SCALE=tiny    pytest benchmarks/ --benchmark-only   # smoke
+    REPRO_SCALE=default pytest benchmarks/ --benchmark-only   # normal
+    REPRO_SCALE=large   pytest benchmarks/ --benchmark-only   # patient
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentScale, format_table
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale selected via the REPRO_SCALE env var."""
+    name = os.environ.get("REPRO_SCALE", "default")
+    presets = {
+        "tiny": ExperimentScale.tiny,
+        "default": ExperimentScale.default,
+        "large": ExperimentScale.large,
+    }
+    if name not in presets:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(presets)}, got {name!r}"
+        )
+    return presets[name]()
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a result table and archive it under benchmarks/results/."""
+
+    def _record(result) -> None:
+        text = format_table(result)
+        print()
+        print(text)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Internet-advertising analytics — the paper's §1 motivating scenario.
+
+A *publisher* renders advertisements (impressions) and observes clicks.
+We synthesize both streams, then answer the accounting questions the
+introduction describes:
+
+* estimated impressions and clicks per advertisement (frequency counting),
+* click-through rate (CTR) for the busiest ads,
+* "ads clicked more than 0.1% of all clicks" (frequent-elements query),
+* "top-25 most clicked ads" (top-k query),
+* a simple fraud check: ads whose CTR is implausibly high, the kind of
+  signal an advertising commissioner watches for.
+
+    python examples/clickstream_advertising.py
+"""
+
+from repro.core import ExactCounter, SpaceSaving
+from repro.workloads import weighted_stream, zipf_weights
+
+
+def main() -> None:
+    ads = 20_000
+    impressions_n = 200_000
+    seed = 7
+
+    # Impressions follow a zipfian popularity (big campaigns buy more
+    # slots); clicks follow the impression distribution scaled by a
+    # per-ad appeal factor, plus one "fraudulent" ad whose operator
+    # clicks its own banner.
+    impression_weights = zipf_weights(ads, 1.4)
+    appeal = [((ad * 2654435761) % 97) / 97 * 0.1 + 0.01 for ad in range(ads)]
+    click_weights = impression_weights * appeal
+    # a mid-popularity ad whose operator auto-clicks its own banner: its
+    # click volume rockets into the top ranks while impressions stay modest
+    fraud_ad = 60
+    click_weights[fraud_ad] *= 400
+
+    impressions = weighted_stream(impressions_n, impression_weights, seed=seed)
+    clicks = weighted_stream(impressions_n // 10, click_weights, seed=seed + 1)
+
+    # One Space Saving instance per stream: 1000 counters = 0.1% error.
+    impression_counter = SpaceSaving(capacity=1000)
+    impression_counter.process_many(impressions)
+    click_counter = SpaceSaving(capacity=1000)
+    click_counter.process_many(clicks)
+
+    print(f"processed {impression_counter.processed} impressions and "
+          f"{click_counter.processed} clicks over {ads} ads\n")
+
+    # --- top-25 most clicked ads (Query 2, top-k) ------------------------
+    top = click_counter.top_k(25)
+    print("top-25 most clicked ads (first 5 shown):")
+    for entry in top[:5]:
+        print(f"  ad {entry.element}: ~{entry.count} clicks")
+
+    # --- ads above 0.1% of all clicks (Query 2, frequent elements) ------
+    frequent = click_counter.frequent(0.001)
+    print(f"\n{len(frequent)} ads exceed 0.1% of all clicks")
+
+    # --- CTR estimation and fraud detection -----------------------------
+    print("\nCTR screening over the most-clicked ads:")
+    flagged = []
+    for entry in top:
+        shown = impression_counter.estimate(entry.element)
+        if shown == 0:
+            continue
+        ctr = entry.count / shown
+        if ctr > 0.5:  # a 50% click-through rate is not a thing
+            flagged.append((entry.element, ctr))
+    for ad, ctr in flagged:
+        print(f"  SUSPICIOUS ad {ad}: estimated CTR {ctr:.0%}")
+    assert any(ad == fraud_ad for ad, _ in flagged), "fraud ad missed!"
+
+    # --- sanity: compare against exact counting -------------------------
+    exact_clicks = ExactCounter()
+    exact_clicks.process_many(clicks)
+    exact_top = [ad for ad, _ in exact_clicks.top_k(10)]
+    approx_top = [entry.element for entry in click_counter.top_k(10)]
+    overlap = len(set(exact_top) & set(approx_top))
+    print(f"\ntop-10 overlap with exact counting: {overlap}/10")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""One framework, three algorithms — the §5.3 generalization, running.
+
+The CoTS framework hosts any counter-based algorithm whose frequencies
+increase monotonically.  This example runs the same skewed stream
+through all three shipped adaptations on the simulated quad-core:
+
+* **Space Saving** — Overwrite requests bound the monitored set;
+* **Lossy Counting** — round-boundary Prune requests evict the minimum
+  bucket instead (the paper's own example of the generalization);
+* **Sample-and-Hold** — admission is decided at the boundary crossing.
+
+All three keep their sequential accuracy contracts *under concurrency*:
+Space Saving never underestimates, the other two never overestimate.
+
+    python examples/cots_adapters.py
+"""
+
+from repro.core import ExactCounter
+from repro.cots import (
+    CoTSRunConfig,
+    LossyCoTSConfig,
+    SampleHoldCoTSConfig,
+    run_cots,
+    run_lossy_cots,
+    run_sample_hold_cots,
+)
+from repro.workloads import zipf_stream
+
+
+def main() -> None:
+    stream = zipf_stream(12_000, 12_000, 2.0, seed=9)
+    exact = ExactCounter()
+    exact.process_many(stream)
+    threads = 32
+
+    runs = {
+        "space-saving": run_cots(
+            stream, CoTSRunConfig(threads=threads, capacity=128)
+        ),
+        "lossy-counting": run_lossy_cots(
+            stream, LossyCoTSConfig(threads=threads, epsilon=0.005)
+        ),
+        "sample-and-hold": run_sample_hold_cots(
+            stream,
+            SampleHoldCoTSConfig(
+                threads=threads, capacity=128, sample_rate=0.05
+            ),
+        ),
+    }
+
+    print(f"{'adapter':16s} {'sim ms':>8s} {'top-3':24s} "
+          f"{'hot est/true':>14s}  notes")
+    hot, hot_true = exact.top_k(1)[0]
+    for name, result in runs.items():
+        top3 = [entry.element for entry in result.counter.top_k(3)]
+        estimate = result.counter.estimate(hot)
+        stats = result.extras["stats"]
+        if name == "space-saving":
+            note = f"{stats.get('overwrites', 0)} overwrites"
+            assert estimate >= hot_true
+        elif name == "lossy-counting":
+            note = f"{stats.get('pruned', 0)} pruned"
+            assert estimate <= hot_true
+        else:
+            note = f"{result.extras['unsampled']} unsampled"
+            assert estimate <= hot_true
+        print(f"{name:16s} {result.seconds * 1e3:8.3f} {str(top3):24s} "
+              f"{estimate:>6d}/{hot_true:<6d}  {note}")
+
+    print("\nexact top-3:", [e for e, _ in exact.top_k(3)])
+    print("every adapter found the same heavy hitters while honouring its "
+          "own error contract.")
+
+
+if __name__ == "__main__":
+    main()

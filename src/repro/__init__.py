@@ -1,0 +1,20 @@
+"""Reproduction of *CoTS: A Scalable Framework for Parallelizing
+Frequency Counting over Data Streams* (Das, Antony, Agrawal, El Abbadi —
+ICDE 2009).
+
+Public surface:
+
+* :mod:`repro.core` — sequential frequency-counting algorithms (Space
+  Saving on the Stream Summary structure, plus Lossy Counting,
+  Misra-Gries, Sticky Sampling and sketch baselines) and the stream
+  query model (frequent elements / top-k; point / set / interval).
+* :mod:`repro.simcore` — the deterministic discrete-event multicore
+  simulator used as the parallel-hardware substrate.
+* :mod:`repro.parallel` — the paper's naive parallelization schemes
+  (Independent Structures, Shared Structure, Hybrid) on the simulator.
+* :mod:`repro.cots` — the CoTS cooperative-thread-scheduling framework.
+* :mod:`repro.workloads` — zipfian and other synthetic stream generators.
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,37 @@
+"""Accuracy, speedup and profiling analysis utilities."""
+
+from repro.analysis.accuracy import (
+    SetAccuracy,
+    average_relative_error,
+    frequent_accuracy,
+    set_accuracy,
+    top_k_accuracy,
+)
+from repro.analysis.profiling import (
+    FIG4_CATEGORIES,
+    FIG5_CATEGORIES,
+    as_percentages,
+    independent_profile,
+    shared_profile,
+)
+from repro.analysis.speedup import (
+    SpeedupSeries,
+    scaling_efficiency,
+    speedup_table,
+)
+
+__all__ = [
+    "FIG4_CATEGORIES",
+    "FIG5_CATEGORIES",
+    "SetAccuracy",
+    "SpeedupSeries",
+    "as_percentages",
+    "average_relative_error",
+    "frequent_accuracy",
+    "independent_profile",
+    "scaling_efficiency",
+    "set_accuracy",
+    "shared_profile",
+    "speedup_table",
+    "top_k_accuracy",
+]

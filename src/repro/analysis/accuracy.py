@@ -1,0 +1,93 @@
+"""Accuracy metrics: approximate answers versus exact ground truth.
+
+Used by the tests (error-bound verification), the Cormode-style accuracy
+comparison example, and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.core.counters import CounterEntry, Element, ExactCounter
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class SetAccuracy:
+    """Precision/recall of an answer set against the exact answer set."""
+
+    precision: float
+    recall: float
+    returned: int
+    expected: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def set_accuracy(
+    answer: Iterable[Element], truth: Iterable[Element]
+) -> SetAccuracy:
+    """Compare an answer set with the true set."""
+    answer_set: Set[Element] = set(answer)
+    truth_set: Set[Element] = set(truth)
+    hits = len(answer_set & truth_set)
+    precision = hits / len(answer_set) if answer_set else 1.0
+    recall = hits / len(truth_set) if truth_set else 1.0
+    return SetAccuracy(
+        precision=precision,
+        recall=recall,
+        returned=len(answer_set),
+        expected=len(truth_set),
+    )
+
+
+def frequent_accuracy(
+    entries: Sequence[CounterEntry], exact: ExactCounter, phi: float
+) -> SetAccuracy:
+    """Accuracy of a frequent-elements answer at support ``phi``."""
+    if not 0 < phi < 1:
+        raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
+    threshold = phi * exact.processed
+    truth = [e for e, c in exact.counts().items() if c > threshold]
+    return set_accuracy((entry.element for entry in entries), truth)
+
+
+def top_k_accuracy(
+    entries: Sequence[CounterEntry], exact: ExactCounter, k: int
+) -> SetAccuracy:
+    """Accuracy of a top-k answer (set overlap, order-insensitive)."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    truth = [element for element, _ in exact.top_k(k)]
+    return set_accuracy((entry.element for entry in entries[:k]), truth)
+
+
+def average_relative_error(
+    entries: Sequence[CounterEntry], exact: ExactCounter, top: int = 0
+) -> float:
+    """Mean |estimate - truth| / truth over answered elements.
+
+    ``top`` > 0 restricts to the ``top`` most frequent true elements
+    (the region frequent-elements applications care about).
+    """
+    targets: List[Tuple[Element, int]]
+    if top > 0:
+        targets = exact.top_k(top)
+    else:
+        targets = [(entry.element, exact.estimate(entry.element)) for entry in entries]
+    estimates = {entry.element: entry.count for entry in entries}
+    errors = []
+    for element, truth in targets:
+        if truth <= 0:
+            continue
+        estimate = estimates.get(element, 0)
+        errors.append(abs(estimate - truth) / truth)
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)

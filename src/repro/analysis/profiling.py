@@ -1,0 +1,59 @@
+"""Mapping engine time accounts onto the paper's profiling categories.
+
+Figure 4 splits Independent Structures time into **Counting** vs
+**Merge**; Figure 5 splits Shared Structure time into **Hash Opns**,
+**Structure Opns**, **Min-Max Locks**, **Bucket Locks** and **Rest**.
+The engine's tags already follow this taxonomy (see
+:mod:`repro.parallel.base`); this module renames, buckets leftovers into
+"Rest" and normalizes to percentages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+#: engine tag → Figure 4 category
+FIG4_CATEGORIES: Dict[str, str] = {
+    "counting": "Counting",
+    "merge": "Merge",
+}
+
+#: engine tag → Figure 5 category
+FIG5_CATEGORIES: Dict[str, str] = {
+    "hash": "Hash Opns",
+    "structure": "Structure Opns",
+    "minmax": "Min-Max Locks",
+    "bucket": "Bucket Locks",
+}
+
+REST = "Rest"
+
+
+def _fold(
+    breakdown: Mapping[str, float], categories: Mapping[str, str]
+) -> Dict[str, float]:
+    folded: Dict[str, float] = {name: 0.0 for name in categories.values()}
+    folded[REST] = 0.0
+    for tag, fraction in breakdown.items():
+        folded[categories.get(tag, REST)] = (
+            folded.get(categories.get(tag, REST), 0.0) + fraction
+        )
+    total = sum(folded.values())
+    if total > 0:
+        folded = {name: value / total for name, value in folded.items()}
+    return folded
+
+
+def independent_profile(breakdown: Mapping[str, float]) -> Dict[str, float]:
+    """Fractions for Figure 4 (Counting / Merge / Rest)."""
+    return _fold(breakdown, FIG4_CATEGORIES)
+
+
+def shared_profile(breakdown: Mapping[str, float]) -> Dict[str, float]:
+    """Fractions for Figure 5 (Hash / Structure / Min-Max / Bucket / Rest)."""
+    return _fold(breakdown, FIG5_CATEGORIES)
+
+
+def as_percentages(profile: Mapping[str, float]) -> Dict[str, float]:
+    """Convert fractions to percentages rounded to one decimal."""
+    return {name: round(100.0 * value, 1) for name, value in profile.items()}

@@ -1,0 +1,65 @@
+"""Speedup computations matching the paper's conventions.
+
+Figure 3 plots speedup relative to the *same scheme's* single-thread
+execution; Figure 11 plots speedup relative to the 4-thread CoTS run
+(the paper argues fewer threads starve the cooperation model, and 4 is
+the machine's core count).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class SpeedupSeries:
+    """A speedup curve over thread counts, for one configuration."""
+
+    label: str
+    threads: List[int]
+    times: List[float]             #: simulated seconds, aligned with threads
+    baseline_threads: int          #: which entry defines speedup 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.threads) != len(self.times):
+            raise ConfigurationError("threads and times must align")
+        if self.baseline_threads not in self.threads:
+            raise ConfigurationError(
+                f"baseline {self.baseline_threads} missing from {self.threads}"
+            )
+
+    @property
+    def baseline_time(self) -> float:
+        """Execution time of the baseline thread count."""
+        return self.times[self.threads.index(self.baseline_threads)]
+
+    def speedups(self) -> List[float]:
+        """Speedup of each entry relative to the baseline entry."""
+        base = self.baseline_time
+        return [base / t if t > 0 else float("inf") for t in self.times]
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Rows of {threads, seconds, speedup} for reporting."""
+        return [
+            {"threads": n, "seconds": t, "speedup": s}
+            for n, t, s in zip(self.threads, self.times, self.speedups())
+        ]
+
+
+def speedup_table(
+    series: Sequence[SpeedupSeries],
+) -> Dict[str, List[float]]:
+    """Label → speedup list, for multi-line figures (one line per α)."""
+    return {one.label: one.speedups() for one in series}
+
+
+def scaling_efficiency(series: SpeedupSeries) -> List[float]:
+    """Speedup divided by the thread ratio (1.0 = perfectly linear)."""
+    base = series.baseline_threads
+    return [
+        speedup / (threads / base)
+        for speedup, threads in zip(series.speedups(), series.threads)
+    ]

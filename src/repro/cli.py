@@ -1,0 +1,355 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiment``
+    Regenerate one (or all) of the paper's tables/figures and print the
+    rows, optionally archiving them to a directory::
+
+        python -m repro experiment table2 --scale tiny
+        python -m repro experiment all --scale default --output results/
+
+``generate``
+    Emit a synthetic zipfian stream, one element per line::
+
+        python -m repro generate --length 10000 --alpha 2.0 > stream.txt
+
+``count``
+    Run a frequency-counting algorithm over a stream file (or stdin) and
+    print the top-k / frequent elements::
+
+        python -m repro count stream.txt --algorithm space-saving \
+            --capacity 100 --top 10 --phi 0.01
+
+``simulate``
+    Drive one parallelization scheme over a synthetic stream on the
+    simulated quad-core and report simulated time, throughput and the
+    time breakdown::
+
+        python -m repro simulate --scheme cots --threads 64 --alpha 2.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'CoTS: A Scalable Framework for Parallelizing "
+            "Frequency Counting over Data Streams' (ICDE 2009)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "which",
+        help="experiment id (fig3a, fig3b, fig4-7, fig11, fig12, table2) "
+        "or 'all'",
+    )
+    experiment.add_argument(
+        "--scale",
+        choices=("tiny", "default", "large"),
+        default="tiny",
+        help="workload scale preset (default: tiny)",
+    )
+    experiment.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="also write each table to <output>/<id>.txt",
+    )
+    experiment.add_argument(
+        "--chart", nargs=2, metavar=("X", "Y"), default=None,
+        help="also draw an ASCII chart of column Y against column X "
+        "(e.g. --chart threads speedup)",
+    )
+
+    generate = commands.add_parser(
+        "generate", help="emit a synthetic zipfian stream to stdout"
+    )
+    generate.add_argument("--length", type=int, default=10_000)
+    generate.add_argument("--alphabet", type=int, default=0,
+                          help="alphabet size (default: same as length)")
+    generate.add_argument("--alpha", type=float, default=2.0)
+    generate.add_argument("--seed", type=int, default=0)
+
+    count = commands.add_parser(
+        "count", help="count frequencies in a stream file (or stdin)"
+    )
+    count.add_argument(
+        "stream", nargs="?", default="-",
+        help="file with one element per line, or '-' for stdin",
+    )
+    count.add_argument(
+        "--algorithm",
+        choices=(
+            "space-saving", "lossy-counting", "misra-gries",
+            "sticky-sampling", "count-min", "exact",
+        ),
+        default="space-saving",
+    )
+    count.add_argument("--capacity", type=int, default=100,
+                       help="counter budget (counter-based algorithms)")
+    count.add_argument("--epsilon", type=float, default=0.01,
+                       help="error bound (lossy-counting / count-min)")
+    count.add_argument("--top", type=int, default=10,
+                       help="print the top-k elements")
+    count.add_argument("--phi", type=float, default=0.0,
+                       help="also print elements above this support")
+
+    simulate = commands.add_parser(
+        "simulate",
+        help="drive a parallelization scheme on the simulated quad-core",
+    )
+    simulate.add_argument(
+        "--scheme",
+        choices=("sequential", "shared", "shared-spin", "independent",
+                 "hybrid", "cots", "cots-lossy"),
+        default="cots",
+    )
+    simulate.add_argument("--threads", type=int, default=16)
+    simulate.add_argument("--capacity", type=int, default=128)
+    simulate.add_argument("--length", type=int, default=10_000)
+    simulate.add_argument("--alpha", type=float, default=2.5)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--cores", type=int, default=4)
+    simulate.add_argument("--merge-every", type=int, default=0,
+                          help="independent: merge interval in elements")
+    simulate.add_argument("--top", type=int, default=5)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a tiny simulated workload with tracing and print the "
+        "core-occupancy timeline",
+    )
+    trace.add_argument("--threads", type=int, default=6)
+    trace.add_argument("--length", type=int, default=1_500)
+    trace.add_argument("--alpha", type=float, default=2.0)
+    trace.add_argument("--capacity", type=int, default=64)
+    trace.add_argument("--cores", type=int, default=4)
+    trace.add_argument("--width", type=int, default=72)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ALL_EXPERIMENTS,
+        ExperimentScale,
+        ascii_chart,
+        format_table,
+    )
+
+    presets = {
+        "tiny": ExperimentScale.tiny,
+        "default": ExperimentScale.default,
+        "large": ExperimentScale.large,
+    }
+    scale = presets[args.scale]()
+    if args.which == "all":
+        chosen = list(ALL_EXPERIMENTS)
+    elif args.which in ALL_EXPERIMENTS:
+        chosen = [args.which]
+    else:
+        print(
+            f"unknown experiment {args.which!r}; pick one of "
+            f"{', '.join(ALL_EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in chosen:
+        result = ALL_EXPERIMENTS[name](scale)
+        text = format_table(result)
+        print(text)
+        print()
+        if args.chart is not None:
+            print(ascii_chart(result, args.chart[0], args.chart[1]))
+            print()
+        if args.output is not None:
+            args.output.mkdir(parents=True, exist_ok=True)
+            (args.output / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads import zipf_stream
+
+    alphabet = args.alphabet if args.alphabet > 0 else args.length
+    for element in zipf_stream(args.length, alphabet, args.alpha, args.seed):
+        print(element)
+    return 0
+
+
+def _read_stream(source: str) -> List[str]:
+    if source == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        lines = pathlib.Path(source).read_text().splitlines()
+    return [line.strip() for line in lines if line.strip()]
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    from repro.core import (
+        CountMinSketch,
+        ExactCounter,
+        LossyCounting,
+        MisraGries,
+        SpaceSaving,
+        StickySampling,
+    )
+
+    algorithms = {
+        "space-saving": lambda: SpaceSaving(capacity=args.capacity),
+        "lossy-counting": lambda: LossyCounting(epsilon=args.epsilon),
+        "misra-gries": lambda: MisraGries(k=args.capacity),
+        "sticky-sampling": lambda: StickySampling(
+            support=max(args.epsilon * 2, 0.001),
+            epsilon=args.epsilon,
+            seed=0,
+        ),
+        "count-min": lambda: CountMinSketch(
+            epsilon=args.epsilon, delta=0.01,
+            track_candidates=args.capacity, seed=0,
+        ),
+        "exact": ExactCounter,
+    }
+    counter = algorithms[args.algorithm]()
+    stream = _read_stream(args.stream)
+    counter.process_many(stream)
+    print(f"# {args.algorithm}: {counter.processed} elements processed")
+    print(f"# top-{args.top}:")
+    for entry in counter.entries()[: args.top]:
+        print(f"{entry.element}\t{entry.count}\t(error<={entry.error})")
+    if args.phi > 0:
+        frequent = counter.frequent(args.phi)
+        print(f"# elements above {args.phi:.3%} support:")
+        for entry in frequent:
+            print(f"{entry.element}\t{entry.count}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.cots import CoTSRunConfig, LossyCoTSConfig, run_cots, run_lossy_cots
+    from repro.parallel import (
+        SchemeConfig,
+        run_hybrid,
+        run_independent,
+        run_sequential,
+        run_shared,
+    )
+    from repro.simcore import MachineSpec
+    from repro.workloads import zipf_stream
+
+    stream = zipf_stream(args.length, args.length, args.alpha, args.seed)
+    machine = MachineSpec(cores=args.cores)
+    config = SchemeConfig(
+        threads=args.threads, capacity=args.capacity, machine=machine
+    )
+    if args.scheme == "sequential":
+        result = run_sequential(stream, config)
+    elif args.scheme == "shared":
+        result = run_shared(stream, config, lock_kind="mutex")
+    elif args.scheme == "shared-spin":
+        result = run_shared(stream, config, lock_kind="spin")
+    elif args.scheme == "independent":
+        result = run_independent(
+            stream, config,
+            merge_every=args.merge_every or args.length // 100,
+        )
+    elif args.scheme == "hybrid":
+        result = run_hybrid(stream, config)
+    elif args.scheme == "cots-lossy":
+        result = run_lossy_cots(
+            stream,
+            LossyCoTSConfig(
+                threads=args.threads, capacity=args.capacity, machine=machine
+            ),
+        )
+    else:
+        result = run_cots(
+            stream,
+            CoTSRunConfig(
+                threads=args.threads, capacity=args.capacity, machine=machine
+            ),
+        )
+    print(f"scheme:      {result.scheme}")
+    print(f"stream:      {args.length} elements, zipf alpha={args.alpha}")
+    print(f"threads:     {result.threads} on {args.cores} simulated cores")
+    print(f"time:        {result.seconds * 1e3:.4f} ms (simulated)")
+    print(f"throughput:  {result.throughput / 1e6:.2f} M elements/s")
+    print("breakdown:")
+    for tag, fraction in sorted(
+        result.breakdown().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {tag:10s} {fraction:7.2%}")
+    print(f"top-{args.top}:")
+    for entry in result.counter.top_k(args.top):
+        print(f"  {entry.element}\t{entry.count}\t(error<={entry.error})")
+    stats = result.extras.get("stats")
+    if stats:
+        interesting = {
+            key: stats[key]
+            for key in ("delegations", "bulk_increments", "bulk_total",
+                        "overwrites", "gc_buckets")
+            if stats.get(key)
+        }
+        if interesting:
+            print(f"cots stats:  {interesting}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Shared-scheme run with the trace recorder; prints the timeline."""
+    from repro.parallel.base import SchemeConfig
+    from repro.parallel.shared import _SharedState, _worker
+    from repro.simcore import CostModel, Engine, MachineSpec, TraceRecorder
+    from repro.workloads import block_partition, zipf_stream
+
+    stream = zipf_stream(args.length, args.length, args.alpha, seed=7)
+    tracer = TraceRecorder()
+    costs = CostModel()
+    engine = Engine(
+        machine=MachineSpec(cores=args.cores), costs=costs, tracer=tracer
+    )
+    state = _SharedState(args.capacity, "mutex")
+    for index, part in enumerate(block_partition(stream, args.threads)):
+        engine.spawn(_worker(part, state, costs), name=f"{chr(97 + index % 26)}{index}")
+    result = engine.run()
+    print(tracer.timeline(width=args.width))
+    print()
+    print(tracer.summary())
+    print(f"simulated time: {result.seconds * 1e3:.3f} ms for "
+          f"{len(stream)} elements on the shared (lock-based) design")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "generate": _cmd_generate,
+        "count": _cmd_count,
+        "simulate": _cmd_simulate,
+        "trace": _cmd_trace,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Counter records and the frequency-counter protocol.
+
+Every frequency-counting algorithm in this package — exact or approximate,
+sequential or parallel — exposes the same small query surface so that the
+query layer (:mod:`repro.core.queries`) and the accuracy analysis
+(:mod:`repro.analysis.accuracy`) can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, Iterable, List, Protocol, Tuple, runtime_checkable
+
+Element = Hashable
+
+
+@dataclasses.dataclass
+class CounterEntry:
+    """One monitored element with its estimated count.
+
+    ``count`` is the estimated frequency; ``error`` is the maximum
+    over-estimation, i.e. the true frequency lies in
+    ``[count - error, count]`` (Space Saving's guarantee).
+    """
+
+    element: Element
+    count: int
+    error: int = 0
+
+    @property
+    def guaranteed(self) -> int:
+        """Lower bound on the true frequency (``count - error``)."""
+        return self.count - self.error
+
+
+@runtime_checkable
+class FrequencyCounter(Protocol):
+    """Protocol satisfied by every counting algorithm in this package."""
+
+    def process(self, element: Element) -> None:
+        """Consume one stream element."""
+
+    def estimate(self, element: Element) -> int:
+        """Estimated frequency of ``element`` (0 if not monitored)."""
+
+    def entries(self) -> List[CounterEntry]:
+        """All monitored elements, sorted by descending count."""
+
+    @property
+    def processed(self) -> int:
+        """Number of stream elements consumed so far."""
+
+
+class ExactCounter:
+    """Exact dictionary-based frequency counter (the ground truth).
+
+    Memory is O(|alphabet|), which is exactly what streaming algorithms
+    avoid — this class exists to validate their error bounds and to answer
+    queries exactly in tests and accuracy studies.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[Element, int] = {}
+        self._processed = 0
+
+    def process(self, element: Element) -> None:
+        """Count one occurrence of ``element``."""
+        self._counts[element] = self._counts.get(element, 0) + 1
+        self._processed += 1
+
+    def process_many(self, elements: Iterable[Element]) -> None:
+        """Count every element of an iterable."""
+        for element in elements:
+            self.process(element)
+
+    def estimate(self, element: Element) -> int:
+        """True frequency of ``element`` so far."""
+        return self._counts.get(element, 0)
+
+    def entries(self) -> List[CounterEntry]:
+        """All elements sorted by descending frequency (ties by element repr)."""
+        ordered = sorted(
+            self._counts.items(), key=lambda item: (-item[1], repr(item[0]))
+        )
+        return [CounterEntry(element, count) for element, count in ordered]
+
+    @property
+    def processed(self) -> int:
+        """Number of elements consumed."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._counts
+
+    def counts(self) -> Dict[Element, int]:
+        """A copy of the underlying count dictionary."""
+        return dict(self._counts)
+
+    def top_k(self, k: int) -> List[Tuple[Element, int]]:
+        """The ``k`` most frequent elements as (element, count) pairs."""
+        return [
+            (entry.element, entry.count) for entry in self.entries()[:k]
+        ]
+
+    def frequent(self, threshold: float) -> List[Tuple[Element, int]]:
+        """Elements whose count is strictly above ``threshold``."""
+        return [
+            (entry.element, entry.count)
+            for entry in self.entries()
+            if entry.count > threshold
+        ]

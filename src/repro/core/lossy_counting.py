@@ -1,0 +1,120 @@
+"""Lossy Counting (Manku & Motwani, VLDB 2002).
+
+The stream is divided into rounds ("buckets") of width ``w = ceil(1/eps)``.
+Each monitored element carries an estimated count ``f`` and a maximum
+error ``delta`` (the round it was inserted in, minus one).  At every round
+boundary, entries with ``f + delta <= current_round`` are pruned, which
+bounds memory to ``O((1/eps) log(eps N))``.
+
+The paper uses Lossy Counting both as related work (Section 2) and as the
+example of how the CoTS framework generalizes beyond Space Saving
+(Section 5.3: the Overwrite request becomes a round-boundary prune).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.counters import CounterEntry, Element
+from repro.errors import ConfigurationError
+
+
+class LossyCounting:
+    """Epsilon-approximate frequency counting with periodic pruning."""
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0 < epsilon < 1:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self.width = math.ceil(1.0 / epsilon)
+        self._entries: Dict[Element, Tuple[int, int]] = {}  # f, delta
+        self._processed = 0
+        self._round = 1
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def process(self, element: Element) -> None:
+        """Consume one stream element."""
+        entry = self._entries.get(element)
+        if entry is not None:
+            self._entries[element] = (entry[0] + 1, entry[1])
+        else:
+            self._entries[element] = (1, self._round - 1)
+        self._processed += 1
+        if self._processed % self.width == 0:
+            self._prune()
+            self._round += 1
+
+    def process_many(self, elements: Iterable[Element]) -> None:
+        """Consume every element of an iterable."""
+        for element in elements:
+            self.process(element)
+
+    def _prune(self) -> None:
+        """Drop entries that can no longer be frequent (round boundary)."""
+        survivors = {
+            element: (freq, delta)
+            for element, (freq, delta) in self._entries.items()
+            if freq + delta > self._round
+        }
+        self._entries = survivors
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def processed(self) -> int:
+        """Number of stream elements consumed."""
+        return self._processed
+
+    @property
+    def current_round(self) -> int:
+        """The 1-based index of the current round."""
+        return self._round
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._entries
+
+    def estimate(self, element: Element) -> int:
+        """Estimated frequency (within ``eps * N`` below the true count)."""
+        entry = self._entries.get(element)
+        return entry[0] if entry is not None else 0
+
+    def error(self, element: Element) -> int:
+        """Maximum undercount recorded for ``element`` (its delta)."""
+        entry = self._entries.get(element)
+        return entry[1] if entry is not None else 0
+
+    def entries(self) -> List[CounterEntry]:
+        """Monitored elements sorted by descending estimated count."""
+        ordered = sorted(
+            self._entries.items(),
+            key=lambda item: (-item[1][0], repr(item[0])),
+        )
+        return [
+            CounterEntry(element, freq, delta)
+            for element, (freq, delta) in ordered
+        ]
+
+    def frequent(self, phi: float, support: Optional[float] = None) -> List[CounterEntry]:
+        """Elements with estimated count >= ``(phi - eps) * N``.
+
+        Per the Lossy Counting guarantee this returns every element whose
+        true frequency exceeds ``phi * N`` and no element below
+        ``(phi - eps) * N``.
+        """
+        if not 0 < phi < 1:
+            raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
+        threshold = (phi - self.epsilon) * self._processed
+        return [entry for entry in self.entries() if entry.count >= threshold]
+
+    def top_k(self, k: int) -> List[CounterEntry]:
+        """The ``k`` elements with the highest estimated counts."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        return self.entries()[:k]

@@ -1,0 +1,123 @@
+"""Merging Space Saving summaries (the Independent Structures design).
+
+In the shared-nothing scheme (Section 4.1 of the paper) every thread runs
+a private Space Saving instance over its stream partition; to answer a
+query the local structures must be *merged* into a global summary.  The
+paper evaluates two strategies:
+
+* **Serial merge** — one thread folds all ``p`` local structures, costing
+  O(p * m) counter visits per query;
+* **Hierarchical merge** — pairwise merges arranged like merge sort's
+  merge phase: log2(p) levels, each ending in a barrier.  In theory this
+  parallelizes the fold; in practice the per-level synchronization eats
+  the gains, which Figure 3(a)'s discussion points out.
+
+Both strategies produce identical results; only their cost (modelled in
+:mod:`repro.parallel.independent`) differs.  The merge rule follows the
+mergeable-summaries construction: counts of common elements add up,
+and an element *missing* from some part may have been evicted there, so
+that part contributes its minimum frequency to the element's *error*
+(but not to its count — estimates stay upper bounds of true counts only
+when the true-count mass is split across parts, which partitioned streams
+guarantee).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.counters import CounterEntry, Element
+from repro.core.space_saving import SpaceSaving
+from repro.errors import MergeError
+
+
+def merge_space_saving(
+    parts: Sequence[SpaceSaving], capacity: int = 0
+) -> SpaceSaving:
+    """Merge local Space Saving instances into one global summary.
+
+    ``capacity`` defaults to the largest capacity among the parts.
+    """
+    if not parts:
+        raise MergeError("cannot merge an empty list of summaries")
+    if capacity <= 0:
+        capacity = max(part.capacity for part in parts)
+    counts: Dict[Element, int] = {}
+    errors: Dict[Element, int] = {}
+    total = 0
+    for part in parts:
+        total += part.processed
+        for entry in part.entries():
+            counts[entry.element] = counts.get(entry.element, 0) + entry.count
+            errors[entry.element] = errors.get(entry.element, 0) + entry.error
+    # An element absent from a part could have accumulated up to that
+    # part's minimum frequency before being evicted: widen its error.
+    for part in parts:
+        min_freq = part.summary.min_freq if len(part) >= part.capacity else 0
+        if min_freq == 0:
+            continue
+        for element in counts:
+            if element not in part.summary:
+                errors[element] += min_freq
+    merged_entries = [
+        CounterEntry(element, count, errors[element])
+        for element, count in counts.items()
+    ]
+    return SpaceSaving.from_entries(capacity, merged_entries, total)
+
+
+def hierarchical_merge(
+    parts: Sequence[SpaceSaving], capacity: int = 0
+) -> SpaceSaving:
+    """Pairwise tree merge; result is equivalent to :func:`merge_space_saving`.
+
+    This performs the same arithmetic level-by-level, mirroring the merge
+    schedule of the hierarchical strategy so tests can confirm both paths
+    agree (the paper's point is that the *cost*, not the answer, differs).
+    """
+    if not parts:
+        raise MergeError("cannot merge an empty list of summaries")
+    if capacity <= 0:
+        capacity = max(part.capacity for part in parts)
+    level: List[SpaceSaving] = list(parts)
+    while len(level) > 1:
+        next_level: List[SpaceSaving] = []
+        for i in range(0, len(level) - 1, 2):
+            # Intermediate merges keep every entry (capacity = combined
+            # sizes) so no mass is dropped before the final truncation;
+            # otherwise tree shape would change the answer.
+            roomy = len(level[i]) + len(level[i + 1])
+            next_level.append(
+                merge_space_saving(level[i : i + 2], capacity=max(1, roomy))
+            )
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+        level = next_level
+    final = level[0]
+    if len(final) <= capacity and final.capacity == capacity:
+        return final
+    return SpaceSaving.from_entries(capacity, final.entries(), final.processed)
+
+
+def merge_schedule(parties: int) -> List[List[Tuple[int, int]]]:
+    """The pairing schedule of a hierarchical merge over ``parties`` inputs.
+
+    Returns one list per level; each pair ``(i, j)`` says structure ``j``
+    is folded into structure ``i`` at that level.  The Independent
+    Structures simulation uses this to charge per-level work and barriers.
+    """
+    if parties < 1:
+        raise MergeError(f"parties must be >= 1, got {parties}")
+    schedule: List[List[Tuple[int, int]]] = []
+    active = list(range(parties))
+    while len(active) > 1:
+        level = []
+        survivors = []
+        for i in range(0, len(active) - 1, 2):
+            level.append((active[i], active[i + 1]))
+            survivors.append(active[i])
+        if len(active) % 2 == 1:
+            survivors.append(active[-1])
+        schedule.append(level)
+        active = survivors
+    return schedule

@@ -1,0 +1,105 @@
+"""The Misra-Gries / Frequent algorithm (Misra & Gries 1982; Demaine et
+al., ESA 2002).
+
+Keeps at most ``k`` counters.  A new element either takes a free counter
+or, if all ``k`` are in use, *decrements every counter by one*, discarding
+those that reach zero — the streaming generalization of the
+Boyer-Moore majority vote.  Estimates *under*count by at most
+``N / (k + 1)``.
+
+Included as the second classic counter-based technique the paper cites
+([15, 9, 16] in Section 1), and as an accuracy baseline for the
+Cormode-style comparison example.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.counters import CounterEntry, Element
+from repro.errors import ConfigurationError
+
+
+class MisraGries:
+    """Frequent algorithm with ``k`` counters (deterministic)."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._counts: Dict[Element, int] = {}
+        self._processed = 0
+        self._decrements = 0
+
+    def process(self, element: Element) -> None:
+        """Consume one stream element."""
+        counts = self._counts
+        if element in counts:
+            counts[element] += 1
+        elif len(counts) < self.k:
+            counts[element] = 1
+        else:
+            self._decrements += 1
+            for monitored in list(counts):
+                remaining = counts[monitored] - 1
+                if remaining == 0:
+                    del counts[monitored]
+                else:
+                    counts[monitored] = remaining
+        self._processed += 1
+
+    def process_many(self, elements: Iterable[Element]) -> None:
+        """Consume every element of an iterable."""
+        for element in elements:
+            self.process(element)
+
+    @property
+    def processed(self) -> int:
+        """Number of stream elements consumed."""
+        return self._processed
+
+    @property
+    def decrements(self) -> int:
+        """How many global decrement rounds have happened."""
+        return self._decrements
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._counts
+
+    def estimate(self, element: Element) -> int:
+        """Estimated frequency; undercounts by at most ``N / (k + 1)``."""
+        return self._counts.get(element, 0)
+
+    def entries(self) -> List[CounterEntry]:
+        """Monitored elements sorted by descending estimated count.
+
+        ``error`` is the uniform undercount bound ``decrements`` (every
+        counter has been decremented at most that many times).
+        """
+        ordered = sorted(
+            self._counts.items(), key=lambda item: (-item[1], repr(item[0]))
+        )
+        return [
+            CounterEntry(element, count, self._decrements)
+            for element, count in ordered
+        ]
+
+    def frequent(self, phi: float) -> List[CounterEntry]:
+        """Candidate elements with estimated count > ``(phi * N) - N/(k+1)``.
+
+        Contains every element with true frequency above ``phi * N``
+        (no false negatives) provided ``phi > 1 / (k + 1)``.
+        """
+        if not 0 < phi < 1:
+            raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self._processed - self._processed / (self.k + 1)
+        return [entry for entry in self.entries() if entry.count > threshold]
+
+    def top_k(self, k: int) -> List[CounterEntry]:
+        """The ``k`` monitored elements with the highest estimates."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        return self.entries()[:k]

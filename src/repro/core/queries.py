@@ -1,0 +1,161 @@
+"""The stream query model of Section 3.2.
+
+Four query shapes are supported:
+
+* **Point queries** (Query 1) — ``IsElementFrequent(e)`` /
+  ``IsElementInTopK(e)``;
+* **Set queries** (Query 2) — all frequent elements / the top-k set;
+* **Interval / discrete queries** (Query 3) — a point or set query posed
+  every ``T`` updates;
+* **Continuous queries** (Query 4) — interval queries with ``T = 1``.
+  As the paper argues, under parallel processing "every update" loses its
+  meaning, so continuous queries are treated as the densest interval
+  schedule.
+
+Queries are answered against any object satisfying the
+:class:`~repro.core.counters.FrequencyCounter` protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.counters import Element, FrequencyCounter
+from repro.errors import QueryError
+
+
+@dataclasses.dataclass(frozen=True)
+class PointFrequentQuery:
+    """Query 1(a): ``IsElementFrequent(element)`` at support ``phi``."""
+
+    element: Element
+    phi: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.phi < 1:
+            raise QueryError(f"phi must be in (0, 1), got {self.phi}")
+
+
+@dataclasses.dataclass(frozen=True)
+class PointTopKQuery:
+    """Query 1(b): ``IsElementInTopK(element)``."""
+
+    element: Element
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FrequentSetQuery:
+    """Query 2(a): all elements with frequency above ``phi * N``."""
+
+    phi: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.phi < 1:
+            raise QueryError(f"phi must be in (0, 1), got {self.phi}")
+
+
+@dataclasses.dataclass(frozen=True)
+class TopKSetQuery:
+    """Query 2(b): the ``k`` most frequent elements."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+
+
+Query = Union[PointFrequentQuery, PointTopKQuery, FrequentSetQuery, TopKSetQuery]
+
+
+def answer(query: Query, counter: FrequencyCounter) -> Any:
+    """Answer one query against any frequency counter.
+
+    Point queries return bool; set queries return a list of
+    :class:`CounterEntry`.
+    """
+    if isinstance(query, PointFrequentQuery):
+        threshold = query.phi * counter.processed
+        return counter.estimate(query.element) > threshold
+    if isinstance(query, PointTopKQuery):
+        estimate = counter.estimate(query.element)
+        if estimate == 0:
+            return False
+        entries = counter.entries()[: query.k]
+        if len(entries) < query.k:
+            return estimate > 0
+        return estimate >= entries[-1].count
+    if isinstance(query, FrequentSetQuery):
+        threshold = query.phi * counter.processed
+        return [e for e in counter.entries() if e.count > threshold]
+    if isinstance(query, TopKSetQuery):
+        return counter.entries()[: query.k]
+    raise QueryError(f"unsupported query type {type(query).__name__}")
+
+
+@dataclasses.dataclass(frozen=True)
+class IntervalSchedule:
+    """Query 3: pose ``queries`` every ``every_updates`` processed elements.
+
+    ``every_updates = 1`` yields the continuous query of Query 4.
+    """
+
+    queries: Tuple[Query, ...]
+    every_updates: int
+
+    def __post_init__(self) -> None:
+        if self.every_updates < 1:
+            raise QueryError(
+                f"every_updates must be >= 1, got {self.every_updates}"
+            )
+        if not self.queries:
+            raise QueryError("schedule needs at least one query")
+
+    @staticmethod
+    def continuous(queries: Iterable[Query]) -> "IntervalSchedule":
+        """Query 4 expressed as the densest interval schedule."""
+        return IntervalSchedule(tuple(queries), every_updates=1)
+
+
+@dataclasses.dataclass
+class ScheduledAnswer:
+    """One answered query instance within a driven stream."""
+
+    position: int      #: number of elements processed when answered
+    query: Query
+    result: Any
+
+
+def drive(
+    stream: Iterable[Element],
+    counter: FrequencyCounter,
+    schedule: Optional[IntervalSchedule] = None,
+) -> Iterator[ScheduledAnswer]:
+    """Feed ``stream`` into ``counter``, yielding answers per the schedule.
+
+    This is the sequential reference driver; the parallel schemes have
+    their own drivers that additionally charge simulated time for query
+    processing (merges, lock acquisition or lock-free traversal).
+    """
+    position = 0
+    for element in stream:
+        counter.process(element)
+        position += 1
+        if schedule is not None and position % schedule.every_updates == 0:
+            for query in schedule.queries:
+                yield ScheduledAnswer(position, query, answer(query, counter))
+
+
+def answer_all(
+    stream: Iterable[Element],
+    counter: FrequencyCounter,
+    schedule: Optional[IntervalSchedule] = None,
+) -> List[ScheduledAnswer]:
+    """Like :func:`drive` but eagerly collects every answer."""
+    return list(drive(stream, counter, schedule))

@@ -1,0 +1,47 @@
+"""ASCII rendering of Stream Summary structures (the paper's Figure 2).
+
+Turns a :class:`~repro.core.stream_summary.StreamSummary` or a
+:class:`~repro.cots.summary.ConcurrentStreamSummary` into the bucket
+diagram of Figure 2 / Figure 10 — handy in doctests, debugging sessions
+and the examples::
+
+    [freq 1]: e1          [freq 2]: e2, e3
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.stream_summary import StreamSummary
+
+
+def render_summary(summary: StreamSummary, max_elements: int = 6) -> str:
+    """One line per bucket, ascending frequency, elements abbreviated."""
+    lines: List[str] = []
+    for bucket in summary.buckets():
+        elements = [repr(node.element) for node in bucket.nodes()]
+        shown = elements[:max_elements]
+        if len(elements) > max_elements:
+            shown.append(f"... +{len(elements) - max_elements}")
+        lines.append(f"[freq {bucket.freq}]: " + ", ".join(shown))
+    if not lines:
+        return "(empty summary)"
+    return "\n".join(lines)
+
+
+def render_concurrent_summary(summary, max_elements: int = 6) -> str:
+    """Figure 10 view: buckets with their queue depths and owner flags."""
+    lines: List[str] = []
+    for bucket in summary.buckets():
+        elements = [repr(node.element) for node in bucket.members]
+        shown = elements[:max_elements]
+        if len(elements) > max_elements:
+            shown.append(f"... +{len(elements) - max_elements}")
+        owner = "held" if bucket.owner.peek() else "free"
+        lines.append(
+            f"[freq {bucket.freq} | queue {len(bucket.queue)} | {owner}]: "
+            + ", ".join(shown)
+        )
+    if not lines:
+        return "(empty summary)"
+    return "\n".join(lines)

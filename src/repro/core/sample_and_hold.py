@@ -1,0 +1,137 @@
+"""Sample-and-Hold (Estan & Varghese, SIGCOMM 2002).
+
+A counter-based technique with *probabilistic admission*: every packet
+of an already-monitored flow is counted exactly ("hold"), while a new
+flow enters the monitored set with probability ``sample_rate`` per
+occurrence.  Estimates therefore undercount by a geometrically
+distributed prefix (expected ``1/sample_rate - 1``) and then track
+exactly.
+
+Included for two reasons: it rounds out the §2 counter-based family from
+the networking side, and — because a monitored element's count is
+**monotonically increasing** with no decrements — it satisfies the CoTS
+framework's §5.3 adaptation requirement, which
+:mod:`repro.cots.adapters` exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.counters import CounterEntry, Element
+from repro.errors import ConfigurationError
+
+
+class SampleAndHold:
+    """Probabilistic-admission, exact-hold frequency counting."""
+
+    def __init__(
+        self,
+        sample_rate: float,
+        max_entries: int = 0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0 < sample_rate <= 1:
+            raise ConfigurationError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
+        if max_entries < 0:
+            raise ConfigurationError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        self.sample_rate = sample_rate
+        #: 0 = unbounded; otherwise new admissions stop at this size
+        #: (the paper sizes memory so overflow "should not happen")
+        self.max_entries = max_entries
+        self._rng = random.Random(seed)
+        self._counts: Dict[Element, int] = {}
+        self._processed = 0
+        self.admissions = 0
+        self.rejected_full = 0
+
+    @staticmethod
+    def for_threshold(
+        threshold_fraction: float,
+        oversampling: int = 20,
+        seed: Optional[int] = None,
+    ) -> "SampleAndHold":
+        """Size for catching flows above ``threshold_fraction`` of the
+        stream with high probability (the paper's oversampling rule:
+        sample_rate = oversampling / (threshold * N) per element — here
+        expressed per unit of stream mass)."""
+        if not 0 < threshold_fraction < 1:
+            raise ConfigurationError(
+                "threshold_fraction must be in (0, 1), got "
+                f"{threshold_fraction}"
+            )
+        rate = min(1.0, oversampling * threshold_fraction)
+        return SampleAndHold(sample_rate=rate, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def process(self, element: Element) -> None:
+        """Consume one stream element."""
+        counts = self._counts
+        if element in counts:
+            counts[element] += 1          # hold: exact from admission on
+        elif self._rng.random() < self.sample_rate:
+            if self.max_entries and len(counts) >= self.max_entries:
+                self.rejected_full += 1
+            else:
+                counts[element] = 1       # sample: admitted
+                self.admissions += 1
+        self._processed += 1
+
+    def process_many(self, elements: Iterable[Element]) -> None:
+        """Consume every element of an iterable."""
+        for element in elements:
+            self.process(element)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def processed(self) -> int:
+        """Number of stream elements consumed."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._counts
+
+    def estimate(self, element: Element) -> int:
+        """Estimated frequency (undercounts; never overcounts)."""
+        return self._counts.get(element, 0)
+
+    def entries(self) -> List[CounterEntry]:
+        """Monitored elements by descending count; ``error`` carries the
+        expected admission undercount ``1/rate - 1``."""
+        expected_miss = round(1.0 / self.sample_rate) - 1
+        ordered = sorted(
+            self._counts.items(), key=lambda item: (-item[1], repr(item[0]))
+        )
+        return [
+            CounterEntry(element, count, expected_miss)
+            for element, count in ordered
+        ]
+
+    def frequent(self, phi: float) -> List[CounterEntry]:
+        """Monitored elements whose corrected estimate exceeds ``phi*N``."""
+        if not 0 < phi < 1:
+            raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self._processed
+        return [
+            entry
+            for entry in self.entries()
+            if entry.count + entry.error > threshold
+        ]
+
+    def top_k(self, k: int) -> List[CounterEntry]:
+        """The ``k`` monitored elements with the highest counts."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        return self.entries()[:k]

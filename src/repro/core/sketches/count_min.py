@@ -1,0 +1,149 @@
+"""Count-Min sketch (Cormode & Muthukrishnan, 2005).
+
+``depth = ceil(ln(1/delta))`` rows of ``width = ceil(e/eps)`` counters;
+each row hashes the element with an independent universal hash and
+increments one cell.  The estimate is the row-wise minimum and
+overcounts by at most ``eps * N`` with probability ``1 - delta``.
+
+An optional *conservative update* mode only raises the cells that equal
+the current minimum, tightening estimates at the same memory.
+A small candidate heap turns the sketch into a frequent-elements /
+top-k answerer so it satisfies the package-wide counter protocol.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.counters import CounterEntry, Element
+from repro.errors import ConfigurationError
+
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class _UniversalHash:
+    """A 2-universal hash ``h(x) = ((a*x + b) mod p) mod width``."""
+
+    __slots__ = ("a", "b", "width")
+
+    def __init__(self, rng: random.Random, width: int) -> None:
+        self.a = rng.randrange(1, _MERSENNE_PRIME)
+        self.b = rng.randrange(0, _MERSENNE_PRIME)
+        self.width = width
+
+    def __call__(self, element: Element) -> int:
+        x = hash(element) & ((1 << 61) - 1)
+        return ((self.a * x + self.b) % _MERSENNE_PRIME) % self.width
+
+
+class CountMinSketch:
+    """Count-Min sketch with an optional top-candidate tracker."""
+
+    def __init__(
+        self,
+        epsilon: float = 0.001,
+        delta: float = 0.01,
+        conservative: bool = False,
+        track_candidates: int = 0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0 < epsilon < 1:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        if track_candidates < 0:
+            raise ConfigurationError(
+                f"track_candidates must be >= 0, got {track_candidates}"
+            )
+        self.epsilon = epsilon
+        self.delta = delta
+        self.width = math.ceil(math.e / epsilon)
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        self.conservative = conservative
+        rng = random.Random(seed)
+        self._hashes = [_UniversalHash(rng, self.width) for _ in range(self.depth)]
+        self._rows = [[0] * self.width for _ in range(self.depth)]
+        self._processed = 0
+        self._track = track_candidates
+        self._candidates: Dict[Element, int] = {}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def process(self, element: Element) -> None:
+        """Consume one stream element."""
+        self.update(element, 1)
+
+    def update(self, element: Element, count: int) -> None:
+        """Add ``count`` occurrences of ``element``."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        cells = [h(element) for h in self._hashes]
+        if self.conservative:
+            current = min(
+                self._rows[row][cell] for row, cell in enumerate(cells)
+            )
+            target = current + count
+            for row, cell in enumerate(cells):
+                if self._rows[row][cell] < target:
+                    self._rows[row][cell] = target
+        else:
+            for row, cell in enumerate(cells):
+                self._rows[row][cell] += count
+        self._processed += count
+        if self._track:
+            self._note_candidate(element)
+
+    def process_many(self, elements: Iterable[Element]) -> None:
+        """Consume every element of an iterable."""
+        for element in elements:
+            self.process(element)
+
+    def _note_candidate(self, element: Element) -> None:
+        estimate = self.estimate(element)
+        candidates = self._candidates
+        candidates[element] = estimate
+        if len(candidates) > self._track:
+            weakest = min(candidates, key=lambda e: (candidates[e], repr(e)))
+            del candidates[weakest]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def processed(self) -> int:
+        """Total count added to the sketch."""
+        return self._processed
+
+    def estimate(self, element: Element) -> int:
+        """Point estimate: row-wise minimum (overcounts by <= eps*N whp)."""
+        return min(
+            self._rows[row][h(element)] for row, h in enumerate(self._hashes)
+        )
+
+    def entries(self) -> List[CounterEntry]:
+        """Tracked candidates sorted by descending estimate.
+
+        Empty unless ``track_candidates`` was set — a pure sketch cannot
+        enumerate elements, which is exactly why the paper's applications
+        prefer counter-based techniques.
+        """
+        ordered = sorted(
+            self._candidates, key=lambda e: (-self.estimate(e), repr(e))
+        )
+        return [CounterEntry(e, self.estimate(e)) for e in ordered]
+
+    def frequent(self, phi: float) -> List[CounterEntry]:
+        """Tracked candidates whose estimate exceeds ``phi * N``."""
+        if not 0 < phi < 1:
+            raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self._processed
+        return [entry for entry in self.entries() if entry.count > threshold]
+
+    def top_k(self, k: int) -> List[CounterEntry]:
+        """The ``k`` tracked candidates with the highest estimates."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        return self.entries()[:k]

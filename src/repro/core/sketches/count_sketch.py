@@ -1,0 +1,125 @@
+"""Count Sketch (Charikar, Chen, Farach-Colton, ICALP 2002).
+
+Like Count-Min but each row also hashes the element to a sign in
+{-1, +1}; the estimate is the *median* of the signed row readings, which
+is unbiased and has error bounded by the stream's L2 norm rather than L1.
+Cited as [3] in the paper's related work.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.counters import CounterEntry, Element
+from repro.errors import ConfigurationError
+from repro.core.sketches.count_min import _UniversalHash
+
+class CountSketch:
+    """Median-of-signed-counters sketch with optional candidate tracking."""
+
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 5,
+        track_candidates: int = 0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        if track_candidates < 0:
+            raise ConfigurationError(
+                f"track_candidates must be >= 0, got {track_candidates}"
+            )
+        self.width = width
+        self.depth = depth
+        rng = random.Random(seed)
+        self._bucket_hashes = [_UniversalHash(rng, width) for _ in range(depth)]
+        self._sign_hashes = [_UniversalHash(rng, 2) for _ in range(depth)]
+        self._rows = [[0] * width for _ in range(depth)]
+        self._processed = 0
+        self._track = track_candidates
+        self._candidates: Dict[Element, int] = {}
+
+    @staticmethod
+    def for_error(epsilon: float, delta: float = 0.01, **kwargs) -> "CountSketch":
+        """Size a sketch for L2 error ``epsilon`` with confidence ``1-delta``."""
+        if not 0 < epsilon < 1:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0 < delta < 1:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        width = math.ceil(3.0 / (epsilon * epsilon))
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        return CountSketch(width=width, depth=depth, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def process(self, element: Element) -> None:
+        """Consume one stream element."""
+        self.update(element, 1)
+
+    def update(self, element: Element, count: int) -> None:
+        """Add ``count`` occurrences of ``element``."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        for row in range(self.depth):
+            cell = self._bucket_hashes[row](element)
+            sign = 1 if self._sign_hashes[row](element) else -1
+            self._rows[row][cell] += sign * count
+        self._processed += count
+        if self._track:
+            self._note_candidate(element)
+
+    def process_many(self, elements: Iterable[Element]) -> None:
+        """Consume every element of an iterable."""
+        for element in elements:
+            self.process(element)
+
+    def _note_candidate(self, element: Element) -> None:
+        candidates = self._candidates
+        candidates[element] = self.estimate(element)
+        if len(candidates) > self._track:
+            weakest = min(candidates, key=lambda e: (candidates[e], repr(e)))
+            del candidates[weakest]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def processed(self) -> int:
+        """Total count added to the sketch."""
+        return self._processed
+
+    def estimate(self, element: Element) -> int:
+        """Unbiased median estimate (may be negative; clamped at 0)."""
+        readings = []
+        for row in range(self.depth):
+            cell = self._bucket_hashes[row](element)
+            sign = 1 if self._sign_hashes[row](element) else -1
+            readings.append(sign * self._rows[row][cell])
+        return max(0, round(statistics.median(readings)))
+
+    def entries(self) -> List[CounterEntry]:
+        """Tracked candidates sorted by descending estimate."""
+        ordered = sorted(
+            self._candidates, key=lambda e: (-self.estimate(e), repr(e))
+        )
+        return [CounterEntry(e, self.estimate(e)) for e in ordered]
+
+    def frequent(self, phi: float) -> List[CounterEntry]:
+        """Tracked candidates whose estimate exceeds ``phi * N``."""
+        if not 0 < phi < 1:
+            raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self._processed
+        return [entry for entry in self.entries() if entry.count > threshold]
+
+    def top_k(self, k: int) -> List[CounterEntry]:
+        """The ``k`` tracked candidates with the highest estimates."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        return self.entries()[:k]

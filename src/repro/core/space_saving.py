@@ -1,0 +1,217 @@
+"""The Space Saving algorithm (Metwally, Agrawal, El Abbadi, TODS 2006).
+
+Space Saving monitors at most ``m = ceil(1/epsilon)`` counters.  For each
+stream element (Algorithm 1 of the paper):
+
+* if the element is monitored, increment its counter
+  (``IncrementCounter``);
+* else if fewer than ``m`` elements are monitored, start monitoring it
+  with count 1 (``AddElementToBucket``);
+* else *overwrite* the minimum-frequency element: the new element takes
+  count ``min + 1`` and records ``min`` as its error (``Overwrite``).
+
+Guarantees (all property-tested in ``tests/core``):
+
+* ``estimate(e) >= true_count(e)`` — never underestimates;
+* ``estimate(e) - error(e) <= true_count(e)``;
+* ``min_freq <= N / m`` so the per-element error is at most ``eps * N``;
+* every element with true count > ``N / m`` is monitored (no false
+  negatives for frequent elements);
+* exact counts when the alphabet fits in ``m`` counters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.counters import CounterEntry, Element
+from repro.core.stream_summary import StreamSummary
+from repro.errors import ConfigurationError
+
+
+class SpaceSaving:
+    """Sequential Space Saving over a :class:`StreamSummary`.
+
+    Construct with an explicit counter budget (``capacity``) or an error
+    bound (``epsilon``, giving ``capacity = ceil(1/epsilon)``).
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        epsilon: Optional[float] = None,
+    ) -> None:
+        if (capacity is None) == (epsilon is None):
+            raise ConfigurationError(
+                "provide exactly one of capacity or epsilon"
+            )
+        if capacity is None:
+            if not 0 < epsilon < 1:
+                raise ConfigurationError(
+                    f"epsilon must be in (0, 1), got {epsilon}"
+                )
+            capacity = math.ceil(1.0 / epsilon)
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.summary = StreamSummary()
+        self._processed = 0
+
+    @classmethod
+    def from_entries(
+        cls,
+        capacity: int,
+        entries: Iterable[CounterEntry],
+        processed: int,
+    ) -> "SpaceSaving":
+        """Build a summary directly from counter entries.
+
+        Used by the merge of the Independent Structures design: the merged
+        (element, count, error) triples become a regular queryable
+        ``SpaceSaving``.  At most ``capacity`` entries (the largest by
+        count) are retained.
+        """
+        instance = cls(capacity=capacity)
+        kept = sorted(entries, key=lambda e: e.count, reverse=True)[:capacity]
+        for entry in sorted(kept, key=lambda e: e.count):
+            instance.summary.insert(
+                entry.element, count=entry.count, error=entry.error
+            )
+        instance._processed = processed
+        return instance
+
+    def reset(self) -> None:
+        """Forget everything (fresh summary, zero processed count).
+
+        Used by designs that flush local caches into a global structure
+        (the §4.4 Hybrid) and by windowed wrappers.
+        """
+        self.summary = StreamSummary()
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def process(self, element: Element) -> None:
+        """Consume one stream element (Algorithm 1)."""
+        self.process_bulk(element, 1)
+
+    def process_bulk(self, element: Element, count: int) -> None:
+        """Consume ``count`` occurrences of ``element`` at once.
+
+        Bulk processing is the CoTS framework's key amortization; the
+        sequential algorithm supports it too, and the semantics match
+        processing ``count`` singletons back-to-back.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        summary = self.summary
+        if element in summary:
+            summary.increment(element, count)
+        elif len(summary) < self.capacity:
+            summary.insert(element, count=count, error=0)
+        else:
+            min_freq = summary.min_freq
+            summary.evict_min()
+            summary.insert(element, count=min_freq + count, error=min_freq)
+        self._processed += count
+
+    def process_many(self, elements: Iterable[Element]) -> None:
+        """Consume every element of an iterable."""
+        for element in elements:
+            self.process(element)
+
+    # ------------------------------------------------------------------
+    # Queries (the operator surface used by Section 3.2's query model)
+    # ------------------------------------------------------------------
+    @property
+    def processed(self) -> int:
+        """Number of stream occurrences consumed so far."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return len(self.summary)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self.summary
+
+    def estimate(self, element: Element) -> int:
+        """Estimated frequency (an upper bound on the true frequency)."""
+        return self.summary.count(element)
+
+    def error(self, element: Element) -> int:
+        """Maximum over-estimation for ``element`` (0 if not monitored)."""
+        node = self.summary.node(element)
+        return node.error if node is not None else 0
+
+    def entries(self) -> List[CounterEntry]:
+        """Monitored elements sorted by descending estimated count."""
+        return self.summary.entries()
+
+    def is_frequent(self, element: Element, threshold: float) -> bool:
+        """Point query: is ``element``'s estimated count above ``threshold``?"""
+        return self.estimate(element) > threshold
+
+    def frequent(self, phi: float) -> List[CounterEntry]:
+        """Set query: elements with estimated count > ``phi * N``.
+
+        May contain false positives (count inflated by at most the error)
+        but never misses a truly frequent element, provided
+        ``phi >= 1 / capacity``.
+        """
+        if not 0 < phi < 1:
+            raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
+        threshold = phi * self._processed
+        result: List[CounterEntry] = []
+        for entry in self.entries():
+            if entry.count <= threshold:
+                break  # entries are sorted; nothing further qualifies
+            result.append(entry)
+        return result
+
+    def guaranteed_frequent(self, phi: float) -> List[CounterEntry]:
+        """Elements *guaranteed* frequent: ``count - error > phi * N``."""
+        threshold = phi * self._processed
+        return [
+            entry for entry in self.frequent(phi) if entry.guaranteed > threshold
+        ]
+
+    def top_k(self, k: int) -> List[CounterEntry]:
+        """The ``k`` elements with the highest estimated counts."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        return self.entries()[:k]
+
+    def kth_frequency(self, k: int) -> int:
+        """Estimated frequency of the k-th most frequent element (0 if < k)."""
+        entries = self.top_k(k)
+        if len(entries) < k:
+            return 0
+        return entries[-1].count
+
+    def is_in_top_k(self, element: Element, k: int) -> bool:
+        """Point query: is ``element`` among the top-k (by estimate)?"""
+        estimate = self.estimate(element)
+        if estimate == 0:
+            return False
+        return estimate >= self.kth_frequency(k)
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """The error bound implied by the counter budget (``1/capacity``)."""
+        return 1.0 / self.capacity
+
+    def max_error(self) -> int:
+        """Upper bound on any element's over-estimation (= min bucket freq
+        once the structure is full, 0 before)."""
+        if len(self.summary) < self.capacity:
+            return 0
+        return self.summary.min_freq
+
+    def counts(self) -> List[Tuple[Element, int]]:
+        """(element, estimate) pairs sorted by descending estimate."""
+        return [(entry.element, entry.count) for entry in self.entries()]

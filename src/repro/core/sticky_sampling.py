@@ -1,0 +1,123 @@
+"""Sticky Sampling (Manku & Motwani, VLDB 2002).
+
+A probabilistic counter-based technique: elements are *sampled into* the
+monitored set with a rate that halves as the stream grows, and monitored
+elements are counted exactly from the moment they are sampled.  With
+support ``s``, error ``eps`` and failure probability ``delta`` it keeps an
+expected ``(2/eps) * log(1/(s*delta))`` entries.
+
+Included to round out the counter-based family the paper surveys; it is
+the only randomized member, so its tests fix the RNG seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.counters import CounterEntry, Element
+from repro.errors import ConfigurationError
+
+
+class StickySampling:
+    """Probabilistic frequency counting with decaying sampling rate."""
+
+    def __init__(
+        self,
+        support: float,
+        epsilon: float,
+        delta: float = 0.01,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0 < epsilon < support < 1:
+            raise ConfigurationError(
+                f"need 0 < epsilon < support < 1, got "
+                f"epsilon={epsilon}, support={support}"
+            )
+        if not 0 < delta < 1:
+            raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+        self.support = support
+        self.epsilon = epsilon
+        self.delta = delta
+        #: t controls window sizes: the first window is 2t, then 2t, 4t, ...
+        self.t = math.ceil((1.0 / epsilon) * math.log(1.0 / (support * delta)))
+        self._rng = random.Random(seed)
+        self._counts: Dict[Element, int] = {}
+        self._processed = 0
+        self._rate = 1  # currently sampling 1-in-_rate
+        self._window_end = 2 * self.t
+
+    def process(self, element: Element) -> None:
+        """Consume one stream element."""
+        if self._processed == self._window_end:
+            self._advance_window()
+        counts = self._counts
+        if element in counts:
+            counts[element] += 1
+        elif self._rng.randrange(self._rate) == 0:
+            counts[element] = 1
+        self._processed += 1
+
+    def process_many(self, elements: Iterable[Element]) -> None:
+        """Consume every element of an iterable."""
+        for element in elements:
+            self.process(element)
+
+    def _advance_window(self) -> None:
+        """Double the sampling period and re-toss monitored entries.
+
+        For each monitored element we repeatedly flip a fair coin and
+        diminish its count per tail, dropping entries that reach zero —
+        exactly the adjustment Manku & Motwani prescribe so the state
+        looks as if it had been sampled at the new (halved) rate all along.
+        """
+        self._rate *= 2
+        self._window_end += self.t * self._rate
+        for element in list(self._counts):
+            count = self._counts[element]
+            while count > 0 and self._rng.random() < 0.5:
+                count -= 1
+            if count == 0:
+                del self._counts[element]
+            else:
+                self._counts[element] = count
+
+    @property
+    def processed(self) -> int:
+        """Number of stream elements consumed."""
+        return self._processed
+
+    @property
+    def sampling_rate(self) -> int:
+        """Current 1-in-``rate`` sampling period."""
+        return self._rate
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._counts
+
+    def estimate(self, element: Element) -> int:
+        """Estimated frequency (undercounts; never overcounts)."""
+        return self._counts.get(element, 0)
+
+    def entries(self) -> List[CounterEntry]:
+        """Monitored elements sorted by descending estimated count."""
+        ordered = sorted(
+            self._counts.items(), key=lambda item: (-item[1], repr(item[0]))
+        )
+        return [CounterEntry(element, count) for element, count in ordered]
+
+    def frequent(self, phi: Optional[float] = None) -> List[CounterEntry]:
+        """Elements with estimate >= ``(s - eps) * N`` (the paper's query)."""
+        support = self.support if phi is None else phi
+        threshold = (support - self.epsilon) * self._processed
+        return [entry for entry in self.entries() if entry.count >= threshold]
+
+    def top_k(self, k: int) -> List[CounterEntry]:
+        """The ``k`` monitored elements with the highest estimates."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        return self.entries()[:k]

@@ -1,0 +1,66 @@
+"""The CoTS (Cooperative Thread Scheduling) framework — the paper's
+primary contribution (§5).
+
+Threads *cooperate* instead of contending: a thread that cannot acquire
+a shared resource logs its request (delegation) and moves on (minimal
+existence); whichever thread holds the resource completes all pending
+requests before relinquishing it.  Delegation happens at two levels —
+per element in the hash table (Algorithm 2) and per frequency bucket in
+the Concurrent Stream Summary (Algorithms 3–6) — and accumulated element
+requests re-enter the summary as *bulk increments*, the amortization
+that makes skewed streams profitable.
+"""
+
+from repro.cots.adapters import (
+    LossyCoTSConfig,
+    LossyCountingSummary,
+    SampleAndHoldSummary,
+    SampleHoldCoTSConfig,
+    run_lossy_cots,
+    run_sample_hold_cots,
+)
+from repro.cots.framework import (
+    CoTSFramework,
+    CoTSRunConfig,
+    WorkerContext,
+    run_cots,
+)
+from repro.cots.hashtable import TOMBSTONE, CoTSHashTable, HashEntry
+from repro.cots.open_table import OpenAddressingTable
+from repro.cots.requests import (
+    AddRequest,
+    IncrementRequest,
+    OverwriteRequest,
+    PruneRequest,
+)
+from repro.cots.scheduler import CoTSScheduler
+from repro.cots.summary import (
+    ConcurrentBucket,
+    ConcurrentStreamSummary,
+    SummaryElement,
+)
+
+__all__ = [
+    "AddRequest",
+    "CoTSFramework",
+    "CoTSHashTable",
+    "CoTSRunConfig",
+    "CoTSScheduler",
+    "ConcurrentBucket",
+    "ConcurrentStreamSummary",
+    "HashEntry",
+    "IncrementRequest",
+    "LossyCoTSConfig",
+    "LossyCountingSummary",
+    "OpenAddressingTable",
+    "OverwriteRequest",
+    "PruneRequest",
+    "SampleAndHoldSummary",
+    "SampleHoldCoTSConfig",
+    "SummaryElement",
+    "TOMBSTONE",
+    "WorkerContext",
+    "run_cots",
+    "run_lossy_cots",
+    "run_sample_hold_cots",
+]

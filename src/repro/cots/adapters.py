@@ -1,0 +1,284 @@
+"""Adapting counter-based algorithms into the CoTS framework (§5.3).
+
+The framework accommodates any counter-based algorithm whose element
+frequencies increase monotonically.  Three adaptations ship:
+
+* **Space Saving** — the default wiring of
+  :class:`~repro.cots.summary.ConcurrentStreamSummary` (Overwrite
+  requests bound the monitored set);
+* **Lossy Counting** — per the paper, "only the Overwrite request in
+  Space Saving has to be replaced by a request that removes the minimum
+  frequency bucket at round boundaries, everything else remains
+  unchanged."  New elements are always admitted (no slot bound), and a
+  Prune request retires the minimum bucket every ``width`` processed
+  elements;
+* **Sample-and-Hold** — admission is decided *at the boundary crossing*:
+  an unmonitored element's accumulated occurrences get per-occurrence
+  admission draws, and unadmitted batches are relinquished without
+  entering the summary (counted in ``stats["unsampled"]``, so
+  ``total_count + unsampled == N`` exactly).  Monitored counts are
+  monotone, satisfying the framework's requirement.  One deviation from
+  the sequential algorithm: candidate hash entries persist for
+  unadmitted elements (the delegation protocol needs them as the
+  element-serialization gate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Iterator, Optional, Sequence
+
+from repro.core.counters import Element
+from repro.cots.framework import (
+    CoTSFramework,
+    CoTSRunConfig,
+    WorkerContext,
+)
+from repro.cots.hashtable import HashEntry
+from repro.cots.requests import PruneRequest
+from repro.cots.summary import (
+    ConcurrentStreamSummary,
+    TAG_HASH,
+    TAG_STRUCTURE,
+)
+from repro.errors import ConfigurationError
+from repro.parallel.base import SchemeResult, TAG_REST
+from repro.simcore.atomics import AtomicCell
+from repro.simcore.effects import Compute
+from repro.simcore.engine import Engine
+
+
+class LossyCountingSummary(ConcurrentStreamSummary):
+    """Concurrent summary with Lossy Counting eviction semantics.
+
+    The slot reservation of the Space Saving adaptation is neutralized
+    (new elements always get an Add request); space is reclaimed by
+    :meth:`prune` at round boundaries instead.
+    """
+
+    enforce_capacity = False
+
+    def __init__(self, capacity: int, table, costs) -> None:
+        # capacity bounds nothing here; keep it as a sanity ceiling only.
+        super().__init__(capacity, table, costs)
+        self.slots = AtomicCell(10 ** 12)  # effectively unbounded
+
+    def prune(self, round_index: int, ctx: WorkerContext) -> Iterator:
+        """Deliver the round-boundary Prune to the minimum bucket."""
+        target = self.min_bucket
+        if target is None:
+            return
+        yield Compute(self.costs.request_alloc, TAG_STRUCTURE)
+        yield from self.deliver(PruneRequest(round_index), target, ctx)
+        yield from self.drain_all(ctx)
+
+
+@dataclasses.dataclass
+class LossyCoTSConfig(CoTSRunConfig):
+    """Run parameters for the Lossy Counting adaptation."""
+
+    epsilon: float = 0.01
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 < self.epsilon < 1:
+            raise ConfigurationError(
+                f"epsilon must be in (0, 1), got {self.epsilon}"
+            )
+
+
+def _lossy_worker(
+    framework: CoTSFramework,
+    stream: Sequence[Element],
+    cursor: AtomicCell,
+    ctx: WorkerContext,
+    batch: int,
+    width: int,
+    progress: AtomicCell,
+) -> Iterator:
+    costs = framework.costs
+    summary: LossyCountingSummary = framework.summary
+    length = len(stream)
+    while True:
+        claimed_end = yield cursor.add(batch, TAG_REST)
+        start = claimed_end - batch
+        if start >= length:
+            break
+        for index in range(start, min(claimed_end, length)):
+            yield Compute(costs.stream_fetch, TAG_REST)
+            yield from framework.process_element(stream[index], ctx)
+            done = yield progress.add(1, TAG_REST)
+            if done % width == 0:
+                # round boundary: this thread issues the prune
+                yield from summary.prune(done // width, ctx)
+
+
+class SampleAndHoldSummary(ConcurrentStreamSummary):
+    """Concurrent summary with Sample-and-Hold admission semantics.
+
+    Monitored elements count exactly (plain increments through the
+    normal machinery); unmonitored elements are admitted at the boundary
+    with probability ``sample_rate`` per accumulated occurrence.  The
+    admission RNG is seeded and consumed in deterministic engine order,
+    so runs remain reproducible.
+    """
+
+    enforce_capacity = False
+
+    def __init__(
+        self, capacity: int, table, costs, sample_rate: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(capacity, table, costs)
+        if not 0 < sample_rate <= 1:
+            raise ConfigurationError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        self.slots = AtomicCell(10 ** 12)  # admission, not eviction, bounds
+
+    def cross_boundary(self, entry: HashEntry, ctx, amount: int = 1) -> Iterator:
+        if entry.node is not None:
+            yield from super().cross_boundary(entry, ctx, amount)
+            return
+        # per-occurrence admission draws over the accumulated batch
+        held = 0
+        for index in range(amount):
+            if self._rng.random() < self.sample_rate:
+                held = amount - index
+                break
+        missed = amount - held
+        if missed:
+            self.stats["unsampled"] += missed
+        if held == 0:
+            yield Compute(self.costs.counter_update, TAG_STRUCTURE)
+            yield from self._relinquish_unmonitored(entry, ctx)
+            return
+        yield from super().cross_boundary(entry, ctx, held)
+
+    def _relinquish_unmonitored(self, entry: HashEntry, ctx) -> Iterator:
+        """Release an element that was not admitted (no summary node).
+
+        Occurrences logged while we held the gate get their own admission
+        round by re-crossing the boundary.
+        """
+        if self.costs.relinquish_check:
+            yield Compute(self.costs.relinquish_check, TAG_HASH)
+        released = yield entry.count.cas(1, 0, TAG_HASH)
+        if released:
+            return
+        logged = yield entry.count.swap(1, TAG_HASH)
+        yield from self.cross_boundary(entry, ctx, logged - 1)
+
+
+@dataclasses.dataclass
+class SampleHoldCoTSConfig(CoTSRunConfig):
+    """Run parameters for the Sample-and-Hold adaptation."""
+
+    sample_rate: float = 0.05
+    rng_seed: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 < self.sample_rate <= 1:
+            raise ConfigurationError(
+                f"sample_rate must be in (0, 1], got {self.sample_rate}"
+            )
+
+
+def run_sample_hold_cots(
+    stream: Sequence[Element],
+    config: Optional[SampleHoldCoTSConfig] = None,
+) -> SchemeResult:
+    """Drive the Sample-and-Hold adaptation of CoTS over a stream."""
+    config = config if config is not None else SampleHoldCoTSConfig()
+    framework = CoTSFramework(
+        capacity=config.capacity,
+        costs=config.costs,
+        table_size=config.table_size,
+        summary_cls=lambda capacity, table, costs: SampleAndHoldSummary(
+            capacity, table, costs,
+            sample_rate=config.sample_rate, seed=config.rng_seed,
+        ),
+    )
+    engine = Engine(machine=config.machine, costs=config.costs)
+    cursor = AtomicCell(0)
+    contexts = []
+    from repro.cots.framework import _worker
+
+    for index in range(config.threads):
+        ctx = WorkerContext(f"snh-{index}")
+        contexts.append(ctx)
+        engine.spawn(
+            _worker(framework, stream, cursor, ctx, config.batch),
+            name=ctx.name,
+        )
+    execution = engine.run()
+    summary: SampleAndHoldSummary = framework.summary
+    summary.check_invariants()
+    counted = summary.total_count()
+    unsampled = summary.stats.get("unsampled", 0)
+    if counted + unsampled != len(stream):
+        raise ConfigurationError(
+            f"sample-and-hold conservation violated: {counted} counted + "
+            f"{unsampled} unsampled != {len(stream)}"
+        )
+    counter = summary.to_space_saving()
+    return SchemeResult(
+        scheme="cots-sample-hold",
+        threads=config.threads,
+        elements=len(stream),
+        execution=execution,
+        counter=counter,
+        extras={
+            "framework": framework,
+            "stats": dict(summary.stats),
+            "unsampled": unsampled,
+        },
+    )
+
+
+def run_lossy_cots(
+    stream: Sequence[Element],
+    config: Optional[LossyCoTSConfig] = None,
+) -> SchemeResult:
+    """Drive the Lossy Counting adaptation of CoTS over a stream."""
+    config = config if config is not None else LossyCoTSConfig()
+    width = math.ceil(1.0 / config.epsilon)
+    framework = CoTSFramework(
+        capacity=max(config.capacity, 10 * width),
+        costs=config.costs,
+        table_size=max(64, 8 * width),
+        summary_cls=LossyCountingSummary,
+    )
+    engine = Engine(machine=config.machine, costs=config.costs)
+    cursor = AtomicCell(0)
+    progress = AtomicCell(0)
+    contexts = []
+    for index in range(config.threads):
+        ctx = WorkerContext(f"lossy-{index}")
+        contexts.append(ctx)
+        engine.spawn(
+            _lossy_worker(
+                framework, stream, cursor, ctx, config.batch, width, progress
+            ),
+            name=ctx.name,
+        )
+    execution = engine.run()
+    framework.summary.check_invariants()
+    counter = framework.summary.to_space_saving()
+    return SchemeResult(
+        scheme="cots-lossy",
+        threads=config.threads,
+        elements=len(stream),
+        execution=execution,
+        counter=counter,
+        extras={
+            "framework": framework,
+            "width": width,
+            "stats": dict(framework.summary.stats),
+        },
+    )

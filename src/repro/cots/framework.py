@@ -1,0 +1,284 @@
+"""The CoTS framework driver (§5.1–5.2, Figure 8, Algorithm 2).
+
+Workers pull batches of elements from a *shared* stream cursor (the
+system view of Figure 8: one stream, a pool of cooperating threads).
+Each element goes through the element-delegation protocol of
+Algorithm 2:
+
+1. LOOKUP the element in the search structure (insert if absent);
+2. atomically increment-and-fetch the entry's delegation counter;
+3. result 1 → this thread *crosses the boundary*: it reserves a monitor
+   slot (Add) or emits an Overwrite, delivers the request to the proper
+   bucket queue, and drains every bucket it managed to acquire;
+4. result > 1 → the request is already logged; the thread moves on
+   (no waiting — the *minimal existence* principle).
+
+Element completion (and the CAS/swap relinquish protocol, including the
+bulk-increment re-crossing) happens inside
+:meth:`~repro.cots.summary.ConcurrentStreamSummary.complete_element`,
+executed by whichever thread finishes the element's request.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.counters import Element
+from repro.cots.hashtable import CoTSHashTable
+from repro.cots.summary import (
+    ConcurrentBucket,
+    ConcurrentStreamSummary,
+    TAG_HASH,
+)
+from repro.errors import ConfigurationError
+from repro.parallel.base import SchemeConfig, SchemeResult, TAG_REST
+from repro.simcore.atomics import AtomicCell
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import Compute, Latency
+from repro.simcore.engine import Engine
+
+
+class WorkerContext:
+    """Per-worker scratch state: acquired buckets and counters."""
+
+    __slots__ = ("name", "worklist", "stats")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.worklist: List[ConcurrentBucket] = []
+        self.stats: Dict[str, int] = collections.Counter()
+
+
+class CoTSFramework:
+    """One CoTS system instance: search structure + concurrent summary."""
+
+    def __init__(
+        self,
+        capacity: int,
+        costs: CostModel,
+        table_size: int = 0,
+        summary_cls=ConcurrentStreamSummary,
+        table_cls=CoTSHashTable,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.costs = costs
+        # A table sized well above capacity avoids resizes, as §5.2.1
+        # prescribes ("if a suitable hash table size is chosen, the hash
+        # table will not require a resize").  ``table_cls`` may swap in
+        # the open-addressing variant for the churn ablation.
+        if table_size <= 0:
+            table_size = max(16, capacity * 4)
+        self.table = table_cls(table_size, costs)
+        self.summary = summary_cls(capacity, self.table, costs)
+        #: optional scheduler (σ/ρ auto-configuration); see scheduler.py
+        self.scheduler = None
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: per-element delegation
+    # ------------------------------------------------------------------
+    def process_element(self, element: Element, ctx: WorkerContext) -> Iterator:
+        """Run one element through delegation; drain any acquired buckets."""
+        while True:
+            entry = yield from self.table.lookup(element, TAG_HASH)
+            if entry is None:
+                entry, _ = yield from self.table.insert(element, TAG_HASH)
+            observed = yield entry.count.add(1, TAG_HASH)
+            if observed <= 0:
+                # lost a race with an Overwrite's tryRemove: undo and retry
+                yield entry.count.add(-1, TAG_HASH)
+                ctx.stats["tombstone_races"] += 1
+                continue
+            break
+        ctx.stats["processed"] += 1
+        if observed == 1:
+            yield from self.summary.cross_boundary(entry, ctx)
+        else:
+            ctx.stats["delegated_elements"] += 1
+        if ctx.worklist:
+            yield from self.summary.drain_all(ctx)
+        if self.costs.sync_latency:
+            # §6: the implementation's request logging and bookkeeping
+            # invoke heavyweight system routines for every stream element.
+            # The overhead is *latency* (the core is released), so it
+            # overlaps across threads — oversubscription hides it.
+            yield Latency(self.costs.sync_latency, TAG_REST)
+
+
+@dataclasses.dataclass
+class CoTSRunConfig(SchemeConfig):
+    """CoTS driver parameters on top of the shared scheme config."""
+
+    batch: int = 32            #: stream elements claimed per cursor fetch
+    table_size: int = 0        #: 0 = auto (4x capacity)
+    #: >0 spawns a dedicated reader thread posing an interval top-k/
+    #: frequent query every this many simulated cycles (§5.2.4: "Separate
+    #: threads can be devoted for processing ad-hoc queries")
+    query_every_cycles: int = 0
+    query_top_k: int = 5       #: k for the reader's top-k query
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {self.batch}")
+        if self.query_every_cycles < 0:
+            raise ConfigurationError(
+                "query_every_cycles must be >= 0, got "
+                f"{self.query_every_cycles}"
+            )
+        if self.query_top_k < 1:
+            raise ConfigurationError(
+                f"query_top_k must be >= 1, got {self.query_top_k}"
+            )
+
+
+@dataclasses.dataclass
+class QuerySnapshot:
+    """One interval query answered by the reader thread during a run."""
+
+    at_cycle: int
+    top_k: list            #: [(element, frequency), ...] best-first
+
+
+def _reader(
+    framework: CoTSFramework,
+    config: "CoTSRunConfig",
+    log: list,
+    live_workers: Dict[str, int],
+) -> Iterator:
+    """Reader thread: lock-free top-k snapshots every interval.
+
+    Exits after the final snapshot once every worker has finished, so
+    the run's makespan grows by at most one query interval.
+    """
+    from repro.cots.queries import top_k_set
+    from repro.simcore.effects import Latency, Now
+
+    while True:
+        finishing = live_workers["count"] == 0
+        entries = yield from top_k_set(
+            framework.summary, config.query_top_k, framework.costs
+        )
+        now = yield Now()
+        log.append(
+            QuerySnapshot(
+                at_cycle=now,
+                top_k=[(e.element, e.count) for e in entries],
+            )
+        )
+        if finishing:
+            return
+        yield Latency(config.query_every_cycles, tag="query")
+
+
+def _tracked(worker: Iterator, live_workers: Dict[str, int]) -> Iterator:
+    """Wrap a worker so the reader can observe stream completion."""
+    try:
+        yield from worker
+    finally:
+        live_workers["count"] -= 1
+
+
+def _worker(
+    framework: CoTSFramework,
+    stream: Sequence[Element],
+    cursor: AtomicCell,
+    ctx: WorkerContext,
+    batch: int,
+    self_holder: Optional[list] = None,
+) -> Iterator:
+    costs = framework.costs
+    length = len(stream)
+    while True:
+        scheduler = framework.scheduler
+        if scheduler is not None and self_holder:
+            verdict = yield from scheduler.maybe_park(ctx, self_holder[0])
+            if verdict == "stop":
+                break
+        claimed_end = yield cursor.add(batch, TAG_REST)
+        start = claimed_end - batch
+        if start >= length:
+            break
+        for index in range(start, min(claimed_end, length)):
+            yield Compute(costs.stream_fetch, TAG_REST)
+            yield from framework.process_element(stream[index], ctx)
+            if scheduler is not None:
+                yield from scheduler.after_element(ctx)
+    if framework.scheduler is not None:
+        yield from framework.scheduler.worker_finished(ctx)
+
+
+def run_cots(
+    stream: Sequence[Element],
+    config: Optional[CoTSRunConfig] = None,
+    scheduler=None,
+    check: bool = True,
+    table_cls=CoTSHashTable,
+) -> SchemeResult:
+    """Drive the CoTS framework over a buffered stream.
+
+    ``scheduler`` optionally enables the §5.2.3 dynamic auto
+    configuration (a :class:`~repro.cots.scheduler.CoTSScheduler`).
+    With ``check=True`` (default) the structural invariants and the
+    count-conservation property are verified after quiescence.
+    ``table_cls`` selects the search structure (default: the paper's
+    cache-conscious chained table).
+    """
+    config = config if config is not None else CoTSRunConfig()
+    framework = CoTSFramework(
+        capacity=config.capacity,
+        costs=config.costs,
+        table_size=config.table_size,
+        table_cls=table_cls,
+    )
+    engine = Engine(machine=config.machine, costs=config.costs)
+    cursor = AtomicCell(0)
+    contexts = []
+    workers = []
+    live_workers = {"count": config.threads}
+    for index in range(config.threads):
+        ctx = WorkerContext(f"cots-{index}")
+        contexts.append(ctx)
+        holder: list = []
+        program = _worker(framework, stream, cursor, ctx, config.batch, holder)
+        if config.query_every_cycles > 0:
+            program = _tracked(program, live_workers)
+        thread = engine.spawn(program, name=ctx.name)
+        holder.append(thread)
+        workers.append(thread)
+    if scheduler is not None:
+        scheduler.install(framework, engine, workers)
+    query_log: list = []
+    if config.query_every_cycles > 0:
+        engine.spawn(
+            _reader(framework, config, query_log, live_workers),
+            name="reader",
+        )
+    execution = engine.run()
+    if check:
+        framework.summary.check_invariants()
+        total = framework.summary.total_count()
+        if total != len(stream):
+            raise ConfigurationError(
+                f"count conservation violated: summary holds {total} "
+                f"of {len(stream)} stream elements"
+            )
+    counter = framework.summary.to_space_saving()
+    stats: Dict[str, int] = collections.Counter()
+    for ctx in contexts:
+        stats.update(ctx.stats)
+    stats.update(framework.summary.stats)
+    return SchemeResult(
+        scheme="cots",
+        threads=config.threads,
+        elements=len(stream),
+        execution=execution,
+        counter=counter,
+        extras={
+            "framework": framework,
+            "stats": dict(stats),
+            "query_log": query_log,
+        },
+    )

@@ -1,0 +1,211 @@
+"""The cache-conscious chained hash table with element delegation (§5.2.1).
+
+The table is the CoTS *Search Structure*.  Three paper features are
+modelled:
+
+* **Cache-conscious blocks** — chain entries are grouped into blocks
+  sized to the machine's cache line, so entries of one chain share a
+  simulated :class:`~repro.simcore.atomics.CacheLine` (Figure 9);
+* **Mostly wait-free access** — readers never lock; only inserts into
+  the same hash bucket serialize on a short spin lock, and deletions are
+  lazy (entries are tombstoned and garbage-collected by the next insert
+  into the chain);
+* **Element delegation (Algorithm 2)** — every entry carries an atomic
+  ``count``.  A thread processing element *e* atomically
+  increments-and-fetches it: result 1 means the thread crossed the
+  boundary and owns *e* inside the Stream Summary; result > 1 means the
+  request was *logged* and delegated to the current owner.  The
+  relinquish protocol (CAS 1→0, else swap with 1) lives in
+  :mod:`repro.cots.framework` because its failure path re-enters the
+  summary with a bulk increment.
+
+``count`` states: ``0`` idle, ``n > 0`` owned with ``n-1`` logged
+requests, ``TOMBSTONE`` removed (the Overwrite path's ``tryRemove`` CAS).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional
+
+from repro.core.counters import Element
+from repro.errors import ConfigurationError
+from repro.simcore.atomics import AtomicCell, CacheLine
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import Compute
+from repro.simcore.sync import SpinLock
+
+#: ``count`` value marking a removed (overwritten) entry.
+TOMBSTONE = -1_000_000
+
+_entry_ids = itertools.count()
+
+
+class HashEntry:
+    """One monitored element inside the search structure."""
+
+    __slots__ = ("element", "count", "node", "deleted", "entry_id")
+
+    def __init__(self, element: Element, line: CacheLine) -> None:
+        self.element = element
+        #: delegation counter (Algorithm 2); shares its block's cache line
+        self.count = AtomicCell(0, line=line)
+        #: the element's node inside the Concurrent Stream Summary
+        self.node = None
+        #: lazy-deletion flag, set when an Overwrite claims the entry
+        self.deleted = False
+        self.entry_id = next(_entry_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HashEntry({self.element!r}, count={self.count.peek()}, "
+            f"deleted={self.deleted})"
+        )
+
+
+class _Chain:
+    """One hash bucket: a chain of entries packed into cache-line blocks."""
+
+    __slots__ = ("entries", "lock", "lines", "block_entries")
+
+    def __init__(self, name: str, block_entries: int) -> None:
+        self.entries: List[HashEntry] = []
+        self.lock = SpinLock(name)
+        self.lines: List[CacheLine] = []
+        self.block_entries = block_entries
+
+    def line_for_next_entry(self) -> CacheLine:
+        """The cache line the next appended entry will live on."""
+        used = len(self.entries)
+        block = used // self.block_entries
+        while len(self.lines) <= block:
+            self.lines.append(CacheLine())
+        return self.lines[block]
+
+
+class CoTSHashTable:
+    """Thread-safe, cache-conscious chained hash table (simulated).
+
+    ``size`` should comfortably exceed the summary capacity so the table
+    never needs a resize — the paper leverages exactly this property of
+    counter-based algorithms.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        costs: CostModel,
+        block_entries: int = 4,
+    ) -> None:
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        if block_entries < 1:
+            raise ConfigurationError(
+                f"block_entries must be >= 1, got {block_entries}"
+            )
+        self.size = size
+        self.costs = costs
+        self._chains: List[_Chain] = [
+            _Chain(f"chain-{i}", block_entries) for i in range(size)
+        ]
+        self.live_entries = 0
+        self.garbage_collected = 0
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _chain(self, element: Element) -> _Chain:
+        return self._chains[hash(element) % self.size]
+
+    # ------------------------------------------------------------------
+    # Simulated operations (generators yielding effects)
+    # ------------------------------------------------------------------
+    def lookup(self, element: Element, tag: str = "hash"):
+        """LOOKUP(e): find the live entry for ``element`` (readers lock-free).
+
+        Yields the probe cost; returns the entry or None.
+        """
+        costs = self.costs
+        chain = self._chain(element)
+        # One hash plus a compare per chain slot actually probed; blocks
+        # keep this cache-friendly so probing stays cheap.
+        probes = 0
+        found: Optional[HashEntry] = None
+        for entry in chain.entries:
+            probes += 1
+            if entry.element == element and not entry.deleted:
+                found = entry
+                break
+        yield Compute(
+            costs.hash_compute + costs.key_compare * max(1, probes), tag
+        )
+        return found
+
+    def insert(self, element: Element, tag: str = "hash"):
+        """INSERT(e): add an entry under the chain's insert lock.
+
+        Garbage-collects the chain's tombstones first (the paper's lazy
+        deletion), re-checks for a racing insert of the same element, and
+        returns ``(entry, newly_inserted)``.
+        """
+        costs = self.costs
+        chain = self._chain(element)
+        yield chain.lock.acquire(tag)
+        # Re-check under the lock: another thread may have inserted the
+        # element between our failed lookup and acquiring the lock.
+        existing = None
+        dead = 0
+        for entry in chain.entries:
+            if entry.deleted:
+                dead += 1
+            elif entry.element == element:
+                existing = entry
+        if existing is not None:
+            yield Compute(costs.key_compare * max(1, len(chain.entries)), tag)
+            yield chain.lock.release(tag)
+            return existing, False
+        if dead:
+            chain.entries = [e for e in chain.entries if not e.deleted]
+            self.garbage_collected += dead
+            yield Compute(costs.free * dead, tag)
+        entry = HashEntry(element, chain.line_for_next_entry())
+        chain.entries.append(entry)
+        self.live_entries += 1
+        yield Compute(costs.alloc, tag)
+        yield chain.lock.release(tag)
+        return entry, True
+
+    def try_remove(self, entry: HashEntry, tag: str = "hash"):
+        """tryRemove(e): claim an idle entry for overwriting (Algorithm 6).
+
+        A single CAS ``0 → TOMBSTONE`` on the delegation counter: success
+        means no thread holds or has logged requests for the element, so
+        it can be evicted.  Returns True on success.
+        """
+        claimed = yield entry.count.cas(0, TOMBSTONE, tag)
+        if claimed:
+            entry.deleted = True
+            entry.node = None
+            self.live_entries -= 1
+        return claimed
+
+    # ------------------------------------------------------------------
+    # Non-simulated inspection (tests, post-quiescence)
+    # ------------------------------------------------------------------
+    def peek(self, element: Element) -> Optional[HashEntry]:
+        """Find the live entry for ``element`` without simulation."""
+        for entry in self._chain(element).entries:
+            if entry.element == element and not entry.deleted:
+                return entry
+        return None
+
+    def live(self) -> Iterator[HashEntry]:
+        """Iterate all live entries (no simulation)."""
+        for chain in self._chains:
+            for entry in chain.entries:
+                if not entry.deleted:
+                    yield entry
+
+    def max_chain_length(self) -> int:
+        """Longest chain including tombstones (collision diagnostics)."""
+        return max((len(chain.entries) for chain in self._chains), default=0)

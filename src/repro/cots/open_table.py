@@ -1,0 +1,192 @@
+"""An open-addressing search structure — the design §5.2.1 rejects.
+
+The paper: "This application has a constant churn in the set of elements
+being monitored, and therefore, there are a lot of deletions in the hash
+table.  In such a case, a hash table using open addressing will have to
+resize often to remove the garbage which has accumulated due to the
+deletions, and designing an efficient and scalable thread safe open hash
+table is quite complex."
+
+This implementation exists to *measure* that argument: linear probing
+with tombstones, a stop-the-world rehash when live entries plus
+tombstones cross the load threshold, and a single table lock guarding
+inserts and rehashes.  It is API-compatible with
+:class:`~repro.cots.hashtable.CoTSHashTable`, so the CoTS framework runs
+unchanged on top of it, and the churn ablation benchmark compares the
+two under eviction-heavy workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.counters import Element
+from repro.cots.hashtable import TOMBSTONE, HashEntry
+from repro.errors import ConfigurationError
+from repro.simcore.atomics import CacheLine
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import Compute
+from repro.simcore.sync import SpinLock
+
+
+class OpenAddressingTable:
+    """Linear-probing table with lazy deletion and periodic rehashing."""
+
+    def __init__(
+        self,
+        size: int,
+        costs: CostModel,
+        max_load: float = 0.7,
+    ) -> None:
+        if size < 4:
+            raise ConfigurationError(f"size must be >= 4, got {size}")
+        if not 0.1 <= max_load <= 0.95:
+            raise ConfigurationError(
+                f"max_load must be in [0.1, 0.95], got {max_load}"
+            )
+        self.size = size
+        self.costs = costs
+        self.max_load = max_load
+        self._slots: List[Optional[HashEntry]] = [None] * size
+        self._lines = [CacheLine() for _ in range(size)]
+        self._lock = SpinLock("open-table")
+        self.live_entries = 0
+        self.dead_entries = 0
+        self.rehashes = 0
+        self.rehash_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Internals (host-side probing; charged by callers)
+    # ------------------------------------------------------------------
+    def _probe(self, element: Element):
+        """Yield (index, entry) pairs along the probe sequence."""
+        start = hash(element) % self.size
+        for offset in range(self.size):
+            index = (start + offset) % self.size
+            yield index, self._slots[index]
+
+    def _occupancy(self) -> float:
+        return (self.live_entries + self.dead_entries) / self.size
+
+    # ------------------------------------------------------------------
+    # Simulated operations
+    # ------------------------------------------------------------------
+    def lookup(self, element: Element, tag: str = "hash"):
+        """Probe for a live entry; cost grows with tombstone clutter."""
+        costs = self.costs
+        probes = 0
+        found: Optional[HashEntry] = None
+        for _, entry in self._probe(element):
+            probes += 1
+            if entry is None:
+                break
+            if not entry.deleted and entry.element == element:
+                found = entry
+                break
+        yield Compute(
+            costs.hash_compute + costs.key_compare * max(1, probes), tag
+        )
+        return found
+
+    def insert(self, element: Element, tag: str = "hash"):
+        """Insert under the table lock, rehashing when over-loaded."""
+        costs = self.costs
+        yield self._lock.acquire(tag)
+        if self._occupancy() >= self.max_load:
+            yield from self._rehash(tag)
+        existing = None
+        target_index = None
+        probes = 0
+        for index, entry in self._probe(element):
+            probes += 1
+            if entry is None:
+                target_index = index if target_index is None else target_index
+                break
+            if entry.deleted:
+                if target_index is None:
+                    target_index = index
+                continue
+            if entry.element == element:
+                existing = entry
+                break
+        yield Compute(costs.key_compare * max(1, probes), tag)
+        if existing is not None:
+            yield self._lock.release(tag)
+            return existing, False
+        if target_index is None:  # pragma: no cover - load factor forbids
+            raise ConfigurationError("open-addressing table is full")
+        entry = HashEntry(element, self._lines[target_index])
+        previous = self._slots[target_index]
+        if previous is not None and previous.deleted:
+            self.dead_entries -= 1
+        self._slots[target_index] = entry
+        self.live_entries += 1
+        yield Compute(costs.alloc, tag)
+        yield self._lock.release(tag)
+        return entry, True
+
+    def _rehash(self, tag: str):
+        """Stop-the-world rebuild dropping tombstones (lock is held)."""
+        costs = self.costs
+        survivors = [
+            entry
+            for entry in self._slots
+            if entry is not None and not entry.deleted
+        ]
+        # grow only if genuinely full of live entries; churn alone just
+        # needs the garbage swept
+        if len(survivors) / self.size > 0.5:
+            self.size *= 2
+            self._lines = [CacheLine() for _ in range(self.size)]
+        self._slots = [None] * self.size
+        for entry in survivors:
+            start = hash(entry.element) % self.size
+            for offset in range(self.size):
+                index = (start + offset) % self.size
+                if self._slots[index] is None:
+                    self._slots[index] = entry
+                    break
+        self.dead_entries = 0
+        self.rehashes += 1
+        cycles = costs.alloc + costs.hash_compute * max(1, len(survivors))
+        self.rehash_cycles += cycles
+        yield Compute(cycles, tag)
+
+    def try_remove(self, entry: HashEntry, tag: str = "hash"):
+        """Tombstone an idle entry (same CAS protocol as the chained table)."""
+        claimed = yield entry.count.cas(0, TOMBSTONE, tag)
+        if claimed:
+            entry.deleted = True
+            entry.node = None
+            self.live_entries -= 1
+            self.dead_entries += 1
+        return claimed
+
+    # ------------------------------------------------------------------
+    # Non-simulated inspection
+    # ------------------------------------------------------------------
+    def peek(self, element: Element) -> Optional[HashEntry]:
+        """Find the live entry for ``element`` without simulation."""
+        for _, entry in self._probe(element):
+            if entry is None:
+                return None
+            if not entry.deleted and entry.element == element:
+                return entry
+        return None
+
+    def live(self):
+        """Iterate all live entries (no simulation)."""
+        for entry in self._slots:
+            if entry is not None and not entry.deleted:
+                yield entry
+
+    def max_chain_length(self) -> int:
+        """For API parity: the longest contiguous occupied run."""
+        longest = run = 0
+        for entry in self._slots + self._slots[:1]:
+            if entry is not None:
+                run += 1
+                longest = max(longest, run)
+            else:
+                run = 0
+        return longest

@@ -1,0 +1,178 @@
+"""Lock-free query answering over the Concurrent Stream Summary (§5.2.4).
+
+Queries never acquire locks or bucket ownership.  A reader walks the
+singly-linked bucket list from the minimum-frequency end; because
+
+* a bucket's frequency never changes,
+* retired buckets stay linked until a traversing owner unlinks them, and
+* there is never a broken link,
+
+a traversal is always safe, and a reader that lands on a retired bucket
+simply skips it (or restarts, which the ``restarts`` statistic counts).
+
+Two query styles are provided:
+
+* **simulated** generators, to be run as reader threads *concurrently*
+  with update workers (they charge traversal costs and see a live,
+  slightly stale structure — exactly the semantics the paper accepts for
+  interval queries);
+* **host-side** helpers for post-quiescence inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.core.counters import CounterEntry, Element
+from repro.cots.hashtable import CoTSHashTable
+from repro.cots.summary import ConcurrentStreamSummary
+from repro.errors import QueryError
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import Compute
+
+TAG_QUERY = "query"
+
+
+def point_is_frequent(
+    table: CoTSHashTable,
+    element: Element,
+    threshold: float,
+    costs: CostModel,
+) -> Iterator:
+    """Point query straight from the search structure (no summary visit).
+
+    "Frequent elements queries ... can be answered directly from the
+    Search Structure" — one lookup, read the node's bucket frequency.
+    Returns True/False.
+    """
+    entry = yield from table.lookup(element, TAG_QUERY)
+    if entry is None or entry.node is None or entry.node.bucket is None:
+        return False
+    yield Compute(costs.pointer_chase, TAG_QUERY)
+    return entry.node.bucket.freq > threshold
+
+
+def _walk_buckets(summary: ConcurrentStreamSummary, costs: CostModel):
+    """Traverse live buckets from the minimum end, charging hop costs.
+
+    Yields effects; returns a list of (freq, size) snapshots.
+    """
+    snapshots: List[Tuple[int, int]] = []
+    bucket = summary.min_bucket
+    hops = 0
+    while bucket is not None:
+        hops += 1
+        if not bucket.gc_marked:
+            snapshots.append((bucket.freq, bucket.size))
+        if hops % 8 == 0:
+            yield Compute(costs.pointer_chase * 8, TAG_QUERY)
+        bucket = bucket.next
+    if hops % 8:
+        yield Compute(costs.pointer_chase * (hops % 8), TAG_QUERY)
+    return snapshots
+
+
+def kth_frequency(
+    summary: ConcurrentStreamSummary, k: int, costs: CostModel
+) -> Iterator:
+    """Frequency of the k-th most frequent element (0 if fewer than k).
+
+    Per §5.2.4: traverse the structure reading bucket sizes, counting the
+    elements to the right of each bucket.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    snapshots = yield from _walk_buckets(summary, costs)
+    remaining = k
+    for freq, size in reversed(snapshots):
+        remaining -= size
+        if remaining <= 0:
+            return freq
+    return 0
+
+
+def point_in_top_k(
+    table: CoTSHashTable,
+    summary: ConcurrentStreamSummary,
+    element: Element,
+    k: int,
+    costs: CostModel,
+) -> Iterator:
+    """Point top-k query: compare the element's frequency with the k-th."""
+    entry = yield from table.lookup(element, TAG_QUERY)
+    if entry is None or entry.node is None or entry.node.bucket is None:
+        return False
+    frequency = entry.node.bucket.freq
+    kth = yield from kth_frequency(summary, k, costs)
+    return frequency >= kth and kth > 0
+
+
+def frequent_set(
+    summary: ConcurrentStreamSummary, threshold: float, costs: CostModel
+) -> Iterator:
+    """Set query: every element whose frequency exceeds ``threshold``.
+
+    Readers start from the minimum end and "very quickly prune out the
+    low frequency elements": buckets at or below the threshold only cost
+    a pointer hop; qualifying buckets pay a per-member visit.
+    """
+    result: List[CounterEntry] = []
+    bucket = summary.min_bucket
+    while bucket is not None:
+        yield Compute(costs.pointer_chase, TAG_QUERY)
+        if not bucket.gc_marked and bucket.freq > threshold:
+            members = list(bucket.members)
+            if members:
+                yield Compute(costs.key_compare * len(members), TAG_QUERY)
+            for node in members:
+                result.append(CounterEntry(node.element, bucket.freq, node.error))
+        bucket = bucket.next
+    result.sort(key=lambda e: -e.count)
+    return result
+
+
+def top_k_set(
+    summary: ConcurrentStreamSummary,
+    k: int,
+    costs: CostModel,
+    retries: int = 8,
+) -> Iterator:
+    """Set query: the k most frequent elements (ties broaden the set).
+
+    A lock-free reader can catch nodes mid-flight (detached by an
+    increment, not yet re-attached) and see an implausibly empty
+    structure; per §5.2.2 ("if the reader determines that things have
+    gone wrong, it will abort and restart"), an empty read of a
+    non-empty summary is retried a bounded number of times.
+    """
+    entries: List[CounterEntry] = []
+    for _ in range(max(1, retries)):
+        kth = yield from kth_frequency(summary, k, costs)
+        if kth == 0:
+            entries = yield from frequent_set(summary, 0, costs)
+        else:
+            entries = yield from frequent_set(summary, kth - 1, costs)
+        if entries or summary.min_bucket is None:
+            return entries[:k]
+        yield Compute(costs.pointer_chase, TAG_QUERY)  # restart backoff
+    return entries[:k]
+
+
+# ----------------------------------------------------------------------
+# Host-side (post-quiescence) helpers
+# ----------------------------------------------------------------------
+def snapshot_frequent(
+    summary: ConcurrentStreamSummary, phi: float
+) -> List[CounterEntry]:
+    """Host-side frequent-elements set with support ``phi``."""
+    if not 0 < phi < 1:
+        raise QueryError(f"phi must be in (0, 1), got {phi}")
+    threshold = phi * summary.total_count()
+    return [e for e in summary.entries() if e.count > threshold]
+
+
+def snapshot_top_k(summary: ConcurrentStreamSummary, k: int) -> List[CounterEntry]:
+    """Host-side top-k set."""
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    return summary.entries()[:k]

@@ -1,0 +1,74 @@
+"""Request records logged in bucket queues (§5.2.2).
+
+A request is the unit of *delegation*: instead of waiting for a
+contended frequency bucket, a thread atomically appends the request to
+the bucket's producer/consumer queue; whichever thread holds the bucket
+processes every pending request before relinquishing it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.cots.hashtable import HashEntry
+    from repro.cots.summary import SummaryElement
+
+
+class AddRequest:
+    """AddElementToBucket: place ``node`` (its ``freq`` is final) in the
+    structure — used both for brand-new elements (freq starting at the
+    initial increment) and for re-placement during bulk-increment
+    traversals (Algorithms 3 and 4)."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: "SummaryElement") -> None:
+        self.node = node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Add({self.node.element!r}@{self.node.freq})"
+
+
+class IncrementRequest:
+    """IncrementCounter: raise ``node``'s frequency by ``amount``
+    (Algorithm 5); ``amount > 1`` is a bulk increment from accumulated
+    delegations."""
+
+    __slots__ = ("node", "amount")
+
+    def __init__(self, node: "SummaryElement", amount: int) -> None:
+        self.node = node
+        self.amount = amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Inc({self.node.element!r}+{self.amount})"
+
+
+class PruneRequest:
+    """Round-boundary prune used by the Lossy Counting adapter (§5.3):
+    the Overwrite request is replaced by a request that removes the
+    minimum-frequency bucket at round boundaries."""
+
+    __slots__ = ("round_index",)
+
+    def __init__(self, round_index: int) -> None:
+        self.round_index = round_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Prune(round={self.round_index})"
+
+
+class OverwriteRequest:
+    """OverwriteElement: evict a minimum-frequency victim and install the
+    element of ``entry`` with count ``min + amount`` and error ``min``
+    (Algorithm 6)."""
+
+    __slots__ = ("entry", "amount")
+
+    def __init__(self, entry: "HashEntry", amount: int) -> None:
+        self.entry = entry
+        self.amount = amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ovw({self.entry.element!r}+{self.amount})"

@@ -1,0 +1,160 @@
+"""Dynamic auto-configuration of worker threads (§5.2.3).
+
+The CoTS system owns a *thread pool*.  Two thresholds drive it:
+
+* **σ (sigma)** — when a thread crossing the boundary sees a bucket
+  queue longer than σ, the system is congested: it puts worker threads
+  to sleep (back into the pool);
+* **ρ (rho)** — when a delegation leaves a bucket with more than ρ
+  pending requests, the system wakes a pool thread to help drain it.
+
+Workers park only between stream batches, so no claimed element is ever
+stranded; a parked worker resumes either with a bucket to help drain,
+with a plain resume token, or with a stop token once the stream is
+exhausted.  The paper's evaluation disables this machinery ("we do not
+use this feature for experiments"), and so do the benchmark drivers —
+the scheduler is exercised by its own tests and an ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.cots.framework import CoTSFramework, WorkerContext
+from repro.errors import ConfigurationError
+from repro.simcore.effects import Park, Unpark
+from repro.simcore.engine import Engine, SimThread
+
+#: wake tokens
+_RESUME = "resume"
+_STOP = "stop"
+
+
+class CoTSScheduler:
+    """σ/ρ-threshold thread scheduling for the CoTS framework."""
+
+    def __init__(
+        self,
+        sigma: int = 48,
+        rho: int = 8,
+        pool_size: int = 2,
+        min_active: int = 0,
+    ) -> None:
+        if sigma < 1 or rho < 1:
+            raise ConfigurationError("sigma and rho must be >= 1")
+        if pool_size < 0:
+            raise ConfigurationError("pool_size must be >= 0")
+        self.sigma = sigma
+        self.rho = rho
+        self.pool_size = pool_size
+        self.min_active = min_active
+        self._framework: Optional[CoTSFramework] = None
+        self._engine: Optional[Engine] = None
+        self._parked_workers: List[SimThread] = []
+        self._parked_helpers: List[SimThread] = []
+        self._active_workers = 0
+        self._congestion = 0       #: most recently observed queue length
+        self._stopped = False
+        # observability for tests and the ablation bench
+        self.parks = 0
+        self.wakes = 0
+        self.helper_drains = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install(
+        self,
+        framework: CoTSFramework,
+        engine: Engine,
+        workers: List[SimThread],
+    ) -> None:
+        """Attach to a framework run (called by :func:`run_cots`)."""
+        self._framework = framework
+        self._engine = engine
+        self._active_workers = len(workers)
+        if self.min_active <= 0:
+            self.min_active = min(len(workers), engine.machine.cores)
+        framework.scheduler = self
+        framework.summary.on_delegated = self.on_delegated
+        for index in range(self.pool_size):
+            ctx = WorkerContext(f"pool-{index}")
+            holder: List[SimThread] = []
+            thread = engine.spawn(
+                self._helper(ctx, holder), name=ctx.name, daemon=True
+            )
+            holder.append(thread)
+            self._parked_helpers.append(thread)
+
+    # ------------------------------------------------------------------
+    # Hooks called from simulated threads (generators)
+    # ------------------------------------------------------------------
+    def on_delegated(self, bucket, ctx) -> Iterator:
+        """A request was delegated: wake a helper if the queue is deep (ρ)."""
+        self._congestion = len(bucket.queue)
+        if len(bucket.queue) > self.rho and self._parked_helpers:
+            helper = self._parked_helpers.pop()
+            self.wakes += 1
+            yield Unpark(helper, token=bucket, tag="rest")
+
+    def after_element(self, ctx: WorkerContext) -> Iterator:
+        """Per-element congestion relief: wake a parked worker when the
+        pressure has drained below σ/2."""
+        if (
+            self._parked_workers
+            and self._congestion < self.sigma // 2
+            and not self._stopped
+        ):
+            worker = self._parked_workers.pop()
+            self._active_workers += 1
+            self.wakes += 1
+            yield Unpark(worker, token=_RESUME, tag="rest")
+
+    def maybe_park(self, ctx: WorkerContext, my_thread: SimThread) -> Iterator:
+        """Between batches: park this worker if the system is congested (σ).
+
+        Returns ``"stop"`` if the stream finished while we slept.
+        """
+        if self._stopped:
+            return _STOP
+        if (
+            self._congestion > self.sigma
+            and self._active_workers > self.min_active
+        ):
+            self._active_workers -= 1
+            self._parked_workers.append(my_thread)
+            self.parks += 1
+            token = yield Park(tag="rest")
+            if token == _STOP:
+                return _STOP
+            self._congestion = 0
+        return None
+
+    def worker_finished(self, ctx: WorkerContext) -> Iterator:
+        """Stream exhausted: release every parked worker with a stop token."""
+        self._stopped = True
+        while self._parked_workers:
+            worker = self._parked_workers.pop()
+            yield Unpark(worker, token=_STOP, tag="rest")
+
+    # ------------------------------------------------------------------
+    # Pool helper program
+    # ------------------------------------------------------------------
+    def _helper(self, ctx: WorkerContext, holder: List[SimThread]) -> Iterator:
+        """A pool thread: sleeps until handed a congested bucket.
+
+        ``holder`` is filled with the helper's own :class:`SimThread`
+        right after spawning (a generator cannot know its thread at
+        creation time); it is used to re-register for future wakes.
+        """
+        while True:
+            token = yield Park(tag="rest")
+            if token == _STOP:
+                return
+            bucket = token
+            acquired = yield bucket.owner.cas(0, 1, "bucket")
+            if acquired:
+                self.helper_drains += 1
+                ctx.worklist.append(bucket)
+                yield from self._framework.summary.drain_all(ctx)
+            self._parked_helpers.append(holder[0])

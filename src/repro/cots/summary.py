@@ -1,0 +1,641 @@
+"""The Concurrent Stream Summary (§5.2.2, Figure 10, Algorithms 3–6).
+
+A singly-linked, frequency-ascending list of buckets.  Each bucket owns
+
+* a member set (elements currently at the bucket's frequency),
+* a request queue (the delegation FIFO),
+* an atomic ``owner`` flag — whoever CASes it 0→1 must drain the queue
+  completely before relinquishing, and must re-check the queue after
+  releasing (the standard no-lost-wakeup dance), and
+* a ``gc_marked`` flag: a bucket that is empty with an empty queue is
+  atomically retired; physical unlinking is done lazily by the owner of
+  its predecessor during destination-finding traversals (Algorithm 4).
+
+All *logical* mutations happen between effect yields, which the engine
+makes atomic in simulated time — the same guarantee the paper obtains
+from single-word atomics plus the ownership protocol.  The *timing* of
+every step (queue CASes, line transfers, traversal hops, allocations) is
+charged through effects, so contention and cooperation behave like the
+paper's C++ implementation.
+
+Tag conventions match :mod:`repro.parallel.base`: ``hash`` for
+element-level work, ``bucket`` for queue/ownership traffic,
+``structure`` for summary mutations.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict, Iterator, List, Optional, Union
+
+from repro.core.counters import CounterEntry, Element
+from repro.core.space_saving import SpaceSaving
+from repro.cots.hashtable import CoTSHashTable, HashEntry
+from repro.cots.requests import (
+    AddRequest,
+    IncrementRequest,
+    OverwriteRequest,
+    PruneRequest,
+)
+from repro.errors import ConfigurationError, ProtocolError
+from repro.simcore.atomics import AtomicCell
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import Compute, YieldCPU
+
+TAG_HASH = "hash"
+TAG_BUCKET = "bucket"
+TAG_STRUCTURE = "structure"
+
+Request = Union[AddRequest, IncrementRequest, OverwriteRequest, PruneRequest]
+
+#: safety valve for the (theoretically convergent) retry loops
+_MAX_SPINS = 100_000
+
+
+class SummaryElement:
+    """A monitored element inside the concurrent summary."""
+
+    __slots__ = ("element", "freq", "error", "entry", "bucket")
+
+    def __init__(
+        self, element: Element, freq: int, error: int, entry: HashEntry
+    ) -> None:
+        self.element = element
+        self.freq = freq
+        self.error = error
+        self.entry = entry
+        self.bucket: Optional["ConcurrentBucket"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SummaryElement({self.element!r}, freq={self.freq})"
+
+
+class ConcurrentBucket:
+    """One frequency bucket with its delegation queue (Figure 10)."""
+
+    __slots__ = (
+        "freq",
+        "members",
+        "queue",
+        "owner",
+        "gc_marked",
+        "defer_overwrites",
+        "next",
+    )
+
+    def __init__(self, freq: int) -> None:
+        self.freq = freq
+        # insertion-ordered set of SummaryElement
+        self.members: Dict[SummaryElement, None] = {}
+        self.queue: Deque[Request] = collections.deque()
+        self.owner = AtomicCell(0)
+        self.gc_marked = False
+        self.defer_overwrites = False
+        self.next: Optional["ConcurrentBucket"] = None
+
+    @property
+    def size(self) -> int:
+        """Number of member elements."""
+        return len(self.members)
+
+    def attach(self, node: SummaryElement) -> None:
+        """Place ``node`` in this bucket (host-atomic)."""
+        self.members[node] = None
+        node.bucket = self
+        node.freq = self.freq
+        # membership changed: deferred overwrites get a fresh chance
+        self.defer_overwrites = False
+
+    def detach(self, node: SummaryElement) -> None:
+        """Remove ``node`` from this bucket (host-atomic)."""
+        if node.bucket is not self:
+            raise ProtocolError(
+                f"detach of {node.element!r} from wrong bucket "
+                f"(freq {self.freq})"
+            )
+        del self.members[node]
+        node.bucket = None
+        self.defer_overwrites = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConcurrentBucket(freq={self.freq}, size={self.size}, "
+            f"queue={len(self.queue)}, gc={self.gc_marked})"
+        )
+
+
+class ConcurrentStreamSummary:
+    """The CoTS summary structure plus the whole delegation machinery."""
+
+    #: subclasses with different eviction semantics (e.g. the Lossy
+    #: Counting adapter) may monitor more than ``capacity`` elements
+    enforce_capacity = True
+
+    def __init__(
+        self, capacity: int, table: CoTSHashTable, costs: CostModel
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.table = table
+        self.costs = costs
+        self.min_bucket: Optional[ConcurrentBucket] = None
+        #: remaining free monitor slots; reserved atomically when crossing
+        self.slots = AtomicCell(capacity)
+        #: serializes creation of the very first bucket
+        self._root_guard = AtomicCell(0)
+        self.stats: Dict[str, int] = collections.Counter()
+        #: scheduler hook — set by the framework when auto-config is on
+        self.on_delegated = None
+
+    # ==================================================================
+    # Delivery: enqueue a request and acquire the bucket if free
+    # ==================================================================
+    def deliver(self, request: Request, bucket: ConcurrentBucket, ctx) -> Iterator:
+        """Log ``request`` on ``bucket``; on CAS success the caller owns
+        the bucket (pushed onto ``ctx.worklist`` for draining)."""
+        costs = self.costs
+        target = bucket
+        while True:
+            yield Compute(costs.queue_enqueue, TAG_BUCKET)
+            # host-atomic: append + liveness check together
+            target.queue.append(request)
+            if target.gc_marked:
+                target.queue.pop()  # nobody will ever drain a dead bucket
+                self.stats["gc_retargets"] += 1
+                target = yield from self._retarget(request)
+                continue
+            break
+        acquired = yield target.owner.cas(0, 1, TAG_BUCKET)
+        if acquired:
+            ctx.worklist.append(target)
+        else:
+            self.stats["delegations"] += 1
+            if self.on_delegated is not None:
+                yield from self.on_delegated(target, ctx)
+
+    def _retarget(self, request: Request) -> Iterator:
+        """Pick a live target for a request whose bucket was retired."""
+        if isinstance(request, IncrementRequest):
+            # an increment's node pins its bucket (size >= 1 forbids GC),
+            # so this can only mean a protocol bug
+            raise ProtocolError(
+                f"increment for {request.node.element!r} hit a retired bucket"
+            )
+        spins = 0
+        while self.min_bucket is None:
+            spins += 1
+            if spins > _MAX_SPINS:
+                raise ProtocolError("no live bucket to retarget a request to")
+            yield YieldCPU(TAG_BUCKET)
+        return self.min_bucket
+
+    # ==================================================================
+    # Draining: the owner processes every pending request
+    # ==================================================================
+    def drain(self, bucket: ConcurrentBucket, ctx) -> Iterator:
+        """Drain ``bucket``'s queue; caller must have CAS-acquired it."""
+        costs = self.costs
+        if bucket.gc_marked:
+            # acquired a bucket that was retired in between: just let go
+            yield bucket.owner.store(0, TAG_BUCKET)
+            return
+        while True:
+            while bucket.queue:
+                yield Compute(costs.queue_dequeue, TAG_BUCKET)
+                request = bucket.queue.popleft()
+                yield from self._process(request, bucket, ctx)
+                if bucket.gc_marked:
+                    # the request retired this bucket (min advanced);
+                    # its queue was transferred before marking
+                    yield bucket.owner.store(0, TAG_BUCKET)
+                    return
+            if (
+                bucket.size == 0
+                and not bucket.queue
+                and bucket is not self.min_bucket
+            ):
+                # host-atomic retire of an empty non-min bucket
+                bucket.gc_marked = True
+                self.stats["gc_buckets"] += 1
+                yield bucket.owner.store(0, TAG_BUCKET)
+                return
+            yield bucket.owner.store(0, TAG_BUCKET)
+            if bucket.queue and not bucket.gc_marked:
+                reacquired = yield bucket.owner.cas(0, 1, TAG_BUCKET)
+                if reacquired:
+                    if bucket.gc_marked:
+                        yield bucket.owner.store(0, TAG_BUCKET)
+                        return
+                    continue
+            return
+
+    def drain_all(self, ctx) -> Iterator:
+        """Drain every bucket the context has acquired so far."""
+        while ctx.worklist:
+            bucket = ctx.worklist.pop()
+            yield from self.drain(bucket, ctx)
+
+    # ==================================================================
+    # Request processing (Algorithms 3-6)
+    # ==================================================================
+    def _process(self, request: Request, bucket: ConcurrentBucket, ctx) -> Iterator:
+        if isinstance(request, IncrementRequest):
+            yield from self._process_increment(request, bucket, ctx)
+        elif isinstance(request, AddRequest):
+            yield from self._process_add(request, bucket, ctx)
+        elif isinstance(request, OverwriteRequest):
+            yield from self._process_overwrite(request, bucket, ctx)
+        elif isinstance(request, PruneRequest):
+            yield from self._process_prune(request, bucket, ctx)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"unknown request {request!r}")
+
+    def _process_prune(
+        self, request: PruneRequest, bucket: ConcurrentBucket, ctx
+    ) -> Iterator:
+        """§5.3 (Lossy Counting adapter): evict every *idle* element of
+        the minimum-frequency bucket at a round boundary.
+
+        Busy elements (pending increments) are skipped — their counts are
+        still rising, so Lossy Counting would not prune them anyway.
+        """
+        costs = self.costs
+        current_min = self.min_bucket
+        if current_min is not bucket and current_min is not None:
+            yield from self.deliver(request, current_min, ctx)
+            return
+        for victim in list(bucket.members):
+            claimed = yield from self.table.try_remove(victim.entry, TAG_HASH)
+            if claimed:
+                yield Compute(costs.list_splice, TAG_STRUCTURE)
+                bucket.detach(victim)
+                yield self.slots.add(1, TAG_STRUCTURE)
+                self.stats["pruned"] += 1
+        if bucket.size == 0 and bucket is self.min_bucket:
+            yield from self._retire_min(bucket, ctx)
+
+    def _process_add(self, request: AddRequest, bucket: ConcurrentBucket, ctx) -> Iterator:
+        """Algorithm 3: place a node whose final frequency is known."""
+        costs = self.costs
+        node = request.node
+        if node.freq == bucket.freq:
+            yield Compute(costs.list_splice, TAG_STRUCTURE)
+            bucket.attach(node)
+            yield from self.complete_element(node.entry, ctx)
+            return
+        if node.freq > bucket.freq:
+            yield from self._find_dest(bucket, node, ctx)
+            return
+        # node.freq < bucket.freq: a new element below the current minimum
+        if bucket is self.min_bucket:
+            yield Compute(costs.alloc + costs.list_splice, TAG_STRUCTURE)
+            fresh = ConcurrentBucket(node.freq)
+            fresh.attach(node)
+            fresh.next = bucket
+            self.min_bucket = fresh
+            yield from self.complete_element(node.entry, ctx)
+            return
+        target = self.min_bucket
+        if target is None or target is bucket:
+            target = yield from self._retarget(request)
+        yield from self.deliver(request, target, ctx)
+
+    def _find_dest(
+        self, start: ConcurrentBucket, node: SummaryElement, ctx
+    ) -> Iterator:
+        """Algorithm 4: place ``node`` (freq > start.freq), owning ``start``.
+
+        Garbage-collects retired successors, then either splices a new
+        bucket right after ``start``, or delegates the Add to the last
+        live bucket whose frequency does not exceed the node's (the
+        bulk-increment walk).
+        """
+        costs = self.costs
+        yield from self._gc_successors(start)
+        nxt = start.next
+        if nxt is None or nxt.freq > node.freq:
+            yield Compute(costs.alloc + costs.list_splice, TAG_STRUCTURE)
+            fresh = ConcurrentBucket(node.freq)
+            fresh.attach(node)
+            fresh.next = nxt
+            start.next = fresh
+            yield from self.complete_element(node.entry, ctx)
+            return
+        if nxt.freq == node.freq:
+            yield from self.deliver(AddRequest(node), nxt, ctx)
+            return
+        # bulk increment: walk to the last live bucket with freq <= target
+        self.stats["bulk_walks"] += 1
+        prev = start
+        cursor = nxt
+        hops = 0
+        while cursor is not None and cursor.freq <= node.freq:
+            if not cursor.gc_marked:
+                prev = cursor
+            cursor = cursor.next
+            hops += 1
+        yield Compute(costs.pointer_chase * max(1, hops), TAG_STRUCTURE)
+        if prev is start:  # every in-range successor was retired: re-GC
+            yield from self._gc_successors(start)
+            yield from self._find_dest(start, node, ctx)
+            return
+        yield from self.deliver(AddRequest(node), prev, ctx)
+
+    def _gc_successors(self, bucket: ConcurrentBucket) -> Iterator:
+        """Unlink the chain of retired buckets right after ``bucket``."""
+        costs = self.costs
+        removed = 0
+        while bucket.next is not None and bucket.next.gc_marked:
+            bucket.next = bucket.next.next
+            removed += 1
+        if removed:
+            self.stats["gc_unlinked"] += removed
+            yield Compute(costs.free * removed, TAG_STRUCTURE)
+
+    def _process_increment(
+        self, request: IncrementRequest, bucket: ConcurrentBucket, ctx
+    ) -> Iterator:
+        """Algorithm 5: move the node up by ``amount`` (possibly bulk)."""
+        costs = self.costs
+        node = request.node
+        if node.bucket is not bucket:
+            raise ProtocolError(
+                f"increment for {node.element!r} delivered to wrong bucket"
+            )
+        if request.amount > 1:
+            self.stats["bulk_increments"] += 1
+            self.stats["bulk_total"] += request.amount
+        yield Compute(costs.list_splice, TAG_STRUCTURE)
+        bucket.detach(node)
+        node.freq = bucket.freq + request.amount
+        yield from self._find_dest(bucket, node, ctx)
+        if bucket.size == 0 and bucket is self.min_bucket:
+            yield from self._retire_min(bucket, ctx)
+
+    def _process_overwrite(
+        self, request: OverwriteRequest, bucket: ConcurrentBucket, ctx
+    ) -> Iterator:
+        """Algorithm 6: evict an idle minimum-frequency victim."""
+        costs = self.costs
+        current_min = self.min_bucket
+        if current_min is not bucket and current_min is not None:
+            # stale delivery: re-route to the live minimum bucket
+            yield from self.deliver(request, current_min, ctx)
+            return
+        if bucket.defer_overwrites:
+            # all members were busy recently; requeue behind whatever
+            # increments are pending (FIFO guarantees progress)
+            yield Compute(costs.queue_enqueue, TAG_BUCKET)
+            bucket.queue.append(request)
+            self.stats["overwrite_defers"] += 1
+            return
+        for victim in list(bucket.members):
+            claimed = yield from self.table.try_remove(victim.entry, TAG_HASH)
+            if claimed:
+                yield Compute(costs.list_splice, TAG_STRUCTURE)
+                bucket.detach(victim)
+                entry = request.entry
+                node = SummaryElement(
+                    entry.element,
+                    freq=bucket.freq + request.amount,
+                    error=bucket.freq,
+                    entry=entry,
+                )
+                entry.node = node
+                self.stats["overwrites"] += 1
+                yield from self._find_dest(bucket, node, ctx)
+                if bucket.size == 0 and bucket is self.min_bucket:
+                    yield from self._retire_min(bucket, ctx)
+                return
+        # every member is busy: defer (their pending increments are in
+        # this very queue and will empty the bucket)
+        yield Compute(costs.queue_enqueue, TAG_BUCKET)
+        bucket.queue.append(request)
+        bucket.defer_overwrites = True
+        self.stats["overwrite_defers"] += 1
+
+    def _retire_min(self, bucket: ConcurrentBucket, ctx) -> Iterator:
+        """Algorithm 5's min-bucket retirement: advance the minimum
+        pointer, hand any pending requests to the new minimum, and mark
+        the empty bucket as garbage.
+
+        Every scan-and-write below happens in a single host-atomic step
+        (between effect yields), because the new minimum found before a
+        yield can be emptied and retired by *its* owner during that
+        yield — transferring a queue into a retired bucket would strand
+        its requests (and the element counts they carry) forever.
+        """
+        costs = self.costs
+        # Move the pointer off ourselves; scan and write in one step.
+        new_min = bucket.next
+        hops = 1
+        while new_min is not None and new_min.gc_marked:
+            new_min = new_min.next
+            hops += 1
+        self.min_bucket = new_min
+        yield Compute(costs.pointer_chase * hops, TAG_STRUCTURE)
+        spins = 0
+        while True:
+            # Retirement check (host-atomic with any transfer below).
+            if not bucket.queue:
+                if bucket.size == 0:
+                    bucket.gc_marked = True
+                    self.stats["gc_buckets"] += 1
+                return
+            target = self.min_bucket
+            if target is None or target.gc_marked:
+                # A concurrent retirement is mid-flight (or all nodes are
+                # in flight); try to re-derive a live successor ourselves.
+                fallback = bucket.next
+                while fallback is not None and fallback.gc_marked:
+                    fallback = fallback.next
+                if fallback is not None:
+                    self.min_bucket = target = fallback
+            if target is None or target.gc_marked:
+                spins += 1
+                if spins > _MAX_SPINS:
+                    raise ProtocolError(
+                        "min retirement found no live successor"
+                    )
+                yield YieldCPU(TAG_BUCKET)
+                continue
+            moved = len(bucket.queue)
+            yield Compute(costs.queue_enqueue * moved, TAG_BUCKET)
+            # Re-validate and transfer in ONE host step: a marker checks
+            # queue-empty in its own single step, so either it marked
+            # before (we see gc_marked and retry) or it will see the
+            # transferred requests and refuse to mark.
+            target = self.min_bucket
+            if target is None or target.gc_marked or target is bucket:
+                continue
+            target.queue.extend(bucket.queue)
+            bucket.queue.clear()
+            target.defer_overwrites = False
+            self.stats["queue_transfers"] += 1
+            acquired = yield target.owner.cas(0, 1, TAG_BUCKET)
+            if acquired:
+                ctx.worklist.append(target)
+
+    # ==================================================================
+    # Element completion: the relinquish protocol of §5.2.1
+    # ==================================================================
+    def complete_element(self, entry: HashEntry, ctx) -> Iterator:
+        """Relinquish ``entry`` after its summary request completed.
+
+        CAS 1→0 succeeds when no further requests were logged.  On
+        failure, swap the counter back to 1 (we keep ownership) and carry
+        the accumulated ``k - 1`` delegated requests back across the
+        boundary as one bulk increment — the paper's key amortization.
+
+        The pre-release check ("it will check for any pending requests on
+        R and will relinquish R only when all pending requests have been
+        processed") costs ``relinquish_check`` cycles; arrivals landing in
+        that window keep the ownership chain alive, so hot elements stay
+        held almost continuously under skew.
+        """
+        if self.costs.relinquish_check:
+            yield Compute(self.costs.relinquish_check, TAG_HASH)
+        released = yield entry.count.cas(1, 0, TAG_HASH)
+        if released:
+            return
+        logged = yield entry.count.swap(1, TAG_HASH)
+        amount = logged - 1
+        if amount < 1:  # pragma: no cover - protocol violation guard
+            raise ProtocolError(
+                f"relinquish of {entry.element!r} saw count {logged}"
+            )
+        node = entry.node
+        if node is None or node.bucket is None:
+            raise ProtocolError(
+                f"relinquish of {entry.element!r} without a placed node"
+            )
+        self.stats["relinquish_bulk"] += 1
+        yield from self.deliver(
+            IncrementRequest(node, amount), node.bucket, ctx
+        )
+
+    # ==================================================================
+    # Boundary crossing (invoked by the framework when add-and-fetch == 1)
+    # ==================================================================
+    def cross_boundary(self, entry: HashEntry, ctx, amount: int = 1) -> Iterator:
+        """Emit the summary request for a freshly-owned element.
+
+        Crossing is the expensive path: building and logging the request
+        involves the allocations and system routines §6 blames for the
+        framework's per-element overhead.  Elements absorbed by
+        delegation never pay this, which is what makes skewed streams
+        profitable (Table 2) — the owner-side bulk chain re-uses its
+        request bookkeeping, so it is charged only queue and structure
+        costs.
+        """
+        yield Compute(self.costs.request_alloc, TAG_STRUCTURE)
+        if entry.node is not None:
+            yield from self.deliver(
+                IncrementRequest(entry.node, amount), entry.node.bucket, ctx
+            )
+            return
+        reserved = yield self.slots.add(-1, TAG_STRUCTURE)
+        if reserved >= 0:
+            yield Compute(self.costs.alloc, TAG_STRUCTURE)
+            node = SummaryElement(entry.element, amount, 0, entry)
+            entry.node = node
+            yield from self._deliver_new(AddRequest(node), ctx)
+        else:
+            yield self.slots.add(1, TAG_STRUCTURE)
+            request = OverwriteRequest(entry, amount)
+            target = self.min_bucket
+            if target is None:
+                target = yield from self._retarget(request)
+            yield from self.deliver(request, target, ctx)
+
+    def _deliver_new(self, request: AddRequest, ctx) -> Iterator:
+        """Deliver a new element's Add, creating the first bucket if needed."""
+        costs = self.costs
+        node = request.node
+        spins = 0
+        while True:
+            target = self.min_bucket
+            if target is not None:
+                yield from self.deliver(request, target, ctx)
+                return
+            won = yield self._root_guard.cas(0, 1, TAG_STRUCTURE)
+            if won:
+                if self.min_bucket is None:
+                    yield Compute(costs.alloc + costs.list_splice, TAG_STRUCTURE)
+                    genesis = ConcurrentBucket(node.freq)
+                    genesis.attach(node)
+                    self.min_bucket = genesis
+                    yield self._root_guard.store(0, TAG_STRUCTURE)
+                    yield from self.complete_element(node.entry, ctx)
+                    return
+                yield self._root_guard.store(0, TAG_STRUCTURE)
+            else:
+                spins += 1
+                if spins > _MAX_SPINS:
+                    raise ProtocolError("livelock creating the first bucket")
+                yield YieldCPU(TAG_STRUCTURE)
+
+    # ==================================================================
+    # Non-simulated inspection (post-quiescence queries and tests)
+    # ==================================================================
+    def buckets(self) -> Iterator[ConcurrentBucket]:
+        """Live buckets in ascending frequency order (host-side)."""
+        bucket = self.min_bucket
+        while bucket is not None:
+            if not bucket.gc_marked:
+                yield bucket
+            bucket = bucket.next
+
+    def entries(self) -> List[CounterEntry]:
+        """Monitored elements by descending count (host-side)."""
+        result: List[CounterEntry] = []
+        for bucket in self.buckets():
+            for node in bucket.members:
+                result.append(CounterEntry(node.element, bucket.freq, node.error))
+        result.reverse()
+        return result
+
+    def total_count(self) -> int:
+        """Sum of all monitored counts (== stream length at quiescence)."""
+        return sum(b.freq * b.size for b in self.buckets())
+
+    def monitored(self) -> int:
+        """Number of monitored elements."""
+        return sum(b.size for b in self.buckets())
+
+    def to_space_saving(self) -> SpaceSaving:
+        """Convert to a plain queryable :class:`SpaceSaving` snapshot."""
+        return SpaceSaving.from_entries(
+            self.capacity, self.entries(), self.total_count()
+        )
+
+    def check_invariants(self) -> None:
+        """Raise :class:`ProtocolError` on any structural inconsistency."""
+        last_freq = 0
+        pending = 0
+        for bucket in self.buckets():
+            if bucket.freq <= last_freq:
+                raise ProtocolError(
+                    f"bucket frequencies not ascending at {bucket.freq}"
+                )
+            last_freq = bucket.freq
+            if bucket.owner.peek() not in (0, 1):
+                raise ProtocolError("bucket owner flag out of range")
+            pending += len(bucket.queue)
+            for node in bucket.members:
+                if node.bucket is not bucket:
+                    raise ProtocolError(
+                        f"node {node.element!r} has a stale bucket pointer"
+                    )
+                if node.freq != bucket.freq:
+                    raise ProtocolError(
+                        f"node {node.element!r} freq {node.freq} != bucket "
+                        f"{bucket.freq}"
+                    )
+        if pending:
+            raise ProtocolError(f"{pending} requests left undrained")
+        if self.enforce_capacity and self.monitored() > self.capacity:
+            raise ProtocolError(
+                f"{self.monitored()} monitored > capacity {self.capacity}"
+            )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable thread remains but blocked threads still exist."""
+
+
+class ProtocolError(SimulationError):
+    """A concurrency protocol invariant was violated inside the simulator.
+
+    Raised, for example, when a mutex is released by a thread that does not
+    own it, or when a CoTS bucket is drained by a non-owner.
+    """
+
+
+class QueryError(ReproError):
+    """A stream query was malformed or cannot be answered."""
+
+
+class StreamError(ReproError):
+    """A workload/stream generator was misconfigured or exhausted."""
+
+
+class MergeError(ReproError):
+    """Merging of per-thread summaries failed (Independent Structures)."""

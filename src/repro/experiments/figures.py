@@ -1,0 +1,505 @@
+"""One driver per table/figure of the paper's evaluation.
+
+Every function takes an :class:`~repro.experiments.config.
+ExperimentScale` and returns an :class:`~repro.experiments.runner.
+ExperimentResult` whose rows carry the same quantities the paper plots
+(speedups, execution times, percentage breakdowns).  Absolute numbers
+are simulated seconds — the *shapes* are the reproduction target
+(see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.profiling import (
+    as_percentages,
+    independent_profile,
+    shared_profile,
+)
+from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import STREAMS, ExperimentResult
+from repro.parallel.base import SchemeConfig
+from repro.parallel.independent import run_independent
+from repro.parallel.sequential import run_sequential
+from repro.parallel.shared import run_shared
+from repro.simcore.costs import CostModel
+from repro.simcore.machine import MachineSpec
+
+
+def _scheme_config(scale: ExperimentScale, threads: int) -> SchemeConfig:
+    return SchemeConfig(
+        threads=threads,
+        capacity=scale.capacity,
+        machine=MachineSpec(),
+        costs=CostModel(),
+    )
+
+
+def _cots_config(scale: ExperimentScale, threads: int) -> CoTSRunConfig:
+    return CoTSRunConfig(
+        threads=threads,
+        capacity=scale.capacity,
+        machine=MachineSpec(),
+        costs=CostModel(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3(a): Independent Structures speedup (query every 1% of stream)
+# ----------------------------------------------------------------------
+def fig3a(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """Speedup of Independent Structures vs threads, serial merge."""
+    scale = scale or ExperimentScale.default()
+    length = scale.profile_stream
+    interval = scale.query_interval(length)
+    rows: List[Dict] = []
+    for alpha in scale.alphas_naive:
+        stream = STREAMS.get(length, scale.alphabet, alpha, scale.seed)
+        single = None
+        for threads in scale.naive_threads:
+            result = run_independent(
+                stream,
+                _scheme_config(scale, threads),
+                merge_every=interval,
+                strategy="serial",
+            )
+            if single is None:
+                single = result.seconds
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "threads": threads,
+                    "seconds": result.seconds,
+                    "speedup": single / result.seconds,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig3a",
+        title=(
+            "Figure 3(a): Independent Structures speedup "
+            f"(N={length}, query every {interval})"
+        ),
+        columns=["alpha", "threads", "seconds", "speedup"],
+        rows=rows,
+        notes="Speedup relative to the scheme's own 1-thread run.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3(b): Shared Structure speedup (pthread-style mutexes)
+# ----------------------------------------------------------------------
+def fig3b(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """Speedup of the mutex-synchronized Shared Structure vs threads."""
+    scale = scale or ExperimentScale.default()
+    length = scale.profile_stream
+    rows: List[Dict] = []
+    for alpha in scale.alphas_naive:
+        stream = STREAMS.get(length, scale.alphabet, alpha, scale.seed)
+        single = None
+        for threads in scale.naive_threads:
+            result = run_shared(
+                stream, _scheme_config(scale, threads), lock_kind="mutex"
+            )
+            if single is None:
+                single = result.seconds
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "threads": threads,
+                    "seconds": result.seconds,
+                    "speedup": single / result.seconds,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig3b",
+        title=f"Figure 3(b): Shared Structure speedup (N={length}, mutex)",
+        columns=["alpha", "threads", "seconds", "speedup"],
+        rows=rows,
+        notes="Speedup relative to the scheme's own 1-thread run.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4: profiling of Independent Structures (Counting vs Merge)
+# ----------------------------------------------------------------------
+def fig4(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """% time in Counting vs Merge for the Independent design."""
+    scale = scale or ExperimentScale.default()
+    length = scale.profile_stream
+    interval = scale.query_interval(length)
+    rows: List[Dict] = []
+    for alpha in scale.alphas_naive:
+        stream = STREAMS.get(length, scale.alphabet, alpha, scale.seed)
+        for threads in scale.naive_threads:
+            result = run_independent(
+                stream,
+                _scheme_config(scale, threads),
+                merge_every=interval,
+                strategy="serial",
+            )
+            profile = as_percentages(independent_profile(result.breakdown()))
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "threads": threads,
+                    "counting_pct": profile.get("Counting", 0.0),
+                    "merge_pct": profile.get("Merge", 0.0),
+                    "rest_pct": profile.get("Rest", 0.0),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title=(
+            "Figure 4: Independent Structures time breakdown "
+            f"(N={length}, query every {interval})"
+        ),
+        columns=["alpha", "threads", "counting_pct", "merge_pct", "rest_pct"],
+        rows=rows,
+        notes="Merge share grows with the number of threads.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: profiling of the Shared Structure
+# ----------------------------------------------------------------------
+def fig5(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """% time per synchronization category for the Shared design."""
+    scale = scale or ExperimentScale.default()
+    length = scale.profile_stream
+    rows: List[Dict] = []
+    for alpha in scale.alphas_naive:
+        stream = STREAMS.get(length, scale.alphabet, alpha, scale.seed)
+        for threads in scale.naive_threads:
+            result = run_shared(
+                stream, _scheme_config(scale, threads), lock_kind="mutex"
+            )
+            profile = as_percentages(shared_profile(result.breakdown()))
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "threads": threads,
+                    "hash_pct": profile.get("Hash Opns", 0.0),
+                    "structure_pct": profile.get("Structure Opns", 0.0),
+                    "minmax_pct": profile.get("Min-Max Locks", 0.0),
+                    "bucket_pct": profile.get("Bucket Locks", 0.0),
+                    "rest_pct": profile.get("Rest", 0.0),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title=f"Figure 5: Shared Structure time breakdown (N={length})",
+        columns=[
+            "alpha",
+            "threads",
+            "hash_pct",
+            "structure_pct",
+            "minmax_pct",
+            "bucket_pct",
+            "rest_pct",
+        ],
+        rows=rows,
+        notes=(
+            "Hash (element-level blocking) share grows with threads, and "
+            "faster for more skewed streams."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 6 and 7: execution-time surfaces over input size x threads
+# ----------------------------------------------------------------------
+def _size_sweep(
+    scale: ExperimentScale, scheme: str
+) -> List[Dict]:
+    # The paper keeps the query interval at an absolute 50000 elements
+    # while the stream grows 1M -> 16M, so larger inputs need *more*
+    # merges; the scaled equivalent is 1% of the profiling stream.
+    interval = scale.query_interval(scale.profile_stream)
+    rows: List[Dict] = []
+    for alpha in scale.alphas_naive:
+        for multiplier in scale.size_multipliers:
+            length = scale.sweep_base * multiplier
+            stream = STREAMS.get(length, scale.alphabet, alpha, scale.seed)
+            for threads in scale.naive_threads:
+                config = _scheme_config(scale, threads)
+                if scheme == "independent":
+                    result = run_independent(
+                        stream,
+                        config,
+                        merge_every=interval,
+                        strategy="serial",
+                    )
+                else:
+                    result = run_shared(stream, config, lock_kind="mutex")
+                rows.append(
+                    {
+                        "alpha": alpha,
+                        "multiplier": multiplier,
+                        "elements": length,
+                        "threads": threads,
+                        "seconds": result.seconds,
+                        "avg_thread_completion": (
+                            result.execution.average_completion()
+                            / result.execution.clock_hz
+                        ),
+                    }
+                )
+    return rows
+
+
+def fig6(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """Independent Structures: time over input size × threads."""
+    scale = scale or ExperimentScale.default()
+    rows = _size_sweep(scale, "independent")
+    return ExperimentResult(
+        experiment_id="fig6",
+        title=(
+            "Figure 6: Independent Structures execution time over "
+            f"size (x{scale.sweep_base}) and threads, query every 1%"
+        ),
+        columns=[
+            "alpha",
+            "multiplier",
+            "elements",
+            "threads",
+            "seconds",
+            "avg_thread_completion",
+        ],
+        rows=rows,
+        notes="Time grows with threads; worse for larger inputs.",
+    )
+
+
+def fig7(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """Shared Structure: time over input size × threads."""
+    scale = scale or ExperimentScale.default()
+    rows = _size_sweep(scale, "shared")
+    return ExperimentResult(
+        experiment_id="fig7",
+        title=(
+            "Figure 7: Shared Structure execution time over "
+            f"size (x{scale.sweep_base}) and threads"
+        ),
+        columns=[
+            "alpha",
+            "multiplier",
+            "elements",
+            "threads",
+            "seconds",
+            "avg_thread_completion",
+        ],
+        rows=rows,
+        notes="Time linear in input size; no improvement from threads.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11: CoTS speedup with increasing threads (baseline: 4 threads)
+# ----------------------------------------------------------------------
+def fig11(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """CoTS speedup vs threads, relative to the 4-thread run."""
+    scale = scale or ExperimentScale.default()
+    length = scale.fig11_stream
+    rows: List[Dict] = []
+    for alpha in scale.alphas_cots:
+        stream = STREAMS.get(length, scale.alphabet, alpha, scale.seed)
+        base = None
+        for threads in scale.cots_threads:
+            result = run_cots(stream, _cots_config(scale, threads))
+            if base is None:
+                base = result.seconds
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "threads": threads,
+                    "seconds": result.seconds,
+                    "speedup": base / result.seconds,
+                    "throughput_meps": result.throughput / 1e6,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title=f"Figure 11: CoTS scalability (N={length}, baseline 4 threads)",
+        columns=["alpha", "threads", "seconds", "speedup", "throughput_meps"],
+        rows=rows,
+        notes=(
+            "Near-monotone growth for skewed streams; alpha=1.5 saturates "
+            "around 8-16 threads (limited by the summary structure)."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12: CoTS execution time over input size x threads
+# ----------------------------------------------------------------------
+def fig12(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """CoTS: time over input size × threads (skewed alphas only)."""
+    scale = scale or ExperimentScale.default()
+    rows: List[Dict] = []
+    for alpha in scale.alphas_naive:
+        for multiplier in scale.size_multipliers:
+            length = scale.sweep_base * multiplier
+            stream = STREAMS.get(length, scale.alphabet, alpha, scale.seed)
+            for threads in scale.cots_threads:
+                result = run_cots(stream, _cots_config(scale, threads))
+                rows.append(
+                    {
+                        "alpha": alpha,
+                        "multiplier": multiplier,
+                        "elements": length,
+                        "threads": threads,
+                        "seconds": result.seconds,
+                    }
+                )
+    return ExperimentResult(
+        experiment_id="fig12",
+        title=(
+            "Figure 12: CoTS execution time over "
+            f"size (x{scale.sweep_base}) and threads"
+        ),
+        columns=["alpha", "multiplier", "elements", "threads", "seconds"],
+        rows=rows,
+        notes="Time linear in input length; scaling independent of size.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2: best-case absolute times, Sequential vs Shared vs CoTS
+# ----------------------------------------------------------------------
+def table2(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """Best-case execution times of Sequential, Shared and CoTS."""
+    scale = scale or ExperimentScale.default()
+    length = scale.table2_stream
+    # "best case" among genuinely parallel shared configurations — with a
+    # single thread the shared design degenerates to sequential-plus-lock
+    # overhead, which is not the design the paper benchmarks
+    shared_threads = [t for t in scale.naive_threads if 2 <= t <= 4] or [
+        max(scale.naive_threads)
+    ]
+    cots_threads = list(scale.cots_threads)[-2:]
+    rows: List[Dict] = []
+    for alpha in scale.alphas_naive:
+        stream = STREAMS.get(length, scale.alphabet, alpha, scale.seed)
+        sequential = run_sequential(stream, _scheme_config(scale, 1))
+        shared_best = min(
+            run_shared(
+                stream, _scheme_config(scale, threads), lock_kind="mutex"
+            ).seconds
+            for threads in shared_threads
+        )
+        cots_runs = {
+            threads: run_cots(stream, _cots_config(scale, threads))
+            for threads in cots_threads
+        }
+        cots_best_threads = min(cots_runs, key=lambda t: cots_runs[t].seconds)
+        cots_best = cots_runs[cots_best_threads]
+        rows.append(
+            {
+                "alpha": alpha,
+                "sequential_s": sequential.seconds,
+                "shared_s": shared_best,
+                "cots_s": cots_best.seconds,
+                "cots_threads": cots_best_threads,
+                "shared_vs_seq": shared_best / sequential.seconds,
+                "cots_speedup_vs_seq": sequential.seconds / cots_best.seconds,
+                "cots_peak_meps": cots_best.throughput / 1e6,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table2",
+        title=f"Table 2: best-case execution time comparison (N={length})",
+        columns=[
+            "alpha",
+            "sequential_s",
+            "shared_s",
+            "cots_s",
+            "cots_threads",
+            "shared_vs_seq",
+            "cots_speedup_vs_seq",
+            "cots_peak_meps",
+        ],
+        rows=rows,
+        notes=(
+            "Shared is an order of magnitude worse than Sequential; CoTS "
+            "trails Sequential at alpha=2.0 and beats it at 2.5/3.0."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Supplementary: the paper's §7 future work — CoTS on a "lean camp" CMP
+# ----------------------------------------------------------------------
+def lean_camp(scale: Optional[ExperimentScale] = None) -> ExperimentResult:
+    """CoTS scalability on an UltraSPARC-T2-like machine (64 contexts).
+
+    The paper defers this evaluation to future work ("we plan to analyze
+    the performance of the CoTS framework on the 'lean camp' CMP
+    architectures"); the simulator can run it today.  The lean machine
+    trades clock speed (1.2 vs 2.4 GHz) for 16x the hardware contexts,
+    so the latency-hiding that needed heavy oversubscription on the fat
+    camp is natively covered by hardware threads.
+    """
+    scale = scale or ExperimentScale.default()
+    length = scale.fig11_stream
+    machines = {
+        "fat-camp (4x2.4GHz)": MachineSpec.fat_camp(),
+        "lean-camp (64x1.2GHz)": MachineSpec.lean_camp(),
+    }
+    rows: List[Dict] = []
+    for alpha in scale.alphas_naive:
+        stream = STREAMS.get(length, scale.alphabet, alpha, scale.seed)
+        for label, machine in machines.items():
+            for threads in scale.cots_threads:
+                config = CoTSRunConfig(
+                    threads=threads,
+                    capacity=scale.capacity,
+                    machine=machine,
+                    costs=CostModel(),
+                )
+                result = run_cots(stream, config)
+                rows.append(
+                    {
+                        "alpha": alpha,
+                        "machine": label,
+                        "threads": threads,
+                        "seconds": result.seconds,
+                        "throughput_meps": result.throughput / 1e6,
+                    }
+                )
+    return ExperimentResult(
+        experiment_id="lean_camp",
+        title=(
+            "Supplementary (paper §7 future work): CoTS on fat- vs "
+            f"lean-camp machines (N={length})"
+        ),
+        columns=["alpha", "machine", "threads", "seconds", "throughput_meps"],
+        rows=rows,
+        notes=(
+            "The lean camp reaches its peak at far lower software-thread "
+            "counts: 64 hardware contexts natively hide the per-element "
+            "latency that the fat camp needs oversubscription for."
+        ),
+    )
+
+
+#: every reproduced experiment, keyed by id
+ALL_EXPERIMENTS = {
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig11": fig11,
+    "fig12": fig12,
+    "table2": table2,
+    "lean_camp": lean_camp,
+}
+
+
+def run_all(scale: Optional[ExperimentScale] = None) -> Dict[str, ExperimentResult]:
+    """Regenerate every table and figure; returns id → result."""
+    scale = scale or ExperimentScale.default()
+    return {name: fn(scale) for name, fn in ALL_EXPERIMENTS.items()}

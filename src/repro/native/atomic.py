@@ -1,0 +1,87 @@
+"""Lock-backed atomic primitives for real Python threads.
+
+CPython has no public CAS on plain ints, so these wrap a small lock —
+the *semantics* match the hardware atomics the CoTS protocol needs
+(increment-and-fetch, CAS, swap), which is what the native protocol
+validation cares about.  Performance is *not* the point here (the GIL
+forbids speedup anyway); the simulator carries the performance story.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class AtomicInteger:
+    """An integer with atomic add/CAS/swap (lock-based)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+
+    def get(self) -> int:
+        """Read the current value."""
+        with self._lock:
+            return self._value
+
+    def set(self, value: int) -> None:
+        """Write ``value``."""
+        with self._lock:
+            self._value = value
+
+    def add_and_get(self, amount: int = 1) -> int:
+        """Atomically add ``amount`` and return the new value."""
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def compare_and_swap(self, expected: int, new: int) -> bool:
+        """Set to ``new`` iff currently ``expected``; report success."""
+        with self._lock:
+            if self._value == expected:
+                self._value = new
+                return True
+            return False
+
+    def swap(self, new: int) -> int:
+        """Set to ``new`` and return the previous value."""
+        with self._lock:
+            old = self._value
+            self._value = new
+            return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicInteger({self.get()})"
+
+
+class AtomicReference:
+    """A reference cell with atomic CAS/swap (lock-based)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: Any = None) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+
+    def get(self) -> Any:
+        """Read the current reference."""
+        with self._lock:
+            return self._value
+
+    def compare_and_swap(self, expected: Any, new: Any) -> bool:
+        """Set to ``new`` iff currently ``expected`` (identity); report success."""
+        with self._lock:
+            if self._value is expected:
+                self._value = new
+                return True
+            return False
+
+    def swap(self, new: Any) -> Any:
+        """Set to ``new`` and return the previous reference."""
+        with self._lock:
+            old = self._value
+            self._value = new
+            return old

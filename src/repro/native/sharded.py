@@ -1,0 +1,60 @@
+"""Real-thread Independent Structures: per-thread counters plus a merge.
+
+The shared-nothing counterpart to :mod:`repro.native.delegation`: each
+thread counts its partition into a private Space Saving instance (no
+synchronization at all), and queries merge the locals on demand — the
+design of §4.1, runnable on real threads for functional validation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, List, Optional, Sequence
+
+from repro.core.merge import merge_space_saving
+from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
+
+Element = Hashable
+
+
+class ShardedSpaceSaving:
+    """Per-thread Space Saving locals with on-demand merge."""
+
+    def __init__(self, threads: int, capacity: int) -> None:
+        if threads < 1:
+            raise ConfigurationError(f"threads must be >= 1, got {threads}")
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.threads = threads
+        self.capacity = capacity
+        self.locals: List[SpaceSaving] = [
+            SpaceSaving(capacity=capacity) for _ in range(threads)
+        ]
+
+    def count(self, stream: Sequence[Element]) -> None:
+        """Partition ``stream`` round-robin and count on real threads."""
+        def work(index: int) -> None:
+            local = self.locals[index]
+            for element in stream[index :: self.threads]:
+                local.process(element)
+
+        workers = [
+            threading.Thread(target=work, args=(i,), daemon=True)
+            for i in range(self.threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+    def merged(self, capacity: Optional[int] = None) -> SpaceSaving:
+        """Serial merge of the local structures (the query path)."""
+        return merge_space_saving(
+            self.locals, capacity=capacity or self.capacity
+        )
+
+    @property
+    def processed(self) -> int:
+        """Total elements processed across all locals."""
+        return sum(local.processed for local in self.locals)

@@ -1,0 +1,209 @@
+"""Shared scaffolding for the simulated parallelization schemes.
+
+Every scheme (sequential baseline, Independent Structures, Shared
+Structure, Hybrid, and CoTS) is a *driver* that
+
+1. partitions a buffered stream across ``threads`` simulated threads,
+2. spawns generator programs on a fresh :class:`~repro.simcore.engine.
+   Engine`, where each program performs the scheme's real algorithmic
+   logic while yielding cycle-cost effects, and
+3. returns a :class:`SchemeResult` bundling the simulated timing with the
+   final queryable counter so correctness and performance are checked on
+   the same run.
+
+Tag conventions (they feed the paper's profiling figures directly):
+
+========== ===============================================================
+ tag        meaning
+========== ===============================================================
+counting    per-element work on a thread-local structure (Fig. 4)
+merge       merging local structures / merge barriers (Fig. 4)
+hash        search-structure work incl. element-level blocking (Fig. 5)
+structure   Stream Summary operations (Fig. 5)
+bucket      frequency-bucket lock traffic (Fig. 5, "Bucket Locks")
+minmax      min/max pointer lock traffic (Fig. 5, "Min-Max Locks")
+rest        everything else (Fig. 5, "Rest")
+========== ===============================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Tuple
+
+from repro.core.counters import Element
+from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import Compute
+from repro.simcore.machine import MachineSpec
+from repro.simcore.stats import ExecutionResult
+
+#: canonical tags (see module docstring)
+TAG_COUNTING = "counting"
+TAG_MERGE = "merge"
+TAG_HASH = "hash"
+TAG_STRUCTURE = "structure"
+TAG_BUCKET = "bucket"
+TAG_MINMAX = "minmax"
+TAG_REST = "rest"
+
+
+@dataclasses.dataclass
+class SchemeConfig:
+    """Parameters shared by every scheme driver."""
+
+    threads: int = 4
+    capacity: int = 256              #: Space Saving counter budget
+    machine: MachineSpec = dataclasses.field(default_factory=MachineSpec)
+    costs: CostModel = dataclasses.field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ConfigurationError(
+                f"threads must be >= 1, got {self.threads}"
+            )
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {self.capacity}"
+            )
+
+
+@dataclasses.dataclass
+class SchemeResult:
+    """Outcome of driving one scheme over one stream."""
+
+    scheme: str
+    threads: int
+    elements: int
+    execution: ExecutionResult
+    counter: Optional[SpaceSaving]        #: final queryable summary
+    extras: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall-clock seconds of the whole run."""
+        return self.execution.seconds
+
+    @property
+    def cycles(self) -> int:
+        """Simulated makespan in cycles."""
+        return self.execution.makespan
+
+    @property
+    def throughput(self) -> float:
+        """Stream elements per simulated second."""
+        return self.execution.throughput(self.elements)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fraction of attributed time per tag (profiling figures)."""
+        return self.execution.breakdown()
+
+
+def op_kind(counter: SpaceSaving, element: Element) -> str:
+    """Which Space Saving operation the next ``process(element)`` will be.
+
+    One of ``"increment"``, ``"insert"`` or ``"overwrite"`` — the three
+    cases of Algorithm 1 (Table 1's IncrementCounter /
+    AddElementToBucket / Overwrite).
+    """
+    if element in counter.summary:
+        return "increment"
+    if len(counter.summary) < counter.capacity:
+        return "insert"
+    return "overwrite"
+
+
+def lookup_cycles(costs: CostModel) -> int:
+    """Cycles for fetching an element and probing the hash table."""
+    return costs.stream_fetch + costs.hash_compute + costs.key_compare
+
+
+def update_cycles(costs: CostModel, kind: str) -> int:
+    """Baseline cycles for the Stream Summary part of one step.
+
+    This is the bucket-reuse fast path; :func:`dynamic_update_cycles`
+    adds the allocation/free work when buckets are actually created or
+    emptied, which dominates for high-frequency elements (their counts
+    are unique, so every increment splices a fresh bucket in and garbage
+    collects the old one).
+    """
+    if kind == "increment":
+        # detach node, find neighbour bucket, attach
+        return costs.list_splice * 2 + costs.pointer_chase
+    if kind == "insert":
+        # allocate node, attach to (possibly new) min bucket
+        return costs.alloc + costs.list_splice
+    if kind == "overwrite":
+        # locate min victim, hash-delete it, hash-insert the newcomer,
+        # move the node to the bumped frequency
+        return (
+            costs.pointer_chase
+            + costs.key_compare
+            + costs.free
+            + costs.alloc
+            + costs.list_splice * 2
+        )
+    raise ConfigurationError(f"unknown op kind {kind!r}")
+
+
+def dynamic_update_cycles(
+    counter: SpaceSaving, element: Element, costs: CostModel
+) -> Tuple[str, int]:
+    """(kind, cycles) for the *next* ``process(element)`` on ``counter``.
+
+    Adds bucket allocation/free charges on top of
+    :func:`update_cycles` when the step will create a new frequency
+    bucket or empty its source bucket — the dominant cost of sequential
+    Space Saving under skew, and exactly the work CoTS's bulk increments
+    amortize.
+    """
+    kind = op_kind(counter, element)
+    cycles = update_cycles(costs, kind)
+    summary = counter.summary
+    if kind == "increment":
+        node = summary.node(element)
+        source = node.bucket
+        target = source.freq + 1
+        if source.next is None or source.next.freq != target:
+            cycles += costs.alloc          # splice in a fresh bucket
+        if source.size == 1:
+            cycles += costs.free           # source bucket is emptied
+    elif kind == "insert":
+        if summary.min_freq != 1:
+            cycles += costs.alloc          # needs a new freq-1 bucket
+    else:  # overwrite
+        min_node = summary.min_node()
+        if min_node is not None and min_node.bucket.size == 1:
+            cycles += costs.free           # min bucket collapses
+        cycles += costs.alloc              # destination bucket is new in
+        # the common case (victim count + 1 is rarely an existing bucket)
+    return kind, cycles
+
+
+def sequential_step(
+    counter: SpaceSaving,
+    element: Element,
+    costs: CostModel,
+    tag: str = TAG_COUNTING,
+):
+    """Generator: one charged Space Saving step on a private structure.
+
+    Used by the sequential baseline and by each local structure of the
+    Independent design, where lookup and summary update run without any
+    synchronization.
+    """
+    _, cycles = dynamic_update_cycles(counter, element, costs)
+    yield Compute(lookup_cycles(costs) + cycles, tag)
+    counter.process(element)
+
+
+def partition_sizes(total: int, parts: int) -> List[int]:
+    """Sizes of ``parts`` near-equal contiguous chunks of ``total``."""
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def thread_names(prefix: str, count: int) -> List[str]:
+    """Stable simulated-thread names (``prefix-0`` ... ``prefix-n``)."""
+    return [f"{prefix}-{i}" for i in range(count)]

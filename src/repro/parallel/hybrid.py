@@ -1,0 +1,128 @@
+"""The Hybrid local-plus-global design sketched in §4.4.
+
+Each thread keeps a small *local* Space Saving cache that absorbs repeats
+of hot elements; every ``flush_every`` processed elements the local
+counts are pushed into a lock-protected *global* structure as bulk
+increments.  The paper argues (without implementing it) that this design
+degenerates at both ends of the skew spectrum:
+
+* near-uniform input — local caches almost never hit, so every flush
+  pushes mostly-fresh elements and the scheme collapses into the Shared
+  design plus cache overhead;
+* highly skewed input — all threads cache the *same* hot elements, so
+  flushes still contend on the same global buckets, and answers between
+  flushes grow stale.
+
+This implementation exists to test that argument empirically; the
+``hybrid`` ablation benchmark compares it against both parents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.counters import Element
+from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
+from repro.parallel.base import (
+    SchemeConfig,
+    SchemeResult,
+    TAG_BUCKET,
+    TAG_COUNTING,
+    TAG_HASH,
+    TAG_STRUCTURE,
+    dynamic_update_cycles,
+    lookup_cycles,
+    thread_names,
+)
+from repro.parallel.shared import _SharedState, _acquire, _release
+from repro.simcore.effects import Compute
+from repro.simcore.engine import Engine
+from repro.workloads.partition import block_partition
+
+
+def _flush(local: SpaceSaving, state: _SharedState, costs):
+    """Push every local counter into the global structure, then reset."""
+    entries = local.entries()
+    counter = state.counter
+    for entry in entries:
+        yield Compute(lookup_cycles(costs), TAG_HASH)
+        element_lock = state.element_lock(entry.element)
+        yield from _acquire(element_lock, TAG_HASH)
+        min_node = counter.summary.min_node()
+        held = []
+        if min_node is not None:
+            bucket_lock = state.bucket_lock(min_node.bucket)
+            yield from _acquire(bucket_lock, TAG_BUCKET)
+            held.append((bucket_lock, TAG_BUCKET))
+        _, cycles = dynamic_update_cycles(counter, entry.element, costs)
+        yield Compute(cycles, TAG_STRUCTURE)
+        counter.process_bulk(entry.element, entry.count)
+        for lock, tag in reversed(held):
+            yield from _release(lock, tag)
+        yield from _release(element_lock, TAG_HASH)
+    # reset the local cache
+    local.reset()
+
+
+def _worker(
+    part: Sequence[Element],
+    local: SpaceSaving,
+    state: _SharedState,
+    costs,
+    flush_every: int,
+):
+    since_flush = 0
+    for element in part:
+        _, cycles = dynamic_update_cycles(local, element, costs)
+        yield Compute(lookup_cycles(costs) + cycles, TAG_COUNTING)
+        local.process(element)
+        since_flush += 1
+        if since_flush >= flush_every:
+            since_flush = 0
+            yield from _flush(local, state, costs)
+    if len(local.summary):
+        yield from _flush(local, state, costs)
+
+
+def run_hybrid(
+    stream: Sequence[Element],
+    config: Optional[SchemeConfig] = None,
+    flush_every: int = 512,
+    local_capacity: int = 0,
+    lock_kind: str = "mutex",
+) -> SchemeResult:
+    """Drive the Hybrid scheme over a buffered stream.
+
+    ``local_capacity`` defaults to a quarter of the global capacity
+    (a small cache, as the design intends).
+    """
+    config = config if config is not None else SchemeConfig()
+    if flush_every < 1:
+        raise ConfigurationError(
+            f"flush_every must be >= 1, got {flush_every}"
+        )
+    if local_capacity <= 0:
+        local_capacity = max(1, config.capacity // 4)
+    state = _SharedState(config.capacity, lock_kind)
+    parts = block_partition(stream, config.threads)
+    locals_ = [
+        SpaceSaving(capacity=local_capacity) for _ in range(config.threads)
+    ]
+    engine = Engine(machine=config.machine, costs=config.costs)
+    for index, name in enumerate(thread_names("hyb", config.threads)):
+        engine.spawn(
+            _worker(
+                parts[index], locals_[index], state, config.costs, flush_every
+            ),
+            name=name,
+        )
+    execution = engine.run()
+    return SchemeResult(
+        scheme="hybrid",
+        threads=config.threads,
+        elements=len(stream),
+        execution=execution,
+        counter=state.counter,
+        extras={"flush_every": flush_every, "local_capacity": local_capacity},
+    )

@@ -1,0 +1,171 @@
+"""Independent Structures — the shared-nothing naive scheme (§4.1).
+
+Each thread runs a private Space Saving instance over its block of the
+stream.  To answer a query the locals must be merged, and the paper poses
+one query (hence one merge) every ``merge_every`` stream elements.  Two
+merge strategies are modelled:
+
+* ``serial`` — every thread synchronizes at a barrier, then thread 0
+  alone folds all ``p`` local structures (O(p·m) counter visits) while
+  the others wait at a second barrier;
+* ``hierarchical`` — pairwise merges level-by-level like merge sort's
+  merge phase, with a full barrier after every level.  The folds within
+  one level proceed in parallel, but each of the log2(p) barriers costs
+  a synchronization round-trip — the overhead that, per the paper, stops
+  hierarchical merge from beating serial merge in practice.
+
+The counting phase is embarrassingly parallel (tag ``counting``); all
+merge work and merge waiting is tagged ``merge``, which is exactly the
+split Figure 4 plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.core.counters import Element
+from repro.core.merge import merge_schedule, merge_space_saving
+from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
+from repro.parallel.base import (
+    SchemeConfig,
+    SchemeResult,
+    TAG_COUNTING,
+    TAG_MERGE,
+    sequential_step,
+    thread_names,
+)
+from repro.simcore.effects import Compute
+from repro.simcore.engine import Engine
+from repro.simcore.sync import Barrier
+from repro.workloads.partition import block_partition
+
+
+def _worker(
+    index: int,
+    part: Sequence[Element],
+    locals_: List[SpaceSaving],
+    costs,
+    barrier: Barrier,
+    local_interval: int,
+    rounds: int,
+    strategy: str,
+    levels,
+    merge_log: List[SpaceSaving],
+):
+    counter = locals_[index]
+    done_rounds = 0
+    since_merge = 0
+    for element in part:
+        yield from sequential_step(counter, element, costs, TAG_COUNTING)
+        since_merge += 1
+        if since_merge == local_interval and done_rounds < rounds:
+            since_merge = 0
+            done_rounds += 1
+            yield from _merge_round(
+                index, locals_, costs, barrier, strategy, levels, merge_log
+            )
+    # Partitions are near-equal but not identical; keep joining barriers
+    # so siblings can finish their remaining merge rounds.
+    while done_rounds < rounds:
+        done_rounds += 1
+        yield from _merge_round(
+            index, locals_, costs, barrier, strategy, levels, merge_log
+        )
+
+
+def _merge_round(
+    index: int,
+    locals_: List[SpaceSaving],
+    costs,
+    barrier: Barrier,
+    strategy: str,
+    levels,
+    merge_log: List[SpaceSaving],
+):
+    yield barrier.wait(TAG_MERGE)
+    if strategy == "serial":
+        if index == 0:
+            visits = sum(len(local.summary) for local in locals_)
+            yield Compute(costs.merge_per_counter * visits, TAG_MERGE)
+            merge_log.append(merge_space_saving(locals_))
+        yield barrier.wait(TAG_MERGE)
+        return
+    # hierarchical: each level folds pairs in parallel, then barriers.
+    sizes = [len(local.summary) for local in locals_]
+    for level in levels:
+        for left, right in level:
+            if index == left:
+                visits = sizes[left] + sizes[right]
+                yield Compute(costs.merge_per_counter * visits, TAG_MERGE)
+                sizes[left] = min(
+                    locals_[left].capacity, sizes[left] + sizes[right]
+                )
+        yield barrier.wait(TAG_MERGE)
+    if index == 0:
+        merge_log.append(merge_space_saving(locals_))
+
+
+def run_independent(
+    stream: Sequence[Element],
+    config: Optional[SchemeConfig] = None,
+    merge_every: int = 0,
+    strategy: str = "serial",
+) -> SchemeResult:
+    """Drive the Independent Structures scheme over a buffered stream.
+
+    ``merge_every`` is the query interval in *stream elements* (the paper
+    uses 50000 on 5M-element streams, i.e. 1%); 0 disables periodic
+    merges and only a final merge is performed.  ``strategy`` selects
+    serial or hierarchical merging.
+    """
+    if strategy not in ("serial", "hierarchical"):
+        raise ConfigurationError(
+            f"strategy must be 'serial' or 'hierarchical', got {strategy!r}"
+        )
+    config = config if config is not None else SchemeConfig()
+    threads = config.threads
+    parts = block_partition(stream, threads)
+    locals_ = [SpaceSaving(capacity=config.capacity) for _ in range(threads)]
+    barrier = Barrier(threads, name="merge-barrier")
+    longest = max(len(part) for part in parts)
+    if merge_every > 0:
+        local_interval = max(1, merge_every // threads)
+        rounds = math.ceil(longest / local_interval) if longest else 0
+    else:
+        local_interval = longest + 1  # never triggers mid-stream
+        rounds = 0
+    levels = merge_schedule(threads)
+    merge_log: List[SpaceSaving] = []
+    engine = Engine(machine=config.machine, costs=config.costs)
+    for index, name in enumerate(thread_names("ind", threads)):
+        engine.spawn(
+            _worker(
+                index,
+                parts[index],
+                locals_,
+                config.costs,
+                barrier,
+                local_interval,
+                rounds,
+                strategy,
+                levels,
+                merge_log,
+            ),
+            name=name,
+        )
+    execution = engine.run()
+    final = merge_log[-1] if merge_log else merge_space_saving(locals_)
+    return SchemeResult(
+        scheme=f"independent-{strategy}",
+        threads=threads,
+        elements=len(stream),
+        execution=execution,
+        counter=final,
+        extras={
+            "merge_rounds": rounds,
+            "merge_log": merge_log,
+            "locals": locals_,
+        },
+    )

@@ -1,0 +1,48 @@
+"""The sequential baseline: one thread, no locks, no synchronization.
+
+This is the "Sequential" row of Table 2 — plain Space Saving processing
+the stream on a single core, whose absolute simulated time anchors every
+speedup figure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.counters import Element
+from repro.core.space_saving import SpaceSaving
+from repro.parallel.base import (
+    SchemeConfig,
+    SchemeResult,
+    TAG_COUNTING,
+    sequential_step,
+)
+from repro.simcore.engine import Engine
+
+
+def _worker(stream: Sequence[Element], counter: SpaceSaving, costs):
+    for element in stream:
+        yield from sequential_step(counter, element, costs, TAG_COUNTING)
+
+
+def run_sequential(
+    stream: Sequence[Element],
+    config: Optional[SchemeConfig] = None,
+) -> SchemeResult:
+    """Process ``stream`` with a single simulated thread.
+
+    ``config.threads`` is ignored (always 1); machine, costs and capacity
+    apply as usual.
+    """
+    config = config if config is not None else SchemeConfig()
+    counter = SpaceSaving(capacity=config.capacity)
+    engine = Engine(machine=config.machine, costs=config.costs)
+    engine.spawn(_worker(stream, counter, config.costs), name="seq-0")
+    execution = engine.run()
+    return SchemeResult(
+        scheme="sequential",
+        threads=1,
+        elements=len(stream),
+        execution=execution,
+        counter=counter,
+    )

@@ -1,0 +1,82 @@
+"""Hash-sharded intra-operator parallelism (simulated).
+
+The §4.4 discussion implies a third naive option the paper never builds:
+route every element to a *home thread* by hashing its value.  Shards
+never share state (no locks, no delegation) and never merge for point
+queries (the home shard answers alone); set queries still fan out and
+combine.  The catch is **load imbalance**: under zipfian skew one shard
+owns the hot element and becomes the pipeline's bottleneck, which is the
+reason the paper's cooperative design exists.  The sharding ablation
+benchmark measures exactly that.
+
+Routing is modelled with per-shard inbox queues: a router thread charges
+a hash plus an enqueue per element, shard workers drain their inboxes at
+their own pace; shard imbalance then shows up as tail latency on the hot
+shard (the makespan is the slowest shard's finish time).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.counters import Element
+from repro.core.merge import merge_space_saving
+from repro.core.space_saving import SpaceSaving
+from repro.parallel.base import (
+    SchemeConfig,
+    SchemeResult,
+    TAG_COUNTING,
+    TAG_REST,
+    sequential_step,
+    thread_names,
+)
+from repro.simcore.effects import Compute
+from repro.simcore.engine import Engine
+
+
+def _shard_worker(part: Sequence[Element], counter: SpaceSaving, costs):
+    for element in part:
+        yield Compute(costs.stream_fetch, TAG_REST)
+        yield from sequential_step(counter, element, costs, TAG_COUNTING)
+
+
+def run_sharded(
+    stream: Sequence[Element],
+    config: Optional[SchemeConfig] = None,
+) -> SchemeResult:
+    """Drive the hash-sharded scheme over a buffered stream.
+
+    Each of ``config.threads`` shards counts the elements that hash to
+    it; the result counter is the (exact, disjoint-key) union of the
+    shards.  ``extras`` reports the shard load imbalance — the ratio of
+    the heaviest shard to the mean — which is the scheme's failure mode
+    under skew.
+    """
+    config = config if config is not None else SchemeConfig()
+    shards = config.threads
+    inboxes: List[List[Element]] = [[] for _ in range(shards)]
+    for element in stream:
+        inboxes[hash(element) % shards].append(element)
+    counters = [SpaceSaving(capacity=config.capacity) for _ in range(shards)]
+    engine = Engine(machine=config.machine, costs=config.costs)
+    for index, name in enumerate(thread_names("shard", shards)):
+        engine.spawn(
+            _shard_worker(inboxes[index], counters[index], config.costs),
+            name=name,
+        )
+    execution = engine.run()
+    loads = [len(inbox) for inbox in inboxes]
+    mean_load = (sum(loads) / shards) if shards else 0.0
+    merged = merge_space_saving(counters, capacity=config.capacity)
+    return SchemeResult(
+        scheme="sharded",
+        threads=shards,
+        elements=len(stream),
+        execution=execution,
+        counter=merged,
+        extras={
+            "loads": loads,
+            "imbalance": (max(loads) / mean_load) if mean_load else 0.0,
+            "shards": counters,
+        },
+    )

@@ -1,0 +1,248 @@
+"""Shared Structure — the lock-based naive scheme (§4.2).
+
+All threads update one shared Space Saving structure under two levels of
+synchronization:
+
+* **Element level** — one lock per stream element serializes threads that
+  process the same element (on skewed streams this is the dominant wait,
+  which is why Figure 5's "Hash Opns" share grows with both skew and
+  thread count);
+* **Bucket level** — moving an element between frequency buckets locks
+  the source and destination bucket, serializing all threads that touch
+  those buckets; the min/max bucket pointers are protected by their own
+  lock ("Min-Max Locks" in Figure 5).
+
+Lock ordering is global (min/max pointer lock, then buckets in ascending
+frequency), so the simulation cannot deadlock.  ``lock_kind`` selects
+pthread-mutex-style blocking locks or spin locks; the paper notes spin
+locks performed *worse* because waiters also burn CPU, and the simulator
+reproduces that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.counters import Element
+from repro.core.space_saving import SpaceSaving
+from repro.core.stream_summary import SummaryBucket
+from repro.errors import ConfigurationError
+from repro.parallel.base import (
+    SchemeConfig,
+    SchemeResult,
+    TAG_BUCKET,
+    TAG_HASH,
+    TAG_MINMAX,
+    TAG_STRUCTURE,
+    dynamic_update_cycles,
+    lookup_cycles,
+    op_kind,
+    thread_names,
+)
+from repro.simcore.effects import Compute
+from repro.simcore.engine import Engine
+from repro.simcore.sync import Mutex, SpinLock
+from repro.workloads.partition import block_partition
+
+Lock = Union[Mutex, SpinLock]
+
+#: prune the bucket-lock table when it exceeds this many entries
+_PRUNE_THRESHOLD = 4096
+
+
+class _SharedState:
+    """The shared structure plus all of its locks."""
+
+    def __init__(self, capacity: int, lock_kind: str) -> None:
+        if lock_kind not in ("mutex", "spin"):
+            raise ConfigurationError(
+                f"lock_kind must be 'mutex' or 'spin', got {lock_kind!r}"
+            )
+        self.counter = SpaceSaving(capacity=capacity)
+        self.lock_kind = lock_kind
+        self.element_locks: Dict[Element, Lock] = {}
+        self.bucket_locks: Dict[SummaryBucket, Lock] = {}
+        self.minmax_lock: Lock = self._new_lock("minmax")
+
+    def _new_lock(self, name: str) -> Lock:
+        if self.lock_kind == "mutex":
+            return Mutex(name)
+        return SpinLock(name)
+
+    def element_lock(self, element: Element) -> Lock:
+        lock = self.element_locks.get(element)
+        if lock is None:
+            lock = self._new_lock(f"elem-{element!r}")
+            self.element_locks[element] = lock
+        return lock
+
+    def bucket_lock(self, bucket: SummaryBucket) -> Lock:
+        lock = self.bucket_locks.get(bucket)
+        if lock is None:
+            lock = self._new_lock(f"bucket-{bucket.freq}")
+            self.bucket_locks[bucket] = lock
+        if len(self.bucket_locks) > _PRUNE_THRESHOLD:
+            self._prune_bucket_locks()
+        return lock
+
+    def _prune_bucket_locks(self) -> None:
+        """Drop lock entries of buckets that have been emptied and removed."""
+        self.bucket_locks = {
+            bucket: lock
+            for bucket, lock in self.bucket_locks.items()
+            if bucket.size > 0 or lock.owner is not None
+        }
+
+
+def _acquire(lock: Lock, tag: str):
+    yield lock.acquire(tag)
+
+
+def _release(lock: Lock, tag: str):
+    yield lock.release(tag)
+
+
+def _query_reader(
+    state: _SharedState,
+    costs,
+    k: int,
+    interval_cycles: int,
+    live_workers: Dict[str, int],
+    log: List,
+):
+    """Interval top-k reader over the shared structure (§4.2).
+
+    Readers are "only readers" but still lock: they traverse the bucket
+    list from the maximum toward the minimum frequency — opposite to
+    updates — acquiring each bucket's lock (plus the min/max pointer
+    lock) so writers are blocked while a reader is inside a bucket.
+    This is exactly the extra synchronization §4.2 calls out.
+    """
+    from repro.simcore.effects import Latency, Now
+
+    summary = state.counter.summary
+    while True:
+        finishing = live_workers["count"] == 0
+        yield from _acquire(state.minmax_lock, TAG_MINMAX)
+        answer = []
+        bucket = summary._max  # reader enters at the maximum end
+        yield from _release(state.minmax_lock, TAG_MINMAX)
+        while bucket is not None and len(answer) < k:
+            lock = state.bucket_lock(bucket)
+            yield from _acquire(lock, TAG_BUCKET)
+            for node in bucket.nodes():
+                answer.append((node.element, bucket.freq))
+                if len(answer) >= k:
+                    break
+            yield Compute(costs.key_compare * max(1, bucket.size), TAG_HASH)
+            previous = bucket.prev
+            yield from _release(lock, TAG_BUCKET)
+            bucket = previous
+        now = yield Now()
+        log.append((now, answer))
+        if finishing:
+            return
+        yield Latency(interval_cycles, tag="query")
+
+
+def _tracked(worker, live_workers: Dict[str, int]):
+    try:
+        yield from worker
+    finally:
+        live_workers["count"] -= 1
+
+
+def _worker(part: Sequence[Element], state: _SharedState, costs):
+    counter = state.counter
+    summary = counter.summary
+    for element in part:
+        # --- search structure: lookup + element-level serialization -----
+        yield Compute(lookup_cycles(costs), TAG_HASH)
+        element_lock = state.element_lock(element)
+        yield from _acquire(element_lock, TAG_HASH)
+        kind = op_kind(counter, element)
+        # --- bucket-level locking (global order: minmax, then ascending
+        # bucket frequency) ----------------------------------------------
+        held = []
+        if kind == "increment":
+            node = summary.node(element)
+            source = node.bucket
+            if source.size == 1:
+                # may empty the bucket and move the min/max pointers
+                yield from _acquire(state.minmax_lock, TAG_MINMAX)
+                held.append((state.minmax_lock, TAG_MINMAX))
+            source_lock = state.bucket_lock(source)
+            yield from _acquire(source_lock, TAG_BUCKET)
+            held.append((source_lock, TAG_BUCKET))
+            dest = source.next
+            if dest is not None and dest.size > 0:
+                dest_lock = state.bucket_lock(dest)
+                if dest_lock is not source_lock:
+                    yield from _acquire(dest_lock, TAG_BUCKET)
+                    held.append((dest_lock, TAG_BUCKET))
+        else:
+            # insert and overwrite both work at the minimum bucket and can
+            # move the min pointer.
+            yield from _acquire(state.minmax_lock, TAG_MINMAX)
+            held.append((state.minmax_lock, TAG_MINMAX))
+            min_node = summary.min_node()
+            if min_node is not None:
+                min_lock = state.bucket_lock(min_node.bucket)
+                yield from _acquire(min_lock, TAG_BUCKET)
+                held.append((min_lock, TAG_BUCKET))
+        # --- the Stream Summary operation itself -------------------------
+        _, cycles = dynamic_update_cycles(counter, element, costs)
+        yield Compute(cycles, TAG_STRUCTURE)
+        counter.process(element)
+        for lock, tag in reversed(held):
+            yield from _release(lock, tag)
+        yield from _release(element_lock, TAG_HASH)
+
+
+def run_shared(
+    stream: Sequence[Element],
+    config: Optional[SchemeConfig] = None,
+    lock_kind: str = "mutex",
+    query_every_cycles: int = 0,
+    query_top_k: int = 5,
+) -> SchemeResult:
+    """Drive the Shared Structure scheme over a buffered stream.
+
+    ``lock_kind`` is ``"mutex"`` (pthread-style blocking, the paper's
+    Figure 3(b)) or ``"spin"`` (busy-waiting, reported as even worse).
+    ``query_every_cycles > 0`` additionally runs a lock-acquiring
+    interval top-k reader (§4.2's reader synchronization); its answers
+    land in ``extras["query_log"]``.
+    """
+    config = config if config is not None else SchemeConfig()
+    if query_every_cycles < 0:
+        raise ConfigurationError(
+            f"query_every_cycles must be >= 0, got {query_every_cycles}"
+        )
+    state = _SharedState(config.capacity, lock_kind)
+    parts = block_partition(stream, config.threads)
+    engine = Engine(machine=config.machine, costs=config.costs)
+    live_workers = {"count": config.threads}
+    query_log: List = []
+    for index, name in enumerate(thread_names("shr", config.threads)):
+        program = _worker(parts[index], state, config.costs)
+        if query_every_cycles > 0:
+            program = _tracked(program, live_workers)
+        engine.spawn(program, name=name)
+    if query_every_cycles > 0:
+        engine.spawn(
+            _query_reader(
+                state, config.costs, query_top_k, query_every_cycles,
+                live_workers, query_log,
+            ),
+            name="shr-reader",
+        )
+    execution = engine.run()
+    return SchemeResult(
+        scheme=f"shared-{lock_kind}",
+        threads=config.threads,
+        elements=len(stream),
+        execution=execution,
+        counter=state.counter,
+        extras={"lock_kind": lock_kind, "query_log": query_log},
+    )

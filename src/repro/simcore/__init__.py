@@ -1,0 +1,68 @@
+"""Discrete-event chip-multiprocessor simulator (the repro substrate).
+
+CPython's GIL prevents real intra-operator thread parallelism, so the
+paper's concurrency experiments run on this deterministic simulator: the
+algorithms are written as generators yielding :mod:`effects
+<repro.simcore.effects>`, and the :class:`~repro.simcore.engine.Engine`
+resolves core scheduling, cache-line contention, lock queues and wakeups
+in simulated time.  See DESIGN.md §2 and §5 for the substitution argument.
+"""
+
+from repro.simcore.atomics import AtomicCell, CacheLine
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import (
+    AtomicOp,
+    BarrierWait,
+    Compute,
+    Effect,
+    Latency,
+    MutexAcquire,
+    MutexRelease,
+    Now,
+    Park,
+    SpinAcquire,
+    SpinRelease,
+    Unpark,
+    YieldCPU,
+)
+from repro.simcore.trace import TraceEvent, TraceRecorder
+from repro.simcore.engine import Engine, SimThread
+from repro.simcore.machine import MachineSpec
+from repro.simcore.stats import (
+    ExecutionResult,
+    TagAccount,
+    ThreadStats,
+    merge_breakdowns,
+)
+from repro.simcore.sync import Barrier, Mutex, SpinLock
+
+__all__ = [
+    "AtomicCell",
+    "AtomicOp",
+    "Barrier",
+    "BarrierWait",
+    "CacheLine",
+    "Compute",
+    "CostModel",
+    "Effect",
+    "Engine",
+    "ExecutionResult",
+    "Latency",
+    "MachineSpec",
+    "Mutex",
+    "MutexAcquire",
+    "MutexRelease",
+    "Now",
+    "Park",
+    "SimThread",
+    "SpinAcquire",
+    "SpinLock",
+    "SpinRelease",
+    "TagAccount",
+    "ThreadStats",
+    "TraceEvent",
+    "TraceRecorder",
+    "Unpark",
+    "YieldCPU",
+    "merge_breakdowns",
+]

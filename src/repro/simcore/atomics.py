@@ -1,0 +1,127 @@
+"""Atomic cells and the cache-line contention model.
+
+Hardware atomics are the foundation of the CoTS delegation protocol
+(Algorithm 2 uses an atomic increment-and-fetch to "log" a request and a
+CAS/swap pair to relinquish an element).  The simulator models each atomic
+as an operation on an :class:`AtomicCell` that lives on a
+:class:`CacheLine`:
+
+* operations on the *same* line serialize (the line is a single resource),
+* an operation issued from a core other than the line's current owner pays
+  a coherence-transfer penalty.
+
+This is what makes a heavily shared counter cheap-but-bounded: under a
+zipfian stream the hot element's delegation counter becomes a serialized
+hardware resource, which is precisely the effect that caps and shapes the
+scalability curves in the paper's Figure 11.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.simcore.effects import AtomicOp
+
+_line_ids = itertools.count()
+
+
+class CacheLine:
+    """A cache line: the unit of coherence traffic and serialization.
+
+    The engine stores transient scheduling state here (``free_at`` — when
+    the line's current operation completes, and ``owner_core`` — which core
+    last touched it).
+    """
+
+    __slots__ = ("line_id", "free_at", "owner_core")
+
+    def __init__(self) -> None:
+        self.line_id: int = next(_line_ids)
+        self.free_at: int = 0
+        self.owner_core: Optional[int] = None
+
+    def reset(self) -> None:
+        """Clear scheduling state (used when an engine starts a fresh run)."""
+        self.free_at = 0
+        self.owner_core = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLine(id={self.line_id}, free_at={self.free_at}, "
+            f"owner={self.owner_core})"
+        )
+
+
+class AtomicCell:
+    """A machine word supporting atomic load/store/add/cas/swap.
+
+    The *value* is mutated by the engine at the simulated completion time
+    of each :class:`AtomicOp`, so concurrent accesses are linearized in
+    simulated-time order.  Cells may share a :class:`CacheLine` (e.g. the
+    entries of one block of the cache-conscious hash table) to model false
+    or true sharing.
+
+    The ``load``/``store``/... methods are effect *builders*; simulated
+    threads use them as ``value = yield cell.add(1, tag="hash")``.
+    """
+
+    __slots__ = ("value", "line")
+
+    def __init__(self, value: Any = 0, line: Optional[CacheLine] = None) -> None:
+        self.value = value
+        self.line = line if line is not None else CacheLine()
+
+    # -- effect builders ----------------------------------------------------
+    def load(self, tag: str = "rest") -> AtomicOp:
+        """Atomically read the value."""
+        return AtomicOp(self, "load", tag=tag)
+
+    def store(self, value: Any, tag: str = "rest") -> AtomicOp:
+        """Atomically write ``value``."""
+        return AtomicOp(self, "store", operand=value, tag=tag)
+
+    def add(self, amount: int, tag: str = "rest") -> AtomicOp:
+        """Atomic increment-and-fetch: returns the *new* value."""
+        return AtomicOp(self, "add", operand=amount, tag=tag)
+
+    def cas(self, expected: Any, new: Any, tag: str = "rest") -> AtomicOp:
+        """Atomic compare-and-swap: returns True iff the swap happened."""
+        return AtomicOp(self, "cas", operand=new, expected=expected, tag=tag)
+
+    def swap(self, new: Any, tag: str = "rest") -> AtomicOp:
+        """Atomic exchange: returns the previous value."""
+        return AtomicOp(self, "swap", operand=new, tag=tag)
+
+    # -- non-simulated access (tests, post-quiescence inspection) -----------
+    def peek(self) -> Any:
+        """Read the value outside the simulation (no cost, no ordering)."""
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomicCell(value={self.value!r}, line={self.line.line_id})"
+
+
+def apply_atomic(cell: AtomicCell, op: str, operand: Any, expected: Any) -> Any:
+    """Apply one atomic operation to ``cell`` and return its result.
+
+    Called by the engine at the operation's simulated completion time.
+    """
+    if op == "load":
+        return cell.value
+    if op == "store":
+        cell.value = operand
+        return None
+    if op == "add":
+        cell.value += operand
+        return cell.value
+    if op == "cas":
+        if cell.value == expected:
+            cell.value = operand
+            return True
+        return False
+    if op == "swap":
+        old = cell.value
+        cell.value = operand
+        return old
+    raise ValueError(f"unknown atomic op {op!r}")

@@ -1,0 +1,116 @@
+"""Cycle-cost model for the simulated chip multiprocessor.
+
+All costs are expressed in CPU cycles of a single core.  The defaults are
+calibrated so that
+
+* the *sequential* Space Saving implementation spends roughly 120 cycles
+  per stream element (about 20M elements/s/core at 2.4 GHz, the order of
+  magnitude reported in Table 2 of the paper), and
+* the relative penalties follow well-known microarchitectural ratios for
+  the 2008-era Intel Core 2 Quad the paper evaluates on: an uncontended
+  atomic RMW costs a few tens of cycles, a cache-line transfer between
+  cores costs on the order of a hundred cycles, and a futex-style blocking
+  mutex acquisition costs thousands of cycles (syscall + scheduler).
+
+The constants are deliberately centralized here so that the ablation
+benchmarks can sweep them and demonstrate that the *shape* of every
+reproduced figure is robust to the exact calibration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Cycle costs charged by the simulator for each kind of effect.
+
+    Instances are immutable; derive variants with :meth:`replace`.
+    """
+
+    # -- plain computation -------------------------------------------------
+    stream_fetch: int = 10        #: read the next element from the input
+    hash_compute: int = 18        #: compute a hash of an element key
+    key_compare: int = 4          #: compare two keys in a chain
+    pointer_chase: int = 8        #: follow one pointer (cache-friendly)
+    alloc: int = 40               #: allocate a node / bucket
+    free: int = 20                #: release a node / bucket
+    list_splice: int = 12         #: unlink/link an element in a list
+    counter_update: int = 6       #: bump an ordinary (non-atomic) counter
+
+    # -- atomic operations and cache coherence -----------------------------
+    atomic_rmw: int = 20          #: uncontended LOCK-prefixed RMW (CAS/XADD)
+    atomic_load: int = 4          #: plain atomic load
+    atomic_store: int = 8         #: plain atomic store
+    line_transfer: int = 32       #: cache-line ping between cores (the
+    #: Q6600's cores share an L2, so transfers are cheap)
+    local_hit: int = 2            #: access to a line already owned
+
+    # -- blocking mutexes (pthread mutex; futex path when contended) -------
+    mutex_acquire: int = 35       #: lock an uncontended mutex
+    mutex_release: int = 30       #: unlock
+    mutex_block: int = 1400       #: syscall + deschedule when contended
+    mutex_wakeup: int = 1100      #: latency until a woken waiter runs
+
+    # -- spin locks ---------------------------------------------------------
+    spin_try: int = 12            #: one test-and-set attempt
+    spin_quantum: int = 48        #: busy-wait burned per failed attempt
+
+    # -- OS scheduling ------------------------------------------------------
+    context_switch: int = 40      #: resume a software thread on a core
+    #: (futex-wake fast path with a warm cache; a full cold switch is
+    #: modelled by the mutex costs above)
+    park: int = 1300              #: put a pool thread to sleep
+    unpark: int = 900             #: wake a pool thread
+    sync_latency: int = 4000      #: per-element off-core latency of the
+    #: CoTS implementation's heavyweight synchronization/allocation calls
+    #: (§6: "invoked for every stream element"); latency, not CPU — it
+    #: overlaps across threads, which is what Figure 11 exploits
+
+    # -- request queues and merging ----------------------------------------
+    queue_enqueue: int = 26       #: MPSC enqueue (one CAS + link)
+    queue_dequeue: int = 12       #: owner-side dequeue
+    relinquish_check: int = 300   #: owner-side scan for pending work before
+    #: relinquishing an element ("before it relinquishes control over R,
+    #: it will check for any pending requests on R").  This window is
+    #: also what lets back-to-back occurrences of a hot element land on
+    #: the still-held counter and be absorbed as bulk increments.
+    request_alloc: int = 1800     #: build + log one summary request (§6:
+    #: "memory allocations in the CoTS framework [are] much higher
+    #: because of request logging and related book keeping, and these
+    #: allocation calls again invoke system routines").  Paid per request
+    #: crossing the boundary — delegated elements skip it, which is why
+    #: CoTS pulls ahead of sequential only when skew makes delegation
+    #: common (Table 2's α ordering)
+    merge_per_counter: int = 30   #: merge one counter into a global summary
+    barrier_wait: int = 600       #: synchronize at a merge barrier
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"cost {field.name!r} must be a non-negative int, "
+                    f"got {value!r}"
+                )
+
+    def replace(self, **overrides: int) -> "CostModel":
+        """Return a copy of this model with the given costs overridden."""
+        return dataclasses.replace(self, **overrides)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a copy with every cost multiplied by ``factor``.
+
+        Useful for ablation sweeps; costs are rounded to whole cycles but
+        never below 1 so that ordering effects survive.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be > 0, got {factor}")
+        updates = {
+            field.name: max(1, round(getattr(self, field.name) * factor))
+            for field in dataclasses.fields(self)
+        }
+        return dataclasses.replace(self, **updates)

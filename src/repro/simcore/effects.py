@@ -1,0 +1,212 @@
+"""Effects yielded by simulated threads.
+
+A simulated thread is a Python generator.  Instead of *performing* work it
+*describes* work by yielding effect objects; the engine charges the cycle
+cost of each effect, resolves contention (core scheduling, cache-line
+serialization, lock queues) and sends the effect's result back into the
+generator::
+
+    def worker(cell):
+        observed = yield AtomicOp(cell, "add", 1, tag="hash")
+        yield Compute(25, tag="structure")
+
+Every effect carries a ``tag`` — a free-form category string under which
+the engine accounts both the busy cycles and any waiting time.  The
+profiling figures of the paper (Figures 4 and 5) are direct reads of these
+accounts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+#: Atomic operations understood by the engine.
+ATOMIC_OPS: Tuple[str, ...] = ("load", "store", "add", "cas", "swap")
+
+
+class Effect:
+    """Base class for everything a simulated thread may yield."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str = "rest") -> None:
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for cls in type(self).__mro__
+            for name in getattr(cls, "__slots__", ())
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class Compute(Effect):
+    """Burn ``cycles`` of CPU time on the thread's core."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int, tag: str = "rest") -> None:
+        super().__init__(tag)
+        self.cycles = cycles
+
+
+class AtomicOp(Effect):
+    """Perform one hardware atomic operation on an :class:`AtomicCell`.
+
+    ``op`` is one of :data:`ATOMIC_OPS`:
+
+    ``load``
+        result = current value.
+    ``store``
+        value = ``operand``; result = None.
+    ``add``
+        value += ``operand``; result = the *new* value (``xadd`` +
+        operand, i.e. atomic increment-and-fetch as used by Algorithm 2).
+    ``cas``
+        if value == ``expected``: value = ``operand``; result = True,
+        else result = False.
+    ``swap``
+        old = value; value = ``operand``; result = old.
+    """
+
+    __slots__ = ("cell", "op", "operand", "expected")
+
+    def __init__(
+        self,
+        cell: "AtomicCell",  # noqa: F821 - forward ref, see atomics.py
+        op: str,
+        operand: Any = None,
+        expected: Any = None,
+        tag: str = "rest",
+    ) -> None:
+        super().__init__(tag)
+        if op not in ATOMIC_OPS:
+            raise ValueError(f"unknown atomic op {op!r}")
+        self.cell = cell
+        self.op = op
+        self.operand = operand
+        self.expected = expected
+
+
+class MutexAcquire(Effect):
+    """Acquire a blocking mutex; blocks (releasing the core) if held."""
+
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: "Mutex", tag: str = "rest") -> None:  # noqa: F821
+        super().__init__(tag)
+        self.mutex = mutex
+
+
+class MutexRelease(Effect):
+    """Release a blocking mutex (hand-off to the first waiter, if any)."""
+
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: "Mutex", tag: str = "rest") -> None:  # noqa: F821
+        super().__init__(tag)
+        self.mutex = mutex
+
+
+class SpinAcquire(Effect):
+    """Acquire a spin lock, busy-waiting (and burning core cycles) if held."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "SpinLock", tag: str = "rest") -> None:  # noqa: F821
+        super().__init__(tag)
+        self.lock = lock
+
+
+class SpinRelease(Effect):
+    """Release a spin lock."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "SpinLock", tag: str = "rest") -> None:  # noqa: F821
+        super().__init__(tag)
+        self.lock = lock
+
+
+class BarrierWait(Effect):
+    """Block until all parties have arrived at the barrier."""
+
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier: "Barrier", tag: str = "rest") -> None:  # noqa: F821
+        super().__init__(tag)
+        self.barrier = barrier
+
+
+class Park(Effect):
+    """Put this thread to sleep until another thread unparks it.
+
+    The result of the effect is the token passed to :class:`Unpark`.
+    """
+
+    __slots__ = ()
+
+
+class Unpark(Effect):
+    """Wake a parked thread, delivering ``token`` as its Park result.
+
+    If the target is not currently parked the wakeup is *remembered*
+    (permit semantics, like ``LockSupport.unpark``): the target's next
+    Park returns immediately.
+    """
+
+    __slots__ = ("thread", "token")
+
+    def __init__(self, thread: Any, token: Any = None, tag: str = "rest") -> None:
+        super().__init__(tag)
+        self.thread = thread
+        self.token = token
+
+
+class Latency(Effect):
+    """Block off-core for ``cycles`` without consuming CPU.
+
+    Models operations whose cost is *latency* rather than computation: a
+    syscall round-trip, an allocator lock, a DMA — the "heavy weight
+    synchronization primitives" the paper charges per stream element in
+    its CoTS implementation.  The core is released for other threads
+    while this thread sleeps, which is exactly why oversubscription
+    (threads ≫ cores) raises throughput in Figure 11.
+    """
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int, tag: str = "rest") -> None:
+        super().__init__(tag)
+        self.cycles = cycles
+
+
+class YieldCPU(Effect):
+    """Voluntarily give up the core (go to the back of the ready queue)."""
+
+    __slots__ = ()
+
+
+class Now(Effect):
+    """Zero-cost effect whose result is the current simulated time."""
+
+    __slots__ = ()
+
+
+__all__ = [
+    "ATOMIC_OPS",
+    "Effect",
+    "Compute",
+    "AtomicOp",
+    "Latency",
+    "MutexAcquire",
+    "MutexRelease",
+    "SpinAcquire",
+    "SpinRelease",
+    "BarrierWait",
+    "Park",
+    "Unpark",
+    "YieldCPU",
+    "Now",
+]

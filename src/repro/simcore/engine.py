@@ -1,0 +1,588 @@
+"""Deterministic discrete-event engine for the simulated CMP.
+
+Simulated threads are Python generators that yield :mod:`effects
+<repro.simcore.effects>`.  The engine owns all scheduling decisions:
+
+* **Cores.**  Ready threads queue FIFO for the machine's cores.  A core
+  runs one effect at a time; switching a core between different threads
+  charges a context-switch penalty.  With more software threads than
+  cores this yields round-robin-like timesharing, matching the paper's
+  observation that contention effects flatten once threads exceed cores.
+* **Atomics.**  Operations on the same cache line serialize, and a line
+  previously owned by another core pays a coherence-transfer penalty.
+* **Mutexes.**  Contended acquires deschedule the thread (it releases its
+  core); releases hand the lock to the first waiter, which resumes after
+  a wakeup latency plus the modelled syscall overhead.
+* **Spin locks.**  Failed acquires keep the thread on the ready queue,
+  burning a spin quantum per retry, so spinning contends for CPU.
+* **Park / Unpark.**  Thread-pool primitives with permit semantics used
+  by the CoTS dynamic auto-configuration.
+
+All state transitions happen in simulated-time order (ties broken by a
+monotone sequence number), so a run is a pure function of its inputs —
+re-running with the same machine, costs and thread programs reproduces
+the identical trace.  This determinism is property-tested.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, ProtocolError, SimulationError
+from repro.simcore.atomics import apply_atomic
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import (
+    AtomicOp,
+    BarrierWait,
+    Compute,
+    Effect,
+    Latency,
+    MutexAcquire,
+    MutexRelease,
+    Now,
+    Park,
+    SpinAcquire,
+    SpinRelease,
+    Unpark,
+    YieldCPU,
+)
+from repro.simcore.machine import MachineSpec
+from repro.simcore.stats import ExecutionResult, ThreadStats
+
+# Thread lifecycle states.
+_READY = "ready"        # wants a core (pending_effect set)
+_RUNNING = "running"    # effect in flight (DONE event scheduled)
+_BLOCKED = "blocked"    # descheduled on a mutex or barrier
+_PARKED = "parked"      # descheduled in the thread pool
+_DONE = "done"
+
+# Event kinds in the heap.
+_EV_DONE = 0
+_EV_WAKE = 1
+
+
+class SimThread:
+    """A simulated software thread driving one effect generator."""
+
+    __slots__ = (
+        "name",
+        "gen",
+        "state",
+        "pending_effect",
+        "stats",
+        "daemon",
+        "_ready_at",
+        "_busy_cost",
+        "_wait_extra",
+        "_core",
+        "_last_core",
+        "_wake_result",
+        "_blocked_at",
+        "_blocked_tag",
+        "_spinning",
+        "_permit",
+        "_permit_token",
+        "_slice_used",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        gen: Generator[Effect, Any, Any],
+        daemon: bool = False,
+    ) -> None:
+        self.name = name
+        self.gen = gen
+        self.state = _READY
+        self.pending_effect: Optional[Effect] = None
+        self.stats = ThreadStats(name=name)
+        #: daemon threads may still be parked when the run ends
+        self.daemon = daemon
+        self._ready_at = 0
+        self._busy_cost = 0
+        self._wait_extra = 0
+        self._core: Optional[int] = None
+        self._last_core: Optional[int] = None
+        self._wake_result: Any = None
+        self._blocked_at = 0
+        self._blocked_tag = "rest"
+        self._spinning = False
+        self._permit = False
+        self._permit_token: Any = None
+        self._slice_used = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimThread({self.name!r}, state={self.state})"
+
+
+class Engine:
+    """Discrete-event simulator for one machine running many threads."""
+
+    def __init__(
+        self,
+        machine: Optional[MachineSpec] = None,
+        costs: Optional[CostModel] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        self.machine = machine if machine is not None else MachineSpec()
+        self.costs = costs if costs is not None else CostModel()
+        #: optional TraceRecorder-like object with a .record(...) method
+        self.tracer = tracer
+        self.now = 0
+        self.events_processed = 0
+        self._seq = itertools.count()
+        self._heap: List[Tuple[int, int, int, SimThread]] = []
+        self._cpu_waiters: List[SimThread] = []  # used as FIFO via index
+        self._waiter_head = 0
+        self._core_free: List[int] = [0] * self.machine.cores
+        self._core_last: List[Optional[SimThread]] = [None] * self.machine.cores
+        self._core_busy: List[int] = [0] * self.machine.cores
+        self._threads: List[SimThread] = []
+        self._live = 0  # threads not DONE
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        gen: Generator[Effect, Any, Any],
+        name: Optional[str] = None,
+        daemon: bool = False,
+        start_at: int = 0,
+    ) -> SimThread:
+        """Register a thread.  Must be called before :meth:`run`."""
+        thread = SimThread(
+            name=name if name is not None else f"thread-{len(self._threads)}",
+            gen=gen,
+            daemon=daemon,
+        )
+        thread._ready_at = start_at
+        self._threads.append(thread)
+        self._live += 1
+        return thread
+
+    def run(self, max_events: Optional[int] = None) -> ExecutionResult:
+        """Run until every non-daemon thread terminates.
+
+        Daemon threads that are still parked when all other work finishes
+        are stopped in place (their generators are closed).  If progress
+        stops while non-daemon threads are blocked, :class:`DeadlockError`
+        is raised.
+        """
+        if self._ran:
+            raise SimulationError("an Engine can only run once; build a new one")
+        self._ran = True
+        for thread in self._threads:
+            self._advance(thread, None, thread._ready_at)
+        while self._heap:
+            if max_events is not None and self.events_processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "possible livelock in the simulated program"
+                )
+            when, _, kind, thread = heapq.heappop(self._heap)
+            self.now = when
+            self.events_processed += 1
+            if kind == _EV_DONE:
+                self._complete(thread, when)
+            else:
+                self._wake(thread, when)
+            if self._only_daemons_left():
+                break
+        self._finish_run()
+        return ExecutionResult(
+            makespan=self.now,
+            threads={t.name: t.stats for t in self._threads},
+            events=self.events_processed,
+            clock_hz=self.machine.clock_hz,
+            core_busy=list(self._core_busy),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle helpers
+    # ------------------------------------------------------------------
+    def _only_daemons_left(self) -> bool:
+        if self._live == 0:
+            return True
+        return all(
+            t.state == _DONE or (t.daemon and t.state == _PARKED)
+            for t in self._threads
+        )
+
+    def _finish_run(self) -> None:
+        stuck = [
+            t
+            for t in self._threads
+            if t.state in (_BLOCKED, _READY, _RUNNING)
+            or (t.state == _PARKED and not t.daemon)
+        ]
+        if stuck:
+            # READY/RUNNING threads can only be stuck here if the heap
+            # drained early, which indicates an engine bug rather than a
+            # user-program deadlock — but both deserve a loud failure.
+            names = ", ".join(sorted(t.name for t in stuck))
+            raise DeadlockError(
+                f"run ended with non-terminated threads: {names}"
+            )
+        for thread in self._threads:
+            if thread.state == _PARKED:
+                thread.gen.close()
+                thread.state = _DONE
+                thread.stats.finish_time = self.now
+
+    def _advance(
+        self,
+        thread: SimThread,
+        result: Any,
+        when: int,
+        core: Optional[int] = None,
+    ) -> None:
+        """Send ``result`` into the generator and schedule its next effect.
+
+        ``core`` is a keep-the-core hint: when the thread's scheduling
+        quantum has not expired, it continues on the core it already
+        holds without paying a context switch or requeueing.
+        """
+        try:
+            effect = thread.gen.send(result)
+        except StopIteration as stop:
+            thread.state = _DONE
+            thread.stats.finish_time = when
+            thread.stats.return_value = stop.value
+            self._live -= 1
+            if core is not None:
+                # the core this thread was keeping is now free
+                waiter = self._pop_cpu_waiter()
+                if waiter is not None:
+                    self._assign(waiter, core, when)
+            return
+        if not isinstance(effect, Effect):
+            raise SimulationError(
+                f"thread {thread.name!r} yielded {effect!r}, "
+                "which is not a simcore Effect"
+            )
+        thread.pending_effect = effect
+        thread._spinning = False
+        if core is not None and self._core_free[core] <= when:
+            thread._ready_at = when
+            thread.state = _READY
+            self._assign(thread, core, when)
+        else:
+            self._request_cpu(thread, when)
+
+    def _request_cpu(self, thread: SimThread, when: int) -> None:
+        thread._ready_at = when
+        thread.state = _READY
+        core = self._find_free_core(thread, when)
+        if core is None:
+            self._cpu_waiters.append(thread)
+        else:
+            self._assign(thread, core, when)
+
+    def _find_free_core(self, thread: SimThread, when: int) -> Optional[int]:
+        preferred = thread._last_core
+        if (
+            preferred is not None
+            and self._core_free[preferred] <= when
+            and not self._has_cpu_waiters()
+        ):
+            return preferred
+        best = None
+        for core in range(self.machine.cores):
+            if self._core_free[core] <= when:
+                if self._core_last[core] is thread:
+                    return core
+                if best is None:
+                    best = core
+        return best
+
+    def _has_cpu_waiters(self) -> bool:
+        return self._waiter_head < len(self._cpu_waiters)
+
+    def _pop_cpu_waiter(self) -> Optional[SimThread]:
+        if self._waiter_head >= len(self._cpu_waiters):
+            return None
+        thread = self._cpu_waiters[self._waiter_head]
+        self._cpu_waiters[self._waiter_head] = None  # type: ignore[call-overload]
+        self._waiter_head += 1
+        # Periodically compact the FIFO so memory stays bounded.
+        if self._waiter_head > 64 and self._waiter_head * 2 > len(
+            self._cpu_waiters
+        ):
+            del self._cpu_waiters[: self._waiter_head]
+            self._waiter_head = 0
+        return thread
+
+    # ------------------------------------------------------------------
+    # Effect assignment (start of execution on a core)
+    # ------------------------------------------------------------------
+    def _assign(self, thread: SimThread, core: int, when: int) -> None:
+        effect = thread.pending_effect
+        start = max(when, self._core_free[core])
+        previous = self._core_last[core]
+        if previous is not thread:
+            # switching between threads costs; first use of an idle core
+            # does not
+            if previous is not None:
+                start += self.costs.context_switch
+            thread._slice_used = 0
+        cost, extra_wait = self._effect_timing(thread, effect, core, start)
+        end = start + extra_wait + cost
+        thread._slice_used += end - start
+        thread.state = _RUNNING
+        thread._core = core
+        thread._last_core = core
+        thread._busy_cost = cost
+        # wait = time from becoming ready to actually starting work; this
+        # covers queueing for a core, the context switch, and cache-line
+        # stalls (extra_wait).
+        thread._wait_extra = (start + extra_wait) - thread._ready_at
+        self._core_free[core] = end
+        self._core_last[core] = thread
+        self._core_busy[core] += end - start
+        if self.tracer is not None:
+            self.tracer.record(
+                thread.name, core, type(effect).__name__, effect.tag,
+                start, end,
+            )
+        heapq.heappush(self._heap, (end, next(self._seq), _EV_DONE, thread))
+
+    def _effect_timing(
+        self, thread: SimThread, effect: Effect, core: int, start: int
+    ) -> Tuple[int, int]:
+        """Return (busy_cost, extra_wait) for executing ``effect``."""
+        costs = self.costs
+        if isinstance(effect, Compute):
+            return effect.cycles, 0
+        if isinstance(effect, AtomicOp):
+            line = effect.cell.line
+            stall = max(0, line.free_at - start)
+            if effect.op == "load":
+                base = costs.atomic_load
+            elif effect.op == "store":
+                base = costs.atomic_store
+            else:
+                base = costs.atomic_rmw
+            if line.owner_core is None or line.owner_core == core:
+                base += costs.local_hit
+            else:
+                base += costs.line_transfer
+            line.free_at = start + stall + base
+            line.owner_core = core
+            return base, stall
+        if isinstance(effect, MutexAcquire):
+            return costs.mutex_acquire, 0
+        if isinstance(effect, MutexRelease):
+            return costs.mutex_release, 0
+        if isinstance(effect, SpinAcquire):
+            cost = costs.spin_quantum if thread._spinning else costs.spin_try
+            return cost, 0
+        if isinstance(effect, SpinRelease):
+            return costs.spin_try, 0
+        if isinstance(effect, BarrierWait):
+            return costs.atomic_rmw, 0
+        if isinstance(effect, Park):
+            return costs.park, 0
+        if isinstance(effect, Unpark):
+            return costs.unpark, 0
+        if isinstance(effect, Latency):
+            # issuing the operation is nearly free; the latency itself is
+            # spent off-core (handled at completion)
+            return 1, 0
+        if isinstance(effect, YieldCPU):
+            return 1, 0
+        if isinstance(effect, Now):
+            return 0, 0
+        raise SimulationError(f"unhandled effect type {type(effect).__name__}")
+
+    # ------------------------------------------------------------------
+    # Effect completion (semantics applied in simulated-time order)
+    # ------------------------------------------------------------------
+    def _complete(self, thread: SimThread, when: int) -> None:
+        effect = thread.pending_effect
+        core = thread._core
+        acct = thread.stats.account(effect.tag)
+        acct.add(busy=thread._busy_cost, wait=thread._wait_extra)
+        result, disposition = self._apply(thread, effect, when)
+        if disposition == "continue":
+            self._handover_then(thread, core, when, result, advance=True)
+        elif disposition == "retry":
+            thread._spinning = True
+            thread.stats.spin_retries += 1
+            self._handover_then(thread, core, when, None, advance=False)
+        elif disposition == "blocked":
+            waiter = self._pop_cpu_waiter()
+            if waiter is not None:
+                self._assign(waiter, core, when)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown disposition {disposition!r}")
+
+    def _handover_then(
+        self,
+        thread: SimThread,
+        core: int,
+        when: int,
+        result: Any,
+        advance: bool,
+    ) -> None:
+        """Hand the core over if the thread's quantum expired, else keep it.
+
+        A thread below its scheduling quantum keeps the core across
+        effects (real OSes do not preempt per instruction); once the
+        quantum is spent and someone is waiting, the core goes to the
+        head CPU waiter and this thread requeues at the tail.
+        """
+        expired = thread._slice_used >= self.machine.timeslice
+        if expired and self._has_cpu_waiters():
+            waiter = self._pop_cpu_waiter()
+            self._assign(waiter, core, when)
+            thread._slice_used = 0
+            if advance:
+                self._advance(thread, result, when)
+            else:
+                self._request_cpu(thread, when)
+            return
+        if advance:
+            self._advance(thread, result, when, core=core)
+        else:
+            thread._ready_at = when
+            thread.state = _READY
+            self._assign(thread, core, when)
+
+    def _apply(
+        self, thread: SimThread, effect: Effect, when: int
+    ) -> Tuple[Any, str]:
+        """Apply effect semantics at completion time ``when``."""
+        costs = self.costs
+        if isinstance(effect, Compute):
+            return None, "continue"
+        if isinstance(effect, AtomicOp):
+            value = apply_atomic(
+                effect.cell, effect.op, effect.operand, effect.expected
+            )
+            return value, "continue"
+        if isinstance(effect, MutexAcquire):
+            mutex = effect.mutex
+            if mutex.owner is None:
+                mutex.owner = thread
+                return None, "continue"
+            if mutex.owner is thread:
+                raise ProtocolError(
+                    f"thread {thread.name!r} re-acquired non-recursive "
+                    f"{mutex.name!r}"
+                )
+            mutex.waiters.append(thread)
+            self._block(thread, effect.tag, when)
+            return None, "blocked"
+        if isinstance(effect, MutexRelease):
+            mutex = effect.mutex
+            if mutex.owner is not thread:
+                raise ProtocolError(
+                    f"thread {thread.name!r} released {mutex.name!r} "
+                    f"owned by {getattr(mutex.owner, 'name', None)!r}"
+                )
+            if mutex.waiters:
+                heir = mutex.waiters.popleft()
+                mutex.owner = heir
+                self._schedule_wake(
+                    heir, when + costs.mutex_wakeup + costs.mutex_block, None
+                )
+            else:
+                mutex.owner = None
+            return None, "continue"
+        if isinstance(effect, SpinAcquire):
+            lock = effect.lock
+            if lock.owner is None:
+                lock.owner = thread
+                return None, "continue"
+            if lock.owner is thread:
+                raise ProtocolError(
+                    f"thread {thread.name!r} re-acquired spin lock "
+                    f"{lock.name!r}"
+                )
+            return None, "retry"
+        if isinstance(effect, SpinRelease):
+            lock = effect.lock
+            if lock.owner is not thread:
+                raise ProtocolError(
+                    f"thread {thread.name!r} released spin lock "
+                    f"{lock.name!r} owned by "
+                    f"{getattr(lock.owner, 'name', None)!r}"
+                )
+            lock.owner = None
+            return None, "continue"
+        if isinstance(effect, BarrierWait):
+            barrier = effect.barrier
+            barrier.arrived.append(thread)
+            if len(barrier.arrived) >= barrier.parties:
+                barrier.generation += 1
+                wake_at = when + costs.barrier_wait
+                for waiter in barrier.arrived:
+                    if waiter is not thread:
+                        self._schedule_wake(waiter, wake_at, barrier.generation)
+                barrier.arrived.clear()
+                return barrier.generation, "continue"
+            self._block(thread, effect.tag, when)
+            return None, "blocked"
+        if isinstance(effect, Park):
+            if thread._permit:
+                thread._permit = False
+                token = thread._permit_token
+                thread._permit_token = None
+                return token, "continue"
+            thread.state = _PARKED
+            thread._blocked_at = when
+            thread._blocked_tag = effect.tag
+            return None, "blocked"
+        if isinstance(effect, Unpark):
+            target: SimThread = effect.thread
+            if target.state == _PARKED:
+                self._schedule_wake(
+                    target, when + costs.mutex_wakeup, effect.token
+                )
+                target.state = _BLOCKED  # wake already scheduled
+            elif target.state != _DONE:
+                target._permit = True
+                target._permit_token = effect.token
+            return None, "continue"
+        if isinstance(effect, Latency):
+            self._block(thread, effect.tag, when)
+            self._schedule_wake(thread, when + effect.cycles, None)
+            return None, "blocked"
+        if isinstance(effect, YieldCPU):
+            # Treat the quantum as spent so the handover logic rotates the
+            # core to the next waiter.
+            thread._slice_used = self.machine.timeslice
+            return None, "continue"
+        if isinstance(effect, Now):
+            return when, "continue"
+        raise SimulationError(f"unhandled effect type {type(effect).__name__}")
+
+    # ------------------------------------------------------------------
+    # Blocking / waking
+    # ------------------------------------------------------------------
+    def _block(self, thread: SimThread, tag: str, when: int) -> None:
+        thread.state = _BLOCKED
+        thread._blocked_at = when
+        thread._blocked_tag = tag
+        thread.stats.block_events += 1
+
+    def _schedule_wake(self, thread: SimThread, when: int, result: Any) -> None:
+        thread._wake_result = result
+        heapq.heappush(self._heap, (when, next(self._seq), _EV_WAKE, thread))
+
+    def _wake(self, thread: SimThread, when: int) -> None:
+        if thread.state not in (_BLOCKED, _PARKED):
+            raise SimulationError(
+                f"wake event for thread {thread.name!r} in state "
+                f"{thread.state!r}"
+            )
+        thread.stats.account(thread._blocked_tag).add(
+            wait=when - thread._blocked_at
+        )
+        result = thread._wake_result
+        thread._wake_result = None
+        self._advance(thread, result, when)

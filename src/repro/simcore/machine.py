@@ -1,0 +1,56 @@
+"""Description of the simulated machine.
+
+The default machine mirrors the paper's evaluation platform: an Intel
+Core 2 Quad Q6600 — four cores at 2.4 GHz with a shared last-level cache.
+A "lean camp" preset (UltraSPARC T2-like: many simple hardware contexts at
+a low clock) is provided for the ablation study the paper defers to future
+work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """Static parameters of the simulated chip multiprocessor."""
+
+    cores: int = 4                 #: hardware contexts that run in parallel
+    clock_hz: float = 2.4e9        #: per-core clock; converts cycles → secs
+    cache_line_bytes: int = 64     #: used by cache-conscious layouts
+    timeslice: int = 50_000        #: cycles a thread may hold a core while
+    #: others wait (OS scheduling quantum, ~20 µs at 2.4 GHz)
+    name: str = "intel-q6600"
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {self.cores}")
+        if self.clock_hz <= 0:
+            raise ConfigurationError(
+                f"clock_hz must be > 0, got {self.clock_hz}"
+            )
+        if self.cache_line_bytes < 1:
+            raise ConfigurationError(
+                f"cache_line_bytes must be >= 1, got {self.cache_line_bytes}"
+            )
+        if self.timeslice < 1:
+            raise ConfigurationError(
+                f"timeslice must be >= 1, got {self.timeslice}"
+            )
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count into simulated wall-clock seconds."""
+        return cycles / self.clock_hz
+
+    @staticmethod
+    def fat_camp() -> "MachineSpec":
+        """The paper's evaluation machine (Intel Core 2 Quad Q6600)."""
+        return MachineSpec(cores=4, clock_hz=2.4e9, name="intel-q6600")
+
+    @staticmethod
+    def lean_camp() -> "MachineSpec":
+        """An UltraSPARC T2-like machine: 64 hardware threads at 1.2 GHz."""
+        return MachineSpec(cores=64, clock_hz=1.2e9, name="ultrasparc-t2")

@@ -1,0 +1,165 @@
+"""Per-thread, per-category time accounting and run results.
+
+The paper's profiling figures (Figures 4 and 5) report the *percentage of
+total time* each algorithm phase consumes ("Counting" vs "Merge" for the
+Independent design; "Hash Opns", "Structure Opns", "Min-Max Locks",
+"Bucket Locks" and "Rest" for the Shared design).  The engine attributes
+both busy cycles and waiting cycles of every effect to the effect's tag;
+this module aggregates those accounts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+@dataclasses.dataclass
+class TagAccount:
+    """Cycles spent under one category tag."""
+
+    busy: int = 0   #: cycles actually consuming a core / cache line
+    wait: int = 0   #: cycles spent queued for a core, line, lock or wakeup
+
+    @property
+    def total(self) -> int:
+        """Busy plus wait cycles."""
+        return self.busy + self.wait
+
+    def add(self, busy: int = 0, wait: int = 0) -> None:
+        """Accumulate cycles into this account."""
+        self.busy += busy
+        self.wait += wait
+
+
+@dataclasses.dataclass
+class ThreadStats:
+    """Everything the engine recorded about one simulated thread."""
+
+    name: str
+    accounts: Dict[str, TagAccount] = dataclasses.field(default_factory=dict)
+    finish_time: Optional[int] = None   #: simulated cycle of termination
+    spin_retries: int = 0               #: failed spin-lock attempts
+    block_events: int = 0               #: times descheduled on a mutex/barrier
+    return_value: object = None         #: StopIteration value of the generator
+
+    def account(self, tag: str) -> TagAccount:
+        """Return (creating if needed) the account for ``tag``."""
+        acct = self.accounts.get(tag)
+        if acct is None:
+            acct = TagAccount()
+            self.accounts[tag] = acct
+        return acct
+
+    @property
+    def busy_cycles(self) -> int:
+        """Total busy cycles across all tags."""
+        return sum(acct.busy for acct in self.accounts.values())
+
+    @property
+    def wait_cycles(self) -> int:
+        """Total waiting cycles across all tags."""
+        return sum(acct.wait for acct in self.accounts.values())
+
+    @property
+    def total_cycles(self) -> int:
+        """Total attributed cycles (busy + wait) across all tags."""
+        return self.busy_cycles + self.wait_cycles
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Outcome of one :meth:`Engine.run` call."""
+
+    makespan: int                       #: cycles from 0 to the last event
+    threads: Dict[str, ThreadStats]
+    events: int                         #: engine events processed
+    clock_hz: float                     #: copied from the machine spec
+    core_busy: list = dataclasses.field(default_factory=list)
+    #: busy cycles per core (index = core id)
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall-clock duration of the run."""
+        return self.makespan / self.clock_hz
+
+    def throughput(self, elements: int) -> float:
+        """Elements processed per simulated second."""
+        if self.makespan == 0:
+            return float("inf") if elements else 0.0
+        return elements / self.seconds
+
+    def core_utilization(self) -> List[float]:
+        """Busy fraction per core over the makespan (empty if untracked)."""
+        if self.makespan == 0:
+            return [0.0 for _ in self.core_busy]
+        return [busy / self.makespan for busy in self.core_busy]
+
+    def breakdown(
+        self, thread_names: Optional[Iterable[str]] = None
+    ) -> Dict[str, float]:
+        """Fraction of total attributed time per tag, over selected threads.
+
+        This is the quantity plotted on the y-axis of Figures 4 and 5.
+        """
+        selected = self._select(thread_names)
+        totals: Dict[str, int] = {}
+        for stats in selected:
+            for tag, acct in stats.accounts.items():
+                totals[tag] = totals.get(tag, 0) + acct.total
+        grand = sum(totals.values())
+        if grand == 0:
+            return {tag: 0.0 for tag in totals}
+        return {tag: cycles / grand for tag, cycles in totals.items()}
+
+    def tag_cycles(
+        self, thread_names: Optional[Iterable[str]] = None
+    ) -> Dict[str, TagAccount]:
+        """Aggregate busy/wait cycles per tag over selected threads."""
+        selected = self._select(thread_names)
+        merged: Dict[str, TagAccount] = {}
+        for stats in selected:
+            for tag, acct in stats.accounts.items():
+                merged.setdefault(tag, TagAccount()).add(acct.busy, acct.wait)
+        return merged
+
+    def average_completion(
+        self, thread_names: Optional[Iterable[str]] = None
+    ) -> float:
+        """Mean finish time (cycles) of the selected threads.
+
+        The paper reports "the average time for completion of each thread"
+        for the surface plots (Figures 6, 7 and 12); this is that metric.
+        """
+        finish_times = [
+            stats.finish_time
+            for stats in self._select(thread_names)
+            if stats.finish_time is not None
+        ]
+        if not finish_times:
+            return 0.0
+        return sum(finish_times) / len(finish_times)
+
+    def _select(
+        self, thread_names: Optional[Iterable[str]]
+    ) -> Iterable[ThreadStats]:
+        if thread_names is None:
+            return list(self.threads.values())
+        return [self.threads[name] for name in thread_names]
+
+
+def merge_breakdowns(
+    breakdowns: Iterable[Mapping[str, float]]
+) -> Dict[str, float]:
+    """Average several breakdown mappings tag-by-tag (repeated runs)."""
+    collected: Dict[str, list] = {}
+    count = 0
+    for one in breakdowns:
+        count += 1
+        for tag, fraction in one.items():
+            collected.setdefault(tag, []).append(fraction)
+    if count == 0:
+        return {}
+    return {
+        tag: sum(values) / count for tag, values in collected.items()
+    }

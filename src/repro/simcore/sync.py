@@ -1,0 +1,126 @@
+"""Blocking synchronization primitives for simulated threads.
+
+These objects hold only *state*; the scheduling behaviour (descheduling a
+blocked thread, charging syscall costs, waking waiters) lives in the
+engine.  Two lock flavours are provided because Section 4.3 of the paper
+contrasts them: blocking pthread-style mutexes, and spin locks whose
+busy-waiting also burns CPU ("the performance was worse with Spin Locks").
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+from typing import Any, Deque, Optional
+
+from repro.simcore.effects import (
+    BarrierWait,
+    MutexAcquire,
+    MutexRelease,
+    SpinAcquire,
+    SpinRelease,
+)
+
+_ids = itertools.count()
+
+
+class Mutex:
+    """A blocking mutual-exclusion lock with FIFO hand-off.
+
+    A contended acquire deschedules the thread (futex path); the release
+    hands the lock directly to the first waiter, which resumes after the
+    configured wakeup latency.
+    """
+
+    __slots__ = ("mutex_id", "name", "owner", "waiters")
+
+    def __init__(self, name: str = "") -> None:
+        self.mutex_id: int = next(_ids)
+        self.name = name or f"mutex-{self.mutex_id}"
+        self.owner: Optional[Any] = None       # SimThread or None
+        self.waiters: Deque[Any] = collections.deque()
+
+    def reset(self) -> None:
+        """Clear ownership state (used when an engine starts a fresh run)."""
+        self.owner = None
+        self.waiters.clear()
+
+    def acquire(self, tag: str = "rest") -> MutexAcquire:
+        """Build the acquire effect: ``yield mutex.acquire(tag=...)``."""
+        return MutexAcquire(self, tag=tag)
+
+    def release(self, tag: str = "rest") -> MutexRelease:
+        """Build the release effect."""
+        return MutexRelease(self, tag=tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        holder = getattr(self.owner, "name", None)
+        return f"Mutex({self.name!r}, owner={holder}, waiters={len(self.waiters)})"
+
+
+class SpinLock:
+    """A test-and-set spin lock.
+
+    A failed acquire does *not* deschedule the thread: it burns a spin
+    quantum on its core and retries, so oversubscribed spinning degrades
+    overall progress — the behaviour the paper observed.
+    """
+
+    __slots__ = ("lock_id", "name", "owner")
+
+    def __init__(self, name: str = "") -> None:
+        self.lock_id: int = next(_ids)
+        self.name = name or f"spin-{self.lock_id}"
+        self.owner: Optional[Any] = None
+
+    def reset(self) -> None:
+        """Clear ownership state (used when an engine starts a fresh run)."""
+        self.owner = None
+
+    def acquire(self, tag: str = "rest") -> SpinAcquire:
+        """Build the acquire effect."""
+        return SpinAcquire(self, tag=tag)
+
+    def release(self, tag: str = "rest") -> SpinRelease:
+        """Build the release effect."""
+        return SpinRelease(self, tag=tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        holder = getattr(self.owner, "name", None)
+        return f"SpinLock({self.name!r}, owner={holder})"
+
+
+class Barrier:
+    """A reusable barrier for ``parties`` threads.
+
+    Used by the hierarchical merge of the Independent Structures design,
+    where every merge level ends with all participating threads
+    synchronizing — the overhead the paper blames for hierarchical merge
+    not beating serial merge in practice.
+    """
+
+    __slots__ = ("barrier_id", "name", "parties", "arrived", "generation")
+
+    def __init__(self, parties: int, name: str = "") -> None:
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.barrier_id: int = next(_ids)
+        self.name = name or f"barrier-{self.barrier_id}"
+        self.parties = parties
+        self.arrived: Deque[Any] = collections.deque()
+        self.generation = 0
+
+    def reset(self) -> None:
+        """Clear arrival state (used when an engine starts a fresh run)."""
+        self.arrived.clear()
+        self.generation = 0
+
+    def wait(self, tag: str = "rest") -> BarrierWait:
+        """Build the wait effect: ``yield barrier.wait(tag=...)``."""
+        return BarrierWait(self, tag=tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Barrier({self.name!r}, parties={self.parties}, "
+            f"arrived={len(self.arrived)})"
+        )

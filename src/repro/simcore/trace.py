@@ -1,0 +1,143 @@
+"""Execution tracing and core-utilization analysis for the simulator.
+
+Attach a :class:`TraceRecorder` to an :class:`~repro.simcore.engine.
+Engine` before running and it collects one record per executed effect
+(thread, core, effect type, tag, start/end).  From the trace you get
+
+* per-core utilization (busy cycles / makespan),
+* an ASCII timeline ("who ran where, when") for debugging schedules,
+* per-thread effect histograms.
+
+Tracing costs host time and memory, so it is opt-in; the experiment
+drivers never enable it.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One executed effect."""
+
+    thread: str
+    core: int
+    effect: str       #: effect class name (Compute, AtomicOp, ...)
+    tag: str
+    start: int        #: cycle the effect began occupying its core
+    end: int          #: completion cycle
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records from an engine run."""
+
+    def __init__(self, limit: int = 1_000_000) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # Called by the engine (see Engine.tracer).
+    def record(
+        self, thread: str, core: int, effect: str, tag: str, start: int, end: int
+    ) -> None:
+        """Append one event (drops beyond the limit, counting drops)."""
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(thread, core, effect, tag, start, end))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> int:
+        """Last recorded completion cycle."""
+        return max((event.end for event in self.events), default=0)
+
+    def core_utilization(self) -> Dict[int, float]:
+        """Busy fraction per core over the traced makespan."""
+        span = self.makespan
+        if span == 0:
+            return {}
+        busy: Dict[int, int] = collections.Counter()
+        for event in self.events:
+            busy[event.core] += event.end - event.start
+        return {core: cycles / span for core, cycles in sorted(busy.items())}
+
+    def effect_histogram(self) -> Dict[str, int]:
+        """Count of executed effects by effect type."""
+        histogram: Dict[str, int] = collections.Counter()
+        for event in self.events:
+            histogram[event.effect] += 1
+        return dict(histogram)
+
+    def thread_activity(self) -> Dict[str, int]:
+        """Busy cycles per thread."""
+        activity: Dict[str, int] = collections.Counter()
+        for event in self.events:
+            activity[event.thread] += event.end - event.start
+        return dict(activity)
+
+    def timeline(
+        self,
+        width: int = 80,
+        until: Optional[int] = None,
+    ) -> str:
+        """An ASCII core-occupancy chart.
+
+        Each row is one core; each column a time slice of
+        ``makespan / width`` cycles.  The cell shows the first letter of
+        the thread that was busiest in that slice, or ``.`` when idle.
+        """
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        span = until if until is not None else self.makespan
+        if span == 0:
+            return "(empty trace)"
+        slice_len = max(1, span // width)
+        cores = sorted({event.core for event in self.events})
+        # per core per column: busiest thread
+        grids: Dict[int, List[Dict[str, int]]] = {
+            core: [collections.Counter() for _ in range(width)] for core in cores
+        }
+        for event in self.events:
+            if event.start >= span:
+                continue
+            first = min(width - 1, event.start // slice_len)
+            last = min(width - 1, max(event.start, event.end - 1) // slice_len)
+            for column in range(first, last + 1):
+                cell_start = column * slice_len
+                cell_end = cell_start + slice_len
+                overlap = min(event.end, cell_end) - max(event.start, cell_start)
+                if overlap > 0:
+                    grids[event.core][column][event.thread] += overlap
+        lines = [f"timeline: {span} cycles, {slice_len} cycles/column"]
+        for core in cores:
+            cells = []
+            for column in grids[core]:
+                if not column:
+                    cells.append(".")
+                else:
+                    busiest = max(column, key=column.get)  # type: ignore[arg-type]
+                    cells.append(busiest[0] if busiest else "?")
+            lines.append(f"core {core}: " + "".join(cells))
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """A short human-readable trace digest."""
+        utilization = self.core_utilization()
+        parts = [f"{len(self.events)} events"]
+        if self.dropped:
+            parts.append(f"{self.dropped} dropped")
+        parts.append(
+            "utilization: "
+            + ", ".join(f"core{c}={u:.0%}" for c, u in utilization.items())
+        )
+        return "; ".join(parts)

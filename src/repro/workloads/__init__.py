@@ -1,0 +1,39 @@
+"""Synthetic stream workloads and partitioning utilities."""
+
+from repro.workloads.generators import (
+    bursty_stream,
+    churn_stream,
+    interleave,
+    uniform_stream,
+    weighted_stream,
+)
+from repro.workloads.partition import (
+    block_partition,
+    hash_partition,
+    partition,
+    round_robin_partition,
+)
+from repro.workloads.zipf import (
+    ZipfStreamSpec,
+    expected_frequency,
+    paper_scaled_spec,
+    zipf_stream,
+    zipf_weights,
+)
+
+__all__ = [
+    "ZipfStreamSpec",
+    "block_partition",
+    "bursty_stream",
+    "churn_stream",
+    "expected_frequency",
+    "hash_partition",
+    "interleave",
+    "paper_scaled_spec",
+    "partition",
+    "round_robin_partition",
+    "uniform_stream",
+    "weighted_stream",
+    "zipf_stream",
+    "zipf_weights",
+]

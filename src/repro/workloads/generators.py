@@ -1,0 +1,110 @@
+"""Non-zipfian stream generators.
+
+The paper evaluates only zipfian data, but the test-suite and the
+examples need richer inputs: uniform streams (the alpha -> 0 limit the
+paper deliberately skips), bursty streams whose hot set drifts over time
+(click-stream-like non-stationarity), adversarial churn streams that
+force an eviction on every step, and explicit-weight multinomial streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import StreamError
+
+
+def uniform_stream(
+    length: int, alphabet: int, seed: int = 0
+) -> List[int]:
+    """Each element drawn uniformly from ``0 .. alphabet-1``."""
+    if length < 0:
+        raise StreamError(f"length must be >= 0, got {length}")
+    if alphabet < 1:
+        raise StreamError(f"alphabet must be >= 1, got {alphabet}")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, alphabet, size=length).tolist()
+
+
+def weighted_stream(
+    length: int, weights: Sequence[float], seed: int = 0
+) -> List[int]:
+    """Multinomial stream over ``len(weights)`` elements."""
+    if length < 0:
+        raise StreamError(f"length must be >= 0, got {length}")
+    array = np.asarray(weights, dtype=np.float64)
+    if array.size == 0:
+        raise StreamError("weights must be non-empty")
+    if (array < 0).any() or array.sum() <= 0:
+        raise StreamError("weights must be non-negative with positive sum")
+    rng = np.random.default_rng(seed)
+    return rng.choice(len(array), size=length, p=array / array.sum()).tolist()
+
+
+def bursty_stream(
+    length: int,
+    alphabet: int,
+    burst_length: int,
+    hot_fraction: float = 0.8,
+    seed: int = 0,
+) -> List[int]:
+    """A stream whose hot element changes every ``burst_length`` steps.
+
+    Within a burst, the current hot element appears with probability
+    ``hot_fraction``; the rest is uniform background.  This models the
+    non-stationary skew of real click streams (a new viral ad), and it
+    exercises the summary's bucket churn far harder than stationary zipf.
+    """
+    if length < 0:
+        raise StreamError(f"length must be >= 0, got {length}")
+    if alphabet < 1:
+        raise StreamError(f"alphabet must be >= 1, got {alphabet}")
+    if burst_length < 1:
+        raise StreamError(f"burst_length must be >= 1, got {burst_length}")
+    if not 0 <= hot_fraction <= 1:
+        raise StreamError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    stream: List[int] = []
+    remaining = length
+    while remaining > 0:
+        burst = min(burst_length, remaining)
+        hot = int(rng.integers(0, alphabet))
+        hot_mask = rng.random(burst) < hot_fraction
+        background = rng.integers(0, alphabet, size=burst)
+        chunk = np.where(hot_mask, hot, background)
+        stream.extend(chunk.tolist())
+        remaining -= burst
+    return stream
+
+
+def churn_stream(length: int, alphabet: int = 0) -> List[int]:
+    """A deterministic worst case: every element is distinct (round-robin
+    over a huge alphabet), forcing an eviction per step once a bounded
+    counter structure is full.
+
+    ``alphabet = 0`` (default) means "never repeat" (alphabet = length).
+    """
+    if length < 0:
+        raise StreamError(f"length must be >= 0, got {length}")
+    if alphabet < 0:
+        raise StreamError(f"alphabet must be >= 0, got {alphabet}")
+    period = alphabet if alphabet > 0 else max(1, length)
+    return [i % period for i in range(length)]
+
+
+def interleave(streams: Iterable[Sequence[int]]) -> List[int]:
+    """Round-robin interleave several streams (shorter ones just end)."""
+    columns = [list(s) for s in streams]
+    if not columns:
+        return []
+    result: List[int] = []
+    longest = max(len(c) for c in columns)
+    for i in range(longest):
+        for column in columns:
+            if i < len(column):
+                result.append(column[i])
+    return result

@@ -1,0 +1,121 @@
+"""Zipfian stream generation — the paper's synthetic workload.
+
+Section 6: "The data set is synthetically generated and follows zipfian
+distribution ... the frequency of the elements in the distribution varies
+as f_i = N / (i^alpha * zeta(alpha)) where zeta(alpha) = sum_{i=1}^{|A|}
+1/i^alpha".  Note the zeta is *truncated at the alphabet size* |A|, so the
+distribution is a proper probability over the alphabet for every
+alpha >= 0 (alpha = 0 is uniform).
+
+Elements are the integers ``0 .. alphabet-1`` where element ``i`` is the
+``(i+1)``-th most frequent; pass ``shuffle_identities=True`` to detach an
+element's identity from its rank (the hash table then sees uncorrelated
+keys, as with real click streams).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.errors import StreamError
+
+
+def zipf_weights(alphabet: int, alpha: float) -> np.ndarray:
+    """Normalized zipfian probabilities ``p_i = (1/i^alpha) / zeta(alpha)``."""
+    if alphabet < 1:
+        raise StreamError(f"alphabet must be >= 1, got {alphabet}")
+    if alpha < 0:
+        raise StreamError(f"alpha must be >= 0, got {alpha}")
+    ranks = np.arange(1, alphabet + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+def expected_frequency(
+    rank: int, length: int, alphabet: int, alpha: float
+) -> float:
+    """The paper's f_i for the element of 1-based ``rank``."""
+    if rank < 1 or rank > alphabet:
+        raise StreamError(f"rank must be in [1, {alphabet}], got {rank}")
+    return length * float(zipf_weights(alphabet, alpha)[rank - 1])
+
+
+@dataclasses.dataclass(frozen=True)
+class ZipfStreamSpec:
+    """Parameters of one zipfian stream (hashable; used as cache keys)."""
+
+    length: int
+    alphabet: int
+    alpha: float
+    seed: int = 0
+    shuffle_identities: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise StreamError(f"length must be >= 0, got {self.length}")
+        if self.alphabet < 1:
+            raise StreamError(f"alphabet must be >= 1, got {self.alphabet}")
+        if self.alpha < 0:
+            raise StreamError(f"alpha must be >= 0, got {self.alpha}")
+
+    def generate(self) -> np.ndarray:
+        """Materialize the stream as an int64 numpy array."""
+        rng = np.random.default_rng(self.seed)
+        weights = zipf_weights(self.alphabet, self.alpha)
+        stream = rng.choice(self.alphabet, size=self.length, p=weights)
+        if self.shuffle_identities:
+            identity = rng.permutation(self.alphabet)
+            stream = identity[stream]
+        return stream.astype(np.int64)
+
+    def elements(self) -> List[int]:
+        """The stream as a plain Python list (convenient for counters)."""
+        return self.generate().tolist()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.elements())
+
+
+def zipf_stream(
+    length: int,
+    alphabet: int,
+    alpha: float,
+    seed: int = 0,
+    shuffle_identities: bool = False,
+) -> List[int]:
+    """One-shot helper: a seeded zipfian stream as a Python list."""
+    spec = ZipfStreamSpec(
+        length=length,
+        alphabet=alphabet,
+        alpha=alpha,
+        seed=seed,
+        shuffle_identities=shuffle_identities,
+    )
+    return spec.elements()
+
+
+def paper_scaled_spec(
+    scale: float = 1.0,
+    alpha: float = 2.0,
+    seed: int = 0,
+    base_length: int = 5_000_000,
+    base_alphabet: int = 5_000_000,
+) -> ZipfStreamSpec:
+    """The paper's workload shrunk by ``scale`` with proportions intact.
+
+    The paper's experiments use streams of 1M-100M elements over a 5M
+    alphabet.  Simulating that in pure Python is infeasible, so the
+    experiment drivers shrink both dimensions by the same factor; shapes
+    (skew, churn rate, merge-to-counting ratios) are preserved because
+    they depend on the ratios, not the absolute sizes.
+    """
+    if scale <= 0:
+        raise StreamError(f"scale must be > 0, got {scale}")
+    length = max(1, int(base_length * scale))
+    alphabet = max(1, int(base_alphabet * scale))
+    return ZipfStreamSpec(
+        length=length, alphabet=alphabet, alpha=alpha, seed=seed
+    )

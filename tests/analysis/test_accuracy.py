@@ -1,0 +1,83 @@
+"""Unit tests for the accuracy metrics."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    average_relative_error,
+    frequent_accuracy,
+    set_accuracy,
+    top_k_accuracy,
+)
+from repro.core.counters import CounterEntry, ExactCounter
+from repro.errors import ConfigurationError
+
+
+def test_set_accuracy_basics():
+    acc = set_accuracy(["a", "b", "x"], ["a", "b", "c"])
+    assert acc.precision == pytest.approx(2 / 3)
+    assert acc.recall == pytest.approx(2 / 3)
+    assert acc.returned == 3
+    assert acc.expected == 3
+    assert 0 < acc.f1 < 1
+
+
+def test_set_accuracy_empty_sets():
+    acc = set_accuracy([], [])
+    assert acc.precision == 1.0
+    assert acc.recall == 1.0
+    assert acc.f1 == 1.0
+
+
+def test_set_accuracy_disjoint():
+    acc = set_accuracy(["a"], ["b"])
+    assert acc.precision == 0.0
+    assert acc.recall == 0.0
+    assert acc.f1 == 0.0
+
+
+def _exact():
+    counter = ExactCounter()
+    counter.process_many(["a"] * 60 + ["b"] * 30 + ["c"] * 10)
+    return counter
+
+
+def test_frequent_accuracy():
+    exact = _exact()
+    answer = [CounterEntry("a", 60), CounterEntry("c", 10)]
+    acc = frequent_accuracy(answer, exact, phi=0.25)
+    # truth above 25 elements: {a, b}; answered: {a, c}
+    assert acc.precision == pytest.approx(0.5)
+    assert acc.recall == pytest.approx(0.5)
+
+
+def test_frequent_accuracy_validates_phi():
+    with pytest.raises(ConfigurationError):
+        frequent_accuracy([], _exact(), phi=0.0)
+
+
+def test_top_k_accuracy():
+    exact = _exact()
+    answer = [CounterEntry("a", 61), CounterEntry("c", 12)]
+    acc = top_k_accuracy(answer, exact, k=2)
+    assert acc.precision == pytest.approx(0.5)
+    assert acc.recall == pytest.approx(0.5)
+    with pytest.raises(ConfigurationError):
+        top_k_accuracy(answer, exact, k=0)
+
+
+def test_average_relative_error_over_answers():
+    exact = _exact()
+    answer = [CounterEntry("a", 66), CounterEntry("b", 30)]
+    # errors: 6/60 = 0.1 and 0
+    assert average_relative_error(answer, exact) == pytest.approx(0.05)
+
+
+def test_average_relative_error_over_top():
+    exact = _exact()
+    answer = [CounterEntry("a", 60)]
+    # top-2 truth: a (exact), b (missing -> estimate 0 -> error 1.0)
+    assert average_relative_error(answer, exact, top=2) == pytest.approx(0.5)
+
+
+def test_average_relative_error_empty():
+    assert average_relative_error([], _exact()) == 0.0

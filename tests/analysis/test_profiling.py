@@ -1,0 +1,50 @@
+"""Unit tests for the profiling category mapping."""
+
+import pytest
+
+from repro.analysis.profiling import (
+    as_percentages,
+    independent_profile,
+    shared_profile,
+)
+
+
+def test_independent_profile_folds_and_normalizes():
+    profile = independent_profile(
+        {"counting": 0.6, "merge": 0.3, "whatever": 0.1}
+    )
+    assert profile["Counting"] == pytest.approx(0.6)
+    assert profile["Merge"] == pytest.approx(0.3)
+    assert profile["Rest"] == pytest.approx(0.1)
+    assert sum(profile.values()) == pytest.approx(1.0)
+
+
+def test_shared_profile_categories():
+    profile = shared_profile(
+        {
+            "hash": 0.4,
+            "structure": 0.2,
+            "minmax": 0.1,
+            "bucket": 0.2,
+            "other": 0.1,
+        }
+    )
+    assert profile["Hash Opns"] == pytest.approx(0.4)
+    assert profile["Structure Opns"] == pytest.approx(0.2)
+    assert profile["Min-Max Locks"] == pytest.approx(0.1)
+    assert profile["Bucket Locks"] == pytest.approx(0.2)
+    assert profile["Rest"] == pytest.approx(0.1)
+
+
+def test_unnormalized_input_is_normalized():
+    profile = independent_profile({"counting": 2.0, "merge": 2.0})
+    assert profile["Counting"] == pytest.approx(0.5)
+
+
+def test_empty_breakdown():
+    profile = shared_profile({})
+    assert all(value == 0.0 for value in profile.values())
+
+
+def test_as_percentages():
+    assert as_percentages({"A": 0.5, "B": 0.25}) == {"A": 50.0, "B": 25.0}

@@ -1,0 +1,52 @@
+"""Unit tests for speedup computation."""
+
+import pytest
+
+from repro.analysis.speedup import SpeedupSeries, scaling_efficiency, speedup_table
+from repro.errors import ConfigurationError
+
+
+def _series():
+    return SpeedupSeries(
+        label="alpha=2.0",
+        threads=[1, 2, 4],
+        times=[1.0, 0.6, 0.4],
+        baseline_threads=1,
+    )
+
+
+def test_speedups_relative_to_baseline():
+    series = _series()
+    assert series.baseline_time == 1.0
+    assert series.speedups() == pytest.approx([1.0, 1.0 / 0.6, 2.5])
+
+
+def test_baseline_can_be_any_entry():
+    series = SpeedupSeries("x", [4, 8], [2.0, 1.0], baseline_threads=4)
+    assert series.speedups() == [1.0, 2.0]
+
+
+def test_as_rows():
+    rows = _series().as_rows()
+    assert rows[0] == {"threads": 1, "seconds": 1.0, "speedup": 1.0}
+    assert rows[2]["speedup"] == pytest.approx(2.5)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SpeedupSeries("x", [1, 2], [1.0], baseline_threads=1)
+    with pytest.raises(ConfigurationError):
+        SpeedupSeries("x", [1, 2], [1.0, 2.0], baseline_threads=4)
+
+
+def test_speedup_table():
+    table = speedup_table([_series()])
+    assert list(table) == ["alpha=2.0"]
+    assert table["alpha=2.0"][-1] == pytest.approx(2.5)
+
+
+def test_scaling_efficiency():
+    series = _series()
+    eff = scaling_efficiency(series)
+    assert eff[0] == pytest.approx(1.0)
+    assert eff[2] == pytest.approx(2.5 / 4)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counters import ExactCounter
+from repro.workloads import zipf_stream
+
+
+@pytest.fixture(scope="session")
+def skewed_stream():
+    """A modest zipfian stream (alpha=2.0) shared across tests."""
+    return zipf_stream(4000, 4000, 2.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def mild_stream():
+    """A lightly skewed stream (alpha=1.2) with real counter churn."""
+    return zipf_stream(4000, 4000, 1.2, seed=11)
+
+
+@pytest.fixture(scope="session")
+def exact_skewed(skewed_stream):
+    """Ground-truth counts for the skewed stream."""
+    counter = ExactCounter()
+    counter.process_many(skewed_stream)
+    return counter
+
+
+@pytest.fixture(scope="session")
+def exact_mild(mild_stream):
+    """Ground-truth counts for the mild stream."""
+    counter = ExactCounter()
+    counter.process_many(mild_stream)
+    return counter

@@ -1,0 +1,47 @@
+"""Unit tests for counter records and the exact baseline."""
+
+from repro.core.counters import CounterEntry, ExactCounter, FrequencyCounter
+from repro.core.space_saving import SpaceSaving
+
+
+def test_counter_entry_guaranteed():
+    entry = CounterEntry("a", count=10, error=3)
+    assert entry.guaranteed == 7
+
+
+def test_exact_counter_basics():
+    counter = ExactCounter()
+    counter.process_many(["a", "b", "a"])
+    assert counter.estimate("a") == 2
+    assert counter.estimate("missing") == 0
+    assert counter.processed == 3
+    assert len(counter) == 2
+    assert "a" in counter
+
+
+def test_exact_counter_entries_sorted():
+    counter = ExactCounter()
+    counter.process_many(["x"] * 3 + ["y"] * 5 + ["z"])
+    entries = counter.entries()
+    assert [e.element for e in entries] == ["y", "x", "z"]
+    assert all(e.error == 0 for e in entries)
+
+
+def test_exact_counter_top_k_and_frequent():
+    counter = ExactCounter()
+    counter.process_many(["x"] * 6 + ["y"] * 3 + ["z"])
+    assert counter.top_k(2) == [("x", 6), ("y", 3)]
+    assert counter.frequent(2.5) == [("x", 6), ("y", 3)]
+
+
+def test_counts_returns_a_copy():
+    counter = ExactCounter()
+    counter.process("a")
+    snapshot = counter.counts()
+    snapshot["a"] = 999
+    assert counter.estimate("a") == 1
+
+
+def test_protocol_satisfied_by_both_counters():
+    assert isinstance(ExactCounter(), FrequencyCounter)
+    assert isinstance(SpaceSaving(capacity=4), FrequencyCounter)

@@ -1,0 +1,104 @@
+"""Unit and property tests for Lossy Counting."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lossy_counting import LossyCounting
+from repro.errors import ConfigurationError
+
+
+def test_width_is_ceil_inverse_epsilon():
+    assert LossyCounting(0.1).width == 10
+    assert LossyCounting(0.3).width == 4
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.5])
+def test_invalid_epsilon(epsilon):
+    with pytest.raises(ConfigurationError):
+        LossyCounting(epsilon)
+
+
+def test_exact_within_first_round():
+    counter = LossyCounting(0.1)  # width 10
+    counter.process_many(["a", "b", "a"])
+    assert counter.estimate("a") == 2
+    assert counter.estimate("b") == 1
+
+
+def test_prune_drops_stale_singletons():
+    counter = LossyCounting(0.25)  # width 4, prune every 4 elements
+    counter.process_many(["a", "b", "c", "d"])  # round 1 ends: all f=1, d=0
+    # f + delta = 1 <= 1 -> all pruned
+    assert len(counter) == 0
+    assert counter.current_round == 2
+
+
+def test_frequent_elements_survive_pruning(mild_stream, exact_mild):
+    counter = LossyCounting(0.005)
+    counter.process_many(mild_stream)
+    threshold = 0.02 * len(mild_stream)
+    for element, truth in exact_mild.counts().items():
+        if truth > threshold:
+            assert element in counter
+
+
+def test_estimates_never_overestimate(mild_stream, exact_mild):
+    counter = LossyCounting(0.01)
+    counter.process_many(mild_stream)
+    for entry in counter.entries():
+        assert entry.count <= exact_mild.estimate(entry.element)
+
+
+def test_undercount_bounded_by_eps_n(mild_stream, exact_mild):
+    epsilon = 0.01
+    counter = LossyCounting(epsilon)
+    counter.process_many(mild_stream)
+    for entry in counter.entries():
+        truth = exact_mild.estimate(entry.element)
+        assert truth - entry.count <= epsilon * len(mild_stream)
+
+
+def test_frequent_query_guarantee(mild_stream, exact_mild):
+    phi = 0.03
+    counter = LossyCounting(0.005)
+    counter.process_many(mild_stream)
+    answered = {entry.element for entry in counter.frequent(phi)}
+    for element, truth in exact_mild.counts().items():
+        if truth > phi * len(mild_stream):
+            assert element in answered
+
+
+def test_space_stays_small_on_uniform_churn():
+    counter = LossyCounting(0.01)
+    counter.process_many(range(20_000))  # all distinct
+    # O((1/eps) log(eps N)) = 100 * log(200) ~ 530
+    assert len(counter) <= 800
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=20), max_size=300),
+    epsilon=st.sampled_from([0.05, 0.1, 0.25]),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_never_overestimates(stream, epsilon):
+    counter = LossyCounting(epsilon)
+    counter.process_many(stream)
+    truth = Counter(stream)
+    for entry in counter.entries():
+        assert entry.count <= truth[entry.element]
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=20), max_size=300),
+    epsilon=st.sampled_from([0.05, 0.1, 0.25]),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_undercount_bound(stream, epsilon):
+    counter = LossyCounting(epsilon)
+    counter.process_many(stream)
+    truth = Counter(stream)
+    for element, true_count in truth.items():
+        assert counter.estimate(element) >= true_count - epsilon * len(stream) - 1

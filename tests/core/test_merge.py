@@ -1,0 +1,131 @@
+"""Unit and property tests for Space Saving summary merging."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge import hierarchical_merge, merge_schedule, merge_space_saving
+from repro.core.space_saving import SpaceSaving
+from repro.errors import MergeError
+from repro.workloads import block_partition
+
+
+def _locals_for(stream, parts, capacity):
+    locals_ = []
+    for part in block_partition(stream, parts):
+        counter = SpaceSaving(capacity=capacity)
+        counter.process_many(part)
+        locals_.append(counter)
+    return locals_
+
+
+def test_merge_empty_list_raises():
+    with pytest.raises(MergeError):
+        merge_space_saving([])
+    with pytest.raises(MergeError):
+        hierarchical_merge([])
+
+
+def test_merge_single_part_is_identity(skewed_stream):
+    local = SpaceSaving(capacity=30)
+    local.process_many(skewed_stream)
+    merged = merge_space_saving([local])
+    assert merged.counts() == local.counts()
+    assert merged.processed == local.processed
+
+
+def test_merge_sums_processed(skewed_stream):
+    locals_ = _locals_for(skewed_stream, 4, 30)
+    merged = merge_space_saving(locals_)
+    assert merged.processed == len(skewed_stream)
+
+
+def test_merge_exact_when_capacity_fits(skewed_stream, exact_skewed):
+    """With no evictions anywhere, the merge is exact."""
+    distinct = len(exact_skewed)
+    locals_ = _locals_for(skewed_stream, 4, distinct + 5)
+    merged = merge_space_saving(locals_, capacity=distinct + 5)
+    for element, truth in exact_skewed.counts().items():
+        assert merged.estimate(element) == truth
+
+
+def test_merged_estimate_plus_error_covers_truth(mild_stream, exact_mild):
+    """A part that evicted the element contributes its min frequency to
+    the merged *error*, so count + error upper-bounds the global truth."""
+    locals_ = _locals_for(mild_stream, 4, 60)
+    merged = merge_space_saving(locals_)
+    entries = {entry.element: entry for entry in merged.entries()}
+    for element, truth in exact_mild.top_k(20):
+        entry = entries[element]
+        assert entry.count + entry.error >= truth
+        # and the heaviest hitters were never evicted anywhere: exact bound
+        if truth > len(mild_stream) / 30:
+            assert entry.count >= truth
+
+
+def test_hierarchical_equals_serial(mild_stream):
+    locals_ = _locals_for(mild_stream, 5, 40)
+    serial = merge_space_saving(locals_)
+    tree = hierarchical_merge(locals_)
+    assert dict(serial.counts()) == dict(tree.counts())
+    assert serial.processed == tree.processed
+
+
+def test_merge_respects_capacity(mild_stream):
+    locals_ = _locals_for(mild_stream, 4, 50)
+    merged = merge_space_saving(locals_, capacity=10)
+    assert len(merged) <= 10
+
+
+def test_merge_schedule_shapes():
+    assert merge_schedule(1) == []
+    assert merge_schedule(2) == [[(0, 1)]]
+    assert merge_schedule(4) == [[(0, 1), (2, 3)], [(0, 2)]]
+    schedule = merge_schedule(5)
+    # every structure except 0 is eventually folded into another
+    folded = {j for level in schedule for _, j in level}
+    assert folded == {1, 2, 3, 4}
+
+
+def test_merge_schedule_levels_are_logarithmic():
+    assert len(merge_schedule(16)) == 4
+    assert len(merge_schedule(32)) == 5
+
+
+def test_merge_schedule_rejects_nonpositive():
+    with pytest.raises(MergeError):
+        merge_schedule(0)
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=15), max_size=200),
+    parts=st.integers(min_value=1, max_value=6),
+    capacity=st.integers(min_value=4, max_value=20),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_merge_upper_bounds_truth(stream, parts, capacity):
+    if not stream:
+        return
+    truth = Counter(stream)
+    locals_ = _locals_for(stream, parts, capacity)
+    merged = merge_space_saving(locals_)
+    # every element still monitored has estimate >= its true count
+    for entry in merged.entries():
+        assert entry.count >= truth[entry.element] or len(truth) > capacity
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=15), max_size=200),
+    parts=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_hierarchical_matches_serial(stream, parts):
+    if not stream:
+        return
+    locals_ = _locals_for(stream, parts, 12)
+    # tie order between equal counts is unspecified; compare as mappings
+    assert dict(hierarchical_merge(locals_).counts()) == dict(
+        merge_space_saving(locals_).counts()
+    )

@@ -1,0 +1,77 @@
+"""Unit and property tests for Misra-Gries (Frequent)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.misra_gries import MisraGries
+from repro.errors import ConfigurationError
+
+
+def test_rejects_bad_k():
+    with pytest.raises(ConfigurationError):
+        MisraGries(0)
+
+
+def test_exact_when_alphabet_fits():
+    counter = MisraGries(5)
+    counter.process_many(["a", "b", "a", "a"])
+    assert counter.estimate("a") == 3
+    assert counter.estimate("b") == 1
+    assert counter.decrements == 0
+
+
+def test_decrement_round_frees_counters():
+    counter = MisraGries(2)
+    counter.process_many(["a", "b", "c"])  # c triggers a decrement round
+    assert counter.decrements == 1
+    assert counter.estimate("c") == 0
+    assert len(counter) <= 2
+
+
+def test_majority_element_survives():
+    stream = ["m"] * 60 + list(range(40))
+    counter = MisraGries(10)
+    counter.process_many(stream)
+    assert counter.estimate("m") > 0
+    assert counter.entries()[0].element == "m"
+
+
+def test_undercount_bound(mild_stream, exact_mild):
+    k = 40
+    counter = MisraGries(k)
+    counter.process_many(mild_stream)
+    bound = len(mild_stream) / (k + 1)
+    for element, truth in exact_mild.counts().items():
+        estimate = counter.estimate(element)
+        assert estimate <= truth
+        assert estimate >= truth - bound
+
+
+def test_frequent_no_false_negatives(mild_stream, exact_mild):
+    phi = 0.05
+    counter = MisraGries(60)
+    counter.process_many(mild_stream)
+    answered = {entry.element for entry in counter.frequent(phi)}
+    for element, truth in exact_mild.counts().items():
+        if truth > phi * len(mild_stream):
+            assert element in answered
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=25), max_size=300),
+    k=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_undercount_bounds(stream, k):
+    counter = MisraGries(k)
+    counter.process_many(stream)
+    truth = Counter(stream)
+    bound = len(stream) / (k + 1)
+    for element, true_count in truth.items():
+        estimate = counter.estimate(element)
+        assert estimate <= true_count
+        assert estimate >= true_count - bound
+    assert len(counter) <= k

@@ -1,0 +1,107 @@
+"""Unit tests for the §3.2 query model."""
+
+import pytest
+
+from repro.core.counters import ExactCounter
+from repro.core.queries import (
+    FrequentSetQuery,
+    IntervalSchedule,
+    PointFrequentQuery,
+    PointTopKQuery,
+    TopKSetQuery,
+    answer,
+    answer_all,
+)
+from repro.core.space_saving import SpaceSaving
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def counter():
+    ss = SpaceSaving(capacity=50)
+    ss.process_many(["a"] * 50 + ["b"] * 30 + ["c"] * 15 + ["d"] * 5)
+    return ss
+
+
+def test_point_frequent_query(counter):
+    assert answer(PointFrequentQuery("a", phi=0.2), counter) is True
+    assert answer(PointFrequentQuery("d", phi=0.2), counter) is False
+    assert answer(PointFrequentQuery("missing", phi=0.2), counter) is False
+
+
+def test_point_topk_query(counter):
+    assert answer(PointTopKQuery("a", k=2), counter) is True
+    assert answer(PointTopKQuery("b", k=2), counter) is True
+    assert answer(PointTopKQuery("d", k=2), counter) is False
+
+
+def test_point_topk_with_fewer_monitored_than_k(counter):
+    assert answer(PointTopKQuery("d", k=100), counter) is True
+
+
+def test_frequent_set_query(counter):
+    result = answer(FrequentSetQuery(phi=0.25), counter)
+    assert [entry.element for entry in result] == ["a", "b"]
+
+
+def test_topk_set_query(counter):
+    result = answer(TopKSetQuery(k=3), counter)
+    assert [entry.element for entry in result] == ["a", "b", "c"]
+
+
+def test_queries_work_with_exact_counter():
+    exact = ExactCounter()
+    exact.process_many(["x"] * 9 + ["y"])
+    assert answer(PointFrequentQuery("x", phi=0.5), exact) is True
+    assert [e.element for e in answer(TopKSetQuery(k=1), exact)] == ["x"]
+
+
+@pytest.mark.parametrize(
+    "query_factory",
+    [
+        lambda: PointFrequentQuery("a", phi=0.0),
+        lambda: PointFrequentQuery("a", phi=1.0),
+        lambda: PointTopKQuery("a", k=0),
+        lambda: FrequentSetQuery(phi=2.0),
+        lambda: TopKSetQuery(k=0),
+    ],
+)
+def test_query_validation(query_factory):
+    with pytest.raises(QueryError):
+        query_factory()
+
+
+def test_answer_rejects_unknown_query(counter):
+    with pytest.raises(QueryError):
+        answer("not a query", counter)
+
+
+def test_interval_schedule_drives_queries():
+    counter = SpaceSaving(capacity=10)
+    schedule = IntervalSchedule((TopKSetQuery(k=1),), every_updates=5)
+    stream = ["a", "a", "b", "a", "b", "c", "a", "a", "b", "a"]
+    answers = answer_all(stream, counter, schedule)
+    assert [a.position for a in answers] == [5, 10]
+    assert all(a.result[0].element == "a" for a in answers)
+
+
+def test_continuous_schedule_answers_every_update():
+    counter = SpaceSaving(capacity=10)
+    schedule = IntervalSchedule.continuous([PointFrequentQuery("a", 0.6)])
+    answers = answer_all(["a", "b", "a"], counter, schedule)
+    assert len(answers) == 3
+    # thresholds per position: 0.6, 1.2, 1.8 against counts 1, 1, 2
+    assert [a.result for a in answers] == [True, False, True]
+
+
+def test_schedule_validation():
+    with pytest.raises(QueryError):
+        IntervalSchedule((), every_updates=5)
+    with pytest.raises(QueryError):
+        IntervalSchedule((TopKSetQuery(k=1),), every_updates=0)
+
+
+def test_drive_without_schedule_counts_silently():
+    counter = SpaceSaving(capacity=10)
+    assert answer_all(["a", "b"], counter) == []
+    assert counter.processed == 2

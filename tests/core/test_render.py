@@ -1,0 +1,42 @@
+"""Unit tests for the Figure 2 / Figure 10 ASCII renderers."""
+
+from repro.core.render import render_concurrent_summary, render_summary
+from repro.core.stream_summary import StreamSummary
+from repro.cots.framework import CoTSRunConfig, run_cots
+
+
+def test_render_empty_summary():
+    assert render_summary(StreamSummary()) == "(empty summary)"
+
+
+def test_render_figure2_example():
+    summary = StreamSummary()
+    for element in ["e1", "e3", "e3", "e2", "e2"]:
+        if element in summary:
+            summary.increment(element)
+        else:
+            summary.insert(element)
+    text = render_summary(summary)
+    lines = text.splitlines()
+    assert lines[0] == "[freq 1]: 'e1'"
+    assert lines[1].startswith("[freq 2]:")
+    assert "'e2'" in lines[1] and "'e3'" in lines[1]
+
+
+def test_render_abbreviates_long_buckets():
+    summary = StreamSummary()
+    for i in range(10):
+        summary.insert(f"e{i}")
+    text = render_summary(summary, max_elements=3)
+    assert "... +7" in text
+
+
+def test_render_concurrent_summary_shows_queue_and_owner():
+    result = run_cots(
+        ["a", "a", "b"], CoTSRunConfig(threads=2, capacity=8)
+    )
+    summary = result.extras["framework"].summary
+    text = render_concurrent_summary(summary)
+    assert "[freq 1 | queue 0 | free]:" in text
+    assert "[freq 2 | queue 0 | free]:" in text
+    assert "'a'" in text and "'b'" in text

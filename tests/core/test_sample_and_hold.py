@@ -1,0 +1,84 @@
+"""Unit tests for Sample-and-Hold."""
+
+import pytest
+
+from repro.core.sample_and_hold import SampleAndHold
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [{"sample_rate": 0.0}, {"sample_rate": 1.5},
+     {"sample_rate": 0.5, "max_entries": -1}],
+)
+def test_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        SampleAndHold(**kwargs)
+
+
+def test_rate_one_counts_exactly():
+    counter = SampleAndHold(sample_rate=1.0, seed=0)
+    counter.process_many(["a", "b", "a"])
+    assert counter.estimate("a") == 2
+    assert counter.estimate("b") == 1
+    assert counter.admissions == 2
+
+
+def test_never_overestimates(mild_stream, exact_mild):
+    counter = SampleAndHold(sample_rate=0.1, seed=3)
+    counter.process_many(mild_stream)
+    for entry in counter.entries():
+        assert entry.count <= exact_mild.estimate(entry.element)
+
+
+def test_heavy_elements_get_admitted(skewed_stream, exact_skewed):
+    counter = SampleAndHold(sample_rate=0.02, seed=5)
+    counter.process_many(skewed_stream)
+    for element, truth in exact_skewed.top_k(3):
+        if truth > 200:
+            assert element in counter
+            # admitted early: undercount far below the full count
+            assert counter.estimate(element) > truth / 2
+
+
+def test_undercount_is_bounded_in_expectation(skewed_stream, exact_skewed):
+    rate = 0.05
+    counter = SampleAndHold(sample_rate=rate, seed=7)
+    counter.process_many(skewed_stream)
+    hot, truth = exact_skewed.top_k(1)[0]
+    # expected miss is (1/rate - 1) = 19; allow generous slack
+    assert truth - counter.estimate(hot) < 20 / rate
+
+
+def test_max_entries_rejects_when_full():
+    counter = SampleAndHold(sample_rate=1.0, max_entries=2, seed=0)
+    counter.process_many(["a", "b", "c", "c"])
+    assert len(counter) == 2
+    assert counter.rejected_full >= 1
+
+
+def test_for_threshold_sizing():
+    counter = SampleAndHold.for_threshold(0.01, oversampling=20, seed=0)
+    assert counter.sample_rate == pytest.approx(0.2)
+    with pytest.raises(ConfigurationError):
+        SampleAndHold.for_threshold(0.0)
+
+
+def test_deterministic_per_seed(skewed_stream):
+    def run():
+        counter = SampleAndHold(sample_rate=0.1, seed=9)
+        counter.process_many(skewed_stream)
+        return [(e.element, e.count) for e in counter.entries()]
+
+    assert run() == run()
+
+
+def test_frequent_uses_corrected_estimates():
+    counter = SampleAndHold(sample_rate=0.5, seed=1)
+    counter.process_many(["x"] * 100 + list(range(50)))
+    frequent = counter.frequent(0.3)
+    assert [entry.element for entry in frequent] == ["x"]
+    with pytest.raises(ConfigurationError):
+        counter.frequent(0.0)
+    with pytest.raises(ConfigurationError):
+        counter.top_k(0)

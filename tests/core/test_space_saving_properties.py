@@ -1,0 +1,110 @@
+"""Property-based tests of Space Saving's guarantees (hypothesis)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.space_saving import SpaceSaving
+
+_streams = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=1, max_size=400
+)
+_capacities = st.integers(min_value=1, max_value=20)
+
+
+@given(stream=_streams, capacity=_capacities)
+@settings(max_examples=150, deadline=None)
+def test_estimates_never_underestimate(stream, capacity):
+    counter = SpaceSaving(capacity=capacity)
+    counter.process_many(stream)
+    truth = Counter(stream)
+    for element, true_count in truth.items():
+        estimate = counter.estimate(element)
+        if estimate:
+            assert estimate >= true_count
+
+
+@given(stream=_streams, capacity=_capacities)
+@settings(max_examples=150, deadline=None)
+def test_estimate_minus_error_never_overestimates(stream, capacity):
+    counter = SpaceSaving(capacity=capacity)
+    counter.process_many(stream)
+    truth = Counter(stream)
+    for entry in counter.entries():
+        assert entry.count - entry.error <= truth[entry.element]
+
+
+@given(stream=_streams, capacity=_capacities)
+@settings(max_examples=150, deadline=None)
+def test_total_count_is_conserved(stream, capacity):
+    counter = SpaceSaving(capacity=capacity)
+    counter.process_many(stream)
+    assert counter.summary.total_count == len(stream)
+
+
+@given(stream=_streams, capacity=_capacities)
+@settings(max_examples=150, deadline=None)
+def test_min_freq_bounded_by_n_over_m(stream, capacity):
+    counter = SpaceSaving(capacity=capacity)
+    counter.process_many(stream)
+    assert counter.max_error() <= len(stream) / capacity
+
+
+@given(stream=_streams, capacity=_capacities)
+@settings(max_examples=100, deadline=None)
+def test_structure_invariants_hold(stream, capacity):
+    counter = SpaceSaving(capacity=capacity)
+    for element in stream:
+        counter.process(element)
+    counter.summary.check_invariants()
+    assert len(counter) <= capacity
+
+
+@given(stream=_streams, capacity=_capacities)
+@settings(max_examples=100, deadline=None)
+def test_exact_when_alphabet_fits(stream, capacity):
+    truth = Counter(stream)
+    if len(truth) > capacity:
+        return  # only the exact regime is asserted here
+    counter = SpaceSaving(capacity=capacity)
+    counter.process_many(stream)
+    for element, true_count in truth.items():
+        assert counter.estimate(element) == true_count
+        assert counter.error(element) == 0
+
+
+@given(stream=_streams, capacity=_capacities)
+@settings(max_examples=100, deadline=None)
+def test_frequent_has_no_false_negatives(stream, capacity):
+    """Every element above N/capacity must be monitored and reported."""
+    counter = SpaceSaving(capacity=capacity)
+    counter.process_many(stream)
+    truth = Counter(stream)
+    threshold = len(stream) / capacity
+    for element, true_count in truth.items():
+        if true_count > threshold:
+            assert element in counter
+
+
+@given(
+    updates=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=1, max_value=5),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_bulk_processing_equals_singles(updates, capacity):
+    """process_bulk(e, k) is equivalent to k singleton updates."""
+    bulk = SpaceSaving(capacity=capacity)
+    single = SpaceSaving(capacity=capacity)
+    for element, count in updates:
+        bulk.process_bulk(element, count)
+        for _ in range(count):
+            single.process(element)
+    assert bulk.counts() == single.counts()

@@ -1,0 +1,71 @@
+"""Unit tests for Sticky Sampling (randomized; fixed seeds)."""
+
+import pytest
+
+from repro.core.sticky_sampling import StickySampling
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"support": 0.5, "epsilon": 0.5},   # epsilon not < support
+        {"support": 0.1, "epsilon": 0.2},
+        {"support": 1.5, "epsilon": 0.01},
+        {"support": 0.1, "epsilon": 0.01, "delta": 0.0},
+    ],
+)
+def test_invalid_parameters(kwargs):
+    with pytest.raises(ConfigurationError):
+        StickySampling(**kwargs)
+
+
+def test_initial_window_counts_exactly():
+    counter = StickySampling(0.1, 0.01, seed=1)
+    # within the first window every element is sampled at rate 1
+    counter.process_many(["a"] * 10 + ["b"] * 5)
+    assert counter.estimate("a") == 10
+    assert counter.estimate("b") == 5
+
+
+def test_never_overestimates(mild_stream, exact_mild):
+    counter = StickySampling(0.05, 0.01, seed=3)
+    counter.process_many(mild_stream)
+    for entry in counter.entries():
+        assert entry.count <= exact_mild.estimate(entry.element)
+
+
+def test_sampling_rate_decays():
+    counter = StickySampling(0.1, 0.05, seed=2)
+    counter.process_many(range(5000))
+    assert counter.sampling_rate > 1
+
+
+def test_memory_stays_bounded_under_churn():
+    counter = StickySampling(0.05, 0.02, delta=0.1, seed=4)
+    counter.process_many(range(30_000))
+    # expected (2/eps) log(1/(s*delta)) = 100 * log(200) ~ 530
+    assert len(counter) <= 1500
+
+
+def test_frequent_elements_reported(skewed_stream, exact_skewed):
+    counter = StickySampling(0.05, 0.01, seed=5)
+    counter.process_many(skewed_stream)
+    answered = {entry.element for entry in counter.frequent()}
+    for element, truth in exact_skewed.top_k(3):
+        if truth >= 0.05 * len(skewed_stream):
+            assert element in answered
+
+
+def test_deterministic_given_seed(skewed_stream):
+    def run():
+        counter = StickySampling(0.05, 0.01, seed=42)
+        counter.process_many(skewed_stream)
+        return [(e.element, e.count) for e in counter.entries()]
+
+    assert run() == run()
+
+
+def test_top_k_validates():
+    with pytest.raises(ConfigurationError):
+        StickySampling(0.1, 0.01, seed=0).top_k(0)

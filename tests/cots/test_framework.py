@@ -1,0 +1,95 @@
+"""Integration-level tests of the CoTS framework driver."""
+
+import pytest
+
+from repro.core.counters import ExactCounter
+from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.errors import ConfigurationError
+from repro.workloads import churn_stream, uniform_stream, zipf_stream
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4, 16, 48])
+@pytest.mark.parametrize("alpha", [1.2, 2.0, 3.0])
+def test_count_conservation_across_configs(threads, alpha):
+    stream = zipf_stream(1200, 1200, alpha, seed=13)
+    result = run_cots(
+        stream, CoTSRunConfig(threads=threads, capacity=48)
+    )
+    # run_cots(check=True) already verified conservation + invariants
+    assert result.counter.summary.total_count == len(stream)
+    assert result.elements == len(stream)
+
+
+def test_estimates_upper_bound_truth(skewed_stream, exact_skewed):
+    result = run_cots(skewed_stream, CoTSRunConfig(threads=8, capacity=64))
+    for element, truth in exact_skewed.top_k(10):
+        assert result.counter.estimate(element) >= truth
+
+
+def test_estimate_minus_error_lower_bounds_truth(skewed_stream, exact_skewed):
+    result = run_cots(skewed_stream, CoTSRunConfig(threads=8, capacity=64))
+    for entry in result.counter.entries():
+        assert entry.guaranteed <= exact_skewed.estimate(entry.element)
+
+
+def test_capacity_respected_under_churn():
+    stream = churn_stream(600)  # every element distinct: maximal eviction
+    result = run_cots(stream, CoTSRunConfig(threads=6, capacity=16))
+    assert len(result.counter) <= 16
+    assert result.counter.summary.total_count == len(stream)
+
+
+def test_uniform_stream_correctness():
+    stream = uniform_stream(1500, 300, seed=3)
+    result = run_cots(stream, CoTSRunConfig(threads=8, capacity=64))
+    assert result.counter.summary.total_count == len(stream)
+
+
+def test_exact_counts_when_alphabet_fits(exact_skewed, skewed_stream):
+    distinct = len(exact_skewed)
+    result = run_cots(
+        skewed_stream,
+        CoTSRunConfig(threads=8, capacity=distinct + 10),
+    )
+    for element, truth in exact_skewed.counts().items():
+        assert result.counter.estimate(element) == truth
+
+
+def test_determinism_same_config(skewed_stream):
+    def trial():
+        result = run_cots(
+            skewed_stream[:800], CoTSRunConfig(threads=8, capacity=32)
+        )
+        return result.cycles, dict(result.counter.counts())
+
+    assert trial() == trial()
+
+
+def test_stats_exposed(skewed_stream):
+    result = run_cots(skewed_stream, CoTSRunConfig(threads=8, capacity=64))
+    stats = result.extras["stats"]
+    assert stats["processed"] == len(skewed_stream)
+    assert "delegations" in stats or stats.get("delegated_elements", 0) >= 0
+
+
+def test_more_threads_raise_throughput_on_skew():
+    stream = zipf_stream(4000, 4000, 2.5, seed=5)
+    few = run_cots(stream, CoTSRunConfig(threads=4, capacity=64))
+    many = run_cots(stream, CoTSRunConfig(threads=32, capacity=64))
+    assert many.seconds < few.seconds
+
+
+def test_batch_validation():
+    with pytest.raises(ConfigurationError):
+        CoTSRunConfig(batch=0)
+
+
+def test_empty_stream():
+    result = run_cots([], CoTSRunConfig(threads=4, capacity=8))
+    assert result.counter.summary.total_count == 0
+    assert result.elements == 0
+
+
+def test_single_element_stream():
+    result = run_cots(["x"], CoTSRunConfig(threads=4, capacity=8))
+    assert result.counter.estimate("x") == 1

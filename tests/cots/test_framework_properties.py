@@ -1,0 +1,72 @@
+"""Property-based tests of the whole CoTS system (hypothesis).
+
+These are the strongest correctness statements in the repository: for an
+arbitrary small stream and arbitrary thread/capacity configuration, the
+simulated concurrent execution must conserve every count, keep the
+structure sorted, and respect Space Saving's error bounds — i.e. the
+parallel execution is indistinguishable (in summary semantics) from
+*some* sequential Space Saving execution of the same multiset.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cots.framework import CoTSRunConfig, run_cots
+
+_streams = st.lists(
+    st.integers(min_value=0, max_value=12), min_size=1, max_size=120
+)
+_threads = st.integers(min_value=1, max_value=12)
+_capacities = st.integers(min_value=2, max_value=10)
+
+
+@given(stream=_streams, threads=_threads, capacity=_capacities)
+@settings(max_examples=80, deadline=None)
+def test_conservation_and_invariants(stream, threads, capacity):
+    result = run_cots(
+        stream,
+        CoTSRunConfig(threads=threads, capacity=capacity, batch=4),
+    )
+    summary = result.extras["framework"].summary
+    # check=True in run_cots already asserted these; re-assert explicitly
+    assert summary.total_count() == len(stream)
+    assert summary.monitored() <= capacity
+    summary.check_invariants()
+
+
+@given(stream=_streams, threads=_threads, capacity=_capacities)
+@settings(max_examples=80, deadline=None)
+def test_space_saving_bounds_hold(stream, threads, capacity):
+    result = run_cots(
+        stream,
+        CoTSRunConfig(threads=threads, capacity=capacity, batch=4),
+    )
+    truth = Counter(stream)
+    for entry in result.counter.entries():
+        assert entry.count >= truth[entry.element]
+        assert entry.count - entry.error <= truth[entry.element]
+
+
+@given(stream=_streams, threads=_threads, capacity=_capacities)
+@settings(max_examples=50, deadline=None)
+def test_min_freq_error_bound(stream, threads, capacity):
+    result = run_cots(
+        stream,
+        CoTSRunConfig(threads=threads, capacity=capacity, batch=4),
+    )
+    assert result.counter.max_error() <= len(stream) / capacity
+
+
+@given(stream=_streams, threads=_threads, capacity=_capacities)
+@settings(max_examples=40, deadline=None)
+def test_all_hash_gates_released(stream, threads, capacity):
+    """At quiescence no element is still owned (counts are 0 or removed)."""
+    result = run_cots(
+        stream,
+        CoTSRunConfig(threads=threads, capacity=capacity, batch=4),
+    )
+    table = result.extras["framework"].table
+    for entry in table.live():
+        assert entry.count.peek() == 0

@@ -1,0 +1,155 @@
+"""Unit tests for the cache-conscious delegation hash table."""
+
+import pytest
+
+from repro.cots.hashtable import TOMBSTONE, CoTSHashTable
+from repro.errors import ConfigurationError
+from repro.simcore import CostModel, Engine, MachineSpec
+
+
+def _drive(program):
+    """Run one generator as a single simulated thread; return its value."""
+    engine = Engine(machine=MachineSpec(cores=1), costs=CostModel())
+    thread = engine.spawn(program)
+    engine.run()
+    return thread.stats.return_value
+
+
+def _table(size=16):
+    return CoTSHashTable(size, CostModel())
+
+
+def test_table_validation():
+    with pytest.raises(ConfigurationError):
+        CoTSHashTable(0, CostModel())
+    with pytest.raises(ConfigurationError):
+        CoTSHashTable(4, CostModel(), block_entries=0)
+
+
+def test_lookup_missing_returns_none():
+    table = _table()
+
+    def program():
+        return (yield from table.lookup("ghost"))
+
+    assert _drive(program()) is None
+
+
+def test_insert_then_lookup():
+    table = _table()
+
+    def program():
+        entry, newly = yield from table.insert("a")
+        found = yield from table.lookup("a")
+        return entry, newly, found
+
+    entry, newly, found = _drive(program())
+    assert newly is True
+    assert found is entry
+    assert table.live_entries == 1
+
+
+def test_double_insert_returns_existing():
+    table = _table()
+
+    def program():
+        first, newly1 = yield from table.insert("a")
+        second, newly2 = yield from table.insert("a")
+        return first, newly1, second, newly2
+
+    first, newly1, second, newly2 = _drive(program())
+    assert newly1 is True
+    assert newly2 is False
+    assert first is second
+    assert table.live_entries == 1
+
+
+def test_try_remove_idle_entry_succeeds():
+    table = _table()
+
+    def program():
+        entry, _ = yield from table.insert("a")
+        claimed = yield from table.try_remove(entry)
+        found = yield from table.lookup("a")
+        return entry, claimed, found
+
+    entry, claimed, found = _drive(program())
+    assert claimed is True
+    assert entry.deleted is True
+    assert entry.count.peek() == TOMBSTONE
+    assert found is None
+    assert table.live_entries == 0
+
+
+def test_try_remove_busy_entry_fails():
+    table = _table()
+
+    def program():
+        entry, _ = yield from table.insert("a")
+        yield entry.count.add(1)  # someone owns it
+        claimed = yield from table.try_remove(entry)
+        return claimed
+
+    assert _drive(program()) is False
+
+
+def test_tombstones_garbage_collected_on_chain_insert():
+    table = CoTSHashTable(1, CostModel())  # everything in one chain
+
+    def program():
+        entry, _ = yield from table.insert("a")
+        yield from table.try_remove(entry)
+        yield from table.insert("b")
+        return None
+
+    _drive(program())
+    assert table.garbage_collected == 1
+    assert table.max_chain_length() == 1  # the tombstone was reclaimed
+
+
+def test_chain_blocks_share_cache_lines():
+    table = CoTSHashTable(1, CostModel(), block_entries=2)
+
+    def program():
+        entries = []
+        for name in "abcd":
+            entry, _ = yield from table.insert(name)
+            entries.append(entry)
+        return entries
+
+    entries = _drive(program())
+    assert entries[0].count.line is entries[1].count.line
+    assert entries[2].count.line is entries[3].count.line
+    assert entries[0].count.line is not entries[2].count.line
+
+
+def test_peek_and_live_iteration():
+    table = _table()
+
+    def program():
+        yield from table.insert("x")
+        yield from table.insert("y")
+        return None
+
+    _drive(program())
+    assert table.peek("x") is not None
+    assert table.peek("nope") is None
+    assert {entry.element for entry in table.live()} == {"x", "y"}
+
+
+def test_concurrent_inserts_of_same_element_deduplicate():
+    table = CoTSHashTable(1, CostModel())
+    results = []
+    engine = Engine(machine=MachineSpec(cores=4), costs=CostModel())
+
+    def program():
+        entry, newly = yield from table.insert("hot")
+        results.append((entry, newly))
+
+    for _ in range(4):
+        engine.spawn(program())
+    engine.run()
+    entries = {id(entry) for entry, _ in results}
+    assert len(entries) == 1  # single physical entry
+    assert sum(1 for _, newly in results if newly) == 1
+    assert table.live_entries == 1

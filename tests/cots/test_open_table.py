@@ -1,0 +1,121 @@
+"""Tests for the open-addressing search structure (§5.2.1's rejected design)."""
+
+import pytest
+
+from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.cots.open_table import OpenAddressingTable
+from repro.errors import ConfigurationError
+from repro.simcore import CostModel, Engine, MachineSpec
+from repro.workloads import churn_stream, zipf_stream
+
+
+def _drive(program):
+    engine = Engine(machine=MachineSpec(cores=1), costs=CostModel())
+    thread = engine.spawn(program)
+    engine.run()
+    return thread.stats.return_value
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        OpenAddressingTable(2, CostModel())
+    with pytest.raises(ConfigurationError):
+        OpenAddressingTable(16, CostModel(), max_load=0.99)
+
+
+def test_insert_lookup_roundtrip():
+    table = OpenAddressingTable(16, CostModel())
+
+    def program():
+        entry, newly = yield from table.insert("a")
+        found = yield from table.lookup("a")
+        missing = yield from table.lookup("b")
+        return entry, newly, found, missing
+
+    entry, newly, found, missing = _drive(program())
+    assert newly is True
+    assert found is entry
+    assert missing is None
+
+
+def test_duplicate_insert_returns_existing():
+    table = OpenAddressingTable(16, CostModel())
+
+    def program():
+        first, _ = yield from table.insert("x")
+        second, newly = yield from table.insert("x")
+        return first, second, newly
+
+    first, second, newly = _drive(program())
+    assert first is second
+    assert newly is False
+    assert table.live_entries == 1
+
+
+def test_remove_leaves_tombstone_until_rehash():
+    table = OpenAddressingTable(16, CostModel(), max_load=0.5)
+
+    def program():
+        entry, _ = yield from table.insert("victim")
+        claimed = yield from table.try_remove(entry)
+        return claimed
+
+    assert _drive(program()) is True
+    assert table.dead_entries == 1
+    assert table.live_entries == 0
+
+
+def test_churn_forces_rehashes():
+    """Insert/delete cycling accumulates tombstones and triggers rehashes
+    — the exact behaviour the paper rejects open addressing for."""
+    table = OpenAddressingTable(16, CostModel(), max_load=0.5)
+
+    def program():
+        for round_ in range(50):
+            entry, _ = yield from table.insert(f"e{round_}")
+            yield from table.try_remove(entry)
+
+    _drive(program())
+    assert table.rehashes > 0
+    assert table.rehash_cycles > 0
+
+
+def test_grows_when_genuinely_full():
+    table = OpenAddressingTable(8, CostModel(), max_load=0.6)
+
+    def program():
+        for index in range(20):
+            yield from table.insert(f"live{index}")
+
+    _drive(program())
+    assert table.size > 8
+    assert table.live_entries == 20
+    assert {e.element for e in table.live()} == {f"live{i}" for i in range(20)}
+
+
+def test_cots_runs_correctly_on_open_table():
+    stream = zipf_stream(1200, 1200, 2.0, seed=17)
+    result = run_cots(
+        stream,
+        CoTSRunConfig(threads=8, capacity=32),
+        table_cls=OpenAddressingTable,
+    )
+    assert result.counter.summary.total_count == len(stream)
+
+
+def test_churn_penalizes_open_table_vs_chained():
+    """Under eviction churn the chained table wins (the paper's argument)."""
+    stream = churn_stream(1000)
+
+    chained = run_cots(stream, CoTSRunConfig(threads=8, capacity=16))
+    open_run = run_cots(
+        stream,
+        CoTSRunConfig(threads=8, capacity=16, table_size=64),
+        table_cls=OpenAddressingTable,
+    )
+    table = open_run.extras["framework"].table
+    assert table.rehashes > 0
+    assert open_run.seconds > chained.seconds
+    # and both count correctly regardless
+    assert open_run.counter.summary.total_count == len(stream)
+    assert chained.counter.summary.total_count == len(stream)

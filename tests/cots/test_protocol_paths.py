@@ -1,0 +1,163 @@
+"""White-box tests of rare protocol paths in the concurrent summary.
+
+These construct specific structure states by hand to drive code paths
+that ordinary streams reach only probabilistically: delivery to retired
+buckets, destination walks over garbage chains, ownership re-check after
+release, and the deferred-overwrite flag machinery.
+"""
+
+import pytest
+
+from repro.cots.framework import CoTSFramework, WorkerContext
+from repro.cots.requests import AddRequest, IncrementRequest, OverwriteRequest
+from repro.cots.summary import ConcurrentBucket, SummaryElement
+from repro.errors import ProtocolError
+from repro.simcore import CostModel, Engine, MachineSpec
+
+
+def _framework(capacity=8):
+    return CoTSFramework(capacity=capacity, costs=CostModel())
+
+
+def _run(*programs):
+    engine = Engine(machine=MachineSpec(cores=4), costs=CostModel())
+    threads = [engine.spawn(p) for p in programs]
+    engine.run()
+    return threads
+
+
+def _feed(framework, ctx, elements):
+    for element in elements:
+        yield from framework.process_element(element, ctx)
+
+
+def test_deliver_to_retired_bucket_retargets_to_min():
+    framework = _framework()
+    ctx = WorkerContext("w")
+    _run(_feed(framework, ctx, ["a", "b", "b"]))
+    summary = framework.summary
+    dead = ConcurrentBucket(5)
+    dead.gc_marked = True
+    entry = framework.table.peek("c")
+    assert entry is None
+
+    def program():
+        # make 'c' a monitored-element candidate by hand
+        centry, _ = yield from framework.table.insert("c")
+        yield centry.count.add(1)
+        node = SummaryElement("c", 1, 0, centry)
+        centry.node = node
+        yield from summary.deliver(AddRequest(node), dead, ctx)
+        yield from summary.drain_all(ctx)
+
+    _run(program())
+    assert summary.stats.get("gc_retargets", 0) >= 1
+    assert not dead.queue  # nothing stranded on the dead bucket
+    # 'c' landed in the live structure with count 1
+    assert {e.element: e.count for e in summary.entries()}["c"] == 1
+    summary.check_invariants()
+
+
+def test_find_dest_unlinks_garbage_chain():
+    framework = _framework()
+    ctx = WorkerContext("w")
+    _run(_feed(framework, ctx, ["a"]))
+    summary = framework.summary
+    base = summary.min_bucket
+    # hand-build a chain of retired buckets after the live base
+    g1, g2 = ConcurrentBucket(2), ConcurrentBucket(3)
+    g1.gc_marked = g2.gc_marked = True
+    g1.next = g2
+    base.next = g1
+
+    def program():
+        # increment 'a' by 4: the walk must skip/unlink g1 and g2
+        entry = framework.table.peek("a")
+        yield entry.count.add(1)
+        yield from summary.deliver(
+            IncrementRequest(entry.node, 4), entry.node.bucket, ctx
+        )
+        yield from summary.drain_all(ctx)
+
+    _run(program())
+    assert summary.stats.get("gc_unlinked", 0) >= 2
+    freqs = [bucket.freq for bucket in summary.buckets()]
+    assert freqs == [5]
+    summary.check_invariants()
+
+
+def test_overwrite_rerouted_from_stale_bucket():
+    framework = _framework(capacity=2)
+    ctx = WorkerContext("w")
+    _run(_feed(framework, ctx, ["a", "a", "b"]))
+    summary = framework.summary
+    stale = ConcurrentBucket(1)  # not the live min bucket
+
+    def program():
+        centry, _ = yield from framework.table.insert("c")
+        yield centry.count.add(1)
+        yield from summary.deliver(OverwriteRequest(centry, 1), stale, ctx)
+        yield from summary.drain_all(ctx)
+
+    _run(program())
+    entries = {e.element: e.count for e in summary.entries()}
+    assert "c" in entries  # the overwrite found the real minimum
+    assert summary.monitored() == 2
+    summary.check_invariants()
+
+
+def test_owner_recheck_after_release_drains_late_request():
+    """A request enqueued exactly between queue-drain and release is
+    picked up by the release-time re-check (no lost request)."""
+    framework = _framework()
+    ctx_a = WorkerContext("a")
+    ctx_b = WorkerContext("b")
+    # two workers hammering the same two elements interleave constantly;
+    # any lost request would break conservation, checked below
+    _run(
+        _feed(framework, ctx_a, ["x", "y"] * 120),
+        _feed(framework, ctx_b, ["y", "x"] * 120),
+    )
+    assert framework.summary.total_count() == 480
+    framework.summary.check_invariants()
+
+
+def test_defer_flag_cleared_on_membership_change():
+    bucket = ConcurrentBucket(3)
+    bucket.defer_overwrites = True
+    node = SummaryElement("e", 3, 0, entry=None)
+    bucket.attach(node)
+    assert bucket.defer_overwrites is False
+    bucket.defer_overwrites = True
+    bucket.detach(node)
+    assert bucket.defer_overwrites is False
+
+
+def test_detach_from_wrong_bucket_raises():
+    bucket_a = ConcurrentBucket(1)
+    bucket_b = ConcurrentBucket(2)
+    node = SummaryElement("e", 1, 0, entry=None)
+    bucket_a.attach(node)
+    with pytest.raises(ProtocolError):
+        bucket_b.detach(node)
+
+
+def test_increment_retarget_is_a_protocol_error():
+    framework = _framework()
+    ctx = WorkerContext("w")
+    _run(_feed(framework, ctx, ["a"]))
+    summary = framework.summary
+    dead = ConcurrentBucket(9)
+    dead.gc_marked = True
+    entry = framework.table.peek("a")
+
+    def program():
+        yield entry.count.add(1)
+        yield from summary.deliver(
+            IncrementRequest(entry.node, 1), dead, ctx
+        )
+
+    engine = Engine(machine=MachineSpec(cores=1), costs=CostModel())
+    engine.spawn(program())
+    with pytest.raises(ProtocolError):
+        engine.run()

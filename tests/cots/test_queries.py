@@ -1,0 +1,127 @@
+"""Unit tests for lock-free query answering over the concurrent summary."""
+
+import pytest
+
+from repro.cots.framework import CoTSFramework, CoTSRunConfig, WorkerContext, run_cots
+from repro.cots.queries import (
+    frequent_set,
+    kth_frequency,
+    point_in_top_k,
+    point_is_frequent,
+    snapshot_frequent,
+    snapshot_top_k,
+    top_k_set,
+)
+from repro.errors import QueryError
+from repro.simcore import Compute, CostModel, Engine, MachineSpec
+
+
+def _quiesced_framework(stream, capacity=64):
+    result = run_cots(stream, CoTSRunConfig(threads=8, capacity=capacity))
+    return result.extras["framework"]
+
+
+def _ask(framework, query_gen):
+    engine = Engine(machine=MachineSpec(cores=1), costs=CostModel())
+    thread = engine.spawn(query_gen)
+    engine.run()
+    return thread.stats.return_value
+
+
+def test_point_is_frequent(skewed_stream, exact_skewed):
+    framework = _quiesced_framework(skewed_stream)
+    costs = CostModel()
+    hot, hot_count = exact_skewed.top_k(1)[0]
+    assert _ask(
+        framework,
+        point_is_frequent(framework.table, hot, hot_count / 2, costs),
+    ) is True
+    assert _ask(
+        framework,
+        point_is_frequent(framework.table, "missing", 1, costs),
+    ) is False
+
+
+def test_kth_frequency_matches_snapshot(skewed_stream):
+    framework = _quiesced_framework(skewed_stream)
+    costs = CostModel()
+    k3 = _ask(framework, kth_frequency(framework.summary, 3, costs))
+    assert k3 == snapshot_top_k(framework.summary, 3)[-1].count
+
+
+def test_kth_frequency_validates_k(skewed_stream):
+    framework = _quiesced_framework(skewed_stream)
+    with pytest.raises(QueryError):
+        list(kth_frequency(framework.summary, 0, CostModel()))
+
+
+def test_point_in_top_k(skewed_stream, exact_skewed):
+    framework = _quiesced_framework(skewed_stream)
+    costs = CostModel()
+    hot = exact_skewed.top_k(1)[0][0]
+    assert _ask(
+        framework,
+        point_in_top_k(framework.table, framework.summary, hot, 3, costs),
+    ) is True
+    cold = exact_skewed.entries()[-1].element
+    assert _ask(
+        framework,
+        point_in_top_k(framework.table, framework.summary, cold, 2, costs),
+    ) is False
+
+
+def test_frequent_set_matches_host_snapshot(skewed_stream):
+    framework = _quiesced_framework(skewed_stream)
+    costs = CostModel()
+    total = framework.summary.total_count()
+    simulated = _ask(
+        framework, frequent_set(framework.summary, 0.05 * total, costs)
+    )
+    host = snapshot_frequent(framework.summary, 0.05)
+    assert {e.element for e in simulated} == {e.element for e in host}
+
+
+def test_top_k_set(skewed_stream, exact_skewed):
+    framework = _quiesced_framework(skewed_stream)
+    costs = CostModel()
+    answer = _ask(framework, top_k_set(framework.summary, 3, costs))
+    expected = [element for element, _ in exact_skewed.top_k(3)]
+    assert [e.element for e in answer] == expected
+
+
+def test_snapshot_queries_validate(skewed_stream):
+    framework = _quiesced_framework(skewed_stream)
+    with pytest.raises(QueryError):
+        snapshot_frequent(framework.summary, 0.0)
+    with pytest.raises(QueryError):
+        snapshot_top_k(framework.summary, 0)
+
+
+def test_concurrent_readers_see_sane_answers(skewed_stream, exact_skewed):
+    """Readers run *during* updates: answers are subsets of plausible
+    elements and the final structure is untouched by reading."""
+    from repro.cots.framework import _worker
+    from repro.simcore import AtomicCell
+
+    costs = CostModel()
+    framework = CoTSFramework(capacity=64, costs=costs)
+    engine = Engine(machine=MachineSpec(cores=4), costs=costs)
+    cursor = AtomicCell(0)
+    for index in range(6):
+        ctx = WorkerContext(f"w{index}")
+        engine.spawn(_worker(framework, skewed_stream, cursor, ctx, 32))
+    observed = []
+
+    def reader():
+        for _ in range(15):
+            answer = yield from top_k_set(framework.summary, 3, costs)
+            observed.append([e.element for e in answer])
+            yield Compute(30_000, "query")
+
+    engine.spawn(reader(), name="reader")
+    engine.run()
+    framework.summary.check_invariants()
+    assert framework.summary.total_count() == len(skewed_stream)
+    # the final reads converge on the true heavy hitters
+    expected = [element for element, _ in exact_skewed.top_k(3)]
+    assert observed[-1] == expected

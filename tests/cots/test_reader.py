@@ -1,0 +1,72 @@
+"""Tests for the interval-query reader thread inside run_cots."""
+
+import pytest
+
+from repro.core.counters import ExactCounter
+from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.errors import ConfigurationError
+from repro.workloads import zipf_stream
+
+
+def test_reader_collects_interval_snapshots(skewed_stream, exact_skewed):
+    result = run_cots(
+        skewed_stream,
+        CoTSRunConfig(
+            threads=8, capacity=64, query_every_cycles=50_000, query_top_k=3
+        ),
+    )
+    log = result.extras["query_log"]
+    assert len(log) >= 2
+    # cycles strictly increase
+    cycles = [snapshot.at_cycle for snapshot in log]
+    assert cycles == sorted(cycles)
+    # the final snapshot names the true heavy hitters
+    expected = [element for element, _ in exact_skewed.top_k(3)]
+    assert [element for element, _ in log[-1].top_k] == expected
+    # counting stayed intact despite the concurrent reader
+    assert result.counter.summary.total_count == len(skewed_stream)
+
+
+def test_reader_estimates_are_monotone_for_hot_element(exact_skewed, skewed_stream):
+    result = run_cots(
+        skewed_stream,
+        CoTSRunConfig(
+            threads=8, capacity=64, query_every_cycles=40_000, query_top_k=1
+        ),
+    )
+    hot = exact_skewed.top_k(1)[0][0]
+    # lock-free reads can catch the hot node mid-flight and miss it for
+    # one snapshot; monotonicity is asserted over the snapshots that saw it
+    counts = [
+        observed[hot]
+        for snapshot in result.extras["query_log"]
+        if hot in (observed := dict(snapshot.top_k))
+    ]
+    assert len(counts) >= 2
+    assert counts == sorted(counts)  # frequencies only ever grow
+
+
+def test_no_reader_by_default(skewed_stream):
+    result = run_cots(skewed_stream, CoTSRunConfig(threads=4, capacity=64))
+    assert result.extras["query_log"] == []
+
+
+def test_query_config_validation():
+    with pytest.raises(ConfigurationError):
+        CoTSRunConfig(query_every_cycles=-1)
+    with pytest.raises(ConfigurationError):
+        CoTSRunConfig(query_top_k=0)
+
+
+def test_reader_on_short_stream_terminates():
+    stream = zipf_stream(200, 200, 2.0, seed=2)
+    result = run_cots(
+        stream,
+        CoTSRunConfig(
+            threads=4, capacity=32, query_every_cycles=1_000_000
+        ),
+    )
+    # even with an interval longer than the run, the reader exits after
+    # its final snapshot and the run terminates
+    assert len(result.extras["query_log"]) >= 1
+    assert result.counter.summary.total_count == len(stream)

@@ -1,0 +1,79 @@
+"""Tests for the Sample-and-Hold adaptation of CoTS (§5.3)."""
+
+import pytest
+
+from repro.cots.adapters import SampleHoldCoTSConfig, run_sample_hold_cots
+from repro.errors import ConfigurationError
+from repro.workloads import uniform_stream, zipf_stream
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SampleHoldCoTSConfig(sample_rate=0.0)
+    with pytest.raises(ConfigurationError):
+        SampleHoldCoTSConfig(sample_rate=2.0)
+
+
+def test_conservation_counted_plus_unsampled(skewed_stream):
+    result = run_sample_hold_cots(
+        skewed_stream,
+        SampleHoldCoTSConfig(threads=8, capacity=64, sample_rate=0.1),
+    )
+    summary = result.extras["framework"].summary
+    assert summary.total_count() + result.extras["unsampled"] == len(
+        skewed_stream
+    )
+
+
+def test_rate_one_equals_exact_counting(skewed_stream, exact_skewed):
+    result = run_sample_hold_cots(
+        skewed_stream,
+        SampleHoldCoTSConfig(threads=8, capacity=64, sample_rate=1.0),
+    )
+    assert result.extras["unsampled"] == 0
+    for element, truth in exact_skewed.top_k(5):
+        assert result.counter.estimate(element) == truth
+
+
+def test_never_overestimates(skewed_stream, exact_skewed):
+    result = run_sample_hold_cots(
+        skewed_stream,
+        SampleHoldCoTSConfig(threads=8, capacity=64, sample_rate=0.05),
+    )
+    for entry in result.counter.entries():
+        assert entry.count <= exact_skewed.estimate(entry.element)
+
+
+def test_low_rate_drops_most_of_a_uniform_stream():
+    stream = uniform_stream(2000, 2000, seed=4)
+    result = run_sample_hold_cots(
+        stream,
+        SampleHoldCoTSConfig(threads=8, capacity=64, sample_rate=0.01),
+    )
+    assert result.extras["unsampled"] > 1500
+
+
+def test_hot_element_held_after_admission():
+    stream = zipf_stream(3000, 3000, 3.0, seed=6)
+    result = run_sample_hold_cots(
+        stream,
+        SampleHoldCoTSConfig(threads=16, capacity=64, sample_rate=0.05),
+    )
+    hot_count = stream.count(0)
+    estimate = result.counter.estimate(0)
+    assert 0 < estimate <= hot_count
+    # held exactly after an early admission: most of the mass captured
+    assert estimate > hot_count / 2
+
+
+@pytest.mark.parametrize("threads", [1, 4, 24])
+def test_thread_counts_conserve(threads):
+    stream = zipf_stream(1200, 1200, 2.0, seed=8)
+    result = run_sample_hold_cots(
+        stream,
+        SampleHoldCoTSConfig(
+            threads=threads, capacity=48, sample_rate=0.2
+        ),
+    )
+    summary = result.extras["framework"].summary
+    assert summary.total_count() + result.extras["unsampled"] == len(stream)

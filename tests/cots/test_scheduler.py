@@ -1,0 +1,79 @@
+"""Unit tests for the σ/ρ dynamic auto-configuration (§5.2.3)."""
+
+import pytest
+
+from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.cots.scheduler import CoTSScheduler
+from repro.errors import ConfigurationError
+from repro.workloads import zipf_stream
+
+
+def test_scheduler_validation():
+    with pytest.raises(ConfigurationError):
+        CoTSScheduler(sigma=0)
+    with pytest.raises(ConfigurationError):
+        CoTSScheduler(rho=0)
+    with pytest.raises(ConfigurationError):
+        CoTSScheduler(pool_size=-1)
+
+
+def test_counts_stay_exact_with_scheduler_enabled():
+    stream = zipf_stream(3000, 3000, 2.5, seed=21)
+    scheduler = CoTSScheduler(sigma=8, rho=2, pool_size=2)
+    result = run_cots(
+        stream,
+        CoTSRunConfig(threads=16, capacity=64),
+        scheduler=scheduler,
+    )
+    assert result.counter.summary.total_count == len(stream)
+
+
+def test_helpers_wake_under_bucket_congestion():
+    """A tiny rho plus heavy one-bucket traffic must trigger helper wakes."""
+    stream = ["hot"] * 2000 + list(range(500))
+    scheduler = CoTSScheduler(sigma=10_000, rho=1, pool_size=3)
+    result = run_cots(
+        stream,
+        CoTSRunConfig(threads=24, capacity=64),
+        scheduler=scheduler,
+    )
+    assert scheduler.wakes > 0
+    assert result.counter.summary.total_count == len(stream)
+
+
+def test_workers_park_under_congestion():
+    """A tiny sigma forces workers back into the pool."""
+    stream = zipf_stream(3000, 3000, 3.0, seed=22)
+    scheduler = CoTSScheduler(sigma=1, rho=10_000, pool_size=0, min_active=2)
+    result = run_cots(
+        stream,
+        CoTSRunConfig(threads=16, capacity=64),
+        scheduler=scheduler,
+    )
+    assert scheduler.parks > 0
+    assert result.counter.summary.total_count == len(stream)
+
+
+def test_parked_workers_released_at_stream_end():
+    """No deadlock: the last finishing worker stops all parked siblings."""
+    stream = zipf_stream(1500, 1500, 3.0, seed=23)
+    scheduler = CoTSScheduler(sigma=1, rho=10_000, pool_size=1, min_active=1)
+    result = run_cots(
+        stream,
+        CoTSRunConfig(threads=8, capacity=32),
+        scheduler=scheduler,
+    )
+    assert result.counter.summary.total_count == len(stream)
+
+
+def test_scheduler_observability_counters():
+    scheduler = CoTSScheduler(sigma=4, rho=2, pool_size=2)
+    stream = zipf_stream(2000, 2000, 2.5, seed=24)
+    run_cots(
+        stream,
+        CoTSRunConfig(threads=16, capacity=48),
+        scheduler=scheduler,
+    )
+    assert scheduler.parks >= 0
+    assert scheduler.wakes >= 0
+    assert scheduler.helper_drains >= 0

@@ -1,0 +1,147 @@
+"""Unit tests for the Concurrent Stream Summary protocol pieces."""
+
+import pytest
+
+from repro.cots.framework import CoTSFramework, WorkerContext
+from repro.cots.requests import AddRequest, IncrementRequest, OverwriteRequest
+from repro.cots.summary import ConcurrentBucket, SummaryElement
+from repro.errors import ProtocolError
+from repro.simcore import CostModel, Engine, MachineSpec
+
+
+def _run(framework, *programs):
+    engine = Engine(machine=MachineSpec(cores=4), costs=CostModel())
+    threads = [engine.spawn(p) for p in programs]
+    engine.run()
+    return threads
+
+
+def _process(framework, ctx, elements):
+    for element in elements:
+        yield from framework.process_element(element, ctx)
+
+
+def test_single_element_creates_genesis_bucket():
+    framework = CoTSFramework(capacity=4, costs=CostModel())
+    ctx = WorkerContext("w")
+    _run(framework, _process(framework, ctx, ["a"]))
+    summary = framework.summary
+    assert summary.min_bucket is not None
+    assert summary.min_bucket.freq == 1
+    assert summary.total_count() == 1
+    summary.check_invariants()
+
+
+def test_increment_moves_element_up():
+    framework = CoTSFramework(capacity=4, costs=CostModel())
+    ctx = WorkerContext("w")
+    _run(framework, _process(framework, ctx, ["a", "a", "a", "b"]))
+    summary = framework.summary
+    entries = {e.element: e.count for e in summary.entries()}
+    assert entries == {"a": 3, "b": 1}
+    assert summary.min_bucket.freq == 1
+    summary.check_invariants()
+
+
+def test_overwrite_when_capacity_exhausted():
+    framework = CoTSFramework(capacity=2, costs=CostModel())
+    ctx = WorkerContext("w")
+    _run(framework, _process(framework, ctx, ["a", "a", "b", "c"]))
+    summary = framework.summary
+    entries = {e.element: (e.count, e.error) for e in summary.entries()}
+    assert "c" in entries
+    assert entries["c"] == (2, 1)  # min(=1) + 1, error = min
+    assert "b" not in entries
+    assert summary.monitored() == 2
+    assert summary.total_count() == 4
+    summary.check_invariants()
+
+
+def test_buckets_stay_sorted_and_gc_runs():
+    framework = CoTSFramework(capacity=8, costs=CostModel())
+    ctx = WorkerContext("w")
+    stream = ["a"] * 5 + ["b"] * 3 + ["c"] * 1 + ["a"] * 2
+    _run(framework, _process(framework, ctx, stream))
+    summary = framework.summary
+    freqs = [bucket.freq for bucket in summary.buckets()]
+    assert freqs == sorted(freqs)
+    assert summary.stats.get("gc_buckets", 0) > 0
+    summary.check_invariants()
+
+
+def test_delegation_accumulates_bulk_increments():
+    framework = CoTSFramework(capacity=8, costs=CostModel())
+    contexts = [WorkerContext(f"w{i}") for i in range(4)]
+    hot = ["hot"] * 50
+    _run(
+        framework,
+        *[_process(framework, ctx, hot) for ctx in contexts],
+    )
+    summary = framework.summary
+    assert summary.total_count() == 200
+    assert {e.element: e.count for e in summary.entries()} == {"hot": 200}
+    assert summary.stats.get("bulk_increments", 0) > 0
+    summary.check_invariants()
+
+
+def test_deferred_overwrites_eventually_complete():
+    """Overwrites targeting busy victims retry and land (Algorithm 6)."""
+    framework = CoTSFramework(capacity=2, costs=CostModel())
+    contexts = [WorkerContext(f"w{i}") for i in range(3)]
+    streams = [
+        ["a", "a", "b"] * 10,
+        ["b", "a", "a"] * 10,
+        ["c", "d", "e", "f"] * 6,   # constant churn through the min bucket
+    ]
+    _run(
+        framework,
+        *[
+            _process(framework, ctx, stream)
+            for ctx, stream in zip(contexts, streams)
+        ],
+    )
+    summary = framework.summary
+    assert summary.total_count() == sum(len(s) for s in streams)
+    assert summary.monitored() == 2
+    summary.check_invariants()
+
+
+def test_increment_to_wrong_bucket_raises():
+    framework = CoTSFramework(capacity=4, costs=CostModel())
+    ctx = WorkerContext("w")
+    _run(framework, _process(framework, ctx, ["a", "b"]))
+    summary = framework.summary
+    node = summary.table.peek("a").node
+    wrong = ConcurrentBucket(99)
+
+    def bad():
+        yield wrong.owner.cas(0, 1)
+        yield from summary._process_increment(
+            IncrementRequest(node, 1), wrong, ctx
+        )
+
+    engine = Engine(machine=MachineSpec(cores=1), costs=CostModel())
+    engine.spawn(bad())
+    with pytest.raises(ProtocolError):
+        engine.run()
+
+
+def test_check_invariants_detects_unsorted_buckets():
+    framework = CoTSFramework(capacity=4, costs=CostModel())
+    ctx = WorkerContext("w")
+    _run(framework, _process(framework, ctx, ["a", "a", "b"]))
+    summary = framework.summary
+    # sabotage: swap bucket frequencies
+    summary.min_bucket.freq = 100
+    with pytest.raises(ProtocolError):
+        summary.check_invariants()
+
+
+def test_to_space_saving_snapshot(skewed_stream):
+    framework = CoTSFramework(capacity=32, costs=CostModel())
+    ctx = WorkerContext("w")
+    _run(framework, _process(framework, ctx, skewed_stream[:500]))
+    snapshot = framework.summary.to_space_saving()
+    assert snapshot.processed == 500
+    assert snapshot.summary.total_count == 500
+    snapshot.summary.check_invariants()

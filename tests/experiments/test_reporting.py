@@ -1,0 +1,60 @@
+"""Unit tests for the reporting helpers (tables, series, charts)."""
+
+from repro.experiments import ascii_chart
+from repro.experiments.runner import ExperimentResult
+
+
+def _result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo",
+        columns=["alpha", "threads", "speedup"],
+        rows=[
+            {"alpha": 2.0, "threads": 1, "speedup": 1.0},
+            {"alpha": 2.0, "threads": 4, "speedup": 2.0},
+            {"alpha": 2.0, "threads": 8, "speedup": 4.0},
+            {"alpha": 3.0, "threads": 1, "speedup": 1.0},
+            {"alpha": 3.0, "threads": 8, "speedup": 8.0},
+        ],
+    )
+
+
+def test_chart_contains_axes_and_legend():
+    chart = ascii_chart(_result(), "threads", "speedup", width=30, height=8)
+    lines = chart.splitlines()
+    assert "a=alpha:2.0" in lines[0]
+    assert "b=alpha:3.0" in lines[0]
+    assert lines[-2].startswith("+")
+    assert "threads: 1 .. 8" in lines[-1]
+    assert "speedup: 1 .. 8" in lines[-1]
+
+
+def test_chart_has_requested_dimensions():
+    chart = ascii_chart(_result(), "threads", "speedup", width=30, height=8)
+    lines = chart.splitlines()
+    # title + height rows + axis + range line
+    assert len(lines) == 1 + 8 + 1 + 1
+    assert all(len(line) == 31 for line in lines[1:9])  # '|' + width
+
+
+def test_chart_places_extreme_points():
+    chart = ascii_chart(_result(), "threads", "speedup", width=20, height=6)
+    rows = chart.splitlines()[1:7]
+    # the max point (threads=8, speedup=8, group b) sits top-right
+    assert rows[0].rstrip().endswith("b")
+    # a minimum point sits in the bottom row
+    assert "a" in rows[-1] or "b" in rows[-1]
+
+
+def test_chart_empty_result():
+    empty = ExperimentResult("x", "t", ["a"], [])
+    assert ascii_chart(empty, "a", "a") == "(nothing to plot)"
+
+
+def test_chart_single_point_degenerate_ranges():
+    single = ExperimentResult(
+        "x", "t", ["alpha", "threads", "speedup"],
+        [{"alpha": 2.0, "threads": 4, "speedup": 1.0}],
+    )
+    chart = ascii_chart(single, "threads", "speedup")
+    assert "a=alpha:2.0" in chart

@@ -1,0 +1,73 @@
+"""End-to-end query pipeline: streams -> counters -> §3.2 queries."""
+
+import pytest
+
+from repro.analysis.accuracy import frequent_accuracy, top_k_accuracy
+from repro.core import (
+    ExactCounter,
+    FrequentSetQuery,
+    IntervalSchedule,
+    PointFrequentQuery,
+    SpaceSaving,
+    TopKSetQuery,
+    answer,
+    answer_all,
+)
+from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.workloads import bursty_stream, zipf_stream
+
+
+def test_interval_queries_over_a_live_stream():
+    stream = zipf_stream(2000, 2000, 2.0, seed=41)
+    counter = SpaceSaving(capacity=64)
+    schedule = IntervalSchedule(
+        (TopKSetQuery(k=3), FrequentSetQuery(phi=0.1)),
+        every_updates=200,
+    )
+    answers = answer_all(stream, counter, schedule)
+    assert len(answers) == 2 * (len(stream) // 200)
+    # the final top-k answer matches the exact one
+    exact = ExactCounter()
+    exact.process_many(stream)
+    final_topk = [a for a in answers if isinstance(a.query, TopKSetQuery)][-1]
+    assert [e.element for e in final_topk.result] == [
+        e for e, _ in exact.top_k(3)
+    ]
+
+
+def test_accuracy_metrics_on_cots_output():
+    stream = zipf_stream(3000, 3000, 2.0, seed=42)
+    exact = ExactCounter()
+    exact.process_many(stream)
+    result = run_cots(stream, CoTSRunConfig(threads=8, capacity=64))
+    top = top_k_accuracy(result.counter.top_k(5), exact, k=5)
+    assert top.recall == 1.0
+    frequent = frequent_accuracy(
+        result.counter.frequent(0.05), exact, phi=0.05
+    )
+    assert frequent.recall == 1.0  # Space Saving never misses frequent items
+
+
+def test_queries_track_a_drifting_hot_set():
+    """Bursty streams: the top-1 answer follows the current burst."""
+    stream = bursty_stream(
+        3000, alphabet=1000, burst_length=1000, hot_fraction=0.9, seed=43
+    )
+    counter = SpaceSaving(capacity=128)
+    schedule = IntervalSchedule((TopKSetQuery(k=1),), every_updates=1000)
+    answers = answer_all(stream, counter, schedule)
+    exact = ExactCounter()
+    exact.process_many(stream)
+    # the all-time top element is reported by the last query
+    assert answers[-1].result[0].element == exact.top_k(1)[0][0]
+
+
+def test_point_queries_consistent_with_set_queries():
+    stream = zipf_stream(1500, 1500, 2.5, seed=44)
+    counter = SpaceSaving(capacity=64)
+    counter.process_many(stream)
+    frequent_set = {
+        entry.element for entry in answer(FrequentSetQuery(0.05), counter)
+    }
+    for element in list(frequent_set)[:10]:
+        assert answer(PointFrequentQuery(element, 0.05), counter) is True

@@ -1,0 +1,61 @@
+"""Unit tests for the lock-backed atomic primitives."""
+
+import threading
+
+from repro.native.atomic import AtomicInteger, AtomicReference
+
+
+def test_integer_basics():
+    cell = AtomicInteger(5)
+    assert cell.get() == 5
+    cell.set(7)
+    assert cell.get() == 7
+
+
+def test_add_and_get():
+    cell = AtomicInteger(0)
+    assert cell.add_and_get(3) == 3
+    assert cell.add_and_get(-1) == 2
+
+
+def test_compare_and_swap():
+    cell = AtomicInteger(1)
+    assert cell.compare_and_swap(1, 9) is True
+    assert cell.get() == 9
+    assert cell.compare_and_swap(1, 5) is False
+    assert cell.get() == 9
+
+
+def test_swap():
+    cell = AtomicInteger(4)
+    assert cell.swap(8) == 4
+    assert cell.get() == 8
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    cell = AtomicInteger(0)
+
+    def hammer():
+        for _ in range(5000):
+            cell.add_and_get(1)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert cell.get() == 40_000
+
+
+def test_reference_cas_uses_identity():
+    a, b = object(), object()
+    ref = AtomicReference(a)
+    assert ref.compare_and_swap(a, b) is True
+    assert ref.get() is b
+    assert ref.compare_and_swap(a, b) is False
+
+
+def test_reference_swap():
+    ref = AtomicReference("x")
+    assert ref.swap("y") == "x"
+    assert ref.get() == "y"

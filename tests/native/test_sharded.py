@@ -1,0 +1,44 @@
+"""Real-thread validation of the sharded (Independent) design."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.native.sharded import ShardedSpaceSaving
+from repro.workloads import zipf_stream
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ShardedSpaceSaving(0, 10)
+    with pytest.raises(ConfigurationError):
+        ShardedSpaceSaving(2, 0)
+
+
+def test_counts_partition_the_stream(skewed_stream):
+    sharded = ShardedSpaceSaving(threads=4, capacity=200)
+    sharded.count(skewed_stream)
+    assert sharded.processed == len(skewed_stream)
+
+
+def test_merged_finds_heavy_hitters(skewed_stream, exact_skewed):
+    sharded = ShardedSpaceSaving(threads=4, capacity=200)
+    sharded.count(skewed_stream)
+    merged = sharded.merged()
+    expected = [element for element, _ in exact_skewed.top_k(3)]
+    assert [entry.element for entry in merged.top_k(3)] == expected
+
+
+def test_merged_estimates_upper_bound_for_heavy(skewed_stream, exact_skewed):
+    sharded = ShardedSpaceSaving(threads=6, capacity=300)
+    sharded.count(skewed_stream)
+    merged = sharded.merged()
+    for element, truth in exact_skewed.top_k(5):
+        assert merged.estimate(element) >= truth
+
+
+def test_merged_capacity_override():
+    stream = zipf_stream(2000, 200, 1.5, seed=2)
+    sharded = ShardedSpaceSaving(threads=3, capacity=50)
+    sharded.count(stream)
+    merged = sharded.merged(capacity=5)
+    assert len(merged) <= 5

@@ -1,0 +1,58 @@
+"""Unit tests for the Hybrid local+global scheme (§4.4)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.base import SchemeConfig
+from repro.parallel.hybrid import run_hybrid
+
+
+def test_hybrid_conserves_total_counts(skewed_stream):
+    result = run_hybrid(skewed_stream, SchemeConfig(threads=4, capacity=60))
+    assert result.counter.summary.total_count == len(skewed_stream)
+    result.counter.summary.check_invariants()
+
+
+def test_hybrid_top_elements_match_exact(skewed_stream, exact_skewed):
+    result = run_hybrid(skewed_stream, SchemeConfig(threads=4, capacity=60))
+    got = [entry.element for entry in result.counter.top_k(3)]
+    expected = [element for element, _ in exact_skewed.top_k(3)]
+    assert got == expected
+
+
+def test_local_cache_absorbs_hot_elements(skewed_stream):
+    """On skewed data, the local caches absorb most updates: the hybrid
+    spends a larger fraction in (unsynchronized) counting than shared."""
+    from repro.parallel.shared import run_shared
+
+    hybrid = run_hybrid(skewed_stream, SchemeConfig(threads=4, capacity=60))
+    shared = run_shared(skewed_stream, SchemeConfig(threads=4, capacity=60))
+    assert hybrid.breakdown().get("counting", 0.0) > 0.1
+    assert hybrid.seconds < shared.seconds
+
+
+def test_flush_interval_and_local_capacity_respected(skewed_stream):
+    result = run_hybrid(
+        skewed_stream,
+        SchemeConfig(threads=2, capacity=80),
+        flush_every=128,
+        local_capacity=10,
+    )
+    assert result.extras["flush_every"] == 128
+    assert result.extras["local_capacity"] == 10
+    assert result.counter.summary.total_count == len(skewed_stream)
+
+
+def test_default_local_capacity_is_quarter(skewed_stream):
+    result = run_hybrid(skewed_stream, SchemeConfig(threads=2, capacity=80))
+    assert result.extras["local_capacity"] == 20
+
+
+def test_invalid_flush_interval(skewed_stream):
+    with pytest.raises(ConfigurationError):
+        run_hybrid(skewed_stream, flush_every=0)
+
+
+def test_mild_stream_conserved(mild_stream):
+    result = run_hybrid(mild_stream, SchemeConfig(threads=4, capacity=60))
+    assert result.counter.summary.total_count == len(mild_stream)

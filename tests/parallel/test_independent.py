@@ -1,0 +1,96 @@
+"""Unit tests for the Independent Structures scheme."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.base import SchemeConfig
+from repro.parallel.independent import run_independent
+
+
+def test_final_merge_preserves_total(skewed_stream):
+    result = run_independent(skewed_stream, SchemeConfig(threads=4, capacity=40))
+    assert result.counter.processed == len(skewed_stream)
+
+
+def test_locals_partition_the_stream(skewed_stream):
+    result = run_independent(skewed_stream, SchemeConfig(threads=4, capacity=40))
+    locals_ = result.extras["locals"]
+    assert len(locals_) == 4
+    assert sum(local.processed for local in locals_) == len(skewed_stream)
+
+
+def test_merged_answers_match_exact_top_elements(skewed_stream, exact_skewed):
+    result = run_independent(
+        skewed_stream, SchemeConfig(threads=4, capacity=60), merge_every=400
+    )
+    got = [entry.element for entry in result.counter.top_k(3)]
+    expected = [element for element, _ in exact_skewed.top_k(3)]
+    assert got == expected
+
+
+def test_merge_rounds_match_interval(skewed_stream):
+    config = SchemeConfig(threads=4, capacity=40)
+    result = run_independent(skewed_stream, config, merge_every=500)
+    # roughly len(stream)/500 rounds (parameterized by partition length)
+    assert result.extras["merge_rounds"] >= len(skewed_stream) // 500
+    assert len(result.extras["merge_log"]) == result.extras["merge_rounds"]
+
+
+def test_no_periodic_merges_when_disabled(skewed_stream):
+    result = run_independent(skewed_stream, SchemeConfig(threads=4, capacity=40))
+    assert result.extras["merge_rounds"] == 0
+    assert result.extras["merge_log"] == []
+
+
+def test_merge_cost_grows_with_threads(skewed_stream):
+    """More threads => more counters to fold per merge => larger merge share."""
+    def merge_share(threads):
+        result = run_independent(
+            skewed_stream,
+            SchemeConfig(threads=threads, capacity=40),
+            merge_every=len(skewed_stream) // 20,
+        )
+        return result.breakdown().get("merge", 0.0)
+
+    assert merge_share(8) > merge_share(1)
+
+
+def test_hierarchical_strategy_runs_and_matches_serial(skewed_stream):
+    serial = run_independent(
+        skewed_stream,
+        SchemeConfig(threads=4, capacity=40),
+        merge_every=1000,
+        strategy="serial",
+    )
+    tree = run_independent(
+        skewed_stream,
+        SchemeConfig(threads=4, capacity=40),
+        merge_every=1000,
+        strategy="hierarchical",
+    )
+    assert dict(serial.counter.counts()) == dict(tree.counter.counts())
+    assert tree.scheme == "independent-hierarchical"
+
+
+def test_invalid_strategy_rejected(skewed_stream):
+    with pytest.raises(ConfigurationError):
+        run_independent(skewed_stream, strategy="magic")
+
+
+def test_single_thread_equals_sequential_counts(skewed_stream):
+    from repro.parallel.sequential import run_sequential
+
+    independent = run_independent(
+        skewed_stream, SchemeConfig(threads=1, capacity=40)
+    )
+    sequential = run_sequential(skewed_stream, SchemeConfig(capacity=40))
+    assert dict(independent.counter.counts()) == dict(
+        sequential.counter.counts()
+    )
+
+
+def test_counting_phase_scales_before_merges_dominate(skewed_stream):
+    """Without merges, independent counting time drops with threads."""
+    one = run_independent(skewed_stream, SchemeConfig(threads=1, capacity=40))
+    four = run_independent(skewed_stream, SchemeConfig(threads=4, capacity=40))
+    assert four.seconds < one.seconds

@@ -1,0 +1,66 @@
+"""Tests for the inter-operator parallelism baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.inter_operator import OperatorSpec, run_inter_operator
+from repro.simcore import MachineSpec
+from repro.workloads import zipf_stream
+
+
+def _specs(count, length=800):
+    return [
+        OperatorSpec(
+            name=f"op{i}",
+            stream=zipf_stream(length, length, 1.5, seed=i),
+            capacity=32,
+        )
+        for i in range(count)
+    ]
+
+
+def test_operators_count_independently():
+    result = run_inter_operator(_specs(3))
+    assert set(result.counters) == {"op0", "op1", "op2"}
+    for spec_count in result.counters.values():
+        assert spec_count.processed == 800
+
+
+def test_scales_up_to_core_count():
+    one = run_inter_operator(_specs(1))
+    four = run_inter_operator(_specs(4))
+    # four independent operators on four cores finish in about the time
+    # of one (within scheduling noise)
+    assert four.seconds < 1.5 * one.seconds
+
+
+def test_stops_scaling_beyond_cores():
+    four = run_inter_operator(_specs(4))
+    eight = run_inter_operator(_specs(8))
+    # twice the operators on the same four cores takes roughly twice as long
+    assert eight.seconds > 1.5 * four.seconds
+
+
+def test_lean_camp_machine_absorbs_more_operators():
+    eight_fat = run_inter_operator(_specs(8))
+    eight_lean = run_inter_operator(
+        _specs(8), machine=MachineSpec.lean_camp()
+    )
+    # 64 slow cores still beat 4 fast ones for 8 independent operators?
+    # Not necessarily on wall time (clock is slower), but every operator
+    # gets its own context: per-operator finish spread is tighter.
+    finish_fat = eight_fat.operator_finish_seconds().values()
+    finish_lean = eight_lean.operator_finish_seconds().values()
+    spread = lambda xs: (max(xs) - min(xs)) / max(xs)
+    assert spread(list(finish_lean)) < spread(list(finish_fat)) + 0.05
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        run_inter_operator([])
+    with pytest.raises(ConfigurationError):
+        run_inter_operator(
+            [OperatorSpec("dup", [1]), OperatorSpec("dup", [2])]
+        )
+    with pytest.raises(ConfigurationError):
+        OperatorSpec("x", [1], capacity=0)

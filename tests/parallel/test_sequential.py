@@ -1,0 +1,92 @@
+"""Unit tests for the sequential baseline driver."""
+
+import pytest
+
+from repro.parallel.base import (
+    SchemeConfig,
+    dynamic_update_cycles,
+    lookup_cycles,
+    op_kind,
+    partition_sizes,
+    thread_names,
+    update_cycles,
+)
+from repro.parallel.sequential import run_sequential
+from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
+from repro.simcore import CostModel
+
+
+def test_sequential_counts_exactly_like_plain_space_saving(skewed_stream):
+    result = run_sequential(skewed_stream, SchemeConfig(capacity=40))
+    reference = SpaceSaving(capacity=40)
+    reference.process_many(skewed_stream)
+    assert dict(result.counter.counts()) == dict(reference.counts())
+    assert result.elements == len(skewed_stream)
+    assert result.threads == 1
+    assert result.scheme == "sequential"
+
+
+def test_sequential_time_linear_in_stream_length(skewed_stream):
+    half = run_sequential(skewed_stream[: len(skewed_stream) // 2],
+                          SchemeConfig(capacity=40))
+    full = run_sequential(skewed_stream, SchemeConfig(capacity=40))
+    ratio = full.cycles / half.cycles
+    assert 1.6 <= ratio <= 2.4
+
+
+def test_sequential_throughput_order_of_magnitude(skewed_stream):
+    result = run_sequential(skewed_stream, SchemeConfig(capacity=40))
+    # ~10-40M elements/s/core at 2.4GHz with the default cost model
+    assert 1e6 < result.throughput < 1e8
+
+
+def test_op_kind_transitions():
+    counter = SpaceSaving(capacity=2)
+    assert op_kind(counter, "a") == "insert"
+    counter.process("a")
+    assert op_kind(counter, "a") == "increment"
+    counter.process("b")
+    assert op_kind(counter, "c") == "overwrite"
+
+
+def test_update_cycles_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError):
+        update_cycles(CostModel(), "replace")
+
+
+def test_dynamic_update_cycles_adds_alloc_for_new_bucket():
+    costs = CostModel()
+    counter = SpaceSaving(capacity=8)
+    counter.process("a")  # bucket 1 with {a}
+    counter.process("b")  # bucket 1 with {a, b}
+    # incrementing a creates bucket 2 but does not empty bucket 1
+    kind, cycles = dynamic_update_cycles(counter, "a", costs)
+    assert kind == "increment"
+    assert cycles == update_cycles(costs, "increment") + costs.alloc
+    counter.process("a")
+    # incrementing b moves it into existing bucket 2... but it empties
+    # bucket 1 AND bucket 2 exists: only the free charge applies
+    kind, cycles = dynamic_update_cycles(counter, "b", costs)
+    assert kind == "increment"
+    assert cycles == update_cycles(costs, "increment") + costs.free
+
+
+def test_lookup_cycles_positive():
+    assert lookup_cycles(CostModel()) > 0
+
+
+def test_partition_sizes():
+    assert partition_sizes(10, 3) == [4, 3, 3]
+    assert partition_sizes(2, 4) == [1, 1, 0, 0]
+
+
+def test_thread_names():
+    assert thread_names("w", 3) == ["w-0", "w-1", "w-2"]
+
+
+def test_scheme_config_validation():
+    with pytest.raises(ConfigurationError):
+        SchemeConfig(threads=0)
+    with pytest.raises(ConfigurationError):
+        SchemeConfig(capacity=0)

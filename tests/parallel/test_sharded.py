@@ -1,0 +1,49 @@
+"""Tests for the hash-sharded simulated scheme."""
+
+from repro.parallel.base import SchemeConfig
+from repro.parallel.sharded import run_sharded
+from repro.workloads import uniform_stream, zipf_stream
+
+
+def test_sharded_counts_are_exact_per_key(skewed_stream, exact_skewed):
+    """Disjoint key ownership means no cross-shard error for hot keys."""
+    result = run_sharded(skewed_stream, SchemeConfig(threads=4, capacity=200))
+    for element, truth in exact_skewed.top_k(10):
+        assert result.counter.estimate(element) == truth
+
+
+def test_sharded_processes_everything(skewed_stream):
+    result = run_sharded(skewed_stream, SchemeConfig(threads=4, capacity=64))
+    assert sum(result.extras["loads"]) == len(skewed_stream)
+    assert result.scheme == "sharded"
+
+
+def test_skew_causes_load_imbalance():
+    uniform = run_sharded(
+        uniform_stream(4000, 4000, seed=1),
+        SchemeConfig(threads=8, capacity=64),
+    )
+    skewed = run_sharded(
+        zipf_stream(4000, 4000, 3.0, seed=1),
+        SchemeConfig(threads=8, capacity=64),
+    )
+    assert skewed.extras["imbalance"] > 2.0
+    assert uniform.extras["imbalance"] < skewed.extras["imbalance"]
+
+
+def test_hot_shard_bounds_the_makespan():
+    """Under heavy skew the run takes as long as the hot shard alone."""
+    stream = zipf_stream(4000, 4000, 3.0, seed=2)
+    few = run_sharded(stream, SchemeConfig(threads=2, capacity=64))
+    many = run_sharded(stream, SchemeConfig(threads=16, capacity=64))
+    # adding shards barely helps: the hot element pins one shard
+    hot_load = max(many.extras["loads"])
+    assert hot_load > 0.7 * len(stream)
+    assert many.seconds > 0.5 * few.seconds
+
+
+def test_uniform_stream_scales_nicely():
+    stream = uniform_stream(4000, 4000, seed=3)
+    one = run_sharded(stream, SchemeConfig(threads=1, capacity=64))
+    four = run_sharded(stream, SchemeConfig(threads=4, capacity=64))
+    assert four.seconds < 0.5 * one.seconds

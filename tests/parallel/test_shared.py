@@ -1,0 +1,82 @@
+"""Unit tests for the lock-based Shared Structure scheme."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.base import SchemeConfig
+from repro.parallel.shared import run_shared
+
+
+def test_shared_counts_are_conserved(skewed_stream):
+    result = run_shared(skewed_stream, SchemeConfig(threads=4, capacity=40))
+    assert result.counter.summary.total_count == len(skewed_stream)
+    result.counter.summary.check_invariants()
+
+
+def test_shared_estimates_upper_bound_truth(skewed_stream, exact_skewed):
+    result = run_shared(skewed_stream, SchemeConfig(threads=4, capacity=60))
+    for element, truth in exact_skewed.top_k(10):
+        assert result.counter.estimate(element) >= truth
+
+
+def test_contention_degrades_from_one_to_four_threads(skewed_stream):
+    one = run_shared(skewed_stream, SchemeConfig(threads=1, capacity=40))
+    four = run_shared(skewed_stream, SchemeConfig(threads=4, capacity=40))
+    assert four.seconds > one.seconds
+
+
+def test_flat_beyond_core_count(skewed_stream):
+    four = run_shared(skewed_stream, SchemeConfig(threads=4, capacity=40))
+    sixteen = run_shared(skewed_stream, SchemeConfig(threads=16, capacity=40))
+    assert sixteen.seconds < four.seconds * 3
+
+
+def test_profiling_tags_present(skewed_stream):
+    result = run_shared(skewed_stream, SchemeConfig(threads=4, capacity=40))
+    breakdown = result.breakdown()
+    assert "hash" in breakdown
+    assert "structure" in breakdown
+    # element-level blocking is the dominant share under skew + threads
+    assert breakdown["hash"] > 0.3
+
+
+def test_hash_share_grows_with_threads(skewed_stream):
+    def hash_share(threads):
+        result = run_shared(
+            skewed_stream, SchemeConfig(threads=threads, capacity=40)
+        )
+        return result.breakdown().get("hash", 0.0)
+
+    assert hash_share(4) > hash_share(1)
+
+
+def test_spin_lock_variant_counts_correctly(skewed_stream):
+    result = run_shared(
+        skewed_stream, SchemeConfig(threads=4, capacity=40), lock_kind="spin"
+    )
+    assert result.counter.summary.total_count == len(skewed_stream)
+    assert result.scheme == "shared-spin"
+
+
+def test_spin_burns_more_cpu_than_mutex(skewed_stream):
+    mutex = run_shared(
+        skewed_stream, SchemeConfig(threads=8, capacity=40), lock_kind="mutex"
+    )
+    spin = run_shared(
+        skewed_stream, SchemeConfig(threads=8, capacity=40), lock_kind="spin"
+    )
+    busy = lambda r: sum(
+        t.busy_cycles for t in r.execution.threads.values()
+    )
+    assert busy(spin) > busy(mutex)
+
+
+def test_invalid_lock_kind_rejected(skewed_stream):
+    with pytest.raises(ConfigurationError):
+        run_shared(skewed_stream, lock_kind="rwlock")
+
+
+def test_mild_stream_also_conserved(mild_stream):
+    result = run_shared(mild_stream, SchemeConfig(threads=8, capacity=50))
+    assert result.counter.summary.total_count == len(mild_stream)
+    result.counter.summary.check_invariants()

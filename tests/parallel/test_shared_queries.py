@@ -1,0 +1,65 @@
+"""Tests for the lock-acquiring interval reader of the Shared scheme."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.base import SchemeConfig
+from repro.parallel.shared import run_shared
+
+
+def test_reader_collects_answers_and_counts_stay_exact(skewed_stream, exact_skewed):
+    result = run_shared(
+        skewed_stream,
+        SchemeConfig(threads=4, capacity=64),
+        query_every_cycles=200_000,
+        query_top_k=3,
+    )
+    log = result.extras["query_log"]
+    assert len(log) >= 2
+    assert result.counter.summary.total_count == len(skewed_stream)
+    # final answer names the true heavy hitters
+    final = [element for element, _ in log[-1][1]]
+    expected = [element for element, _ in exact_skewed.top_k(3)]
+    assert final[:3] == expected
+
+
+def test_reader_slows_the_writers(skewed_stream):
+    """Reader locks block updates: the queried run takes longer."""
+    plain = run_shared(skewed_stream, SchemeConfig(threads=4, capacity=64))
+    queried = run_shared(
+        skewed_stream,
+        SchemeConfig(threads=4, capacity=64),
+        query_every_cycles=100_000,
+    )
+    assert queried.seconds >= plain.seconds
+
+
+def test_reader_answers_are_timestamped_in_order(skewed_stream):
+    result = run_shared(
+        skewed_stream,
+        SchemeConfig(threads=2, capacity=64),
+        query_every_cycles=300_000,
+    )
+    times = [at for at, _ in result.extras["query_log"]]
+    assert times == sorted(times)
+
+
+def test_no_reader_by_default(skewed_stream):
+    result = run_shared(skewed_stream, SchemeConfig(threads=2, capacity=32))
+    assert result.extras["query_log"] == []
+
+
+def test_negative_interval_rejected(skewed_stream):
+    with pytest.raises(ConfigurationError):
+        run_shared(skewed_stream, query_every_cycles=-5)
+
+
+def test_reader_with_spin_locks(skewed_stream):
+    result = run_shared(
+        skewed_stream,
+        SchemeConfig(threads=4, capacity=64),
+        lock_kind="spin",
+        query_every_cycles=250_000,
+    )
+    assert result.counter.summary.total_count == len(skewed_stream)
+    assert len(result.extras["query_log"]) >= 1

@@ -1,0 +1,84 @@
+"""Unit tests for atomic cells and cache lines."""
+
+import pytest
+
+from repro.simcore.atomics import AtomicCell, CacheLine, apply_atomic
+from repro.simcore.effects import AtomicOp
+
+
+def test_cells_get_private_lines_by_default():
+    a, b = AtomicCell(), AtomicCell()
+    assert a.line is not b.line
+
+
+def test_cells_can_share_a_line():
+    line = CacheLine()
+    a, b = AtomicCell(line=line), AtomicCell(line=line)
+    assert a.line is b.line
+
+
+def test_line_ids_are_unique():
+    assert CacheLine().line_id != CacheLine().line_id
+
+
+def test_line_reset_clears_scheduling_state():
+    line = CacheLine()
+    line.free_at = 100
+    line.owner_core = 2
+    line.reset()
+    assert line.free_at == 0
+    assert line.owner_core is None
+
+
+def test_effect_builders_produce_atomic_ops():
+    cell = AtomicCell(5)
+    for effect, op in [
+        (cell.load(), "load"),
+        (cell.store(1), "store"),
+        (cell.add(2), "add"),
+        (cell.cas(5, 9), "cas"),
+        (cell.swap(3), "swap"),
+    ]:
+        assert isinstance(effect, AtomicOp)
+        assert effect.op == op
+        assert effect.cell is cell
+
+
+def test_apply_load():
+    assert apply_atomic(AtomicCell(7), "load", None, None) == 7
+
+
+def test_apply_store():
+    cell = AtomicCell(7)
+    assert apply_atomic(cell, "store", 9, None) is None
+    assert cell.peek() == 9
+
+
+def test_apply_add_returns_new_value():
+    cell = AtomicCell(10)
+    assert apply_atomic(cell, "add", 5, None) == 15
+    assert cell.peek() == 15
+
+
+def test_apply_cas_success_and_failure():
+    cell = AtomicCell(1)
+    assert apply_atomic(cell, "cas", 2, 1) is True
+    assert cell.peek() == 2
+    assert apply_atomic(cell, "cas", 3, 1) is False
+    assert cell.peek() == 2
+
+
+def test_apply_swap_returns_old_value():
+    cell = AtomicCell("old")
+    assert apply_atomic(cell, "swap", "new", None) == "old"
+    assert cell.peek() == "new"
+
+
+def test_apply_unknown_op_raises():
+    with pytest.raises(ValueError):
+        apply_atomic(AtomicCell(), "xadd2", None, None)
+
+
+def test_atomic_op_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        AtomicOp(AtomicCell(), "nope")

@@ -1,0 +1,64 @@
+"""Unit tests for the cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcore.costs import CostModel
+
+
+def test_defaults_are_nonnegative_ints():
+    model = CostModel()
+    for field in dataclasses.fields(model):
+        value = getattr(model, field.name)
+        assert isinstance(value, int)
+        assert value >= 0
+
+
+def test_replace_overrides_single_cost():
+    model = CostModel()
+    variant = model.replace(atomic_rmw=99)
+    assert variant.atomic_rmw == 99
+    assert variant.hash_compute == model.hash_compute
+    # original untouched (frozen dataclass)
+    assert model.atomic_rmw != 99 or model.atomic_rmw == 99
+
+
+def test_model_is_immutable():
+    model = CostModel()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        model.alloc = 1
+
+
+def test_rejects_negative_cost():
+    with pytest.raises(ConfigurationError):
+        CostModel(alloc=-1)
+
+
+def test_rejects_float_cost():
+    with pytest.raises(ConfigurationError):
+        CostModel(alloc=1.5)
+
+
+def test_scaled_multiplies_every_cost():
+    model = CostModel()
+    doubled = model.scaled(2.0)
+    for field in dataclasses.fields(model):
+        assert getattr(doubled, field.name) == max(
+            1, round(getattr(model, field.name) * 2)
+        )
+
+
+def test_scaled_never_drops_below_one():
+    model = CostModel()
+    shrunk = model.scaled(1e-9)
+    for field in dataclasses.fields(shrunk):
+        assert getattr(shrunk, field.name) >= 1
+
+
+def test_scaled_rejects_nonpositive_factor():
+    with pytest.raises(ConfigurationError):
+        CostModel().scaled(0)
+    with pytest.raises(ConfigurationError):
+        CostModel().scaled(-1)

@@ -1,0 +1,112 @@
+"""Property-based tests for the discrete-event engine (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore import (
+    AtomicCell,
+    Compute,
+    CostModel,
+    Engine,
+    MachineSpec,
+    Mutex,
+)
+from repro.simcore.effects import Latency
+
+# One simulated program: a list of (op, value) steps.
+_step = st.one_of(
+    st.tuples(st.just("compute"), st.integers(min_value=1, max_value=500)),
+    st.tuples(st.just("add"), st.integers(min_value=1, max_value=5)),
+    st.tuples(st.just("lock"), st.integers(min_value=1, max_value=200)),
+    st.tuples(st.just("latency"), st.integers(min_value=100, max_value=2000)),
+)
+_program = st.lists(_step, min_size=1, max_size=12)
+_programs = st.lists(_program, min_size=1, max_size=5)
+
+
+def _build(programs, cores):
+    engine = Engine(machine=MachineSpec(cores=cores), costs=CostModel())
+    cell = AtomicCell(0)
+    mutex = Mutex()
+    tally = {"locked_adds": 0}
+
+    def run(steps):
+        for op, value in steps:
+            if op == "compute":
+                yield Compute(value)
+            elif op == "add":
+                yield cell.add(value)
+            elif op == "latency":
+                yield Latency(value)
+            else:
+                yield mutex.acquire()
+                yield Compute(value)
+                tally["locked_adds"] += 1
+                yield mutex.release()
+
+    for index, steps in enumerate(programs):
+        engine.spawn(run(steps), name=f"p{index}")
+    return engine, cell, tally
+
+
+@given(programs=_programs, cores=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_runs_are_deterministic(programs, cores):
+    """Identical inputs produce identical traces and results."""
+
+    def trial():
+        engine, cell, tally = _build(programs, cores)
+        result = engine.run()
+        return (
+            result.makespan,
+            result.events,
+            cell.peek(),
+            tally["locked_adds"],
+            {name: s.finish_time for name, s in result.threads.items()},
+        )
+
+    assert trial() == trial()
+
+
+@given(programs=_programs, cores=st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_no_update_is_lost(programs, cores):
+    """The atomic cell ends at exactly the sum of all requested adds."""
+    expected = sum(
+        value for steps in programs for op, value in steps if op == "add"
+    )
+    engine, cell, _ = _build(programs, cores)
+    engine.run()
+    assert cell.peek() == expected
+
+
+@given(programs=_programs, cores=st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_every_thread_finishes_and_accounts_balance(programs, cores):
+    engine, _, _ = _build(programs, cores)
+    result = engine.run()
+    for name, stats in result.threads.items():
+        assert stats.finish_time is not None
+        assert 0 <= stats.finish_time <= result.makespan
+        assert stats.busy_cycles >= 0
+        assert stats.wait_cycles >= 0
+        assert stats.total_cycles == stats.busy_cycles + stats.wait_cycles
+
+
+@given(
+    programs=_programs,
+    cores=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_more_cores_never_hurt_compute_only(programs, cores):
+    """For pure-compute programs, doubling cores never increases makespan."""
+    compute_only = [
+        [(op, v) for op, v in steps if op == "compute"] or [("compute", 1)]
+        for steps in programs
+    ]
+    engine_small, _, _ = _build(compute_only, cores)
+    small = engine_small.run().makespan
+    engine_big, _, _ = _build(compute_only, cores * 2)
+    big = engine_big.run().makespan
+    assert big <= small

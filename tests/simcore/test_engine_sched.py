@@ -1,0 +1,128 @@
+"""Engine unit tests: timeslicing, latency overlap, fairness."""
+
+import pytest
+
+from repro.simcore import Compute, CostModel, Engine, MachineSpec, YieldCPU
+from repro.simcore.effects import Latency
+
+
+def test_latency_releases_the_core():
+    """Latency sleeps overlap across threads: 8 threads sleeping 10k
+    cycles each on one core finish far sooner than 80k cycles."""
+    engine = Engine(machine=MachineSpec(cores=1), costs=CostModel())
+
+    def program():
+        yield Latency(10_000)
+
+    for _ in range(8):
+        engine.spawn(program())
+    result = engine.run()
+    assert result.makespan < 20_000
+
+
+def test_latency_vs_compute_makespan():
+    """Compute occupies the core; the same cycles as Latency do not."""
+
+    def run(effect_factory):
+        engine = Engine(machine=MachineSpec(cores=1), costs=CostModel())
+
+        def program():
+            for _ in range(5):
+                yield effect_factory()
+
+        engine.spawn(program())
+        engine.spawn(program())
+        return engine.run().makespan
+
+    compute_time = run(lambda: Compute(5_000))
+    latency_time = run(lambda: Latency(5_000))
+    assert latency_time < compute_time
+
+
+def test_latency_accounted_as_wait():
+    engine = Engine(machine=MachineSpec(cores=1), costs=CostModel())
+
+    def program():
+        yield Latency(9_000, tag="io")
+
+    thread = engine.spawn(program())
+    engine.run()
+    assert thread.stats.accounts["io"].wait >= 9_000
+
+
+def test_timeslice_preemption_shares_the_core():
+    """With a small quantum, two CPU-bound threads interleave: both
+    finish within ~2x of the fair share rather than strictly serially."""
+    machine = MachineSpec(cores=1, timeslice=1_000)
+    engine = Engine(machine=machine, costs=CostModel())
+    finish = {}
+
+    def program(name):
+        for _ in range(50):
+            yield Compute(100)
+        finish[name] = True
+
+    a = engine.spawn(program("a"), name="a")
+    b = engine.spawn(program("b"), name="b")
+    result = engine.run()
+    # both ran to completion and neither monopolized: finish times within
+    # 40% of each other
+    fa = result.threads["a"].finish_time
+    fb = result.threads["b"].finish_time
+    assert abs(fa - fb) < 0.4 * max(fa, fb)
+
+
+def test_large_timeslice_runs_to_completion():
+    """With a huge quantum the first thread finishes before the second
+    gets the core (run-to-completion behaviour)."""
+    machine = MachineSpec(cores=1, timeslice=10_000_000)
+    engine = Engine(machine=machine, costs=CostModel())
+
+    def program():
+        for _ in range(50):
+            yield Compute(100)
+
+    engine.spawn(program(), name="a")
+    engine.spawn(program(), name="b")
+    result = engine.run()
+    fa = result.threads["a"].finish_time
+    fb = result.threads["b"].finish_time
+    assert min(fa, fb) <= 5_100  # the first one was never preempted
+
+
+def test_yield_cpu_rotates_the_core():
+    machine = MachineSpec(cores=1, timeslice=10_000_000)
+    engine = Engine(machine=machine, costs=CostModel())
+    trace = []
+
+    def program(name):
+        for _ in range(3):
+            yield Compute(10)
+            trace.append(name)
+            yield YieldCPU()
+
+    engine.spawn(program("a"))
+    engine.spawn(program("b"))
+    engine.run()
+    # with voluntary yields the two threads alternate
+    assert trace[:4] == ["a", "b", "a", "b"]
+
+
+def test_daemon_threads_do_not_block_completion():
+    engine = Engine(machine=MachineSpec(cores=2), costs=CostModel())
+
+    def daemon():
+        from repro.simcore.effects import Park
+
+        while True:
+            token = yield Park()
+            if token == "stop":
+                return
+
+    def worker():
+        yield Compute(100)
+
+    engine.spawn(daemon(), daemon=True)
+    engine.spawn(worker())
+    result = engine.run()  # must terminate despite the parked daemon
+    assert result.makespan >= 100

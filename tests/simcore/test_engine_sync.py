@@ -1,0 +1,253 @@
+"""Engine unit tests: mutexes, spin locks, barriers, park/unpark."""
+
+import pytest
+
+from repro.errors import DeadlockError, ProtocolError
+from repro.simcore import (
+    Barrier,
+    Compute,
+    CostModel,
+    Engine,
+    MachineSpec,
+    Mutex,
+    Park,
+    SpinLock,
+    Unpark,
+)
+
+
+def _engine(cores=4):
+    return Engine(machine=MachineSpec(cores=cores), costs=CostModel())
+
+
+def test_mutex_provides_mutual_exclusion():
+    engine = _engine()
+    mutex = Mutex()
+    state = {"inside": 0, "max_inside": 0, "count": 0}
+
+    def program():
+        for _ in range(25):
+            yield mutex.acquire()
+            state["inside"] += 1
+            state["max_inside"] = max(state["max_inside"], state["inside"])
+            yield Compute(17)
+            state["count"] += 1
+            state["inside"] -= 1
+            yield mutex.release()
+
+    for _ in range(5):
+        engine.spawn(program())
+    engine.run()
+    assert state["max_inside"] == 1
+    assert state["count"] == 125
+
+
+def test_mutex_fifo_handoff():
+    engine = _engine(cores=4)
+    mutex = Mutex()
+    order = []
+
+    def holder():
+        yield mutex.acquire()
+        yield Compute(10_000)
+        yield mutex.release()
+
+    def waiter(label, delay):
+        yield Compute(delay)
+        yield mutex.acquire()
+        order.append(label)
+        yield mutex.release()
+
+    engine.spawn(holder())
+    engine.spawn(waiter("first", 100))
+    engine.spawn(waiter("second", 200))
+    engine.run()
+    assert order == ["first", "second"]
+
+
+def test_mutex_release_by_non_owner_raises():
+    engine = _engine()
+    mutex = Mutex()
+
+    def bad():
+        yield mutex.release()
+
+    engine.spawn(bad())
+    with pytest.raises(ProtocolError):
+        engine.run()
+
+
+def test_mutex_reacquire_raises():
+    engine = _engine()
+    mutex = Mutex()
+
+    def bad():
+        yield mutex.acquire()
+        yield mutex.acquire()
+
+    engine.spawn(bad())
+    with pytest.raises(ProtocolError):
+        engine.run()
+
+
+def test_mutex_deadlock_detected():
+    engine = _engine()
+    a, b = Mutex("a"), Mutex("b")
+
+    def one():
+        yield a.acquire()
+        yield Compute(100)
+        yield b.acquire()
+
+    def two():
+        yield b.acquire()
+        yield Compute(100)
+        yield a.acquire()
+
+    engine.spawn(one())
+    engine.spawn(two())
+    with pytest.raises(DeadlockError):
+        engine.run()
+
+
+def test_spinlock_mutual_exclusion_and_retries():
+    engine = _engine(cores=2)
+    lock = SpinLock()
+    state = {"count": 0, "inside": 0, "max_inside": 0}
+
+    def program():
+        for _ in range(30):
+            yield lock.acquire()
+            state["inside"] += 1
+            state["max_inside"] = max(state["max_inside"], state["inside"])
+            yield Compute(40)
+            state["count"] += 1
+            state["inside"] -= 1
+            yield lock.release()
+
+    threads = [engine.spawn(program()) for _ in range(3)]
+    engine.run()
+    assert state["max_inside"] == 1
+    assert state["count"] == 90
+    assert sum(t.stats.spin_retries for t in threads) > 0
+
+
+def test_spinlock_release_by_non_owner_raises():
+    engine = _engine()
+    lock = SpinLock()
+
+    def bad():
+        yield lock.release()
+
+    engine.spawn(bad())
+    with pytest.raises(ProtocolError):
+        engine.run()
+
+
+def test_barrier_synchronizes_all_parties():
+    engine = _engine()
+    barrier = Barrier(3)
+    after = []
+
+    def program(i):
+        yield Compute(100 * (i + 1))
+        generation = yield barrier.wait()
+        after.append((i, generation))
+
+    for i in range(3):
+        engine.spawn(program(i))
+    engine.run()
+    assert sorted(g for _, g in after) == [1, 1, 1]
+
+
+def test_barrier_is_reusable():
+    engine = _engine()
+    barrier = Barrier(2)
+    generations = []
+
+    def program():
+        for _ in range(3):
+            generations.append((yield barrier.wait()))
+
+    engine.spawn(program())
+    engine.spawn(program())
+    engine.run()
+    assert sorted(generations) == [1, 1, 2, 2, 3, 3]
+
+
+def test_barrier_missing_party_deadlocks():
+    engine = _engine()
+    barrier = Barrier(2)
+
+    def program():
+        yield barrier.wait()
+
+    engine.spawn(program())
+    with pytest.raises(DeadlockError):
+        engine.run()
+
+
+def test_barrier_rejects_zero_parties():
+    with pytest.raises(ValueError):
+        Barrier(0)
+
+
+def test_park_then_unpark_delivers_token():
+    engine = _engine()
+    got = []
+
+    def sleeper():
+        got.append((yield Park()))
+
+    def waker(target):
+        yield Compute(500)
+        yield Unpark(target, token=123)
+
+    target = engine.spawn(sleeper())
+    engine.spawn(waker(target))
+    engine.run()
+    assert got == [123]
+
+
+def test_unpark_before_park_leaves_permit():
+    engine = _engine()
+    got = []
+
+    def sleeper():
+        yield Compute(5_000)  # unpark arrives while we are still busy
+        got.append((yield Park()))
+
+    def waker(target):
+        yield Unpark(target, token="early")
+
+    target = engine.spawn(sleeper())
+    engine.spawn(waker(target))
+    engine.run()
+    assert got == ["early"]
+
+
+def test_parked_non_daemon_thread_is_a_deadlock():
+    engine = _engine()
+
+    def sleeper():
+        yield Park()
+
+    engine.spawn(sleeper())
+    with pytest.raises(DeadlockError):
+        engine.run()
+
+
+def test_parked_daemon_thread_is_closed_at_end():
+    engine = _engine()
+
+    def sleeper():
+        yield Park()
+
+    def worker():
+        yield Compute(100)
+
+    daemon = engine.spawn(sleeper(), daemon=True)
+    engine.spawn(worker())
+    result = engine.run()
+    assert daemon.state == "done"
+    assert result.threads[daemon.name].finish_time is not None

@@ -1,0 +1,44 @@
+"""Unit tests for machine specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcore.machine import MachineSpec
+
+
+def test_default_is_the_papers_quad_core():
+    spec = MachineSpec()
+    assert spec.cores == 4
+    assert spec.clock_hz == 2.4e9
+    assert spec.name == "intel-q6600"
+
+
+def test_seconds_conversion():
+    spec = MachineSpec(clock_hz=2.0e9)
+    assert spec.seconds(2_000_000_000) == pytest.approx(1.0)
+    assert spec.seconds(0) == 0.0
+
+
+def test_fat_camp_preset():
+    assert MachineSpec.fat_camp().cores == 4
+
+
+def test_lean_camp_preset():
+    lean = MachineSpec.lean_camp()
+    assert lean.cores == 64
+    assert lean.clock_hz < MachineSpec.fat_camp().clock_hz
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cores": 0},
+        {"clock_hz": 0},
+        {"clock_hz": -1.0},
+        {"cache_line_bytes": 0},
+        {"timeslice": 0},
+    ],
+)
+def test_rejects_invalid_parameters(kwargs):
+    with pytest.raises(ConfigurationError):
+        MachineSpec(**kwargs)

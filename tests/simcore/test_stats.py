@@ -1,0 +1,96 @@
+"""Unit tests for the stats aggregation helpers."""
+
+import pytest
+
+from repro.simcore.stats import (
+    ExecutionResult,
+    TagAccount,
+    ThreadStats,
+    merge_breakdowns,
+)
+
+
+def _result():
+    a = ThreadStats(name="a")
+    a.account("hash").add(busy=30, wait=10)
+    a.account("rest").add(busy=60)
+    a.finish_time = 100
+    b = ThreadStats(name="b")
+    b.account("hash").add(busy=50, wait=50)
+    b.finish_time = 200
+    return ExecutionResult(
+        makespan=200,
+        threads={"a": a, "b": b},
+        events=5,
+        clock_hz=2.0e9,
+        core_busy=[100, 40],
+    )
+
+
+def test_tag_account_totals():
+    acct = TagAccount(busy=3, wait=4)
+    assert acct.total == 7
+    acct.add(busy=1, wait=2)
+    assert (acct.busy, acct.wait) == (4, 6)
+
+
+def test_thread_stats_rollups():
+    stats = _result().threads["a"]
+    assert stats.busy_cycles == 90
+    assert stats.wait_cycles == 10
+    assert stats.total_cycles == 100
+
+
+def test_breakdown_over_all_threads():
+    breakdown = _result().breakdown()
+    assert breakdown["hash"] == pytest.approx(140 / 200)
+    assert breakdown["rest"] == pytest.approx(60 / 200)
+
+
+def test_breakdown_over_selected_threads():
+    breakdown = _result().breakdown(thread_names=["b"])
+    assert breakdown == {"hash": 1.0}
+
+
+def test_tag_cycles_merges_accounts():
+    merged = _result().tag_cycles()
+    assert merged["hash"].busy == 80
+    assert merged["hash"].wait == 60
+
+
+def test_average_completion_and_filter():
+    result = _result()
+    assert result.average_completion() == pytest.approx(150.0)
+    assert result.average_completion(["a"]) == pytest.approx(100.0)
+
+
+def test_seconds_and_throughput():
+    result = _result()
+    assert result.seconds == pytest.approx(1e-7)
+    assert result.throughput(100) == pytest.approx(1e9)
+
+
+def test_core_utilization():
+    assert _result().core_utilization() == [0.5, 0.2]
+    empty = ExecutionResult(0, {}, 0, 1.0, core_busy=[0])
+    assert empty.core_utilization() == [0.0]
+
+
+def test_zero_makespan_throughput():
+    empty = ExecutionResult(0, {}, 0, 1.0)
+    assert empty.throughput(0) == 0.0
+    assert empty.throughput(5) == float("inf")
+
+
+def test_merge_breakdowns_averages_tagwise():
+    merged = merge_breakdowns(
+        [{"x": 0.2, "y": 0.8}, {"x": 0.4, "y": 0.6}]
+    )
+    assert merged == {"x": pytest.approx(0.3), "y": pytest.approx(0.7)}
+    assert merge_breakdowns([]) == {}
+
+
+def test_merge_breakdowns_with_missing_tags():
+    """A tag absent from a run counts as zero for that run."""
+    merged = merge_breakdowns([{"x": 1.0}, {"y": 1.0}])
+    assert merged == {"x": 0.5, "y": 0.5}

@@ -1,0 +1,129 @@
+"""Unit tests for execution tracing and core utilization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcore import (
+    Compute,
+    CostModel,
+    Engine,
+    MachineSpec,
+    Mutex,
+    TraceRecorder,
+)
+
+
+def _traced_run(cores=2, threads=3, work=5):
+    tracer = TraceRecorder()
+    engine = Engine(
+        machine=MachineSpec(cores=cores), costs=CostModel(), tracer=tracer
+    )
+
+    def program():
+        for _ in range(work):
+            yield Compute(100, tag="work")
+
+    for i in range(threads):
+        engine.spawn(program(), name=f"w{i}")
+    result = engine.run()
+    return tracer, result
+
+
+def test_recorder_validation():
+    with pytest.raises(ConfigurationError):
+        TraceRecorder(limit=0)
+
+
+def test_events_recorded_per_effect():
+    tracer, _ = _traced_run(threads=2, work=4)
+    assert len(tracer.events) == 8
+    assert all(event.effect == "Compute" for event in tracer.events)
+    assert all(event.tag == "work" for event in tracer.events)
+    assert all(event.end > event.start for event in tracer.events)
+
+
+def test_events_respect_core_exclusivity():
+    """No two events on the same core overlap in time."""
+    tracer, _ = _traced_run(cores=2, threads=6, work=10)
+    by_core = {}
+    for event in tracer.events:
+        by_core.setdefault(event.core, []).append(event)
+    for events in by_core.values():
+        events.sort(key=lambda e: e.start)
+        for first, second in zip(events, events[1:]):
+            assert first.end <= second.start
+
+
+def test_core_utilization_between_zero_and_one():
+    tracer, result = _traced_run()
+    for core, utilization in tracer.core_utilization().items():
+        assert 0.0 < utilization <= 1.0
+    # engine-side tracking agrees with the trace-side one
+    engine_side = result.core_utilization()
+    for core, utilization in tracer.core_utilization().items():
+        assert engine_side[core] == pytest.approx(utilization, rel=0.01)
+
+
+def test_effect_histogram_and_thread_activity():
+    tracer = TraceRecorder()
+    engine = Engine(
+        machine=MachineSpec(cores=1), costs=CostModel(), tracer=tracer
+    )
+    mutex = Mutex()
+
+    def program():
+        yield Compute(10)
+        yield mutex.acquire()
+        yield mutex.release()
+
+    engine.spawn(program(), name="solo")
+    engine.run()
+    histogram = tracer.effect_histogram()
+    assert histogram == {"Compute": 1, "MutexAcquire": 1, "MutexRelease": 1}
+    assert tracer.thread_activity()["solo"] > 0
+
+
+def test_limit_drops_excess_events():
+    tracer = TraceRecorder(limit=3)
+    engine = Engine(
+        machine=MachineSpec(cores=1), costs=CostModel(), tracer=tracer
+    )
+
+    def program():
+        for _ in range(10):
+            yield Compute(5)
+
+    engine.spawn(program())
+    engine.run()
+    assert len(tracer.events) == 3
+    assert tracer.dropped == 7
+
+
+def test_timeline_renders_rows_per_core():
+    tracer, _ = _traced_run(cores=2, threads=4, work=20)
+    chart = tracer.timeline(width=40)
+    lines = chart.splitlines()
+    assert lines[0].startswith("timeline:")
+    assert lines[1].startswith("core 0:")
+    assert lines[2].startswith("core 1:")
+    # the busy run shows thread initials, not only idle dots
+    assert any(ch == "w" for ch in lines[1])
+
+
+def test_timeline_validates_width():
+    with pytest.raises(ConfigurationError):
+        TraceRecorder().timeline(width=0)
+
+
+def test_empty_trace_renders():
+    tracer = TraceRecorder()
+    assert tracer.timeline() == "(empty trace)"
+    assert tracer.core_utilization() == {}
+    assert "0 events" in tracer.summary()
+
+
+def test_summary_mentions_utilization():
+    tracer, _ = _traced_run()
+    text = tracer.summary()
+    assert "events" in text
+    assert "core0=" in text

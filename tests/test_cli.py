@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_prints_stream(capsys):
+    assert main(["generate", "--length", "25", "--alpha", "2.0"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 25
+    assert all(line.strip().lstrip("-").isdigit() for line in lines)
+
+
+def test_generate_deterministic(capsys):
+    main(["generate", "--length", "10", "--seed", "4"])
+    first = capsys.readouterr().out
+    main(["generate", "--length", "10", "--seed", "4"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_count_from_file(tmp_path, capsys):
+    stream_file = tmp_path / "stream.txt"
+    stream_file.write_text("\n".join(["a"] * 5 + ["b"] * 2 + ["c"]))
+    code = main(
+        ["count", str(stream_file), "--algorithm", "space-saving",
+         "--capacity", "10", "--top", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "8 elements processed" in out
+    assert "a\t5" in out
+    assert "b\t2" in out
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    ["space-saving", "lossy-counting", "misra-gries",
+     "sticky-sampling", "count-min", "exact"],
+)
+def test_count_every_algorithm(tmp_path, capsys, algorithm):
+    stream_file = tmp_path / "stream.txt"
+    stream_file.write_text("\n".join(["x"] * 20 + ["y"] * 5))
+    code = main(
+        ["count", str(stream_file), "--algorithm", algorithm, "--top", "1"]
+    )
+    assert code == 0
+    assert "x" in capsys.readouterr().out
+
+
+def test_count_with_phi(tmp_path, capsys):
+    stream_file = tmp_path / "stream.txt"
+    stream_file.write_text("\n".join(["hot"] * 9 + ["cold"]))
+    main(["count", str(stream_file), "--phi", "0.5"])
+    out = capsys.readouterr().out
+    assert "above 50.000% support" in out
+    assert "hot\t9" in out
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    ["sequential", "shared", "shared-spin", "independent", "hybrid",
+     "cots", "cots-lossy"],
+)
+def test_simulate_every_scheme(capsys, scheme):
+    code = main(
+        ["simulate", "--scheme", scheme, "--threads", "4",
+         "--length", "600", "--capacity", "32"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput:" in out
+    assert "top-5:" in out
+
+
+def test_experiment_single(capsys):
+    code = main(["experiment", "fig3a", "--scale", "tiny"])
+    assert code == 0
+    assert "Figure 3(a)" in capsys.readouterr().out
+
+
+def test_experiment_writes_output(tmp_path, capsys):
+    code = main(
+        ["experiment", "table2", "--scale", "tiny",
+         "--output", str(tmp_path)]
+    )
+    assert code == 0
+    capsys.readouterr()
+    assert (tmp_path / "table2.txt").exists()
+
+
+def test_experiment_with_chart(capsys):
+    code = main(
+        ["experiment", "fig3b", "--scale", "tiny",
+         "--chart", "threads", "speedup"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "threads: " in out
+    assert "speedup: " in out
+
+
+def test_experiment_unknown_id(capsys):
+    code = main(["experiment", "fig99", "--scale", "tiny"])
+    assert code == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_trace_prints_timeline(capsys):
+    code = main(
+        ["trace", "--threads", "4", "--length", "300", "--width", "40"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "timeline:" in out
+    assert "core 0:" in out
+    assert "utilization:" in out
+
+
+def test_no_command_is_an_error():
+    with pytest.raises(SystemExit):
+        main([])

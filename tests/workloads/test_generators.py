@@ -1,0 +1,73 @@
+"""Unit tests for the non-zipfian stream generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import StreamError
+from repro.workloads.generators import (
+    bursty_stream,
+    churn_stream,
+    interleave,
+    uniform_stream,
+    weighted_stream,
+)
+
+
+def test_uniform_stream_coverage():
+    stream = uniform_stream(5000, 10, seed=1)
+    counts = Counter(stream)
+    assert set(counts) == set(range(10))
+    assert max(counts.values()) < 2 * min(counts.values())
+
+
+def test_uniform_stream_validation():
+    with pytest.raises(StreamError):
+        uniform_stream(-1, 10)
+    with pytest.raises(StreamError):
+        uniform_stream(10, 0)
+
+
+def test_weighted_stream_respects_weights():
+    stream = weighted_stream(10_000, [0.9, 0.1], seed=2)
+    counts = Counter(stream)
+    assert counts[0] > 5 * counts[1]
+
+
+@pytest.mark.parametrize("weights", [[], [-1.0, 2.0], [0.0, 0.0]])
+def test_weighted_stream_validation(weights):
+    with pytest.raises(StreamError):
+        weighted_stream(10, weights)
+
+
+def test_bursty_stream_has_a_dominant_element_per_burst():
+    stream = bursty_stream(
+        2000, alphabet=100, burst_length=500, hot_fraction=0.9, seed=3
+    )
+    assert len(stream) == 2000
+    for start in range(0, 2000, 500):
+        burst = stream[start : start + 500]
+        top, top_count = Counter(burst).most_common(1)[0]
+        assert top_count > 0.7 * 500
+
+
+def test_bursty_stream_validation():
+    with pytest.raises(StreamError):
+        bursty_stream(10, 10, burst_length=0)
+    with pytest.raises(StreamError):
+        bursty_stream(10, 10, burst_length=5, hot_fraction=1.5)
+
+
+def test_churn_stream_never_repeats_by_default():
+    stream = churn_stream(100)
+    assert len(set(stream)) == 100
+
+
+def test_churn_stream_with_alphabet_cycles():
+    stream = churn_stream(10, alphabet=3)
+    assert stream == [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+
+
+def test_interleave_round_robin():
+    assert interleave([[1, 1], [2, 2], [3]]) == [1, 2, 3, 1, 2]
+    assert interleave([]) == []

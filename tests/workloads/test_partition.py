@@ -1,0 +1,73 @@
+"""Unit and property tests for stream partitioning."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamError
+from repro.workloads.partition import (
+    block_partition,
+    hash_partition,
+    partition,
+    round_robin_partition,
+)
+
+_streams = st.lists(st.integers(min_value=0, max_value=9), max_size=100)
+_parts = st.integers(min_value=1, max_value=8)
+
+
+def test_block_partition_contiguous():
+    assert block_partition([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+
+def test_block_partition_sizes_nearly_equal():
+    parts = block_partition(list(range(10)), 3)
+    assert [len(p) for p in parts] == [4, 3, 3]
+
+
+def test_round_robin_partition():
+    assert round_robin_partition([1, 2, 3, 4, 5], 2) == [[1, 3, 5], [2, 4]]
+
+
+def test_hash_partition_keeps_element_on_one_shard():
+    parts = hash_partition([1, 2, 1, 3, 1, 2], 3)
+    homes = {}
+    for index, part in enumerate(parts):
+        for element in part:
+            assert homes.setdefault(element, index) == index
+
+
+def test_partition_dispatch():
+    stream = [1, 2, 3, 4]
+    assert partition(stream, 2, "block") == block_partition(stream, 2)
+    assert partition(stream, 2, "round_robin") == round_robin_partition(stream, 2)
+    with pytest.raises(StreamError):
+        partition(stream, 2, "bogus")
+
+
+def test_zero_parts_rejected():
+    for fn in (block_partition, round_robin_partition, hash_partition):
+        with pytest.raises(StreamError):
+            fn([1], 0)
+
+
+@given(stream=_streams, parts=_parts)
+@settings(max_examples=100, deadline=None)
+def test_property_partitions_preserve_multiset(stream, parts):
+    for how in ("block", "round_robin", "hash"):
+        pieces = partition(stream, parts, how)
+        assert len(pieces) == parts
+        combined = Counter()
+        for piece in pieces:
+            combined.update(piece)
+        assert combined == Counter(stream)
+
+
+@given(stream=_streams, parts=_parts)
+@settings(max_examples=100, deadline=None)
+def test_property_block_sizes_balanced(stream, parts):
+    sizes = [len(p) for p in block_partition(stream, parts)]
+    assert max(sizes) - min(sizes) <= 1
+    assert sum(sizes) == len(stream)

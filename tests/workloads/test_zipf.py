@@ -1,0 +1,113 @@
+"""Unit tests for zipfian stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.workloads.zipf import (
+    ZipfStreamSpec,
+    expected_frequency,
+    paper_scaled_spec,
+    zipf_stream,
+    zipf_weights,
+)
+
+
+def test_weights_sum_to_one():
+    weights = zipf_weights(1000, 2.0)
+    assert weights.sum() == pytest.approx(1.0)
+
+
+def test_weights_strictly_decreasing_for_positive_alpha():
+    weights = zipf_weights(50, 1.5)
+    assert all(weights[i] > weights[i + 1] for i in range(49))
+
+
+def test_alpha_zero_is_uniform():
+    weights = zipf_weights(10, 0.0)
+    assert np.allclose(weights, 0.1)
+
+
+def test_paper_formula_matches():
+    """f_i = N / (i^alpha * zeta(alpha)) with zeta truncated at |A|."""
+    alphabet, alpha, length = 100, 2.0, 10_000
+    zeta = sum(1.0 / i**alpha for i in range(1, alphabet + 1))
+    for rank in (1, 5, 50):
+        expected = length / (rank**alpha * zeta)
+        assert expected_frequency(rank, length, alphabet, alpha) == pytest.approx(
+            expected
+        )
+
+
+def test_expected_frequency_validates_rank():
+    with pytest.raises(StreamError):
+        expected_frequency(0, 100, 10, 2.0)
+    with pytest.raises(StreamError):
+        expected_frequency(11, 100, 10, 2.0)
+
+
+def test_stream_is_deterministic_per_seed():
+    a = zipf_stream(500, 100, 2.0, seed=5)
+    b = zipf_stream(500, 100, 2.0, seed=5)
+    c = zipf_stream(500, 100, 2.0, seed=6)
+    assert a == b
+    assert a != c
+
+
+def test_stream_elements_within_alphabet():
+    stream = zipf_stream(1000, 50, 1.5, seed=1)
+    assert all(0 <= e < 50 for e in stream)
+    assert len(stream) == 1000
+
+
+def test_empirical_frequencies_track_expectation():
+    length, alphabet, alpha = 20_000, 1000, 2.0
+    stream = zipf_stream(length, alphabet, alpha, seed=3)
+    top_count = stream.count(0)
+    expected = expected_frequency(1, length, alphabet, alpha)
+    assert abs(top_count - expected) < 0.15 * expected
+
+
+def test_higher_alpha_is_more_skewed():
+    def top_share(alpha):
+        stream = zipf_stream(5000, 5000, alpha, seed=9)
+        return stream.count(0) / len(stream)
+
+    assert top_share(3.0) > top_share(2.0) > top_share(1.2)
+
+
+def test_shuffle_identities_preserves_distribution_shape():
+    spec = ZipfStreamSpec(5000, 500, 2.0, seed=4, shuffle_identities=True)
+    stream = spec.elements()
+    counts = sorted(
+        np.bincount(np.asarray(stream), minlength=500), reverse=True
+    )
+    plain = ZipfStreamSpec(5000, 500, 2.0, seed=4).elements()
+    plain_counts = sorted(
+        np.bincount(np.asarray(plain), minlength=500), reverse=True
+    )
+    assert counts == plain_counts
+    assert stream != plain
+
+
+def test_spec_validation():
+    with pytest.raises(StreamError):
+        ZipfStreamSpec(-1, 10, 2.0)
+    with pytest.raises(StreamError):
+        ZipfStreamSpec(10, 0, 2.0)
+    with pytest.raises(StreamError):
+        ZipfStreamSpec(10, 10, -0.5)
+
+
+def test_spec_is_iterable():
+    spec = ZipfStreamSpec(10, 5, 2.0, seed=0)
+    assert list(spec) == spec.elements()
+
+
+def test_paper_scaled_spec_keeps_proportions():
+    spec = paper_scaled_spec(scale=0.001, alpha=2.5)
+    assert spec.length == 5000
+    assert spec.alphabet == 5000
+    assert spec.alpha == 2.5
+    with pytest.raises(StreamError):
+        paper_scaled_spec(scale=0)
