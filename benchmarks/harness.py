@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Standalone entry point for the pinned benchmark suite.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench``; kept here so the
+benchmark directory is self-contained::
+
+    python benchmarks/harness.py --scale tiny --output BENCH_core.json
+
+The report schema is documented in docs/benchmarks.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    from repro.cli import main as cli_main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["bench", *argv])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,280 @@
+"""Reproducible performance harness: ``python -m repro bench``.
+
+Runs a pinned suite of benchmarks and writes the results to a JSON file
+(``BENCH_core.json`` by default) so performance can be tracked *across
+PRs* — each run records enough environment detail (python version,
+platform, workload parameters) to make trajectory comparisons honest.
+
+Two families of measurements:
+
+* **Wall-clock hot path** — the raw Python Space Saving loop, per-element
+  (``process`` in a loop, the seed implementation's only lane) versus the
+  batched fast lane (``process_many``).  Both consume the identical
+  pinned zipf stream; the harness asserts the final summaries are
+  identical (same (element, count, error) triples and processed count)
+  and reports the speedup.
+* **Simulated schemes** — every parallelization design of the paper run
+  on the simulated CMP: sequential, shared (mutex and spin), independent
+  (serial merge), hybrid, CoTS, and CoTS with the pre-aggregated batch
+  claim.  For each we record the simulated makespan/throughput *and* the
+  host wall-clock cost of simulating it.
+
+The suite is deterministic apart from the timing numbers: streams are
+seeded, thread counts pinned, and every recorded counter state is a pure
+function of the inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Sequence
+
+from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
+
+#: bump when the JSON layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: pinned workload parameters per scale preset
+SCALES: Dict[str, Dict[str, int | float]] = {
+    "tiny": {
+        "hot_length": 50_000,
+        "sim_length": 3_000,
+        "alphabet": 2_000,
+        "capacity": 64,
+        "threads": 8,
+        "alpha": 2.0,
+        "seed": 7,
+        "repeats": 3,
+    },
+    "default": {
+        "hot_length": 500_000,
+        "sim_length": 20_000,
+        "alphabet": 20_000,
+        "capacity": 256,
+        "threads": 16,
+        "alpha": 2.0,
+        "seed": 7,
+        "repeats": 3,
+    },
+    "large": {
+        "hot_length": 2_000_000,
+        "sim_length": 100_000,
+        "alphabet": 100_000,
+        "capacity": 1024,
+        "threads": 32,
+        "alpha": 2.0,
+        "seed": 7,
+        "repeats": 3,
+    },
+}
+
+
+def _canonical_state(counter: SpaceSaving) -> List[tuple]:
+    """Order-independent fingerprint of a summary's queryable state."""
+    return sorted(
+        (str(e.element), e.count, e.error) for e in counter.entries()
+    )
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall-clock seconds over ``repeats`` runs of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_hot_path(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Wall-clock: per-element loop versus the batched fast lane."""
+    from repro.workloads.zipf import zipf_stream
+
+    stream = zipf_stream(
+        int(params["hot_length"]),
+        int(params["alphabet"]),
+        float(params["alpha"]),
+        seed=int(params["seed"]),
+    )
+    capacity = int(params["capacity"])
+    repeats = int(params["repeats"])
+
+    per_element_holder: Dict[str, SpaceSaving] = {}
+
+    def run_per_element() -> None:
+        counter = SpaceSaving(capacity=capacity)
+        process = counter.process
+        for element in stream:
+            process(element)
+        per_element_holder["counter"] = counter
+
+    batched_holder: Dict[str, SpaceSaving] = {}
+
+    def run_batched() -> None:
+        counter = SpaceSaving(capacity=capacity)
+        counter.process_many(stream)
+        batched_holder["counter"] = counter
+
+    per_element_secs = _best_of(repeats, run_per_element)
+    batched_secs = _best_of(repeats, run_batched)
+    base = per_element_holder["counter"]
+    fast = batched_holder["counter"]
+    identical = (
+        _canonical_state(base) == _canonical_state(fast)
+        and base.processed == fast.processed
+    )
+    length = len(stream)
+    return [
+        {
+            "name": "sequential-hot-path-per-element",
+            "kind": "wallclock",
+            "elements": length,
+            "wall_seconds": per_element_secs,
+            "throughput_eps": length / per_element_secs,
+        },
+        {
+            "name": "sequential-hot-path-batched",
+            "kind": "wallclock",
+            "elements": length,
+            "wall_seconds": batched_secs,
+            "throughput_eps": length / batched_secs,
+            "speedup_vs_per_element": per_element_secs / batched_secs,
+            "identical_results": identical,
+        },
+    ]
+
+
+def _bench_simulated(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Every parallel design on the simulated CMP, plus wall cost."""
+    from repro.cots import CoTSRunConfig, run_cots
+    from repro.parallel import (
+        SchemeConfig,
+        run_hybrid,
+        run_independent,
+        run_sequential,
+        run_shared,
+    )
+    from repro.workloads.zipf import zipf_stream
+
+    length = int(params["sim_length"])
+    stream = zipf_stream(
+        length,
+        int(params["alphabet"]),
+        float(params["alpha"]),
+        seed=int(params["seed"]),
+    )
+    threads = int(params["threads"])
+    capacity = int(params["capacity"])
+
+    def scheme_config() -> SchemeConfig:
+        return SchemeConfig(threads=threads, capacity=capacity)
+
+    def cots_config(preaggregate: bool) -> CoTSRunConfig:
+        return CoTSRunConfig(
+            threads=threads, capacity=capacity, preaggregate=preaggregate
+        )
+
+    runs = [
+        ("sequential", lambda: run_sequential(stream, scheme_config())),
+        (
+            "sequential-batched",
+            lambda: run_sequential(stream, scheme_config(), batch=64),
+        ),
+        (
+            "shared-mutex",
+            lambda: run_shared(stream, scheme_config(), lock_kind="mutex"),
+        ),
+        (
+            "shared-spin",
+            lambda: run_shared(stream, scheme_config(), lock_kind="spin"),
+        ),
+        (
+            "independent-serial",
+            lambda: run_independent(
+                stream,
+                scheme_config(),
+                merge_every=max(1, length // 10),
+                strategy="serial",
+            ),
+        ),
+        ("hybrid", lambda: run_hybrid(stream, scheme_config())),
+        ("cots", lambda: run_cots(stream, cots_config(False))),
+        ("cots-preagg", lambda: run_cots(stream, cots_config(True))),
+    ]
+    entries = []
+    for name, runner in runs:
+        started = time.perf_counter()
+        result = runner()
+        wall = time.perf_counter() - started
+        entries.append(
+            {
+                "name": name,
+                "kind": "simulated",
+                "elements": length,
+                "threads": result.threads,
+                "sim_cycles": result.cycles,
+                "sim_seconds": result.seconds,
+                "sim_throughput_eps": result.throughput,
+                "wall_seconds": wall,
+                "wall_throughput_eps": length / wall,
+            }
+        )
+    return entries
+
+
+def run_suite(scale: str = "tiny") -> Dict[str, Any]:
+    """Run the pinned benchmark suite and return the report dict."""
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"scale must be one of {sorted(SCALES)}, got {scale!r}"
+        )
+    params = dict(SCALES[scale])
+    results: List[Dict[str, Any]] = []
+    results.extend(_bench_hot_path(params))
+    results.extend(_bench_simulated(params))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "core",
+        "scale": scale,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "params": params,
+        "results": results,
+    }
+
+
+def write_report(report: Dict[str, Any], output: pathlib.Path) -> None:
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable one-line-per-result summary of a report."""
+    lines = [
+        f"bench suite={report['suite']} scale={report['scale']} "
+        f"python={report['python']}"
+    ]
+    for entry in report["results"]:
+        if entry["kind"] == "wallclock":
+            line = (
+                f"  {entry['name']:32s} {entry['wall_seconds'] * 1e3:10.1f} ms"
+                f"  {entry['throughput_eps'] / 1e6:8.2f} M el/s (wall)"
+            )
+            if "speedup_vs_per_element" in entry:
+                line += (
+                    f"  x{entry['speedup_vs_per_element']:.2f} vs per-element"
+                    f"  identical={entry['identical_results']}"
+                )
+        else:
+            line = (
+                f"  {entry['name']:32s} {entry['sim_cycles']:12d} cycles"
+                f"  {entry['sim_throughput_eps'] / 1e6:8.2f} M el/s (sim)"
+                f"  [{entry['wall_seconds']:.1f}s host]"
+            )
+        lines.append(line)
+    return "\n".join(lines)

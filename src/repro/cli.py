@@ -28,6 +28,12 @@ Commands
     time breakdown::
 
         python -m repro simulate --scheme cots --threads 64 --alpha 2.5
+
+``bench``
+    Run the pinned benchmark suite (hot-path wall clock + every
+    simulated scheme) and write the machine-readable report::
+
+        python -m repro bench --scale tiny --output BENCH_core.json
 """
 
 from __future__ import annotations
@@ -129,6 +135,22 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--merge-every", type=int, default=0,
                           help="independent: merge interval in elements")
     simulate.add_argument("--top", type=int, default=5)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the pinned benchmark suite and write BENCH_core.json",
+    )
+    bench.add_argument(
+        "--scale",
+        choices=("tiny", "default", "large"),
+        default="default",
+        help="workload scale preset (default: default)",
+    )
+    bench.add_argument(
+        "--output", type=pathlib.Path,
+        default=pathlib.Path("BENCH_core.json"),
+        help="result file (default: ./BENCH_core.json)",
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -313,6 +335,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_report, run_suite, write_report
+
+    report = run_suite(scale=args.scale)
+    write_report(report, args.output)
+    print(format_report(report))
+    print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Shared-scheme run with the trace recorder; prints the timeline."""
     from repro.parallel.base import SchemeConfig
@@ -346,6 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "count": _cmd_count,
         "simulate": _cmd_simulate,
+        "bench": _cmd_bench,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

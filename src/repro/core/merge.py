@@ -94,6 +94,14 @@ def hierarchical_merge(
             next_level.append(level[-1])
         level = next_level
     final = level[0]
+    if any(final is part for part in parts):
+        # A single input (or a lone survivor) would be returned by
+        # reference, so processing more elements into the "merged"
+        # result would silently mutate the source part.  Always hand
+        # back an independent summary, like merge_space_saving does.
+        return SpaceSaving.from_entries(
+            capacity, final.entries(), final.processed
+        )
     if len(final) <= capacity and final.capacity == capacity:
         return final
     return SpaceSaving.from_entries(capacity, final.entries(), final.processed)

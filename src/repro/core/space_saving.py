@@ -22,6 +22,8 @@ Guarantees (all property-tested in ``tests/core``):
 
 from __future__ import annotations
 
+import collections
+import itertools
 import math
 from typing import Iterable, List, Optional, Tuple
 
@@ -70,10 +72,16 @@ class SpaceSaving:
         Used by the merge of the Independent Structures design: the merged
         (element, count, error) triples become a regular queryable
         ``SpaceSaving``.  At most ``capacity`` entries (the largest by
-        count) are retained.
+        count) are retained; ties at the truncation boundary are broken
+        deterministically (by element, then error) so the kept set does
+        not depend on the iteration order of the caller's entries.
         """
         instance = cls(capacity=capacity)
-        kept = sorted(entries, key=lambda e: e.count, reverse=True)[:capacity]
+        kept = list(entries)
+        if len(kept) > capacity:
+            kept = sorted(
+                kept, key=lambda e: (-e.count, str(e.element), e.error)
+            )[:capacity]
         for entry in sorted(kept, key=lambda e: e.count):
             instance.summary.insert(
                 entry.element, count=entry.count, error=entry.error
@@ -117,10 +125,96 @@ class SpaceSaving:
             summary.insert(element, count=min_freq + count, error=min_freq)
         self._processed += count
 
+    #: elements per pre-aggregated chunk of :meth:`process_many`
+    BATCH_CHUNK = 4096
+
     def process_many(self, elements: Iterable[Element]) -> None:
-        """Consume every element of an iterable."""
-        for element in elements:
-            self.process(element)
+        """Consume every element of an iterable through the batched lane.
+
+        The stream is consumed in chunks.  Each chunk is pre-aggregated
+        with :class:`collections.Counter`; when the chunk cannot trigger
+        an eviction (every distinct element is either already monitored
+        or fits in a free counter slot) one bulk update per distinct
+        element is applied — the paper's §5.2.2 amortization, one Stream
+        Summary move covering many occurrences.  Otherwise the chunk runs
+        through a validated-once tight loop that still fuses runs of
+        consecutive identical elements (always exactly equivalent to the
+        per-element path) and inlines the unit-increment fast lane.
+
+        Both lanes are observationally identical to calling
+        :meth:`process` per element: same estimates, errors, ``processed``
+        count and eviction behaviour (bucket-internal tie order may
+        differ on the pre-aggregated lane).
+        """
+        summary = self.summary
+        nodes = summary._nodes
+        capacity = self.capacity
+        iterator = iter(elements)
+        while True:
+            chunk = list(itertools.islice(iterator, self.BATCH_CHUNK))
+            if not chunk:
+                return
+            counts = collections.Counter(chunk)
+            new = 0
+            for element in counts:
+                if element not in nodes:
+                    new += 1
+            if len(nodes) + new <= capacity:
+                # no eviction possible: bulk updates commute
+                increment = summary.increment
+                insert = summary.insert
+                for element, count in counts.items():
+                    if element in nodes:
+                        increment(element, count)
+                    else:
+                        insert(element, count=count, error=0)
+            else:
+                self._process_chunk(chunk)
+            self._processed += len(chunk)
+
+    def _process_chunk(self, chunk: List[Element]) -> None:
+        """Tight per-element loop: exact Algorithm 1 order, runs fused."""
+        summary = self.summary
+        nodes = summary._nodes
+        get = nodes.get
+        capacity = self.capacity
+        index = 0
+        length = len(chunk)
+        while index < length:
+            element = chunk[index]
+            stop = index + 1
+            while stop < length and chunk[stop] == element:
+                stop += 1
+            run = stop - index
+            index = stop
+            node = get(element)
+            if node is not None:
+                # inlined unit/bulk increment fast lane (see
+                # StreamSummary.increment_node)
+                source = node.bucket
+                target_freq = source.freq + run
+                nxt = source.next
+                if source.size == 1 and (
+                    nxt is None or nxt.freq > target_freq
+                ):
+                    source.freq = target_freq
+                    summary._total += run
+                elif nxt is not None and nxt.freq == target_freq:
+                    source.detach(node)
+                    nxt.attach(node)
+                    if source.size == 0:
+                        summary._remove_bucket(source)
+                    summary._total += run
+                else:
+                    summary.increment_node(node, run)
+            elif len(nodes) < capacity:
+                summary.insert(element, count=run, error=0)
+            else:
+                min_freq = summary.min_freq
+                summary.evict_min()
+                summary.insert(
+                    element, count=min_freq + run, error=min_freq
+                )
 
     # ------------------------------------------------------------------
     # Queries (the operator surface used by Section 3.2's query model)
@@ -149,8 +243,21 @@ class SpaceSaving:
         """Monitored elements sorted by descending estimated count."""
         return self.summary.entries()
 
-    def is_frequent(self, element: Element, threshold: float) -> bool:
-        """Point query: is ``element``'s estimated count above ``threshold``?"""
+    def is_frequent(self, element: Element, phi: float) -> bool:
+        """Point query: is ``element`` frequent at support ``phi``?
+
+        True iff the estimated count exceeds ``phi * N`` — the same
+        phi-fraction semantics as ``answer(PointFrequentQuery)`` and
+        :meth:`frequent`.  For an absolute-count comparison use
+        :meth:`exceeds_count`.
+        """
+        if not 0 < phi < 1:
+            raise ConfigurationError(f"phi must be in (0, 1), got {phi}")
+        return self.estimate(element) > phi * self._processed
+
+    def exceeds_count(self, element: Element, threshold: float) -> bool:
+        """Point query: is the estimated count above the absolute
+        ``threshold``?  (The old ``is_frequent`` semantics, renamed.)"""
         return self.estimate(element) > threshold
 
     def frequent(self, phi: float) -> List[CounterEntry]:

@@ -204,8 +204,33 @@ class StreamSummary:
             raise ReproError(f"element {element!r} is not monitored")
         if by < 1:
             raise ReproError(f"increment must be >= 1, got {by}")
+        return self.increment_node(node, by)
+
+    def increment_node(self, node: SummaryNode, by: int = 1) -> SummaryNode:
+        """Raise ``node``'s count by ``by`` (caller pre-validated inputs).
+
+        Two fast lanes cover the common cases under skew before falling
+        back to the general bucket walk:
+
+        * the node is alone in its bucket and no bucket exists at the
+          target frequency — bump the bucket's frequency in place (no
+          detach, splice or allocation);
+        * the neighbouring bucket already sits at exactly ``freq + by`` —
+          move the node straight across without searching.
+        """
         source = node.bucket
         target_freq = source.freq + by
+        nxt = source.next
+        if source.size == 1:
+            if nxt is None or nxt.freq > target_freq:
+                source.freq = target_freq
+                self._total += by
+                return node
+        elif nxt is not None and nxt.freq == target_freq:
+            source.detach(node)
+            nxt.attach(node)
+            self._total += by
+            return node
         source.detach(node)
         target = self._bucket_at_or_insert(target_freq, hint=source)
         target.attach(node)

@@ -47,7 +47,10 @@ class WindowedSpaceSaving:
         self.window_size = window_size
         self.capacity = capacity
         self.panes = panes
-        self.pane_size = max(1, window_size // panes)
+        # Round *up* so `panes` full panes always cover >= window_size;
+        # flooring here used to leave the queryable window short of the
+        # requested size (e.g. window 10 / 8 panes covered at most 8).
+        self.pane_size = -(-window_size // panes)
         self._panes: Deque[SpaceSaving] = collections.deque()
         self._current: Optional[SpaceSaving] = None
         self._current_fill = 0
@@ -67,17 +70,41 @@ class WindowedSpaceSaving:
         self._merged_cache = None
 
     def process_many(self, elements) -> None:
-        """Consume every element of an iterable."""
-        for element in elements:
-            self.process(element)
+        """Consume an iterable through the panes' batched fast lanes.
+
+        Elements are forwarded to each pane in slices that never cross a
+        pane boundary, so rotation points are identical to per-element
+        processing while each pane benefits from
+        :meth:`SpaceSaving.process_many`'s bulk amortization.
+        """
+        buffered = list(elements)
+        index = 0
+        length = len(buffered)
+        while index < length:
+            if self._current is None or self._current_fill >= self.pane_size:
+                self._rotate()
+            take = min(length - index, self.pane_size - self._current_fill)
+            self._current.process_many(buffered[index : index + take])
+            self._current_fill += take
+            self._processed += take
+            index += take
+        if length:
+            self._merged_cache = None
 
     def _rotate(self) -> None:
-        """Seal the current pane and drop panes outside the window."""
+        """Seal the current pane and drop panes outside the window.
+
+        Retention keeps the fewest *sealed* panes whose combined size
+        still covers ``window_size`` (plus the filling pane), so the
+        queryable window is always at least the requested size and at
+        most roughly one pane more.
+        """
         self._current = SpaceSaving(capacity=self.capacity)
         self._panes.append(self._current)
         self._current_fill = 0
-        # keep at most `panes` live panes (the window plus the filling one)
-        while len(self._panes) > self.panes:
+        # drop the oldest sealed pane only while the remaining sealed
+        # panes still cover the whole window
+        while (len(self._panes) - 2) * self.pane_size >= self.window_size:
             self._panes.popleft()
 
     # ------------------------------------------------------------------

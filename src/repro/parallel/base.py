@@ -198,6 +198,30 @@ def sequential_step(
     counter.process(element)
 
 
+def sequential_bulk_step(
+    counter: SpaceSaving,
+    element: Element,
+    run: int,
+    costs: CostModel,
+    tag: str = TAG_COUNTING,
+):
+    """Generator: one charged *bulk* step covering ``run`` occurrences.
+
+    The batched fast lane of the private-structure drivers: a run of
+    identical consecutive elements is fetched element-by-element (the
+    stream must still be read) but pays a single hash lookup and a single
+    Stream Summary move — the same amortization CoTS applies to bulk
+    increments, here in its sequential form.  Semantically identical to
+    ``run`` back-to-back :func:`sequential_step` calls on the structure
+    level (``process_bulk`` matches processing ``run`` singletons).
+    """
+    _, cycles = dynamic_update_cycles(counter, element, costs)
+    yield Compute(
+        costs.stream_fetch * (run - 1) + lookup_cycles(costs) + cycles, tag
+    )
+    counter.process_bulk(element, run)
+
+
 def partition_sizes(total: int, parts: int) -> List[int]:
     """Sizes of ``parts`` near-equal contiguous chunks of ``total``."""
     base, extra = divmod(total, parts)

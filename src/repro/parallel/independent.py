@@ -33,6 +33,7 @@ from repro.parallel.base import (
     SchemeResult,
     TAG_COUNTING,
     TAG_MERGE,
+    sequential_bulk_step,
     sequential_step,
     thread_names,
 )
@@ -53,14 +54,36 @@ def _worker(
     strategy: str,
     levels,
     merge_log: List[SpaceSaving],
+    batch: int = 1,
 ):
     counter = locals_[index]
     done_rounds = 0
     since_merge = 0
-    for element in part:
-        yield from sequential_step(counter, element, costs, TAG_COUNTING)
-        since_merge += 1
-        if since_merge == local_interval and done_rounds < rounds:
+    pos = 0
+    length = len(part)
+    while pos < length:
+        if batch > 1:
+            # run-fused fast lane, never crossing a merge point: the run
+            # is capped so merges still happen after exactly
+            # `local_interval` local elements
+            element = part[pos]
+            stop = pos + 1
+            limit = min(length, pos + batch, pos + local_interval - since_merge)
+            while stop < limit and part[stop] == element:
+                stop += 1
+            run = stop - pos
+            yield from sequential_bulk_step(
+                counter, element, run, costs, TAG_COUNTING
+            )
+            pos = stop
+            since_merge += run
+        else:
+            yield from sequential_step(
+                counter, part[pos], costs, TAG_COUNTING
+            )
+            pos += 1
+            since_merge += 1
+        if since_merge >= local_interval and done_rounds < rounds:
             since_merge = 0
             done_rounds += 1
             yield from _merge_round(
@@ -112,18 +135,23 @@ def run_independent(
     config: Optional[SchemeConfig] = None,
     merge_every: int = 0,
     strategy: str = "serial",
+    batch: int = 1,
 ) -> SchemeResult:
     """Drive the Independent Structures scheme over a buffered stream.
 
     ``merge_every`` is the query interval in *stream elements* (the paper
     uses 50000 on 5M-element streams, i.e. 1%); 0 disables periodic
     merges and only a final merge is performed.  ``strategy`` selects
-    serial or hierarchical merging.
+    serial or hierarchical merging.  ``batch > 1`` turns on the run-fused
+    counting fast lane (runs never cross a merge point, so merge timing
+    and results are unchanged).
     """
     if strategy not in ("serial", "hierarchical"):
         raise ConfigurationError(
             f"strategy must be 'serial' or 'hierarchical', got {strategy!r}"
         )
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
     config = config if config is not None else SchemeConfig()
     threads = config.threads
     parts = block_partition(stream, threads)
@@ -152,6 +180,7 @@ def run_independent(
                 strategy,
                 levels,
                 merge_log,
+                batch,
             ),
             name=name,
         )

@@ -11,10 +11,12 @@ from typing import Optional, Sequence
 
 from repro.core.counters import Element
 from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
 from repro.parallel.base import (
     SchemeConfig,
     SchemeResult,
     TAG_COUNTING,
+    sequential_bulk_step,
     sequential_step,
 )
 from repro.simcore.engine import Engine
@@ -25,19 +27,48 @@ def _worker(stream: Sequence[Element], counter: SpaceSaving, costs):
         yield from sequential_step(counter, element, costs, TAG_COUNTING)
 
 
+def _worker_batched(
+    stream: Sequence[Element], counter: SpaceSaving, costs, batch: int
+):
+    """Run-fused variant: consecutive identical elements (capped at
+    ``batch``) pay one lookup and one summary move."""
+    index = 0
+    length = len(stream)
+    while index < length:
+        element = stream[index]
+        stop = index + 1
+        limit = min(length, index + batch)
+        while stop < limit and stream[stop] == element:
+            stop += 1
+        yield from sequential_bulk_step(
+            counter, element, stop - index, costs, TAG_COUNTING
+        )
+        index = stop
+
+
 def run_sequential(
     stream: Sequence[Element],
     config: Optional[SchemeConfig] = None,
+    batch: int = 1,
 ) -> SchemeResult:
     """Process ``stream`` with a single simulated thread.
 
     ``config.threads`` is ignored (always 1); machine, costs and capacity
-    apply as usual.
+    apply as usual.  ``batch > 1`` enables the run-fused fast lane:
+    consecutive repeats of one element (up to ``batch`` of them) are
+    folded into a single charged bulk step.  The final counter is
+    identical either way; only the simulated cost differs.
     """
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
     config = config if config is not None else SchemeConfig()
     counter = SpaceSaving(capacity=config.capacity)
     engine = Engine(machine=config.machine, costs=config.costs)
-    engine.spawn(_worker(stream, counter, config.costs), name="seq-0")
+    if batch > 1:
+        program = _worker_batched(stream, counter, config.costs, batch)
+    else:
+        program = _worker(stream, counter, config.costs)
+    engine.spawn(program, name="seq-0")
     execution = engine.run()
     return SchemeResult(
         scheme="sequential",

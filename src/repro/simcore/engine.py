@@ -118,7 +118,33 @@ class SimThread:
 
 
 class Engine:
-    """Discrete-event simulator for one machine running many threads."""
+    """Discrete-event simulator for one machine running many threads.
+
+    Effect semantics are resolved through type-keyed dispatch tables
+    (``_TIMING`` / ``_APPLY``) instead of ``isinstance`` ladders — the
+    engine processes one table lookup per effect, which keeps the
+    per-event overhead flat no matter which effect is yielded.  Subclasses
+    of a registered effect type resolve to their nearest registered base
+    (cached on first use).
+    """
+
+    __slots__ = (
+        "machine",
+        "costs",
+        "tracer",
+        "now",
+        "events_processed",
+        "_seq",
+        "_heap",
+        "_cpu_waiters",
+        "_waiter_head",
+        "_core_free",
+        "_core_last",
+        "_core_busy",
+        "_threads",
+        "_live",
+        "_ran",
+    )
 
     def __init__(
         self,
@@ -354,49 +380,65 @@ class Engine:
         self, thread: SimThread, effect: Effect, core: int, start: int
     ) -> Tuple[int, int]:
         """Return (busy_cost, extra_wait) for executing ``effect``."""
+        handler = _TIMING.get(effect.__class__)
+        if handler is None:
+            handler = _resolve_handler(_TIMING, effect, "timing")
+        return handler(self, thread, effect, core, start)
+
+    # -- per-type timing handlers (registered in _TIMING below) ----------
+    def _time_compute(self, thread, effect, core, start):
+        return effect.cycles, 0
+
+    def _time_atomic(self, thread, effect, core, start):
         costs = self.costs
-        if isinstance(effect, Compute):
-            return effect.cycles, 0
-        if isinstance(effect, AtomicOp):
-            line = effect.cell.line
-            stall = max(0, line.free_at - start)
-            if effect.op == "load":
-                base = costs.atomic_load
-            elif effect.op == "store":
-                base = costs.atomic_store
-            else:
-                base = costs.atomic_rmw
-            if line.owner_core is None or line.owner_core == core:
-                base += costs.local_hit
-            else:
-                base += costs.line_transfer
-            line.free_at = start + stall + base
-            line.owner_core = core
-            return base, stall
-        if isinstance(effect, MutexAcquire):
-            return costs.mutex_acquire, 0
-        if isinstance(effect, MutexRelease):
-            return costs.mutex_release, 0
-        if isinstance(effect, SpinAcquire):
-            cost = costs.spin_quantum if thread._spinning else costs.spin_try
-            return cost, 0
-        if isinstance(effect, SpinRelease):
-            return costs.spin_try, 0
-        if isinstance(effect, BarrierWait):
-            return costs.atomic_rmw, 0
-        if isinstance(effect, Park):
-            return costs.park, 0
-        if isinstance(effect, Unpark):
-            return costs.unpark, 0
-        if isinstance(effect, Latency):
-            # issuing the operation is nearly free; the latency itself is
-            # spent off-core (handled at completion)
-            return 1, 0
-        if isinstance(effect, YieldCPU):
-            return 1, 0
-        if isinstance(effect, Now):
-            return 0, 0
-        raise SimulationError(f"unhandled effect type {type(effect).__name__}")
+        line = effect.cell.line
+        stall = max(0, line.free_at - start)
+        if effect.op == "load":
+            base = costs.atomic_load
+        elif effect.op == "store":
+            base = costs.atomic_store
+        else:
+            base = costs.atomic_rmw
+        if line.owner_core is None or line.owner_core == core:
+            base += costs.local_hit
+        else:
+            base += costs.line_transfer
+        line.free_at = start + stall + base
+        line.owner_core = core
+        return base, stall
+
+    def _time_mutex_acquire(self, thread, effect, core, start):
+        return self.costs.mutex_acquire, 0
+
+    def _time_mutex_release(self, thread, effect, core, start):
+        return self.costs.mutex_release, 0
+
+    def _time_spin_acquire(self, thread, effect, core, start):
+        costs = self.costs
+        return (costs.spin_quantum if thread._spinning else costs.spin_try), 0
+
+    def _time_spin_release(self, thread, effect, core, start):
+        return self.costs.spin_try, 0
+
+    def _time_barrier(self, thread, effect, core, start):
+        return self.costs.atomic_rmw, 0
+
+    def _time_park(self, thread, effect, core, start):
+        return self.costs.park, 0
+
+    def _time_unpark(self, thread, effect, core, start):
+        return self.costs.unpark, 0
+
+    def _time_latency(self, thread, effect, core, start):
+        # issuing the operation is nearly free; the latency itself is
+        # spent off-core (handled at completion)
+        return 1, 0
+
+    def _time_yield(self, thread, effect, core, start):
+        return 1, 0
+
+    def _time_now(self, thread, effect, core, start):
+        return 0, 0
 
     # ------------------------------------------------------------------
     # Effect completion (semantics applied in simulated-time order)
@@ -456,110 +498,126 @@ class Engine:
         self, thread: SimThread, effect: Effect, when: int
     ) -> Tuple[Any, str]:
         """Apply effect semantics at completion time ``when``."""
-        costs = self.costs
-        if isinstance(effect, Compute):
+        handler = _APPLY.get(effect.__class__)
+        if handler is None:
+            handler = _resolve_handler(_APPLY, effect, "apply")
+        return handler(self, thread, effect, when)
+
+    # -- per-type apply handlers (registered in _APPLY below) ------------
+    def _apply_compute(self, thread, effect, when):
+        return None, "continue"
+
+    def _apply_atomic(self, thread, effect, when):
+        value = apply_atomic(
+            effect.cell, effect.op, effect.operand, effect.expected
+        )
+        return value, "continue"
+
+    def _apply_mutex_acquire(self, thread, effect, when):
+        mutex = effect.mutex
+        if mutex.owner is None:
+            mutex.owner = thread
             return None, "continue"
-        if isinstance(effect, AtomicOp):
-            value = apply_atomic(
-                effect.cell, effect.op, effect.operand, effect.expected
+        if mutex.owner is thread:
+            raise ProtocolError(
+                f"thread {thread.name!r} re-acquired non-recursive "
+                f"{mutex.name!r}"
             )
-            return value, "continue"
-        if isinstance(effect, MutexAcquire):
-            mutex = effect.mutex
-            if mutex.owner is None:
-                mutex.owner = thread
-                return None, "continue"
-            if mutex.owner is thread:
-                raise ProtocolError(
-                    f"thread {thread.name!r} re-acquired non-recursive "
-                    f"{mutex.name!r}"
-                )
-            mutex.waiters.append(thread)
-            self._block(thread, effect.tag, when)
-            return None, "blocked"
-        if isinstance(effect, MutexRelease):
-            mutex = effect.mutex
-            if mutex.owner is not thread:
-                raise ProtocolError(
-                    f"thread {thread.name!r} released {mutex.name!r} "
-                    f"owned by {getattr(mutex.owner, 'name', None)!r}"
-                )
-            if mutex.waiters:
-                heir = mutex.waiters.popleft()
-                mutex.owner = heir
-                self._schedule_wake(
-                    heir, when + costs.mutex_wakeup + costs.mutex_block, None
-                )
-            else:
-                mutex.owner = None
+        mutex.waiters.append(thread)
+        self._block(thread, effect.tag, when)
+        return None, "blocked"
+
+    def _apply_mutex_release(self, thread, effect, when):
+        costs = self.costs
+        mutex = effect.mutex
+        if mutex.owner is not thread:
+            raise ProtocolError(
+                f"thread {thread.name!r} released {mutex.name!r} "
+                f"owned by {getattr(mutex.owner, 'name', None)!r}"
+            )
+        if mutex.waiters:
+            heir = mutex.waiters.popleft()
+            mutex.owner = heir
+            self._schedule_wake(
+                heir, when + costs.mutex_wakeup + costs.mutex_block, None
+            )
+        else:
+            mutex.owner = None
+        return None, "continue"
+
+    def _apply_spin_acquire(self, thread, effect, when):
+        lock = effect.lock
+        if lock.owner is None:
+            lock.owner = thread
             return None, "continue"
-        if isinstance(effect, SpinAcquire):
-            lock = effect.lock
-            if lock.owner is None:
-                lock.owner = thread
-                return None, "continue"
-            if lock.owner is thread:
-                raise ProtocolError(
-                    f"thread {thread.name!r} re-acquired spin lock "
-                    f"{lock.name!r}"
-                )
-            return None, "retry"
-        if isinstance(effect, SpinRelease):
-            lock = effect.lock
-            if lock.owner is not thread:
-                raise ProtocolError(
-                    f"thread {thread.name!r} released spin lock "
-                    f"{lock.name!r} owned by "
-                    f"{getattr(lock.owner, 'name', None)!r}"
-                )
-            lock.owner = None
-            return None, "continue"
-        if isinstance(effect, BarrierWait):
-            barrier = effect.barrier
-            barrier.arrived.append(thread)
-            if len(barrier.arrived) >= barrier.parties:
-                barrier.generation += 1
-                wake_at = when + costs.barrier_wait
-                for waiter in barrier.arrived:
-                    if waiter is not thread:
-                        self._schedule_wake(waiter, wake_at, barrier.generation)
-                barrier.arrived.clear()
-                return barrier.generation, "continue"
-            self._block(thread, effect.tag, when)
-            return None, "blocked"
-        if isinstance(effect, Park):
-            if thread._permit:
-                thread._permit = False
-                token = thread._permit_token
-                thread._permit_token = None
-                return token, "continue"
-            thread.state = _PARKED
-            thread._blocked_at = when
-            thread._blocked_tag = effect.tag
-            return None, "blocked"
-        if isinstance(effect, Unpark):
-            target: SimThread = effect.thread
-            if target.state == _PARKED:
-                self._schedule_wake(
-                    target, when + costs.mutex_wakeup, effect.token
-                )
-                target.state = _BLOCKED  # wake already scheduled
-            elif target.state != _DONE:
-                target._permit = True
-                target._permit_token = effect.token
-            return None, "continue"
-        if isinstance(effect, Latency):
-            self._block(thread, effect.tag, when)
-            self._schedule_wake(thread, when + effect.cycles, None)
-            return None, "blocked"
-        if isinstance(effect, YieldCPU):
-            # Treat the quantum as spent so the handover logic rotates the
-            # core to the next waiter.
-            thread._slice_used = self.machine.timeslice
-            return None, "continue"
-        if isinstance(effect, Now):
-            return when, "continue"
-        raise SimulationError(f"unhandled effect type {type(effect).__name__}")
+        if lock.owner is thread:
+            raise ProtocolError(
+                f"thread {thread.name!r} re-acquired spin lock "
+                f"{lock.name!r}"
+            )
+        return None, "retry"
+
+    def _apply_spin_release(self, thread, effect, when):
+        lock = effect.lock
+        if lock.owner is not thread:
+            raise ProtocolError(
+                f"thread {thread.name!r} released spin lock "
+                f"{lock.name!r} owned by "
+                f"{getattr(lock.owner, 'name', None)!r}"
+            )
+        lock.owner = None
+        return None, "continue"
+
+    def _apply_barrier(self, thread, effect, when):
+        barrier = effect.barrier
+        barrier.arrived.append(thread)
+        if len(barrier.arrived) >= barrier.parties:
+            barrier.generation += 1
+            wake_at = when + self.costs.barrier_wait
+            for waiter in barrier.arrived:
+                if waiter is not thread:
+                    self._schedule_wake(waiter, wake_at, barrier.generation)
+            barrier.arrived.clear()
+            return barrier.generation, "continue"
+        self._block(thread, effect.tag, when)
+        return None, "blocked"
+
+    def _apply_park(self, thread, effect, when):
+        if thread._permit:
+            thread._permit = False
+            token = thread._permit_token
+            thread._permit_token = None
+            return token, "continue"
+        thread.state = _PARKED
+        thread._blocked_at = when
+        thread._blocked_tag = effect.tag
+        return None, "blocked"
+
+    def _apply_unpark(self, thread, effect, when):
+        target: SimThread = effect.thread
+        if target.state == _PARKED:
+            self._schedule_wake(
+                target, when + self.costs.mutex_wakeup, effect.token
+            )
+            target.state = _BLOCKED  # wake already scheduled
+        elif target.state != _DONE:
+            target._permit = True
+            target._permit_token = effect.token
+        return None, "continue"
+
+    def _apply_latency(self, thread, effect, when):
+        self._block(thread, effect.tag, when)
+        self._schedule_wake(thread, when + effect.cycles, None)
+        return None, "blocked"
+
+    def _apply_yield(self, thread, effect, when):
+        # Treat the quantum as spent so the handover logic rotates the
+        # core to the next waiter.
+        thread._slice_used = self.machine.timeslice
+        return None, "continue"
+
+    def _apply_now(self, thread, effect, when):
+        return when, "continue"
 
     # ------------------------------------------------------------------
     # Blocking / waking
@@ -586,3 +644,53 @@ class Engine:
         result = thread._wake_result
         thread._wake_result = None
         self._advance(thread, result, when)
+
+
+# ----------------------------------------------------------------------
+# Type-keyed dispatch tables.  Built once at import time; `_resolve_handler`
+# lets Effect *subclasses* inherit their nearest registered base's
+# semantics (the resolution is cached so the mro walk happens once per
+# subclass, not once per event).
+# ----------------------------------------------------------------------
+_TIMING = {
+    Compute: Engine._time_compute,
+    AtomicOp: Engine._time_atomic,
+    MutexAcquire: Engine._time_mutex_acquire,
+    MutexRelease: Engine._time_mutex_release,
+    SpinAcquire: Engine._time_spin_acquire,
+    SpinRelease: Engine._time_spin_release,
+    BarrierWait: Engine._time_barrier,
+    Park: Engine._time_park,
+    Unpark: Engine._time_unpark,
+    Latency: Engine._time_latency,
+    YieldCPU: Engine._time_yield,
+    Now: Engine._time_now,
+}
+
+_APPLY = {
+    Compute: Engine._apply_compute,
+    AtomicOp: Engine._apply_atomic,
+    MutexAcquire: Engine._apply_mutex_acquire,
+    MutexRelease: Engine._apply_mutex_release,
+    SpinAcquire: Engine._apply_spin_acquire,
+    SpinRelease: Engine._apply_spin_release,
+    BarrierWait: Engine._apply_barrier,
+    Park: Engine._apply_park,
+    Unpark: Engine._apply_unpark,
+    Latency: Engine._apply_latency,
+    YieldCPU: Engine._apply_yield,
+    Now: Engine._apply_now,
+}
+
+
+def _resolve_handler(table: dict, effect: Effect, table_name: str):
+    """Find (and cache) the handler for an unregistered effect subclass."""
+    for base in type(effect).__mro__[1:]:
+        handler = table.get(base)
+        if handler is not None:
+            table[type(effect)] = handler
+            return handler
+    raise SimulationError(
+        f"unhandled effect type {type(effect).__name__} "
+        f"(no {table_name} handler registered)"
+    )

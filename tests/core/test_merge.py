@@ -129,3 +129,27 @@ def test_property_hierarchical_matches_serial(stream, parts):
     assert dict(hierarchical_merge(locals_).counts()) == dict(
         merge_space_saving(locals_).counts()
     )
+
+
+def test_hierarchical_merge_single_part_returns_independent_copy():
+    """Regression: a single-part merge returned the input by reference,
+    so updates to the 'merged' result mutated the source summary."""
+    local = SpaceSaving(capacity=8)
+    for element in ["a", "a", "b"]:
+        local.process(element)
+    merged = hierarchical_merge([local])
+    assert merged is not local
+    before = [(e.element, e.count) for e in local.entries()]
+    merged.process_bulk("c", 5)
+    assert [(e.element, e.count) for e in local.entries()] == before
+    assert local.processed == 3
+    assert merged.processed == 8
+
+
+def test_merge_single_part_returns_independent_copy():
+    local = SpaceSaving(capacity=8)
+    local.process("a")
+    merged = merge_space_saving([local])
+    assert merged is not local
+    merged.process("b")
+    assert local.estimate("b") == 0

@@ -79,3 +79,37 @@ def test_len_reports_monitored_window_elements():
     window = WindowedSpaceSaving(window_size=100, capacity=8, panes=2)
     window.process_many(["a", "b", "c"])
     assert len(window) == 3
+
+
+def test_coverage_never_below_window_size():
+    """Regression: pane_size flooring + eager retention used to leave the
+    queryable window short of ``window_size`` (e.g. 10/8 covered 8)."""
+    for window_size, panes in [(10, 8), (10, 3), (100, 7), (50, 50), (9, 4)]:
+        window = WindowedSpaceSaving(
+            window_size=window_size, capacity=window_size, panes=panes
+        )
+        for step in range(1, 5 * window_size + 1):
+            window.process(step)
+            assert window.window_count >= min(step, window_size), (
+                f"window {window_size}/{panes} panes covered only "
+                f"{window.window_count} after {step} elements"
+            )
+
+
+def test_coverage_bounded_above():
+    """Retention keeps at most ~one extra pane beyond the window."""
+    window = WindowedSpaceSaving(window_size=30, capacity=30, panes=6)
+    for step in range(500):
+        window.process(step)
+        assert window.window_count <= 30 + 2 * window.pane_size
+
+
+def test_full_window_estimates_are_exact_when_capacity_fits():
+    """With per-pane capacity >= distinct elements, the last
+    ``window_size`` elements must all be counted."""
+    window = WindowedSpaceSaving(window_size=10, capacity=32, panes=8)
+    stream = [i % 4 for i in range(40)]
+    window.process_many(stream)
+    recent = stream[-window.window_count:]
+    for element in set(recent):
+        assert window.estimate(element) >= recent.count(element)

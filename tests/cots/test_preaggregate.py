@@ -1,0 +1,74 @@
+"""The pre-aggregated batch-claim fast lane of the CoTS driver."""
+
+from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.workloads.zipf import zipf_stream
+
+
+def _run(preaggregate, stream, threads=8, capacity=64):
+    return run_cots(
+        stream,
+        CoTSRunConfig(
+            threads=threads,
+            capacity=capacity,
+            preaggregate=preaggregate,
+        ),
+    )
+
+
+def test_preaggregate_conserves_counts_and_invariants():
+    stream = zipf_stream(3000, 800, 2.0, seed=5)
+    result = _run(True, stream)
+    # run_cots(check=True) already asserts conservation + invariants;
+    # double-check the queryable totals here
+    assert result.counter.processed == len(stream)
+    total = sum(e.count for e in result.counter.entries())
+    assert total == len(stream)
+
+
+def test_preaggregate_estimates_upper_bound_truth():
+    stream = zipf_stream(3000, 800, 2.0, seed=6)
+    truth = {}
+    for element in stream:
+        truth[element] = truth.get(element, 0) + 1
+    result = _run(True, stream)
+    for entry in result.counter.entries():
+        assert entry.count >= truth.get(entry.element, 0)
+        assert entry.count - entry.error <= truth.get(entry.element, 0)
+
+
+def test_preaggregate_is_deterministic():
+    stream = zipf_stream(2000, 500, 2.0, seed=7)
+    first = _run(True, stream)
+    second = _run(True, stream)
+    assert first.cycles == second.cycles
+    assert [
+        (e.element, e.count, e.error) for e in first.counter.entries()
+    ] == [(e.element, e.count, e.error) for e in second.counter.entries()]
+
+
+def test_preaggregate_is_faster_on_skew():
+    stream = zipf_stream(3000, 800, 2.0, seed=8)
+    base = _run(False, stream)
+    pre = _run(True, stream)
+    assert pre.cycles < base.cycles
+    stats = pre.extras["stats"]
+    assert stats.get("bulk_crossings", 0) > 0
+
+
+def test_preaggregate_top_elements_match_per_element_run():
+    stream = zipf_stream(3000, 800, 2.0, seed=9)
+    base = _run(False, stream)
+    pre = _run(True, stream)
+    base_top = {e.element for e in base.counter.top_k(5)}
+    pre_top = {e.element for e in pre.counter.top_k(5)}
+    # both must surface the same unambiguous heavy hitters
+    truth = {}
+    for element in stream:
+        truth[element] = truth.get(element, 0) + 1
+    heavy = {
+        element
+        for element, count in truth.items()
+        if count > len(stream) // 50
+    }
+    assert heavy <= base_top
+    assert heavy <= pre_top

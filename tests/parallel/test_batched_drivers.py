@@ -1,0 +1,78 @@
+"""Batched (run-fused) fast lanes of the sequential/independent drivers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.independent import run_independent
+from repro.parallel.sequential import run_sequential
+from repro.workloads.generators import bursty_stream, churn_stream
+from repro.workloads.zipf import zipf_stream
+
+
+def _state(counter):
+    return sorted((e.element, e.count, e.error) for e in counter.entries())
+
+
+@pytest.mark.parametrize(
+    "stream",
+    [
+        zipf_stream(2500, 400, 2.0, seed=3),
+        bursty_stream(2500, 100, burst_length=120, seed=4),
+        churn_stream(1500),
+    ],
+    ids=["zipf", "bursty", "churn"],
+)
+def test_sequential_batched_counter_identical(stream):
+    from repro.parallel.base import SchemeConfig
+
+    base = run_sequential(stream, SchemeConfig(capacity=48))
+    fast = run_sequential(stream, SchemeConfig(capacity=48), batch=64)
+    assert fast.counter.processed == base.counter.processed
+    assert _state(fast.counter) == _state(base.counter)
+
+
+def test_sequential_batched_is_cheaper_on_skew():
+    stream = zipf_stream(3000, 500, 2.5, seed=5)
+    from repro.parallel.base import SchemeConfig
+
+    base = run_sequential(stream, SchemeConfig(capacity=48))
+    fast = run_sequential(stream, SchemeConfig(capacity=48), batch=64)
+    assert fast.cycles < base.cycles
+
+
+def test_sequential_batch_validation():
+    with pytest.raises(ConfigurationError):
+        run_sequential([1, 2, 3], batch=0)
+    with pytest.raises(ConfigurationError):
+        run_independent([1, 2, 3], batch=-1)
+
+
+def test_independent_batched_counter_and_merges_identical():
+    from repro.parallel.base import SchemeConfig
+
+    stream = zipf_stream(3000, 400, 2.0, seed=6)
+    config = SchemeConfig(threads=4, capacity=64)
+    base = run_independent(stream, config, merge_every=600)
+    fast = run_independent(
+        stream, SchemeConfig(threads=4, capacity=64),
+        merge_every=600, batch=32,
+    )
+    # merge rounds must land at the same stream positions, so every
+    # intermediate merged summary agrees, not just the final one
+    assert len(fast.extras["merge_log"]) == len(base.extras["merge_log"])
+    for fast_merge, base_merge in zip(
+        fast.extras["merge_log"], base.extras["merge_log"]
+    ):
+        assert _state(fast_merge) == _state(base_merge)
+    assert _state(fast.counter) == _state(base.counter)
+
+
+def test_independent_batched_is_cheaper_on_skew():
+    from repro.parallel.base import SchemeConfig
+
+    stream = zipf_stream(3000, 300, 2.5, seed=7)
+    base = run_independent(stream, SchemeConfig(threads=4, capacity=64))
+    fast = run_independent(
+        stream, SchemeConfig(threads=4, capacity=64), batch=64
+    )
+    assert fast.cycles < base.cycles

@@ -1,0 +1,79 @@
+"""Smoke tests for the pinned benchmark harness."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.errors import ConfigurationError
+
+#: a micro scale so the suite runs in seconds under pytest
+_MICRO = {
+    "hot_length": 3_000,
+    "sim_length": 600,
+    "alphabet": 300,
+    "capacity": 32,
+    "threads": 4,
+    "alpha": 2.0,
+    "seed": 7,
+    "repeats": 1,
+}
+
+
+@pytest.fixture
+def micro_scale(monkeypatch):
+    monkeypatch.setitem(bench.SCALES, "tiny", _MICRO)
+
+
+def test_run_suite_rejects_unknown_scale():
+    with pytest.raises(ConfigurationError):
+        bench.run_suite("huge")
+
+
+def test_suite_report_shape_and_results(micro_scale, tmp_path):
+    report = bench.run_suite("tiny")
+    assert report["schema_version"] == bench.SCHEMA_VERSION
+    assert report["suite"] == "core"
+    assert report["scale"] == "tiny"
+    names = [entry["name"] for entry in report["results"]]
+    assert names == [
+        "sequential-hot-path-per-element",
+        "sequential-hot-path-batched",
+        "sequential",
+        "sequential-batched",
+        "shared-mutex",
+        "shared-spin",
+        "independent-serial",
+        "hybrid",
+        "cots",
+        "cots-preagg",
+    ]
+    batched = report["results"][1]
+    assert batched["identical_results"] is True
+    assert batched["speedup_vs_per_element"] > 0
+    for entry in report["results"]:
+        assert entry["wall_seconds"] > 0
+        if entry["kind"] == "simulated":
+            assert entry["sim_cycles"] > 0
+            assert entry["sim_throughput_eps"] > 0
+            assert entry["wall_throughput_eps"] > 0
+
+    out = tmp_path / "BENCH_core.json"
+    bench.write_report(report, out)
+    parsed = json.loads(out.read_text())
+    assert parsed["results"][0]["name"] == "sequential-hot-path-per-element"
+
+    text = bench.format_report(report)
+    assert "sequential-hot-path-batched" in text
+    assert "cots-preagg" in text
+
+
+def test_cli_bench_writes_report(micro_scale, tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--scale", "tiny", "--output", str(out)]) == 0
+    parsed = json.loads(out.read_text())
+    assert parsed["suite"] == "core"
+    captured = capsys.readouterr()
+    assert "wrote" in captured.out
