@@ -34,6 +34,14 @@ Commands
     simulated scheme) and write the machine-readable report::
 
         python -m repro bench --scale tiny --output BENCH_core.json
+
+``schedcheck``
+    Explore N seeded scheduling perturbations per scheme, auditing
+    structural and semantic invariants on every run; failing schedules
+    are shrunk to minimal reproducers.  Exit code 1 on violations::
+
+        python -m repro schedcheck --schemes cots,shared,hybrid \
+            --schedules 200 --seed 42
 """
 
 from __future__ import annotations
@@ -151,6 +159,40 @@ def _build_parser() -> argparse.ArgumentParser:
         default=pathlib.Path("BENCH_core.json"),
         help="result file (default: ./BENCH_core.json)",
     )
+
+    schedcheck = commands.add_parser(
+        "schedcheck",
+        help="explore perturbed schedules per scheme, auditing every run "
+        "(exit 1 on any violation)",
+    )
+    schedcheck.add_argument(
+        "--schemes", default="cots,shared,hybrid",
+        help="comma-separated scheme list (cots, cots-pre, shared, "
+        "hybrid, independent, sequential)",
+    )
+    schedcheck.add_argument("--schedules", type=int, default=50,
+                            help="perturbed schedules per scheme")
+    schedcheck.add_argument("--seed", default="0",
+                            help="campaign master seed")
+    schedcheck.add_argument("--length", type=int, default=1_500)
+    schedcheck.add_argument("--alphabet", type=int, default=300)
+    schedcheck.add_argument("--alpha", type=float, default=1.3)
+    schedcheck.add_argument("--threads", type=int, default=4)
+    schedcheck.add_argument("--capacity", type=int, default=64)
+    schedcheck.add_argument("--cores", type=int, default=2)
+    schedcheck.add_argument("--check-every", type=int, default=512,
+                            help="mid-run audit stride in engine events "
+                            "(0 disables mid-run audits)")
+    schedcheck.add_argument("--jitter", type=float, default=0.3,
+                            help="cost-table jitter spread in [0, 1)")
+    schedcheck.add_argument("--mutate", default=None,
+                            help="inject a named protocol bug "
+                            "(harness self-test; see repro.schedcheck."
+                            "mutations)")
+    schedcheck.add_argument("--no-shrink", action="store_true",
+                            help="skip shrinking failing schedules")
+    schedcheck.add_argument("--verbose", action="store_true",
+                            help="print one line per schedule")
 
     trace = commands.add_parser(
         "trace",
@@ -345,6 +387,57 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schedcheck(args: argparse.Namespace) -> int:
+    """Schedule exploration campaign; exit 1 if any audit fails."""
+    from repro.schedcheck import (
+        ExploreConfig,
+        explore,
+        get_mutation,
+        get_scheme,
+        shrink_outcome,
+    )
+
+    schemes = [name.strip() for name in args.schemes.split(",") if name.strip()]
+    for name in schemes:
+        get_scheme(name)  # fail fast on typos, before any simulation
+    config = ExploreConfig(
+        schedules=args.schedules,
+        seed=args.seed,
+        length=args.length,
+        alphabet=args.alphabet,
+        alpha=args.alpha,
+        threads=args.threads,
+        capacity=args.capacity,
+        cores=args.cores,
+        check_every=args.check_every,
+        jitter=args.jitter,
+    )
+    patch = get_mutation(args.mutate) if args.mutate else None
+    if patch is not None:
+        print(f"# mutation active: {args.mutate} (failures are EXPECTED)")
+    progress = print if args.verbose else None
+    reports = explore(schemes, config, patch=patch, progress=progress)
+    stream = config.make_stream()
+    violations = 0
+    for name, report in reports.items():
+        print(report.summary_line())
+        violations += len(report.failures)
+        if report.failures and not args.no_shrink:
+            failing = report.failures[0]
+            result = shrink_outcome(
+                get_scheme(name), stream, config, failing, patch=patch
+            )
+            print(result.render())
+    if violations:
+        print(f"schedcheck: {violations} violating schedule(s)")
+        return 0 if patch is not None else 1
+    print("schedcheck: all schedules passed every audit")
+    if patch is not None:
+        print("schedcheck: WARNING: the injected mutation went undetected")
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Shared-scheme run with the trace recorder; prints the timeline."""
     from repro.parallel.base import SchemeConfig
@@ -379,6 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "count": _cmd_count,
         "simulate": _cmd_simulate,
         "bench": _cmd_bench,
+        "schedcheck": _cmd_schedcheck,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

@@ -69,42 +69,67 @@ def merge_space_saving(
 def hierarchical_merge(
     parts: Sequence[SpaceSaving], capacity: int = 0
 ) -> SpaceSaving:
-    """Pairwise tree merge; result is equivalent to :func:`merge_space_saving`.
+    """Pairwise tree merge; result is identical to :func:`merge_space_saving`.
 
-    This performs the same arithmetic level-by-level, mirroring the merge
-    schedule of the hierarchical strategy so tests can confirm both paths
-    agree (the paper's point is that the *cost*, not the answer, differs).
+    The fold happens level-by-level, mirroring the merge schedule of the
+    hierarchical strategy (the paper's point is that the *cost*, not the
+    answer, differs).  The absence-widening must always be charged against
+    the *original* parts, never against intermediate results — an element
+    missing from a subtree is missing from every original part under it,
+    so each node carries the sum of min-frequencies of the full parts it
+    covers (its "penalty") and widening adds the sibling's penalty.
+    Re-deriving min-frequencies from intermediate summaries instead would
+    both miss widening (an intermediate built from non-full parts looks
+    non-full) and invent it (an intermediate sized exactly to its entry
+    count looks full even though nothing was ever evicted).
     """
     if not parts:
         raise MergeError("cannot merge an empty list of summaries")
     if capacity <= 0:
         capacity = max(part.capacity for part in parts)
-    level: List[SpaceSaving] = list(parts)
+
+    def _leaf(part: SpaceSaving) -> Tuple[Dict, Dict, int, int]:
+        counts: Dict[Element, int] = {}
+        errors: Dict[Element, int] = {}
+        for entry in part.entries():
+            counts[entry.element] = entry.count
+            errors[entry.element] = entry.error
+        full = len(part) >= part.capacity
+        penalty = part.summary.min_freq if full else 0
+        return counts, errors, part.processed, penalty
+
+    def _combine(a, b):
+        counts_a, errors_a, processed_a, penalty_a = a
+        counts_b, errors_b, processed_b, penalty_b = b
+        counts = dict(counts_a)
+        errors = dict(errors_a)
+        for element, count in counts_b.items():
+            counts[element] = counts.get(element, 0) + count
+            errors[element] = errors.get(element, 0) + errors_b[element]
+        for element in counts_a:
+            if element not in counts_b:
+                errors[element] += penalty_b
+        for element in counts_b:
+            if element not in counts_a:
+                errors[element] += penalty_a
+        return counts, errors, processed_a + processed_b, penalty_a + penalty_b
+
+    level = [_leaf(part) for part in parts]
     while len(level) > 1:
-        next_level: List[SpaceSaving] = []
+        next_level = []
         for i in range(0, len(level) - 1, 2):
-            # Intermediate merges keep every entry (capacity = combined
-            # sizes) so no mass is dropped before the final truncation;
-            # otherwise tree shape would change the answer.
-            roomy = len(level[i]) + len(level[i + 1])
-            next_level.append(
-                merge_space_saving(level[i : i + 2], capacity=max(1, roomy))
-            )
+            next_level.append(_combine(level[i], level[i + 1]))
         if len(level) % 2 == 1:
             next_level.append(level[-1])
         level = next_level
-    final = level[0]
-    if any(final is part for part in parts):
-        # A single input (or a lone survivor) would be returned by
-        # reference, so processing more elements into the "merged"
-        # result would silently mutate the source part.  Always hand
-        # back an independent summary, like merge_space_saving does.
-        return SpaceSaving.from_entries(
-            capacity, final.entries(), final.processed
-        )
-    if len(final) <= capacity and final.capacity == capacity:
-        return final
-    return SpaceSaving.from_entries(capacity, final.entries(), final.processed)
+    counts, errors, processed, _ = level[0]
+    merged_entries = [
+        CounterEntry(element, count, errors[element])
+        for element, count in counts.items()
+    ]
+    # from_entries truncates deterministically (count, then element), so
+    # the kept set matches the serial fold's even at tie boundaries.
+    return SpaceSaving.from_entries(capacity, merged_entries, processed)
 
 
 def merge_schedule(parties: int) -> List[List[Tuple[int, int]]]:

@@ -204,7 +204,11 @@ def run_sample_hold_cots(
             sample_rate=config.sample_rate, seed=config.rng_seed,
         ),
     )
-    engine = Engine(machine=config.machine, costs=config.costs)
+    engine = config.make_engine()
+    config.bind_audit(
+        engine, scheme="cots-sample-hold", framework=framework,
+        summary=framework.summary, stream=stream,
+    )
     cursor = AtomicCell(0)
     contexts = []
     from repro.cots.framework import _worker
@@ -254,7 +258,11 @@ def run_lossy_cots(
         table_size=max(64, 8 * width),
         summary_cls=LossyCountingSummary,
     )
-    engine = Engine(machine=config.machine, costs=config.costs)
+    engine = config.make_engine()
+    config.bind_audit(
+        engine, scheme="cots-lossy", framework=framework,
+        summary=framework.summary, stream=stream,
+    )
     cursor = AtomicCell(0)
     progress = AtomicCell(0)
     contexts = []

@@ -265,7 +265,11 @@ def run_cots(
         table_size=config.table_size,
         table_cls=table_cls,
     )
-    engine = Engine(machine=config.machine, costs=config.costs)
+    engine = config.make_engine()
+    config.bind_audit(
+        engine, scheme="cots", framework=framework,
+        summary=framework.summary, stream=stream,
+    )
     cursor = AtomicCell(0)
     contexts = []
     workers = []

@@ -624,32 +624,15 @@ class ConcurrentStreamSummary:
             self.capacity, self.entries(), self.total_count()
         )
 
-    def check_invariants(self) -> None:
-        """Raise :class:`ProtocolError` on any structural inconsistency."""
-        last_freq = 0
-        pending = 0
-        for bucket in self.buckets():
-            if bucket.freq <= last_freq:
-                raise ProtocolError(
-                    f"bucket frequencies not ascending at {bucket.freq}"
-                )
-            last_freq = bucket.freq
-            if bucket.owner.peek() not in (0, 1):
-                raise ProtocolError("bucket owner flag out of range")
-            pending += len(bucket.queue)
-            for node in bucket.members:
-                if node.bucket is not bucket:
-                    raise ProtocolError(
-                        f"node {node.element!r} has a stale bucket pointer"
-                    )
-                if node.freq != bucket.freq:
-                    raise ProtocolError(
-                        f"node {node.element!r} freq {node.freq} != bucket "
-                        f"{bucket.freq}"
-                    )
-        if pending:
-            raise ProtocolError(f"{pending} requests left undrained")
-        if self.enforce_capacity and self.monitored() > self.capacity:
-            raise ProtocolError(
-                f"{self.monitored()} monitored > capacity {self.capacity}"
-            )
+    def check_invariants(self, mid_run: bool = False) -> None:
+        """Raise on any structural inconsistency.
+
+        Delegates to the shared :mod:`repro.schedcheck.auditor` (the
+        audit raised here is a :class:`ProtocolError` subclass, so
+        existing callers keep working).  ``mid_run=True`` relaxes to the
+        checks that must hold at every engine yield point — see
+        :func:`repro.schedcheck.auditor.audit_concurrent_summary`.
+        """
+        from repro.schedcheck.auditor import audit_concurrent_summary
+
+        audit_concurrent_summary(self, mid_run=mid_run)

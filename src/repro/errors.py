@@ -32,6 +32,18 @@ class ProtocolError(SimulationError):
     """
 
 
+class AuditError(ProtocolError):
+    """A schedcheck audit found a structural or semantic violation.
+
+    Raised by :mod:`repro.schedcheck.auditor` when an invariant
+    (monotonicity, count conservation, error bounds, differential
+    equivalence) does not hold for a simulated scheme's structures.
+    Subclasses :class:`ProtocolError` because the structural audits are
+    the promoted ``check_invariants`` checks — callers that caught
+    ``ProtocolError`` before keep working.
+    """
+
+
 class QueryError(ReproError):
     """A stream query was malformed or cannot be answered."""
 

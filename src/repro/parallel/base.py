@@ -29,7 +29,7 @@ rest        everything else (Fig. 5, "Rest")
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.counters import Element
 from repro.core.space_saving import SpaceSaving
@@ -57,6 +57,13 @@ class SchemeConfig:
     capacity: int = 256              #: Space Saving counter budget
     machine: MachineSpec = dataclasses.field(default_factory=MachineSpec)
     costs: CostModel = dataclasses.field(default_factory=CostModel)
+    #: optional Engine builder ``(machine, costs) -> Engine``; schedcheck
+    #: uses this to slide a perturbed/traced engine under any driver
+    engine_factory: Optional[Callable[..., Any]] = None
+    #: optional callback ``(engine, targets: dict) -> None`` invoked by
+    #: each driver once its structures exist but before the engine runs,
+    #: so mid-run auditors can bind checkpoints to the live structures
+    audit_binder: Optional[Callable[..., None]] = None
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -67,6 +74,19 @@ class SchemeConfig:
             raise ConfigurationError(
                 f"capacity must be >= 1, got {self.capacity}"
             )
+
+    def make_engine(self) -> Any:
+        """Build the engine for one run (honouring ``engine_factory``)."""
+        if self.engine_factory is not None:
+            return self.engine_factory(self.machine, self.costs)
+        from repro.simcore.engine import Engine
+
+        return Engine(machine=self.machine, costs=self.costs)
+
+    def bind_audit(self, engine: Any, **targets: Any) -> None:
+        """Expose a driver's live structures to the audit binder (if any)."""
+        if self.audit_binder is not None:
+            self.audit_binder(engine, targets)
 
 
 @dataclasses.dataclass

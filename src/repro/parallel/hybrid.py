@@ -109,7 +109,11 @@ def run_hybrid(
     locals_ = [
         SpaceSaving(capacity=local_capacity) for _ in range(config.threads)
     ]
-    engine = Engine(machine=config.machine, costs=config.costs)
+    engine = config.make_engine()
+    config.bind_audit(
+        engine, scheme="hybrid", counter=state.counter,
+        locals=locals_, stream=stream,
+    )
     for index, name in enumerate(thread_names("hyb", config.threads)):
         engine.spawn(
             _worker(

@@ -166,7 +166,10 @@ def run_independent(
         rounds = 0
     levels = merge_schedule(threads)
     merge_log: List[SpaceSaving] = []
-    engine = Engine(machine=config.machine, costs=config.costs)
+    engine = config.make_engine()
+    config.bind_audit(
+        engine, scheme="independent", locals=locals_, stream=stream
+    )
     for index, name in enumerate(thread_names("ind", threads)):
         engine.spawn(
             _worker(

@@ -63,7 +63,10 @@ def run_sequential(
         raise ConfigurationError(f"batch must be >= 1, got {batch}")
     config = config if config is not None else SchemeConfig()
     counter = SpaceSaving(capacity=config.capacity)
-    engine = Engine(machine=config.machine, costs=config.costs)
+    engine = config.make_engine()
+    config.bind_audit(
+        engine, scheme="sequential", counter=counter, stream=stream
+    )
     if batch > 1:
         program = _worker_batched(stream, counter, config.costs, batch)
     else:

@@ -58,7 +58,10 @@ def run_sharded(
     for element in stream:
         inboxes[hash(element) % shards].append(element)
     counters = [SpaceSaving(capacity=config.capacity) for _ in range(shards)]
-    engine = Engine(machine=config.machine, costs=config.costs)
+    engine = config.make_engine()
+    config.bind_audit(
+        engine, scheme="sharded", locals=counters, stream=stream
+    )
     for index, name in enumerate(thread_names("shard", shards)):
         engine.spawn(
             _shard_worker(inboxes[index], counters[index], config.costs),

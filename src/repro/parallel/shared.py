@@ -221,7 +221,10 @@ def run_shared(
         )
     state = _SharedState(config.capacity, lock_kind)
     parts = block_partition(stream, config.threads)
-    engine = Engine(machine=config.machine, costs=config.costs)
+    engine = config.make_engine()
+    config.bind_audit(
+        engine, scheme="shared", counter=state.counter, stream=stream
+    )
     live_workers = {"count": config.threads}
     query_log: List = []
     for index, name in enumerate(thread_names("shr", config.threads)):

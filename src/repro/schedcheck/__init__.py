@@ -1,0 +1,82 @@
+"""Schedule exploration over the deterministic simulation engine.
+
+The simulated schemes are deterministic: one configuration yields one
+schedule.  This package turns that single data point into a fuzzing
+campaign while keeping every run individually reproducible:
+
+* :mod:`~repro.schedcheck.perturb` — seeded scheduling perturbations
+  (ready-queue reordering, forced preemption around atomic/queue
+  effects, jittered cost tables), recorded as replayable decisions;
+* :mod:`~repro.schedcheck.auditor` — the shared invariant audits:
+  structural soundness (mid-run and quiescent), count conservation,
+  the Space Saving error bounds, and differential equivalence against
+  a sequential reference;
+* :mod:`~repro.schedcheck.adapters` — scheme registry plugging the
+  harness's engine/audit hooks into the unmodified drivers;
+* :mod:`~repro.schedcheck.explorer` — runs N distinct schedules per
+  scheme (distinctness verified by trace hash) and audits each;
+* :mod:`~repro.schedcheck.shrink` — delta-debugs a failing schedule's
+  decision list down to a minimal, human-readable reproducer;
+* :mod:`~repro.schedcheck.mutations` — deliberate protocol bugs that
+  the harness must catch (its own regression tests).
+
+CLI entry point: ``python -m repro schedcheck --schemes cots,shared
+--schedules 200 --seed 42``.
+"""
+
+from repro.schedcheck.adapters import SCHEMES, HarnessParams, get_scheme
+from repro.schedcheck.auditor import (
+    EXACT,
+    HYBRID,
+    MERGED,
+    Tolerance,
+    audit_concurrent_summary,
+    audit_counts,
+    audit_differential,
+    audit_space_saving,
+    audit_stream_summary,
+)
+from repro.schedcheck.explorer import (
+    ExploreConfig,
+    ScheduleOutcome,
+    SchemeReport,
+    explore,
+    run_schedule,
+    trace_hash,
+)
+from repro.schedcheck.mutations import MUTATIONS, get_mutation
+from repro.schedcheck.perturb import (
+    Decision,
+    SchedulePerturber,
+    jittered_costs,
+)
+from repro.schedcheck.shrink import ShrinkResult, ddmin, shrink_outcome
+
+__all__ = [
+    "SCHEMES",
+    "MUTATIONS",
+    "EXACT",
+    "HYBRID",
+    "MERGED",
+    "Decision",
+    "ExploreConfig",
+    "HarnessParams",
+    "ScheduleOutcome",
+    "SchedulePerturber",
+    "SchemeReport",
+    "ShrinkResult",
+    "Tolerance",
+    "audit_concurrent_summary",
+    "audit_counts",
+    "audit_differential",
+    "audit_space_saving",
+    "audit_stream_summary",
+    "ddmin",
+    "explore",
+    "get_mutation",
+    "get_scheme",
+    "jittered_costs",
+    "run_schedule",
+    "shrink_outcome",
+    "trace_hash",
+]

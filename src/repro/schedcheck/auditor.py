@@ -1,0 +1,307 @@
+"""Invariant audits shared by schedcheck, the drivers and the tests.
+
+Two families of checks live here:
+
+* **Structural** — the summary's internal wiring is sound.  For
+  :class:`~repro.cots.summary.ConcurrentStreamSummary` this is the
+  promoted (and strengthened) ``check_invariants``; it comes in a
+  *mid-run* flavour safe to evaluate at any engine yield point and a
+  *quiescent* flavour that additionally demands drained queues, no
+  empty un-GC'd buckets and the capacity bound.
+* **Semantic** — at quiescence the produced counts respect the Space
+  Saving guarantees against the exact truth of the stream: conservation
+  (``total == N``), the epsilon bound (``min_freq <= N/m``),
+  per-element error bounds and heavy-hitter presence, with per-scheme
+  tolerances (a merged summary may undercount within its error; the
+  hybrid's local caches inflate estimates beyond the sequential bound).
+
+Every violation raises :class:`~repro.errors.AuditError` with a message
+that names the scheme, the element and the numbers involved.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.counters import Element
+from repro.core.space_saving import SpaceSaving
+from repro.errors import AuditError, ReproError
+
+
+def _fail(scheme: str, message: str) -> None:
+    raise AuditError(f"[{scheme}] {message}")
+
+
+# ======================================================================
+# Structural audits
+# ======================================================================
+def audit_concurrent_summary(
+    summary, mid_run: bool = False, scheme: str = "cots"
+) -> None:
+    """Structural soundness of a ``ConcurrentStreamSummary``.
+
+    ``mid_run=True`` relaxes to what must hold at *every* engine yield
+    point: live bucket frequencies strictly ascending, owner flags in
+    {0, 1}, member back-pointers consistent, and retired buckets truly
+    empty.  The quiescent form additionally requires every queue
+    drained, the capacity bound (when the summary enforces one), and —
+    the strengthened check — that no empty bucket is still reachable
+    without being GC-marked: the drain protocol retires a bucket the
+    moment its last member leaves, so an empty live bucket at
+    quiescence means a lost retirement.
+    """
+    last_freq = 0
+    pending = 0
+    bucket = summary.min_bucket
+    while bucket is not None:
+        owner = bucket.owner.peek()
+        if owner not in (0, 1):
+            _fail(scheme, f"bucket {bucket.freq} owner flag {owner} not in {{0, 1}}")
+        if bucket.gc_marked:
+            # a retired bucket must have been empty at retirement and can
+            # never regain members or requests
+            if bucket.members:
+                _fail(
+                    scheme,
+                    f"retired bucket {bucket.freq} still has "
+                    f"{len(bucket.members)} members",
+                )
+            if bucket.queue:
+                _fail(
+                    scheme,
+                    f"retired bucket {bucket.freq} still has "
+                    f"{len(bucket.queue)} queued requests",
+                )
+            bucket = bucket.next
+            continue
+        if bucket.freq <= last_freq:
+            _fail(
+                scheme,
+                f"bucket frequencies not ascending: {bucket.freq} after "
+                f"{last_freq}",
+            )
+        last_freq = bucket.freq
+        pending += len(bucket.queue)
+        if not mid_run and not bucket.members:
+            _fail(
+                scheme,
+                f"empty bucket {bucket.freq} reachable from the min pointer "
+                "but not GC-marked",
+            )
+        for node in bucket.members:
+            if node.bucket is not bucket:
+                _fail(scheme, f"node {node.element!r} has a stale bucket pointer")
+            if node.freq != bucket.freq:
+                _fail(
+                    scheme,
+                    f"node {node.element!r} freq {node.freq} != bucket "
+                    f"{bucket.freq}",
+                )
+        bucket = bucket.next
+    if not mid_run:
+        if pending:
+            _fail(scheme, f"{pending} requests left undrained")
+        if summary.enforce_capacity and summary.monitored() > summary.capacity:
+            _fail(
+                scheme,
+                f"{summary.monitored()} monitored > capacity "
+                f"{summary.capacity}",
+            )
+
+
+def audit_stream_summary(summary, scheme: str = "sequential") -> None:
+    """Structural soundness of a plain ``StreamSummary`` (re-raised as
+    :class:`AuditError` so all audits fail uniformly)."""
+    try:
+        summary.check_invariants()
+    except ReproError as exc:
+        _fail(scheme, f"stream summary structure: {exc}")
+
+
+def audit_space_saving(
+    counter: SpaceSaving, scheme: str, merged: bool = False
+) -> None:
+    """Structural soundness of a ``SpaceSaving`` counter.
+
+    For a directly-built counter every entry's error is bounded by its
+    count (the error is set once, at replacement time, to the count it
+    inherited).  A *merged* summary widens errors by the min-frequency
+    of full parts the element was absent from, which can legitimately
+    exceed the element's own count — so the upper bound is skipped.
+    """
+    audit_stream_summary(counter.summary, scheme)
+    for entry in counter.entries():
+        if entry.error < 0 or (not merged and entry.error > entry.count):
+            _fail(
+                scheme,
+                f"entry {entry.element!r} error {entry.error} outside "
+                f"[0, count={entry.count}]",
+            )
+
+
+# ======================================================================
+# Semantic audits (quiescent)
+# ======================================================================
+@dataclasses.dataclass(frozen=True)
+class Tolerance:
+    """Per-scheme slack on the Space Saving guarantees.
+
+    All factors are in units of ``N/m`` (the paper's epsilon·N).  For
+    each monitored element, with ``est`` / ``err`` the entry's count and
+    recorded error and ``true`` the exact count:
+
+    * ``true - est <= band + under_factor * N/m`` where ``band`` is
+      ``err`` for ``kind="merged"`` (a merged summary may legitimately
+      undercount within its widened error) and 0 for ``kind="upper"``;
+    * ``(est - err) - true <= guaranteed_factor * N/m`` — the guaranteed
+      count may only overshoot the truth by mass the structure could
+      not record in its error fields (the hybrid's local inflation);
+    * ``est - true <= over_factor * N/m`` — the absolute overcount.
+
+    ``presence_factor`` scales the heavy-hitter presence threshold: any
+    element with true count above ``presence_factor * N/m`` (plus 1)
+    must be monitored.  ``conserve`` demands ``total == N`` exactly.
+    """
+
+    kind: str = "upper"
+    under_factor: float = 0.0
+    guaranteed_factor: float = 0.0
+    over_factor: float = 1.0
+    presence_factor: float = 1.0
+    conserve: bool = True
+
+
+#: sequential-equivalent schemes: the paper bounds hold exactly
+EXACT = Tolerance()
+#: merged independent summaries: symmetric error band; truncating the
+#: union to ``m`` entries drops mass (no conservation) and an element
+#: can hide just under ``N_i/m`` in every part, so presence needs
+#: double the threshold (then its merged count exceeds ``N/m`` and the
+#: top-``m`` truncation must keep it)
+MERGED = Tolerance(kind="merged", presence_factor=2.0, conserve=False)
+#: hybrid local caches (capacity m/4) re-attribute evicted occurrences
+#: before flushing, so per-element flows leak by up to N/(m/4) = 4N/m
+#: in either direction without showing up in any error field; totals
+#: still conserve (every local flushes its exact processed mass) and an
+#: element needs true count > (4+1)·N/m before its flushed mass is
+#: guaranteed past the global monitoring threshold
+HYBRID = Tolerance(
+    under_factor=4.0,
+    guaranteed_factor=4.0,
+    over_factor=4.0,
+    presence_factor=5.0,
+)
+
+
+def exact_counts(stream: Sequence[Element]) -> Dict[Element, int]:
+    """The ground-truth frequency table of a buffered stream."""
+    return collections.Counter(stream)
+
+
+def audit_counts(
+    counter: SpaceSaving,
+    stream: Sequence[Element],
+    scheme: str,
+    tolerance: Tolerance = EXACT,
+    truth: Optional[Dict[Element, int]] = None,
+) -> None:
+    """Semantic audit of a finished run's counter against the stream.
+
+    Checks, in order: conservation, the epsilon bound on the minimum
+    frequency, per-element estimate bounds vs the exact truth, and
+    heavy-hitter presence.  ``truth`` may be supplied to amortize the
+    exact count across audits of the same stream.
+    """
+    n = len(stream)
+    m = counter.capacity
+    if truth is None:
+        truth = exact_counts(stream)
+    total = sum(entry.count for entry in counter.entries())
+    if tolerance.conserve and total != n:
+        _fail(scheme, f"count conservation: monitored total {total} != N={n}")
+    if total > n:
+        _fail(scheme, f"monitored total {total} exceeds stream length {n}")
+    # epsilon bound: with m counters over N elements the minimum count
+    # cannot exceed N/m (total <= N pigeonholed into m counters)
+    if len(counter.summary) == m and m > 0:
+        min_freq = counter.summary.min_freq
+        if min_freq > n / m:
+            _fail(
+                scheme,
+                f"epsilon bound: min count {min_freq} > N/m = {n}/{m}",
+            )
+    nm = n / m if m else 0.0
+    for entry in counter.entries():
+        true = truth.get(entry.element, 0)
+        band = entry.error if tolerance.kind == "merged" else 0
+        if true - entry.count > band + tolerance.under_factor * nm:
+            _fail(
+                scheme,
+                f"undercount: {entry.element!r} estimated {entry.count} "
+                f"(+band {band + tolerance.under_factor * nm:.1f}) "
+                f"< true {true}",
+            )
+        if (
+            (entry.count - entry.error) - true
+            > tolerance.guaranteed_factor * nm
+        ):
+            _fail(
+                scheme,
+                f"error bound: {entry.element!r} guaranteed "
+                f"{entry.count - entry.error} > true {true} "
+                f"(+{tolerance.guaranteed_factor}*N/m)",
+            )
+        if entry.count - true > tolerance.over_factor * nm:
+            _fail(
+                scheme,
+                f"overcount: {entry.element!r} estimated {entry.count} > "
+                f"true {true} + {tolerance.over_factor}*N/m "
+                f"({tolerance.over_factor * nm:.1f})",
+            )
+    # heavy-hitter presence (the paper's no-false-negative guarantee)
+    threshold = tolerance.presence_factor * n / m if m else float("inf")
+    for element, true in truth.items():
+        if true > threshold + 1 and element not in counter:
+            _fail(
+                scheme,
+                f"missing heavy hitter: {element!r} with true count {true} "
+                f"> {threshold:.1f} is not monitored",
+            )
+
+
+def audit_differential(
+    counter: SpaceSaving,
+    stream: Sequence[Element],
+    scheme: str,
+    tolerance: Tolerance = EXACT,
+    reference: Optional[SpaceSaving] = None,
+) -> None:
+    """Differential equivalence vs a sequential Space Saving run.
+
+    Both counters bound the same truth, so their estimates for any
+    element may differ by at most the sum of the two over-estimation
+    budgets.  ``reference`` may be supplied to amortize the sequential
+    run; it must have processed exactly ``stream``.
+    """
+    n = len(stream)
+    m = counter.capacity
+    if reference is None:
+        reference = SpaceSaving(capacity=m)
+        reference.process_many(stream)
+    slack = (tolerance.over_factor + 1.0) * n / m if m else 0.0
+    truth = exact_counts(stream)
+    for element in truth:
+        ours = counter.estimate(element)
+        theirs = reference.estimate(element)
+        # an unmonitored element reads 0; its true count is below the
+        # presence threshold, so only compare when both monitor it
+        if ours == 0 or theirs == 0:
+            continue
+        if abs(ours - theirs) > slack + counter.error(element) + reference.error(element):
+            _fail(
+                scheme,
+                f"differential: {element!r} estimated {ours} here vs "
+                f"{theirs} sequentially (slack {slack:.1f})",
+            )

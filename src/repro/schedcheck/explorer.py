@@ -1,0 +1,314 @@
+"""The schedule explorer: N perturbed runs, each fully audited.
+
+One :func:`explore` call takes a scheme list and a schedule budget and,
+per scheme, runs the *same* thread program under many distinct but
+individually reproducible schedules: schedule ``i`` derives its own
+sub-seed from ``(seed, scheme, i)``, which feeds both the scheduling
+perturber and the cost-table jitter.  Every run is traced; a sha256 hash
+over the trace identifies the schedule, so distinctness is measured on
+what actually executed, not on what was randomized.
+
+Each run is audited three ways:
+
+* **mid-run** — an engine probe re-checks the structural invariants of
+  the live summary every ``check_every`` engine events;
+* **quiescent** — structure, conservation, epsilon bound, per-element
+  error bounds, heavy-hitter presence (see
+  :mod:`repro.schedcheck.auditor`);
+* **differential** — the run's counter against a sequential Space
+  Saving pass over the same stream, within the paper's error bounds.
+
+Failures carry the recorded scheduling decisions, ready for
+:mod:`repro.schedcheck.shrink` to minimize.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.counters import Element
+from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError, ReproError
+from repro.schedcheck.adapters import HarnessParams, SchemeSpec, get_scheme
+from repro.schedcheck.auditor import (
+    audit_concurrent_summary,
+    audit_counts,
+    audit_differential,
+    audit_space_saving,
+    exact_counts,
+)
+from repro.schedcheck.perturb import Decision, SchedulePerturber, jittered_costs
+from repro.simcore.costs import CostModel
+from repro.simcore.engine import Engine
+from repro.simcore.machine import MachineSpec
+from repro.simcore.trace import TraceRecorder
+
+
+@dataclasses.dataclass(frozen=True)
+class ExploreConfig:
+    """Knobs for one exploration campaign."""
+
+    schedules: int = 50        #: perturbed runs per scheme
+    seed: int | str = 0        #: campaign master seed
+    length: int = 1500         #: stream length
+    alphabet: int = 300        #: distinct elements
+    alpha: float = 1.3         #: zipf skew
+    threads: int = 4
+    capacity: int = 64
+    #: fewer cores than threads on purpose: scheduling choices (which
+    #: waiter runs next, forced preemption) only exist under
+    #: oversubscription, so an undersubscribed machine would leave the
+    #: perturber with nothing to perturb
+    cores: int = 2
+    check_every: int = 512     #: mid-run audit stride in engine events (0=off)
+    jitter: float = 0.3        #: cost-table jitter spread
+    reorder_p: float = 0.25    #: ready-queue reorder probability
+    preempt_p: float = 0.10    #: forced-preemption probability
+    costs: CostModel = dataclasses.field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.schedules < 1:
+            raise ConfigurationError(
+                f"schedules must be >= 1, got {self.schedules}"
+            )
+        if self.length < 1:
+            raise ConfigurationError(f"length must be >= 1, got {self.length}")
+        if self.check_every < 0:
+            raise ConfigurationError(
+                f"check_every must be >= 0, got {self.check_every}"
+            )
+
+    def machine(self) -> MachineSpec:
+        return MachineSpec(cores=self.cores)
+
+    def make_stream(self) -> List[Element]:
+        from repro.workloads import zipf_stream
+
+        return list(
+            zipf_stream(
+                self.length,
+                self.alphabet,
+                self.alpha,
+                seed=_stable_int(f"{self.seed}:stream"),
+            )
+        )
+
+    def sub_seed(self, scheme: str, index: int) -> str:
+        """The reproducible per-schedule seed key."""
+        return f"{self.seed}:{scheme}:{index}"
+
+
+def _stable_int(key: str) -> int:
+    """A stable small integer derived from a string key."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:4], "big")
+
+
+def trace_hash(tracer: TraceRecorder) -> str:
+    """Schedule identity: sha256 over the executed-event sequence."""
+    digest = hashlib.sha256()
+    for event in tracer.events:
+        digest.update(
+            f"{event.thread}|{event.core}|{event.effect}|{event.tag}|"
+            f"{event.start}|{event.end}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+class AuditProbe:
+    """Engine probe running mid-run structural audits at a stride."""
+
+    __slots__ = ("spec", "targets", "stride", "_countdown")
+
+    def __init__(self, spec: SchemeSpec, targets: Dict[str, Any], stride: int):
+        self.spec = spec
+        self.targets = targets
+        self.stride = stride
+        self._countdown = stride
+
+    def __call__(self, engine: Engine) -> None:
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self.stride
+        summary = self.targets.get("summary")
+        if summary is not None:
+            audit_concurrent_summary(
+                summary, mid_run=True, scheme=self.spec.name
+            )
+        merged = self.spec.tolerance.kind == "merged"
+        counter = self.targets.get("counter")
+        if counter is not None:
+            audit_space_saving(counter, self.spec.name, merged=merged)
+        for local in self.targets.get("locals") or ():
+            audit_space_saving(local, self.spec.name)
+
+
+@dataclasses.dataclass
+class ScheduleOutcome:
+    """Verdict of one perturbed run."""
+
+    scheme: str
+    index: int
+    seed_key: str
+    trace_hash: str
+    decisions: List[Decision]
+    ok: bool
+    error: Optional[str] = None          #: failure message (audit or crash)
+    error_type: Optional[str] = None     #: exception class name
+
+    def __str__(self) -> str:
+        state = "ok" if self.ok else f"FAIL ({self.error_type}: {self.error})"
+        return (
+            f"{self.scheme}#{self.index} [{self.trace_hash[:12]}] "
+            f"{len(self.decisions)} decisions: {state}"
+        )
+
+
+@dataclasses.dataclass
+class SchemeReport:
+    """All outcomes of one scheme's exploration."""
+
+    scheme: str
+    outcomes: List[ScheduleOutcome]
+
+    @property
+    def distinct_schedules(self) -> int:
+        return len({outcome.trace_hash for outcome in self.outcomes})
+
+    @property
+    def failures(self) -> List[ScheduleOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.scheme}: {len(self.outcomes)} schedules, "
+            f"{self.distinct_schedules} distinct, "
+            f"{len(self.failures)} violations"
+        )
+
+
+def run_schedule(
+    spec: SchemeSpec,
+    stream: Sequence[Element],
+    config: ExploreConfig,
+    seed_key: str,
+    index: int = 0,
+    replay: Optional[Sequence[Decision]] = None,
+    patch: Optional[Callable[[], Any]] = None,
+    truth: Optional[Dict[Element, int]] = None,
+    reference: Optional[SpaceSaving] = None,
+) -> ScheduleOutcome:
+    """Run ``spec`` once under the schedule derived from ``seed_key``.
+
+    ``replay`` switches the perturber to replay mode (used by the
+    shrinker); ``patch`` is an optional context-manager factory applied
+    around the run (used by mutation self-tests).  ``truth`` and
+    ``reference`` amortize the exact count and the sequential reference
+    run across schedules of the same stream.
+    """
+    costs = jittered_costs(config.costs, seed_key, config.jitter)
+    perturber = SchedulePerturber(
+        seed_key, config.reorder_p, config.preempt_p, replay=replay
+    )
+    tracer = TraceRecorder()
+
+    def engine_factory(machine: MachineSpec, costs_: CostModel) -> Engine:
+        return Engine(
+            machine=machine, costs=costs_, tracer=tracer,
+            sched_policy=perturber,
+        )
+
+    def audit_binder(engine: Engine, targets: Dict[str, Any]) -> None:
+        if config.check_every > 0:
+            engine.probe = AuditProbe(spec, targets, config.check_every)
+
+    params = HarnessParams(
+        threads=config.threads,
+        capacity=config.capacity,
+        machine=config.machine(),
+        costs=costs,
+        engine_factory=engine_factory,
+        audit_binder=audit_binder,
+    )
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    try:
+        if patch is not None:
+            with patch():
+                result = spec.run(stream, params)
+        else:
+            result = spec.run(stream, params)
+        _quiescent_audit(spec, result, stream, truth, reference)
+    except ReproError as exc:
+        error = str(exc)
+        error_type = type(exc).__name__
+    return ScheduleOutcome(
+        scheme=spec.name,
+        index=index,
+        seed_key=seed_key,
+        trace_hash=trace_hash(tracer),
+        decisions=list(perturber.decisions) if replay is None else list(replay),
+        ok=error is None,
+        error=error,
+        error_type=error_type,
+    )
+
+
+def _quiescent_audit(
+    spec: SchemeSpec,
+    result,
+    stream: Sequence[Element],
+    truth: Optional[Dict[Element, int]],
+    reference: Optional[SpaceSaving],
+) -> None:
+    framework = result.extras.get("framework") if result.extras else None
+    if spec.concurrent_summary and framework is not None:
+        audit_concurrent_summary(framework.summary, scheme=spec.name)
+    counter = result.counter
+    audit_space_saving(counter, spec.name, merged=spec.tolerance.kind == "merged")
+    audit_counts(counter, stream, spec.name, spec.tolerance, truth=truth)
+    audit_differential(
+        counter, stream, spec.name, spec.tolerance, reference=reference
+    )
+
+
+def explore(
+    schemes: Sequence[str],
+    config: Optional[ExploreConfig] = None,
+    patch: Optional[Callable[[], Any]] = None,
+    progress: Optional[Callable[[ScheduleOutcome], None]] = None,
+) -> Dict[str, SchemeReport]:
+    """Explore ``config.schedules`` perturbed schedules per scheme.
+
+    Returns one :class:`SchemeReport` per scheme name.  ``patch`` (a
+    context-manager factory) wraps every run — the mutation self-test
+    uses it to verify the harness actually catches injected protocol
+    bugs.  ``progress`` is called with each finished outcome.
+    """
+    config = config if config is not None else ExploreConfig()
+    stream = config.make_stream()
+    truth = exact_counts(stream)
+    reports: Dict[str, SchemeReport] = {}
+    for name in schemes:
+        spec = get_scheme(name)
+        reference = SpaceSaving(capacity=config.capacity)
+        reference.process_many(stream)
+        outcomes: List[ScheduleOutcome] = []
+        for index in range(config.schedules):
+            outcome = run_schedule(
+                spec,
+                stream,
+                config,
+                config.sub_seed(name, index),
+                index=index,
+                patch=patch,
+                truth=truth,
+                reference=reference,
+            )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+        reports[name] = SchemeReport(scheme=name, outcomes=outcomes)
+    return reports

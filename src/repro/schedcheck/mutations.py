@@ -1,0 +1,155 @@
+"""Deliberate protocol bugs for testing the harness itself.
+
+A fuzzing harness that never catches anything proves nothing.  Each
+mutation here is a context manager that monkey-patches one step of the
+:class:`~repro.cots.summary.ConcurrentStreamSummary` delegation
+protocol with a realistic concurrency bug — the kind a reviewer might
+plausibly let through.  The schedcheck self-test (and the
+``--mutate`` CLI flag) runs the explorer under a mutation and demands
+that (a) at least one schedule fails its audit and (b) the shrinker
+reduces the failure to a small decision list.
+
+The patched methods are verbatim copies of the originals with one
+marked line changed, so the injected bug is exactly the delta.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator
+
+from repro.cots.summary import (
+    ConcurrentStreamSummary,
+    TAG_BUCKET,
+    TAG_HASH,
+    TAG_STRUCTURE,
+)
+from repro.cots.requests import IncrementRequest
+from repro.errors import ConfigurationError, ProtocolError
+from repro.simcore.effects import Compute
+
+
+def _complete_element_double(self, entry, ctx) -> Iterator:
+    """complete_element with the relinquish off-by-one: the occurrence
+    that re-armed the counter is counted *again* in the bulk increment,
+    duplicating delegated requests."""
+    if self.costs.relinquish_check:
+        yield Compute(self.costs.relinquish_check, TAG_HASH)
+    released = yield entry.count.cas(1, 0, TAG_HASH)
+    if released:
+        return
+    logged = yield entry.count.swap(1, TAG_HASH)
+    amount = logged  # BUG: should be logged - 1
+    node = entry.node
+    if node is None or node.bucket is None:
+        raise ProtocolError(
+            f"relinquish of {entry.element!r} without a placed node"
+        )
+    self.stats["relinquish_bulk"] += 1
+    yield from self.deliver(IncrementRequest(node, amount), node.bucket, ctx)
+
+
+def _retire_min_dropping(self, bucket, ctx) -> Iterator:
+    """_retire_min that clears the retired bucket's queue without
+    transferring it to the new minimum: every request still pending at
+    retirement (and the element counts it carries) is silently lost."""
+    costs = self.costs
+    new_min = bucket.next
+    hops = 1
+    while new_min is not None and new_min.gc_marked:
+        new_min = new_min.next
+        hops += 1
+    self.min_bucket = new_min
+    yield Compute(costs.pointer_chase * hops, TAG_STRUCTURE)
+    if bucket.queue:
+        yield Compute(costs.queue_enqueue * len(bucket.queue), TAG_BUCKET)
+        bucket.queue.clear()  # BUG: requests must move to the new minimum
+        self.stats["queue_transfers"] += 1
+    if bucket.size == 0:
+        bucket.gc_marked = True
+        self.stats["gc_buckets"] += 1
+
+
+def _drain_skipping_gc(self, bucket, ctx) -> Iterator:
+    """drain that releases an emptied non-min bucket without marking it
+    for garbage collection, leaving an empty bucket reachable forever."""
+    costs = self.costs
+    if bucket.gc_marked:
+        yield bucket.owner.store(0, TAG_BUCKET)
+        return
+    while True:
+        while bucket.queue:
+            pending = len(bucket.queue)
+            yield Compute(costs.queue_dequeue * pending, TAG_BUCKET)
+            if pending > 1:
+                self.stats["bulk_drains"] += 1
+                self.stats["bulk_drained_requests"] += pending
+            for _ in range(pending):
+                if not bucket.queue:
+                    break
+                request = bucket.queue.popleft()
+                yield from self._process(request, bucket, ctx)
+                if bucket.gc_marked:
+                    yield bucket.owner.store(0, TAG_BUCKET)
+                    return
+        if (
+            bucket.size == 0
+            and not bucket.queue
+            and bucket is not self.min_bucket
+        ):
+            # BUG: forgot `bucket.gc_marked = True` before releasing
+            self.stats["gc_buckets"] += 1
+            yield bucket.owner.store(0, TAG_BUCKET)
+            return
+        yield bucket.owner.store(0, TAG_BUCKET)
+        if bucket.queue and not bucket.gc_marked:
+            reacquired = yield bucket.owner.cas(0, 1, TAG_BUCKET)
+            if reacquired:
+                if bucket.gc_marked:
+                    yield bucket.owner.store(0, TAG_BUCKET)
+                    return
+                continue
+        return
+
+
+@contextlib.contextmanager
+def _patched(attribute: str, replacement):
+    original = getattr(ConcurrentStreamSummary, attribute)
+    setattr(ConcurrentStreamSummary, attribute, replacement)
+    try:
+        yield
+    finally:
+        setattr(ConcurrentStreamSummary, attribute, original)
+
+
+def double_relinquish():
+    """Counts delegated occurrences twice on bulk relinquish."""
+    return _patched("complete_element", _complete_element_double)
+
+
+def drop_queue_transfer():
+    """Loses the pending queue when the minimum bucket retires."""
+    return _patched("_retire_min", _retire_min_dropping)
+
+
+def skip_empty_gc():
+    """Never garbage-marks emptied buckets during drains."""
+    return _patched("drain", _drain_skipping_gc)
+
+
+#: name -> context-manager factory, for the CLI's ``--mutate`` flag
+MUTATIONS: Dict[str, Callable] = {
+    "double-relinquish": double_relinquish,
+    "drop-queue-transfer": drop_queue_transfer,
+    "skip-empty-gc": skip_empty_gc,
+}
+
+
+def get_mutation(name: str) -> Callable:
+    try:
+        return MUTATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(MUTATIONS))
+        raise ConfigurationError(
+            f"unknown mutation {name!r}; known mutations: {known}"
+        ) from None

@@ -1,0 +1,163 @@
+"""Seeded scheduling perturbations for the deterministic engine.
+
+The engine's default schedule is a pure function of the thread programs:
+FIFO core hand-off, quantum-based preemption, fixed cycle costs.  That
+determinism is great for reproducibility but means every test run
+explores exactly *one* interleaving.  :class:`SchedulePerturber` widens
+the explored space while keeping each individual schedule reproducible:
+
+* **Ready-queue reordering** — when several threads wait for a core, the
+  next one to run may be picked from inside the queue instead of the
+  head;
+* **Forced preemption** — a thread may lose its core right after an
+  atomic or queue/structure effect even though its quantum has cycles
+  left, which is exactly where delegation-protocol races hide;
+* **Jittered cost tables** — :func:`jittered_costs` derives a cost model
+  whose relative costs are randomly scaled, shifting every timing
+  relationship between threads.
+
+Every perturbation is drawn from a seeded RNG and recorded as a
+:class:`Decision` keyed by its *opportunity index* (the how-many-th time
+the engine offered that kind of choice).  A recorded decision list can
+be **replayed** — in full, to reproduce a failing schedule exactly, or
+as a subset, which is what the :mod:`shrinker <repro.schedcheck.shrink>`
+exploits to minimize a failing schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import AtomicOp, Effect
+
+#: effect tags around which forced preemption is interesting — the
+#: delegation queues, the hash-entry claim counters, and the summary
+#: structure mutations (plus any AtomicOp regardless of tag)
+PREEMPT_TAGS = frozenset(("bucket", "hash", "structure", "minmax"))
+
+#: decision kinds
+PICK = "pick"          #: run the waiter at `arg` (offset from queue head)
+PREEMPT = "preempt"    #: preempt the current thread at this boundary
+
+
+@dataclasses.dataclass(frozen=True)
+class Decision:
+    """One non-default scheduling choice at one opportunity point."""
+
+    kind: str      #: PICK or PREEMPT
+    index: int     #: opportunity counter for that kind (0-based)
+    arg: int = 0   #: PICK: offset into the waiter queue; PREEMPT: unused
+
+    def __str__(self) -> str:
+        if self.kind == PICK:
+            return f"pick[{self.index}] -> waiter+{self.arg}"
+        return f"preempt[{self.index}]"
+
+
+class SchedulePerturber:
+    """Engine ``sched_policy`` that perturbs, records and replays.
+
+    In *generate* mode (``replay=None``) each opportunity consults the
+    seeded RNG; every non-default choice is appended to
+    :attr:`decisions`.  In *replay* mode the RNG is never consulted:
+    only the supplied decisions are applied (at their recorded
+    opportunity indices) and everything else takes the default path.
+    Replaying the full recorded list of a generate run reproduces that
+    run's schedule exactly; replaying a subset yields a new — still
+    deterministic — schedule, which is what shrinking relies on.
+    """
+
+    def __init__(
+        self,
+        seed: int | str = 0,
+        reorder_p: float = 0.25,
+        preempt_p: float = 0.10,
+        replay: Optional[Sequence[Decision]] = None,
+    ) -> None:
+        if not 0 <= reorder_p <= 1:
+            raise ConfigurationError(
+                f"reorder_p must be in [0, 1], got {reorder_p}"
+            )
+        if not 0 <= preempt_p <= 1:
+            raise ConfigurationError(
+                f"preempt_p must be in [0, 1], got {preempt_p}"
+            )
+        self.seed = seed
+        self.reorder_p = reorder_p
+        self.preempt_p = preempt_p
+        self._rng = random.Random(f"schedcheck:{seed}")
+        self._counts: Dict[str, int] = {PICK: 0, PREEMPT: 0}
+        self.decisions: List[Decision] = []
+        self._replay: Optional[Dict[Tuple[str, int], int]] = None
+        if replay is not None:
+            self._replay = {(d.kind, d.index): d.arg for d in replay}
+
+    # -- engine callbacks ------------------------------------------------
+    def pick_waiter(self, pending: int) -> int:
+        """Offset (0 = FIFO head) of the waiter to run next."""
+        index = self._counts[PICK]
+        self._counts[PICK] = index + 1
+        if self._replay is not None:
+            offset = self._replay.get((PICK, index), 0)
+            # a shrunk replay may reach this opportunity with a shorter
+            # queue than the recording had; clamp instead of failing
+            return min(offset, pending - 1)
+        if self._rng.random() < self.reorder_p:
+            offset = self._rng.randrange(1, pending)
+            self.decisions.append(Decision(PICK, index, offset))
+            return offset
+        return 0
+
+    def force_preempt(self, effect: Effect) -> bool:
+        """Preempt the thread that just completed ``effect``?"""
+        if not (isinstance(effect, AtomicOp) or effect.tag in PREEMPT_TAGS):
+            return False
+        index = self._counts[PREEMPT]
+        self._counts[PREEMPT] = index + 1
+        if self._replay is not None:
+            return (PREEMPT, index) in self._replay
+        if self._rng.random() < self.preempt_p:
+            self.decisions.append(Decision(PREEMPT, index))
+            return True
+        return False
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def opportunities(self) -> Dict[str, int]:
+        """How many choice points of each kind the run offered."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "replay" if self._replay is not None else "generate"
+        return (
+            f"SchedulePerturber(seed={self.seed!r}, mode={mode}, "
+            f"decisions={len(self.decisions)})"
+        )
+
+
+def jittered_costs(
+    base: CostModel, seed: int | str, spread: float = 0.3
+) -> CostModel:
+    """A cost model with every cost scaled by a seeded random factor.
+
+    Each cost field is independently multiplied by a factor drawn
+    uniformly from ``[1 - spread, 1 + spread]`` (never below 1 cycle),
+    so the *relative timing* of hash probes, queue operations, line
+    transfers and context switches differs between schedules — shaking
+    loose races that a single calibration would always order the same
+    way.  The same ``(base, seed, spread)`` always yields the same model.
+    """
+    if not 0 <= spread < 1:
+        raise ConfigurationError(f"spread must be in [0, 1), got {spread}")
+    if spread == 0:
+        return base
+    rng = random.Random(f"schedcheck-jitter:{seed}")
+    updates = {}
+    for field in dataclasses.fields(base):
+        factor = 1.0 + rng.uniform(-spread, spread)
+        updates[field.name] = max(1, round(getattr(base, field.name) * factor))
+    return base.replace(**updates)

@@ -1,0 +1,204 @@
+"""Shrinking a failing schedule to a minimal reproducer.
+
+A failing exploration run carries the full list of non-default
+scheduling decisions the perturber made.  Because replaying any
+*subset* of those decisions still yields a deterministic schedule (the
+unselected opportunities simply take the default path), the classic
+delta-debugging algorithm (ddmin, Zeller & Hildebrandt 2002) applies
+directly: keep removing chunks of decisions while the audit still
+fails, until the list is 1-minimal — removing any single remaining
+decision makes the failure disappear.
+
+The result renders as a human-readable reproducer: the seed, the
+surviving decisions in engine order, the audit error, and the ASCII
+core timeline of the minimal schedule (via
+:class:`~repro.simcore.trace.TraceRecorder`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core.counters import Element
+from repro.schedcheck.adapters import SchemeSpec
+from repro.schedcheck.explorer import (
+    ExploreConfig,
+    ScheduleOutcome,
+    run_schedule,
+)
+from repro.schedcheck.perturb import Decision
+
+
+@dataclasses.dataclass
+class ShrinkResult:
+    """A minimized failing schedule."""
+
+    original: ScheduleOutcome
+    minimal: ScheduleOutcome
+    runs: int                      #: replays spent shrinking
+    timeline: str = ""             #: ASCII core chart of the minimal run
+
+    @property
+    def decisions(self) -> List[Decision]:
+        return self.minimal.decisions
+
+    def render(self) -> str:
+        """The human-readable reproducer."""
+        lines = [
+            f"=== schedcheck reproducer: {self.minimal.scheme} ===",
+            f"seed key : {self.minimal.seed_key}",
+            f"trace    : {self.minimal.trace_hash}",
+            f"violation: {self.minimal.error_type}: {self.minimal.error}",
+            f"shrunk   : {len(self.original.decisions)} -> "
+            f"{len(self.decisions)} scheduling decisions "
+            f"({self.runs} replays)",
+        ]
+        if self.decisions:
+            lines.append("decisions (replay in this order):")
+            for decision in self.decisions:
+                lines.append(f"  - {decision}")
+        else:
+            lines.append("decisions: none (fails under the default schedule)")
+        if self.timeline:
+            lines.append(self.timeline)
+        return "\n".join(lines)
+
+
+def ddmin(
+    items: Sequence[Any],
+    still_fails: Callable[[List[Any]], bool],
+    max_tests: int = 400,
+) -> List[Any]:
+    """Classic delta debugging: a 1-minimal failing subset of ``items``.
+
+    ``still_fails(subset)`` must be deterministic.  The caller is
+    responsible for ``still_fails(list(items))`` being true.  Stops
+    early (returning the best-so-far) when ``max_tests`` replays have
+    been spent; the result is then small but possibly not 1-minimal.
+    """
+    current = list(items)
+    if not current:
+        return current
+    # cheapest possible outcome first: no decision needed at all (the
+    # failure reproduces under the default schedule)
+    if still_fails([]):
+        return []
+    tests = 1
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            complement = current[:start] + current[start + chunk:]
+            tests += 1
+            if tests > max_tests:
+                return current
+            if still_fails(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def shrink_outcome(
+    spec: SchemeSpec,
+    stream: Sequence[Element],
+    config: ExploreConfig,
+    failing: ScheduleOutcome,
+    patch: Optional[Callable[[], Any]] = None,
+    max_tests: int = 400,
+) -> ShrinkResult:
+    """Minimize ``failing``'s decision list via ddmin.
+
+    ``patch`` must match whatever was active when the failure was found
+    (the mutation self-test passes its mutation here).  The minimal
+    schedule is replayed once more with tracing to render the timeline.
+    """
+    runs = 0
+
+    def replay(decisions: List[Decision]) -> ScheduleOutcome:
+        nonlocal runs
+        runs += 1
+        return run_schedule(
+            spec,
+            stream,
+            config,
+            failing.seed_key,
+            index=failing.index,
+            replay=decisions,
+            patch=patch,
+        )
+
+    def still_fails(decisions: List[Decision]) -> bool:
+        return not replay(decisions).ok
+
+    # Sanity: the full decision list must reproduce the failure (replay
+    # is exact, so anything else means the harness itself is broken).
+    original_replay = replay(list(failing.decisions))
+    if original_replay.ok:
+        raise AssertionError(
+            f"schedule {failing.seed_key} did not reproduce under full "
+            "replay; the perturber's replay mode is broken"
+        )
+    minimal_decisions = ddmin(
+        failing.decisions, still_fails, max_tests=max_tests
+    )
+    minimal = replay(minimal_decisions)
+    timeline = render_timeline(
+        spec, stream, config, failing, minimal_decisions, patch=patch
+    )
+    return ShrinkResult(
+        original=failing, minimal=minimal, runs=runs, timeline=timeline
+    )
+
+
+def render_timeline(
+    spec: SchemeSpec,
+    stream: Sequence[Element],
+    config: ExploreConfig,
+    failing: ScheduleOutcome,
+    decisions: Sequence[Decision],
+    patch: Optional[Callable[[], Any]] = None,
+    width: int = 72,
+) -> str:
+    """Replay a decision list once more and chart who ran where, when."""
+    from repro.schedcheck.explorer import AuditProbe  # noqa: F401 (doc link)
+    from repro.schedcheck.perturb import SchedulePerturber, jittered_costs
+    from repro.simcore.engine import Engine
+    from repro.simcore.trace import TraceRecorder
+    from repro.schedcheck.adapters import HarnessParams
+
+    tracer = TraceRecorder()
+    costs = jittered_costs(config.costs, failing.seed_key, config.jitter)
+    perturber = SchedulePerturber(
+        failing.seed_key, config.reorder_p, config.preempt_p,
+        replay=list(decisions),
+    )
+    params = HarnessParams(
+        threads=config.threads,
+        capacity=config.capacity,
+        machine=config.machine(),
+        costs=costs,
+        engine_factory=lambda machine, costs_: Engine(
+            machine=machine, costs=costs_, tracer=tracer,
+            sched_policy=perturber,
+        ),
+        audit_binder=None,
+    )
+    try:
+        if patch is not None:
+            with patch():
+                spec.run(stream, params)
+        else:
+            spec.run(stream, params)
+    except Exception:
+        pass  # the failure is the point; we only want the trace
+    return tracer.timeline(width=width)

@@ -132,6 +132,8 @@ class Engine:
         "machine",
         "costs",
         "tracer",
+        "sched_policy",
+        "probe",
         "now",
         "events_processed",
         "_seq",
@@ -151,11 +153,22 @@ class Engine:
         machine: Optional[MachineSpec] = None,
         costs: Optional[CostModel] = None,
         tracer: Optional[Any] = None,
+        sched_policy: Optional[Any] = None,
+        probe: Optional[Any] = None,
     ) -> None:
         self.machine = machine if machine is not None else MachineSpec()
         self.costs = costs if costs is not None else CostModel()
         #: optional TraceRecorder-like object with a .record(...) method
         self.tracer = tracer
+        #: optional scheduling-perturbation policy (see
+        #: repro.schedcheck.perturb).  Consulted at the two points where
+        #: the engine makes a discretionary choice: which CPU waiter runs
+        #: next, and whether a thread is preempted before its quantum
+        #: expires.  None means the default deterministic FIFO schedule.
+        self.sched_policy = sched_policy
+        #: optional callable invoked as probe(engine) after every
+        #: processed event — the schedcheck auditor's checkpoint hook.
+        self.probe = probe
         self.now = 0
         self.events_processed = 0
         self._seq = itertools.count()
@@ -216,6 +229,8 @@ class Engine:
                 self._complete(thread, when)
             else:
                 self._wake(thread, when)
+            if self.probe is not None:
+                self.probe(self)
             if self._only_daemons_left():
                 break
         self._finish_run()
@@ -331,6 +346,17 @@ class Engine:
     def _pop_cpu_waiter(self) -> Optional[SimThread]:
         if self._waiter_head >= len(self._cpu_waiters):
             return None
+        pending = len(self._cpu_waiters) - self._waiter_head
+        if self.sched_policy is not None and pending > 1:
+            offset = self.sched_policy.pick_waiter(pending)
+            if offset:
+                # Perturbed pick: pull a waiter from inside the queue.
+                # The element is removed outright (not None-ed) so the
+                # head/compaction bookkeeping below stays untouched.
+                index = self._waiter_head + offset
+                thread = self._cpu_waiters[index]
+                del self._cpu_waiters[index]
+                return thread
         thread = self._cpu_waiters[self._waiter_head]
         self._cpu_waiters[self._waiter_head] = None  # type: ignore[call-overload]
         self._waiter_head += 1
@@ -478,6 +504,15 @@ class Engine:
         head CPU waiter and this thread requeues at the tail.
         """
         expired = thread._slice_used >= self.machine.timeslice
+        if (
+            not expired
+            and self.sched_policy is not None
+            and self._has_cpu_waiters()
+            and self.sched_policy.force_preempt(thread.pending_effect)
+        ):
+            # Perturbed schedule: preempt at an effect boundary even
+            # though the quantum has cycles left.
+            expired = True
         if expired and self._has_cpu_waiters():
             waiter = self._pop_cpu_waiter()
             self._assign(waiter, core, when)

@@ -1,0 +1,32 @@
+"""Test-infrastructure helpers shared by the suite and CI.
+
+Kept inside the package (rather than in ``tests/``) so conftest files,
+parametrized test modules and documentation all import one canonical
+implementation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+#: environment variable holding the comma-separated seed matrix
+SEEDS_ENV = "REPRO_TEST_SEEDS"
+
+
+def seed_matrix(*defaults: int) -> List[int]:
+    """Seeds to parametrize randomized tests over.
+
+    By default returns ``defaults`` unchanged (the fast path: one run
+    per test, identical to a non-parametrized suite).  Setting
+    ``REPRO_TEST_SEEDS=0,1,2,...`` widens every seed-parametrized test
+    and fixture to the listed seeds — the nightly/with-budget way to
+    sweep the same suite across many random universes::
+
+        REPRO_TEST_SEEDS=11,12,13 python -m pytest tests/cots -q
+    """
+    raw = os.environ.get(SEEDS_ENV, "").strip()
+    if not raw:
+        return list(defaults)
+    seeds = [int(token) for token in raw.split(",") if token.strip()]
+    return seeds if seeds else list(defaults)

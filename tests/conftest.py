@@ -1,23 +1,30 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures for the test-suite.
+
+The stream fixtures are parametrized over :func:`repro.testing.
+seed_matrix`: by default each builds one stream (seed 11, the historical
+fast path), while ``REPRO_TEST_SEEDS=11,12,13`` re-runs every dependent
+test once per listed seed.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core.counters import ExactCounter
+from repro.testing import seed_matrix
 from repro.workloads import zipf_stream
 
 
-@pytest.fixture(scope="session")
-def skewed_stream():
+@pytest.fixture(scope="session", params=seed_matrix(11))
+def skewed_stream(request):
     """A modest zipfian stream (alpha=2.0) shared across tests."""
-    return zipf_stream(4000, 4000, 2.0, seed=11)
+    return zipf_stream(4000, 4000, 2.0, seed=request.param)
 
 
-@pytest.fixture(scope="session")
-def mild_stream():
+@pytest.fixture(scope="session", params=seed_matrix(11))
+def mild_stream(request):
     """A lightly skewed stream (alpha=1.2) with real counter churn."""
-    return zipf_stream(4000, 4000, 1.2, seed=11)
+    return zipf_stream(4000, 4000, 1.2, seed=request.param)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,95 @@
+"""Model-based stateful testing of summary merging (hypothesis).
+
+The machine grows a pool of per-partition SpaceSaving summaries and
+keeps the true counts of every partitioned element.  After each step
+the hierarchical (tree) merge must agree entry-for-entry with the
+serial fold, must never alias one of its inputs, and the merged error
+fields must bracket the true counts in both directions.
+"""
+
+import collections
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.merge import hierarchical_merge, merge_space_saving
+from repro.core.space_saving import SpaceSaving
+from repro.schedcheck.auditor import audit_space_saving
+
+_elements = st.integers(min_value=0, max_value=11)
+_PART_CAPACITY = 6
+
+
+def _state(counter):
+    return sorted(
+        (entry.element, entry.count, entry.error)
+        for entry in counter.entries()
+    )
+
+
+class MergeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.parts = []
+        self.truth = collections.Counter()
+
+    @rule(chunk=st.lists(_elements, min_size=0, max_size=20))
+    def add_partition(self, chunk):
+        part = SpaceSaving(capacity=_PART_CAPACITY)
+        part.process_many(chunk)
+        self.parts.append(part)
+        self.truth.update(chunk)
+
+    @precondition(lambda self: self.parts)
+    @rule(data=st.data(), chunk=st.lists(_elements, min_size=1, max_size=15))
+    def feed_partition(self, data, chunk):
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(self.parts) - 1)
+        )
+        self.parts[index].process_many(chunk)
+        self.truth.update(chunk)
+
+    @invariant()
+    def hierarchical_equals_serial(self):
+        if not self.parts:
+            return
+        serial = merge_space_saving(self.parts)
+        tree = hierarchical_merge(self.parts)
+        assert _state(tree) == _state(serial)
+        assert tree.processed == serial.processed == sum(self.truth.values())
+        audit_space_saving(serial, "merge-serial", merged=True)
+        audit_space_saving(tree, "merge-tree", merged=True)
+
+    @invariant()
+    def merge_never_aliases_inputs(self):
+        if not self.parts:
+            return
+        before = [_state(part) for part in self.parts]
+        merged = hierarchical_merge(self.parts)
+        assert all(merged is not part for part in self.parts)
+        merged.process_many([999] * 3)  # mutate the result...
+        after = [_state(part) for part in self.parts]
+        assert before == after  # ...and the inputs must not move
+
+    @invariant()
+    def error_fields_bracket_truth(self):
+        """For monitored elements: count - error <= true <= count + error."""
+        if not self.parts:
+            return
+        merged = merge_space_saving(self.parts)
+        for entry in merged.entries():
+            truth = self.truth[entry.element]
+            assert entry.count - entry.error <= truth
+            assert truth <= entry.count + entry.error
+
+
+TestMergeStateful = MergeMachine.TestCase
+TestMergeStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

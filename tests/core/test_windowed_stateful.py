@@ -1,0 +1,112 @@
+"""Model-based stateful testing of WindowedSpaceSaving (hypothesis).
+
+A RuleBasedStateMachine feeds the windowed counter single elements and
+bulk slices while mirroring the pane arithmetic (rotation + retention)
+in a plain list-of-lists model.  The alphabet is kept smaller than the
+per-pane capacity so every pane is exact, which makes the merged
+in-window estimates exactly comparable to the model's counts.
+"""
+
+import collections
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.windowed import WindowedSpaceSaving
+
+# alphabet strictly smaller than _CAPACITY so estimates stay exact
+_elements = st.integers(min_value=0, max_value=7)
+_CAPACITY = 16
+
+
+class WindowedMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.windowed = None
+        self.model_panes = []
+
+    @initialize(
+        window=st.integers(min_value=4, max_value=20),
+        panes=st.integers(min_value=1, max_value=4),
+    )
+    def setup(self, window, panes):
+        self.windowed = WindowedSpaceSaving(
+            window_size=window, capacity=_CAPACITY, panes=panes
+        )
+        self.pane_size = self.windowed.pane_size
+        self.window_size = window
+        self.processed = 0
+
+    # -- model mirror of _rotate / process ----------------------------
+    def _model_rotate(self):
+        self.model_panes.append([])
+        while (
+            len(self.model_panes) - 2
+        ) * self.pane_size >= self.window_size:
+            self.model_panes.pop(0)
+
+    def _model_process(self, element):
+        if not self.model_panes or (
+            len(self.model_panes[-1]) >= self.pane_size
+        ):
+            self._model_rotate()
+        self.model_panes[-1].append(element)
+        self.processed += 1
+
+    # -- rules ---------------------------------------------------------
+    @rule(element=_elements)
+    def process_one(self, element):
+        self.windowed.process(element)
+        self._model_process(element)
+
+    @rule(chunk=st.lists(_elements, min_size=0, max_size=25))
+    def process_bulk(self, chunk):
+        self.windowed.process_many(chunk)
+        for element in chunk:
+            self._model_process(element)
+
+    @precondition(lambda self: self.windowed is not None)
+    @rule(k=st.integers(min_value=1, max_value=10))
+    def top_k_is_sorted_and_consistent(self, k):
+        top = self.windowed.top_k(k)
+        counts = [entry.count for entry in top]
+        assert counts == sorted(counts, reverse=True)
+        for entry in top:
+            assert self.windowed.estimate(entry.element) == entry.count
+
+    # -- invariants ----------------------------------------------------
+    @invariant()
+    def matches_model(self):
+        if self.windowed is None:
+            return
+        in_window = collections.Counter(
+            element for pane in self.model_panes for element in pane
+        )
+        assert self.windowed.processed == self.processed
+        assert self.windowed.window_count == sum(in_window.values())
+        assert len(self.windowed) == len(in_window)
+        for element, truth in in_window.items():
+            assert self.windowed.estimate(element) == truth
+
+    @invariant()
+    def window_coverage_is_bounded(self):
+        """Sealed panes + filler cover >= window and <~ window + 2 panes."""
+        if self.windowed is None or not self.model_panes:
+            return
+        sealed = len(self.model_panes) - 1
+        if sealed * self.pane_size < self.window_size:
+            return  # still warming up: nothing has been dropped yet
+        assert sealed * self.pane_size < self.window_size + 2 * self.pane_size
+
+
+TestWindowedStateful = WindowedMachine.TestCase
+TestWindowedStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -5,6 +5,11 @@ import pytest
 from repro.core.counters import ExactCounter
 from repro.cots.framework import CoTSRunConfig, run_cots
 from repro.errors import ConfigurationError
+from repro.schedcheck.auditor import (
+    EXACT,
+    audit_concurrent_summary,
+    audit_counts,
+)
 from repro.workloads import churn_stream, uniform_stream, zipf_stream
 
 
@@ -15,13 +20,17 @@ def test_count_conservation_across_configs(threads, alpha):
     result = run_cots(
         stream, CoTSRunConfig(threads=threads, capacity=48)
     )
-    # run_cots(check=True) already verified conservation + invariants
+    # run_cots(check=True) already verified conservation + invariants;
+    # the shared auditor additionally checks the semantic bounds
+    audit_counts(result.counter, list(stream), "cots", EXACT)
     assert result.counter.summary.total_count == len(stream)
     assert result.elements == len(stream)
 
 
 def test_estimates_upper_bound_truth(skewed_stream, exact_skewed):
     result = run_cots(skewed_stream, CoTSRunConfig(threads=8, capacity=64))
+    audit_concurrent_summary(result.extras["framework"].summary)
+    audit_counts(result.counter, list(skewed_stream), "cots", EXACT)
     for element, truth in exact_skewed.top_k(10):
         assert result.counter.estimate(element) >= truth
 

@@ -1,16 +1,34 @@
-"""Stress tests for the CoTS framework under adversarial workloads."""
+"""Stress tests for the CoTS framework under adversarial workloads.
+
+The randomized workloads are parametrized over
+:func:`repro.testing.seed_matrix`: the default run uses the historical
+seeds, ``REPRO_TEST_SEEDS`` sweeps the same tests across more random
+universes.  Every run is judged by the shared schedcheck auditor, not
+just by ad-hoc assertions.
+"""
 
 import pytest
 
 from repro.core.counters import ExactCounter
 from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.schedcheck.auditor import EXACT, audit_concurrent_summary, audit_counts
+from repro.testing import seed_matrix
 from repro.workloads import bursty_stream, churn_stream, interleave, zipf_stream
+
+
+def _audited(stream, config):
+    """run_cots + the full shared audit (structure and semantics)."""
+    result = run_cots(stream, config)
+    framework = result.extras["framework"]
+    audit_concurrent_summary(framework.summary)
+    audit_counts(result.counter, list(stream), "cots", EXACT)
+    return result
 
 
 def test_tiny_capacity_heavy_churn():
     """Capacity 2 with an all-distinct stream: one overwrite per element."""
     stream = churn_stream(800)
-    result = run_cots(stream, CoTSRunConfig(threads=12, capacity=2))
+    result = _audited(stream, CoTSRunConfig(threads=12, capacity=2))
     stats = result.extras["stats"]
     assert stats.get("overwrites", 0) > 500
     assert result.counter.summary.total_count == len(stream)
@@ -22,7 +40,7 @@ def test_tombstone_races_are_survivable():
     hot = ["hot"] * 1500
     cold = churn_stream(1500)
     stream = interleave([hot, cold])
-    result = run_cots(stream, CoTSRunConfig(threads=24, capacity=4, batch=2))
+    result = _audited(stream, CoTSRunConfig(threads=24, capacity=4, batch=2))
     stats = result.extras["stats"]
     assert result.counter.summary.total_count == len(stream)
     assert stats.get("tombstone_races", 0) >= 0  # races allowed, never fatal
@@ -30,14 +48,15 @@ def test_tombstone_races_are_survivable():
     assert result.counter.estimate("hot") >= 1500
 
 
-def test_bursty_hot_set_rotation():
+@pytest.mark.parametrize("seed", seed_matrix(3))
+def test_bursty_hot_set_rotation(seed):
     """The hot element changes every burst; ownership chains must migrate."""
     stream = bursty_stream(
-        4000, alphabet=2000, burst_length=400, hot_fraction=0.85, seed=3
+        4000, alphabet=2000, burst_length=400, hot_fraction=0.85, seed=seed
     )
     exact = ExactCounter()
     exact.process_many(stream)
-    result = run_cots(stream, CoTSRunConfig(threads=16, capacity=64))
+    result = _audited(stream, CoTSRunConfig(threads=16, capacity=64))
     assert result.counter.summary.total_count == len(stream)
     for element, truth in exact.top_k(5):
         assert result.counter.estimate(element) >= truth
@@ -45,14 +64,17 @@ def test_bursty_hot_set_rotation():
 
 def test_many_threads_tiny_stream():
     """More threads than elements: most workers claim nothing and exit."""
-    result = run_cots(["a", "b", "a"], CoTSRunConfig(threads=64, capacity=8))
+    result = _audited(
+        ["a", "b", "a"], CoTSRunConfig(threads=64, capacity=8)
+    )
     assert result.counter.estimate("a") == 2
     assert result.counter.estimate("b") == 1
 
 
-def test_gc_statistics_accumulate_under_skew():
-    stream = zipf_stream(3000, 3000, 3.0, seed=6)
-    result = run_cots(stream, CoTSRunConfig(threads=16, capacity=64))
+@pytest.mark.parametrize("seed", seed_matrix(6))
+def test_gc_statistics_accumulate_under_skew(seed):
+    stream = zipf_stream(3000, 3000, 3.0, seed=seed)
+    result = _audited(stream, CoTSRunConfig(threads=16, capacity=64))
     stats = result.extras["stats"]
     # the hot element's unique counts churn top buckets constantly
     assert stats.get("gc_buckets", 0) > 100
@@ -62,15 +84,16 @@ def test_gc_statistics_accumulate_under_skew():
 def test_alternating_two_hot_elements():
     """Two elements trading places exercises bucket hand-off heavily."""
     stream = ["x", "y"] * 1500
-    result = run_cots(stream, CoTSRunConfig(threads=16, capacity=8))
+    result = _audited(stream, CoTSRunConfig(threads=16, capacity=8))
     assert result.counter.estimate("x") == 1500
     assert result.counter.estimate("y") == 1500
 
 
+@pytest.mark.parametrize("seed", seed_matrix(8))
 @pytest.mark.parametrize("batch", [1, 2, 8, 64])
-def test_batch_sizes_agree(batch):
-    stream = zipf_stream(1000, 1000, 2.0, seed=8)
-    result = run_cots(
+def test_batch_sizes_agree(batch, seed):
+    stream = zipf_stream(1000, 1000, 2.0, seed=seed)
+    result = _audited(
         stream, CoTSRunConfig(threads=8, capacity=32, batch=batch)
     )
     assert result.counter.summary.total_count == len(stream)

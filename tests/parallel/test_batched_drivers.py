@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.parallel.independent import run_independent
 from repro.parallel.sequential import run_sequential
+from repro.testing import seed_matrix
 from repro.workloads.generators import bursty_stream, churn_stream
 from repro.workloads.zipf import zipf_stream
 
@@ -13,18 +14,21 @@ def _state(counter):
     return sorted((e.element, e.count, e.error) for e in counter.entries())
 
 
-@pytest.mark.parametrize(
-    "stream",
-    [
-        zipf_stream(2500, 400, 2.0, seed=3),
-        bursty_stream(2500, 100, burst_length=120, seed=4),
-        churn_stream(1500),
-    ],
-    ids=["zipf", "bursty", "churn"],
-)
-def test_sequential_batched_counter_identical(stream):
+_WORKLOADS = {
+    "zipf": lambda seed: zipf_stream(2500, 400, 2.0, seed=seed),
+    "bursty": lambda seed: bursty_stream(
+        2500, 100, burst_length=120, seed=seed + 1
+    ),
+    "churn": lambda seed: churn_stream(1500),
+}
+
+
+@pytest.mark.parametrize("seed", seed_matrix(3))
+@pytest.mark.parametrize("workload", sorted(_WORKLOADS))
+def test_sequential_batched_counter_identical(workload, seed):
     from repro.parallel.base import SchemeConfig
 
+    stream = _WORKLOADS[workload](seed)
     base = run_sequential(stream, SchemeConfig(capacity=48))
     fast = run_sequential(stream, SchemeConfig(capacity=48), batch=64)
     assert fast.counter.processed == base.counter.processed
@@ -47,10 +51,11 @@ def test_sequential_batch_validation():
         run_independent([1, 2, 3], batch=-1)
 
 
-def test_independent_batched_counter_and_merges_identical():
+@pytest.mark.parametrize("seed", seed_matrix(6))
+def test_independent_batched_counter_and_merges_identical(seed):
     from repro.parallel.base import SchemeConfig
 
-    stream = zipf_stream(3000, 400, 2.0, seed=6)
+    stream = zipf_stream(3000, 400, 2.0, seed=seed)
     config = SchemeConfig(threads=4, capacity=64)
     base = run_independent(stream, config, merge_every=600)
     fast = run_independent(

@@ -1,0 +1,207 @@
+"""Unit tests for the shared invariant auditor.
+
+Each test hand-builds a structure that violates exactly one guarantee
+and checks the auditor rejects it with a message naming the violation
+(and the scheme), while the healthy version of the same structure
+passes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.counters import CounterEntry
+from repro.core.space_saving import SpaceSaving
+from repro.cots.framework import CoTSRunConfig, run_cots
+from repro.errors import AuditError, ProtocolError
+from repro.schedcheck.auditor import (
+    EXACT,
+    HYBRID,
+    MERGED,
+    Tolerance,
+    audit_concurrent_summary,
+    audit_counts,
+    audit_differential,
+    audit_space_saving,
+    exact_counts,
+)
+
+_STREAM = ["a"] * 10 + ["b"] * 5 + ["c"] * 1  # N=16; with m=4, N/m=4
+
+
+def _counter(*entries, capacity=4, processed=None):
+    total = sum(count for _, count, _ in entries)
+    return SpaceSaving.from_entries(
+        capacity,
+        [CounterEntry(element, count, error) for element, count, error in entries],
+        total if processed is None else processed,
+    )
+
+
+def test_audit_error_is_a_protocol_error():
+    assert issubclass(AuditError, ProtocolError)
+
+
+def test_healthy_counter_passes_exact():
+    counter = SpaceSaving(capacity=4)
+    counter.process_many(_STREAM)
+    audit_space_saving(counter, "test")
+    audit_counts(counter, _STREAM, "test", EXACT)
+    audit_differential(counter, _STREAM, "test", EXACT)
+
+
+def test_conservation_violation():
+    counter = _counter(("a", 10, 0), ("b", 4, 0))  # one "b" went missing
+    with pytest.raises(AuditError, match=r"\[test\] count conservation"):
+        audit_counts(counter, _STREAM, "test", EXACT)
+
+
+def test_total_must_never_exceed_stream_length():
+    counter = _counter(("a", 20, 0), ("b", 5, 0))
+    no_conserve = dataclasses.replace(EXACT, conserve=False)
+    with pytest.raises(AuditError, match="exceeds stream length"):
+        audit_counts(counter, _STREAM, "test", no_conserve)
+
+
+def test_undercount_violation():
+    # 'b' and 'c' are within every EXACT bound; 'a' lost 4 occurrences
+    counter = _counter(("a", 6, 0), ("b", 9, 4), ("c", 1, 0))
+    with pytest.raises(AuditError, match="undercount: 'a'"):
+        audit_counts(counter, _STREAM, "test", EXACT)
+
+
+def test_merged_band_allows_undercount_within_error():
+    # 'a' undercounts by 5 but carries error 5: fine for merged summaries,
+    # a protocol violation for exact ones
+    counter = _counter(("a", 5, 5), ("b", 9, 4), ("c", 2, 1))
+    merged_no_conserve = dataclasses.replace(
+        MERGED, under_factor=0.0, over_factor=2.0
+    )
+    audit_counts(counter, _STREAM, "test", merged_no_conserve)
+    with pytest.raises(AuditError, match="undercount"):
+        audit_counts(counter, _STREAM, "test", EXACT)
+
+
+def test_guaranteed_count_bound():
+    # count 16 with error 1 guarantees 15 > true 10: impossible for any
+    # conserving upper-bound summary
+    counter = _counter(("a", 16, 1), processed=16, capacity=4)
+    with pytest.raises(AuditError, match="error bound: 'a'"):
+        audit_counts(counter, _STREAM, "test", EXACT)
+
+
+def test_overcount_violation():
+    counter = _counter(("a", 15, 15), ("b", 1, 0))
+    no_conserve = dataclasses.replace(
+        EXACT, conserve=False, under_factor=10.0, guaranteed_factor=10.0
+    )
+    with pytest.raises(AuditError, match="overcount: 'a'"):
+        audit_counts(counter, _STREAM, "test", no_conserve)
+
+
+def test_missing_heavy_hitter():
+    # 'a' (true 10 > N/m + 1 = 5) is not monitored at all
+    counter = _counter(("b", 5, 0), ("c", 1, 0), ("d", 10, 10))
+    relaxed = dataclasses.replace(
+        EXACT, conserve=False, under_factor=10.0, over_factor=10.0,
+        guaranteed_factor=10.0,
+    )
+    with pytest.raises(AuditError, match="missing heavy hitter: 'a'"):
+        audit_counts(counter, _STREAM, "test", relaxed)
+
+
+def test_min_count_above_epsilon_is_caught():
+    # all four counters above N/m=4 forces total > N, which the
+    # conservation ceiling catches before the epsilon bound even runs
+    counter = _counter(
+        ("a", 5, 5), ("b", 5, 5), ("c", 5, 5), ("d", 5, 5), processed=16
+    )
+    relaxed = dataclasses.replace(
+        EXACT, conserve=False, under_factor=10.0, over_factor=10.0,
+        guaranteed_factor=10.0,
+    )
+    with pytest.raises(AuditError, match="exceeds stream length"):
+        audit_counts(counter, _STREAM, "test", relaxed)
+
+
+def test_negative_error_rejected_structurally():
+    counter = _counter(("a", 10, -1), ("b", 5, 0), ("c", 1, 0))
+    with pytest.raises(AuditError, match="outside"):
+        audit_space_saving(counter, "test")
+
+
+def test_error_above_count_allowed_only_for_merged():
+    counter = _counter(("a", 10, 0), ("b", 5, 0), ("c", 1, 3))
+    with pytest.raises(AuditError, match="outside"):
+        audit_space_saving(counter, "test")
+    audit_space_saving(counter, "test", merged=True)
+
+
+def test_differential_catches_divergence():
+    # slack for EXACT is (1+1)*N/m = 8; 'b' drifts by 9
+    drifted = _counter(("a", 1, 0), ("b", 14, 0), ("c", 1, 0))
+    with pytest.raises(AuditError, match="differential"):
+        audit_differential(drifted, _STREAM, "test", EXACT)
+
+
+def test_tolerance_presets_are_distinct():
+    assert EXACT.kind == "upper" and EXACT.conserve
+    assert MERGED.kind == "merged" and not MERGED.conserve
+    assert HYBRID.conserve and HYBRID.under_factor == 4.0
+    assert isinstance(EXACT, Tolerance)
+
+
+def test_exact_counts_matches_manual():
+    assert exact_counts(_STREAM) == {"a": 10, "b": 5, "c": 1}
+
+
+# ----------------------------------------------------------------------
+# Concurrent summary structure corruption
+# ----------------------------------------------------------------------
+def _fresh_summary():
+    result = run_cots(
+        ["x"] * 6 + ["y"] * 3 + ["z"] * 2,
+        CoTSRunConfig(threads=2, capacity=4),
+    )
+    return result.extras["framework"].summary
+
+
+def test_healthy_concurrent_summary_passes():
+    audit_concurrent_summary(_fresh_summary(), scheme="cots")
+
+
+def test_detects_nonmonotonic_bucket_chain():
+    summary = _fresh_summary()
+    bucket = summary.min_bucket
+    bucket.freq = 10 ** 9  # now >= its successor
+    for node in bucket.members:  # keep nodes consistent with the bucket
+        node.freq = bucket.freq
+    with pytest.raises(AuditError, match=r"\[cots\]"):
+        audit_concurrent_summary(summary, scheme="cots")
+
+
+def test_detects_node_frequency_mismatch():
+    summary = _fresh_summary()
+    bucket = summary.min_bucket
+    node = next(iter(bucket.members))
+    node.freq += 1
+    with pytest.raises(AuditError):
+        audit_concurrent_summary(summary, scheme="cots")
+
+
+def test_detects_dangling_node_bucket_pointer():
+    summary = _fresh_summary()
+    bucket = summary.min_bucket
+    node = next(iter(bucket.members))
+    node.bucket = None
+    with pytest.raises(AuditError):
+        audit_concurrent_summary(summary, scheme="cots")
+
+
+def test_detects_undrained_queue_at_quiescence():
+    summary = _fresh_summary()
+    summary.min_bucket.queue.append(object())
+    with pytest.raises(AuditError, match="undrained"):
+        audit_concurrent_summary(summary, scheme="cots")
+    # ... but mid-run a pending request is normal
+    audit_concurrent_summary(summary, mid_run=True, scheme="cots")

@@ -1,0 +1,104 @@
+"""Batched fast lanes vs per-element processing under perturbed schedules.
+
+The batched lanes (``SpaceSaving.process_many`` and the CoTS
+pre-aggregated bulk delegations) are pure optimizations: under any
+schedule the perturber can produce, their answers must stay equivalent
+to the per-element paths — exactly equal for the sequential structure,
+within the paper's error bounds for the concurrent framework.
+"""
+
+import pytest
+
+from repro.core.space_saving import SpaceSaving
+from repro.schedcheck.adapters import HarnessParams, get_scheme
+from repro.schedcheck.auditor import EXACT, audit_counts, audit_differential
+from repro.schedcheck.explorer import ExploreConfig, run_schedule
+from repro.schedcheck.perturb import SchedulePerturber, jittered_costs
+from repro.simcore.engine import Engine
+from repro.workloads import zipf_stream
+
+_CONFIG = ExploreConfig(
+    schedules=1, seed=0, length=500, alphabet=100, threads=4, capacity=32,
+    cores=2, check_every=256,
+)
+
+
+def _perturbed_result(scheme, stream, seed_key):
+    """One perturbed run of ``scheme``, returning the driver result."""
+    spec = get_scheme(scheme)
+    costs = jittered_costs(_CONFIG.costs, seed_key, _CONFIG.jitter)
+    perturber = SchedulePerturber(
+        seed_key, _CONFIG.reorder_p, _CONFIG.preempt_p
+    )
+    params = HarnessParams(
+        threads=_CONFIG.threads,
+        capacity=_CONFIG.capacity,
+        machine=_CONFIG.machine(),
+        costs=costs,
+        engine_factory=lambda machine, costs_: Engine(
+            machine=machine, costs=costs_, sched_policy=perturber
+        ),
+    )
+    return spec.run(stream, params)
+
+
+@pytest.mark.parametrize("index", [0, 1, 2])
+def test_preaggregated_cots_matches_per_element(index):
+    """Same perturbed seed, batched vs per-element delegation lanes."""
+    stream = _CONFIG.make_stream()
+    seed_key = f"batchdiff:{index}"
+    plain = _perturbed_result("cots", stream, seed_key)
+    batched = _perturbed_result("cots-pre", stream, seed_key)
+    # both lanes conserve and obey the exact-tolerance bounds...
+    audit_counts(plain.counter, stream, "cots", EXACT)
+    audit_counts(batched.counter, stream, "cots-pre", EXACT)
+    # ...and they differ from *each other* by at most the two over-
+    # estimation budgets (differential with the sibling as reference)
+    audit_differential(
+        batched.counter, stream, "cots-pre", EXACT,
+        reference=plain.counter,
+    )
+
+
+@pytest.mark.parametrize("index", [0, 1])
+def test_preaggregated_cots_passes_full_schedcheck(index):
+    """The cots-pre lane survives the complete audited run_schedule."""
+    stream = _CONFIG.make_stream()
+    outcome = run_schedule(
+        get_scheme("cots-pre"), stream, _CONFIG,
+        _CONFIG.sub_seed("cots-pre", index), index=index,
+    )
+    assert outcome.ok, outcome.error
+    assert outcome.decisions  # the schedule really was perturbed
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_process_many_identical_to_per_element(seed):
+    """The structure-level bulk lane is bit-identical to the loop."""
+    stream = zipf_stream(2000, 300, 1.4, seed=seed)
+    loop = SpaceSaving(capacity=48)
+    for element in stream:
+        loop.process(element)
+    bulk = SpaceSaving(capacity=48)
+    bulk.process_many(stream)
+    assert bulk.processed == loop.processed
+    state = lambda c: sorted(
+        (e.element, e.count, e.error) for e in c.entries()
+    )
+    assert state(bulk) == state(loop)
+
+
+def test_process_many_chunking_is_invariant():
+    """Feeding the same stream in odd-sized chunks changes nothing."""
+    stream = zipf_stream(1500, 200, 2.0, seed=9)
+    whole = SpaceSaving(capacity=32)
+    whole.process_many(stream)
+    chunked = SpaceSaving(capacity=32)
+    i = 0
+    for size in [1, 7, 64, 501, 13]:
+        while i < len(stream):
+            chunked.process_many(stream[i : i + size])
+            i += size
+    assert sorted(
+        (e.element, e.count, e.error) for e in whole.entries()
+    ) == sorted((e.element, e.count, e.error) for e in chunked.entries())

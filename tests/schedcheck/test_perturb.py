@@ -1,0 +1,117 @@
+"""Unit tests for the scheduling perturber and cost jitter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedcheck.perturb import (
+    PICK,
+    PREEMPT,
+    PREEMPT_TAGS,
+    Decision,
+    SchedulePerturber,
+    jittered_costs,
+)
+from repro.simcore.atomics import AtomicCell
+from repro.simcore.costs import CostModel
+from repro.simcore.effects import AtomicOp, Compute
+
+
+def _drive(perturber, picks=40, preempts=40):
+    """Feed a fixed synthetic opportunity sequence, return the choices."""
+    cell = AtomicCell(0)
+    choices = []
+    for i in range(picks):
+        choices.append(("pick", perturber.pick_waiter(pending=3 + i % 3)))
+    for i in range(preempts):
+        effect = AtomicOp(cell, "add", 1) if i % 2 else Compute(5, tag="bucket")
+        choices.append(("preempt", perturber.force_preempt(effect)))
+    return choices
+
+
+def test_same_seed_same_decisions():
+    a = SchedulePerturber(seed="k1", reorder_p=0.5, preempt_p=0.5)
+    b = SchedulePerturber(seed="k1", reorder_p=0.5, preempt_p=0.5)
+    assert _drive(a) == _drive(b)
+    assert a.decisions == b.decisions
+    assert a.decisions  # with p=0.5 over 80 opportunities, never empty
+
+
+def test_different_seeds_differ():
+    a = SchedulePerturber(seed="k1", reorder_p=0.5, preempt_p=0.5)
+    b = SchedulePerturber(seed="k2", reorder_p=0.5, preempt_p=0.5)
+    assert _drive(a) != _drive(b)
+
+
+def test_full_replay_reproduces_choices():
+    recorder = SchedulePerturber(seed=7, reorder_p=0.5, preempt_p=0.5)
+    recorded_choices = _drive(recorder)
+    replayer = SchedulePerturber(seed=999, replay=recorder.decisions)
+    assert _drive(replayer) == recorded_choices
+
+
+def test_empty_replay_is_the_default_schedule():
+    replayer = SchedulePerturber(seed=7, replay=[])
+    choices = _drive(replayer)
+    assert all(
+        choice in (("pick", 0), ("preempt", False)) for choice in choices
+    )
+    assert replayer.decisions == []
+
+
+def test_replay_consumes_no_rng():
+    """Replay must be schedule-independent of the perturber's own seed."""
+    one = _drive(SchedulePerturber(seed=1, replay=[Decision(PICK, 3, 1)]))
+    two = _drive(SchedulePerturber(seed=2, replay=[Decision(PICK, 3, 1)]))
+    assert one == two
+
+
+def test_replay_offset_clamped_to_queue():
+    replayer = SchedulePerturber(replay=[Decision(PICK, 0, 10)])
+    assert replayer.pick_waiter(pending=2) == 1  # 10 clamped to pending-1
+
+
+def test_preemption_only_at_interesting_effects():
+    perturber = SchedulePerturber(seed=0, preempt_p=1.0)
+    assert not perturber.force_preempt(Compute(5, tag="rest"))
+    assert perturber.opportunities[PREEMPT] == 0  # not even an opportunity
+    assert perturber.force_preempt(Compute(5, tag="bucket"))
+    assert perturber.force_preempt(AtomicOp(AtomicCell(0), "load"))
+    assert perturber.opportunities[PREEMPT] == 2
+    assert {d.kind for d in perturber.decisions} == {PREEMPT}
+    assert "bucket" in PREEMPT_TAGS
+
+
+def test_probability_validation():
+    with pytest.raises(ConfigurationError):
+        SchedulePerturber(reorder_p=1.5)
+    with pytest.raises(ConfigurationError):
+        SchedulePerturber(preempt_p=-0.1)
+
+
+def test_decision_rendering():
+    assert str(Decision(PICK, 4, 2)) == "pick[4] -> waiter+2"
+    assert str(Decision(PREEMPT, 9)) == "preempt[9]"
+
+
+def test_jittered_costs_deterministic_and_positive():
+    base = CostModel()
+    once = jittered_costs(base, "s1", spread=0.3)
+    again = jittered_costs(base, "s1", spread=0.3)
+    assert once == again
+    assert once != jittered_costs(base, "s2", spread=0.3)
+    import dataclasses
+
+    for field in dataclasses.fields(once):
+        assert getattr(once, field.name) >= 1
+
+
+def test_jittered_costs_spread_zero_is_identity():
+    base = CostModel()
+    assert jittered_costs(base, "s1", spread=0.0) is base
+
+
+def test_jittered_costs_spread_validation():
+    with pytest.raises(ConfigurationError):
+        jittered_costs(CostModel(), "s1", spread=1.0)
+    with pytest.raises(ConfigurationError):
+        jittered_costs(CostModel(), "s1", spread=-0.2)

@@ -1,0 +1,117 @@
+"""Delta debugging and mutation self-tests.
+
+The harness only earns trust by catching bugs it was *not* tuned on:
+each mutation re-introduces one realistic delegation-protocol mistake
+(double relinquish counting, dropped queue transfer, skipped GC mark)
+and the explorer must flag it, after which the shrinker must reduce the
+failing schedule to a small reproducer.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.schedcheck.adapters import get_scheme
+from repro.schedcheck.explorer import ExploreConfig, run_schedule
+from repro.schedcheck.mutations import MUTATIONS, get_mutation
+from repro.schedcheck.shrink import ddmin, shrink_outcome
+from repro.errors import ConfigurationError
+
+# churn-heavy: small capacity + low skew keeps the min bucket busy, so
+# the queue-transfer and GC paths actually execute
+_MUTATION_CONFIG = ExploreConfig(
+    schedules=1, seed=3, length=800, alphabet=400, alpha=0.9, threads=8,
+    capacity=32, cores=2, check_every=256, preempt_p=0.25,
+)
+
+
+# ----------------------------------------------------------------------
+# ddmin on synthetic predicates
+# ----------------------------------------------------------------------
+def test_ddmin_finds_the_two_guilty_items():
+    items = list(range(20))
+
+    def still_fails(subset):
+        return 3 in subset and 17 in subset
+
+    assert ddmin(items, still_fails) == [3, 17]
+
+
+def test_ddmin_single_guilty_item():
+    assert ddmin(list(range(50)), lambda s: 42 in s) == [42]
+
+
+def test_ddmin_prefers_the_empty_list():
+    calls = []
+
+    def always_fails(subset):
+        calls.append(len(subset))
+        return True
+
+    assert ddmin(list(range(10)), always_fails) == []
+    assert calls == [0]  # tested the empty list first, then stopped
+
+
+def test_ddmin_keeps_order():
+    items = list(range(30))
+
+    def still_fails(subset):
+        return all(x in subset for x in (5, 12, 25))
+
+    assert ddmin(items, still_fails) == [5, 12, 25]
+
+
+def test_ddmin_budget_cap_returns_best_so_far():
+    items = list(range(64))
+    result = ddmin(items, lambda s: len(s) >= 32, max_tests=5)
+    assert 32 <= len(result) <= 64
+
+
+# ----------------------------------------------------------------------
+# Mutation self-tests (the acceptance criterion)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_mutation_is_caught_and_shrunk(name):
+    spec = get_scheme("cots")
+    stream = _MUTATION_CONFIG.make_stream()
+    patch = get_mutation(name)
+    outcome = run_schedule(
+        spec, stream, _MUTATION_CONFIG,
+        _MUTATION_CONFIG.sub_seed("cots", 0), patch=patch,
+    )
+    assert not outcome.ok, f"mutation {name} went undetected"
+    result = shrink_outcome(
+        spec, stream, _MUTATION_CONFIG, outcome, patch=patch, max_tests=60
+    )
+    assert len(result.decisions) <= 20
+    assert not result.minimal.ok
+    rendered = result.render()
+    assert "schedcheck reproducer" in rendered
+    assert result.minimal.error_type in rendered
+
+
+def test_healthy_run_under_mutation_config_is_clean():
+    """The churn-heavy config itself must not false-positive."""
+    spec = get_scheme("cots")
+    stream = _MUTATION_CONFIG.make_stream()
+    outcome = run_schedule(
+        spec, stream, _MUTATION_CONFIG, _MUTATION_CONFIG.sub_seed("cots", 0)
+    )
+    assert outcome.ok, outcome.error
+
+
+def test_unknown_mutation_rejected():
+    with pytest.raises(ConfigurationError, match="unknown mutation"):
+        get_mutation("off-by-one")
+
+
+def test_cli_mutation_run_is_caught(capsys):
+    code = main(
+        ["schedcheck", "--schemes", "cots", "--schedules", "1",
+         "--seed", "3", "--length", "800", "--alphabet", "400",
+         "--alpha", "0.9", "--threads", "8", "--capacity", "32",
+         "--check-every", "256", "--mutate", "double-relinquish"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0  # mutation detected: the harness did its job
+    assert "mutation active" in out
+    assert "schedcheck reproducer" in out

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Line-coverage floor enforcement with nothing but the stdlib.
+
+The CI image deliberately has no ``pytest-cov``/``coverage`` wheel, so
+this tool measures line coverage with ``sys.settrace``:
+
+1. a trace function records every executed line of files under the
+   ``--target`` directories (installed on all threads, before the test
+   session imports the package, so import-time lines count too);
+2. ``pytest`` runs in-process on whatever arguments follow ``--``;
+3. the executable-line universe per file is derived by compiling the
+   source and walking the code-object tree's ``co_lines()`` tables —
+   the same line table the tracer reports against;
+4. the aggregate percentage is compared against ``--floor``.
+
+Usage::
+
+    python tools/check_coverage.py \
+        --target src/repro/cots --target src/repro/simcore \
+        --floor 85 -- -x -q tests/cots tests/simcore
+
+Exit code: pytest's own code if the run failed, else 1 when coverage is
+below the floor, else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import types
+from typing import Dict, List, Set
+
+
+def executable_lines(path: str) -> Set[int]:
+    """Line numbers that carry executable code in ``path``.
+
+    Compiling the module and walking every nested code object gives the
+    exact set of lines the interpreter can ever attribute a ``line``
+    trace event to (docstrings and constants included, since their
+    store executes at import).
+    """
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    lines: Set[int] = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        for _start, _end, line in code.co_lines():
+            if line is not None:
+                lines.add(line)
+        for const in code.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+    return lines
+
+
+def python_files(root: str) -> List[str]:
+    found = []
+    for directory, _subdirs, files in os.walk(root):
+        for name in sorted(files):
+            if name.endswith(".py"):
+                found.append(os.path.join(directory, name))
+    return sorted(found)
+
+
+def make_tracer(targets: List[str], executed: Dict[str, Set[int]]):
+    prefixes = tuple(os.path.abspath(t) + os.sep for t in targets)
+
+    def global_trace(frame, event, arg):
+        path = frame.f_code.co_filename
+        if not path.startswith(prefixes):
+            return None  # disable local tracing for foreign frames
+        bucket = executed.setdefault(path, set())
+        bucket.add(frame.f_lineno)
+
+        def local_trace(frame, event, arg):
+            if event == "line":
+                bucket.add(frame.f_lineno)
+            return local_trace
+
+        return local_trace
+
+    return global_trace
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--" in argv:
+        split = argv.index("--")
+        argv, pytest_args = argv[:split], argv[split + 1:]
+    else:
+        pytest_args = []
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--target", action="append", default=[],
+        help="directory whose .py files are measured (repeatable; "
+        "default: src/repro/cots and src/repro/simcore)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=0.0,
+        help="minimum aggregate line coverage percentage (default: "
+        "report only)",
+    )
+    parser.add_argument(
+        "--report", type=int, default=10,
+        help="show the N worst-covered files (default 10)",
+    )
+    args = parser.parse_args(argv)
+    targets = args.target or ["src/repro/cots", "src/repro/simcore"]
+    targets = [os.path.abspath(target) for target in targets]
+    for target in targets:
+        if not os.path.isdir(target):
+            print(f"check_coverage: no such directory: {target}")
+            return 2
+
+    executed: Dict[str, Set[int]] = {}
+    tracer = make_tracer(targets, executed)
+    # install on all threads *before* pytest imports the package so
+    # module-level (import-time) lines are attributed as executed
+    threading.settrace(tracer)
+    sys.settrace(tracer)
+    try:
+        import pytest
+
+        test_exit = int(pytest.main(pytest_args or ["-x", "-q"]))
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+
+    total_executable = 0
+    total_executed = 0
+    per_file = []
+    for target in targets:
+        for path in python_files(target):
+            universe = executable_lines(path)
+            hit = executed.get(os.path.abspath(path), set()) & universe
+            total_executable += len(universe)
+            total_executed += len(hit)
+            percent = 100.0 * len(hit) / len(universe) if universe else 100.0
+            per_file.append((percent, path, len(hit), len(universe)))
+
+    per_file.sort()
+    print()
+    print("worst-covered files:")
+    for percent, path, hit, universe in per_file[: args.report]:
+        rel = os.path.relpath(path)
+        print(f"  {percent:6.1f}%  {hit:4d}/{universe:<4d}  {rel}")
+    overall = (
+        100.0 * total_executed / total_executable if total_executable else 100.0
+    )
+    print(
+        f"coverage: {overall:.1f}% "
+        f"({total_executed}/{total_executable} lines, floor {args.floor}%)"
+    )
+    if test_exit != 0:
+        print(f"check_coverage: test run failed (exit {test_exit})")
+        return test_exit
+    if overall < args.floor:
+        print("check_coverage: BELOW FLOOR")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
