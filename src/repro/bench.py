@@ -1,34 +1,52 @@
 """Reproducible performance harness: ``python -m repro bench``.
 
 Runs a pinned suite of benchmarks and writes the results to a JSON file
-(``BENCH_core.json`` by default) so performance can be tracked *across
-PRs* — each run records enough environment detail (python version,
-platform, workload parameters) to make trajectory comparisons honest.
+so performance can be tracked *across PRs* — each run records enough
+environment detail (python version, platform, workload parameters, peak
+RSS) to make trajectory comparisons honest.
 
-Two families of measurements:
+Two suites (``--suite``):
 
-* **Wall-clock hot path** — the raw Python Space Saving loop, per-element
-  (``process`` in a loop, the seed implementation's only lane) versus the
-  batched fast lane (``process_many``).  Both consume the identical
-  pinned zipf stream; the harness asserts the final summaries are
-  identical (same (element, count, error) triples and processed count)
-  and reports the speedup.
-* **Simulated schemes** — every parallelization design of the paper run
-  on the simulated CMP: sequential, shared (mutex and spin), independent
-  (serial merge), hybrid, CoTS, and CoTS with the pre-aggregated batch
-  claim.  For each we record the simulated makespan/throughput *and* the
-  host wall-clock cost of simulating it.
+* ``core`` (→ ``BENCH_core.json``) — the original families:
 
-The suite is deterministic apart from the timing numbers: streams are
-seeded, thread counts pinned, and every recorded counter state is a pure
-function of the inputs.
+  * **Wall-clock hot path** — the raw Python Space Saving loop,
+    per-element (``process`` in a loop, the seed implementation's only
+    lane) versus the batched fast lane (``process_many``).  Both consume
+    the identical pinned zipf stream; the harness asserts the final
+    summaries are identical (same (element, count, error) triples and
+    processed count) and reports the speedup.
+  * **Simulated schemes** — every parallelization design of the paper
+    run on the simulated CMP: sequential, shared (mutex and spin),
+    independent (serial merge), hybrid, CoTS, and CoTS with the
+    pre-aggregated batch claim.  For each we record the simulated
+    makespan/throughput *and* the host wall-clock cost of simulating it.
+
+* ``mp`` (→ ``BENCH_mp.json``) — the *real-parallelism* scaling curve:
+  the multiprocess sharded backend (:mod:`repro.mp`) at a pinned ladder
+  of worker counts versus the sequential batched baseline, recording
+  wall seconds, throughput, speedup, startup cost, and a
+  result-equivalence check (merged top-k within the documented Space
+  Saving merge error bounds of the sequential answer).  Unlike the
+  simulated numbers these genuinely depend on the host's core count,
+  which the report records as ``host_cores``.
+
+Every result entry also records ``peak_rss_kb`` — the process-tree
+high-water RSS (``resource.getrusage``, self + children) at the moment
+the measurement finished — so memory scaling is tracked alongside
+throughput.
+
+The suites are deterministic apart from the timing numbers: streams are
+seeded, thread/worker counts pinned, and every recorded counter state is
+a pure function of the inputs.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import platform
+import resource
 import sys
 import time
 from typing import Any, Dict, List, Sequence
@@ -38,6 +56,9 @@ from repro.errors import ConfigurationError
 
 #: bump when the JSON layout changes incompatibly
 SCHEMA_VERSION = 1
+
+#: suites runnable by ``run_suite`` and their default report files
+SUITES = ("core", "mp")
 
 #: pinned workload parameters per scale preset
 SCALES: Dict[str, Dict[str, int | float]] = {
@@ -72,6 +93,61 @@ SCALES: Dict[str, Dict[str, int | float]] = {
         "repeats": 3,
     },
 }
+
+
+#: pinned workload parameters of the ``mp`` suite per scale preset.
+#: ``alpha`` is milder than the core suite's 2.0 because hash sharding
+#: sends all occurrences of one element to one worker: at alpha=2.0 the
+#: top element alone is most of the stream, so one shard would carry
+#: nearly all the work and no backend could scale (a real load-imbalance
+#: limit of domain splitting, see docs/benchmarks.md).
+MP_SCALES: Dict[str, Dict[str, Any]] = {
+    "tiny": {
+        "mp_length": 60_000,
+        "alphabet": 4_000,
+        "capacity": 128,
+        "chunk_elements": 8_192,
+        "workers": [1, 2],
+        "alpha": 1.1,
+        "seed": 7,
+        "repeats": 1,
+        "timeout": 120.0,
+    },
+    "default": {
+        "mp_length": 2_000_000,
+        "alphabet": 50_000,
+        "capacity": 256,
+        "chunk_elements": 65_536,
+        "workers": [1, 2, 4, 8],
+        "alpha": 1.1,
+        "seed": 7,
+        "repeats": 2,
+        "timeout": 300.0,
+    },
+    "large": {
+        "mp_length": 8_000_000,
+        "alphabet": 200_000,
+        "capacity": 1_024,
+        "chunk_elements": 131_072,
+        "workers": [1, 2, 4, 8, 16],
+        "alpha": 1.1,
+        "seed": 7,
+        "repeats": 2,
+        "timeout": 600.0,
+    },
+}
+
+
+def _peak_rss_kb() -> int:
+    """Process-tree peak RSS in KiB (self and reaped children).
+
+    ``ru_maxrss`` is a high-water mark, so successive entries within one
+    report are monotonically non-decreasing; compare entries *across*
+    runs (same position, different PR), not within one report.
+    """
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(max(self_kb, children_kb))
 
 
 def _canonical_state(counter: SpaceSaving) -> List[tuple]:
@@ -121,6 +197,7 @@ def _bench_hot_path(params: Dict[str, Any]) -> List[Dict[str, Any]]:
         batched_holder["counter"] = counter
 
     per_element_secs = _best_of(repeats, run_per_element)
+    per_element_rss = _peak_rss_kb()
     batched_secs = _best_of(repeats, run_batched)
     base = per_element_holder["counter"]
     fast = batched_holder["counter"]
@@ -136,6 +213,7 @@ def _bench_hot_path(params: Dict[str, Any]) -> List[Dict[str, Any]]:
             "elements": length,
             "wall_seconds": per_element_secs,
             "throughput_eps": length / per_element_secs,
+            "peak_rss_kb": per_element_rss,
         },
         {
             "name": "sequential-hot-path-batched",
@@ -145,6 +223,7 @@ def _bench_hot_path(params: Dict[str, Any]) -> List[Dict[str, Any]]:
             "throughput_eps": length / batched_secs,
             "speedup_vs_per_element": per_element_secs / batched_secs,
             "identical_results": identical,
+            "peak_rss_kb": _peak_rss_kb(),
         },
     ]
 
@@ -222,24 +301,110 @@ def _bench_simulated(params: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "sim_throughput_eps": result.throughput,
                 "wall_seconds": wall,
                 "wall_throughput_eps": length / wall,
+                "peak_rss_kb": _peak_rss_kb(),
             }
         )
     return entries
 
 
-def run_suite(scale: str = "tiny") -> Dict[str, Any]:
-    """Run the pinned benchmark suite and return the report dict."""
-    if scale not in SCALES:
-        raise ConfigurationError(
-            f"scale must be one of {sorted(SCALES)}, got {scale!r}"
+def _bench_mp(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Real wall-clock scaling: the multiprocess backend worker ladder.
+
+    Every worker count runs the identical pinned stream; ``equivalent``
+    asserts the merged answer is within the documented Space Saving
+    merge error bounds of the sequential batched baseline (see
+    :func:`repro.mp.driver.summaries_equivalent`).
+    """
+    from repro.mp import MPConfig, run_mp, summaries_equivalent
+    from repro.workloads.zipf import zipf_stream
+
+    length = int(params["mp_length"])
+    stream = zipf_stream(
+        length,
+        int(params["alphabet"]),
+        float(params["alpha"]),
+        seed=int(params["seed"]),
+    )
+    capacity = int(params["capacity"])
+    repeats = int(params["repeats"])
+
+    baseline_holder: Dict[str, SpaceSaving] = {}
+
+    def run_baseline() -> None:
+        counter = SpaceSaving(capacity=capacity)
+        counter.process_many(stream)
+        baseline_holder["counter"] = counter
+
+    baseline_secs = _best_of(repeats, run_baseline)
+    baseline = baseline_holder["counter"]
+    entries: List[Dict[str, Any]] = [
+        {
+            "name": "mp-sequential-batched",
+            "kind": "wallclock",
+            "elements": length,
+            "wall_seconds": baseline_secs,
+            "throughput_eps": length / baseline_secs,
+            "peak_rss_kb": _peak_rss_kb(),
+        }
+    ]
+    for workers in params["workers"]:
+        config = MPConfig(
+            workers=int(workers),
+            capacity=capacity,
+            chunk_elements=int(params["chunk_elements"]),
+            timeout=float(params["timeout"]),
         )
-    params = dict(SCALES[scale])
+        best = None
+        for _ in range(repeats):
+            result = run_mp(stream, config)
+            if best is None or result.wall_seconds < best.wall_seconds:
+                best = result
+        entries.append(
+            {
+                "name": f"mp-sharded-{workers}w",
+                "kind": "mp",
+                "elements": length,
+                "workers": int(workers),
+                "wall_seconds": best.wall_seconds,
+                "startup_seconds": best.startup_seconds,
+                "throughput_eps": best.throughput,
+                "speedup_vs_sequential": baseline_secs / best.wall_seconds,
+                "equivalent": summaries_equivalent(
+                    baseline, best.counter, k=10
+                ),
+                "partition_how": config.partition_how,
+                "peak_rss_kb": _peak_rss_kb(),
+            }
+        )
+    return entries
+
+
+def default_output(suite: str) -> pathlib.Path:
+    """The conventional report file for ``suite`` (BENCH_<suite>.json)."""
+    return pathlib.Path(f"BENCH_{suite}.json")
+
+
+def run_suite(scale: str = "tiny", suite: str = "core") -> Dict[str, Any]:
+    """Run one pinned benchmark suite and return the report dict."""
+    if suite not in SUITES:
+        raise ConfigurationError(
+            f"suite must be one of {sorted(SUITES)}, got {suite!r}"
+        )
+    scales = SCALES if suite == "core" else MP_SCALES
+    if scale not in scales:
+        raise ConfigurationError(
+            f"scale must be one of {sorted(scales)}, got {scale!r}"
+        )
+    params = dict(scales[scale])
     results: List[Dict[str, Any]] = []
-    results.extend(_bench_hot_path(params))
-    results.extend(_bench_simulated(params))
-    return {
+    if suite == "core":
+        results.extend(_bench_hot_path(params))
+        results.extend(_bench_simulated(params))
+    else:
+        results.extend(_bench_mp(params))
+    report = {
         "schema_version": SCHEMA_VERSION,
-        "suite": "core",
+        "suite": suite,
         "scale": scale,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
@@ -247,6 +412,12 @@ def run_suite(scale: str = "tiny") -> Dict[str, Any]:
         "params": params,
         "results": results,
     }
+    if suite == "mp":
+        # Real-parallelism numbers depend on the silicon: record it so
+        # the speedup column is interpretable (a 1-core host cannot
+        # show wall-clock scaling no matter what the code does).
+        report["host_cores"] = os.cpu_count()
+    return report
 
 
 def write_report(report: Dict[str, Any], output: pathlib.Path) -> None:
@@ -259,6 +430,8 @@ def format_report(report: Dict[str, Any]) -> str:
         f"bench suite={report['suite']} scale={report['scale']} "
         f"python={report['python']}"
     ]
+    if "host_cores" in report:
+        lines[0] += f" host_cores={report['host_cores']}"
     for entry in report["results"]:
         if entry["kind"] == "wallclock":
             line = (
@@ -270,6 +443,13 @@ def format_report(report: Dict[str, Any]) -> str:
                     f"  x{entry['speedup_vs_per_element']:.2f} vs per-element"
                     f"  identical={entry['identical_results']}"
                 )
+        elif entry["kind"] == "mp":
+            line = (
+                f"  {entry['name']:32s} {entry['wall_seconds'] * 1e3:10.1f} ms"
+                f"  {entry['throughput_eps'] / 1e6:8.2f} M el/s (wall)"
+                f"  x{entry['speedup_vs_sequential']:.2f} vs sequential"
+                f"  equivalent={entry['equivalent']}"
+            )
         else:
             line = (
                 f"  {entry['name']:32s} {entry['sim_cycles']:12d} cycles"

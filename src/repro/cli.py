@@ -17,10 +17,11 @@ Commands
 
 ``count``
     Run a frequency-counting algorithm over a stream file (or stdin) and
-    print the top-k / frequent elements::
+    print the top-k / frequent elements; ``--workers N`` counts on N
+    real processes via the multiprocess sharded backend::
 
         python -m repro count stream.txt --algorithm space-saving \
-            --capacity 100 --top 10 --phi 0.01
+            --capacity 100 --top 10 --phi 0.01 --workers 4
 
 ``simulate``
     Drive one parallelization scheme over a synthetic stream on the
@@ -30,10 +31,13 @@ Commands
         python -m repro simulate --scheme cots --threads 64 --alpha 2.5
 
 ``bench``
-    Run the pinned benchmark suite (hot-path wall clock + every
-    simulated scheme) and write the machine-readable report::
+    Run a pinned benchmark suite and write the machine-readable report.
+    ``--suite core`` (default) measures the hot-path wall clock and
+    every simulated scheme; ``--suite mp`` measures the multiprocess
+    sharded backend's real wall-clock scaling curve::
 
         python -m repro bench --scale tiny --output BENCH_core.json
+        python -m repro bench --suite mp --scale default
 
 ``schedcheck``
     Explore N seeded scheduling perturbations per scheme, auditing
@@ -123,6 +127,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the top-k elements")
     count.add_argument("--phi", type=float, default=0.0,
                        help="also print elements above this support")
+    count.add_argument("--workers", type=int, default=1,
+                       help="count on N worker processes via the "
+                       "multiprocess sharded backend (space-saving only)")
 
     simulate = commands.add_parser(
         "simulate",
@@ -146,7 +153,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="run the pinned benchmark suite and write BENCH_core.json",
+        help="run a pinned benchmark suite and write BENCH_<suite>.json",
+    )
+    bench.add_argument(
+        "--suite",
+        choices=("core", "mp"),
+        default="core",
+        help="core: hot path + simulated schemes; mp: the multiprocess "
+        "sharded backend scaling curve (default: core)",
     )
     bench.add_argument(
         "--scale",
@@ -155,9 +169,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workload scale preset (default: default)",
     )
     bench.add_argument(
-        "--output", type=pathlib.Path,
-        default=pathlib.Path("BENCH_core.json"),
-        help="result file (default: ./BENCH_core.json)",
+        "--output", type=pathlib.Path, default=None,
+        help="result file (default: ./BENCH_<suite>.json)",
     )
 
     schedcheck = commands.add_parser(
@@ -292,9 +305,27 @@ def _cmd_count(args: argparse.Namespace) -> int:
         ),
         "exact": ExactCounter,
     }
-    counter = algorithms[args.algorithm]()
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
     stream = _read_stream(args.stream)
-    counter.process_many(stream)
+    if args.workers > 1:
+        if args.algorithm != "space-saving":
+            print(
+                "--workers > 1 requires --algorithm space-saving "
+                "(the multiprocess backend shards Space Saving)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.mp import MPConfig, run_mp
+
+        counter = run_mp(
+            stream,
+            MPConfig(workers=args.workers, capacity=args.capacity),
+        ).counter
+    else:
+        counter = algorithms[args.algorithm]()
+        counter.process_many(stream)
     print(f"# {args.algorithm}: {counter.processed} elements processed")
     print(f"# top-{args.top}:")
     for entry in counter.entries()[: args.top]:
@@ -378,12 +409,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import format_report, run_suite, write_report
+    from repro.bench import default_output, format_report, run_suite, write_report
 
-    report = run_suite(scale=args.scale)
-    write_report(report, args.output)
+    output = args.output if args.output is not None else default_output(args.suite)
+    report = run_suite(scale=args.scale, suite=args.suite)
+    write_report(report, output)
     print(format_report(report))
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
     return 0
 
 

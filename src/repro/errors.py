@@ -44,6 +44,58 @@ class AuditError(ProtocolError):
     """
 
 
+class BackendError(ReproError):
+    """A real-parallelism backend (process pool) failed or was misused.
+
+    Base class for the :mod:`repro.mp` failure modes so callers can catch
+    every backend problem — crash, timeout, use-after-close — with one
+    ``except`` clause.
+    """
+
+
+class WorkerCrashError(BackendError):
+    """A backend worker process raised or died unexpectedly.
+
+    Carries the worker index and, when known, the exit code or the
+    remote traceback summary, so the failure is attributable without
+    digging through child-process stderr.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        detail: str = "",
+        exitcode: "int | None" = None,
+    ) -> None:
+        self.worker = worker
+        self.detail = detail
+        self.exitcode = exitcode
+        message = f"worker {worker} crashed"
+        if exitcode is not None:
+            message += f" (exit code {exitcode})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class WorkerTimeoutError(BackendError):
+    """A backend worker did not respond within the configured timeout.
+
+    Raised on both paths: dispatch (a worker stopped draining its task
+    queue) and query (a snapshot reply never arrived).  The pool is
+    closed — workers terminated and joined — before this propagates, so
+    a timeout never leaves a hung pool behind.
+    """
+
+    def __init__(self, worker: int, timeout: float, where: str) -> None:
+        self.worker = worker
+        self.timeout = timeout
+        self.where = where
+        super().__init__(
+            f"worker {worker} unresponsive after {timeout:g}s during {where}"
+        )
+
+
 class QueryError(ReproError):
     """A stream query was malformed or cannot be answered."""
 

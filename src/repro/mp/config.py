@@ -1,0 +1,83 @@
+"""Configuration for the multiprocess sharded counting backend.
+
+:class:`MPConfig` mirrors :class:`repro.parallel.base.SchemeConfig` — the
+same (workers, capacity) core, validated the same way, raising the same
+:class:`~repro.errors.ConfigurationError` — so the experiments/CLI layer
+can treat the real-parallelism backend as just another scheme driver.
+The extra knobs are the ones a *process* pool needs and a simulated one
+does not: dispatch chunk size (pickling amortization), partitioning
+strategy, worker timeout, and the multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: partitioning strategies understood by the dispatcher (the names of
+#: :func:`repro.workloads.partition.partition`).  ``hash`` is the
+#: default because it gives every element a *home* shard: all
+#: occurrences of one element land on one worker, so shard estimates
+#: keep the full-stream Space Saving guarantees for their elements.
+PARTITION_STRATEGIES = ("hash", "round_robin", "block")
+
+#: fault-injection hooks understood by the worker loop (testing only)
+FAULTS = ("raise", "exit", "hang")
+
+
+@dataclasses.dataclass
+class MPConfig:
+    """Parameters of one multiprocess sharded counting run.
+
+    ``fault`` is a testing-only hook that makes workers misbehave on
+    purpose (``raise``: raise during counting; ``exit``: hard-exit the
+    process; ``hang``: stop draining the task queue) so the typed
+    crash/timeout propagation paths are testable without real crashes.
+    """
+
+    workers: int = 4
+    capacity: int = 256              #: per-shard Space Saving budget
+    chunk_elements: int = 32_768     #: stream elements per dispatch chunk
+    partition_how: str = "hash"      #: see :data:`PARTITION_STRATEGIES`
+    timeout: float = 60.0            #: seconds before a worker is hung
+    queue_depth: int = 8             #: pending batches per worker (backpressure)
+    start_method: Optional[str] = None  #: fork/spawn/forkserver (None = default)
+    fault: Optional[str] = None      #: testing-only fault injection
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {self.capacity}"
+            )
+        if self.chunk_elements < 1:
+            raise ConfigurationError(
+                f"chunk_elements must be >= 1, got {self.chunk_elements}"
+            )
+        if self.partition_how not in PARTITION_STRATEGIES:
+            raise ConfigurationError(
+                f"partition_how must be one of {PARTITION_STRATEGIES}, "
+                f"got {self.partition_how!r}"
+            )
+        if self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be > 0, got {self.timeout}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ConfigurationError(
+                f"start_method must be fork, spawn, forkserver or None, "
+                f"got {self.start_method!r}"
+            )
+        if self.fault is not None and self.fault not in FAULTS:
+            raise ConfigurationError(
+                f"fault must be one of {FAULTS} or None, got {self.fault!r}"
+            )

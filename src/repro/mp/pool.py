@@ -1,0 +1,293 @@
+"""The parent-process side: a pool of sharded counting workers.
+
+:class:`ShardedProcessPool` is the repo's first backend with *real*
+wall-clock parallelism: ``workers`` OS processes (no GIL sharing), each
+owning a private Space Saving shard, fed in large pickled batches so the
+per-element IPC overhead amortizes away.  The life cycle is
+
+1. **dispatch** — :meth:`count` reads the stream one chunk at a time
+   (:func:`repro.workloads.partition.chunked`), routes each chunk with
+   the configured partitioner (hash by default: every element has a home
+   shard), and ships the per-worker batches over bounded task queues —
+   the bound is the backpressure that keeps a slow worker from buffering
+   the whole stream;
+2. **query** — :meth:`merged` snapshots every shard (a FIFO command on
+   the same queue, so it observes all previously dispatched batches),
+   rebuilds the shards in the parent via ``SpaceSaving.from_entries``
+   and folds them through :func:`repro.core.merge.hierarchical_merge`,
+   so answers carry the documented merge error bounds;
+3. **shutdown** — :meth:`close` (or the context manager) stops, joins
+   and if necessary terminates every worker; it is idempotent and runs
+   on *every* error path, so a crash or timeout never leaves a hung
+   pool behind.
+
+Worker failure surfaces as typed :mod:`repro.errors` exceptions:
+:class:`~repro.errors.WorkerCrashError` when a worker raised or died,
+:class:`~repro.errors.WorkerTimeoutError` when one stopped responding
+within ``config.timeout`` seconds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.counters import CounterEntry
+from repro.core.merge import hierarchical_merge
+from repro.core.space_saving import SpaceSaving
+from repro.errors import BackendError, WorkerCrashError, WorkerTimeoutError
+from repro.mp.config import MPConfig
+from repro.mp.worker import shard_main
+from repro.workloads.partition import chunked, partition
+
+Element = Hashable
+
+#: (entries, processed, capacity) triple describing one shard snapshot
+ShardState = Tuple[List[Tuple[Element, int, int]], int, int]
+
+
+class ShardedProcessPool:
+    """Process-pool sharded Space Saving with merge-on-query semantics."""
+
+    def __init__(self, config: Optional[MPConfig] = None) -> None:
+        self.config = config or MPConfig()
+        context = multiprocessing.get_context(self.config.start_method)
+        self._tasks = [
+            context.Queue(maxsize=self.config.queue_depth)
+            for _ in range(self.config.workers)
+        ]
+        self._replies = context.Queue()
+        self._processes = [
+            context.Process(
+                target=shard_main,
+                args=(
+                    index,
+                    self._tasks[index],
+                    self._replies,
+                    self.config.capacity,
+                    self.config.fault,
+                ),
+                name=f"repro-mp-shard-{index}",
+                daemon=True,
+            )
+            for index in range(self.config.workers)
+        ]
+        self._dispatched = 0
+        self._snapshot_token = 0
+        self._closed = False
+        for process in self._processes:
+            process.start()
+
+    # ------------------------------------------------------------------
+    # Life cycle
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def processed(self) -> int:
+        """Stream elements dispatched to the pool so far."""
+        return self._dispatched
+
+    def __enter__(self) -> "ShardedProcessPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop, join and reap every worker; always safe to call again.
+
+        Workers that do not exit within a grace period after the stop
+        command are terminated.  Queues are closed with their feeder
+        threads cancelled so the parent can never hang on shutdown.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for tasks, process in zip(self._tasks, self._processes):
+            if process.is_alive():
+                try:
+                    tasks.put_nowait(("stop",))
+                except (queue_module.Full, ValueError, OSError):
+                    pass  # full queue or dead pipe: terminate below
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        for q in [*self._tasks, self._replies]:
+            q.close()
+            q.cancel_join_thread()
+
+    def worker_exitcodes(self) -> List[Optional[int]]:
+        """Exit codes of the (joined) workers; None while running."""
+        return [process.exitcode for process in self._processes]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def count(self, stream: Iterable[Element]) -> int:
+        """Route ``stream`` to the worker shards in pickled batches.
+
+        Returns the number of elements dispatched.  The stream is
+        consumed incrementally (any iterable works); each chunk is split
+        with the configured partitioner and only non-empty batches are
+        shipped.  Raises :class:`WorkerCrashError` /
+        :class:`WorkerTimeoutError` (after closing the pool) if a worker
+        died or stopped draining its queue.
+        """
+        self._ensure_open()
+        sent = 0
+        for chunk in chunked(stream, self.config.chunk_elements):
+            self._poll_for_errors()
+            batches = partition(chunk, self.workers, self.config.partition_how)
+            for index, batch in enumerate(batches):
+                if batch:
+                    self._put(index, ("count", batch))
+            sent += len(chunk)
+            self._dispatched += len(chunk)
+        return sent
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise BackendError("pool is closed")
+
+    def _put(self, index: int, message: tuple) -> None:
+        process = self._processes[index]
+        if not process.is_alive():
+            self._fail_crashed(index)
+        try:
+            self._tasks[index].put(message, timeout=self.config.timeout)
+        except queue_module.Full:
+            if not process.is_alive():
+                self._fail_crashed(index)
+            self.close()
+            raise WorkerTimeoutError(
+                index, self.config.timeout, "dispatch"
+            ) from None
+
+    def _fail_crashed(self, index: int, detail: str = "") -> None:
+        """Close the pool and raise the typed crash error for ``index``."""
+        if not detail:
+            # The worker reports its exception on the reply queue right
+            # before dying; give the in-flight message a moment to land
+            # so the error carries the remote detail, not just the code.
+            detail = self._drain_error_detail(
+                wait=0.5, wait_for=index
+            ).get(index, "")
+        self._processes[index].join(timeout=0.5)
+        exitcode = self._processes[index].exitcode
+        self.close()
+        raise WorkerCrashError(index, detail=detail, exitcode=exitcode)
+
+    def _drain_error_detail(
+        self, wait: float = 0.0, wait_for: Optional[int] = None
+    ) -> Dict[int, str]:
+        """Sweep the reply queue for error reports.
+
+        With ``wait > 0`` reads keep blocking (in short slices, up to
+        ``wait`` seconds total) until the report of worker ``wait_for``
+        arrives — used when that worker is already known dead and its
+        report may still be in flight.  Without it reads never block.
+        """
+        details: Dict[int, str] = {}
+        deadline = time.monotonic() + wait
+        while True:
+            remaining = deadline - time.monotonic()
+            block = remaining > 0 and (
+                wait_for is None or wait_for not in details
+            )
+            try:
+                if block:
+                    message = self._replies.get(
+                        timeout=min(remaining, 0.05)
+                    )
+                else:
+                    message = self._replies.get_nowait()
+            except queue_module.Empty:
+                if not block:
+                    return details
+            except (OSError, ValueError):
+                return details
+            else:
+                if message[1] == "error":
+                    details[message[0]] = message[2]
+
+    def _poll_for_errors(self) -> None:
+        """Fail fast if any worker has already reported an error."""
+        details = self._drain_error_detail()
+        if details:
+            index = min(details)
+            self._fail_crashed(index, detail=details[index])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[SpaceSaving]:
+        """Rebuild every worker shard in the parent process.
+
+        The snapshot command travels the same FIFO queues as the count
+        batches, so each shard's reply reflects every batch dispatched
+        before the call — queries are consistent with dispatch order.
+        """
+        self._ensure_open()
+        self._snapshot_token += 1
+        token = self._snapshot_token
+        for index in range(self.workers):
+            self._put(index, ("snapshot", token))
+        states = self._collect_snapshots(token)
+        shards: List[SpaceSaving] = []
+        for entries, processed, capacity in states:
+            shards.append(
+                SpaceSaving.from_entries(
+                    capacity,
+                    [CounterEntry(e, count, error) for e, count, error in entries],
+                    processed,
+                )
+            )
+        return shards
+
+    def _collect_snapshots(self, token: int) -> List[ShardState]:
+        pending = set(range(self.workers))
+        states: List[Optional[ShardState]] = [None] * self.workers
+        while pending:
+            try:
+                message = self._replies.get(timeout=self.config.timeout)
+            except queue_module.Empty:
+                for index in sorted(pending):
+                    if not self._processes[index].is_alive():
+                        self._fail_crashed(index)
+                index = min(pending)
+                self.close()
+                raise WorkerTimeoutError(
+                    index, self.config.timeout, "snapshot"
+                ) from None
+            kind = message[1]
+            if kind == "error":
+                self._fail_crashed(message[0], detail=message[2])
+            if kind != "snapshot" or message[2] != token:
+                continue  # stale reply from an earlier, abandoned query
+            index = message[0]
+            states[index] = (message[3], message[4], message[5])
+            pending.discard(index)
+        return [state for state in states if state is not None]
+
+    def merged(self, capacity: Optional[int] = None) -> SpaceSaving:
+        """One queryable summary folding all shards via the tree merge.
+
+        The result carries the mergeable-summaries guarantees the merge
+        tests pin down: estimates stay upper bounds of true counts and
+        ``estimate - error`` stays a lower bound, with absence widening
+        charged per original shard.
+        """
+        return hierarchical_merge(
+            self.snapshot(), capacity=capacity or self.config.capacity
+        )

@@ -1,0 +1,92 @@
+"""The worker-process side of the sharded counting backend.
+
+Each worker owns one *private* :class:`~repro.core.space_saving.
+SpaceSaving` shard — the shared-nothing design of §4.1, here on real OS
+processes so the GIL is out of the picture.  The loop is command-driven:
+
+``("count", elements)``
+    Drain the (already routed) batch through ``process_many`` — the
+    chunked, pre-aggregating fast lane, so the per-batch cost is one
+    ``collections.Counter`` pass plus one Stream Summary move per
+    distinct element when no eviction can occur.
+``("snapshot", token)``
+    Reply with the shard's queryable state: the ``(element, count,
+    error)`` triples, the processed count and the capacity — everything
+    :meth:`SpaceSaving.from_entries` needs to rebuild the shard in the
+    parent for merging.
+``("stop",)``
+    Acknowledge and return (normal process exit).
+
+Failures never disappear: any exception is reported on the reply queue
+as an ``("error", ...)`` message before the process exits non-zero, so
+the parent can raise a typed :class:`~repro.errors.WorkerCrashError`
+with the remote detail instead of a bare hang.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Optional
+
+from repro.core.space_saving import SpaceSaving
+
+#: exit code of a worker that died via the error path (parent reads it)
+CRASH_EXIT_CODE = 17
+
+#: how long a ``fault="hang"`` worker sleeps (far beyond any test timeout)
+_HANG_SECONDS = 600.0
+
+
+def shard_main(
+    index: int,
+    tasks: Any,
+    replies: Any,
+    capacity: int,
+    fault: Optional[str] = None,
+) -> None:
+    """Entry point of one worker process (top-level: spawn-safe)."""
+    shard = SpaceSaving(capacity=capacity)
+    try:
+        while True:
+            message = tasks.get()
+            kind = message[0]
+            if kind == "count":
+                if fault == "raise":
+                    raise RuntimeError("injected fault: raise during count")
+                if fault == "exit":
+                    os._exit(CRASH_EXIT_CODE)
+                if fault == "hang":
+                    time.sleep(_HANG_SECONDS)
+                shard.process_many(message[1])
+            elif kind == "snapshot":
+                entries = [
+                    (entry.element, entry.count, entry.error)
+                    for entry in shard.entries()
+                ]
+                replies.put(
+                    (
+                        index,
+                        "snapshot",
+                        message[1],
+                        entries,
+                        shard.processed,
+                        shard.capacity,
+                    )
+                )
+            elif kind == "stop":
+                replies.put((index, "stopped", shard.processed))
+                return
+            else:
+                raise ValueError(f"unknown command {kind!r}")
+    except BaseException as exc:  # noqa: BLE001 - reported, then re-die
+        try:
+            replies.put((index, "error", f"{type(exc).__name__}: {exc}"))
+            # put() only hands the message to the queue's feeder thread;
+            # close+join makes sure it reaches the pipe before we die.
+            replies.close()
+            replies.join_thread()
+        finally:
+            # Hard exit: skip inherited atexit/flush machinery so a
+            # failing fork child cannot corrupt the parent's streams.
+            os._exit(CRASH_EXIT_CODE)

@@ -14,6 +14,7 @@ from typing import Hashable, List, Optional, Sequence
 from repro.core.merge import merge_space_saving
 from repro.core.space_saving import SpaceSaving
 from repro.errors import ConfigurationError
+from repro.workloads.partition import block_partition
 
 Element = Hashable
 
@@ -33,11 +34,15 @@ class ShardedSpaceSaving:
         ]
 
     def count(self, stream: Sequence[Element]) -> None:
-        """Partition ``stream`` round-robin and count on real threads."""
+        """Partition ``stream`` into contiguous blocks and count on real
+        threads, each draining its block through the batched
+        ``process_many`` fast lane (one slice copy, chunked
+        pre-aggregation) instead of a per-element ``process`` loop over
+        a strided slice."""
+        parts = block_partition(stream, self.threads)
+
         def work(index: int) -> None:
-            local = self.locals[index]
-            for element in stream[index :: self.threads]:
-                local.process(element)
+            self.locals[index].process_many(parts[index])
 
         workers = [
             threading.Thread(target=work, args=(i,), daemon=True)

@@ -9,6 +9,7 @@ from repro.workloads.generators import (
 )
 from repro.workloads.partition import (
     block_partition,
+    chunked,
     hash_partition,
     partition,
     round_robin_partition,
@@ -25,6 +26,7 @@ __all__ = [
     "ZipfStreamSpec",
     "block_partition",
     "bursty_stream",
+    "chunked",
     "churn_stream",
     "expected_frequency",
     "hash_partition",

@@ -42,3 +42,17 @@ def test_merged_capacity_override():
     sharded.count(stream)
     merged = sharded.merged(capacity=5)
     assert len(merged) <= 5
+
+
+def test_count_uses_the_batched_fast_lane(monkeypatch, skewed_stream):
+    """count() must drain contiguous blocks via process_many, never the
+    per-element process() loop it used before PR 3."""
+    from repro.core.space_saving import SpaceSaving
+
+    def forbidden(self, element):
+        raise AssertionError("per-element process() lane was used")
+
+    monkeypatch.setattr(SpaceSaving, "process", forbidden)
+    sharded = ShardedSpaceSaving(threads=4, capacity=200)
+    sharded.count(skewed_stream)
+    assert sharded.processed == len(skewed_stream)

@@ -20,14 +20,38 @@ _MICRO = {
 }
 
 
+#: a micro mp scale: 2 workers, small stream, single repeat
+_MICRO_MP = {
+    "mp_length": 4_000,
+    "alphabet": 500,
+    "capacity": 64,
+    "chunk_elements": 512,
+    "workers": [1, 2],
+    "alpha": 1.1,
+    "seed": 7,
+    "repeats": 1,
+    "timeout": 60.0,
+}
+
+
 @pytest.fixture
 def micro_scale(monkeypatch):
     monkeypatch.setitem(bench.SCALES, "tiny", _MICRO)
 
 
+@pytest.fixture
+def micro_mp_scale(monkeypatch):
+    monkeypatch.setitem(bench.MP_SCALES, "tiny", _MICRO_MP)
+
+
 def test_run_suite_rejects_unknown_scale():
     with pytest.raises(ConfigurationError):
         bench.run_suite("huge")
+
+
+def test_run_suite_rejects_unknown_suite():
+    with pytest.raises(ConfigurationError):
+        bench.run_suite("tiny", suite="gpu")
 
 
 def test_suite_report_shape_and_results(micro_scale, tmp_path):
@@ -53,6 +77,7 @@ def test_suite_report_shape_and_results(micro_scale, tmp_path):
     assert batched["speedup_vs_per_element"] > 0
     for entry in report["results"]:
         assert entry["wall_seconds"] > 0
+        assert entry["peak_rss_kb"] > 0
         if entry["kind"] == "simulated":
             assert entry["sim_cycles"] > 0
             assert entry["sim_throughput_eps"] > 0
@@ -77,3 +102,48 @@ def test_cli_bench_writes_report(micro_scale, tmp_path, capsys):
     assert parsed["suite"] == "core"
     captured = capsys.readouterr()
     assert "wrote" in captured.out
+
+
+def test_mp_suite_report_shape(micro_mp_scale):
+    report = bench.run_suite("tiny", suite="mp")
+    assert report["suite"] == "mp"
+    assert report["host_cores"] >= 1
+    names = [entry["name"] for entry in report["results"]]
+    assert names == [
+        "mp-sequential-batched",
+        "mp-sharded-1w",
+        "mp-sharded-2w",
+    ]
+    baseline = report["results"][0]
+    assert baseline["kind"] == "wallclock"
+    assert baseline["peak_rss_kb"] > 0
+    for entry in report["results"][1:]:
+        assert entry["kind"] == "mp"
+        assert entry["workers"] in (1, 2)
+        assert entry["wall_seconds"] > 0
+        assert entry["startup_seconds"] > 0
+        assert entry["speedup_vs_sequential"] > 0
+        assert entry["equivalent"] is True
+        assert entry["partition_how"] == "hash"
+        assert entry["peak_rss_kb"] > 0
+
+    text = bench.format_report(report)
+    assert "mp-sharded-2w" in text
+    assert "host_cores" in text
+    assert "equivalent=True" in text
+
+
+def test_cli_bench_mp_suite_default_output(micro_mp_scale, tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "--suite", "mp", "--scale", "tiny"]) == 0
+    parsed = json.loads((tmp_path / "BENCH_mp.json").read_text())
+    assert parsed["suite"] == "mp"
+    assert all(
+        entry["equivalent"]
+        for entry in parsed["results"]
+        if entry["kind"] == "mp"
+    )
+    captured = capsys.readouterr()
+    assert "BENCH_mp.json" in captured.out

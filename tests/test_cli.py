@@ -49,6 +49,29 @@ def test_count_every_algorithm(tmp_path, capsys, algorithm):
     assert "x" in capsys.readouterr().out
 
 
+def test_count_with_workers_uses_mp_backend(tmp_path, capsys):
+    stream_file = tmp_path / "stream.txt"
+    stream_file.write_text("\n".join(["a"] * 5 + ["b"] * 2 + ["c"]))
+    code = main(
+        ["count", str(stream_file), "--workers", "2",
+         "--capacity", "10", "--top", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "8 elements processed" in out
+    assert "a\t5" in out
+
+
+def test_count_workers_requires_space_saving(tmp_path, capsys):
+    stream_file = tmp_path / "stream.txt"
+    stream_file.write_text("a\nb\n")
+    code = main(
+        ["count", str(stream_file), "--algorithm", "exact", "--workers", "2"]
+    )
+    assert code == 2
+    assert "space-saving" in capsys.readouterr().err
+
+
 def test_count_with_phi(tmp_path, capsys):
     stream_file = tmp_path / "stream.txt"
     stream_file.write_text("\n".join(["hot"] * 9 + ["cold"]))
