@@ -53,6 +53,7 @@ from typing import Any, Dict, List, Sequence
 
 from repro.core.space_saving import SpaceSaving
 from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry, merge_snapshots
 
 #: bump when the JSON layout changes incompatibly
 SCHEMA_VERSION = 1
@@ -180,21 +181,25 @@ def _bench_hot_path(params: Dict[str, Any]) -> List[Dict[str, Any]]:
     capacity = int(params["capacity"])
     repeats = int(params["repeats"])
 
-    per_element_holder: Dict[str, SpaceSaving] = {}
+    per_element_holder: Dict[str, Any] = {}
 
     def run_per_element() -> None:
-        counter = SpaceSaving(capacity=capacity)
+        registry = MetricsRegistry()
+        counter = SpaceSaving(capacity=capacity, metrics=registry)
         process = counter.process
         for element in stream:
             process(element)
         per_element_holder["counter"] = counter
+        per_element_holder["metrics"] = registry.snapshot()
 
-    batched_holder: Dict[str, SpaceSaving] = {}
+    batched_holder: Dict[str, Any] = {}
 
     def run_batched() -> None:
-        counter = SpaceSaving(capacity=capacity)
+        registry = MetricsRegistry()
+        counter = SpaceSaving(capacity=capacity, metrics=registry)
         counter.process_many(stream)
         batched_holder["counter"] = counter
+        batched_holder["metrics"] = registry.snapshot()
 
     per_element_secs = _best_of(repeats, run_per_element)
     per_element_rss = _peak_rss_kb()
@@ -214,6 +219,7 @@ def _bench_hot_path(params: Dict[str, Any]) -> List[Dict[str, Any]]:
             "wall_seconds": per_element_secs,
             "throughput_eps": length / per_element_secs,
             "peak_rss_kb": per_element_rss,
+            "metrics": per_element_holder["metrics"],
         },
         {
             "name": "sequential-hot-path-batched",
@@ -224,12 +230,20 @@ def _bench_hot_path(params: Dict[str, Any]) -> List[Dict[str, Any]]:
             "speedup_vs_per_element": per_element_secs / batched_secs,
             "identical_results": identical,
             "peak_rss_kb": _peak_rss_kb(),
+            "metrics": batched_holder["metrics"],
         },
     ]
 
 
 def _bench_simulated(params: Dict[str, Any]) -> List[Dict[str, Any]]:
-    """Every parallel design on the simulated CMP, plus wall cost."""
+    """Every parallel design on the simulated CMP, plus wall cost.
+
+    Each entry embeds a ``metrics`` block: the simulator's time
+    accounting (``sim.*``, via :func:`repro.simcore.stats.
+    execution_metrics`) merged with whatever the driver itself recorded
+    (``core.spacesaving.*`` for sequential, ``cots.*`` for the CoTS
+    lanes) — the same snapshot schema the mp suite's real runs emit.
+    """
     from repro.cots import CoTSRunConfig, run_cots
     from repro.parallel import (
         SchemeConfig,
@@ -238,6 +252,7 @@ def _bench_simulated(params: Dict[str, Any]) -> List[Dict[str, Any]]:
         run_sequential,
         run_shared,
     )
+    from repro.simcore.stats import execution_metrics
     from repro.workloads.zipf import zipf_stream
 
     length = int(params["sim_length"])
@@ -250,45 +265,57 @@ def _bench_simulated(params: Dict[str, Any]) -> List[Dict[str, Any]]:
     threads = int(params["threads"])
     capacity = int(params["capacity"])
 
-    def scheme_config() -> SchemeConfig:
-        return SchemeConfig(threads=threads, capacity=capacity)
+    def scheme_config(registry: MetricsRegistry) -> SchemeConfig:
+        return SchemeConfig(
+            threads=threads, capacity=capacity, metrics=registry
+        )
 
-    def cots_config(preaggregate: bool) -> CoTSRunConfig:
+    def cots_config(
+        preaggregate: bool, registry: MetricsRegistry
+    ) -> CoTSRunConfig:
         return CoTSRunConfig(
-            threads=threads, capacity=capacity, preaggregate=preaggregate
+            threads=threads,
+            capacity=capacity,
+            preaggregate=preaggregate,
+            metrics=registry,
         )
 
     runs = [
-        ("sequential", lambda: run_sequential(stream, scheme_config())),
+        ("sequential", lambda reg: run_sequential(stream, scheme_config(reg))),
         (
             "sequential-batched",
-            lambda: run_sequential(stream, scheme_config(), batch=64),
+            lambda reg: run_sequential(stream, scheme_config(reg), batch=64),
         ),
         (
             "shared-mutex",
-            lambda: run_shared(stream, scheme_config(), lock_kind="mutex"),
+            lambda reg: run_shared(
+                stream, scheme_config(reg), lock_kind="mutex"
+            ),
         ),
         (
             "shared-spin",
-            lambda: run_shared(stream, scheme_config(), lock_kind="spin"),
+            lambda reg: run_shared(
+                stream, scheme_config(reg), lock_kind="spin"
+            ),
         ),
         (
             "independent-serial",
-            lambda: run_independent(
+            lambda reg: run_independent(
                 stream,
-                scheme_config(),
+                scheme_config(reg),
                 merge_every=max(1, length // 10),
                 strategy="serial",
             ),
         ),
-        ("hybrid", lambda: run_hybrid(stream, scheme_config())),
-        ("cots", lambda: run_cots(stream, cots_config(False))),
-        ("cots-preagg", lambda: run_cots(stream, cots_config(True))),
+        ("hybrid", lambda reg: run_hybrid(stream, scheme_config(reg))),
+        ("cots", lambda reg: run_cots(stream, cots_config(False, reg))),
+        ("cots-preagg", lambda reg: run_cots(stream, cots_config(True, reg))),
     ]
     entries = []
     for name, runner in runs:
+        registry = MetricsRegistry()
         started = time.perf_counter()
-        result = runner()
+        result = runner(registry)
         wall = time.perf_counter() - started
         entries.append(
             {
@@ -302,6 +329,10 @@ def _bench_simulated(params: Dict[str, Any]) -> List[Dict[str, Any]]:
                 "wall_seconds": wall,
                 "wall_throughput_eps": length / wall,
                 "peak_rss_kb": _peak_rss_kb(),
+                "metrics": merge_snapshots(
+                    execution_metrics(result.execution),
+                    result.extras.get("metrics") or {},
+                ),
             }
         )
     return entries
@@ -328,12 +359,14 @@ def _bench_mp(params: Dict[str, Any]) -> List[Dict[str, Any]]:
     capacity = int(params["capacity"])
     repeats = int(params["repeats"])
 
-    baseline_holder: Dict[str, SpaceSaving] = {}
+    baseline_holder: Dict[str, Any] = {}
 
     def run_baseline() -> None:
-        counter = SpaceSaving(capacity=capacity)
+        registry = MetricsRegistry()
+        counter = SpaceSaving(capacity=capacity, metrics=registry)
         counter.process_many(stream)
         baseline_holder["counter"] = counter
+        baseline_holder["metrics"] = registry.snapshot()
 
     baseline_secs = _best_of(repeats, run_baseline)
     baseline = baseline_holder["counter"]
@@ -345,6 +378,7 @@ def _bench_mp(params: Dict[str, Any]) -> List[Dict[str, Any]]:
             "wall_seconds": baseline_secs,
             "throughput_eps": length / baseline_secs,
             "peak_rss_kb": _peak_rss_kb(),
+            "metrics": baseline_holder["metrics"],
         }
     ]
     for workers in params["workers"]:
@@ -356,7 +390,7 @@ def _bench_mp(params: Dict[str, Any]) -> List[Dict[str, Any]]:
         )
         best = None
         for _ in range(repeats):
-            result = run_mp(stream, config)
+            result = run_mp(stream, config, metrics=MetricsRegistry())
             if best is None or result.wall_seconds < best.wall_seconds:
                 best = result
         entries.append(
@@ -374,6 +408,7 @@ def _bench_mp(params: Dict[str, Any]) -> List[Dict[str, Any]]:
                 ),
                 "partition_how": config.partition_how,
                 "peak_rss_kb": _peak_rss_kb(),
+                "metrics": best.extras.get("metrics") or {},
             }
         )
     return entries

@@ -39,6 +39,14 @@ Commands
         python -m repro bench --scale tiny --output BENCH_core.json
         python -m repro bench --suite mp --scale default
 
+``report``
+    Render the metrics snapshots embedded in a bench report (or any
+    JSON document carrying the same schema) as a readable table, or as
+    machine-readable JSON with ``--json``::
+
+        python -m repro report BENCH_core.json
+        python -m repro report BENCH_mp.json --entry mp-sharded --json
+
 ``schedcheck``
     Explore N seeded scheduling perturbations per scheme, auditing
     structural and semantic invariants on every run; failing schedules
@@ -171,6 +179,24 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output", type=pathlib.Path, default=None,
         help="result file (default: ./BENCH_<suite>.json)",
+    )
+
+    report = commands.add_parser(
+        "report",
+        help="render the metrics snapshots embedded in a bench report",
+    )
+    report.add_argument(
+        "path", nargs="?", type=pathlib.Path,
+        default=pathlib.Path("BENCH_core.json"),
+        help="bench report to read (default: ./BENCH_core.json)",
+    )
+    report.add_argument(
+        "--entry", default=None,
+        help="only entries whose name contains this substring",
+    )
+    report.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable JSON form instead of the table",
     )
 
     schedcheck = commands.add_parser(
@@ -419,6 +445,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.obs import (
+        load_report,
+        render_report,
+        report_json,
+        select_entries,
+    )
+
+    try:
+        report = load_report(str(args.path))
+        report = select_entries(report, args.entry)
+    except FileNotFoundError:
+        print(
+            f"no report at {args.path} (run `python -m repro bench` first,"
+            " or pass a path)",
+            file=sys.stderr,
+        )
+        return 2
+    except ConfigurationError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report_json(report, source=str(args.path)),
+                         indent=2, sort_keys=True))
+    else:
+        print(render_report(report, source=str(args.path)))
+    return 0
+
+
 def _cmd_schedcheck(args: argparse.Namespace) -> int:
     """Schedule exploration campaign; exit 1 if any audit fails."""
     from repro.schedcheck import (
@@ -504,10 +562,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "count": _cmd_count,
         "simulate": _cmd_simulate,
         "bench": _cmd_bench,
+        "report": _cmd_report,
         "schedcheck": _cmd_schedcheck,
         "trace": _cmd_trace,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. piped into `head`); not an
+        # error.  Point stdout at devnull so the interpreter's exit
+        # flush doesn't raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -30,6 +30,7 @@ from typing import Iterable, List, Optional, Tuple
 from repro.core.counters import CounterEntry, Element
 from repro.core.stream_summary import StreamSummary
 from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry, coerce
 
 
 class SpaceSaving:
@@ -37,12 +38,21 @@ class SpaceSaving:
 
     Construct with an explicit counter budget (``capacity``) or an error
     bound (``epsilon``, giving ``capacity = ceil(1/epsilon)``).
+
+    ``metrics`` optionally attaches a :class:`~repro.obs.registry.
+    MetricsRegistry`; the instance then counts its Algorithm 1
+    operations (``core.spacesaving.increments`` / ``inserts`` /
+    ``overwrites``), consumed occurrences, and increments landing in the
+    minimum bucket.  Metrics are observation-only — enabling them never
+    changes any count (pinned by ``tests/obs/test_differential.py``).
     """
 
     def __init__(
         self,
         capacity: Optional[int] = None,
         epsilon: Optional[float] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if (capacity is None) == (epsilon is None):
             raise ConfigurationError(
@@ -59,6 +69,23 @@ class SpaceSaving:
         self.capacity = capacity
         self.summary = StreamSummary()
         self._processed = 0
+        # Bound metric objects are cached once; with the default
+        # NullRegistry they are shared no-op singletons, so the hot
+        # paths below pay one no-op call when metrics are disabled.
+        self.metrics = coerce(metrics)
+        self._m_occurrences = self.metrics.counter(
+            "core.spacesaving.occurrences"
+        )
+        self._m_increments = self.metrics.counter(
+            "core.spacesaving.increments"
+        )
+        self._m_inserts = self.metrics.counter("core.spacesaving.inserts")
+        self._m_overwrites = self.metrics.counter(
+            "core.spacesaving.overwrites"
+        )
+        self._m_min_hits = self.metrics.counter(
+            "core.spacesaving.min_bucket_hits"
+        )
 
     @classmethod
     def from_entries(
@@ -115,14 +142,21 @@ class SpaceSaving:
         if count < 1:
             raise ConfigurationError(f"count must be >= 1, got {count}")
         summary = self.summary
-        if element in summary:
-            summary.increment(element, count)
+        node = summary._nodes.get(element)
+        if node is not None:
+            if node.bucket is summary._min:
+                self._m_min_hits.inc()
+            self._m_increments.inc()
+            summary.increment_node(node, count)
         elif len(summary) < self.capacity:
+            self._m_inserts.inc()
             summary.insert(element, count=count, error=0)
         else:
+            self._m_overwrites.inc()
             min_freq = summary.min_freq
             summary.evict_min()
             summary.insert(element, count=min_freq + count, error=min_freq)
+        self._m_occurrences.inc(count)
         self._processed += count
 
     #: elements per pre-aggregated chunk of :meth:`process_many`
@@ -163,13 +197,23 @@ class SpaceSaving:
                 # no eviction possible: bulk updates commute
                 increment = summary.increment
                 insert = summary.insert
+                m_increment = self._m_increments.inc
+                m_insert = self._m_inserts.inc
+                m_min_hit = self._m_min_hits.inc
+                get = nodes.get
                 for element, count in counts.items():
-                    if element in nodes:
+                    node = get(element)
+                    if node is not None:
+                        if node.bucket is summary._min:
+                            m_min_hit()
+                        m_increment()
                         increment(element, count)
                     else:
+                        m_insert()
                         insert(element, count=count, error=0)
             else:
                 self._process_chunk(chunk)
+            self._m_occurrences.inc(len(chunk))
             self._processed += len(chunk)
 
     def _process_chunk(self, chunk: List[Element]) -> None:
@@ -178,6 +222,10 @@ class SpaceSaving:
         nodes = summary._nodes
         get = nodes.get
         capacity = self.capacity
+        m_increment = self._m_increments.inc
+        m_insert = self._m_inserts.inc
+        m_overwrite = self._m_overwrites.inc
+        m_min_hit = self._m_min_hits.inc
         index = 0
         length = len(chunk)
         while index < length:
@@ -192,6 +240,9 @@ class SpaceSaving:
                 # inlined unit/bulk increment fast lane (see
                 # StreamSummary.increment_node)
                 source = node.bucket
+                if source is summary._min:
+                    m_min_hit()
+                m_increment()
                 target_freq = source.freq + run
                 nxt = source.next
                 if source.size == 1 and (
@@ -208,8 +259,10 @@ class SpaceSaving:
                 else:
                     summary.increment_node(node, run)
             elif len(nodes) < capacity:
+                m_insert()
                 summary.insert(element, count=run, error=0)
             else:
+                m_overwrite()
                 min_freq = summary.min_freq
                 summary.evict_min()
                 summary.insert(

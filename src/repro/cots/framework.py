@@ -33,6 +33,7 @@ from repro.cots.summary import (
     TAG_HASH,
 )
 from repro.errors import ConfigurationError
+from repro.obs.registry import coerce
 from repro.parallel.base import SchemeConfig, SchemeResult, TAG_REST
 from repro.simcore.atomics import AtomicCell
 from repro.simcore.costs import CostModel
@@ -61,6 +62,7 @@ class CoTSFramework:
         table_size: int = 0,
         summary_cls=ConcurrentStreamSummary,
         table_cls=CoTSHashTable,
+        metrics=None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -73,6 +75,8 @@ class CoTSFramework:
             table_size = max(16, capacity * 4)
         self.table = table_cls(table_size, costs)
         self.summary = summary_cls(capacity, self.table, costs)
+        self.metrics = coerce(metrics)
+        self.summary.bind_metrics(self.metrics)
         #: optional scheduler (σ/ρ auto-configuration); see scheduler.py
         self.scheduler = None
 
@@ -264,6 +268,7 @@ def run_cots(
         costs=config.costs,
         table_size=config.table_size,
         table_cls=table_cls,
+        metrics=config.metrics,
     )
     engine = config.make_engine()
     config.bind_audit(
@@ -309,15 +314,28 @@ def run_cots(
     for ctx in contexts:
         stats.update(ctx.stats)
     stats.update(framework.summary.stats)
+    extras = {
+        "framework": framework,
+        "stats": dict(stats),
+        "query_log": query_log,
+    }
+    if config.metrics is not None:
+        # Fold the per-run protocol counters (delegations, overwrites,
+        # bucket GC, bulk amortization, ...) and the scheduler's
+        # sleep/wake transitions into the registry, so one snapshot
+        # carries the whole run — live sampling covers only the
+        # queue-depth histogram, everything else is zero-hot-path-cost.
+        registry = config.metrics
+        for key in sorted(stats):
+            registry.counter(f"cots.stats.{key}").inc(stats[key])
+        if scheduler is not None:
+            scheduler.record_metrics(registry)
+        extras["metrics"] = registry.snapshot()
     return SchemeResult(
         scheme="cots",
         threads=config.threads,
         elements=len(stream),
         execution=execution,
         counter=counter,
-        extras={
-            "framework": framework,
-            "stats": dict(stats),
-            "query_log": query_log,
-        },
+        extras=extras,
     )

@@ -60,6 +60,23 @@ class CoTSScheduler:
         self.wakes = 0
         self.helper_drains = 0
 
+    def record_metrics(self, registry) -> None:
+        """Fold this run's sleep/wake transitions into ``registry``.
+
+        Emits the ``cots.scheduler.*`` counters (parks, wakes, helper
+        drains) plus the σ/ρ thresholds as gauges, so a run report shows
+        both *how often* the §5.2.3 auto-configuration fired and *which
+        thresholds* it was keyed to.  Called by ``run_cots`` after
+        quiescence.
+        """
+        registry.counter("cots.scheduler.parks").inc(self.parks)
+        registry.counter("cots.scheduler.wakes").inc(self.wakes)
+        registry.counter("cots.scheduler.helper_drains").inc(
+            self.helper_drains
+        )
+        registry.gauge("cots.scheduler.sigma").set(self.sigma)
+        registry.gauge("cots.scheduler.rho").set(self.rho)
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------

@@ -38,6 +38,7 @@ from repro.cots.requests import (
     PruneRequest,
 )
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.registry import NULL_HISTOGRAM, NULL_REGISTRY
 from repro.simcore.atomics import AtomicCell
 from repro.simcore.costs import CostModel
 from repro.simcore.effects import Compute, YieldCPU
@@ -147,6 +148,22 @@ class ConcurrentStreamSummary:
         self.stats: Dict[str, int] = collections.Counter()
         #: scheduler hook — set by the framework when auto-config is on
         self.on_delegated = None
+        #: metrics registry (rebound by :meth:`bind_metrics`); only the
+        #: queue-depth histogram is sampled live — the per-run counters
+        #: in ``stats`` are folded into the registry by ``run_cots``
+        self.metrics = NULL_REGISTRY
+        self._m_queue_depth = NULL_HISTOGRAM
+
+    def bind_metrics(self, registry) -> None:
+        """Attach a :class:`repro.obs.MetricsRegistry` to this summary.
+
+        Called by the framework after construction (the constructor
+        signature is shared with adapter subclasses, so the registry
+        rides in separately).  Sampling cost with the default
+        NullRegistry is one no-op call per delivery.
+        """
+        self.metrics = registry
+        self._m_queue_depth = registry.histogram("cots.queue.depth")
 
     # ==================================================================
     # Delivery: enqueue a request and acquire the bucket if free
@@ -166,6 +183,7 @@ class ConcurrentStreamSummary:
                 target = yield from self._retarget(request)
                 continue
             break
+        self._m_queue_depth.observe(len(target.queue))
         acquired = yield target.owner.cas(0, 1, TAG_BUCKET)
         if acquired:
             ctx.worklist.append(target)

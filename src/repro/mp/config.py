@@ -31,6 +31,27 @@ FAULTS = ("raise", "exit", "hang")
 class MPConfig:
     """Parameters of one multiprocess sharded counting run.
 
+    Tuning notes, in the order the knobs usually matter:
+
+    * ``workers`` — one process per shard.  Speedup tops out at the
+      physical core count, and skew caps it sooner: with ``hash``
+      partitioning all occurrences of the hottest element land on one
+      shard, so at high zipf α that shard carries most of the stream
+      (see docs/benchmarks.md on the α = 1.1 presets).
+    * ``chunk_elements`` — stream elements read per dispatch chunk;
+      each chunk is split into at most ``workers`` pickled batches.
+      This is the pickling-amortization lever: far smaller values turn
+      a counting run into an IPC benchmark.
+    * ``capacity`` — *per-shard* Space Saving budget; the merged query
+      result is built at the same capacity by default.
+    * ``queue_depth`` — pending batches per worker before ``put``
+      blocks: the backpressure that keeps a slow worker from buffering
+      the whole stream in its queue.
+    * ``timeout`` — seconds a blocked dispatch/snapshot waits before
+      declaring a worker hung (raises
+      :class:`~repro.errors.WorkerTimeoutError` after closing the
+      pool).
+
     ``fault`` is a testing-only hook that makes workers misbehave on
     purpose (``raise``: raise during counting; ``exit``: hard-exit the
     process; ``hang``: stop draining the task queue) so the typed

@@ -51,7 +51,9 @@ class MPResult:
 
 
 def run_mp(
-    stream: Sequence[Hashable], config: Optional[MPConfig] = None
+    stream: Sequence[Hashable],
+    config: Optional[MPConfig] = None,
+    metrics=None,
 ) -> MPResult:
     """Count ``stream`` on a fresh worker pool and return the merged result.
 
@@ -60,10 +62,16 @@ def run_mp(
     Startup (process spawn) is timed separately from counting+merge
     because the former is a fixed cost that amortizes over a long-lived
     pool while the latter is the paper's scaling quantity.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) instruments the
+    parent side: dispatch volume, per-worker routed items and items/sec,
+    queue occupancy, and snapshot/merge latency; the snapshot rides on
+    ``result.extras["metrics"]`` in the same schema simulated runs emit,
+    so the two kinds of run are directly comparable.
     """
     config = config or MPConfig()
     started = time.perf_counter()
-    pool = ShardedProcessPool(config)
+    pool = ShardedProcessPool(config, metrics=metrics)
     startup = time.perf_counter() - started
     try:
         counting_started = time.perf_counter()
@@ -72,6 +80,17 @@ def run_mp(
         wall = time.perf_counter() - counting_started
     finally:
         pool.close()
+    extras = {
+        "partition_how": config.partition_how,
+        "chunk_elements": config.chunk_elements,
+        "capacity": config.capacity,
+    }
+    if metrics is not None:
+        for index, items in enumerate(pool.worker_items):
+            metrics.gauge(f"mp.worker.{index}.items_per_sec").set(
+                items / wall if wall else 0.0
+            )
+        extras["metrics"] = metrics.snapshot()
     return MPResult(
         scheme="mp-sharded",
         workers=config.workers,
@@ -79,11 +98,7 @@ def run_mp(
         wall_seconds=wall,
         startup_seconds=startup,
         counter=counter,
-        extras={
-            "partition_how": config.partition_how,
-            "chunk_elements": config.chunk_elements,
-            "capacity": config.capacity,
-        },
+        extras=extras,
     )
 
 

@@ -40,6 +40,7 @@ from repro.core.space_saving import SpaceSaving
 from repro.errors import BackendError, WorkerCrashError, WorkerTimeoutError
 from repro.mp.config import MPConfig
 from repro.mp.worker import shard_main
+from repro.obs.registry import TIME_BUCKETS, coerce
 from repro.workloads.partition import chunked, partition
 
 Element = Hashable
@@ -49,10 +50,37 @@ ShardState = Tuple[List[Tuple[Element, int, int]], int, int]
 
 
 class ShardedProcessPool:
-    """Process-pool sharded Space Saving with merge-on-query semantics."""
+    """Process-pool sharded Space Saving with merge-on-query semantics.
 
-    def __init__(self, config: Optional[MPConfig] = None) -> None:
+    ``metrics`` optionally attaches a :class:`repro.obs.MetricsRegistry`
+    (parent-side only; nothing crosses the process boundary): dispatched
+    items/batches, per-worker routed items, task-queue occupancy sampled
+    at each put, and snapshot/merge latency histograms.
+    """
+
+    def __init__(
+        self, config: Optional[MPConfig] = None, metrics=None
+    ) -> None:
         self.config = config or MPConfig()
+        self.metrics = coerce(metrics)
+        self._m_items = self.metrics.counter("mp.dispatched.items")
+        self._m_batches = self.metrics.counter("mp.dispatched.batches")
+        self._m_worker_items = [
+            self.metrics.counter(f"mp.worker.{index}.items")
+            for index in range(self.config.workers)
+        ]
+        self._m_queue_occupancy = self.metrics.histogram(
+            "mp.queue.occupancy", buckets=(0, 1, 2, 4, 8, 16, 32)
+        )
+        self._m_snapshot_seconds = self.metrics.histogram(
+            "mp.snapshot.seconds", buckets=TIME_BUCKETS
+        )
+        self._m_merge_seconds = self.metrics.histogram(
+            "mp.merge.seconds", buckets=TIME_BUCKETS
+        )
+        #: per-worker dispatched element counts (kept even without a
+        #: registry, so callers can derive items/sec after a run)
+        self.worker_items: List[int] = [0] * self.config.workers
         context = multiprocessing.get_context(self.config.start_method)
         self._tasks = [
             context.Queue(maxsize=self.config.queue_depth)
@@ -152,8 +180,12 @@ class ShardedProcessPool:
             for index, batch in enumerate(batches):
                 if batch:
                     self._put(index, ("count", batch))
+                    self._m_batches.inc()
+                    self._m_worker_items[index].inc(len(batch))
+                    self.worker_items[index] += len(batch)
             sent += len(chunk)
             self._dispatched += len(chunk)
+            self._m_items.inc(len(chunk))
         return sent
 
     def _ensure_open(self) -> None:
@@ -164,6 +196,11 @@ class ShardedProcessPool:
         process = self._processes[index]
         if not process.is_alive():
             self._fail_crashed(index)
+        if self.metrics.enabled:
+            try:
+                self._m_queue_occupancy.observe(self._tasks[index].qsize())
+            except NotImplementedError:  # pragma: no cover - macOS qsize
+                pass
         try:
             self._tasks[index].put(message, timeout=self.config.timeout)
         except queue_module.Full:
@@ -239,6 +276,7 @@ class ShardedProcessPool:
         before the call — queries are consistent with dispatch order.
         """
         self._ensure_open()
+        started = time.perf_counter()
         self._snapshot_token += 1
         token = self._snapshot_token
         for index in range(self.workers):
@@ -253,6 +291,7 @@ class ShardedProcessPool:
                     processed,
                 )
             )
+        self._m_snapshot_seconds.observe(time.perf_counter() - started)
         return shards
 
     def _collect_snapshots(self, token: int) -> List[ShardState]:
@@ -288,6 +327,10 @@ class ShardedProcessPool:
         ``estimate - error`` stays a lower bound, with absence widening
         charged per original shard.
         """
-        return hierarchical_merge(
-            self.snapshot(), capacity=capacity or self.config.capacity
+        shards = self.snapshot()
+        started = time.perf_counter()
+        merged = hierarchical_merge(
+            shards, capacity=capacity or self.config.capacity
         )
+        self._m_merge_seconds.observe(time.perf_counter() - started)
+        return merged

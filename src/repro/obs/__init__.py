@@ -1,0 +1,77 @@
+"""Unified observability: the metrics registry and run reports.
+
+The repo's instrumentation backbone.  Every layer (core counters, the
+CoTS framework, the multiprocess pool, the simulator, the bench
+harness) records into the same three primitives —
+
+* :class:`Counter` — monotone integer (one attribute access + one add),
+* :class:`Gauge` — last-write-wins number,
+* :class:`Histogram` — fixed-bucket distribution —
+
+owned by a :class:`MetricsRegistry`.  Passing no registry means the
+shared :data:`NULL_REGISTRY`, whose metrics are no-op singletons, so
+instrumentation can stay in hot paths permanently.
+
+``registry.snapshot()`` returns a deterministic JSON-ready dict; the
+same schema is produced for simulated runs (via
+:func:`repro.simcore.stats.execution_metrics`) and real multiprocess
+runs, which makes them directly comparable.  ``python -m repro report``
+renders any report whose entries embed such snapshots.
+
+The metric catalogue (names, units, owning layers) lives in
+:mod:`repro.obs.schema` and docs/observability.md.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    coerce,
+    empty_snapshot,
+    merge_snapshots,
+)
+from repro.obs.schema import METRIC_SPECS, MetricSpec, lookup
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    format_snapshot,
+    iter_entry_metrics,
+    load_report,
+    render_report,
+    report_json,
+    select_entries,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRIC_SPECS",
+    "MetricSpec",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "REPORT_SCHEMA_VERSION",
+    "TIME_BUCKETS",
+    "coerce",
+    "empty_snapshot",
+    "format_snapshot",
+    "iter_entry_metrics",
+    "load_report",
+    "lookup",
+    "merge_snapshots",
+    "render_report",
+    "report_json",
+    "select_entries",
+]

@@ -1,0 +1,157 @@
+"""Run-report rendering: ``python -m repro report``.
+
+A *run report* is any JSON document whose entries carry ``metrics``
+snapshots — today that is the pinned bench reports
+(``BENCH_core.json`` / ``BENCH_mp.json``, every result entry embeds a
+snapshot), and the shape is shared by the driver ``extras["metrics"]``
+blocks.  This module turns those snapshots into
+
+* a human-readable table (metric, kind, value, unit, owning layer —
+  units and layers come from :mod:`repro.obs.schema`), or
+* a machine-readable JSON form (``--json``) that round-trips: the
+  ``metrics`` blocks in the output are exactly the input snapshots.
+
+See docs/observability.md for how to *read* the tables (including the
+worked contention-bound vs hash-bound example).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.schema import lookup
+
+#: bump when the --json layout changes incompatibly
+REPORT_SCHEMA_VERSION = 1
+
+
+def iter_entry_metrics(report: Dict[str, Any]) -> List[Tuple[str, Dict]]:
+    """(entry name, metrics snapshot) for every entry of a run report.
+
+    Accepts a bench report (``results`` list) or a single-run document
+    with a top-level ``metrics`` block; entries without metrics yield an
+    empty snapshot.
+    """
+    pairs: List[Tuple[str, Dict]] = []
+    if "results" in report:
+        for entry in report["results"]:
+            pairs.append((entry.get("name", "?"), entry.get("metrics") or {}))
+    elif "metrics" in report:
+        pairs.append((report.get("name", "run"), report["metrics"] or {}))
+    else:
+        raise ConfigurationError(
+            "not a run report: expected a 'results' list or a 'metrics' block"
+        )
+    return pairs
+
+
+def _annotate(name: str) -> Tuple[str, str]:
+    """(unit, layer) for a metric name ('?' when undocumented)."""
+    spec = lookup(name)
+    if spec is None:
+        return "?", "?"
+    return spec.unit, spec.layer
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return f"{int(value):d}"
+    return f"{value:.6g}"
+
+
+def format_snapshot(snapshot: Dict[str, Any], indent: str = "  ") -> str:
+    """Render one metrics snapshot as fixed-width table lines."""
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        unit, layer = _annotate(name)
+        lines.append(
+            f"{indent}counter    {name:42s} {_format_value(value):>14s}"
+            f"  {unit:10s} {layer}"
+        )
+    for name, value in snapshot.get("gauges", {}).items():
+        unit, layer = _annotate(name)
+        lines.append(
+            f"{indent}gauge      {name:42s} {_format_value(value):>14s}"
+            f"  {unit:10s} {layer}"
+        )
+    for name, hist in snapshot.get("histograms", {}).items():
+        unit, layer = _annotate(name)
+        count = hist.get("count", 0)
+        total = hist.get("sum", 0.0)
+        mean = total / count if count else 0.0
+        lines.append(
+            f"{indent}histogram  {name:42s} "
+            f"{'count=' + _format_value(count):>14s}"
+            f"  {unit:10s} {layer}"
+        )
+        buckets = hist.get("buckets", [])
+        counts = hist.get("counts", [])
+        cells = [
+            f"<={_format_value(bound)}:{bucket_count}"
+            for bound, bucket_count in zip(buckets, counts)
+        ]
+        if len(counts) > len(buckets):
+            cells.append(f">{_format_value(buckets[-1])}:{counts[-1]}")
+        lines.append(
+            f"{indent}           mean={mean:.4g} " + " ".join(cells)
+        )
+    if not lines:
+        lines.append(f"{indent}(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def render_report(report: Dict[str, Any], source: str = "") -> str:
+    """Human-readable rendering of every entry's metrics in a report."""
+    header = "run report"
+    if "suite" in report:
+        header += f" suite={report['suite']}"
+    if "scale" in report:
+        header += f" scale={report['scale']}"
+    if source:
+        header += f" ({source})"
+    lines = [header]
+    for name, snapshot in iter_entry_metrics(report):
+        lines.append(f"entry {name}")
+        lines.append(format_snapshot(snapshot))
+    return "\n".join(lines)
+
+
+def report_json(report: Dict[str, Any], source: str = "") -> Dict[str, Any]:
+    """Machine form of a run report's metrics (round-trips snapshots)."""
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "source": source,
+        "suite": report.get("suite"),
+        "scale": report.get("scale"),
+        "entries": [
+            {"name": name, "metrics": snapshot}
+            for name, snapshot in iter_entry_metrics(report)
+        ],
+    }
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read a JSON run report from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def select_entries(
+    report: Dict[str, Any], entry: Optional[str]
+) -> Dict[str, Any]:
+    """Filter a bench report's results down to names containing ``entry``."""
+    if entry is None or "results" not in report:
+        return report
+    filtered = dict(report)
+    filtered["results"] = [
+        item for item in report["results"]
+        if entry in item.get("name", "")
+    ]
+    if not filtered["results"]:
+        known = ", ".join(item.get("name", "?") for item in report["results"])
+        raise ConfigurationError(
+            f"no entry matching {entry!r}; report has: {known}"
+        )
+    return filtered

@@ -1,0 +1,119 @@
+"""The metric catalogue: every name the stack emits, with unit + layer.
+
+This is documentation-as-data: ``repro report`` annotates known names
+with their unit and owning layer, docs/observability.md renders from the
+same table, and the tests assert that instrumented code only emits
+names matching a spec (exactly or by the documented ``<i>``/``<tag>``
+placeholders).
+
+Naming convention: ``<layer>.<subsystem>.<metric>``.  Dynamic segments
+(worker indices, simulator tags, CoTS stat keys) are written as
+placeholders here; :func:`lookup` resolves a concrete name to its spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSpec:
+    """One documented metric: its kind, unit and owning layer."""
+
+    name: str       #: dotted name, may contain <i>/<tag>/<stat> placeholders
+    kind: str       #: counter | gauge | histogram
+    unit: str       #: what one unit of the value means
+    layer: str      #: owning package (core, cots, mp, sim, bench)
+    help: str       #: one-line description
+
+
+def _spec(name: str, kind: str, unit: str, layer: str, help: str) -> MetricSpec:
+    return MetricSpec(name=name, kind=kind, unit=unit, layer=layer, help=help)
+
+
+#: every documented metric, keyed by (possibly placeholder) name
+METRIC_SPECS: Dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in [
+        # ------------------------------------------------------ core
+        _spec("core.spacesaving.occurrences", "counter", "elements", "core",
+              "stream occurrences consumed by this Space Saving instance"),
+        _spec("core.spacesaving.increments", "counter", "ops", "core",
+              "IncrementCounter operations (element already monitored)"),
+        _spec("core.spacesaving.inserts", "counter", "ops", "core",
+              "AddElementToBucket operations (free counter slot taken)"),
+        _spec("core.spacesaving.overwrites", "counter", "ops", "core",
+              "Overwrite operations (minimum-frequency victim evicted)"),
+        _spec("core.spacesaving.min_bucket_hits", "counter", "ops", "core",
+              "increments whose element sat in the minimum bucket — the "
+              "bucket CoTS contends on"),
+        # ------------------------------------------------------ cots
+        _spec("cots.stats.<stat>", "counter", "events", "cots",
+              "per-run CoTS protocol counter (delegations, overwrites, "
+              "gc_buckets, bulk_increments, bulk_total, queue_transfers, "
+              "relinquish_bulk, ... — every WorkerContext/summary stat)"),
+        _spec("cots.queue.depth", "histogram", "requests", "cots",
+              "delegation-queue length observed at each request delivery"),
+        _spec("cots.scheduler.parks", "counter", "events", "cots",
+              "workers put to sleep by the sigma threshold (5.2.3)"),
+        _spec("cots.scheduler.wakes", "counter", "events", "cots",
+              "workers/helpers woken by the rho threshold (5.2.3)"),
+        _spec("cots.scheduler.helper_drains", "counter", "events", "cots",
+              "congested buckets drained by woken pool helpers"),
+        _spec("cots.scheduler.sigma", "gauge", "requests", "cots",
+              "the sigma (sleep) queue-length threshold of this run"),
+        _spec("cots.scheduler.rho", "gauge", "requests", "cots",
+              "the rho (wake) queue-length threshold of this run"),
+        # -------------------------------------------------------- mp
+        _spec("mp.dispatched.items", "counter", "elements", "mp",
+              "stream elements dispatched to the worker pool"),
+        _spec("mp.dispatched.batches", "counter", "batches", "mp",
+              "non-empty pickled batches shipped to workers"),
+        _spec("mp.worker.<i>.items", "counter", "elements", "mp",
+              "stream elements routed to worker shard <i>"),
+        _spec("mp.worker.<i>.items_per_sec", "gauge", "elements/s", "mp",
+              "worker <i>'s share of the stream over the run's wall clock"),
+        _spec("mp.queue.occupancy", "histogram", "batches", "mp",
+              "task-queue depth sampled right before each dispatch put"),
+        _spec("mp.snapshot.seconds", "histogram", "seconds", "mp",
+              "wall-clock latency of one all-shard snapshot"),
+        _spec("mp.merge.seconds", "histogram", "seconds", "mp",
+              "wall-clock latency of one hierarchical merge of shards"),
+        # ------------------------------------------------------- sim
+        _spec("sim.makespan_cycles", "gauge", "cycles", "sim",
+              "simulated makespan of the run"),
+        _spec("sim.seconds", "gauge", "seconds", "sim",
+              "simulated wall-clock duration (makespan / clock_hz)"),
+        _spec("sim.events", "counter", "events", "sim",
+              "engine events processed during the run"),
+        _spec("sim.busy_cycles.<tag>", "counter", "cycles", "sim",
+              "busy cycles attributed to one cost tag across all threads"),
+        _spec("sim.wait_cycles.<tag>", "counter", "cycles", "sim",
+              "waiting cycles attributed to one cost tag across all threads"),
+        _spec("sim.core_utilization.<i>", "gauge", "fraction", "sim",
+              "busy fraction of simulated core <i> over the makespan"),
+    ]
+}
+
+
+def lookup(name: str) -> Optional[MetricSpec]:
+    """Resolve a concrete metric name to its (possibly templated) spec.
+
+    ``mp.worker.3.items`` matches the ``mp.worker.<i>.items`` template;
+    unknown names return ``None`` (the report renders them unannotated).
+    """
+    spec = METRIC_SPECS.get(name)
+    if spec is not None:
+        return spec
+    parts = name.split(".")
+    for candidate in METRIC_SPECS.values():
+        template = candidate.name.split(".")
+        if len(template) != len(parts):
+            continue
+        if all(
+            t in ("<i>", "<tag>", "<stat>") or t == p
+            for t, p in zip(template, parts)
+        ):
+            return candidate
+    return None

@@ -64,6 +64,11 @@ class SchemeConfig:
     #: each driver once its structures exist but before the engine runs,
     #: so mid-run auditors can bind checkpoints to the live structures
     audit_binder: Optional[Callable[..., None]] = None
+    #: optional :class:`repro.obs.MetricsRegistry`; drivers that support
+    #: instrumentation (sequential, cots) record into it and embed
+    #: ``registry.snapshot()`` as ``extras["metrics"]`` on their result.
+    #: ``None`` (the default) disables metrics at no-op cost.
+    metrics: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.threads < 1:

@@ -62,7 +62,7 @@ def run_sequential(
     if batch < 1:
         raise ConfigurationError(f"batch must be >= 1, got {batch}")
     config = config if config is not None else SchemeConfig()
-    counter = SpaceSaving(capacity=config.capacity)
+    counter = SpaceSaving(capacity=config.capacity, metrics=config.metrics)
     engine = config.make_engine()
     config.bind_audit(
         engine, scheme="sequential", counter=counter, stream=stream
@@ -73,10 +73,14 @@ def run_sequential(
         program = _worker(stream, counter, config.costs)
     engine.spawn(program, name="seq-0")
     execution = engine.run()
+    extras = {}
+    if config.metrics is not None:
+        extras["metrics"] = config.metrics.snapshot()
     return SchemeResult(
         scheme="sequential",
         threads=1,
         elements=len(stream),
         execution=execution,
         counter=counter,
+        extras=extras,
     )

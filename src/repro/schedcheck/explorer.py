@@ -282,10 +282,32 @@ def explore(
 ) -> Dict[str, SchemeReport]:
     """Explore ``config.schedules`` perturbed schedules per scheme.
 
-    Returns one :class:`SchemeReport` per scheme name.  ``patch`` (a
-    context-manager factory) wraps every run — the mutation self-test
-    uses it to verify the harness actually catches injected protocol
-    bugs.  ``progress`` is called with each finished outcome.
+    This is the package's main entry point (the engine behind
+    ``python -m repro schedcheck``).  For each name in ``schemes``
+    (resolved via :func:`~repro.schedcheck.adapters.get_scheme`:
+    ``cots``, ``cots-pre``, ``shared``, ``hybrid``, ``independent``,
+    ``sequential``) it runs the *unmodified* driver
+    ``config.schedules`` times on the same seeded stream, each time
+    under a differently perturbed scheduler — ready-queue reordering,
+    forced preemption around atomic/queue effects, jittered cost
+    tables — and audits every run for structural soundness, count
+    conservation, the Space Saving error bounds, and differential
+    equivalence against a sequential reference.
+
+    Everything is deterministic per ``(config.seed, scheme, index)``:
+    a failing schedule's decision trace replays exactly, which is what
+    makes :func:`~repro.schedcheck.shrink.shrink_outcome` able to
+    delta-debug it down to a minimal reproducer.  Schedule
+    *distinctness* is verified by trace hash, so N schedules are N
+    genuinely different interleavings, not N reruns.
+
+    Returns one :class:`SchemeReport` per scheme name (in input
+    order); ``report.failures`` holds the violating
+    :class:`ScheduleOutcome` objects, ``report.summary_line()`` the
+    one-line verdict.  ``patch`` (a context-manager factory) wraps
+    every run — the mutation self-test uses it to verify the harness
+    actually catches injected protocol bugs.  ``progress`` is called
+    with each finished outcome (the CLI's ``--verbose``).
     """
     config = config if config is not None else ExploreConfig()
     stream = config.make_stream()

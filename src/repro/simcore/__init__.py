@@ -32,6 +32,7 @@ from repro.simcore.stats import (
     ExecutionResult,
     TagAccount,
     ThreadStats,
+    execution_metrics,
     merge_breakdowns,
 )
 from repro.simcore.sync import Barrier, Mutex, SpinLock
@@ -64,5 +65,6 @@ __all__ = [
     "TraceRecorder",
     "Unpark",
     "YieldCPU",
+    "execution_metrics",
     "merge_breakdowns",
 ]

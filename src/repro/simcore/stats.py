@@ -148,6 +148,34 @@ class ExecutionResult:
         return [self.threads[name] for name in thread_names]
 
 
+def execution_metrics(
+    execution: ExecutionResult, registry=None
+) -> Dict[str, Dict]:
+    """Record an :class:`ExecutionResult` as a metrics snapshot.
+
+    This is the bridge that makes *simulated* runs emit the same
+    observability schema as *real* (multiprocess) runs: makespan and
+    duration as ``sim.*`` gauges, engine events and the per-tag
+    busy/wait cycle accounts (the data behind the paper's Figures 4
+    and 5) as counters, and per-core utilization as gauges.  Records
+    into ``registry`` when given (so a driver can co-locate simulator
+    and algorithm metrics in one snapshot), else into a fresh
+    :class:`repro.obs.MetricsRegistry`; returns the snapshot either way.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    registry = registry if registry is not None else MetricsRegistry()
+    registry.gauge("sim.makespan_cycles").set(execution.makespan)
+    registry.gauge("sim.seconds").set(execution.seconds)
+    registry.counter("sim.events").inc(execution.events)
+    for tag, acct in sorted(execution.tag_cycles().items()):
+        registry.counter(f"sim.busy_cycles.{tag}").inc(acct.busy)
+        registry.counter(f"sim.wait_cycles.{tag}").inc(acct.wait)
+    for index, utilization in enumerate(execution.core_utilization()):
+        registry.gauge(f"sim.core_utilization.{index}").set(utilization)
+    return registry.snapshot()
+
+
 def merge_breakdowns(
     breakdowns: Iterable[Mapping[str, float]]
 ) -> Dict[str, float]:

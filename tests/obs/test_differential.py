@@ -1,0 +1,121 @@
+"""Metrics are observation-only: enabling them never changes results.
+
+Every instrumented layer is run twice on the same seeded stream — once
+with a registry, once without — and the *algorithmic* outputs must be
+identical.  This is the contract that lets instrumentation live in hot
+paths permanently.
+"""
+
+import pytest
+
+from repro.core.space_saving import SpaceSaving
+from repro.cots import CoTSRunConfig, run_cots
+from repro.obs import MetricsRegistry
+from repro.parallel import SchemeConfig, run_sequential
+from repro.workloads import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(5_000, 600, 1.5, seed=11)
+
+
+def _triples(counter):
+    return [(e.element, e.count, e.error) for e in counter.entries()]
+
+
+# ----------------------------------------------------------------------
+# raw SpaceSaving
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("lane", ["per_element", "batched"])
+def test_space_saving_metrics_do_not_change_counts(stream, lane):
+    plain = SpaceSaving(capacity=64)
+    registry = MetricsRegistry()
+    instrumented = SpaceSaving(capacity=64, metrics=registry)
+    for counter in (plain, instrumented):
+        if lane == "batched":
+            counter.process_many(stream)
+        else:
+            for element in stream:
+                counter.process(element)
+    assert _triples(plain) == _triples(instrumented)
+    assert plain.processed == instrumented.processed
+    # ... and the metrics themselves reconcile with the run
+    counters = registry.snapshot()["counters"]
+    assert counters["core.spacesaving.occurrences"] == len(stream)
+    assert (
+        counters["core.spacesaving.increments"] > 0
+        and counters["core.spacesaving.inserts"] == 64
+        and counters["core.spacesaving.overwrites"] > 0
+    )
+
+
+def test_space_saving_lanes_agree_on_metrics_invariants(stream):
+    # inserts + overwrites == distinct summary slots filled, in any lane
+    registry = MetricsRegistry()
+    counter = SpaceSaving(capacity=64, metrics=registry)
+    counter.process_many(stream)
+    counters = registry.snapshot()["counters"]
+    assert counters["core.spacesaving.inserts"] == len(counter.entries())
+
+
+# ----------------------------------------------------------------------
+# simulated drivers
+# ----------------------------------------------------------------------
+def test_run_sequential_metrics_identical(stream):
+    base = run_sequential(stream, SchemeConfig(threads=1, capacity=64))
+    registry = MetricsRegistry()
+    inst = run_sequential(
+        stream, SchemeConfig(threads=1, capacity=64, metrics=registry)
+    )
+    assert base.cycles == inst.cycles
+    assert _triples(base.counter) == _triples(inst.counter)
+    assert "metrics" in inst.extras
+    assert "metrics" not in base.extras
+    snap = inst.extras["metrics"]
+    assert snap["counters"]["core.spacesaving.occurrences"] == len(stream)
+
+
+def test_run_cots_metrics_identical(stream):
+    base = run_cots(stream, CoTSRunConfig(threads=4, capacity=64))
+    registry = MetricsRegistry()
+    inst = run_cots(
+        stream, CoTSRunConfig(threads=4, capacity=64, metrics=registry)
+    )
+    # deterministic simulation: same schedule, same cycles, same summary
+    assert base.cycles == inst.cycles
+    assert _triples(base.counter) == _triples(inst.counter)
+    assert base.extras["stats"] == inst.extras["stats"]
+    snap = inst.extras["metrics"]
+    # the folded stats counters mirror the stats dict exactly
+    for key, value in inst.extras["stats"].items():
+        assert snap["counters"][f"cots.stats.{key}"] == value
+    # the live queue-depth histogram saw every delegation delivery
+    assert snap["histograms"]["cots.queue.depth"]["count"] > 0
+
+
+# ----------------------------------------------------------------------
+# the multiprocess backend
+# ----------------------------------------------------------------------
+def test_run_mp_metrics_identical():
+    from repro.mp import MPConfig, run_mp
+
+    stream = zipf_stream(4_000, 500, 1.2, seed=3)
+    config = MPConfig(workers=2, capacity=64, chunk_elements=512)
+    base = run_mp(stream, config)
+    registry = MetricsRegistry()
+    inst = run_mp(stream, config, metrics=registry)
+    # hash routing + FIFO merge are deterministic: exact same summary
+    assert _triples(base.counter) == _triples(inst.counter)
+    assert base.counter.processed == inst.counter.processed
+    snap = inst.extras["metrics"]
+    assert snap["counters"]["mp.dispatched.items"] == len(stream)
+    per_worker = sum(
+        value
+        for name, value in snap["counters"].items()
+        if name.startswith("mp.worker.") and name.endswith(".items")
+    )
+    assert per_worker == len(stream)
+    assert snap["histograms"]["mp.snapshot.seconds"]["count"] == 1
+    assert snap["histograms"]["mp.merge.seconds"]["count"] == 1
+    assert "metrics" not in base.extras

@@ -1,0 +1,144 @@
+"""Run-report rendering, the schema catalogue and the report CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.obs import (
+    METRIC_SPECS,
+    MetricsRegistry,
+    iter_entry_metrics,
+    lookup,
+    render_report,
+    report_json,
+    select_entries,
+)
+
+
+def _sample_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("core.spacesaving.increments").inc(10)
+    registry.gauge("sim.seconds").set(0.5)
+    registry.histogram("cots.queue.depth", buckets=(1, 2)).observe(1)
+    return registry.snapshot()
+
+
+def _sample_report():
+    return {
+        "suite": "core",
+        "scale": "tiny",
+        "results": [
+            {"name": "alpha", "metrics": _sample_snapshot()},
+            {"name": "beta"},
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# schema catalogue
+# ----------------------------------------------------------------------
+def test_lookup_exact_and_templated():
+    assert lookup("core.spacesaving.increments").unit == "ops"
+    assert lookup("mp.worker.3.items").name == "mp.worker.<i>.items"
+    assert lookup("sim.busy_cycles.hash").layer == "sim"
+    assert lookup("cots.stats.delegations").kind == "counter"
+    assert lookup("no.such.metric") is None
+
+
+def test_spec_names_follow_layer_dot_convention():
+    for name, spec in METRIC_SPECS.items():
+        assert name == spec.name
+        assert name.count(".") >= 1
+        assert spec.kind in ("counter", "gauge", "histogram")
+        assert spec.layer in ("core", "cots", "mp", "sim", "bench")
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def test_iter_entry_metrics_bench_report():
+    pairs = iter_entry_metrics(_sample_report())
+    assert [name for name, _ in pairs] == ["alpha", "beta"]
+    assert pairs[1][1] == {}
+
+
+def test_iter_entry_metrics_single_run_document():
+    pairs = iter_entry_metrics({"metrics": _sample_snapshot()})
+    assert len(pairs) == 1 and pairs[0][0] == "run"
+
+
+def test_iter_entry_metrics_rejects_non_reports():
+    with pytest.raises(ConfigurationError):
+        iter_entry_metrics({"something": "else"})
+
+
+def test_render_report_mentions_every_entry_and_annotates():
+    text = render_report(_sample_report(), source="x.json")
+    assert "entry alpha" in text and "entry beta" in text
+    assert "core.spacesaving.increments" in text
+    assert "ops" in text              # unit from the catalogue
+    assert "(no metrics recorded)" in text
+    assert "x.json" in text
+
+
+def test_report_json_round_trips_snapshots():
+    report = _sample_report()
+    machine = report_json(report)
+    assert machine["schema_version"] == 1
+    assert machine["entries"][0]["metrics"] == report["results"][0]["metrics"]
+    # JSON-serializable end to end
+    assert json.loads(json.dumps(machine)) == machine
+
+
+def test_select_entries_filters_by_substring():
+    filtered = select_entries(_sample_report(), "alp")
+    assert [e["name"] for e in filtered["results"]] == ["alpha"]
+    # no filter: untouched
+    report = _sample_report()
+    assert select_entries(report, None) is report
+
+
+def test_select_entries_unknown_name_lists_known():
+    with pytest.raises(ConfigurationError, match="alpha"):
+        select_entries(_sample_report(), "nope")
+
+
+# ----------------------------------------------------------------------
+# the CLI command
+# ----------------------------------------------------------------------
+@pytest.fixture
+def report_file(tmp_path):
+    path = tmp_path / "BENCH_core.json"
+    path.write_text(json.dumps(_sample_report()))
+    return path
+
+
+def test_cli_report_table(report_file, capsys):
+    assert main(["report", str(report_file)]) == 0
+    out = capsys.readouterr().out
+    assert "entry alpha" in out
+    assert "core.spacesaving.increments" in out
+
+
+def test_cli_report_json_round_trips(report_file, capsys):
+    assert main(["report", str(report_file), "--json"]) == 0
+    machine = json.loads(capsys.readouterr().out)
+    assert machine["entries"][0]["metrics"] == _sample_snapshot()
+
+
+def test_cli_report_entry_filter(report_file, capsys):
+    assert main(["report", str(report_file), "--entry", "beta"]) == 0
+    out = capsys.readouterr().out
+    assert "entry beta" in out and "entry alpha" not in out
+
+
+def test_cli_report_missing_file(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope.json")]) == 2
+    assert "no report" in capsys.readouterr().err
+
+
+def test_cli_report_bad_filter(report_file, capsys):
+    assert main(["report", str(report_file), "--entry", "zzz"]) == 2
+    assert "report:" in capsys.readouterr().err

@@ -93,6 +93,64 @@ def test_suite_report_shape_and_results(micro_scale, tmp_path):
     assert "cots-preagg" in text
 
 
+def test_core_suite_entries_embed_metrics(micro_scale):
+    report = bench.run_suite("tiny")
+    for entry in report["results"]:
+        snap = entry["metrics"]
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"] or snap["gauges"] or snap["histograms"]
+    by_name = {entry["name"]: entry["metrics"] for entry in report["results"]}
+    # the hot-path and sequential entries carry the Space Saving op mix,
+    # with real traffic on the increment and overwrite counters
+    for name in (
+        "sequential-hot-path-per-element",
+        "sequential-hot-path-batched",
+        "sequential",
+        "sequential-batched",
+    ):
+        counters = by_name[name]["counters"]
+        assert counters["core.spacesaving.increments"] > 0
+    # the hot-path stream overflows its capacity, so evictions must show
+    for name in (
+        "sequential-hot-path-per-element",
+        "sequential-hot-path-batched",
+    ):
+        assert by_name[name]["counters"]["core.spacesaving.overwrites"] > 0
+    # both hot-path lanes agree on the semantic (lane-independent) ops
+    per_element = by_name["sequential-hot-path-per-element"]["counters"]
+    batched = by_name["sequential-hot-path-batched"]["counters"]
+    for key in (
+        "core.spacesaving.occurrences",
+        "core.spacesaving.inserts",
+        "core.spacesaving.overwrites",
+    ):
+        assert per_element[key] == batched[key]
+    # simulated entries carry the simulator accounts; CoTS adds protocol
+    for name in ("cots", "cots-preagg"):
+        snap = by_name[name]
+        assert snap["gauges"]["sim.makespan_cycles"] > 0
+        assert snap["counters"]["cots.stats.delegations"] >= 0
+        assert any(
+            key.startswith("sim.busy_cycles.") for key in snap["counters"]
+        )
+
+
+def test_report_command_reads_bench_output(micro_scale, tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "BENCH_core.json"
+    bench.write_report(bench.run_suite("tiny"), out)
+    assert main(["report", str(out), "--entry", "hot-path"]) == 0
+    text = capsys.readouterr().out
+    assert "core.spacesaving.increments" in text
+    assert main(["report", str(out), "--json"]) == 0
+    machine = json.loads(capsys.readouterr().out)
+    original = json.loads(out.read_text())
+    assert [e["metrics"] for e in machine["entries"]] == [
+        e["metrics"] for e in original["results"]
+    ]
+
+
 def test_cli_bench_writes_report(micro_scale, tmp_path, capsys):
     from repro.cli import main
 
@@ -131,6 +189,23 @@ def test_mp_suite_report_shape(micro_mp_scale):
     assert "mp-sharded-2w" in text
     assert "host_cores" in text
     assert "equivalent=True" in text
+
+
+def test_mp_suite_entries_embed_metrics(micro_mp_scale):
+    report = bench.run_suite("tiny", suite="mp")
+    by_name = {entry["name"]: entry["metrics"] for entry in report["results"]}
+    baseline = by_name["mp-sequential-batched"]["counters"]
+    assert baseline["core.spacesaving.increments"] > 0
+    assert baseline["core.spacesaving.occurrences"] == _MICRO_MP["mp_length"]
+    for workers in (1, 2):
+        snap = by_name[f"mp-sharded-{workers}w"]
+        counters = snap["counters"]
+        assert counters["mp.dispatched.items"] == _MICRO_MP["mp_length"]
+        assert counters["mp.dispatched.batches"] > 0
+        assert snap["histograms"]["mp.merge.seconds"]["count"] == 1
+        assert any(
+            name.endswith(".items_per_sec") for name in snap["gauges"]
+        )
 
 
 def test_cli_bench_mp_suite_default_output(micro_mp_scale, tmp_path, capsys, monkeypatch):

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Validate every ``python -m repro ...`` example in the documentation.
+
+Docs rot when flags change.  This tool extracts every fenced ``bash``
+code block from README.md and docs/*.md, finds the lines that invoke
+``python -m repro ...``, and *parses* each one against the real CLI
+parser (``repro.cli._build_parser``).  Parse-only validation catches
+renamed/removed subcommands, dropped flags and invalid choice values
+without running anything expensive.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py            # repo root
+    PYTHONPATH=src python tools/check_docs.py README.md docs/foo.md
+
+Exit code 0 when every example parses, 1 with a listing of failures
+otherwise.  CI runs this as the ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import pathlib
+import re
+import shlex
+import sys
+from contextlib import redirect_stderr, redirect_stdout
+from typing import Iterator, List, NamedTuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: fenced code blocks we scan (only bash/sh/shell fences hold commands)
+FENCE_RE = re.compile(
+    r"^```(?:bash|sh|shell)\s*$(.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+#: environment-variable prefixes and invocation wrappers to strip
+ENV_ASSIGNMENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=\S+$")
+
+
+class Example(NamedTuple):
+    """One ``python -m repro`` invocation found in the docs."""
+
+    path: pathlib.Path
+    line: int            # 1-based line of the command in the file
+    text: str            # the logical (continuation-joined) command
+    argv: List[str]      # what we hand to the parser
+
+
+def default_doc_files() -> List[pathlib.Path]:
+    """README.md plus every markdown page under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def _logical_lines(block: str, first_line: int) -> Iterator[tuple]:
+    """Join trailing-backslash continuations; yield (line_no, text)."""
+    pending = ""
+    pending_start = first_line
+    for offset, raw in enumerate(block.splitlines()):
+        line = raw.rstrip()
+        if not pending:
+            pending_start = first_line + offset
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        yield pending_start, (pending + line).strip()
+        pending = ""
+    if pending:
+        yield pending_start, pending.strip()
+
+
+def _extract_argv(command: str) -> List[str] | None:
+    """The ``repro`` argv of a doc command line, or None if not one.
+
+    Strips leading env assignments (``PYTHONPATH=src``), comments and
+    shell redirections (``> out.json``, ``| head``) — none of those
+    affect what argparse sees.
+    """
+    if "#" in command:
+        command = command.split("#", 1)[0].strip()
+    if not command:
+        return None
+    try:
+        tokens = shlex.split(command)
+    except ValueError:
+        return None
+    while tokens and ENV_ASSIGNMENT_RE.match(tokens[0]):
+        tokens = tokens[1:]
+    # cut at the first redirection / pipe / chain operator
+    for index, token in enumerate(tokens):
+        if token in (">", ">>", "<", "|", "&&", "||", ";") or (
+            token.startswith((">", "<")) and len(token) > 1
+        ):
+            tokens = tokens[:index]
+            break
+    if tokens[:3] != ["python", "-m", "repro"]:
+        return None
+    return tokens[3:]
+
+
+def extract_examples(path: pathlib.Path) -> List[Example]:
+    """Every ``python -m repro`` example in one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    examples: List[Example] = []
+    for match in FENCE_RE.finditer(text):
+        block_first_line = text.count("\n", 0, match.start(1)) + 1
+        for line_no, command in _logical_lines(match.group(1), block_first_line):
+            argv = _extract_argv(command)
+            if argv is not None:
+                examples.append(Example(path, line_no, command, argv))
+    return examples
+
+
+def validate(example: Example, parser: argparse.ArgumentParser) -> str | None:
+    """Parse one example; return an error message or None when valid."""
+    sink = io.StringIO()
+    try:
+        with redirect_stdout(sink), redirect_stderr(sink):
+            parser.parse_args(example.argv)
+    except SystemExit as exc:
+        # --help/--version exit 0: those examples are valid by definition
+        if exc.code not in (0, None):
+            return sink.getvalue().strip().splitlines()[-1] if sink.getvalue() else "parse error"
+    return None
+
+
+def main(argv: List[str] | None = None) -> int:
+    cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    cli.add_argument(
+        "files", nargs="*", type=pathlib.Path,
+        help="markdown files to check (default: README.md + docs/*.md)",
+    )
+    args = cli.parse_args(argv)
+
+    from repro.cli import _build_parser
+
+    parser = _build_parser()
+    files = args.files or default_doc_files()
+    examples: List[Example] = []
+    for path in files:
+        examples.extend(extract_examples(path))
+    failures = []
+    for example in examples:
+        error = validate(example, parser)
+        if error is not None:
+            failures.append((example, error))
+    rel = lambda p: p.relative_to(REPO_ROOT) if p.is_relative_to(REPO_ROOT) else p  # noqa: E731
+    if failures:
+        print(f"check_docs: {len(failures)} stale example(s):")
+        for example, error in failures:
+            print(f"  {rel(example.path)}:{example.line}: {example.text}")
+            print(f"      {error}")
+        return 1
+    print(
+        f"check_docs: {len(examples)} `python -m repro` example(s) across "
+        f"{len(files)} file(s) all parse"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
