@@ -42,18 +42,33 @@ Commands
 ``report``
     Render the metrics snapshots embedded in a bench report (or any
     JSON document carrying the same schema) as a readable table, or as
-    machine-readable JSON with ``--json``::
+    machine-readable JSON with ``--json``; ``--diff`` compares two
+    reports and exits 1 when a gated metric regresses past its
+    threshold::
 
         python -m repro report BENCH_core.json
         python -m repro report BENCH_mp.json --entry mp-sharded --json
+        python -m repro report --diff BENCH_mp.json fresh.json --tolerance 5.0
 
 ``schedcheck``
     Explore N seeded scheduling perturbations per scheme, auditing
     structural and semantic invariants on every run; failing schedules
-    are shrunk to minimal reproducers.  Exit code 1 on violations::
+    are shrunk to minimal reproducers (``--trace-dir`` additionally
+    dumps each reproducer as a Chrome trace).  Exit code 1 on
+    violations::
 
         python -m repro schedcheck --schemes cots,shared,hybrid \
             --schedules 200 --seed 42
+
+``trace``
+    Record a traced run and print its timeline; ``--mode`` picks the
+    simulated shared scheme (engine-effect trace), a span-traced
+    simulated CoTS run, or a span-traced real multiprocess run, and
+    ``--out`` exports Chrome trace-event JSON for Perfetto /
+    ``chrome://tracing``::
+
+        python -m repro trace --mode cots --threads 8 --out cots.json
+        python -m repro trace --mode mp --workers 2 --out mp.json
 """
 
 from __future__ import annotations
@@ -198,6 +213,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit the machine-readable JSON form instead of the table",
     )
+    report.add_argument(
+        "--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+        type=pathlib.Path, default=None,
+        help="compare two run reports instead of rendering one: "
+        "per-entry deltas for bench scalars and metrics snapshots, "
+        "exit 1 when a gated metric regresses past its threshold",
+    )
+    report.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override every per-metric regression threshold with one "
+        "relative slack (e.g. 5.0 allows 6x; used by CI smoke)",
+    )
 
     schedcheck = commands.add_parser(
         "schedcheck",
@@ -230,13 +257,27 @@ def _build_parser() -> argparse.ArgumentParser:
                             "mutations)")
     schedcheck.add_argument("--no-shrink", action="store_true",
                             help="skip shrinking failing schedules")
+    schedcheck.add_argument(
+        "--trace-dir", type=pathlib.Path, default=None,
+        help="also write each minimal reproducer's schedule as Chrome "
+        "trace-event JSON (<scheme>-reproducer.json) into this directory",
+    )
     schedcheck.add_argument("--verbose", action="store_true",
                             help="print one line per schedule")
 
     trace = commands.add_parser(
         "trace",
-        help="run a tiny simulated workload with tracing and print the "
-        "core-occupancy timeline",
+        help="record a traced run (simulated or real) and print the "
+        "timeline; --out exports Chrome trace-event JSON",
+    )
+    trace.add_argument(
+        "--mode",
+        choices=("sim", "cots", "mp"),
+        default="sim",
+        help="sim: shared-scheme engine trace (core occupancy); cots: "
+        "span-traced CoTS run (delegation/drain/scheduler); mp: "
+        "span-traced multiprocess run on real worker processes "
+        "(default: sim)",
     )
     trace.add_argument("--threads", type=int, default=6)
     trace.add_argument("--length", type=int, default=1_500)
@@ -244,6 +285,13 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--capacity", type=int, default=64)
     trace.add_argument("--cores", type=int, default=4)
     trace.add_argument("--width", type=int, default=72)
+    trace.add_argument("--workers", type=int, default=2,
+                       help="worker processes (mp mode)")
+    trace.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="write the Chrome trace-event JSON (open in Perfetto or "
+        "chrome://tracing) to this path",
+    )
     return parser
 
 
@@ -450,11 +498,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     from repro.errors import ConfigurationError
     from repro.obs import (
+        diff_reports,
         load_report,
         render_report,
         report_json,
         select_entries,
     )
+
+    if args.diff is not None:
+        try:
+            before = load_report(str(args.diff[0]))
+            after = load_report(str(args.diff[1]))
+            result = diff_reports(
+                before, after, tolerance=args.tolerance, entry=args.entry
+            )
+        except FileNotFoundError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+        except ConfigurationError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+        if args.as_json:
+            print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        else:
+            print(result.render())
+        return 0 if result.ok else 1
 
     try:
         report = load_report(str(args.path))
@@ -518,6 +586,11 @@ def _cmd_schedcheck(args: argparse.Namespace) -> int:
                 get_scheme(name), stream, config, failing, patch=patch
             )
             print(result.render())
+            if args.trace_dir is not None:
+                args.trace_dir.mkdir(parents=True, exist_ok=True)
+                trace_path = args.trace_dir / f"{name}-reproducer.json"
+                spans = result.write_chrome_trace(str(trace_path))
+                print(f"reproducer trace: {trace_path} ({spans} spans)")
     if violations:
         print(f"schedcheck: {violations} violating schedule(s)")
         return 0 if patch is not None else 1
@@ -529,27 +602,99 @@ def _cmd_schedcheck(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    """Shared-scheme run with the trace recorder; prints the timeline."""
-    from repro.parallel.base import SchemeConfig
-    from repro.parallel.shared import _SharedState, _worker
-    from repro.simcore import CostModel, Engine, MachineSpec, TraceRecorder
-    from repro.workloads import block_partition, zipf_stream
+    """Record a traced run and print/export its timeline.
+
+    ``--mode sim`` keeps the original behaviour (engine-effect trace of
+    the shared scheme, core-occupancy timeline); ``--mode cots`` and
+    ``--mode mp`` record *span* traces of a simulated CoTS run and a
+    real multiprocess run.  With ``--out`` the timeline is additionally
+    exported as Chrome trace-event JSON — all three modes go through the
+    same exporter (the sim trace is bridged into the span model).
+    """
+    from repro.obs.export import ascii_timeline, write_chrome_trace
+    from repro.workloads import zipf_stream
 
     stream = zipf_stream(args.length, args.length, args.alpha, seed=7)
-    tracer = TraceRecorder()
-    costs = CostModel()
-    engine = Engine(
-        machine=MachineSpec(cores=args.cores), costs=costs, tracer=tracer
+
+    if args.mode == "sim":
+        from repro.obs.tracing import spans_from_sim_trace
+        from repro.parallel.shared import _SharedState, _worker
+        from repro.simcore import CostModel, Engine, MachineSpec, TraceRecorder
+        from repro.workloads import block_partition
+
+        tracer = TraceRecorder()
+        costs = CostModel()
+        engine = Engine(
+            machine=MachineSpec(cores=args.cores), costs=costs, tracer=tracer
+        )
+        state = _SharedState(args.capacity, "mutex")
+        for index, part in enumerate(block_partition(stream, args.threads)):
+            engine.spawn(
+                _worker(part, state, costs), name=f"{chr(97 + index % 26)}{index}"
+            )
+        result = engine.run()
+        print(tracer.timeline(width=args.width))
+        print()
+        print(tracer.summary())
+        print(f"simulated time: {result.seconds * 1e3:.3f} ms for "
+              f"{len(stream)} elements on the shared (lock-based) design")
+        if args.out is not None:
+            spans, dropped = spans_from_sim_trace(tracer)
+            write_chrome_trace(
+                str(args.out), spans, scale=1.0, truncated=dropped,
+                meta={"mode": "sim", "scheme": "shared",
+                      "threads": args.threads, "cores": args.cores},
+            )
+            print(f"wrote {args.out} ({len(spans)} spans, "
+                  f"{dropped} dropped)")
+        return 0
+
+    if args.mode == "cots":
+        from repro.cots import CoTSRunConfig, run_cots
+        from repro.obs.tracing import Tracer
+        from repro.simcore import MachineSpec
+
+        tracer = Tracer()
+        result = run_cots(stream, CoTSRunConfig(
+            threads=args.threads, capacity=args.capacity,
+            machine=MachineSpec(cores=args.cores), tracer=tracer,
+        ))
+        records = tracer.records()
+        print(ascii_timeline(records, width=args.width))
+        print(f"simulated time: {result.seconds * 1e3:.3f} ms, "
+              f"{len(records)} trace records"
+              + (f", {tracer.dropped} dropped" if tracer.dropped else ""))
+        if args.out is not None:
+            # simulated clocks record cycles: one exported "us" per cycle
+            write_chrome_trace(
+                str(args.out), records, scale=1.0, truncated=tracer.dropped,
+                meta={"mode": "cots", "threads": args.threads,
+                      "cores": args.cores, "clock": "cycles"},
+            )
+            print(f"wrote {args.out} ({len(records)} records)")
+        return 0
+
+    # mp: a real multiprocess run on host wall clock
+    from repro.mp import MPConfig, run_mp
+    from repro.obs.tracing import Tracer
+
+    tracer = Tracer()
+    result = run_mp(
+        stream,
+        MPConfig(workers=args.workers, capacity=args.capacity),
+        tracer=tracer,
     )
-    state = _SharedState(args.capacity, "mutex")
-    for index, part in enumerate(block_partition(stream, args.threads)):
-        engine.spawn(_worker(part, state, costs), name=f"{chr(97 + index % 26)}{index}")
-    result = engine.run()
-    print(tracer.timeline(width=args.width))
-    print()
-    print(tracer.summary())
-    print(f"simulated time: {result.seconds * 1e3:.3f} ms for "
-          f"{len(stream)} elements on the shared (lock-based) design")
+    records = tracer.records()
+    print(ascii_timeline(records, width=args.width))
+    print(f"wall time: {result.wall_seconds * 1e3:.3f} ms on "
+          f"{args.workers} worker processes, {len(records)} trace records"
+          + (f", {tracer.dropped} dropped" if tracer.dropped else ""))
+    if args.out is not None:
+        write_chrome_trace(
+            str(args.out), records, scale=1e6, truncated=tracer.dropped,
+            meta={"mode": "mp", "workers": args.workers, "clock": "seconds"},
+        )
+        print(f"wrote {args.out} ({len(records)} records)")
     return 0
 
 

@@ -31,6 +31,7 @@ from repro.core.counters import CounterEntry, Element
 from repro.core.stream_summary import StreamSummary
 from repro.errors import ConfigurationError
 from repro.obs.registry import MetricsRegistry, coerce
+from repro.obs.tracing import Tracer, coerce_tracer
 
 
 class SpaceSaving:
@@ -45,6 +46,13 @@ class SpaceSaving:
     ``overwrites``), consumed occurrences, and increments landing in the
     minimum bucket.  Metrics are observation-only — enabling them never
     changes any count (pinned by ``tests/obs/test_differential.py``).
+
+    ``tracer`` optionally attaches a :class:`~repro.obs.tracing.Tracer`;
+    each of the three processing lanes then records a span per call /
+    chunk (``lane.per-element`` / ``lane.preaggregated`` /
+    ``lane.fused``), so a timeline shows which lane served which part of
+    the stream.  Tracing is observation-only too (pinned by
+    ``tests/obs/test_trace_differential.py``).
     """
 
     def __init__(
@@ -53,6 +61,7 @@ class SpaceSaving:
         epsilon: Optional[float] = None,
         *,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if (capacity is None) == (epsilon is None):
             raise ConfigurationError(
@@ -86,6 +95,13 @@ class SpaceSaving:
         self._m_min_hits = self.metrics.counter(
             "core.spacesaving.min_bucket_hits"
         )
+        # With the default NullTracer every lane pays one attribute read
+        # plus one (class-constant) truth check when tracing is off.
+        self.tracer = coerce_tracer(tracer)
+
+    def bind_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach (or detach, with ``None``) a span tracer."""
+        self.tracer = coerce_tracer(tracer)
 
     @classmethod
     def from_entries(
@@ -141,6 +157,9 @@ class SpaceSaving:
         """
         if count < 1:
             raise ConfigurationError(f"count must be >= 1, got {count}")
+        tracer = self.tracer
+        if tracer.enabled:
+            trace_start = tracer.now()
         summary = self.summary
         node = summary._nodes.get(element)
         if node is not None:
@@ -158,6 +177,11 @@ class SpaceSaving:
             summary.insert(element, count=min_freq + count, error=min_freq)
         self._m_occurrences.inc(count)
         self._processed += count
+        if tracer.enabled:
+            tracer.add_span(
+                "spacesaving", "lane.per-element", "core",
+                trace_start, tracer.now(), {"count": count},
+            )
 
     #: elements per pre-aggregated chunk of :meth:`process_many`
     BATCH_CHUNK = 4096
@@ -183,17 +207,21 @@ class SpaceSaving:
         summary = self.summary
         nodes = summary._nodes
         capacity = self.capacity
+        tracer = self.tracer
         iterator = iter(elements)
         while True:
             chunk = list(itertools.islice(iterator, self.BATCH_CHUNK))
             if not chunk:
                 return
+            if tracer.enabled:
+                trace_start = tracer.now()
             counts = collections.Counter(chunk)
             new = 0
             for element in counts:
                 if element not in nodes:
                     new += 1
-            if len(nodes) + new <= capacity:
+            bulk_lane = len(nodes) + new <= capacity
+            if bulk_lane:
                 # no eviction possible: bulk updates commute
                 increment = summary.increment
                 insert = summary.insert
@@ -215,6 +243,15 @@ class SpaceSaving:
                 self._process_chunk(chunk)
             self._m_occurrences.inc(len(chunk))
             self._processed += len(chunk)
+            if tracer.enabled:
+                tracer.add_span(
+                    "spacesaving",
+                    "lane.preaggregated" if bulk_lane else "lane.fused",
+                    "core",
+                    trace_start,
+                    tracer.now(),
+                    {"elements": len(chunk), "distinct": len(counts)},
+                )
 
     def _process_chunk(self, chunk: List[Element]) -> None:
         """Tight per-element loop: exact Algorithm 1 order, runs fused."""

@@ -34,6 +34,7 @@ from repro.cots.summary import (
 )
 from repro.errors import ConfigurationError
 from repro.obs.registry import coerce
+from repro.obs.tracing import coerce_tracer
 from repro.parallel.base import SchemeConfig, SchemeResult, TAG_REST
 from repro.simcore.atomics import AtomicCell
 from repro.simcore.costs import CostModel
@@ -63,6 +64,7 @@ class CoTSFramework:
         summary_cls=ConcurrentStreamSummary,
         table_cls=CoTSHashTable,
         metrics=None,
+        tracer=None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
@@ -77,6 +79,8 @@ class CoTSFramework:
         self.summary = summary_cls(capacity, self.table, costs)
         self.metrics = coerce(metrics)
         self.summary.bind_metrics(self.metrics)
+        self.tracer = coerce_tracer(tracer)
+        self.summary.bind_tracer(self.tracer)
         #: optional scheduler (σ/ρ auto-configuration); see scheduler.py
         self.scheduler = None
 
@@ -269,8 +273,14 @@ def run_cots(
         table_size=config.table_size,
         table_cls=table_cls,
         metrics=config.metrics,
+        tracer=config.tracer,
     )
     engine = config.make_engine()
+    if framework.tracer.enabled:
+        # Spans are timestamped in *simulated cycles*: the engine clock
+        # is read host-side (no effect yielded), so recording never
+        # perturbs the schedule.
+        framework.tracer.use_clock(lambda: engine.now)
     config.bind_audit(
         engine, scheme="cots", framework=framework,
         summary=framework.summary, stream=stream,

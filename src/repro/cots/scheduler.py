@@ -22,6 +22,7 @@ from typing import Iterator, List, Optional
 
 from repro.cots.framework import CoTSFramework, WorkerContext
 from repro.errors import ConfigurationError
+from repro.obs.tracing import NULL_TRACER
 from repro.simcore.effects import Park, Unpark
 from repro.simcore.engine import Engine, SimThread
 
@@ -59,6 +60,9 @@ class CoTSScheduler:
         self.parks = 0
         self.wakes = 0
         self.helper_drains = 0
+        #: span tracer, rebound from the framework in :meth:`install`;
+        #: all calls are host-side so they never change the schedule
+        self.tracer = NULL_TRACER
 
     def record_metrics(self, registry) -> None:
         """Fold this run's sleep/wake transitions into ``registry``.
@@ -89,6 +93,7 @@ class CoTSScheduler:
         """Attach to a framework run (called by :func:`run_cots`)."""
         self._framework = framework
         self._engine = engine
+        self.tracer = framework.tracer
         self._active_workers = len(workers)
         if self.min_active <= 0:
             self.min_active = min(len(workers), engine.machine.cores)
@@ -112,6 +117,11 @@ class CoTSScheduler:
         if len(bucket.queue) > self.rho and self._parked_helpers:
             helper = self._parked_helpers.pop()
             self.wakes += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    ctx.name, "wake.helper", "cots.scheduler",
+                    args={"rho": self.rho, "queue": len(bucket.queue)},
+                )
             yield Unpark(helper, token=bucket, tag="rest")
 
     def after_element(self, ctx: WorkerContext) -> Iterator:
@@ -125,6 +135,11 @@ class CoTSScheduler:
             worker = self._parked_workers.pop()
             self._active_workers += 1
             self.wakes += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    ctx.name, "wake.worker", "cots.scheduler",
+                    args={"sigma": self.sigma, "congestion": self._congestion},
+                )
             yield Unpark(worker, token=_RESUME, tag="rest")
 
     def maybe_park(self, ctx: WorkerContext, my_thread: SimThread) -> Iterator:
@@ -141,7 +156,14 @@ class CoTSScheduler:
             self._active_workers -= 1
             self._parked_workers.append(my_thread)
             self.parks += 1
+            slept_at = self.tracer.now()
+            congestion = self._congestion
             token = yield Park(tag="rest")
+            self.tracer.add_span(
+                ctx.name, "parked", "cots.scheduler",
+                slept_at, self.tracer.now(),
+                {"sigma": self.sigma, "congestion": congestion},
+            )
             if token == _STOP:
                 return _STOP
             self._congestion = 0

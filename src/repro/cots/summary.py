@@ -39,6 +39,7 @@ from repro.cots.requests import (
 )
 from repro.errors import ConfigurationError, ProtocolError
 from repro.obs.registry import NULL_HISTOGRAM, NULL_REGISTRY
+from repro.obs.tracing import NULL_TRACER, coerce_tracer
 from repro.simcore.atomics import AtomicCell
 from repro.simcore.costs import CostModel
 from repro.simcore.effects import Compute, YieldCPU
@@ -153,6 +154,16 @@ class ConcurrentStreamSummary:
         #: in ``stats`` are folded into the registry by ``run_cots``
         self.metrics = NULL_REGISTRY
         self._m_queue_depth = NULL_HISTOGRAM
+        #: span tracer (rebound by :meth:`bind_tracer`).  Every tracer
+        #: call below is *host-side* — between effect yields — and for
+        #: simulated runs the tracer clock reads ``engine.now`` without
+        #: yielding, so tracing never perturbs the schedule (pinned by
+        #: ``tests/obs/test_trace_differential.py``).
+        self.tracer = NULL_TRACER
+
+    def bind_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.tracing.Tracer` to this summary."""
+        self.tracer = coerce_tracer(tracer)
 
     def bind_metrics(self, registry) -> None:
         """Attach a :class:`repro.obs.MetricsRegistry` to this summary.
@@ -189,6 +200,13 @@ class ConcurrentStreamSummary:
             ctx.worklist.append(target)
         else:
             self.stats["delegations"] += 1
+            if self.tracer.enabled:
+                # the handoff moment: this thread leaves its request for
+                # whoever owns the bucket (the minimal-existence path)
+                self.tracer.instant(
+                    ctx.name, "delegate", "cots.delegation",
+                    args={"freq": target.freq, "queue": len(target.queue)},
+                )
             if self.on_delegated is not None:
                 yield from self.on_delegated(target, ctx)
 
@@ -212,7 +230,30 @@ class ConcurrentStreamSummary:
     # Draining: the owner processes every pending request
     # ==================================================================
     def drain(self, bucket: ConcurrentBucket, ctx) -> Iterator:
-        """Drain ``bucket``'s queue; caller must have CAS-acquired it."""
+        """Drain ``bucket``'s queue; caller must have CAS-acquired it.
+
+        With tracing on, the whole drain (including ownership
+        re-acquisition rounds) is one span on the draining worker's
+        track, annotated with the bucket frequency and the queue depth
+        observed at entry — the raw material of a delegation-stall
+        read-through (docs/observability.md).
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            yield from self._drain(bucket, ctx)
+            return
+        start = tracer.now()
+        pending = len(bucket.queue)
+        freq = bucket.freq
+        try:
+            yield from self._drain(bucket, ctx)
+        finally:
+            tracer.add_span(
+                ctx.name, "drain", "cots.bucket", start, tracer.now(),
+                {"freq": freq, "pending": pending},
+            )
+
+    def _drain(self, bucket: ConcurrentBucket, ctx) -> Iterator:
         costs = self.costs
         if bucket.gc_marked:
             # acquired a bucket that was retired in between: just let go

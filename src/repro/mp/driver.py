@@ -54,6 +54,7 @@ def run_mp(
     stream: Sequence[Hashable],
     config: Optional[MPConfig] = None,
     metrics=None,
+    tracer=None,
 ) -> MPResult:
     """Count ``stream`` on a fresh worker pool and return the merged result.
 
@@ -68,10 +69,16 @@ def run_mp(
     queue occupancy, and snapshot/merge latency; the snapshot rides on
     ``result.extras["metrics"]`` in the same schema simulated runs emit,
     so the two kinds of run are directly comparable.
+
+    ``tracer`` (a :class:`repro.obs.tracing.Tracer`) additionally
+    records a span timeline: dispatch/snapshot/merge on the parent's
+    ``driver`` track plus per-batch worker spans re-based from the shard
+    processes (``shard-<i>/worker`` tracks) — exportable with
+    :func:`repro.obs.export.write_chrome_trace`.
     """
     config = config or MPConfig()
     started = time.perf_counter()
-    pool = ShardedProcessPool(config, metrics=metrics)
+    pool = ShardedProcessPool(config, metrics=metrics, tracer=tracer)
     startup = time.perf_counter() - started
     try:
         counting_started = time.perf_counter()

@@ -41,6 +41,7 @@ from repro.errors import BackendError, WorkerCrashError, WorkerTimeoutError
 from repro.mp.config import MPConfig
 from repro.mp.worker import shard_main
 from repro.obs.registry import TIME_BUCKETS, coerce
+from repro.obs.tracing import coerce_tracer
 from repro.workloads.partition import chunked, partition
 
 Element = Hashable
@@ -56,13 +57,20 @@ class ShardedProcessPool:
     (parent-side only; nothing crosses the process boundary): dispatched
     items/batches, per-worker routed items, task-queue occupancy sampled
     at each put, and snapshot/merge latency histograms.
+
+    ``tracer`` optionally attaches a :class:`repro.obs.tracing.Tracer`.
+    The parent records dispatch/snapshot/merge spans on the ``driver``
+    track; workers are started with tracing on and ship their batch
+    spans back with each snapshot reply, where they are re-based onto
+    the parent's ``perf_counter`` timeline under ``shard-<i>/`` tracks.
     """
 
     def __init__(
-        self, config: Optional[MPConfig] = None, metrics=None
+        self, config: Optional[MPConfig] = None, metrics=None, tracer=None
     ) -> None:
         self.config = config or MPConfig()
         self.metrics = coerce(metrics)
+        self.tracer = coerce_tracer(tracer)
         self._m_items = self.metrics.counter("mp.dispatched.items")
         self._m_batches = self.metrics.counter("mp.dispatched.batches")
         self._m_worker_items = [
@@ -96,6 +104,7 @@ class ShardedProcessPool:
                     self._replies,
                     self.config.capacity,
                     self.config.fault,
+                    self.tracer.enabled,
                 ),
                 name=f"repro-mp-shard-{index}",
                 daemon=True,
@@ -173,19 +182,29 @@ class ShardedProcessPool:
         died or stopped draining its queue.
         """
         self._ensure_open()
+        tracer = self.tracer
         sent = 0
         for chunk in chunked(stream, self.config.chunk_elements):
+            if tracer.enabled:
+                dispatch_start = tracer.now()
             self._poll_for_errors()
             batches = partition(chunk, self.workers, self.config.partition_how)
+            shipped = 0
             for index, batch in enumerate(batches):
                 if batch:
                     self._put(index, ("count", batch))
                     self._m_batches.inc()
                     self._m_worker_items[index].inc(len(batch))
                     self.worker_items[index] += len(batch)
+                    shipped += 1
             sent += len(chunk)
             self._dispatched += len(chunk)
             self._m_items.inc(len(chunk))
+            if tracer.enabled:
+                tracer.add_span(
+                    "driver", "dispatch", "mp", dispatch_start, tracer.now(),
+                    {"items": len(chunk), "batches": shipped},
+                )
         return sent
 
     def _ensure_open(self) -> None:
@@ -292,6 +311,11 @@ class ShardedProcessPool:
                 )
             )
         self._m_snapshot_seconds.observe(time.perf_counter() - started)
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                "driver", "snapshot", "mp", started, self.tracer.now(),
+                {"token": token, "shards": len(shards)},
+            )
         return shards
 
     def _collect_snapshots(self, token: int) -> List[ShardState]:
@@ -316,6 +340,17 @@ class ShardedProcessPool:
                 continue  # stale reply from an earlier, abandoned query
             index = message[0]
             states[index] = (message[3], message[4], message[5])
+            if len(message) > 7 and self.tracer.enabled:
+                # worker spans rode along: re-base them onto our clock.
+                # perf_counter epochs can differ across processes; the
+                # worker stamped the reply with its own clock reading, so
+                # receive-time minus that reading is the offset (the
+                # queue transit time is absorbed into it — spans land a
+                # hair late but never out of order).
+                offset = self.tracer.now() - message[7]
+                self.tracer.ingest(
+                    message[6], offset=offset, track_prefix=f"shard-{index}/"
+                )
             pending.discard(index)
         return [state for state in states if state is not None]
 
@@ -333,4 +368,9 @@ class ShardedProcessPool:
             shards, capacity=capacity or self.config.capacity
         )
         self._m_merge_seconds.observe(time.perf_counter() - started)
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                "driver", "merge", "mp", started, self.tracer.now(),
+                {"shards": len(shards)},
+            )
         return merged

@@ -21,6 +21,14 @@ Failures never disappear: any exception is reported on the reply queue
 as an ``("error", ...)`` message before the process exits non-zero, so
 the parent can raise a typed :class:`~repro.errors.WorkerCrashError`
 with the remote detail instead of a bare hang.
+
+With ``trace=True`` the worker keeps a local
+:class:`~repro.obs.tracing.Tracer` (span per drained batch, span per
+snapshot build, all on the ``worker`` track) and ships the serialized
+spans — plus its current ``perf_counter`` reading — as two extra fields
+on every snapshot reply.  The parent re-bases them onto its own
+timeline; older parents simply ignore the extra fields, so the reply
+shape stays backward compatible.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ import time
 from typing import Any, Optional
 
 from repro.core.space_saving import SpaceSaving
+from repro.obs.tracing import NULL_TRACER, Tracer
 
 #: exit code of a worker that died via the error path (parent reads it)
 CRASH_EXIT_CODE = 17
@@ -44,8 +53,10 @@ def shard_main(
     replies: Any,
     capacity: int,
     fault: Optional[str] = None,
+    trace: bool = False,
 ) -> None:
     """Entry point of one worker process (top-level: spawn-safe)."""
+    tracer = Tracer() if trace else NULL_TRACER
     shard = SpaceSaving(capacity=capacity)
     try:
         while True:
@@ -58,22 +69,33 @@ def shard_main(
                     os._exit(CRASH_EXIT_CODE)
                 if fault == "hang":
                     time.sleep(_HANG_SECONDS)
-                shard.process_many(message[1])
+                with tracer.span(
+                    "worker", "batch", "mp.worker",
+                    {"items": len(message[1])} if trace else None,
+                ):
+                    shard.process_many(message[1])
             elif kind == "snapshot":
-                entries = [
-                    (entry.element, entry.count, entry.error)
-                    for entry in shard.entries()
-                ]
-                replies.put(
-                    (
-                        index,
-                        "snapshot",
-                        message[1],
-                        entries,
-                        shard.processed,
-                        shard.capacity,
-                    )
+                with tracer.span("worker", "snapshot", "mp.worker"):
+                    entries = [
+                        (entry.element, entry.count, entry.error)
+                        for entry in shard.entries()
+                    ]
+                reply = (
+                    index,
+                    "snapshot",
+                    message[1],
+                    entries,
+                    shard.processed,
+                    shard.capacity,
                 )
+                if trace:
+                    # spans ride back with the reply; the worker's clock
+                    # reading lets the parent re-base them (its receive
+                    # time minus this value is the clock offset)
+                    payload = tracer.serialize()
+                    tracer.drain()
+                    reply = reply + (payload, tracer.now())
+                replies.put(reply)
             elif kind == "stop":
                 replies.put((index, "stopped", shard.processed))
                 return

@@ -20,6 +20,14 @@ renders any report whose entries embed such snapshots.
 
 The metric catalogue (names, units, owning layers) lives in
 :mod:`repro.obs.schema` and docs/observability.md.
+
+The *temporal* companion is :mod:`repro.obs.tracing`: a span/instant
+tracer with the same null-object discipline (:data:`NULL_TRACER`),
+shared by real threaded/process runs and — via
+:func:`spans_from_sim_trace` — simulated ones.  Timelines export to
+Chrome trace-event JSON and ASCII via :mod:`repro.obs.export`, and two
+run reports compare through :mod:`repro.obs.diff`
+(``python -m repro report --diff``).
 """
 
 from repro.obs.registry import (
@@ -48,12 +56,37 @@ from repro.obs.report import (
     report_json,
     select_entries,
 )
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Instant,
+    NullTracer,
+    Span,
+    Tracer,
+    coerce_tracer,
+    spans_from_sim_trace,
+)
+from repro.obs.export import (
+    ascii_timeline,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.diff import (
+    BENCH_FIELD_SPECS,
+    DiffLine,
+    DiffResult,
+    diff_reports,
+)
 
 __all__ = [
+    "BENCH_FIELD_SPECS",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DiffLine",
+    "DiffResult",
     "Gauge",
     "Histogram",
+    "Instant",
     "METRIC_SPECS",
     "MetricSpec",
     "MetricsRegistry",
@@ -61,10 +94,18 @@ __all__ = [
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_REGISTRY",
+    "NULL_TRACER",
     "NullRegistry",
+    "NullTracer",
     "REPORT_SCHEMA_VERSION",
+    "Span",
     "TIME_BUCKETS",
+    "Tracer",
+    "ascii_timeline",
+    "chrome_trace",
     "coerce",
+    "coerce_tracer",
+    "diff_reports",
     "empty_snapshot",
     "format_snapshot",
     "iter_entry_metrics",
@@ -74,4 +115,7 @@ __all__ = [
     "render_report",
     "report_json",
     "select_entries",
+    "spans_from_sim_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

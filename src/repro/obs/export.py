@@ -1,0 +1,233 @@
+"""Trace exporters: Chrome trace-event JSON and an ASCII timeline.
+
+Both exporters consume the neutral record model from
+:mod:`repro.obs.tracing` (:class:`~repro.obs.tracing.Span` /
+:class:`~repro.obs.tracing.Instant`), so a simulated engine timeline
+(via :func:`~repro.obs.tracing.spans_from_sim_trace`), an instrumented
+threaded CoTS run, and a multiprocess run all export through the same
+two functions.
+
+Chrome trace-event JSON is the *object* flavour of the format
+(``{"traceEvents": [...]}``) understood by Perfetto and
+``chrome://tracing``:
+
+* spans become ``ph: "X"`` (complete) events with ``ts``/``dur``;
+* instants become ``ph: "i"`` with ``s: "t"`` (thread scope);
+* each track gets a ``ph: "M"`` ``thread_name`` metadata event so the
+  UI labels rows with the worker/thread name.
+
+Timestamps in the format are microseconds.  Real traces record seconds
+(``time.perf_counter``), so they export with ``scale=1e6``; simulated
+traces record integer cycles and export with ``scale=1.0`` — one
+"microsecond" per cycle, which renders proportionally and keeps the
+numbers readable.
+
+:func:`validate_chrome_trace` is the schema check used by tests and the
+CI smoke job; it is deliberately strict about the fields this module
+emits rather than a general validator for the whole (huge) format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.tracing import Instant, Span
+
+#: pid used for all locally-recorded events.  Cross-process records are
+#: already re-based and track-prefixed by the parent tracer, so one
+#: logical process id keeps every row in a single Perfetto process group.
+TRACE_PID = 1
+
+
+def chrome_trace(
+    records: Iterable[Any],
+    scale: float = 1e6,
+    truncated: int = 0,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a Chrome trace-event document from span/instant records.
+
+    ``scale`` converts record timestamps to microseconds (1e6 for
+    seconds-based clocks, 1.0 for cycle-based simulated clocks).
+    ``truncated`` is the number of dropped records (ring-buffer
+    overwrites or a :class:`~repro.simcore.trace.TraceRecorder` hitting
+    its limit); it is surfaced in ``otherData`` so a clipped timeline is
+    never mistaken for a complete one.  ``meta`` adds run parameters
+    (scheme, workers, ...) to ``otherData``.
+    """
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    for record in records:
+        if not isinstance(record, (Span, Instant)):
+            raise ConfigurationError(
+                f"cannot export trace record of type {type(record).__name__}"
+            )
+        tid = tids.get(record.track)
+        if tid is None:
+            tid = len(tids)
+            tids[record.track] = tid
+            events.append({
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": record.track},
+            })
+        if isinstance(record, Span):
+            event = {
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": record.name,
+                "cat": record.cat,
+                "ts": record.start * scale,
+                "dur": (record.end - record.start) * scale,
+            }
+        else:
+            event = {
+                "ph": "i",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": record.name,
+                "cat": record.cat,
+                "ts": record.ts * scale,
+                "s": "t",
+            }
+        if record.args:
+            event["args"] = dict(record.args)
+        events.append(event)
+    other: Dict[str, Any] = {"truncated": truncated}
+    if meta:
+        other.update(meta)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    records: Iterable[Any],
+    scale: float = 1e6,
+    truncated: int = 0,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Serialize :func:`chrome_trace` output to ``path``; returns the doc."""
+    doc = chrome_trace(records, scale=scale, truncated=truncated, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")
+    return doc
+
+
+#: phases this exporter emits; validation rejects anything else
+_VALID_PHASES = ("X", "i", "M")
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Check that ``doc`` is a well-formed trace this module could emit.
+
+    Raises :class:`~repro.errors.ConfigurationError` with a pointed
+    message on the first violation.  Used by the export tests and the
+    CI trace smoke job to gate the artifact actually written to disk.
+    """
+    if not isinstance(doc, dict):
+        raise ConfigurationError("chrome trace must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ConfigurationError("chrome trace must have a traceEvents list")
+    named_tids = set()
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            raise ConfigurationError(f"{where}: event must be an object")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            raise ConfigurationError(
+                f"{where}: ph must be one of {_VALID_PHASES}, got {phase!r}"
+            )
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ConfigurationError(f"{where}: {key} must be an integer")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ConfigurationError(f"{where}: name must be a non-empty string")
+        if phase == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                raise ConfigurationError(
+                    f"{where}: metadata event needs args.name"
+                )
+            named_tids.add((event["pid"], event["tid"]))
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ConfigurationError(f"{where}: ts must be a number >= 0")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ConfigurationError(
+                    f"{where}: complete event dur must be a number >= 0"
+                )
+        if (event["pid"], event["tid"]) not in named_tids:
+            raise ConfigurationError(
+                f"{where}: tid {event['tid']} has no thread_name metadata"
+            )
+    other = doc.get("otherData")
+    if other is not None:
+        if not isinstance(other, dict):
+            raise ConfigurationError("otherData must be an object")
+        truncated = other.get("truncated")
+        if truncated is not None and not isinstance(truncated, int):
+            raise ConfigurationError("otherData.truncated must be an integer")
+
+
+def ascii_timeline(records: Sequence[Any], width: int = 72) -> str:
+    """Render spans as per-track ASCII occupancy bars.
+
+    The same visual language as
+    :meth:`repro.simcore.trace.TraceRecorder.timeline` — one row per
+    track, ``#`` where a span is live, ``.`` where the track is idle —
+    but driven by the neutral span model, so real runs get the renderer
+    too.  Instants are marked with ``!`` (they win over span fill so
+    handoffs stay visible).  Each row ends with the track's busy
+    fraction of the rendered window.
+    """
+    if width < 8:
+        raise ConfigurationError(f"width must be >= 8, got {width}")
+    spans = [r for r in records if isinstance(r, Span)]
+    instants = [r for r in records if isinstance(r, Instant)]
+    if not spans and not instants:
+        return "(no trace records)"
+    stamps: List[float] = []
+    for span in spans:
+        stamps.extend((span.start, span.end))
+    stamps.extend(instant.ts for instant in instants)
+    lo, hi = min(stamps), max(stamps)
+    extent = (hi - lo) or 1.0
+    tracks = sorted({record.track for record in spans + instants})
+    label_width = max(len(track) for track in tracks)
+
+    def column(value: float) -> int:
+        return min(width - 1, int((value - lo) / extent * width))
+
+    lines = [f"timeline {lo:g} .. {hi:g} ({len(spans)} spans)"]
+    for track in tracks:
+        cells = ["."] * width
+        busy = 0.0
+        for span in spans:
+            if span.track != track:
+                continue
+            busy += span.end - span.start
+            for cell in range(column(span.start), column(span.end) + 1):
+                cells[cell] = "#"
+        for instant in instants:
+            if instant.track == track:
+                cells[column(instant.ts)] = "!"
+        fraction = busy / extent
+        lines.append(
+            f"{track.ljust(label_width)} |{''.join(cells)}| {fraction:5.1%}"
+        )
+    return "\n".join(lines)

@@ -92,7 +92,7 @@ def format_snapshot(snapshot: Dict[str, Any], indent: str = "  ") -> str:
             f"<={_format_value(bound)}:{bucket_count}"
             for bound, bucket_count in zip(buckets, counts)
         ]
-        if len(counts) > len(buckets):
+        if len(counts) > len(buckets) and buckets:
             cells.append(f">{_format_value(buckets[-1])}:{counts[-1]}")
         lines.append(
             f"{indent}           mean={mean:.4g} " + " ".join(cells)

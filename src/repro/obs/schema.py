@@ -19,17 +19,38 @@ from typing import Dict, Optional
 
 @dataclasses.dataclass(frozen=True)
 class MetricSpec:
-    """One documented metric: its kind, unit and owning layer."""
+    """One documented metric: its kind, unit and owning layer.
+
+    ``worse`` and ``tolerance`` drive the ``report --diff`` regression
+    gate (:mod:`repro.obs.diff`): ``worse="up"`` means an increase is a
+    regression, ``worse="down"`` means a decrease is, and ``None`` (the
+    default) keeps the metric informational — its deltas are reported
+    but never fail a comparison.  ``tolerance`` is the relative change
+    allowed before a gated metric flags.
+    """
 
     name: str       #: dotted name, may contain <i>/<tag>/<stat> placeholders
     kind: str       #: counter | gauge | histogram
     unit: str       #: what one unit of the value means
     layer: str      #: owning package (core, cots, mp, sim, bench)
     help: str       #: one-line description
+    worse: Optional[str] = None   #: 'up' | 'down' | None (informational)
+    tolerance: float = 0.25       #: relative slack before a gated flag
 
 
-def _spec(name: str, kind: str, unit: str, layer: str, help: str) -> MetricSpec:
-    return MetricSpec(name=name, kind=kind, unit=unit, layer=layer, help=help)
+def _spec(
+    name: str,
+    kind: str,
+    unit: str,
+    layer: str,
+    help: str,
+    worse: Optional[str] = None,
+    tolerance: float = 0.25,
+) -> MetricSpec:
+    return MetricSpec(
+        name=name, kind=kind, unit=unit, layer=layer, help=help,
+        worse=worse, tolerance=tolerance,
+    )
 
 
 #: every documented metric, keyed by (possibly placeholder) name
@@ -82,9 +103,11 @@ METRIC_SPECS: Dict[str, MetricSpec] = {
               "wall-clock latency of one hierarchical merge of shards"),
         # ------------------------------------------------------- sim
         _spec("sim.makespan_cycles", "gauge", "cycles", "sim",
-              "simulated makespan of the run"),
+              "simulated makespan of the run",
+              worse="up", tolerance=0.25),
         _spec("sim.seconds", "gauge", "seconds", "sim",
-              "simulated wall-clock duration (makespan / clock_hz)"),
+              "simulated wall-clock duration (makespan / clock_hz)",
+              worse="up", tolerance=0.25),
         _spec("sim.events", "counter", "events", "sim",
               "engine events processed during the run"),
         _spec("sim.busy_cycles.<tag>", "counter", "cycles", "sim",

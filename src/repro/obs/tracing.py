@@ -1,0 +1,397 @@
+"""Span tracing: the *temporal* half of the observability layer.
+
+:mod:`repro.obs.registry` answers "how much happened"; this module
+answers "who owned what, when".  The primitives are
+
+* :class:`Span` — a named interval on one *track* (a worker thread, a
+  process, a simulated core's thread), with a category and optional
+  structured ``args``;
+* :class:`Instant` — a point event on a track (a delegation handoff, a
+  scheduler wake).
+
+A :class:`Tracer` collects both into **per-track bounded ring buffers**
+so hot paths can record freely without unbounded memory: once a track's
+ring is full the *oldest* records are overwritten (flight-recorder
+semantics) and the drop is counted — :attr:`Tracer.truncated` surfaces
+it, and the exporters annotate truncated timelines instead of silently
+clipping them.
+
+Design constraints mirror the metrics registry:
+
+* **Zero-cost-ish when disabled.**  :data:`NULL_TRACER` no-ops every
+  recording call, so instrumented call sites stay in hot paths
+  permanently; ``tracer.enabled`` lets a call site skip building args
+  dicts entirely.
+* **Clock-agnostic.**  A tracer owns a ``clock`` callable.  Real runs
+  use ``time.perf_counter`` (seconds); simulated runs rebind the clock
+  to ``lambda: engine.now`` (cycles) via :meth:`Tracer.use_clock` —
+  reading the engine's clock from host code never perturbs the
+  simulation, which is what keeps tracer-on == tracer-off
+  (``tests/obs/test_trace_differential.py``).
+* **Deterministic drain order.**  :meth:`Tracer.drain` returns records
+  sorted by (timestamp, track, sequence number), so two identical runs
+  produce identical drains.
+* **Cross-process aggregation.**  Worker processes serialize their
+  records (:meth:`Tracer.serialize`) and ship them back with snapshot
+  replies; the parent re-bases them onto its own timeline with
+  :meth:`Tracer.ingest` (a clock offset plus an optional track prefix).
+
+The span model is intentionally simulator-neutral:
+:func:`spans_from_sim_trace` converts a
+:class:`repro.simcore.trace.TraceRecorder` timeline into the same
+records, so simulated and real executions export through one path
+(:mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: record-kind discriminators used by the wire form (:meth:`serialize`)
+KIND_SPAN = "span"
+KIND_INSTANT = "instant"
+
+
+class Span(NamedTuple):
+    """One named interval on a track (Chrome trace ``ph: "X"``)."""
+
+    track: str                      #: timeline row (thread/process name)
+    name: str                       #: what the interval was
+    cat: str                        #: coarse grouping (core, cots, mp, sim)
+    start: float                    #: clock value at entry
+    end: float                      #: clock value at exit (>= start)
+    args: Optional[Dict[str, Any]] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Instant(NamedTuple):
+    """One point event on a track (Chrome trace ``ph: "i"``)."""
+
+    track: str
+    name: str
+    cat: str
+    ts: float
+    args: Optional[Dict[str, Any]] = None
+
+
+#: either record kind, as stored in the rings and returned by drain()
+TraceRecord = Tuple[int, Any]  # (sequence number, Span | Instant)
+
+
+class _Ring:
+    """A bounded buffer keeping the most recent ``limit`` records."""
+
+    __slots__ = ("limit", "items", "head", "dropped")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.items: List[TraceRecord] = []
+        self.head = 0               #: index of the oldest record
+        self.dropped = 0
+
+    def append(self, record: TraceRecord) -> None:
+        if len(self.items) < self.limit:
+            self.items.append(record)
+        else:
+            self.items[self.head] = record
+            self.head = (self.head + 1) % self.limit
+            self.dropped += 1
+
+    def in_order(self) -> List[TraceRecord]:
+        """Records oldest-first (unrolls the circular layout)."""
+        return self.items[self.head:] + self.items[: self.head]
+
+
+class _SpanContext:
+    """Reusable ``with tracer.span(...)`` guard (one clock read per edge)."""
+
+    __slots__ = ("_tracer", "_track", "_name", "_cat", "_args", "_start")
+
+    def __init__(self, tracer, track, name, cat, args) -> None:
+        self._tracer = tracer
+        self._track = track
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> "_SpanContext":
+        self._start = self._tracer.now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer.add_span(
+            self._track, self._name, self._cat,
+            self._start, self._tracer.now(), self._args,
+        )
+
+
+class Tracer:
+    """Collects spans and instants into per-track bounded rings."""
+
+    enabled = True
+
+    #: default per-track ring capacity; generous for diagnosis, bounded
+    #: so a pathological run cannot eat the host's memory
+    DEFAULT_LIMIT = 16_384
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        limit_per_track: int = DEFAULT_LIMIT,
+    ) -> None:
+        if limit_per_track < 1:
+            raise ConfigurationError(
+                f"limit_per_track must be >= 1, got {limit_per_track}"
+            )
+        self._clock = clock
+        self._limit = limit_per_track
+        self._rings: Dict[str, _Ring] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def use_clock(self, clock: Callable[[], float]) -> None:
+        """Rebind the time source (e.g. to a simulated engine's clock)."""
+        self._clock = clock
+
+    def now(self) -> float:
+        """Current clock value (whatever unit the bound clock uses)."""
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _ring(self, track: str) -> _Ring:
+        ring = self._rings.get(track)
+        if ring is None:
+            ring = _Ring(self._limit)
+            self._rings[track] = ring
+        return ring
+
+    def add_span(
+        self,
+        track: str,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one completed interval."""
+        self._seq += 1
+        self._ring(track).append((self._seq, Span(track, name, cat, start, end, args)))
+
+    def instant(
+        self,
+        track: str,
+        name: str,
+        cat: str,
+        ts: Optional[float] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one point event (``ts=None`` stamps with the clock)."""
+        self._seq += 1
+        stamp = ts if ts is not None else self._clock()
+        self._ring(track).append((self._seq, Instant(track, name, cat, stamp, args)))
+
+    def span(
+        self,
+        track: str,
+        name: str,
+        cat: str,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> _SpanContext:
+        """A ``with`` guard measuring the enclosed block with the clock."""
+        return _SpanContext(self, track, name, cat, args)
+
+    # ------------------------------------------------------------------
+    # Introspection / drain
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Records overwritten across all rings (flight-recorder drops)."""
+        return sum(ring.dropped for ring in self._rings.values())
+
+    @property
+    def truncated(self) -> bool:
+        """True when any ring has overwritten records."""
+        return any(ring.dropped for ring in self._rings.values())
+
+    def tracks(self) -> List[str]:
+        """Track names seen so far, sorted."""
+        return sorted(self._rings)
+
+    def __len__(self) -> int:
+        return sum(len(ring.items) for ring in self._rings.values())
+
+    def records(self) -> List[Any]:
+        """All records (Span | Instant) in deterministic order, kept.
+
+        Order: (timestamp, track, sequence).  Timestamp is ``start`` for
+        spans and ``ts`` for instants, so the merged timeline interleaves
+        the two kinds chronologically.
+        """
+        merged: List[Tuple[float, str, int, Any]] = []
+        for track in sorted(self._rings):
+            for seq, record in self._rings[track].in_order():
+                stamp = record.start if isinstance(record, Span) else record.ts
+                merged.append((stamp, track, seq, record))
+        merged.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [record for _, _, _, record in merged]
+
+    def drain(self) -> List[Any]:
+        """Like :meth:`records`, but clears the rings (drops are kept)."""
+        out = self.records()
+        dropped = {track: ring.dropped for track, ring in self._rings.items()}
+        self._rings = {}
+        for track, count in dropped.items():
+            if count:
+                ring = self._ring(track)
+                ring.dropped = count
+        return out
+
+    # ------------------------------------------------------------------
+    # Cross-process aggregation
+    # ------------------------------------------------------------------
+    def serialize(self) -> List[tuple]:
+        """Wire form of every record (picklable plain tuples), in order."""
+        payload: List[tuple] = []
+        for record in self.records():
+            if isinstance(record, Span):
+                payload.append((
+                    KIND_SPAN, record.track, record.name, record.cat,
+                    record.start, record.end, record.args,
+                ))
+            else:
+                payload.append((
+                    KIND_INSTANT, record.track, record.name, record.cat,
+                    record.ts, record.args,
+                ))
+        return payload
+
+    def ingest(
+        self,
+        payload: List[tuple],
+        offset: float = 0.0,
+        track_prefix: str = "",
+    ) -> int:
+        """Re-base serialized records onto this tracer's timeline.
+
+        ``offset`` is added to every timestamp (the parent computes it
+        from its own clock and the child's reported clock value, so a
+        child's monotonic epoch lines up with the parent's).
+        ``track_prefix`` namespaces the child's tracks (e.g.
+        ``"shard-0/"``).  Returns the number of records ingested.
+        """
+        count = 0
+        for record in payload:
+            kind = record[0]
+            if kind == KIND_SPAN:
+                _, track, name, cat, start, end, args = record
+                self.add_span(
+                    track_prefix + track, name, cat,
+                    start + offset, end + offset, args,
+                )
+            elif kind == KIND_INSTANT:
+                _, track, name, cat, ts, args = record
+                self.instant(
+                    track_prefix + track, name, cat, ts + offset, args
+                )
+            else:
+                raise ConfigurationError(
+                    f"unknown trace record kind {kind!r}"
+                )
+            count += 1
+        return count
+
+
+class _NullSpanContext:
+    """Shared no-op ``with`` guard handed out by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every recording call is a no-op.
+
+    Instrumented code holds a tracer reference permanently (usually via
+    :func:`coerce_tracer`); with this class the per-call cost is a
+    single no-op method call, and ``enabled`` lets hot paths skip arg
+    construction outright.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def add_span(self, track, name, cat, start, end, args=None) -> None:  # noqa: D102
+        pass
+
+    def instant(self, track, name, cat, ts=None, args=None) -> None:  # noqa: D102
+        pass
+
+    def span(self, track, name, cat, args=None) -> _NullSpanContext:  # noqa: D102
+        return _NULL_SPAN_CONTEXT
+
+    def now(self) -> float:  # noqa: D102 - never advances
+        return 0.0
+
+    def use_clock(self, clock) -> None:  # noqa: D102 - nothing to bind
+        pass
+
+    def ingest(self, payload, offset=0.0, track_prefix="") -> int:  # noqa: D102
+        return 0
+
+
+#: the process-wide disabled tracer; ``tracer=None`` everywhere means this
+NULL_TRACER = NullTracer()
+
+
+def coerce_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Map ``None`` to the shared :data:`NULL_TRACER`."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+# ----------------------------------------------------------------------
+# The simulator bridge
+# ----------------------------------------------------------------------
+def spans_from_sim_trace(recorder) -> Tuple[List[Span], int]:
+    """Convert a simcore :class:`~repro.simcore.trace.TraceRecorder`
+    timeline into span records.
+
+    One span per executed effect: track = simulated thread name, name =
+    the effect's cost tag, cat = ``sim.<EffectType>``, timestamps in
+    simulated cycles, with the core id carried in ``args`` so exporters
+    can render core occupancy.  Returns ``(spans, dropped)`` where
+    ``dropped`` propagates the recorder's truncation count — callers
+    must surface it (the exporters annotate truncated timelines).
+    """
+    spans = [
+        Span(
+            track=event.thread,
+            name=event.tag,
+            cat=f"sim.{event.effect}",
+            start=float(event.start),
+            end=float(event.end),
+            args={"core": event.core},
+        )
+        for event in recorder.events
+    ]
+    return spans, recorder.dropped

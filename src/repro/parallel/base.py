@@ -69,6 +69,12 @@ class SchemeConfig:
     #: ``registry.snapshot()`` as ``extras["metrics"]`` on their result.
     #: ``None`` (the default) disables metrics at no-op cost.
     metrics: Optional[Any] = None
+    #: optional :class:`repro.obs.tracing.Tracer`; drivers that support
+    #: span tracing (cots) record delegation/drain/sleep-wake spans into
+    #: it, with the tracer clock rebound to the engine's cycle counter so
+    #: recording never perturbs the simulated schedule.  ``None`` (the
+    #: default) disables tracing at no-op cost.
+    tracer: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.threads < 1:

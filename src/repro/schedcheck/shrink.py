@@ -38,6 +38,34 @@ class ShrinkResult:
     minimal: ScheduleOutcome
     runs: int                      #: replays spent shrinking
     timeline: str = ""             #: ASCII core chart of the minimal run
+    #: the trace of the minimal replay (a :class:`~repro.simcore.trace.
+    #: TraceRecorder`), kept so callers can export the reproducer as a
+    #: Chrome trace (``schedcheck --trace-dir``)
+    recorder: Optional[Any] = None
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Export the minimal replay's trace as Chrome trace-event JSON.
+
+        Returns the number of exported spans.  The recorder's truncation
+        count propagates into the artifact's ``otherData.truncated``.
+        """
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.tracing import spans_from_sim_trace
+
+        if self.recorder is None:
+            raise ValueError("shrink result carries no trace recorder")
+        spans, dropped = spans_from_sim_trace(self.recorder)
+        write_chrome_trace(
+            path, spans, scale=1.0, truncated=dropped,
+            meta={
+                "mode": "schedcheck",
+                "scheme": self.minimal.scheme,
+                "seed_key": self.minimal.seed_key,
+                "violation": f"{self.minimal.error_type}: {self.minimal.error}",
+                "decisions": [str(d) for d in self.decisions],
+            },
+        )
+        return len(spans)
 
     @property
     def decisions(self) -> List[Decision]:
@@ -152,11 +180,15 @@ def shrink_outcome(
         failing.decisions, still_fails, max_tests=max_tests
     )
     minimal = replay(minimal_decisions)
-    timeline = render_timeline(
+    recorder = replay_trace(
         spec, stream, config, failing, minimal_decisions, patch=patch
     )
     return ShrinkResult(
-        original=failing, minimal=minimal, runs=runs, timeline=timeline
+        original=failing,
+        minimal=minimal,
+        runs=runs,
+        timeline=recorder.timeline(width=72),
+        recorder=recorder,
     )
 
 
@@ -170,6 +202,25 @@ def render_timeline(
     width: int = 72,
 ) -> str:
     """Replay a decision list once more and chart who ran where, when."""
+    recorder = replay_trace(
+        spec, stream, config, failing, decisions, patch=patch
+    )
+    return recorder.timeline(width=width)
+
+
+def replay_trace(
+    spec: SchemeSpec,
+    stream: Sequence[Element],
+    config: ExploreConfig,
+    failing: ScheduleOutcome,
+    decisions: Sequence[Decision],
+    patch: Optional[Callable[[], Any]] = None,
+):
+    """Replay a decision list with tracing; returns the TraceRecorder.
+
+    The recorder feeds both the ASCII reproducer timeline and the
+    Chrome-trace export (:meth:`ShrinkResult.write_chrome_trace`).
+    """
     from repro.schedcheck.explorer import AuditProbe  # noqa: F401 (doc link)
     from repro.schedcheck.perturb import SchedulePerturber, jittered_costs
     from repro.simcore.engine import Engine
@@ -201,4 +252,4 @@ def render_timeline(
             spec.run(stream, params)
     except Exception:
         pass  # the failure is the point; we only want the trace
-    return tracer.timeline(width=width)
+    return tracer

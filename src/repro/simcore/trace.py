@@ -57,6 +57,17 @@ class TraceRecorder:
     # Analysis
     # ------------------------------------------------------------------
     @property
+    def truncated(self) -> bool:
+        """True when events were dropped past ``limit``.
+
+        A truncated recorder covers only a *prefix* of the execution:
+        makespan, utilization and timelines silently describe that
+        prefix unless the caller checks this flag.  The exporters in
+        :mod:`repro.obs.export` propagate it into every artifact.
+        """
+        return self.dropped > 0
+
+    @property
     def makespan(self) -> int:
         """Last recorded completion cycle."""
         return max((event.end for event in self.events), default=0)
@@ -119,6 +130,11 @@ class TraceRecorder:
                 if overlap > 0:
                     grids[event.core][column][event.thread] += overlap
         lines = [f"timeline: {span} cycles, {slice_len} cycles/column"]
+        if self.truncated:
+            lines.append(
+                f"WARNING: trace truncated ({self.dropped} events dropped past "
+                f"limit={self.limit}); timeline covers a prefix only"
+            )
         for core in cores:
             cells = []
             for column in grids[core]:

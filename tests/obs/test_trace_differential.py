@@ -1,0 +1,152 @@
+"""Tracing is observation-only: enabling it never changes results.
+
+The span-tracing mirror of ``test_differential.py``: every instrumented
+layer runs twice on the same seeded stream — once tracing, once not —
+and the algorithmic outputs must be identical.  For the simulated CoTS
+run that includes the *makespan*: the tracer's clock reads
+``engine.now`` from host code without yielding effects, so the schedule
+itself must be bit-identical.
+"""
+
+import pytest
+
+from repro.core.space_saving import SpaceSaving
+from repro.cots import CoTSRunConfig, run_cots
+from repro.obs import Span, Tracer
+from repro.workloads import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(5_000, 600, 1.5, seed=11)
+
+
+def _triples(counter):
+    return [(e.element, e.count, e.error) for e in counter.entries()]
+
+
+# ----------------------------------------------------------------------
+# raw SpaceSaving lanes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("lane", ["per_element", "batched"])
+def test_space_saving_tracing_does_not_change_counts(stream, lane):
+    plain = SpaceSaving(capacity=64)
+    tracer = Tracer()
+    traced = SpaceSaving(capacity=64, tracer=tracer)
+    for counter in (plain, traced):
+        if lane == "batched":
+            counter.process_many(stream)
+        else:
+            counter.process_bulk(stream[0], 1)
+            for element in stream[1:]:
+                counter.process(element)
+    assert _triples(plain) == _triples(traced)
+    assert plain.processed == traced.processed
+    # the lanes actually recorded spans while staying result-neutral
+    if lane == "batched":
+        names = {r.name for r in tracer.records()}
+        assert names & {"lane.preaggregated", "lane.fused"}
+
+
+def test_space_saving_lane_spans_account_for_the_stream(stream):
+    tracer = Tracer()
+    counter = SpaceSaving(capacity=64, tracer=tracer)
+    counter.process_many(stream)
+    total = sum(
+        r.args["elements"]
+        for r in tracer.records()
+        if isinstance(r, Span) and r.name.startswith("lane.")
+    )
+    assert total == len(stream)
+
+
+# ----------------------------------------------------------------------
+# the simulated CoTS framework
+# ----------------------------------------------------------------------
+def test_cots_tracing_preserves_counts_and_makespan(stream):
+    base = run_cots(stream, CoTSRunConfig(threads=4, capacity=64))
+    tracer = Tracer()
+    traced = run_cots(
+        stream, CoTSRunConfig(threads=4, capacity=64, tracer=tracer)
+    )
+    # identical schedule: same cycles, same summary, same stats
+    assert base.cycles == traced.cycles
+    assert _triples(base.counter) == _triples(traced.counter)
+    assert base.extras["stats"] == traced.extras["stats"]
+
+
+def test_cots_trace_captures_the_delegation_protocol(stream):
+    tracer = Tracer()
+    result = run_cots(
+        stream, CoTSRunConfig(threads=4, capacity=64, tracer=tracer)
+    )
+    records = tracer.records()
+    cats = {r.cat for r in records}
+    assert "cots.delegation" in cats        # CAS-failed handoffs
+    assert "cots.bucket" in cats            # request-queue drains
+    delegations = [r for r in records if r.cat == "cots.delegation"]
+    assert len(delegations) == result.extras["stats"]["delegations"]
+    # timestamps are simulated cycles: integral and within the makespan
+    for record in records:
+        stamp = record.start if isinstance(record, Span) else record.ts
+        assert float(stamp).is_integer()
+        assert 0 <= stamp <= result.cycles
+
+
+def test_cots_scheduler_spans_annotate_thresholds():
+    from repro.cots.scheduler import CoTSScheduler
+
+    # tiny sigma forces parks; tiny rho forces wakes (see test_scheduler)
+    stream = zipf_stream(3_000, 3_000, 3.0, seed=22)
+    tracer = Tracer()
+    scheduler = CoTSScheduler(sigma=1, rho=2, pool_size=2, min_active=2)
+    run_cots(
+        stream,
+        CoTSRunConfig(threads=16, capacity=64, tracer=tracer),
+        scheduler=scheduler,
+    )
+    records = tracer.records()
+    parked = [r for r in records if r.name == "parked"]
+    wakes = [r for r in records if r.name.startswith("wake.")]
+    assert scheduler.parks > 0 and len(parked) > 0
+    assert all(r.cat == "cots.scheduler" for r in parked + wakes)
+    assert all("sigma" in r.args for r in parked)
+    if scheduler.wakes:
+        assert wakes and all(
+            "rho" in r.args or "sigma" in r.args for r in wakes
+        )
+
+
+# ----------------------------------------------------------------------
+# the multiprocess backend
+# ----------------------------------------------------------------------
+def test_mp_tracing_preserves_results_and_captures_both_sides():
+    from repro.mp import MPConfig, run_mp
+
+    stream = zipf_stream(4_000, 500, 1.2, seed=3)
+    config = MPConfig(workers=2, capacity=64, chunk_elements=512)
+    base = run_mp(stream, config)
+    tracer = Tracer()
+    traced = run_mp(stream, config, tracer=tracer)
+    assert _triples(base.counter) == _triples(traced.counter)
+    assert base.counter.processed == traced.counter.processed
+
+    tracks = tracer.tracks()
+    assert "driver" in tracks
+    # worker spans came back with the snapshot replies, re-based and
+    # namespaced per shard
+    assert {"shard-0/worker", "shard-1/worker"} <= set(tracks)
+    records = tracer.records()
+    dispatch = [r for r in records if r.name == "dispatch"]
+    assert sum(r.args["items"] for r in dispatch) == len(stream)
+    worker_batches = [
+        r for r in records
+        if r.track.startswith("shard-") and r.name == "batch"
+    ]
+    assert sum(r.args["items"] for r in worker_batches) == len(stream)
+    # re-based worker spans land inside the parent's timeline
+    driver_spans = [r for r in records if r.track == "driver"]
+    lo = min(r.start for r in driver_spans)
+    hi = max(r.end for r in driver_spans)
+    for span in worker_batches:
+        assert lo <= span.start <= span.end <= hi

@@ -1,0 +1,183 @@
+"""Exporter tests: Chrome trace-event JSON, ASCII timelines, sim bridge."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Instant,
+    Span,
+    ascii_timeline,
+    chrome_trace,
+    spans_from_sim_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+RECORDS = [
+    Span("w0", "work", "test", 0.0, 2.0, {"items": 3}),
+    Instant("w0", "handoff", "test", 1.0),
+    Span("w1", "drain", "test", 1.0, 3.0),
+]
+
+
+# ----------------------------------------------------------------------
+# chrome_trace
+# ----------------------------------------------------------------------
+def test_chrome_trace_emits_expected_events_and_validates():
+    doc = chrome_trace(RECORDS, scale=1.0)
+    validate_chrome_trace(doc)
+    phases = [event["ph"] for event in doc["traceEvents"]]
+    # each new track gets its metadata row right before its first event
+    assert phases == ["M", "X", "i", "M", "X"]
+    span = doc["traceEvents"][1]
+    assert (span["ts"], span["dur"]) == (0.0, 2.0)
+    assert span["args"] == {"items": 3}
+    instant = doc["traceEvents"][2]
+    assert instant["s"] == "t" and "dur" not in instant
+    names = {
+        event["args"]["name"]
+        for event in doc["traceEvents"] if event["ph"] == "M"
+    }
+    assert names == {"w0", "w1"}
+
+
+def test_chrome_trace_scale_converts_to_microseconds():
+    doc = chrome_trace([Span("w", "s", "c", 0.5, 1.5)], scale=1e6)
+    span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+    assert span["ts"] == pytest.approx(0.5e6)
+    assert span["dur"] == pytest.approx(1e6)
+
+
+def test_chrome_trace_truncation_and_meta_land_in_other_data():
+    doc = chrome_trace(RECORDS, truncated=17, meta={"mode": "mp"})
+    assert doc["otherData"] == {"truncated": 17, "mode": "mp"}
+    validate_chrome_trace(doc)
+
+
+def test_chrome_trace_rejects_foreign_records():
+    with pytest.raises(ConfigurationError, match="cannot export"):
+        chrome_trace([object()])
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = tmp_path / "trace.json"
+    doc = write_chrome_trace(str(path), RECORDS, scale=1.0)
+    loaded = json.loads(path.read_text())
+    assert loaded == doc
+    validate_chrome_trace(loaded)
+
+
+# ----------------------------------------------------------------------
+# validate_chrome_trace rejections
+# ----------------------------------------------------------------------
+def _valid_doc():
+    return chrome_trace(RECORDS, scale=1.0)
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda d: d.__setitem__("traceEvents", None), "traceEvents list"),
+        (lambda d: d["traceEvents"][1].__setitem__("ph", "B"), "ph must be"),
+        (lambda d: d["traceEvents"][1].__setitem__("tid", "x"),
+         "tid must be an integer"),
+        (lambda d: d["traceEvents"][1].__setitem__("name", ""),
+         "non-empty string"),
+        (lambda d: d["traceEvents"][1].__setitem__("ts", -1.0),
+         "ts must be a number >= 0"),
+        (lambda d: d["traceEvents"][1].__setitem__("dur", -2.0),
+         "dur must be a number >= 0"),
+        (lambda d: d["traceEvents"][0].__setitem__("args", {}),
+         "needs args.name"),
+        (lambda d: d["traceEvents"][1].__setitem__("tid", 99),
+         "no thread_name metadata"),
+        (lambda d: d["otherData"].__setitem__("truncated", "lots"),
+         "truncated must be an integer"),
+    ],
+)
+def test_validate_rejects_malformed_documents(mutate, message):
+    doc = _valid_doc()
+    mutate(doc)
+    with pytest.raises(ConfigurationError, match=message):
+        validate_chrome_trace(doc)
+
+
+def test_validate_rejects_non_object():
+    with pytest.raises(ConfigurationError, match="JSON object"):
+        validate_chrome_trace([])
+
+
+# ----------------------------------------------------------------------
+# ascii_timeline
+# ----------------------------------------------------------------------
+def test_ascii_timeline_renders_tracks_fill_and_instants():
+    art = ascii_timeline(RECORDS, width=24)
+    lines = art.splitlines()
+    assert lines[0].startswith("timeline 0 .. 3 (2 spans)")
+    w0 = next(line for line in lines if line.startswith("w0"))
+    w1 = next(line for line in lines if line.startswith("w1"))
+    assert "#" in w0 and "!" in w0      # span fill + instant marker
+    assert "#" in w1 and "!" not in w1
+    assert w0.rstrip().endswith("%")
+
+
+def test_ascii_timeline_empty_and_width_guard():
+    assert ascii_timeline([]) == "(no trace records)"
+    with pytest.raises(ConfigurationError, match="width"):
+        ascii_timeline(RECORDS, width=4)
+
+
+# ----------------------------------------------------------------------
+# the simulator bridge
+# ----------------------------------------------------------------------
+def _traced_scheme_config(recorder, **kwargs):
+    from repro.parallel import SchemeConfig
+    from repro.simcore.engine import Engine
+
+    return SchemeConfig(
+        engine_factory=lambda machine, costs: Engine(
+            machine=machine, costs=costs, tracer=recorder
+        ),
+        **kwargs,
+    )
+
+
+def test_sim_trace_bridges_to_spans_and_exports():
+    from repro.parallel import run_shared
+    from repro.simcore.trace import TraceRecorder
+    from repro.workloads import zipf_stream
+
+    recorder = TraceRecorder()
+    stream = zipf_stream(400, 60, 1.5, seed=2)
+    run_shared(stream, _traced_scheme_config(recorder, threads=3, capacity=32))
+    spans, dropped = spans_from_sim_trace(recorder)
+    assert spans and dropped == 0
+    assert {span.track for span in spans} == {
+        event.thread for event in recorder.events
+    }
+    first = spans[0]
+    assert first.cat.startswith("sim.")
+    assert "core" in first.args
+    doc = chrome_trace(spans, scale=1.0, truncated=dropped)
+    validate_chrome_trace(doc)
+    # integer cycles export 1:1 (one "microsecond" per cycle)
+    exported = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+    assert exported["ts"] == float(recorder.events[0].start)
+
+
+def test_sim_trace_bridge_propagates_truncation():
+    from repro.parallel import run_shared
+    from repro.simcore.trace import TraceRecorder
+    from repro.workloads import zipf_stream
+
+    recorder = TraceRecorder(limit=10)
+    run_shared(
+        zipf_stream(500, 60, 1.5, seed=2),
+        _traced_scheme_config(recorder, threads=3, capacity=32),
+    )
+    spans, dropped = spans_from_sim_trace(recorder)
+    assert recorder.truncated and dropped > 0
+    doc = chrome_trace(spans, scale=1.0, truncated=dropped)
+    assert doc["otherData"]["truncated"] == dropped

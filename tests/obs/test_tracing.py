@@ -1,0 +1,187 @@
+"""Unit tests for the span tracer: rings, drain order, aggregation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import NULL_TRACER, Instant, NullTracer, Span, Tracer, coerce_tracer
+
+
+def make_tracer(**kwargs):
+    """A tracer on a deterministic manual clock."""
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += 1.0
+        return state["t"]
+
+    return Tracer(clock=clock, **kwargs), state
+
+
+# ----------------------------------------------------------------------
+# recording primitives
+# ----------------------------------------------------------------------
+def test_span_context_reads_clock_on_both_edges():
+    tracer, _ = make_tracer()
+    with tracer.span("w0", "work", "test"):
+        pass
+    (record,) = tracer.records()
+    assert isinstance(record, Span)
+    assert (record.start, record.end) == (1.0, 2.0)
+    assert record.duration == 1.0
+
+
+def test_instant_defaults_to_clock_and_accepts_explicit_ts():
+    tracer, _ = make_tracer()
+    tracer.instant("w0", "stamped", "test")
+    tracer.instant("w0", "explicit", "test", ts=99.5)
+    stamped, explicit = sorted(tracer.records(), key=lambda r: r.ts)
+    assert stamped.ts == 1.0
+    assert explicit.ts == 99.5
+
+
+def test_len_and_tracks():
+    tracer, _ = make_tracer()
+    tracer.instant("b", "x", "t")
+    tracer.add_span("a", "y", "t", 0.0, 1.0)
+    assert len(tracer) == 2
+    assert tracer.tracks() == ["a", "b"]
+
+
+def test_use_clock_rebinds_the_time_source():
+    tracer, _ = make_tracer()
+    tracer.use_clock(lambda: 42.0)
+    assert tracer.now() == 42.0
+
+
+def test_invalid_ring_limit_rejected():
+    with pytest.raises(ConfigurationError, match="limit_per_track"):
+        Tracer(limit_per_track=0)
+
+
+# ----------------------------------------------------------------------
+# flight-recorder rings
+# ----------------------------------------------------------------------
+def test_ring_overflow_keeps_newest_and_counts_drops():
+    tracer, _ = make_tracer(limit_per_track=4)
+    for index in range(10):
+        tracer.instant("w0", f"e{index}", "test")
+    assert len(tracer) == 4
+    assert tracer.dropped == 6
+    assert tracer.truncated
+    # the survivors are the most recent records, oldest-first
+    assert [r.name for r in tracer.records()] == ["e6", "e7", "e8", "e9"]
+
+
+def test_rings_are_per_track():
+    tracer, _ = make_tracer(limit_per_track=2)
+    for index in range(3):
+        tracer.instant("a", f"a{index}", "test")
+    tracer.instant("b", "b0", "test")
+    assert tracer.dropped == 1          # only track a overflowed
+    assert {r.name for r in tracer.records()} == {"a1", "a2", "b0"}
+
+
+def test_no_overflow_means_not_truncated():
+    tracer, _ = make_tracer()
+    tracer.instant("w0", "e", "test")
+    assert not tracer.truncated and tracer.dropped == 0
+
+
+# ----------------------------------------------------------------------
+# deterministic drain
+# ----------------------------------------------------------------------
+def test_records_sorted_by_timestamp_then_track():
+    tracer, _ = make_tracer()
+    tracer.add_span("z", "late", "t", 5.0, 6.0)
+    tracer.add_span("a", "early", "t", 1.0, 9.0)
+    tracer.instant("m", "tie-m", "t", ts=3.0)
+    tracer.instant("b", "tie-b", "t", ts=3.0)
+    names = [r.name for r in tracer.records()]
+    assert names == ["early", "tie-b", "tie-m", "late"]
+
+
+def test_records_is_non_destructive_drain_clears_but_keeps_drops():
+    tracer, _ = make_tracer(limit_per_track=1)
+    tracer.instant("w0", "a", "t")
+    tracer.instant("w0", "b", "t")
+    assert len(tracer.records()) == 1
+    assert len(tracer.records()) == 1   # repeatable
+    drained = tracer.drain()
+    assert [r.name for r in drained] == ["b"]
+    assert len(tracer) == 0
+    assert tracer.dropped == 1          # drop count survives the drain
+    assert tracer.truncated
+
+
+def test_same_sequence_of_calls_drains_identically():
+    def record(tracer):
+        tracer.add_span("w1", "s", "t", 2.0, 3.0)
+        tracer.instant("w0", "i", "t", ts=2.0)
+        tracer.add_span("w0", "s2", "t", 1.0, 4.0)
+
+    first, _ = make_tracer()
+    second, _ = make_tracer()
+    record(first)
+    record(second)
+    assert first.drain() == second.drain()
+
+
+# ----------------------------------------------------------------------
+# cross-process aggregation (serialize -> ingest)
+# ----------------------------------------------------------------------
+def test_serialize_ingest_round_trip_rebases_and_prefixes():
+    child, _ = make_tracer()
+    child.add_span("worker", "batch", "mp.worker", 1.0, 2.0, {"items": 7})
+    child.instant("worker", "done", "mp.worker", ts=2.5)
+    payload = child.serialize()
+
+    parent, _ = make_tracer()
+    assert parent.ingest(payload, offset=100.0, track_prefix="shard-3/") == 2
+    span, instant = parent.records()
+    assert isinstance(span, Span) and isinstance(instant, Instant)
+    assert span.track == "shard-3/worker"
+    assert (span.start, span.end) == (101.0, 102.0)
+    assert span.args == {"items": 7}
+    assert instant.ts == 102.5
+
+
+def test_serialized_payload_is_plain_picklable_tuples():
+    import pickle
+
+    child, _ = make_tracer()
+    child.add_span("w", "s", "c", 0.0, 1.0)
+    payload = child.serialize()
+    assert payload == pickle.loads(pickle.dumps(payload))
+    assert all(isinstance(item, tuple) for item in payload)
+
+
+def test_ingest_rejects_unknown_record_kind():
+    tracer, _ = make_tracer()
+    with pytest.raises(ConfigurationError, match="unknown trace record"):
+        tracer.ingest([("bogus", "t", "n", "c", 0.0, None)])
+
+
+# ----------------------------------------------------------------------
+# the null tracer
+# ----------------------------------------------------------------------
+def test_null_tracer_is_disabled_and_records_nothing():
+    assert NULL_TRACER.enabled is False
+    assert Tracer.enabled is True
+    NULL_TRACER.add_span("w", "s", "c", 0.0, 1.0)
+    NULL_TRACER.instant("w", "i", "c")
+    with NULL_TRACER.span("w", "s", "c"):
+        pass
+    assert len(NULL_TRACER) == 0
+    assert NULL_TRACER.now() == 0.0
+    assert NULL_TRACER.ingest([("span", "t", "n", "c", 0.0, 1.0, None)]) == 0
+
+
+def test_null_tracer_span_context_is_shared():
+    assert NULL_TRACER.span("a", "b", "c") is NULL_TRACER.span("x", "y", "z")
+
+
+def test_coerce_tracer():
+    assert coerce_tracer(None) is NULL_TRACER
+    real = Tracer()
+    assert coerce_tracer(real) is real
+    assert isinstance(NULL_TRACER, NullTracer)

@@ -115,3 +115,68 @@ def test_cli_mutation_run_is_caught(capsys):
     assert code == 0  # mutation detected: the harness did its job
     assert "mutation active" in out
     assert "schedcheck reproducer" in out
+
+
+# ----------------------------------------------------------------------
+# reproducer trace export (--trace-dir)
+# ----------------------------------------------------------------------
+def test_shrink_result_exports_chrome_trace(tmp_path):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    spec = get_scheme("cots")
+    stream = _MUTATION_CONFIG.make_stream()
+    patch = get_mutation("drop-queue-transfer")
+    outcome = run_schedule(
+        spec, stream, _MUTATION_CONFIG,
+        _MUTATION_CONFIG.sub_seed("cots", 0), patch=patch,
+    )
+    assert not outcome.ok
+    result = shrink_outcome(
+        spec, stream, _MUTATION_CONFIG, outcome, patch=patch, max_tests=60
+    )
+    assert result.recorder is not None
+    path = tmp_path / "reproducer.json"
+    spans = result.write_chrome_trace(str(path))
+    assert spans > 0
+    doc = json.loads(path.read_text())
+    validate_chrome_trace(doc)
+    other = doc["otherData"]
+    assert other["mode"] == "schedcheck"
+    assert other["scheme"] == "cots"
+    assert other["violation"].startswith(result.minimal.error_type)
+    assert other["decisions"] == [str(d) for d in result.decisions]
+
+
+def test_shrink_result_without_recorder_refuses_export(tmp_path):
+    from repro.schedcheck.shrink import ShrinkResult
+
+    spec = get_scheme("cots")
+    stream = _MUTATION_CONFIG.make_stream()
+    outcome = run_schedule(
+        spec, stream, _MUTATION_CONFIG, _MUTATION_CONFIG.sub_seed("cots", 0)
+    )
+    bare = ShrinkResult(original=outcome, minimal=outcome, runs=0)
+    with pytest.raises(ValueError, match="no trace recorder"):
+        bare.write_chrome_trace(str(tmp_path / "x.json"))
+
+
+def test_cli_trace_dir_writes_reproducer_trace(tmp_path, capsys):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    trace_dir = tmp_path / "traces"
+    code = main(
+        ["schedcheck", "--schemes", "cots", "--schedules", "1",
+         "--seed", "3", "--length", "800", "--alphabet", "400",
+         "--alpha", "0.9", "--threads", "8", "--capacity", "32",
+         "--check-every", "256", "--mutate", "drop-queue-transfer",
+         "--trace-dir", str(trace_dir)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    trace_path = trace_dir / "cots-reproducer.json"
+    assert f"reproducer trace: {trace_path}" in out
+    validate_chrome_trace(json.loads(trace_path.read_text()))

@@ -1,0 +1,64 @@
+"""The metric-catalogue checker: recorded names must stay documented."""
+
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_metrics  # noqa: E402
+
+
+def test_repo_static_scan_is_clean(capsys):
+    # the CI gate's cheap half: every call-site literal resolves
+    assert check_metrics.main(["--static-only"]) == 0
+    assert "all resolve" in capsys.readouterr().out
+
+
+def test_static_scan_finds_known_call_sites():
+    emissions = check_metrics.scan_source()
+    names = {e.name for e in emissions}
+    # a plain literal, a multi-line call, and an f-string template
+    assert "cots.queue.depth" in names
+    assert "mp.queue.occupancy" in names
+    assert "mp.worker.0.items" in names       # {index} hole substituted
+    kinds = {e.name: e.kind for e in emissions}
+    assert kinds["cots.queue.depth"] == "histogram"
+    assert all(":" in e.where for e in emissions)
+
+
+def test_check_flags_unknown_names_and_kind_mismatches():
+    failures = check_metrics.check([
+        check_metrics.Emission("core.spacesaving.occurrences", "counter",
+                               "ok.py:1"),
+        check_metrics.Emission("core.spacesaving.bogus", "counter",
+                               "bad.py:2"),
+        check_metrics.Emission("cots.queue.depth", "counter", "bad.py:3"),
+    ])
+    assert len(failures) == 2
+    assert "no METRIC_SPECS entry" in failures[0]
+    assert "catalogued as histogram" in failures[1]
+
+
+def test_main_exits_nonzero_on_drift(tmp_path, monkeypatch, capsys):
+    src = tmp_path / "src" / "repro"
+    src.mkdir(parents=True)
+    (src / "rogue.py").write_text(
+        'def f(registry, i):\n'
+        '    registry.counter("core.rogue.widgets").inc(1)\n'
+        '    registry.gauge(f"mp.worker.{i}.frobs").set(2)\n'
+    )
+    monkeypatch.setattr(check_metrics, "SRC_ROOT", src)
+    assert check_metrics.main(["--static-only"]) == 1
+    err = capsys.readouterr().out
+    assert "core.rogue.widgets" in err
+    assert "mp.worker.0.frobs" in err
+    assert "rogue.py:2" in err
+
+
+def test_smoke_run_names_all_resolve():
+    emissions = check_metrics.smoke_run()
+    assert emissions
+    assert check_metrics.check(emissions) == []
+    runs = {e.where for e in emissions}
+    assert len(runs) == 4                     # all four layers recorded

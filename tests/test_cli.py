@@ -141,6 +141,128 @@ def test_trace_prints_timeline(capsys):
     assert "utilization:" in out
 
 
+def test_trace_sim_mode_exports_chrome_json(tmp_path, capsys):
+    out = tmp_path / "sim.json"
+    code = main(
+        ["trace", "--threads", "4", "--length", "300", "--width", "40",
+         "--out", str(out)]
+    )
+    assert code == 0
+    assert f"wrote {out}" in capsys.readouterr().out
+    _assert_valid_trace(out, expected_mode="sim")
+
+
+def test_trace_cots_mode_prints_and_exports(tmp_path, capsys):
+    out = tmp_path / "cots.json"
+    code = main(
+        ["trace", "--mode", "cots", "--threads", "4", "--length", "400",
+         "--capacity", "32", "--out", str(out)]
+    )
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "timeline" in stdout
+    assert "simulated time:" in stdout
+    doc = _assert_valid_trace(out, expected_mode="cots")
+    assert doc["otherData"]["clock"] == "cycles"
+    assert {e["name"] for e in doc["traceEvents"]} & {"delegate", "drain"}
+
+
+def test_trace_mp_mode_prints_and_exports(tmp_path, capsys):
+    out = tmp_path / "mp.json"
+    code = main(
+        ["trace", "--mode", "mp", "--workers", "2", "--length", "2000",
+         "--out", str(out)]
+    )
+    assert code == 0
+    assert "wall time:" in capsys.readouterr().out
+    doc = _assert_valid_trace(out, expected_mode="mp")
+    assert doc["otherData"]["clock"] == "seconds"
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert {"dispatch", "snapshot", "merge"} <= names
+
+
+def _assert_valid_trace(path, expected_mode):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    doc = json.loads(path.read_text())
+    validate_chrome_trace(doc)
+    assert doc["otherData"]["mode"] == expected_mode
+    assert doc["traceEvents"]
+    return doc
+
+
+def _write_bench_report(path, wall):
+    import json
+
+    path.write_text(json.dumps({
+        "suite": "core", "scale": "tiny",
+        "results": [{"name": "entry-a", "wall_seconds": wall}],
+    }))
+
+
+def test_report_diff_clean_exits_zero(tmp_path, capsys):
+    before, after = tmp_path / "a.json", tmp_path / "b.json"
+    _write_bench_report(before, 1.0)
+    _write_bench_report(after, 1.0)
+    assert main(["report", "--diff", str(before), str(after)]) == 0
+    assert "0 regressions" in capsys.readouterr().out
+
+
+def test_report_diff_regression_exits_nonzero(tmp_path, capsys):
+    before, after = tmp_path / "a.json", tmp_path / "b.json"
+    _write_bench_report(before, 1.0)
+    _write_bench_report(after, 2.0)          # injected 2x slowdown
+    assert main(["report", "--diff", str(before), str(after)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_report_diff_tolerance_override(tmp_path, capsys):
+    before, after = tmp_path / "a.json", tmp_path / "b.json"
+    _write_bench_report(before, 1.0)
+    _write_bench_report(after, 2.0)
+    code = main(
+        ["report", "--diff", str(before), str(after), "--tolerance", "5.0"]
+    )
+    assert code == 0
+    capsys.readouterr()
+
+
+def test_report_diff_json_output(tmp_path, capsys):
+    import json
+
+    before, after = tmp_path / "a.json", tmp_path / "b.json"
+    _write_bench_report(before, 1.0)
+    _write_bench_report(after, 2.0)
+    code = main(
+        ["report", "--diff", str(before), str(after), "--json"]
+    )
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["regressions"] == 1
+
+
+def test_report_diff_missing_file_exits_two(tmp_path, capsys):
+    present = tmp_path / "a.json"
+    _write_bench_report(present, 1.0)
+    code = main(
+        ["report", "--diff", str(present), str(tmp_path / "missing.json")]
+    )
+    assert code == 2
+    assert "report:" in capsys.readouterr().err
+
+
+def test_report_json_tolerates_pre_metrics_reports(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "old.json"
+    _write_bench_report(path, 1.0)           # entries without metrics
+    assert main(["report", str(path), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["entries"] == [{"name": "entry-a", "metrics": {}}]
+
+
 def test_no_command_is_an_error():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Hold the metric catalogue (``repro.obs.schema``) against the code.
+
+Metric names drift: an instrumented call site gets renamed, the
+catalogue keeps the old spelling, and ``repro report`` starts printing
+``?`` units while docs/observability.md documents a metric nobody emits.
+This tool catches that from both ends:
+
+1. **Static scan** — every ``.counter("...")`` / ``.gauge("...")`` /
+   ``.histogram("...")`` string literal under ``src/repro/`` (f-string
+   templates included: their ``{...}`` holes only ever sit in the
+   catalogue's ``<i>``/``<tag>``/``<stat>`` placeholder segments) must
+   resolve to a :data:`~repro.obs.schema.METRIC_SPECS` entry of the
+   same kind.
+2. **Recording smoke run** — tiny SpaceSaving / sequential-sim / CoTS /
+   multiprocess runs against real registries; every name in the
+   resulting snapshots must resolve, with the recorded family matching
+   the spec's kind.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_metrics.py               # both passes
+    PYTHONPATH=src python tools/check_metrics.py --static-only # no smoke run
+
+Exit code 0 when every name resolves, 1 with a listing otherwise.  CI
+runs this in the ``docs`` job (the catalogue is documentation-as-data).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import List, NamedTuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: a metric-recording call with an inline (possibly f-string) name.
+#: ``\s*`` spans newlines, so multi-line call layouts match too.
+CALL_RE = re.compile(
+    r"\.(counter|gauge|histogram)\(\s*(f?)([\"'])([^\"']+)\3"
+)
+
+#: f-string holes; each must land where the catalogue has a placeholder
+HOLE_RE = re.compile(r"\{[^{}]*\}")
+
+
+class Emission(NamedTuple):
+    """One metric name the code emits, and where it was seen."""
+
+    name: str        # concrete or hole-substituted metric name
+    kind: str        # counter | gauge | histogram
+    where: str       # "path:line" for static hits, "runtime" for smoke
+
+
+def scan_source() -> List[Emission]:
+    """Every metric-name literal recorded anywhere under src/repro/."""
+    emissions: List[Emission] = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in CALL_RE.finditer(text):
+            kind, is_fstring, _, name = match.groups()
+            if is_fstring:
+                # any concrete stand-in resolves against a placeholder
+                # segment; "0" keeps the dotted shape intact
+                name = HOLE_RE.sub("0", name)
+            line = text.count("\n", 0, match.start()) + 1
+            shown = (
+                path.relative_to(REPO_ROOT)
+                if path.is_relative_to(REPO_ROOT) else path
+            )
+            where = f"{shown}:{line}"
+            emissions.append(Emission(name, kind, where))
+    return emissions
+
+
+def smoke_run() -> List[Emission]:
+    """Record from every layer into real registries; return the names."""
+    from repro.core.space_saving import SpaceSaving
+    from repro.cots import CoTSRunConfig, run_cots
+    from repro.mp import MPConfig, run_mp
+    from repro.obs import MetricsRegistry
+    from repro.parallel import SchemeConfig, run_sequential
+    from repro.workloads import zipf_stream
+
+    stream = zipf_stream(2_000, 300, 1.3, seed=7)
+    snapshots = []
+
+    registry = MetricsRegistry()
+    SpaceSaving(capacity=48, metrics=registry).process_many(stream)
+    snapshots.append(("spacesaving", registry.snapshot()))
+
+    registry = MetricsRegistry()
+    run_sequential(stream, SchemeConfig(threads=1, capacity=48,
+                                        metrics=registry))
+    snapshots.append(("sequential", registry.snapshot()))
+
+    registry = MetricsRegistry()
+    run_cots(stream, CoTSRunConfig(threads=4, capacity=48,
+                                   metrics=registry))
+    snapshots.append(("cots", registry.snapshot()))
+
+    registry = MetricsRegistry()
+    run_mp(stream, MPConfig(workers=2, capacity=48, chunk_elements=512),
+           metrics=registry)
+    snapshots.append(("mp", registry.snapshot()))
+
+    emissions: List[Emission] = []
+    for run_name, snapshot in snapshots:
+        for family, kind in (("counters", "counter"), ("gauges", "gauge"),
+                             ("histograms", "histogram")):
+            for name in snapshot.get(family, {}):
+                emissions.append(
+                    Emission(name, kind, f"runtime ({run_name} run)")
+                )
+    return emissions
+
+
+def check(emissions: List[Emission]) -> List[str]:
+    """Failure messages for emissions the catalogue cannot resolve."""
+    from repro.obs.schema import lookup
+
+    failures = []
+    for emission in emissions:
+        spec = lookup(emission.name)
+        if spec is None:
+            failures.append(
+                f"{emission.where}: {emission.kind} {emission.name!r} "
+                "has no METRIC_SPECS entry"
+            )
+        elif spec.kind != emission.kind:
+            failures.append(
+                f"{emission.where}: {emission.name!r} recorded as "
+                f"{emission.kind} but catalogued as {spec.kind} "
+                f"(spec {spec.name!r})"
+            )
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    cli.add_argument(
+        "--static-only", action="store_true",
+        help="skip the recording smoke run (static scan only)",
+    )
+    args = cli.parse_args(argv)
+
+    emissions = scan_source()
+    static_count = len(emissions)
+    if not args.static_only:
+        emissions.extend(smoke_run())
+    failures = check(emissions)
+    if failures:
+        print(f"check_metrics: {len(failures)} undocumented metric(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    runtime_count = len(emissions) - static_count
+    print(
+        f"check_metrics: {static_count} call site(s) and "
+        f"{runtime_count} recorded name(s) all resolve against "
+        "METRIC_SPECS"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
