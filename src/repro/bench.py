@@ -102,6 +102,10 @@ SCALES: Dict[str, Dict[str, int | float]] = {
 #: top element alone is most of the stream, so one shard would carry
 #: nearly all the work and no backend could scale (a real load-imbalance
 #: limit of domain splitting, see docs/benchmarks.md).
+#: ``chunk_elements`` doubles as the dedup window of the shm plane's
+#: chunk pre-aggregation: bigger chunks repeat the hot elements more,
+#: so fewer distinct (code, weight) pairs reach the workers per stream
+#: element (it also sizes the ring segments at 16 bytes per slot).
 MP_SCALES: Dict[str, Dict[str, Any]] = {
     "tiny": {
         "mp_length": 60_000,
@@ -118,7 +122,7 @@ MP_SCALES: Dict[str, Dict[str, Any]] = {
         "mp_length": 2_000_000,
         "alphabet": 50_000,
         "capacity": 256,
-        "chunk_elements": 65_536,
+        "chunk_elements": 524_288,
         "workers": [1, 2, 4, 8],
         "alpha": 1.1,
         "seed": 7,
@@ -129,7 +133,7 @@ MP_SCALES: Dict[str, Dict[str, Any]] = {
         "mp_length": 8_000_000,
         "alphabet": 200_000,
         "capacity": 1_024,
-        "chunk_elements": 131_072,
+        "chunk_elements": 524_288,
         "workers": [1, 2, 4, 8, 16],
         "alpha": 1.1,
         "seed": 7,
@@ -345,6 +349,12 @@ def _bench_mp(params: Dict[str, Any]) -> List[Dict[str, Any]]:
     asserts the merged answer is within the documented Space Saving
     merge error bounds of the sequential batched baseline (see
     :func:`repro.mp.driver.summaries_equivalent`).
+
+    The ladder runs *both* data planes at every rung: the shm transport
+    keeps the historical ``mp-sharded-<N>w`` names (so trajectory diffs
+    line up across the transport switch), the pickle reference rides
+    along as ``mp-sharded-<N>w-pickle``.  The gap between the two
+    columns is the measured cost of per-item pickling.
     """
     from repro.mp import MPConfig, run_mp, summaries_equivalent
     from repro.workloads.zipf import zipf_stream
@@ -382,35 +392,39 @@ def _bench_mp(params: Dict[str, Any]) -> List[Dict[str, Any]]:
         }
     ]
     for workers in params["workers"]:
-        config = MPConfig(
-            workers=int(workers),
-            capacity=capacity,
-            chunk_elements=int(params["chunk_elements"]),
-            timeout=float(params["timeout"]),
-        )
-        best = None
-        for _ in range(repeats):
-            result = run_mp(stream, config, metrics=MetricsRegistry())
-            if best is None or result.wall_seconds < best.wall_seconds:
-                best = result
-        entries.append(
-            {
-                "name": f"mp-sharded-{workers}w",
-                "kind": "mp",
-                "elements": length,
-                "workers": int(workers),
-                "wall_seconds": best.wall_seconds,
-                "startup_seconds": best.startup_seconds,
-                "throughput_eps": best.throughput,
-                "speedup_vs_sequential": baseline_secs / best.wall_seconds,
-                "equivalent": summaries_equivalent(
-                    baseline, best.counter, k=10
-                ),
-                "partition_how": config.partition_how,
-                "peak_rss_kb": _peak_rss_kb(),
-                "metrics": best.extras.get("metrics") or {},
-            }
-        )
+        for transport in ("shm", "pickle"):
+            config = MPConfig(
+                workers=int(workers),
+                capacity=capacity,
+                chunk_elements=int(params["chunk_elements"]),
+                timeout=float(params["timeout"]),
+                transport=transport,
+            )
+            best = None
+            for _ in range(repeats):
+                result = run_mp(stream, config, metrics=MetricsRegistry())
+                if best is None or result.wall_seconds < best.wall_seconds:
+                    best = result
+            suffix = "" if transport == "shm" else "-pickle"
+            entries.append(
+                {
+                    "name": f"mp-sharded-{workers}w{suffix}",
+                    "kind": "mp",
+                    "elements": length,
+                    "workers": int(workers),
+                    "transport": transport,
+                    "wall_seconds": best.wall_seconds,
+                    "startup_seconds": best.startup_seconds,
+                    "throughput_eps": best.throughput,
+                    "speedup_vs_sequential": baseline_secs / best.wall_seconds,
+                    "equivalent": summaries_equivalent(
+                        baseline, best.counter, k=10
+                    ),
+                    "partition_how": config.partition_how,
+                    "peak_rss_kb": _peak_rss_kb(),
+                    "metrics": best.extras.get("metrics") or {},
+                }
+            )
     return entries
 
 

@@ -153,6 +153,10 @@ def _build_parser() -> argparse.ArgumentParser:
     count.add_argument("--workers", type=int, default=1,
                        help="count on N worker processes via the "
                        "multiprocess sharded backend (space-saving only)")
+    count.add_argument("--transport", choices=("shm", "pickle"),
+                       default="shm",
+                       help="mp data plane: shared-memory rings of "
+                       "integer-coded pairs (default) or pickled batches")
 
     simulate = commands.add_parser(
         "simulate",
@@ -395,7 +399,11 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
         counter = run_mp(
             stream,
-            MPConfig(workers=args.workers, capacity=args.capacity),
+            MPConfig(
+                workers=args.workers,
+                capacity=args.capacity,
+                transport=args.transport,
+            ),
         ).counter
     else:
         counter = algorithms[args.algorithm]()

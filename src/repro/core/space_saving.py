@@ -306,6 +306,82 @@ class SpaceSaving:
                     element, count=min_freq + run, error=min_freq
                 )
 
+    def process_weighted(
+        self, pairs: Iterable[Tuple[Element, int]]
+    ) -> None:
+        """Consume pre-aggregated ``(element, weight)`` pairs.
+
+        The batched form of :meth:`process_bulk`: each pair is exactly
+        equivalent to ``weight`` consecutive occurrences of ``element``
+        (increment by ``weight`` when monitored, insert at ``weight``
+        when a slot is free, otherwise overwrite the minimum at
+        ``min + weight`` with error ``min``).  This is the worker-side
+        lane of the multiprocess shared-memory transport, whose parent
+        pre-aggregates every dispatch chunk into distinct pairs — the
+        loop runs once per *distinct* element, not once per occurrence.
+        """
+        tracer = self.tracer
+        if tracer.enabled:
+            trace_start = tracer.now()
+        summary = self.summary
+        nodes = summary._nodes
+        get = nodes.get
+        capacity = self.capacity
+        m_increment = self._m_increments.inc
+        m_insert = self._m_inserts.inc
+        m_overwrite = self._m_overwrites.inc
+        m_min_hit = self._m_min_hits.inc
+        total = 0
+        distinct = 0
+        for element, weight in pairs:
+            if weight < 1:
+                raise ConfigurationError(
+                    f"weight must be >= 1, got {weight} for {element!r}"
+                )
+            total += weight
+            distinct += 1
+            node = get(element)
+            if node is not None:
+                # inlined unit/bulk increment fast lane (mirrors
+                # _process_chunk's run handling)
+                source = node.bucket
+                if source is summary._min:
+                    m_min_hit()
+                m_increment()
+                target_freq = source.freq + weight
+                nxt = source.next
+                if source.size == 1 and (
+                    nxt is None or nxt.freq > target_freq
+                ):
+                    source.freq = target_freq
+                    summary._total += weight
+                elif nxt is not None and nxt.freq == target_freq:
+                    source.detach(node)
+                    nxt.attach(node)
+                    if source.size == 0:
+                        summary._remove_bucket(source)
+                    summary._total += weight
+                else:
+                    summary.increment_node(node, weight)
+            elif len(nodes) < capacity:
+                m_insert()
+                summary.insert(element, count=weight, error=0)
+            else:
+                m_overwrite()
+                min_freq = summary.min_freq
+                summary.evict_min()
+                summary.insert(
+                    element, count=min_freq + weight, error=min_freq
+                )
+        self._m_occurrences.inc(total)
+        self._processed += total
+        if tracer.enabled:
+            tracer.add_span(
+                "spacesaving", "lane.weighted", "core",
+                trace_start, tracer.now(),
+                {"occurrences": total, "distinct": distinct},
+            )
+
     # ------------------------------------------------------------------
     # Queries (the operator surface used by Section 3.2's query model)
     # ------------------------------------------------------------------

@@ -26,6 +26,16 @@ PARTITION_STRATEGIES = ("hash", "round_robin", "block")
 #: fault-injection hooks understood by the worker loop (testing only)
 FAULTS = ("raise", "exit", "hang")
 
+#: data-plane transports.  ``shm`` (default) pre-aggregates each chunk
+#: into integer-coded (code, weight) pairs and ships them through
+#: per-worker shared-memory ring buffers — compact fixed-width data, no
+#: per-item pickling (see :mod:`repro.mp.shm`).  ``pickle`` is the
+#: original transport (routed batches of raw elements pickled over the
+#: task queues), kept as the fallback and the differential reference:
+#: it preserves exact stream order within each shard, which the
+#: pre-aggregating shm plane intentionally trades away.
+TRANSPORTS = ("shm", "pickle")
+
 
 @dataclasses.dataclass
 class MPConfig:
@@ -51,6 +61,14 @@ class MPConfig:
       declaring a worker hung (raises
       :class:`~repro.errors.WorkerTimeoutError` after closing the
       pool).
+    * ``transport`` — the data plane: ``shm`` (shared-memory rings of
+      integer-coded, chunk-pre-aggregated pairs; the fast path) or
+      ``pickle`` (routed raw batches over the queues; exact stream
+      order, kept as fallback/reference).  See :data:`TRANSPORTS`.
+    * ``ring_segments`` — shm segments per worker ring; 2 gives double
+      buffering (the parent fills one while the worker drains the
+      other), more deepens the dispatch pipeline at the cost of
+      ``ring_segments * chunk_elements * 16`` bytes per worker.
 
     ``fault`` is a testing-only hook that makes workers misbehave on
     purpose (``raise``: raise during counting; ``exit``: hard-exit the
@@ -66,6 +84,8 @@ class MPConfig:
     queue_depth: int = 8             #: pending batches per worker (backpressure)
     start_method: Optional[str] = None  #: fork/spawn/forkserver (None = default)
     fault: Optional[str] = None      #: testing-only fault injection
+    transport: str = "shm"           #: see :data:`TRANSPORTS`
+    ring_segments: int = 2           #: shm segments per worker (2 = double buffer)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -101,4 +121,13 @@ class MPConfig:
         if self.fault is not None and self.fault not in FAULTS:
             raise ConfigurationError(
                 f"fault must be one of {FAULTS} or None, got {self.fault!r}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"transport must be one of {TRANSPORTS}, "
+                f"got {self.transport!r}"
+            )
+        if self.ring_segments < 1:
+            raise ConfigurationError(
+                f"ring_segments must be >= 1, got {self.ring_segments}"
             )

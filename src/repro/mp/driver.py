@@ -91,6 +91,7 @@ def run_mp(
         "partition_how": config.partition_how,
         "chunk_elements": config.chunk_elements,
         "capacity": config.capacity,
+        "transport": config.transport,
     }
     if metrics is not None:
         for index, items in enumerate(pool.worker_items):

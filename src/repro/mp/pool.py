@@ -2,15 +2,29 @@
 
 :class:`ShardedProcessPool` is the repo's first backend with *real*
 wall-clock parallelism: ``workers`` OS processes (no GIL sharing), each
-owning a private Space Saving shard, fed in large pickled batches so the
-per-element IPC overhead amortizes away.  The life cycle is
+owning a private Space Saving shard.  Two data planes feed them
+(``config.transport``):
+
+* ``shm`` (default) — the zero-copy plane of :mod:`repro.mp.shm`: each
+  dispatch chunk is pre-aggregated into distinct integer-coded
+  ``(code, weight)`` pairs (one numpy/Counter pass, no per-element
+  Python loop), hash-routed with vectorized numpy ops, and written into
+  per-worker shared-memory ring segments; only a tiny ``("seg", ...)``
+  control message crosses the task queue.  Workers count codes and the
+  parent decodes them against its vocabulary at snapshot time.
+* ``pickle`` — the original transport: the chunk is split with
+  :func:`repro.workloads.partition.partition` and each batch is pickled
+  whole onto the worker's task queue.  Slower (the pickling costs as
+  much as the counting) but order-exact, so it stays as the fallback
+  and the differential reference.
+
+The life cycle is
 
 1. **dispatch** — :meth:`count` reads the stream one chunk at a time
-   (:func:`repro.workloads.partition.chunked`), routes each chunk with
-   the configured partitioner (hash by default: every element has a home
-   shard), and ships the per-worker batches over bounded task queues —
-   the bound is the backpressure that keeps a slow worker from buffering
-   the whole stream;
+   (:func:`repro.workloads.partition.chunked`) and routes it to the
+   worker shards.  Backpressure: the pickle plane blocks on the bounded
+   task queue, the shm plane on ring-segment availability (stalls are
+   metered, never silent);
 2. **query** — :meth:`merged` snapshots every shard (a FIFO command on
    the same queue, so it observes all previously dispatched batches),
    rebuilds the shards in the parent via ``SpaceSaving.from_entries``
@@ -19,7 +33,9 @@ per-element IPC overhead amortizes away.  The life cycle is
 3. **shutdown** — :meth:`close` (or the context manager) stops, joins
    and if necessary terminates every worker; it is idempotent and runs
    on *every* error path, so a crash or timeout never leaves a hung
-   pool behind.
+   pool behind.  Stop acknowledgements are drained (bounded wait)
+   before the queues are torn down, so a clean shutdown never races a
+   worker's last reply into a broken pipe.
 
 Worker failure surfaces as typed :mod:`repro.errors` exceptions:
 :class:`~repro.errors.WorkerCrashError` when a worker raised or died,
@@ -29,6 +45,7 @@ within ``config.timeout`` seconds.
 
 from __future__ import annotations
 
+import collections
 import multiprocessing
 import queue as queue_module
 import time
@@ -39,6 +56,7 @@ from repro.core.merge import hierarchical_merge
 from repro.core.space_saving import SpaceSaving
 from repro.errors import BackendError, WorkerCrashError, WorkerTimeoutError
 from repro.mp.config import MPConfig
+from repro.mp.shm import ShmRing, StreamCodec, route_coded
 from repro.mp.worker import shard_main
 from repro.obs.registry import TIME_BUCKETS, coerce
 from repro.obs.tracing import coerce_tracer
@@ -49,6 +67,12 @@ Element = Hashable
 #: (entries, processed, capacity) triple describing one shard snapshot
 ShardState = Tuple[List[Tuple[Element, int, int]], int, int]
 
+#: seconds between ring status polls while waiting on backpressure
+_STALL_POLL_SECONDS = 0.0005
+
+#: bounded wait for stop acknowledgements during a clean close
+_STOP_ACK_SECONDS = 1.0
+
 
 class ShardedProcessPool:
     """Process-pool sharded Space Saving with merge-on-query semantics.
@@ -56,7 +80,8 @@ class ShardedProcessPool:
     ``metrics`` optionally attaches a :class:`repro.obs.MetricsRegistry`
     (parent-side only; nothing crosses the process boundary): dispatched
     items/batches, per-worker routed items, task-queue occupancy sampled
-    at each put, and snapshot/merge latency histograms.
+    at each put, snapshot/merge latency histograms, and — on the shm
+    plane — ring occupancy, dispatch stalls and payload bytes.
 
     ``tracer`` optionally attaches a :class:`repro.obs.tracing.Tracer`.
     The parent records dispatch/snapshot/merge spans on the ``driver``
@@ -86,9 +111,33 @@ class ShardedProcessPool:
         self._m_merge_seconds = self.metrics.histogram(
             "mp.merge.seconds", buckets=TIME_BUCKETS
         )
+        self._m_replies_discarded = self.metrics.counter(
+            "mp.replies.discarded"
+        )
+        self._m_shm_bytes = self.metrics.counter("mp.shm.bytes")
+        self._m_ring_stalls = self.metrics.counter("mp.shm.ring_stalls")
+        self._m_stall_seconds = self.metrics.histogram(
+            "mp.shm.stall_seconds", buckets=TIME_BUCKETS
+        )
+        self._m_ring_occupancy = self.metrics.histogram(
+            "mp.shm.ring_occupancy", buckets=(0, 1, 2, 4, 8)
+        )
         #: per-worker dispatched element counts (kept even without a
         #: registry, so callers can derive items/sec after a run)
         self.worker_items: List[int] = [0] * self.config.workers
+        #: kinds of stale replies swallowed by error/shutdown sweeps
+        self._discarded_replies: collections.Counter = collections.Counter()
+        self._use_shm = self.config.transport == "shm"
+        self._codec = StreamCodec() if self._use_shm else None
+        self._rings: List[ShmRing] = []
+        self._next_segment = [0] * self.config.workers
+        if self._use_shm:
+            # worst case one chunk is all-distinct and lands whole on a
+            # single worker, so every segment must hold a full chunk
+            self._rings = [
+                ShmRing(self.config.chunk_elements, self.config.ring_segments)
+                for _ in range(self.config.workers)
+            ]
         context = multiprocessing.get_context(self.config.start_method)
         self._tasks = [
             context.Queue(maxsize=self.config.queue_depth)
@@ -105,6 +154,11 @@ class ShardedProcessPool:
                     self.config.capacity,
                     self.config.fault,
                     self.tracer.enabled,
+                    (
+                        self._rings[index].name,
+                        self.config.chunk_elements,
+                        self.config.ring_segments,
+                    ) if self._use_shm else None,
                 ),
                 name=f"repro-mp-shard-{index}",
                 daemon=True,
@@ -114,8 +168,12 @@ class ShardedProcessPool:
         self._dispatched = 0
         self._snapshot_token = 0
         self._closed = False
-        for process in self._processes:
-            process.start()
+        try:
+            for process in self._processes:
+                process.start()
+        except BaseException:
+            self._release_rings()
+            raise
 
     # ------------------------------------------------------------------
     # Life cycle
@@ -142,6 +200,11 @@ class ShardedProcessPool:
     def close(self) -> None:
         """Stop, join and reap every worker; always safe to call again.
 
+        Clean-shutdown order matters: workers acknowledge ``("stop",)``
+        on the reply queue, so those acks are drained (bounded wait)
+        *before* the queues are closed — tearing the reply queue down
+        with acks still in flight used to race a worker's last ``put``
+        into a broken pipe and turn a clean exit into a crash exit.
         Workers that do not exit within a grace period after the stop
         command are terminated.  Queues are closed with their feeder
         threads cancelled so the parent can never hang on shutdown.
@@ -149,12 +212,15 @@ class ShardedProcessPool:
         if self._closed:
             return
         self._closed = True
+        acks_expected = 0
         for tasks, process in zip(self._tasks, self._processes):
             if process.is_alive():
                 try:
                     tasks.put_nowait(("stop",))
+                    acks_expected += 1
                 except (queue_module.Full, ValueError, OSError):
                     pass  # full queue or dead pipe: terminate below
+        self._drain_stop_acks(acks_expected)
         for process in self._processes:
             process.join(timeout=2.0)
             if process.is_alive():
@@ -163,6 +229,38 @@ class ShardedProcessPool:
         for q in [*self._tasks, self._replies]:
             q.close()
             q.cancel_join_thread()
+        self._release_rings()
+
+    def _release_rings(self) -> None:
+        for ring in self._rings:
+            ring.close()
+        self._rings = []
+
+    def _drain_stop_acks(self, expected: int) -> None:
+        """Consume ``("stopped", ...)`` acks so queue teardown is race-free.
+
+        Bounded: waits at most :data:`_STOP_ACK_SECONDS` total, so a
+        worker that is wedged (or already dead) can never hang a close.
+        Anything else still in flight (stale snapshots, late errors) is
+        swallowed and counted as discarded — the pool is going away.
+        """
+        deadline = time.monotonic() + _STOP_ACK_SECONDS
+        seen = 0
+        while seen < expected:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            try:
+                message = self._replies.get(timeout=min(remaining, 0.05))
+            except queue_module.Empty:
+                continue
+            except (OSError, ValueError):
+                return
+            if message[1] == "stopped":
+                seen += 1
+            else:
+                self._m_replies_discarded.inc()
+                self._discarded_replies[str(message[1])] += 1
 
     def worker_exitcodes(self) -> List[Optional[int]]:
         """Exit codes of the (joined) workers; None while running."""
@@ -172,16 +270,22 @@ class ShardedProcessPool:
     # Dispatch
     # ------------------------------------------------------------------
     def count(self, stream: Iterable[Element]) -> int:
-        """Route ``stream`` to the worker shards in pickled batches.
+        """Route ``stream`` to the worker shards chunk by chunk.
 
         Returns the number of elements dispatched.  The stream is
-        consumed incrementally (any iterable works); each chunk is split
-        with the configured partitioner and only non-empty batches are
-        shipped.  Raises :class:`WorkerCrashError` /
-        :class:`WorkerTimeoutError` (after closing the pool) if a worker
-        died or stopped draining its queue.
+        consumed incrementally (any iterable works).  On the shm plane
+        each chunk is pre-aggregated, integer-coded and written into
+        ring segments; on the pickle plane it is split with the
+        configured partitioner and shipped as pickled batches.  Raises
+        :class:`WorkerCrashError` / :class:`WorkerTimeoutError` (after
+        closing the pool) if a worker died or stopped draining.
         """
         self._ensure_open()
+        if self._use_shm:
+            return self._count_shm(stream)
+        return self._count_pickle(stream)
+
+    def _count_pickle(self, stream: Iterable[Element]) -> int:
         tracer = self.tracer
         sent = 0
         for chunk in chunked(stream, self.config.chunk_elements):
@@ -206,6 +310,79 @@ class ShardedProcessPool:
                     {"items": len(chunk), "batches": shipped},
                 )
         return sent
+
+    def _count_shm(self, stream: Iterable[Element]) -> int:
+        tracer = self.tracer
+        codec = self._codec
+        metrics_on = self.metrics.enabled
+        sent = 0
+        for chunk in chunked(stream, self.config.chunk_elements):
+            if tracer.enabled:
+                dispatch_start = tracer.now()
+            self._poll_for_errors()
+            codes, weights = codec.encode_chunk(chunk)
+            routed = route_coded(
+                codes, weights, self.workers, self.config.partition_how
+            )
+            shipped = 0
+            for index, (shard_codes, shard_weights) in enumerate(routed):
+                records = len(shard_codes)
+                if not records:
+                    continue
+                ring = self._rings[index]
+                segment = self._next_segment[index]
+                if metrics_on:
+                    self._m_ring_occupancy.observe(ring.busy_segments())
+                self._wait_segment_free(index, ring, segment)
+                payload = ring.fill(segment, shard_codes, shard_weights)
+                weight_total = int(shard_weights.sum())
+                self._put(index, ("seg", segment, records, weight_total))
+                self._next_segment[index] = (segment + 1) % ring.segments
+                self._m_shm_bytes.inc(payload)
+                self._m_batches.inc()
+                self._m_worker_items[index].inc(weight_total)
+                self.worker_items[index] += weight_total
+                shipped += 1
+            sent += len(chunk)
+            self._dispatched += len(chunk)
+            self._m_items.inc(len(chunk))
+            if tracer.enabled:
+                tracer.add_span(
+                    "driver", "dispatch", "mp", dispatch_start, tracer.now(),
+                    {
+                        "items": len(chunk),
+                        "batches": shipped,
+                        "distinct": len(codes),
+                    },
+                )
+        return sent
+
+    def _wait_segment_free(
+        self, index: int, ring: ShmRing, segment: int
+    ) -> None:
+        """Block until the worker frees ``segment`` (shm backpressure).
+
+        A full ring means the worker is behind by ``ring_segments``
+        batches — the analogue of the pickle plane's bounded queue.
+        The wait polls the one-byte status flag, metering the stall,
+        and converts a dead worker / expired timeout into the same
+        typed errors a blocked queue put raises.
+        """
+        if ring.is_free(segment):
+            return
+        self._m_ring_stalls.inc()
+        stall_started = time.perf_counter()
+        deadline = time.monotonic() + self.config.timeout
+        while not ring.is_free(segment):
+            if not self._processes[index].is_alive():
+                self._fail_crashed(index)
+            if time.monotonic() > deadline:
+                self.close()
+                raise WorkerTimeoutError(
+                    index, self.config.timeout, "dispatch"
+                )
+            time.sleep(_STALL_POLL_SECONDS)
+        self._m_stall_seconds.observe(time.perf_counter() - stall_started)
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -239,6 +416,13 @@ class ShardedProcessPool:
             detail = self._drain_error_detail(
                 wait=0.5, wait_for=index
             ).get(index, "")
+        if self._discarded_replies:
+            stale = ", ".join(
+                f"{kind} x{count}"
+                for kind, count in sorted(self._discarded_replies.items())
+            )
+            suffix = f"[discarded stale replies: {stale}]"
+            detail = f"{detail} {suffix}" if detail else suffix
         self._processes[index].join(timeout=0.5)
         exitcode = self._processes[index].exitcode
         self.close()
@@ -253,6 +437,11 @@ class ShardedProcessPool:
         ``wait`` seconds total) until the report of worker ``wait_for``
         arrives — used when that worker is already known dead and its
         report may still be in flight.  Without it reads never block.
+
+        Non-error replies crossing the sweep (stale snapshots from an
+        abandoned query, stop acks) are *not* silently dropped: each is
+        counted into ``mp.replies.discarded`` and remembered by kind so
+        a raised :class:`WorkerCrashError` can surface them.
         """
         details: Dict[int, str] = {}
         deadline = time.monotonic() + wait
@@ -276,6 +465,9 @@ class ShardedProcessPool:
             else:
                 if message[1] == "error":
                     details[message[0]] = message[2]
+                else:
+                    self._m_replies_discarded.inc()
+                    self._discarded_replies[str(message[1])] += 1
 
     def _poll_for_errors(self) -> None:
         """Fail fast if any worker has already reported an error."""
@@ -293,9 +485,14 @@ class ShardedProcessPool:
         The snapshot command travels the same FIFO queues as the count
         batches, so each shard's reply reflects every batch dispatched
         before the call — queries are consistent with dispatch order.
+        Under the shm transport the replies carry integer codes; they
+        are decoded against the parent-owned vocabulary here, so workers
+        never need the key objects at all.
         """
         self._ensure_open()
         started = time.perf_counter()
+        if self.tracer.enabled:
+            span_start = self.tracer.now()
         self._snapshot_token += 1
         token = self._snapshot_token
         for index in range(self.workers):
@@ -303,6 +500,8 @@ class ShardedProcessPool:
         states = self._collect_snapshots(token)
         shards: List[SpaceSaving] = []
         for entries, processed, capacity in states:
+            if self._codec is not None:
+                entries = self._codec.decode_entries(entries)
             shards.append(
                 SpaceSaving.from_entries(
                     capacity,
@@ -313,7 +512,7 @@ class ShardedProcessPool:
         self._m_snapshot_seconds.observe(time.perf_counter() - started)
         if self.tracer.enabled:
             self.tracer.add_span(
-                "driver", "snapshot", "mp", started, self.tracer.now(),
+                "driver", "snapshot", "mp", span_start, self.tracer.now(),
                 {"token": token, "shards": len(shards)},
             )
         return shards
@@ -364,13 +563,15 @@ class ShardedProcessPool:
         """
         shards = self.snapshot()
         started = time.perf_counter()
+        if self.tracer.enabled:
+            span_start = self.tracer.now()
         merged = hierarchical_merge(
             shards, capacity=capacity or self.config.capacity
         )
         self._m_merge_seconds.observe(time.perf_counter() - started)
         if self.tracer.enabled:
             self.tracer.add_span(
-                "driver", "merge", "mp", started, self.tracer.now(),
+                "driver", "merge", "mp", span_start, self.tracer.now(),
                 {"shards": len(shards)},
             )
         return merged

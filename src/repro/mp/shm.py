@@ -1,0 +1,378 @@
+"""The zero-copy shared-memory data plane of the multiprocess backend.
+
+The original (and still available) ``transport="pickle"`` ships every
+routed batch as a pickled list of Python objects over a
+``multiprocessing`` queue — measured on the mp bench ladder, the
+pickle/unpickle cost eats the entire parallel win (BENCH_mp.json topped
+out at 1.01x vs sequential).  This module is the replacement shape, the
+one the merge-based parallel Space Saving literature (Cafaro et al.,
+QPOPSS) gets its near-linear scaling from: shards exchange *compact
+fixed-width data*, never per-item Python objects.
+
+Three pieces:
+
+:class:`StreamCodec`
+    The parent-owned shared vocabulary.  Stream keys are mapped to
+    ``int64`` codes; workers count codes and never see a key — the
+    parent decodes codes back to keys only at snapshot time.  Coding is
+    two-lane: keys that *are* machine-size ints are coded as
+    ``key << 1`` (even codes, no dictionary, fully vectorizable), every
+    other key gets a vocabulary index coded ``(index << 1) | 1`` (odd
+    codes).  One chunk whose elements form a numpy integer array is
+    pre-aggregated with ``np.unique`` — one C pass instead of a
+    per-element Python loop; anything else falls back to one
+    ``collections.Counter`` pass plus a per-*distinct*-key dict lookup.
+
+    Known (documented) semantic edge: keys of different types that
+    compare equal (``1`` vs ``1.0``) are merged by the pickle transport
+    (dict semantics) but coded separately by the int fast lane.  Streams
+    relying on cross-type key equality should use
+    ``transport="pickle"``.
+
+:func:`route_coded`
+    Vectorized hash/round-robin/block routing of a pre-aggregated
+    ``(codes, weights)`` chunk to per-worker arrays — numpy masks, no
+    per-element Python loop (the old ``hash_partition`` was one).
+
+:class:`ShmRing` / :class:`ShmRingReader`
+    One ``multiprocessing.shared_memory`` block per worker, split into
+    ``segments`` fixed-size segments (default 2: double buffering — the
+    parent fills one segment while the worker drains the other).  A
+    segment carries up to ``slots`` records of two little-endian
+    ``int64`` arrays (codes, then weights); its one-byte status flag is
+    the entire synchronization protocol:
+
+    * parent observes ``FREE``, writes the payload, sets ``BUSY`` and
+      sends a tiny ``("seg", segment, n, weight)`` control message on
+      the existing task queue (the queue gives FIFO ordering and a
+      blocking wait; the data never travels through it);
+    * worker copies the payload out (``tolist`` — one C pass) and sets
+      ``FREE`` *before* counting, so the parent can refill the segment
+      while the worker is still updating its shard;
+    * a parent that finds no ``FREE`` segment is experiencing
+      backpressure from a slow worker: it polls (the stall is metered
+      as ``mp.shm.ring_stalls`` / ``mp.shm.stall_seconds``) and raises
+      the usual :class:`~repro.errors.WorkerTimeoutError` if the
+      segment never frees within the configured timeout.
+
+    Single-producer/single-consumer per ring and one-byte flags make
+    the protocol race-free without locks; the parent owns segment
+    allocation (round-robin), the worker only ever flips BUSY -> FREE.
+"""
+
+from __future__ import annotations
+
+import collections
+from multiprocessing import shared_memory
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StreamError
+
+#: segment status flag values (one byte at each segment's offset 0)
+SEG_FREE = 0
+SEG_BUSY = 1
+
+#: per-segment header size; one status byte, padded to a cache line so
+#: adjacent segment flags never share a line (false sharing)
+HEADER_BYTES = 64
+
+#: bytes per (code, weight) record — two little-endian int64s
+RECORD_BYTES = 16
+
+#: identity-coded ints must survive ``key << 1`` inside int64
+INT_CODE_BOUND = 1 << 62
+
+
+def segment_bytes(slots: int) -> int:
+    """On-disk size of one ring segment holding up to ``slots`` records."""
+    return HEADER_BYTES + slots * RECORD_BYTES
+
+
+# ----------------------------------------------------------------------
+# Vocabulary / integer coding
+# ----------------------------------------------------------------------
+class StreamCodec:
+    """Parent-owned key <-> int64 code mapping (the shared vocabulary).
+
+    Even codes are machine-size ints coded as themselves (``key << 1``);
+    odd codes index the vocabulary list (``(index << 1) | 1``).  The
+    split keeps the overwhelmingly common integer-stream case free of
+    any per-key dictionary work while arbitrary hashable keys still
+    round-trip exactly.
+    """
+
+    __slots__ = ("_codes", "_rev")
+
+    def __init__(self) -> None:
+        self._codes: dict = {}
+        self._rev: List[Hashable] = []
+
+    @property
+    def vocab_size(self) -> int:
+        """Distinct non-integer keys registered so far."""
+        return len(self._rev)
+
+    def encode_chunk(
+        self, chunk: Sequence[Hashable]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pre-aggregate one chunk into distinct ``(codes, weights)``.
+
+        Returns two aligned ``int64`` arrays: each distinct element of
+        ``chunk`` appears once with its occurrence count.  Applying the
+        pairs in order is equivalent to consuming the chunk with equal
+        elements grouped together (the same reordering latitude the
+        batched ``process_many`` lane already documents).
+        """
+        if not len(chunk):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if type(chunk[0]) is not int:
+            # cheap pre-filter: don't pay numpy dtype inference for
+            # streams that obviously aren't integer-keyed
+            return self._encode_counter(chunk)
+        try:
+            # Element inference is the fast-lane gate: a plain int list
+            # infers an integer dtype, anything else (floats, strings,
+            # objects, tuple keys -> ndim != 1, huge ints -> OverflowError)
+            # drops to the Counter lane.
+            arr = np.asarray(chunk)
+        except (ValueError, OverflowError):
+            return self._encode_counter(chunk)
+        kind = arr.dtype.kind
+        if arr.ndim == 1 and (
+            kind == "i" or (kind == "u" and arr.dtype.itemsize <= 4)
+        ):
+            codes = arr.astype(np.int64, copy=False)
+            if (
+                arr.dtype.itemsize <= 4
+                or kind == "u"
+                or (
+                    int(codes.min()) > -INT_CODE_BOUND
+                    and int(codes.max()) < INT_CODE_BOUND
+                )
+            ):
+                values, weights = np.unique(codes, return_counts=True)
+                return values << 1, weights
+        return self._encode_counter(chunk)
+
+    def _encode_counter(
+        self, chunk: Sequence[Hashable]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Slow lane: one Counter pass, then per-distinct-key coding."""
+        counts = collections.Counter(chunk)
+        codes = np.empty(len(counts), dtype=np.int64)
+        weights = np.empty(len(counts), dtype=np.int64)
+        lookup = self._codes
+        rev = self._rev
+        for slot, (key, count) in enumerate(counts.items()):
+            code = lookup.get(key)
+            if code is None:
+                if type(key) is int and -INT_CODE_BOUND < key < INT_CODE_BOUND:
+                    code = key << 1
+                else:
+                    code = (len(rev) << 1) | 1
+                    rev.append(key)
+                lookup[key] = code
+            codes[slot] = code
+            weights[slot] = count
+        return codes, weights
+
+    def decode(self, code: int) -> Hashable:
+        """The key behind one code (exact inverse of encoding)."""
+        if code & 1:
+            return self._rev[code >> 1]
+        return code >> 1
+
+    def decode_entries(
+        self, entries: Iterable[Tuple[int, int, int]]
+    ) -> List[Tuple[Hashable, int, int]]:
+        """Decode a shard snapshot's ``(code, count, error)`` triples."""
+        decode = self.decode
+        return [(decode(code), count, error) for code, count, error in entries]
+
+
+# ----------------------------------------------------------------------
+# Vectorized routing
+# ----------------------------------------------------------------------
+def route_coded(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    parts: int,
+    how: str = "hash",
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split a pre-aggregated chunk across ``parts`` workers.
+
+    Mirrors :func:`repro.workloads.partition.partition` semantics on
+    the *distinct* pairs: ``hash`` gives every element a home shard
+    (all its occurrences, in every chunk, land on one worker — the
+    key-value is the shard selector, so the full-stream Space Saving
+    guarantees hold per shard); ``round_robin`` and ``block`` spread
+    the distinct pairs positionally, splitting elements across shards.
+    """
+    if parts < 1:
+        raise StreamError(f"parts must be >= 1, got {parts}")
+    if parts == 1 or not len(codes):
+        return [(codes, weights)] + [
+            (codes[:0], weights[:0]) for _ in range(parts - 1)
+        ]
+    if how == "hash":
+        shards = (codes >> 1) % parts
+    elif how == "round_robin":
+        shards = np.arange(len(codes), dtype=np.int64) % parts
+    elif how == "block":
+        bounds = np.linspace(0, len(codes), parts + 1).astype(np.int64)
+        return [
+            (codes[bounds[i]: bounds[i + 1]], weights[bounds[i]: bounds[i + 1]])
+            for i in range(parts)
+        ]
+    else:
+        raise StreamError(
+            f"unknown partitioning {how!r}; pick one of "
+            "['block', 'hash', 'round_robin']"
+        )
+    return [
+        (codes[shards == index], weights[shards == index])
+        for index in range(parts)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory rings
+# ----------------------------------------------------------------------
+class ShmRing:
+    """Parent side of one worker's ring: create, fill, free-poll, unlink."""
+
+    def __init__(self, slots: int, segments: int) -> None:
+        if slots < 1:
+            raise StreamError(f"slots must be >= 1, got {slots}")
+        if segments < 1:
+            raise StreamError(f"segments must be >= 1, got {segments}")
+        self.slots = slots
+        self.segments = segments
+        self._seg_bytes = segment_bytes(slots)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self._seg_bytes * segments
+        )
+        buf = self._shm.buf
+        self._status = [buf[self._offset(s):self._offset(s) + 1]
+                        for s in range(segments)]
+        self._codes = []
+        self._weights = []
+        for s in range(segments):
+            base = self._offset(s) + HEADER_BYTES
+            self._codes.append(np.frombuffer(
+                buf, dtype="<i8", count=slots, offset=base))
+            self._weights.append(np.frombuffer(
+                buf, dtype="<i8", count=slots, offset=base + slots * 8))
+        for s in range(segments):
+            self._status[s][0] = SEG_FREE
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """System-wide shm block name (hand to :class:`ShmRingReader`)."""
+        return self._shm.name
+
+    def _offset(self, segment: int) -> int:
+        return segment * self._seg_bytes
+
+    def is_free(self, segment: int) -> bool:
+        return self._status[segment][0] == SEG_FREE
+
+    def busy_segments(self) -> int:
+        """Segments currently owned by the worker (ring occupancy)."""
+        return sum(
+            1 for s in range(self.segments) if self._status[s][0] != SEG_FREE
+        )
+
+    def fill(
+        self, segment: int, codes: np.ndarray, weights: np.ndarray
+    ) -> int:
+        """Write one routed batch into ``segment``; returns payload bytes.
+
+        The caller must have observed :meth:`is_free` — the flag flip to
+        BUSY is the publication point the worker's reader relies on.
+        """
+        n = len(codes)
+        if n > self.slots:
+            raise StreamError(
+                f"batch of {n} records exceeds ring segment capacity "
+                f"{self.slots}"
+            )
+        self._codes[segment][:n] = codes
+        self._weights[segment][:n] = weights
+        self._status[segment][0] = SEG_BUSY
+        return n * RECORD_BYTES
+
+    def close(self) -> None:
+        """Release views and destroy the block; idempotent, parent-only."""
+        if self._closed:
+            return
+        self._closed = True
+        # numpy views and the status memoryviews pin the exported
+        # buffer: drop them before close() or SharedMemory warns
+        self._codes = []
+        self._weights = []
+        for view in self._status:
+            view.release()
+        self._status = []
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class ShmRingReader:
+    """Worker side: attach by name, copy batches out, flip segments free."""
+
+    def __init__(self, name: str, slots: int, segments: int) -> None:
+        self.slots = slots
+        self.segments = segments
+        self._seg_bytes = segment_bytes(slots)
+        # Python 3.11 registers the block with the resource tracker on
+        # *attach* too, but multiprocessing children share the parent's
+        # tracker process and its cache is a set — the worker's
+        # registration is an idempotent no-op there, and unregistering
+        # would strip the *parent's* entry (its later unlink then makes
+        # the tracker trip a KeyError).  So: attach, touch nothing.
+        self._shm = shared_memory.SharedMemory(name=name)
+        buf = self._shm.buf
+        self._status = [buf[s * self._seg_bytes: s * self._seg_bytes + 1]
+                        for s in range(segments)]
+        self._codes = []
+        self._weights = []
+        for s in range(segments):
+            base = s * self._seg_bytes + HEADER_BYTES
+            self._codes.append(np.frombuffer(
+                buf, dtype="<i8", count=slots, offset=base))
+            self._weights.append(np.frombuffer(
+                buf, dtype="<i8", count=slots, offset=base + slots * 8))
+        self._closed = False
+
+    def read(self, segment: int, count: int) -> Tuple[List[int], List[int]]:
+        """Copy ``count`` records out of ``segment`` and free it.
+
+        The copy (two ``tolist`` C passes) decouples the worker from the
+        buffer immediately: the segment is flipped FREE *before* the
+        worker counts the batch, so the parent can refill it while the
+        shard update runs — that overlap is the double buffering.
+        """
+        codes = self._codes[segment][:count].tolist()
+        weights = self._weights[segment][:count].tolist()
+        self._status[segment][0] = SEG_FREE
+        return codes, weights
+
+    def close(self) -> None:
+        """Detach (never unlink — the parent owns the block)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._codes = []
+        self._weights = []
+        for view in self._status:
+            view.release()
+        self._status = []
+        self._shm.close()

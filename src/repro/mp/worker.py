@@ -5,17 +5,26 @@ SpaceSaving` shard — the shared-nothing design of §4.1, here on real OS
 processes so the GIL is out of the picture.  The loop is command-driven:
 
 ``("count", elements)``
-    Drain the (already routed) batch through ``process_many`` — the
-    chunked, pre-aggregating fast lane, so the per-batch cost is one
-    ``collections.Counter`` pass plus one Stream Summary move per
-    distinct element when no eviction can occur.
+    Pickle transport: drain the (already routed) batch through
+    ``process_many`` — the chunked, pre-aggregating fast lane.
+``("seg", segment, n, weight)``
+    Shm transport: copy ``n`` integer-coded ``(code, weight)`` records
+    out of ring ``segment`` (two ``tolist`` C passes), flip the segment
+    free so the parent can refill it, and drain the pairs through
+    ``process_weighted`` — one update per *distinct* code, the parent
+    already pre-aggregated the chunk.  ``weight`` (the batch's total
+    occurrence count) only feeds the batch span's args.
 ``("snapshot", token)``
     Reply with the shard's queryable state: the ``(element, count,
-    error)`` triples, the processed count and the capacity — everything
-    :meth:`SpaceSaving.from_entries` needs to rebuild the shard in the
-    parent for merging.
+    error)`` triples (integer codes under the shm transport — the
+    parent decodes them against its vocabulary), the processed count
+    and the capacity — everything :meth:`SpaceSaving.from_entries`
+    needs to rebuild the shard in the parent for merging.
 ``("stop",)``
-    Acknowledge and return (normal process exit).
+    Best-effort acknowledge and return (normal process exit).  The ack
+    is advisory: a parent tearing down quickly may already have closed
+    the reply queue, and failing to deliver the ack must never turn a
+    clean shutdown into a crash exit — so it is swallowed, not raised.
 
 Failures never disappear: any exception is reported on the reply queue
 as an ``("error", ...)`` message before the process exits non-zero, so
@@ -35,7 +44,7 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from repro.core.space_saving import SpaceSaving
 from repro.obs.tracing import NULL_TRACER, Tracer
@@ -54,26 +63,46 @@ def shard_main(
     capacity: int,
     fault: Optional[str] = None,
     trace: bool = False,
+    ring: Optional[Tuple[str, int, int]] = None,
 ) -> None:
-    """Entry point of one worker process (top-level: spawn-safe)."""
+    """Entry point of one worker process (top-level: spawn-safe).
+
+    ``ring`` is ``(shm_name, slots, segments)`` when the pool runs the
+    shared-memory transport; the worker attaches read-write (it flips
+    the segment status flags) but never unlinks — the parent owns the
+    blocks and destroys them after the workers are joined.
+    """
     tracer = Tracer() if trace else NULL_TRACER
     shard = SpaceSaving(capacity=capacity)
+    reader = None
+    if ring is not None:
+        from repro.mp.shm import ShmRingReader
+
+        reader = ShmRingReader(ring[0], ring[1], ring[2])
     try:
         while True:
             message = tasks.get()
             kind = message[0]
-            if kind == "count":
+            if kind == "count" or kind == "seg":
                 if fault == "raise":
                     raise RuntimeError("injected fault: raise during count")
                 if fault == "exit":
                     os._exit(CRASH_EXIT_CODE)
                 if fault == "hang":
                     time.sleep(_HANG_SECONDS)
-                with tracer.span(
-                    "worker", "batch", "mp.worker",
-                    {"items": len(message[1])} if trace else None,
-                ):
-                    shard.process_many(message[1])
+                if kind == "count":
+                    with tracer.span(
+                        "worker", "batch", "mp.worker",
+                        {"items": len(message[1])} if trace else None,
+                    ):
+                        shard.process_many(message[1])
+                else:
+                    with tracer.span(
+                        "worker", "batch", "mp.worker",
+                        {"items": message[3]} if trace else None,
+                    ):
+                        codes, weights = reader.read(message[1], message[2])
+                        shard.process_weighted(zip(codes, weights))
             elif kind == "snapshot":
                 with tracer.span("worker", "snapshot", "mp.worker"):
                     entries = [
@@ -97,7 +126,14 @@ def shard_main(
                     reply = reply + (payload, tracer.now())
                 replies.put(reply)
             elif kind == "stop":
-                replies.put((index, "stopped", shard.processed))
+                try:
+                    replies.put((index, "stopped", shard.processed))
+                except Exception:
+                    # the parent may already be tearing the queues down;
+                    # an undeliverable ack must not fail a clean stop
+                    pass
+                if reader is not None:
+                    reader.close()
                 return
             else:
                 raise ValueError(f"unknown command {kind!r}")

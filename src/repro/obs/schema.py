@@ -90,7 +90,8 @@ METRIC_SPECS: Dict[str, MetricSpec] = {
         _spec("mp.dispatched.items", "counter", "elements", "mp",
               "stream elements dispatched to the worker pool"),
         _spec("mp.dispatched.batches", "counter", "batches", "mp",
-              "non-empty pickled batches shipped to workers"),
+              "non-empty batches shipped to workers (pickled batches or "
+              "shm ring segments, per the configured transport)"),
         _spec("mp.worker.<i>.items", "counter", "elements", "mp",
               "stream elements routed to worker shard <i>"),
         _spec("mp.worker.<i>.items_per_sec", "gauge", "elements/s", "mp",
@@ -101,6 +102,19 @@ METRIC_SPECS: Dict[str, MetricSpec] = {
               "wall-clock latency of one all-shard snapshot"),
         _spec("mp.merge.seconds", "histogram", "seconds", "mp",
               "wall-clock latency of one hierarchical merge of shards"),
+        _spec("mp.replies.discarded", "counter", "messages", "mp",
+              "stale non-error replies swallowed by error/shutdown "
+              "sweeps of the reply queue (surfaced in crash details)"),
+        _spec("mp.shm.bytes", "counter", "bytes", "mp",
+              "payload bytes written into shared-memory ring segments"),
+        _spec("mp.shm.ring_occupancy", "histogram", "segments", "mp",
+              "busy ring segments observed right before each shm dispatch"),
+        _spec("mp.shm.ring_stalls", "counter", "events", "mp",
+              "dispatches that found their target ring segment still "
+              "busy (shm backpressure from a slow worker)"),
+        _spec("mp.shm.stall_seconds", "histogram", "seconds", "mp",
+              "wall-clock time dispatch spent waiting for a busy ring "
+              "segment to free"),
         # ------------------------------------------------------- sim
         _spec("sim.makespan_cycles", "gauge", "cycles", "sim",
               "simulated makespan of the run",

@@ -57,11 +57,15 @@ def test_count_and_merge_matches_heavy_hitters(stream):
 def test_single_worker_is_identical_to_sequential(stream):
     """With one worker every batch lands on the same shard in stream
     order, and process_many is pinned observationally identical to the
-    per-element path — so the merged result must match exactly."""
+    per-element path — so the merged result must match exactly.  Pinned
+    to the pickle transport: it is the order-exact plane (the shm plane
+    pre-aggregates each chunk, which legitimately reorders within it)."""
     sequential = SpaceSaving(capacity=64)
     sequential.process_many(stream)
     with ShardedProcessPool(
-        MPConfig(workers=1, capacity=64, chunk_elements=1_000)
+        MPConfig(
+            workers=1, capacity=64, chunk_elements=1_000, transport="pickle"
+        )
     ) as pool:
         pool.count(stream)
         merged = pool.merged()
@@ -168,6 +172,8 @@ def test_config_validation():
         dict(queue_depth=0),
         dict(start_method="threads"),
         dict(fault="explode"),
+        dict(transport="carrier-pigeon"),
+        dict(ring_segments=0),
     ):
         with pytest.raises(ConfigurationError):
             MPConfig(**bad)
