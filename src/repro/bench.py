@@ -5,7 +5,7 @@ so performance can be tracked *across PRs* — each run records enough
 environment detail (python version, platform, workload parameters, peak
 RSS) to make trajectory comparisons honest.
 
-Two suites (``--suite``):
+Three suites (``--suite``):
 
 * ``core`` (→ ``BENCH_core.json``) — the original families:
 
@@ -29,6 +29,13 @@ Two suites (``--suite``):
   Saving merge error bounds of the sequential answer).  Unlike the
   simulated numbers these genuinely depend on the host's core count,
   which the report records as ``host_cores``.
+
+* ``scenarios`` (→ ``BENCH_scenarios.json``) — the *accuracy* matrix:
+  every scenario in :mod:`repro.scenarios` (drift, flash crowds, hot-set
+  churn, and the two adversaries) counted by every backend (sequential
+  batched, simulated CoTS, mp on both transports), scored against exact
+  ground truth.  Gated on zero guarantee violations, never on timing;
+  see docs/scenarios.md.
 
 Every result entry also records ``peak_rss_kb`` — the process-tree
 high-water RSS (``resource.getrusage``, self + children) at the moment
@@ -59,7 +66,7 @@ from repro.obs.registry import MetricsRegistry, merge_snapshots
 SCHEMA_VERSION = 1
 
 #: suites runnable by ``run_suite`` and their default report files
-SUITES = ("core", "mp")
+SUITES = ("core", "mp", "scenarios")
 
 #: pinned workload parameters per scale preset
 SCALES: Dict[str, Dict[str, int | float]] = {
@@ -141,6 +148,65 @@ MP_SCALES: Dict[str, Dict[str, Any]] = {
         "timeout": 600.0,
     },
 }
+
+
+#: pinned parameters of the ``scenarios`` accuracy matrix per scale.
+#: The ``smoke`` preset is the CI gate (every scenario on every backend
+#: in well under a minute); the other presets deepen the streams.  The
+#: gate is accuracy, never timing: guarantee violations must be zero on
+#: every cell, benign or adversarial.
+SCENARIO_SCALES: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "length": 4_000,
+        "alphabet": 500,
+        "capacity": 64,
+        "k": 10,
+        "threads": 4,
+        "workers": 2,
+        "chunk_elements": 1_024,
+        "seed": 7,
+        "timeout": 120.0,
+    },
+    "tiny": {
+        "length": 4_000,
+        "alphabet": 500,
+        "capacity": 64,
+        "k": 10,
+        "threads": 4,
+        "workers": 2,
+        "chunk_elements": 1_024,
+        "seed": 7,
+        "timeout": 120.0,
+    },
+    "default": {
+        "length": 20_000,
+        "alphabet": 2_000,
+        "capacity": 128,
+        "k": 10,
+        "threads": 8,
+        "workers": 2,
+        "chunk_elements": 4_096,
+        "seed": 7,
+        "timeout": 300.0,
+    },
+    "large": {
+        "length": 100_000,
+        "alphabet": 10_000,
+        "capacity": 256,
+        "k": 10,
+        "threads": 8,
+        "workers": 4,
+        "chunk_elements": 16_384,
+        "seed": 7,
+        "timeout": 600.0,
+    },
+}
+
+# ``--scale smoke`` is the documented CI spelling for the scenarios
+# suite; alias it on the other suites so the flag means "smallest rung"
+# everywhere instead of failing on two of the three suites.
+SCALES["smoke"] = SCALES["tiny"]
+MP_SCALES["smoke"] = MP_SCALES["tiny"]
 
 
 def _peak_rss_kb() -> int:
@@ -428,6 +494,72 @@ def _bench_mp(params: Dict[str, Any]) -> List[Dict[str, Any]]:
     return entries
 
 
+def _bench_scenarios(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The accuracy matrix: every registered scenario on every backend.
+
+    Unlike the other suites this one is gated on *accuracy*, not speed:
+    each cell records recall/precision@k against exact ground truth, the
+    worst over/under-estimate versus the ε·N bound, and the hard
+    guarantee-violation count — which must be zero everywhere, including
+    (especially) the adversarial rows, because the adversaries are built
+    to saturate Space Saving's bounds, not to break them.
+    """
+    from repro.scenarios import (
+        BACKENDS,
+        SCENARIOS,
+        ScenarioParams,
+        run_scenario,
+    )
+
+    scenario_params = ScenarioParams(
+        length=int(params["length"]),
+        alphabet=int(params["alphabet"]),
+        capacity=int(params["capacity"]),
+        seed=int(params["seed"]),
+    )
+    k = int(params["k"])
+    entries: List[Dict[str, Any]] = []
+    for name in SCENARIOS:
+        for backend in BACKENDS:
+            run = run_scenario(
+                name,
+                backend,
+                scenario_params,
+                k=k,
+                threads=int(params["threads"]),
+                workers=int(params["workers"]),
+                chunk_elements=int(params["chunk_elements"]),
+                timeout=float(params["timeout"]),
+                metrics=MetricsRegistry(),
+            )
+            accuracy = run.accuracy
+            entries.append(
+                {
+                    "name": f"{name}-{backend}",
+                    "kind": "scenario",
+                    "scenario": name,
+                    "scenario_kind": run.scenario_kind,
+                    "backend": backend,
+                    "elements": run.elements,
+                    "distinct": run.distinct,
+                    "k": k,
+                    "recall_at_k": accuracy.recall_at_k,
+                    "precision_at_k": accuracy.precision_at_k,
+                    "max_overestimate": accuracy.max_overestimate,
+                    "max_underestimate": accuracy.max_underestimate,
+                    "error_bound": accuracy.error_bound,
+                    "bound_excess": accuracy.bound_excess,
+                    "guarantee_violations": accuracy.guarantee_violations,
+                    "monitored": accuracy.monitored,
+                    "wall_seconds": run.wall_seconds,
+                    "throughput_eps": run.throughput_eps,
+                    "peak_rss_kb": _peak_rss_kb(),
+                    "metrics": run.metrics,
+                }
+            )
+    return entries
+
+
 def default_output(suite: str) -> pathlib.Path:
     """The conventional report file for ``suite`` (BENCH_<suite>.json)."""
     return pathlib.Path(f"BENCH_{suite}.json")
@@ -439,7 +571,9 @@ def run_suite(scale: str = "tiny", suite: str = "core") -> Dict[str, Any]:
         raise ConfigurationError(
             f"suite must be one of {sorted(SUITES)}, got {suite!r}"
         )
-    scales = SCALES if suite == "core" else MP_SCALES
+    scales = {
+        "core": SCALES, "mp": MP_SCALES, "scenarios": SCENARIO_SCALES,
+    }[suite]
     if scale not in scales:
         raise ConfigurationError(
             f"scale must be one of {sorted(scales)}, got {scale!r}"
@@ -449,6 +583,8 @@ def run_suite(scale: str = "tiny", suite: str = "core") -> Dict[str, Any]:
     if suite == "core":
         results.extend(_bench_hot_path(params))
         results.extend(_bench_simulated(params))
+    elif suite == "scenarios":
+        results.extend(_bench_scenarios(params))
     else:
         results.extend(_bench_mp(params))
     report = {
@@ -492,6 +628,15 @@ def format_report(report: Dict[str, Any]) -> str:
                     f"  x{entry['speedup_vs_per_element']:.2f} vs per-element"
                     f"  identical={entry['identical_results']}"
                 )
+        elif entry["kind"] == "scenario":
+            line = (
+                f"  {entry['name']:32s} "
+                f"recall@{entry['k']}={entry['recall_at_k']:.2f}"
+                f"  max_over={entry['max_overestimate']}"
+                f"/{entry['error_bound']:.0f}"
+                f"  violations={entry['guarantee_violations']}"
+                f"  [{entry['wall_seconds'] * 1e3:.0f} ms]"
+            )
         elif entry["kind"] == "mp":
             line = (
                 f"  {entry['name']:32s} {entry['wall_seconds'] * 1e3:10.1f} ms"

@@ -34,10 +34,13 @@ Commands
     Run a pinned benchmark suite and write the machine-readable report.
     ``--suite core`` (default) measures the hot-path wall clock and
     every simulated scheme; ``--suite mp`` measures the multiprocess
-    sharded backend's real wall-clock scaling curve::
+    sharded backend's real wall-clock scaling curve; ``--suite
+    scenarios`` runs the accuracy matrix (every scenario on every
+    backend, gated on zero guarantee violations)::
 
         python -m repro bench --scale tiny --output BENCH_core.json
         python -m repro bench --suite mp --scale default
+        python -m repro bench --suite scenarios --scale smoke
 
 ``report``
     Render the metrics snapshots embedded in a bench report (or any
@@ -59,6 +62,19 @@ Commands
 
         python -m repro schedcheck --schemes cots,shared,hybrid \
             --schedules 200 --seed 42
+
+``scenarios``
+    Run registered stream scenarios (drift, flash crowds, hot-set
+    churn, adversarial floods and eviction poisoning) against a chosen
+    backend and print per-scenario accuracy against exact ground truth;
+    ``--fuzz N`` instead composes scenarios randomly under a seed and
+    shrinks any lane-differential or guarantee failure to a minimal
+    reproducer via schedcheck's ddmin.  Exit code 1 on violations::
+
+        python -m repro scenarios --list
+        python -m repro scenarios --backend mp-shm --capacity 128
+        python -m repro scenarios --scenario eviction-poison --k 20
+        python -m repro scenarios --fuzz 25 --seed 42
 
 ``trace``
     Record a traced run and print its timeline; ``--mode`` picks the
@@ -184,16 +200,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("core", "mp"),
+        choices=("core", "mp", "scenarios"),
         default="core",
         help="core: hot path + simulated schemes; mp: the multiprocess "
-        "sharded backend scaling curve (default: core)",
+        "sharded backend scaling curve; scenarios: the accuracy matrix "
+        "of every scenario on every backend (default: core)",
     )
     bench.add_argument(
         "--scale",
-        choices=("tiny", "default", "large"),
+        choices=("smoke", "tiny", "default", "large"),
         default="default",
-        help="workload scale preset (default: default)",
+        help="workload scale preset; smoke is the smallest rung, used "
+        "by the CI accuracy gate (default: default)",
     )
     bench.add_argument(
         "--output", type=pathlib.Path, default=None,
@@ -268,6 +286,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     schedcheck.add_argument("--verbose", action="store_true",
                             help="print one line per schedule")
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="run stream scenarios/adversaries against a backend and "
+        "audit accuracy (exit 1 on guarantee violations); --fuzz "
+        "composes scenarios randomly and shrinks failures",
+    )
+    scenarios.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list registered scenarios and exit",
+    )
+    scenarios.add_argument(
+        "--scenario", default="all",
+        help="scenario name, or 'all' for the full registry "
+        "(default: all)",
+    )
+    scenarios.add_argument(
+        "--backend",
+        choices=("sequential", "cots", "mp-shm", "mp-pickle"),
+        default="sequential",
+        help="counting backend under test (default: sequential)",
+    )
+    scenarios.add_argument("--length", type=int, default=20_000)
+    scenarios.add_argument("--alphabet", type=int, default=2_000)
+    scenarios.add_argument("--capacity", type=int, default=128,
+                           help="Space Saving counter budget (the "
+                           "adversaries target exactly this)")
+    scenarios.add_argument("--seed", type=int, default=7)
+    scenarios.add_argument("--k", type=int, default=10,
+                           help="top-k depth for recall/precision")
+    scenarios.add_argument("--threads", type=int, default=4,
+                           help="simulated threads (cots backend)")
+    scenarios.add_argument("--workers", type=int, default=2,
+                           help="worker processes (mp backends)")
+    scenarios.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="fuzz mode: run N random scenario compositions through "
+        "the lane differential, shrinking any failure to a minimal "
+        "reproducer (ignores --scenario/--backend)",
+    )
+    scenarios.add_argument(
+        "--max-shrink-tests", type=int, default=300,
+        help="ddmin replay budget per fuzz failure (default: 300)",
+    )
+    scenarios.add_argument("--verbose", action="store_true",
+                           help="fuzz mode: print one line per "
+                           "composition")
 
     trace = commands.add_parser(
         "trace",
@@ -609,6 +674,91 @@ def _cmd_schedcheck(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """Scenario accuracy matrix / fuzzer; exit 1 on violations."""
+    from repro.errors import ConfigurationError, StreamError
+    from repro.obs import MetricsRegistry
+    from repro.scenarios import (
+        SCENARIOS,
+        ScenarioParams,
+        fuzz,
+        get_scenario,
+        run_scenario,
+    )
+
+    if args.list_scenarios:
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name:18s} {scenario.kind:12s} "
+                  f"{scenario.description}")
+        return 0
+
+    try:
+        params = ScenarioParams(
+            length=args.length,
+            alphabet=args.alphabet,
+            capacity=args.capacity,
+            seed=args.seed,
+        )
+    except (ConfigurationError, StreamError) as exc:
+        print(f"scenarios: {exc}", file=sys.stderr)
+        return 2
+
+    if args.fuzz > 0:
+        progress = print if args.verbose else None
+        report = fuzz(
+            args.fuzz,
+            seed=args.seed,
+            params=params,
+            k=args.k,
+            max_shrink_tests=args.max_shrink_tests,
+            progress=progress,
+        )
+        if not args.verbose:
+            for failure in report.failures:
+                print(failure.render())
+        print(report.summary_line())
+        return 0 if report.ok else 1
+
+    if args.scenario == "all":
+        names = list(SCENARIOS)
+    else:
+        try:
+            names = [get_scenario(args.scenario).name]
+        except ConfigurationError as exc:
+            print(f"scenarios: {exc}", file=sys.stderr)
+            return 2
+    print(f"# backend={args.backend} length={params.length} "
+          f"alphabet={params.alphabet} capacity={params.capacity} "
+          f"seed={params.seed} k={args.k}")
+    violations = 0
+    for name in names:
+        run = run_scenario(
+            name,
+            args.backend,
+            params,
+            k=args.k,
+            threads=args.threads,
+            workers=args.workers,
+            metrics=MetricsRegistry(),
+        )
+        accuracy = run.accuracy
+        violations += accuracy.guarantee_violations
+        print(
+            f"{name:18s} {run.scenario_kind:12s} "
+            f"recall@{args.k}={accuracy.recall_at_k:.2f} "
+            f"precision@{args.k}={accuracy.precision_at_k:.2f} "
+            f"max_over={accuracy.max_overestimate} "
+            f"bound={accuracy.error_bound:.1f} "
+            f"violations={accuracy.guarantee_violations} "
+            f"[{run.wall_seconds * 1e3:.0f} ms]"
+        )
+    if violations:
+        print(f"scenarios: {violations} guarantee violation(s)")
+        return 1
+    print("scenarios: every summary honoured its guarantees")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Record a traced run and print/export its timeline.
 
@@ -717,6 +867,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "report": _cmd_report,
         "schedcheck": _cmd_schedcheck,
+        "scenarios": _cmd_scenarios,
         "trace": _cmd_trace,
     }
     try:

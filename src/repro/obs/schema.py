@@ -115,6 +115,46 @@ METRIC_SPECS: Dict[str, MetricSpec] = {
         _spec("mp.shm.stall_seconds", "histogram", "seconds", "mp",
               "wall-clock time dispatch spent waiting for a busy ring "
               "segment to free"),
+        # -------------------------------------------------- scenario
+        _spec("scenario.stream.elements", "counter", "elements", "scenario",
+              "stream occurrences counted by the scenario run"),
+        _spec("scenario.stream.distinct", "gauge", "elements", "scenario",
+              "distinct elements in the scenario stream"),
+        _spec("scenario.accuracy.recall_at_k", "gauge", "fraction",
+              "scenario",
+              "fraction of the exact top-k present in the reported top-k",
+              worse="down", tolerance=0.25),
+        _spec("scenario.accuracy.precision_at_k", "gauge", "fraction",
+              "scenario",
+              "fraction of the reported top-k that is exactly top-k",
+              worse="down", tolerance=0.25),
+        _spec("scenario.accuracy.max_overestimate", "gauge", "elements",
+              "scenario",
+              "worst (estimate - true count) over monitored elements"),
+        _spec("scenario.accuracy.max_underestimate", "gauge", "elements",
+              "scenario",
+              "worst (true count - estimate); any value > 0 breaks the "
+              "upper-bound guarantee"),
+        _spec("scenario.accuracy.error_bound", "gauge", "elements",
+              "scenario",
+              "the promised eps*N over-estimation bound (N / capacity)"),
+        _spec("scenario.accuracy.bound_excess", "gauge", "elements",
+              "scenario",
+              "how far the worst over-estimate exceeds the eps*N bound "
+              "(must stay 0)"),
+        _spec("scenario.accuracy.guarantee_violations", "counter",
+              "violations", "scenario",
+              "hard guarantee breaches found by the accuracy audit "
+              "(under-estimates, floor breaches, bound excesses, "
+              "unmonitored heavy hitters)",
+              worse="up", tolerance=0.0),
+        _spec("scenario.fuzz.compositions", "counter", "streams",
+              "scenario",
+              "composite streams generated by the scenario fuzzer"),
+        _spec("scenario.fuzz.failures", "counter", "failures", "scenario",
+              "fuzzed compositions whose differential or audit failed "
+              "(each is shrunk to a minimal reproducer)",
+              worse="up", tolerance=0.0),
         # ------------------------------------------------------- sim
         _spec("sim.makespan_cycles", "gauge", "cycles", "sim",
               "simulated makespan of the run",

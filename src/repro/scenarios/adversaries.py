@@ -1,0 +1,123 @@
+"""Adversarial stream constructions against Space Saving.
+
+Two white-box attackers, both deterministic under a seed:
+
+``hot_key_flood_stream``
+    Lets a legitimate zipfian prefix establish the true hot set, then
+    floods a block of fresh attacker keys hard enough to push them into
+    the summary's top-k, crowding real heavy hitters out of reported
+    answers (a recall/precision attack, not a bound attack).
+
+``eviction_poison_stream``
+    Targets the min bucket directly.  A never-repeating singleton flood
+    forces an Overwrite per step, pumping ``min_freq`` — the cached
+    per-element error bound — toward its ceiling ``N/capacity``.  A
+    shadow SpaceSaving (same capacity: the white-box part) watches which
+    "victim" keys have been evicted and probes exactly those, so each
+    probe re-inserts a nearly-unseen key with count ``min+1`` and error
+    ``min``: the summary then reports near-``ε·N`` over-estimates for
+    keys that barely occurred.  Space Saving's guarantees still hold —
+    this adversary *saturates* the ε·N bound, it cannot break it — which
+    is precisely what the accuracy audit pins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.space_saving import SpaceSaving
+from repro.errors import StreamError
+from repro.workloads.zipf import zipf_stream
+
+#: attacker keys live far above any scenario alphabet
+ATTACK_KEY_BASE = 1_000_000
+
+
+def hot_key_flood_stream(
+    length: int,
+    alphabet: int,
+    capacity: int,
+    flood_keys: int = 0,
+    flood_fraction: float = 0.5,
+    alpha: float = 1.2,
+    seed: int = 0,
+) -> List[int]:
+    """Legitimate zipf prefix, then a flood of attacker keys.
+
+    The flood phase cycles ``flood_keys`` fresh keys (default: half the
+    summary capacity) for ``flood_fraction`` of the stream, with a thin
+    uniform background so legitimate traffic never fully stops.
+    """
+    if length < 0:
+        raise StreamError(f"length must be >= 0, got {length}")
+    if alphabet < 1:
+        raise StreamError(f"alphabet must be >= 1, got {alphabet}")
+    if capacity < 1:
+        raise StreamError(f"capacity must be >= 1, got {capacity}")
+    if not 0 <= flood_fraction <= 1:
+        raise StreamError(
+            f"flood_fraction must be in [0, 1], got {flood_fraction}"
+        )
+    if flood_keys < 0:
+        raise StreamError(f"flood_keys must be >= 0, got {flood_keys}")
+    keys = flood_keys or max(1, capacity // 2)
+    flood_len = int(length * flood_fraction)
+    legit_len = length - flood_len
+    stream = zipf_stream(legit_len, alphabet, alpha, seed=seed)
+    rng = random.Random(seed)
+    for i in range(flood_len):
+        if rng.random() < 0.25:
+            stream.append(rng.randrange(alphabet))
+        else:
+            stream.append(ATTACK_KEY_BASE + i % keys)
+    return stream
+
+
+def eviction_poison_stream(
+    length: int,
+    capacity: int,
+    victims: int = 8,
+    probe_every: int = 24,
+    seed: int = 0,
+) -> List[int]:
+    """Shadow-guided min-bucket poisoning (see module docstring).
+
+    Keys ``0 .. victims-1`` are the victims: each appears once up front,
+    then only when the shadow summary confirms it has been evicted —
+    every probe therefore lands an Overwrite that inherits the current
+    ``min_freq`` as error.  All other elements are fresh singletons
+    (``ATTACK_KEY_BASE`` upward) that keep the min bucket climbing.
+    """
+    if length < 0:
+        raise StreamError(f"length must be >= 0, got {length}")
+    if capacity < 1:
+        raise StreamError(f"capacity must be >= 1, got {capacity}")
+    if victims < 1:
+        raise StreamError(f"victims must be >= 1, got {victims}")
+    if probe_every < 0:
+        raise StreamError(f"probe_every must be >= 0, got {probe_every}")
+    shadow = SpaceSaving(capacity=capacity)
+    rng = random.Random(seed)
+    victim_keys = list(range(victims))
+    out: List[int] = []
+    for victim in victim_keys:
+        if len(out) >= length:
+            return out
+        shadow.process(victim)
+        out.append(victim)
+    fresh = ATTACK_KEY_BASE
+    step = 0
+    while len(out) < length:
+        step += 1
+        key = None
+        if probe_every and step % probe_every == 0:
+            evicted = [v for v in victim_keys if v not in shadow]
+            if evicted:
+                key = evicted[rng.randrange(len(evicted))]
+        if key is None:
+            key = fresh
+            fresh += 1
+        shadow.process(key)
+        out.append(key)
+    return out

@@ -1,0 +1,166 @@
+"""Per-scenario accuracy auditing against exact ground truth.
+
+:func:`score_accuracy` compares a (possibly merged) SpaceSaving summary
+with exact counts and folds the result into one frozen
+:class:`AccuracyReport`: recall/precision of the reported top-k against
+the exact top-k, the worst over/under-estimate, the ε·N error bound the
+summary promised (``processed / capacity``), and a count of hard
+guarantee violations.  A violation is any of
+
+* an estimate *below* the true count (Space Saving estimates are upper
+  bounds — this must never happen),
+* a guaranteed floor (``count - error``) *above* the true count,
+* an over-estimate exceeding the ε·N bound,
+* a true heavy hitter (frequency > ε·N) missing from the summary —
+  skipped when ``merged=True``, because merging k shard summaries then
+  truncating back to ``capacity`` entries may legitimately drop a
+  borderline hitter (the merged bound maths still hold: with hash
+  partitioning each shard sees a sub-stream of N_i elements, so the
+  summed min frequencies stay ≤ Σ N_i / capacity = N / capacity).
+
+:func:`selfcheck` re-derives a small hand-computed case and raises
+:class:`~repro.errors.AuditError` on any mismatch.  The scenario runner
+calls it before every run, so an off-by-one slipped into the scoring
+helpers (see the mutation canary in ``tests/scenarios``) turns the whole
+suite red instead of silently mis-scoring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+from repro.core.space_saving import SpaceSaving
+from repro.errors import AuditError
+
+
+@dataclasses.dataclass(frozen=True)
+class AccuracyReport:
+    """Accuracy of one summary against exact ground truth."""
+
+    k: int                      #: the top-k depth scored
+    recall_at_k: float          #: |answer ∩ exact top-k| / |exact top-k|
+    precision_at_k: float       #: |answer ∩ exact top-k| / |answer|
+    max_overestimate: int       #: worst (estimate - truth) over monitored
+    max_underestimate: int      #: worst (truth - estimate); must stay 0
+    error_bound: float          #: the promised ε·N bound (N / capacity)
+    bound_excess: float         #: max(0, max_overestimate - error_bound)
+    guarantee_violations: int   #: hard guarantee breaches (0 = healthy)
+    monitored: int              #: entries held by the summary
+    processed: int              #: stream occurrences the summary consumed
+
+    @property
+    def ok(self) -> bool:
+        return self.guarantee_violations == 0
+
+
+def true_top_k(truth: Mapping[Hashable, int], k: int) -> List[Hashable]:
+    """The exact top-k elements, ties broken by ``str(element)``."""
+    ranked = sorted(truth.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    return [element for element, count in ranked[:k] if count > 0]
+
+
+def hits_at_k(
+    answer: Sequence[Hashable], exact: Sequence[Hashable]
+) -> int:
+    """How many of the reported elements appear in the exact top-k.
+
+    Kept as a module-level seam on purpose: the mutation canary patches
+    this with an off-by-one and asserts :func:`selfcheck` goes red.
+    """
+    return len(set(answer) & set(exact))
+
+
+def score_accuracy(
+    counter: SpaceSaving,
+    truth: Mapping[Hashable, int],
+    k: int = 10,
+    merged: bool = False,
+) -> AccuracyReport:
+    """Score ``counter`` against exact ``truth`` counts (see module doc)."""
+    processed = counter.processed
+    capacity = counter.capacity
+    bound = processed / capacity
+    entries = counter.entries()
+    answer = [entry.element for entry in entries[:k]]
+    exact = true_top_k(truth, k)
+    hits = hits_at_k(answer, exact)
+    recall = hits / len(exact) if exact else 1.0
+    precision = hits / len(answer) if answer else 1.0
+    violations = 0
+    max_over = 0
+    max_under = 0
+    for entry in entries:
+        true_count = truth.get(entry.element, 0)
+        over = entry.count - true_count
+        if over > max_over:
+            max_over = over
+        if -over > max_under:
+            max_under = -over
+        if entry.count < true_count:
+            violations += 1          # estimate must upper-bound truth
+        if entry.count - entry.error > true_count:
+            violations += 1          # guaranteed floor must lower-bound
+        if over > bound + 1e-9:
+            violations += 1          # per-element error beyond ε·N
+    if not merged:
+        monitored = {entry.element for entry in entries}
+        for element, count in truth.items():
+            if count > bound and element not in monitored:
+                violations += 1      # true heavy hitter unmonitored
+    return AccuracyReport(
+        k=k,
+        recall_at_k=recall,
+        precision_at_k=precision,
+        max_overestimate=max_over,
+        max_underestimate=max_under,
+        error_bound=bound,
+        bound_excess=max(0.0, max_over - bound),
+        guarantee_violations=violations,
+        monitored=len(entries),
+        processed=processed,
+    )
+
+
+#: the hand-computed selfcheck case: stream aaaa bb c d at capacity 3.
+#: The summary holds a:4(err 0), b:2(err 0), d:2(err 1); the exact top-3
+#: is {a, b, c} (c beats d on the str tie-break), so recall = precision
+#: = 2/3, the worst over-estimate is d's 2-1 = 1, and the bound is 8/3.
+_SELFCHECK_STREAM = ["a", "a", "a", "a", "b", "b", "c", "d"]
+_SELFCHECK_EXPECTED = dict(
+    k=3,
+    recall_at_k=2 / 3,
+    precision_at_k=2 / 3,
+    max_overestimate=1,
+    max_underestimate=0,
+    error_bound=8 / 3,
+    bound_excess=0.0,
+    guarantee_violations=0,
+    monitored=3,
+    processed=8,
+)
+
+
+def selfcheck() -> None:
+    """Re-score the hand-computed case; raise AuditError on any drift."""
+    counter = SpaceSaving(capacity=3)
+    truth: Dict[Hashable, int] = {}
+    for element in _SELFCHECK_STREAM:
+        counter.process(element)
+        truth[element] = truth.get(element, 0) + 1
+    report = score_accuracy(counter, truth, k=3)
+    for field, expected in _SELFCHECK_EXPECTED.items():
+        actual = getattr(report, field)
+        matches = (
+            math.isclose(actual, expected, rel_tol=1e-12, abs_tol=1e-12)
+            if isinstance(expected, float)
+            else actual == expected
+        )
+        if not matches:
+            raise AuditError(
+                "accuracy auditor selfcheck failed: "
+                f"{field} = {actual!r}, expected {expected!r} "
+                "(the scoring helpers have drifted — do not trust this "
+                "suite's accuracy numbers)"
+            )

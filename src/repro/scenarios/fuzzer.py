@@ -1,0 +1,252 @@
+"""Scenario fuzzer: random compositions, lane differentials, ddmin.
+
+Each fuzz iteration composes 2-4 registered scenarios under a derived
+seed (``"{seed}:{iteration}"`` hashed exactly like schedcheck's
+sub-seeds, so every iteration is replayable in isolation), glues them by
+concatenation or round-robin interleave, then pushes the composite
+stream through :func:`check_stream`: three independent SpaceSaving lanes
+(per-element reference, batched ``process_many``, pre-aggregated
+``process_weighted``) that must agree via the mp backend's
+interval-intersection equivalence, each also passing the hard-guarantee
+accuracy audit against exact counts.
+
+Any :class:`~repro.errors.ReproError` escaping a check hands the raw
+element list to :func:`repro.schedcheck.shrink.ddmin`, which replays
+``check_stream`` on subsets until 1-minimal — a shrunk reproducer small
+enough to paste into a regression test.  The ``patch`` hook (a context
+manager factory, mirroring schedcheck's mutation plumbing) lets tests
+inject a bug into a production lane and assert the whole
+detect -> shrink -> render pipeline fires end to end.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import random
+from typing import Callable, ContextManager, List, Optional, Sequence, Tuple
+
+from repro.core.space_saving import SpaceSaving
+from repro.errors import AuditError, ConfigurationError, ReproError
+from repro.mp.driver import summaries_equivalent
+from repro.obs.registry import MetricsRegistry
+from repro.scenarios.audit import score_accuracy
+from repro.scenarios.registry import (
+    SCENARIOS,
+    ScenarioParams,
+    Stream,
+)
+from repro.schedcheck.explorer import _stable_int
+from repro.schedcheck.shrink import ddmin
+from repro.workloads.generators import interleave
+
+#: the in-process counting lanes the differential exercises
+LANES = ("per-element", "batched", "weighted")
+
+#: pre-aggregation block for the weighted lane (mirrors the shm plane's
+#: per-segment weighted updates at a size small enough to shrink nicely)
+_WEIGHTED_BLOCK = 512
+
+
+def _lane_counter(stream: Stream, capacity: int, lane: str) -> SpaceSaving:
+    """Count ``stream`` through one lane of the SpaceSaving surface."""
+    counter = SpaceSaving(capacity=capacity)
+    if lane == "per-element":
+        for element in stream:
+            counter.process(element)
+    elif lane == "batched":
+        counter.process_many(stream)
+    elif lane == "weighted":
+        for start in range(0, len(stream), _WEIGHTED_BLOCK):
+            block = stream[start:start + _WEIGHTED_BLOCK]
+            counter.process_weighted(
+                list(collections.Counter(block).items())
+            )
+    else:
+        raise ConfigurationError(
+            f"unknown lane {lane!r} (known: {', '.join(LANES)})"
+        )
+    return counter
+
+
+def check_stream(
+    stream: Stream,
+    capacity: int,
+    k: int = 8,
+    lanes: Sequence[str] = LANES,
+) -> None:
+    """Run the lane differential + accuracy audit; raise AuditError on
+    any violation or cross-lane divergence."""
+    truth = collections.Counter(stream)
+    reference = _lane_counter(stream, capacity, lanes[0])
+    report = score_accuracy(reference, truth, k=k)
+    if not report.ok:
+        raise AuditError(
+            f"lane {lanes[0]!r}: {report.guarantee_violations} guarantee "
+            f"violation(s) (max_over={report.max_overestimate}, "
+            f"bound={report.error_bound:.2f})"
+        )
+    for lane in lanes[1:]:
+        candidate = _lane_counter(stream, capacity, lane)
+        lane_report = score_accuracy(candidate, truth, k=k)
+        if not lane_report.ok:
+            raise AuditError(
+                f"lane {lane!r}: {lane_report.guarantee_violations} "
+                "guarantee violation(s)"
+            )
+        if candidate.processed != reference.processed:
+            raise AuditError(
+                f"lane {lane!r} consumed {candidate.processed} "
+                f"occurrences, reference consumed {reference.processed}"
+            )
+        if not summaries_equivalent(reference, candidate, k=k):
+            raise AuditError(
+                f"lane {lane!r} diverged from the per-element reference "
+                "(interval-intersection equivalence failed)"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzFailure:
+    """One failing composition, shrunk to a minimal reproducer."""
+
+    iteration: int
+    seed_key: str               #: the derived sub-seed ("{seed}:{i}")
+    recipe: Tuple[str, ...]     #: scenario names composed, plus the glue
+    error: str                  #: the original failure message
+    original_length: int
+    minimal_stream: Tuple       #: 1-minimal element list (ddmin output)
+    shrink_replays: int         #: check_stream calls ddmin spent
+
+    def render(self) -> str:
+        preview = ", ".join(repr(e) for e in self.minimal_stream[:24])
+        if len(self.minimal_stream) > 24:
+            preview += ", ..."
+        return "\n".join([
+            "=== scenario fuzzer reproducer ===",
+            f"iteration : {self.iteration} (sub-seed {self.seed_key!r})",
+            f"recipe    : {' + '.join(self.recipe)}",
+            f"failure   : {self.error}",
+            f"shrunk    : {self.original_length} -> "
+            f"{len(self.minimal_stream)} elements "
+            f"({self.shrink_replays} replays)",
+            f"stream    : [{preview}]",
+        ])
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    iterations: int
+    seed: int
+    failures: Tuple[FuzzFailure, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary_line(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        return (
+            f"fuzz: {self.iterations} composition(s), seed {self.seed}: "
+            f"{status}"
+        )
+
+
+def fuzz(
+    iterations: int,
+    seed: int = 0,
+    params: Optional[ScenarioParams] = None,
+    k: int = 8,
+    lanes: Sequence[str] = LANES,
+    patch: Optional[Callable[[], ContextManager]] = None,
+    max_shrink_tests: int = 300,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run ``iterations`` random scenario compositions (see module doc).
+
+    ``params`` sets the per-segment scale (default: a small fast
+    ``ScenarioParams(length=2000, alphabet=400, capacity=48)``).
+    ``patch`` wraps every check (including shrink replays) — the
+    injected-bug integration seam.
+    """
+    if iterations < 0:
+        raise ConfigurationError(
+            f"iterations must be >= 0, got {iterations}"
+        )
+    params = params or ScenarioParams(
+        length=2_000, alphabet=400, capacity=48
+    )
+    names = sorted(SCENARIOS)
+
+    def run_check(stream: Stream) -> None:
+        if patch is not None:
+            with patch():
+                check_stream(stream, params.capacity, k=k, lanes=lanes)
+        else:
+            check_stream(stream, params.capacity, k=k, lanes=lanes)
+
+    failures: List[FuzzFailure] = []
+    for i in range(iterations):
+        seed_key = f"{seed}:{i}"
+        rng = random.Random(_stable_int(seed_key))
+        chosen = [
+            names[rng.randrange(len(names))]
+            for _ in range(rng.randint(2, 4))
+        ]
+        segments = []
+        for j, name in enumerate(chosen):
+            sub_seed = _stable_int(f"{seed_key}:{j}")
+            segments.append(
+                SCENARIOS[name].build(
+                    dataclasses.replace(params, seed=sub_seed)
+                )
+            )
+        glue = rng.choice(("concat", "interleave"))
+        if glue == "interleave":
+            stream = interleave(segments)
+        else:
+            stream = [element for segment in segments for element in segment]
+        recipe = tuple(chosen) + (glue,)
+        if metrics is not None:
+            metrics.counter("scenario.fuzz.compositions").inc()
+        try:
+            run_check(stream)
+        except ReproError as exc:
+            replays = 0
+
+            def still_fails(subset: Sequence) -> bool:
+                nonlocal replays
+                replays += 1
+                try:
+                    run_check(list(subset))
+                except ReproError:
+                    return True
+                return False
+
+            minimal = ddmin(stream, still_fails, max_tests=max_shrink_tests)
+            failure = FuzzFailure(
+                iteration=i,
+                seed_key=seed_key,
+                recipe=recipe,
+                error=f"{type(exc).__name__}: {exc}",
+                original_length=len(stream),
+                minimal_stream=tuple(minimal),
+                shrink_replays=replays,
+            )
+            failures.append(failure)
+            if metrics is not None:
+                metrics.counter("scenario.fuzz.failures").inc()
+            if progress is not None:
+                progress(failure.render())
+        else:
+            if progress is not None:
+                progress(
+                    f"iteration {i} ({' + '.join(recipe)}): "
+                    f"{len(stream)} elements ok"
+                )
+    return FuzzReport(
+        iterations=iterations, seed=seed, failures=tuple(failures)
+    )

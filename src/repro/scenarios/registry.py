@@ -1,0 +1,157 @@
+"""The scenario registry: named, seeded, deterministic stream builders.
+
+Every scenario maps one frozen :class:`ScenarioParams` to a concrete
+stream (``List`` of hashable elements).  Benign scenarios model realistic
+non-stationarity (drift, flash crowds, hot-set churn); adversarial ones
+are white-box attacks on Space Saving's eviction policy (see
+:mod:`repro.scenarios.adversaries`).  Determinism is load-bearing: the
+bench matrix, the CI gate and the fuzzer's shrunk reproducers all rely
+on ``build(params)`` returning the identical stream for identical params.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Hashable, List
+
+from repro.errors import ConfigurationError, StreamError
+from repro.scenarios.adversaries import (
+    eviction_poison_stream,
+    hot_key_flood_stream,
+)
+from repro.workloads.generators import (
+    drift_stream,
+    flash_crowd_stream,
+    hot_set_churn_stream,
+)
+from repro.workloads.zipf import zipf_stream
+
+Stream = List[Hashable]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioParams:
+    """Shared knobs every scenario understands.
+
+    ``capacity`` is the summary budget the stream will be counted with —
+    the adversaries need it (they are white-box attacks), and benign
+    scenarios scale their churn to it.
+    """
+
+    length: int = 20_000
+    alphabet: int = 2_000
+    capacity: int = 128
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise StreamError(f"length must be >= 0, got {self.length}")
+        if self.alphabet < 1:
+            raise StreamError(f"alphabet must be >= 1, got {self.alphabet}")
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {self.capacity}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One named scenario: metadata plus a params -> stream builder."""
+
+    name: str
+    kind: str           #: "benign" | "adversarial"
+    description: str
+    build: Callable[[ScenarioParams], Stream]
+
+
+def _stationary_zipf(p: ScenarioParams) -> Stream:
+    return zipf_stream(p.length, p.alphabet, 1.25, seed=p.seed)
+
+
+def _skew_drift(p: ScenarioParams) -> Stream:
+    return drift_stream(
+        p.length, p.alphabet, alpha_start=2.0, alpha_end=0.4,
+        segments=16, seed=p.seed,
+    )
+
+
+def _flash_crowd(p: ScenarioParams) -> Stream:
+    return flash_crowd_stream(
+        p.length, p.alphabet, crowds=4, peak_fraction=0.9, seed=p.seed
+    )
+
+
+def _hot_set_churn(p: ScenarioParams) -> Stream:
+    return hot_set_churn_stream(
+        p.length, p.alphabet, hot_size=8, hot_fraction=0.7,
+        rotate_every=max(1, p.length // 16), seed=p.seed,
+    )
+
+
+def _hot_key_flood(p: ScenarioParams) -> Stream:
+    return hot_key_flood_stream(
+        p.length, p.alphabet, p.capacity, seed=p.seed
+    )
+
+
+def _eviction_poison(p: ScenarioParams) -> Stream:
+    return eviction_poison_stream(p.length, p.capacity, seed=p.seed)
+
+
+#: insertion order is the bench/CLI presentation order
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in [
+        Scenario(
+            "stationary-zipf", "benign",
+            "the paper's workload: stationary zipf, alpha = 1.25",
+            _stationary_zipf,
+        ),
+        Scenario(
+            "skew-drift", "benign",
+            "zipf skew drifting from alpha 2.0 to 0.4 over 16 segments",
+            _skew_drift,
+        ),
+        Scenario(
+            "flash-crowd", "benign",
+            "uniform background with 4 flash crowds on previously "
+            "unseen keys at 90% of traffic",
+            _flash_crowd,
+        ),
+        Scenario(
+            "hot-set-churn", "benign",
+            "8-key hot set at 70% of traffic, oldest hot key rotating "
+            "out 16 times over the stream",
+            _hot_set_churn,
+        ),
+        Scenario(
+            "hot-key-flood", "adversarial",
+            "legitimate zipf prefix, then capacity/2 attacker keys "
+            "flooded to crowd real hitters out of the reported top-k",
+            _hot_key_flood,
+        ),
+        Scenario(
+            "eviction-poison", "adversarial",
+            "shadow-guided min-bucket poisoning: singleton flood pumps "
+            "min_freq while evicted victims are re-probed to saturate "
+            "the eps*N over-estimate",
+            _eviction_poison,
+        ),
+    ]
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name; unknown names raise ConfigurationError."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ConfigurationError(
+            f"unknown scenario {name!r} (known: {known})"
+        ) from None
+
+
+def build_stream(name: str, params: ScenarioParams) -> Stream:
+    """Build the named scenario's stream for ``params``."""
+    return get_scenario(name).build(params)

@@ -3,6 +3,9 @@
 from repro.workloads.generators import (
     bursty_stream,
     churn_stream,
+    drift_stream,
+    flash_crowd_stream,
+    hot_set_churn_stream,
     interleave,
     uniform_stream,
     weighted_stream,
@@ -28,8 +31,11 @@ __all__ = [
     "bursty_stream",
     "chunked",
     "churn_stream",
+    "drift_stream",
     "expected_frequency",
+    "flash_crowd_stream",
     "hash_partition",
+    "hot_set_churn_stream",
     "interleave",
     "paper_scaled_spec",
     "partition",

@@ -14,6 +14,7 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 from repro.errors import StreamError
+from repro.workloads.zipf import zipf_weights
 
 
 def uniform_stream(
@@ -94,6 +95,139 @@ def churn_stream(length: int, alphabet: int = 0) -> List[int]:
         raise StreamError(f"alphabet must be >= 0, got {alphabet}")
     period = alphabet if alphabet > 0 else max(1, length)
     return [i % period for i in range(length)]
+
+
+def drift_stream(
+    length: int,
+    alphabet: int,
+    alpha_start: float = 2.0,
+    alpha_end: float = 0.4,
+    segments: int = 16,
+    seed: int = 0,
+) -> List[int]:
+    """A zipfian stream whose skew exponent drifts over time.
+
+    The stream is cut into ``segments`` equal pieces; piece ``j`` draws
+    from a zipf distribution with exponent linearly interpolated from
+    ``alpha_start`` to ``alpha_end``.  A drift from heavy skew toward
+    uniformity starves the summary of a stable hot set — exactly the
+    non-stationarity the paper's stationary-zipf evaluation skips.
+    """
+    if length < 0:
+        raise StreamError(f"length must be >= 0, got {length}")
+    if alphabet < 1:
+        raise StreamError(f"alphabet must be >= 1, got {alphabet}")
+    if segments < 1:
+        raise StreamError(f"segments must be >= 1, got {segments}")
+    if alpha_start < 0 or alpha_end < 0:
+        raise StreamError(
+            f"alpha must be >= 0, got start={alpha_start} end={alpha_end}"
+        )
+    rng = np.random.default_rng(seed)
+    stream: List[int] = []
+    remaining = length
+    for j in range(segments):
+        piece = min(remaining, -(-length // segments))
+        if piece <= 0:
+            break
+        t = j / (segments - 1) if segments > 1 else 0.0
+        alpha = alpha_start + (alpha_end - alpha_start) * t
+        weights = zipf_weights(alphabet, alpha)
+        stream.extend(
+            rng.choice(alphabet, size=piece, p=weights).tolist()
+        )
+        remaining -= piece
+    return stream
+
+
+def flash_crowd_stream(
+    length: int,
+    alphabet: int,
+    crowds: int = 4,
+    crowd_length: int = 0,
+    peak_fraction: float = 0.9,
+    seed: int = 0,
+) -> List[int]:
+    """Uniform background punctuated by flash crowds on fresh keys.
+
+    ``crowds`` evenly spaced windows each promote one previously unseen
+    key (ids ``alphabet .. alphabet+crowds-1``) to ``peak_fraction`` of
+    the traffic, then drop it cold.  ``crowd_length = 0`` (default)
+    sizes each window to half its spacing.  Flash keys start with zero
+    history, so the summary must admit them through the min bucket while
+    they are hot — the flash-sale / breaking-news shape.
+    """
+    if length < 0:
+        raise StreamError(f"length must be >= 0, got {length}")
+    if alphabet < 1:
+        raise StreamError(f"alphabet must be >= 1, got {alphabet}")
+    if crowds < 1:
+        raise StreamError(f"crowds must be >= 1, got {crowds}")
+    if crowd_length < 0:
+        raise StreamError(f"crowd_length must be >= 0, got {crowd_length}")
+    if not 0 <= peak_fraction <= 1:
+        raise StreamError(
+            f"peak_fraction must be in [0, 1], got {peak_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    stream = rng.integers(0, alphabet, size=length)
+    spacing = max(1, length // crowds)
+    window = crowd_length if crowd_length else max(1, spacing // 2)
+    for c in range(crowds):
+        start = c * spacing + max(0, (spacing - window) // 2)
+        end = min(length, start + window)
+        if start >= end:
+            continue
+        hot_mask = rng.random(end - start) < peak_fraction
+        stream[start:end] = np.where(
+            hot_mask, alphabet + c, stream[start:end]
+        )
+    return stream.tolist()
+
+
+def hot_set_churn_stream(
+    length: int,
+    alphabet: int,
+    hot_size: int = 8,
+    hot_fraction: float = 0.7,
+    rotate_every: int = 1000,
+    seed: int = 0,
+) -> List[int]:
+    """A rolling hot set: ``hot_size`` keys share ``hot_fraction`` of
+    the traffic, and every ``rotate_every`` steps the oldest hot key
+    retires in favour of a brand-new one (ids ``alphabet, alphabet+1,
+    ...``).  Unlike :func:`bursty_stream` (one hot key, instant jumps)
+    the hot set here overlaps across rotations, so the summary carries
+    stale-but-recently-hot keys whose counts decay only by eviction.
+    """
+    if length < 0:
+        raise StreamError(f"length must be >= 0, got {length}")
+    if alphabet < 1:
+        raise StreamError(f"alphabet must be >= 1, got {alphabet}")
+    if hot_size < 1:
+        raise StreamError(f"hot_size must be >= 1, got {hot_size}")
+    if rotate_every < 1:
+        raise StreamError(f"rotate_every must be >= 1, got {rotate_every}")
+    if not 0 <= hot_fraction <= 1:
+        raise StreamError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    hot = list(range(alphabet, alphabet + hot_size))
+    next_fresh = alphabet + hot_size
+    stream: List[int] = []
+    remaining = length
+    while remaining > 0:
+        block = min(rotate_every, remaining)
+        hot_mask = rng.random(block) < hot_fraction
+        hot_pick = np.asarray(hot)[rng.integers(0, hot_size, size=block)]
+        background = rng.integers(0, alphabet, size=block)
+        stream.extend(np.where(hot_mask, hot_pick, background).tolist())
+        remaining -= block
+        hot.pop(0)
+        hot.append(next_fresh)
+        next_fresh += 1
+    return stream
 
 
 def interleave(streams: Iterable[Sequence[int]]) -> List[int]:

@@ -52,7 +52,9 @@ def test_spec_names_follow_layer_dot_convention():
         assert name == spec.name
         assert name.count(".") >= 1
         assert spec.kind in ("counter", "gauge", "histogram")
-        assert spec.layer in ("core", "cots", "mp", "sim", "bench")
+        assert spec.layer in (
+            "core", "cots", "mp", "scenario", "sim", "bench"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,130 @@
+"""ε·N under attack: the adversaries saturate the bound, never break it.
+
+The eviction poisoner is built against a specific capacity; these tests
+run its stream into counters at exactly that capacity and one off either
+side (``capacity - 1``, ``capacity``, ``capacity + 1``), through all
+three counting lanes (per-element, batched ``process_many``,
+pre-aggregated ``process_weighted``), and pin the cached bound metrics:
+``max_error()`` (the summary's own cached min-frequency bound) must stay
+within ε·N, the audited worst over-estimate must stay within ε·N, and
+every lane must agree on all of it.
+"""
+
+import collections
+
+import pytest
+
+from repro.core.space_saving import SpaceSaving
+from repro.obs.registry import MetricsRegistry
+from repro.scenarios import (
+    ScenarioParams,
+    eviction_poison_stream,
+    hot_key_flood_stream,
+    run_scenario,
+    score_accuracy,
+)
+from repro.scenarios.fuzzer import LANES, _lane_counter
+from repro.testing import seed_matrix
+
+CAPACITY = 48
+STREAM = eviction_poison_stream(3_000, CAPACITY, seed=7)
+
+
+@pytest.mark.parametrize("lane", LANES)
+@pytest.mark.parametrize(
+    "capacity", [CAPACITY - 1, CAPACITY, CAPACITY + 1]
+)
+def test_poisoned_stream_respects_epsilon_n_at_capacity_boundaries(
+    lane, capacity
+):
+    counter = _lane_counter(STREAM, capacity, lane)
+    truth = collections.Counter(STREAM)
+    n = counter.processed
+    assert n == len(STREAM)
+    bound = n / capacity
+    # the summary's own cached bound (min bucket frequency once full)
+    assert counter.max_error() <= bound
+    report = score_accuracy(counter, truth, k=10)
+    assert report.guarantee_violations == 0
+    assert report.max_underestimate == 0
+    assert report.max_overestimate <= bound
+    assert report.bound_excess == 0.0
+    assert report.error_bound == bound
+
+
+@pytest.mark.parametrize(
+    "capacity", [CAPACITY - 1, CAPACITY, CAPACITY + 1]
+)
+def test_all_three_lanes_agree_on_the_cached_bound(capacity):
+    """The cached bound metrics must be lane-independent: same
+    max_error(), same audited error_bound, same processed count."""
+    reports = {}
+    max_errors = {}
+    truth = collections.Counter(STREAM)
+    for lane in LANES:
+        counter = _lane_counter(STREAM, capacity, lane)
+        reports[lane] = score_accuracy(counter, truth, k=10)
+        max_errors[lane] = counter.max_error()
+    bounds = {report.error_bound for report in reports.values()}
+    assert len(bounds) == 1
+    processed = {report.processed for report in reports.values()}
+    assert processed == {len(STREAM)}
+    # per-element and batched are count-identical, so their cached
+    # min-frequency bound matches exactly; the weighted lane aggregates
+    # in blocks but must still sit within the shared eps*N bound
+    assert max_errors["per-element"] == max_errors["batched"]
+    assert all(m <= len(STREAM) / capacity for m in max_errors.values())
+
+
+def test_poisoner_actually_saturates_the_bound():
+    """An adversary that leaves the bound slack is no adversary: at the
+    targeted capacity the worst over-estimate must reach at least half
+    of eps*N (empirically it sits within a few counts of the bound)."""
+    counter = _lane_counter(STREAM, CAPACITY, "per-element")
+    truth = collections.Counter(STREAM)
+    report = score_accuracy(counter, truth, k=10)
+    assert report.max_overestimate >= 0.5 * report.error_bound
+
+
+def test_poisoner_degrades_topk_recall():
+    """The probe half of the attack: victims with tiny true counts are
+    reported in the top-k with inflated estimates, displacing truth."""
+    counter = _lane_counter(STREAM, CAPACITY, "per-element")
+    truth = collections.Counter(STREAM)
+    report = score_accuracy(counter, truth, k=10)
+    assert report.recall_at_k <= 0.5
+
+
+@pytest.mark.parametrize("seed", seed_matrix(7, 19))
+def test_flood_adversary_respects_bounds_too(seed):
+    stream = hot_key_flood_stream(3_000, 400, CAPACITY, seed=seed)
+    truth = collections.Counter(stream)
+    for lane in LANES:
+        counter = _lane_counter(stream, CAPACITY, lane)
+        report = score_accuracy(counter, truth, k=10)
+        assert report.guarantee_violations == 0, lane
+        assert report.max_underestimate == 0, lane
+
+
+def test_bound_metrics_are_pinned_in_the_registry():
+    """The scenario runner's recorded gauges must equal the audited
+    report values exactly (the 'cached bound' surface of the obs layer)."""
+    registry = MetricsRegistry()
+    run = run_scenario(
+        "eviction-poison",
+        "sequential",
+        ScenarioParams(length=2_000, alphabet=200, capacity=CAPACITY, seed=7),
+        k=10,
+        metrics=registry,
+    )
+    gauges = registry.snapshot()["gauges"]
+    assert gauges["scenario.accuracy.error_bound"] == (
+        run.accuracy.error_bound
+    )
+    assert gauges["scenario.accuracy.max_overestimate"] == (
+        run.accuracy.max_overestimate
+    )
+    assert gauges["scenario.accuracy.bound_excess"] == 0.0
+    assert "scenario.accuracy.guarantee_violations" not in (
+        registry.snapshot()["counters"]
+    )

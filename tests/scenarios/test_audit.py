@@ -1,0 +1,158 @@
+"""The accuracy auditor: scoring semantics plus the mutation canary.
+
+The canary follows ``tests/schedcheck/test_shrink_mutations.py``: inject
+a deliberate off-by-one into the recall@k scoring seam and assert the
+suite's own selfcheck — which the scenario runner executes before every
+run — flags it.  A harness that cannot catch a planted bug proves
+nothing about the absence of real ones.
+"""
+
+import collections
+
+import pytest
+
+import repro.scenarios.audit as audit
+from repro.core.space_saving import SpaceSaving
+from repro.errors import AuditError
+from repro.scenarios import (
+    ScenarioParams,
+    run_scenario,
+    score_accuracy,
+    selfcheck,
+    true_top_k,
+)
+
+
+def _count(stream, capacity):
+    counter = SpaceSaving(capacity=capacity)
+    counter.process_many(stream)
+    return counter, collections.Counter(stream)
+
+
+# ----------------------------------------------------------- scoring
+def test_selfcheck_passes_on_healthy_code():
+    selfcheck()
+
+
+def test_exact_summary_scores_perfectly():
+    stream = [0] * 8 + [1] * 5 + [2] * 3 + [3]
+    counter, truth = _count(stream, capacity=16)   # ample: no eviction
+    report = score_accuracy(counter, truth, k=3)
+    assert report.recall_at_k == 1.0
+    assert report.precision_at_k == 1.0
+    assert report.max_overestimate == 0
+    assert report.max_underestimate == 0
+    assert report.guarantee_violations == 0
+    assert report.ok
+
+
+def test_true_top_k_breaks_ties_by_str():
+    truth = {"b": 2, "a": 2, "c": 1, "d": 0}
+    assert true_top_k(truth, 3) == ["a", "b", "c"]
+    # zero-count elements never qualify
+    assert true_top_k(truth, 4) == ["a", "b", "c"]
+
+
+def test_overestimate_within_bound_is_not_a_violation():
+    # capacity 3, the hand-computed selfcheck case: d is over-estimated
+    # by 1 against a bound of 8/3
+    stream = ["a"] * 4 + ["b"] * 2 + ["c", "d"]
+    counter, truth = _count(stream, capacity=3)
+    report = score_accuracy(counter, truth, k=3)
+    assert report.max_overestimate == 1
+    assert report.bound_excess == 0.0
+    assert report.guarantee_violations == 0
+
+
+def test_underestimate_is_flagged():
+    """A summary claiming less than the truth breaks the upper-bound
+    guarantee — build one artificially via from_entries."""
+    stream = ["a"] * 10 + ["b"] * 2
+    _, truth = _count(stream, capacity=4)
+    counter = SpaceSaving(capacity=4)
+    counter.summary.insert("a", count=5, error=0)   # truth is 10
+    counter.summary.insert("b", count=2, error=0)
+    counter._processed = 12
+    report = score_accuracy(counter, truth, k=2)
+    assert report.max_underestimate == 5
+    assert report.guarantee_violations >= 1
+    assert not report.ok
+
+
+def test_guaranteed_floor_breach_is_flagged():
+    stream = ["a"] * 4 + ["b"]
+    _, truth = _count(stream, capacity=4)
+    counter = SpaceSaving(capacity=4)
+    counter.summary.insert("a", count=4, error=0)
+    counter.summary.insert("b", count=3, error=0)   # floor 3 > truth 1
+    counter._processed = 5
+    report = score_accuracy(counter, truth, k=2)
+    assert report.guarantee_violations >= 1
+
+
+def test_missing_heavy_hitter_is_flagged_unless_merged():
+    stream = ["hot"] * 50 + ["x", "y"]
+    _, truth = _count(stream, capacity=4)
+    counter = SpaceSaving(capacity=4)
+    counter.summary.insert("x", count=1, error=0)
+    counter.summary.insert("y", count=1, error=0)
+    counter._processed = 52
+    strict = score_accuracy(counter, truth, k=2)
+    assert strict.guarantee_violations >= 1
+    relaxed = score_accuracy(counter, truth, k=2, merged=True)
+    # the merged lane tolerates the absence (merge truncation), but the
+    # recall hit still shows
+    assert relaxed.recall_at_k < 1.0
+
+
+def test_empty_stream_scores_clean():
+    counter = SpaceSaving(capacity=4)
+    report = score_accuracy(counter, {}, k=5)
+    assert report.ok
+    assert report.recall_at_k == 1.0
+    assert report.processed == 0
+
+
+# ---------------------------------------------------- mutation canary
+def test_mutated_recall_scoring_turns_selfcheck_red(monkeypatch):
+    """Inject an off-by-one into the hits@k seam: selfcheck must fail."""
+    healthy = audit.hits_at_k
+
+    def off_by_one(answer, exact):
+        return healthy(answer, exact) + 1
+
+    monkeypatch.setattr(audit, "hits_at_k", off_by_one)
+    with pytest.raises(AuditError, match="selfcheck failed"):
+        audit.selfcheck()
+
+
+def test_mutated_scoring_fails_the_whole_scenario_run(monkeypatch):
+    """The runner calls selfcheck() first, so a corrupted scorer cannot
+    produce a single scenario result."""
+    healthy = audit.hits_at_k
+    monkeypatch.setattr(
+        audit, "hits_at_k", lambda a, e: healthy(a, e) + 1
+    )
+    with pytest.raises(AuditError, match="selfcheck failed"):
+        run_scenario(
+            "stationary-zipf",
+            "sequential",
+            ScenarioParams(length=500, alphabet=100, capacity=16, seed=1),
+        )
+
+
+def test_mutated_bound_scoring_turns_selfcheck_red(monkeypatch):
+    """Same canary for the bound arithmetic: shrink the believed bound
+    and the pinned bound_excess/error_bound constants catch it."""
+    import repro.scenarios.audit as audit_module
+
+    original = audit_module.score_accuracy
+
+    def shifted(counter, truth, k=10, merged=False):
+        report = original(counter, truth, k=k, merged=merged)
+        object.__setattr__(report, "error_bound", report.error_bound - 1)
+        return report
+
+    monkeypatch.setattr(audit_module, "score_accuracy", shifted)
+    with pytest.raises(AuditError, match="selfcheck failed"):
+        audit_module.selfcheck()

@@ -1,0 +1,171 @@
+"""The scenario fuzzer: composition, lane differential, ddmin shrinking.
+
+The centrepiece is the injected-bug integration test: a context-manager
+patch (the same plumbing schedcheck's mutations use) breaks the
+production ``process_weighted`` lane, the fuzzer detects the divergence,
+hands the composite stream to schedcheck's ddmin, and the shrunk
+reproducer — a handful of elements — still fails under the patch and
+passes without it.  That proves the detect → shrink → render pipeline
+end to end.
+"""
+
+import contextlib
+
+import pytest
+
+from repro.core.space_saving import SpaceSaving
+from repro.errors import AuditError, ConfigurationError, ReproError
+from repro.obs.registry import MetricsRegistry
+from repro.scenarios import ScenarioParams, check_stream, fuzz
+from repro.scenarios.fuzzer import LANES, _lane_counter
+
+_SMALL = ScenarioParams(length=400, alphabet=100, capacity=24)
+
+
+# ------------------------------------------------------------ lanes
+def test_lanes_agree_on_a_benign_stream():
+    stream = [i % 7 for i in range(200)]
+    check_stream(stream, capacity=16)  # must not raise
+
+
+def test_lanes_agree_on_empty_stream():
+    check_stream([], capacity=4)
+
+
+def test_unknown_lane_rejected():
+    with pytest.raises(ConfigurationError, match="unknown lane"):
+        _lane_counter([1], 4, "vectorized")
+
+
+@pytest.mark.parametrize("lane", LANES)
+def test_each_lane_counts_everything(lane):
+    stream = list(range(50)) * 3
+    counter = _lane_counter(stream, 64, lane)
+    assert counter.processed == 150
+
+
+# ---------------------------------------------------------- healthy fuzz
+def test_fuzz_healthy_run_is_green():
+    report = fuzz(4, seed=0, params=_SMALL)
+    assert report.ok
+    assert report.iterations == 4
+    assert "ok" in report.summary_line()
+
+
+def test_fuzz_is_deterministic():
+    first = fuzz(3, seed=5, params=_SMALL)
+    second = fuzz(3, seed=5, params=_SMALL)
+    assert first == second
+
+
+def test_fuzz_records_metrics():
+    registry = MetricsRegistry()
+    fuzz(2, seed=0, params=_SMALL, metrics=registry)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["scenario.fuzz.compositions"] == 2
+    assert "scenario.fuzz.failures" not in snapshot["counters"]
+
+
+def test_fuzz_rejects_negative_iterations():
+    with pytest.raises(ConfigurationError):
+        fuzz(-1)
+
+
+# ----------------------------------------- injected bug -> ddmin shrink
+@contextlib.contextmanager
+def _inflated_weighted_lane():
+    """Deliberate production bug: the first (element, weight) pair of
+    every bulk-weighted update gains one phantom occurrence once its
+    weight exceeds 2 — an off-by-one only visible on aggregated paths."""
+    original = SpaceSaving.process_weighted
+
+    def corrupted(self, pairs):
+        pairs = list(pairs)
+        if pairs:
+            element, weight = pairs[0]
+            if weight > 2:
+                pairs[0] = (element, weight + 1)
+        return original(self, pairs)
+
+    SpaceSaving.process_weighted = corrupted
+    try:
+        yield
+    finally:
+        SpaceSaving.process_weighted = original
+
+
+#: the documented reproduction seed (docs/scenarios.md): with the
+#: weighted-lane mutation armed, composition 0 of seed 0 already fails
+_DOCUMENTED_SEED = 0
+
+
+def test_injected_bug_is_caught_shrunk_and_rendered():
+    report = fuzz(
+        2,
+        seed=_DOCUMENTED_SEED,
+        params=_SMALL,
+        patch=_inflated_weighted_lane,
+    )
+    assert not report.ok, "the planted off-by-one went undetected"
+    failure = report.failures[0]
+    # the composite stream was hundreds of elements; ddmin must boil it
+    # down to a near-minimal core (3 occurrences of one element is the
+    # smallest stream where the corrupted branch fires)
+    assert failure.original_length >= 100
+    assert 1 <= len(failure.minimal_stream) <= 8
+    assert failure.shrink_replays > 0
+    # the shrunk stream is a genuine reproducer: red with the bug...
+    with pytest.raises(ReproError):
+        with _inflated_weighted_lane():
+            check_stream(
+                list(failure.minimal_stream), _SMALL.capacity, k=8
+            )
+    # ...green without it
+    check_stream(list(failure.minimal_stream), _SMALL.capacity, k=8)
+    rendered = failure.render()
+    assert "reproducer" in rendered
+    assert failure.seed_key in rendered
+    assert str(len(failure.minimal_stream)) in rendered
+
+
+def test_injected_bug_failure_counts_in_metrics():
+    registry = MetricsRegistry()
+    report = fuzz(
+        1,
+        seed=_DOCUMENTED_SEED,
+        params=_SMALL,
+        patch=_inflated_weighted_lane,
+        metrics=registry,
+    )
+    assert not report.ok
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["scenario.fuzz.failures"] == len(
+        report.failures
+    )
+
+
+def test_audit_catches_direct_guarantee_breaks_too():
+    """check_stream's per-lane audit (not just the differential): feed a
+    broken per-element lane and expect an AuditError mentioning it."""
+
+    @contextlib.contextmanager
+    def undercount_reference():
+        original = SpaceSaving.process_bulk
+
+        def skipping(self, element, count):
+            # drop every 10th occurrence of element 0: breaks the
+            # upper-bound guarantee in whichever lane runs first
+            if element == 0 and self.processed % 10 == 9:
+                return
+            return original(self, element, count)
+
+        SpaceSaving.process_bulk = skipping
+        try:
+            yield
+        finally:
+            SpaceSaving.process_bulk = original
+
+    stream = [0] * 60 + list(range(1, 30))
+    with pytest.raises(AuditError):
+        with undercount_reference():
+            check_stream(stream, capacity=16, k=8)

@@ -34,6 +34,20 @@ _MICRO_MP = {
 }
 
 
+#: a micro scenario scale: one short stream per scenario, 2 workers
+_MICRO_SCENARIOS = {
+    "length": 1_200,
+    "alphabet": 200,
+    "capacity": 32,
+    "k": 8,
+    "threads": 2,
+    "workers": 2,
+    "chunk_elements": 256,
+    "seed": 7,
+    "timeout": 60.0,
+}
+
+
 @pytest.fixture
 def micro_scale(monkeypatch):
     monkeypatch.setitem(bench.SCALES, "tiny", _MICRO)
@@ -42,6 +56,11 @@ def micro_scale(monkeypatch):
 @pytest.fixture
 def micro_mp_scale(monkeypatch):
     monkeypatch.setitem(bench.MP_SCALES, "tiny", _MICRO_MP)
+
+
+@pytest.fixture
+def micro_scenario_scale(monkeypatch):
+    monkeypatch.setitem(bench.SCENARIO_SCALES, "tiny", _MICRO_SCENARIOS)
 
 
 def test_run_suite_rejects_unknown_scale():
@@ -211,6 +230,61 @@ def test_mp_suite_entries_embed_metrics(micro_mp_scale):
         assert any(
             name.endswith(".items_per_sec") for name in snap["gauges"]
         )
+
+
+def test_scenario_suite_report_shape(micro_scenario_scale):
+    from repro.scenarios import BACKENDS, SCENARIOS
+
+    report = bench.run_suite("tiny", suite="scenarios")
+    assert report["suite"] == "scenarios"
+    assert report["schema_version"] == bench.SCHEMA_VERSION
+    expected = [
+        f"{name}-{backend}"
+        for name in SCENARIOS
+        for backend in BACKENDS
+    ]
+    assert [e["name"] for e in report["results"]] == expected
+    assert len({e["scenario"] for e in report["results"]}) >= 5
+    assert len({e["backend"] for e in report["results"]}) >= 3
+    for entry in report["results"]:
+        assert entry["kind"] == "scenario"
+        assert entry["elements"] == _MICRO_SCENARIOS["length"]
+        assert entry["k"] == _MICRO_SCENARIOS["k"]
+        assert 0.0 <= entry["recall_at_k"] <= 1.0
+        assert entry["max_overestimate"] <= entry["error_bound"] + 1e-9
+        assert entry["guarantee_violations"] == 0
+        assert entry["bound_excess"] == 0.0
+        assert entry["wall_seconds"] > 0
+        assert entry["throughput_eps"] > 0
+        assert entry["metrics"]["gauges"][
+            "scenario.accuracy.recall_at_k"
+        ] == entry["recall_at_k"]
+
+    text = bench.format_report(report)
+    assert "eviction-poison-sequential" in text
+    assert f"recall@{_MICRO_SCENARIOS['k']}=" in text
+
+
+def test_scenario_smoke_scale_is_registered():
+    # the CI lane runs --scale smoke; it must resolve for all suites
+    for scales in (bench.SCALES, bench.MP_SCALES, bench.SCENARIO_SCALES):
+        assert "smoke" in scales
+
+
+def test_cli_bench_scenarios_default_output(
+    micro_scenario_scale, tmp_path, capsys, monkeypatch
+):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "--suite", "scenarios", "--scale", "tiny"]) == 0
+    parsed = json.loads((tmp_path / "BENCH_scenarios.json").read_text())
+    assert parsed["suite"] == "scenarios"
+    assert all(
+        entry["guarantee_violations"] == 0 for entry in parsed["results"]
+    )
+    captured = capsys.readouterr()
+    assert "BENCH_scenarios.json" in captured.out
 
 
 def test_cli_bench_mp_suite_default_output(micro_mp_scale, tmp_path, capsys, monkeypatch):

@@ -1,0 +1,158 @@
+"""Property tests for the stream generators (Hypothesis).
+
+Three families of properties, each load-bearing for the scenario suite:
+
+* **Determinism** — the same seed must produce the identical stream.
+  The scenario registry, the bench matrix and the fuzzer's shrunk
+  reproducers all assume ``build(params)`` is a pure function.
+* **Alphabet bounds** — background elements stay inside
+  ``0 .. alphabet-1``; generators that mint fresh keys (flash crowds,
+  hot-set churn) only ever mint at or above ``alphabet``.
+* **Multiset preservation** — ``interleave`` reorders, never drops or
+  duplicates.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generators import (
+    bursty_stream,
+    churn_stream,
+    drift_stream,
+    flash_crowd_stream,
+    hot_set_churn_stream,
+    interleave,
+    uniform_stream,
+    weighted_stream,
+)
+
+_length = st.integers(min_value=0, max_value=300)
+_alphabet = st.integers(min_value=1, max_value=50)
+_seed = st.integers(min_value=0, max_value=2**31 - 1)
+_fraction = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+# ---------------------------------------------------------------- determinism
+@settings(max_examples=40, deadline=None)
+@given(_length, _alphabet, st.integers(min_value=1, max_value=60),
+       _fraction, _seed)
+def test_bursty_stream_deterministic(length, alphabet, burst, hot, seed):
+    first = bursty_stream(length, alphabet, burst, hot, seed)
+    second = bursty_stream(length, alphabet, burst, hot, seed)
+    assert first == second
+    assert len(first) == length
+
+
+@settings(max_examples=40, deadline=None)
+@given(_length, st.integers(min_value=0, max_value=50))
+def test_churn_stream_deterministic(length, alphabet):
+    assert churn_stream(length, alphabet) == churn_stream(length, alphabet)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_length,
+       st.lists(st.floats(min_value=0.01, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=20),
+       _seed)
+def test_weighted_stream_deterministic(length, weights, seed):
+    first = weighted_stream(length, weights, seed)
+    second = weighted_stream(length, weights, seed)
+    assert first == second
+    assert all(0 <= e < len(weights) for e in first)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_length, _alphabet,
+       st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+       st.integers(min_value=1, max_value=10), _seed)
+def test_drift_stream_deterministic_and_bounded(
+    length, alphabet, a0, a1, segments, seed
+):
+    first = drift_stream(length, alphabet, a0, a1, segments, seed)
+    second = drift_stream(length, alphabet, a0, a1, segments, seed)
+    assert first == second
+    assert len(first) == length
+    assert all(0 <= e < alphabet for e in first)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_length, _alphabet, st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=40), _fraction, _seed)
+def test_flash_crowd_deterministic_and_key_ranges(
+    length, alphabet, crowds, window, peak, seed
+):
+    first = flash_crowd_stream(length, alphabet, crowds, window, peak, seed)
+    second = flash_crowd_stream(length, alphabet, crowds, window, peak, seed)
+    assert first == second
+    assert len(first) == length
+    # background stays inside the alphabet; flash keys are exactly the
+    # fresh ids alphabet .. alphabet+crowds-1
+    assert all(
+        0 <= e < alphabet or alphabet <= e < alphabet + crowds
+        for e in first
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(_length, _alphabet, st.integers(min_value=1, max_value=8),
+       _fraction, st.integers(min_value=1, max_value=50), _seed)
+def test_hot_set_churn_deterministic_and_key_ranges(
+    length, alphabet, hot_size, hot_fraction, rotate_every, seed
+):
+    first = hot_set_churn_stream(
+        length, alphabet, hot_size, hot_fraction, rotate_every, seed
+    )
+    second = hot_set_churn_stream(
+        length, alphabet, hot_size, hot_fraction, rotate_every, seed
+    )
+    assert first == second
+    assert len(first) == length
+    # hot keys are minted at alphabet and above, one per rotation
+    rotations = -(-length // rotate_every) if length else 0
+    ceiling = alphabet + hot_size + rotations
+    assert all(0 <= e < ceiling for e in first)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_length, _alphabet, _seed)
+def test_uniform_stream_deterministic_and_bounded(length, alphabet, seed):
+    first = uniform_stream(length, alphabet, seed)
+    assert first == uniform_stream(length, alphabet, seed)
+    assert all(0 <= e < alphabet for e in first)
+
+
+# ------------------------------------------------------- alphabet bounds
+@settings(max_examples=40, deadline=None)
+@given(_length, _alphabet, st.integers(min_value=1, max_value=60),
+       _fraction, _seed)
+def test_bursty_stream_respects_alphabet(length, alphabet, burst, hot, seed):
+    stream = bursty_stream(length, alphabet, burst, hot, seed)
+    assert all(0 <= e < alphabet for e in stream)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_length, st.integers(min_value=0, max_value=50))
+def test_churn_stream_respects_alphabet(length, alphabet):
+    stream = churn_stream(length, alphabet)
+    period = alphabet if alphabet > 0 else max(1, length)
+    assert all(0 <= e < period for e in stream)
+    assert len(stream) == length
+
+
+# --------------------------------------------------- interleave multiset
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=9),
+                         max_size=30),
+                max_size=6))
+def test_interleave_preserves_multiset(streams):
+    merged = interleave(streams)
+    expected = Counter()
+    for stream in streams:
+        expected.update(stream)
+    assert Counter(merged) == expected
+    assert len(merged) == sum(len(s) for s in streams)

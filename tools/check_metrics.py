@@ -13,9 +13,9 @@ This tool catches that from both ends:
    resolve to a :data:`~repro.obs.schema.METRIC_SPECS` entry of the
    same kind.
 2. **Recording smoke run** — tiny SpaceSaving / sequential-sim / CoTS /
-   multiprocess runs against real registries; every name in the
-   resulting snapshots must resolve, with the recorded family matching
-   the spec's kind.
+   multiprocess / scenario-suite runs against real registries; every
+   name in the resulting snapshots must resolve, with the recorded
+   family matching the spec's kind.
 
 Usage::
 
@@ -106,6 +106,22 @@ def smoke_run() -> List[Emission]:
     run_mp(stream, MPConfig(workers=2, capacity=48, chunk_elements=512),
            metrics=registry)
     snapshots.append(("mp", registry.snapshot()))
+
+    from repro.scenarios import ScenarioParams, fuzz, run_scenario
+
+    registry = MetricsRegistry()
+    run_scenario(
+        "eviction-poison", "sequential",
+        ScenarioParams(length=1_500, alphabet=200, capacity=32, seed=7),
+        metrics=registry,
+    )
+    snapshots.append(("scenario", registry.snapshot()))
+
+    registry = MetricsRegistry()
+    fuzz(1, seed=0,
+         params=ScenarioParams(length=400, alphabet=100, capacity=16),
+         metrics=registry)
+    snapshots.append(("scenario-fuzz", registry.snapshot()))
 
     emissions: List[Emission] = []
     for run_name, snapshot in snapshots:
