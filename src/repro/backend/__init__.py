@@ -1,0 +1,59 @@
+"""One protocol over every counting engine (PR 8, ROADMAP item 3).
+
+``Backend`` (``ingest`` / ``snapshot`` / ``query`` / ``close``) is the
+single driver surface for the sequential baseline, the simulated CoTS
+framework, the native-thread shards, both multiprocess modes (sharded
+and one-table) and the sketch engines; :mod:`repro.backend.algebra`
+gives their summaries a uniform serialize/merge/widen algebra so any
+backend's answer composes with any other's.
+
+>>> from repro.backend import create_backend
+>>> with_backend = create_backend("mp-one-table", workers=4)
+>>> with_backend.ingest(stream)
+>>> with_backend.query(k=10)
+"""
+
+from repro.backend.adapters import (
+    CotsSimBackend,
+    MPBackend,
+    NativeThreadsBackend,
+    SequentialBackend,
+    SketchCMBackend,
+    SketchCMVecBackend,
+    SketchCSVecBackend,
+)
+from repro.backend.algebra import (
+    deserialize,
+    error_bound,
+    merge,
+    serialize,
+    widen,
+)
+from repro.backend.base import Backend, Snapshot
+from repro.backend.registry import (
+    BACKEND_NAMES,
+    MERGED_BACKENDS,
+    SKETCH_BACKENDS,
+    create_backend,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "CotsSimBackend",
+    "MERGED_BACKENDS",
+    "MPBackend",
+    "NativeThreadsBackend",
+    "SKETCH_BACKENDS",
+    "SequentialBackend",
+    "SketchCMBackend",
+    "SketchCMVecBackend",
+    "SketchCSVecBackend",
+    "Snapshot",
+    "create_backend",
+    "deserialize",
+    "error_bound",
+    "merge",
+    "serialize",
+    "widen",
+]

@@ -1,0 +1,401 @@
+"""Backend-protocol adapters over every counting engine in the repo.
+
+Each adapter is a thin, metered shell: ``backend.ingest.items`` /
+``backend.ingest.batches`` count what flows in, and
+``backend.snapshot.seconds`` times the query path — the same three
+instruments for every engine, which is what makes the bench ladders and
+the scenario matrix directly comparable across designs.
+
+Two engine families need a note:
+
+* **Replay adapters** (``cots-sim``): the simulated-CMP drivers replay
+  a complete stream through the simulator, so the adapter buffers
+  ingested batches and re-runs the driver per snapshot.  That is the
+  honest cost of querying a simulation mid-stream; the conformance
+  tests treat it like any other backend.
+* **Sketch adapters** (``sketch-cm``, ``sketch-cm-vec``,
+  ``sketch-cs-vec``): a pure sketch cannot enumerate keys, so the
+  vectorized adapters pair the table with a bounded Space Saving
+  *candidate identifier* fed from each chunk's heaviest codes (the same
+  scheme the one-table pool uses).  Every reported count is read from
+  the sketch table; the identifier only chooses *which* keys to report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.backend.base import Element, Snapshot
+from repro.core.counters import CounterEntry
+from repro.core.sketches.count_min import CountMinSketch
+from repro.core.sketches.count_sketch import CountSketch
+from repro.core.space_saving import SpaceSaving
+from repro.errors import BackendError
+from repro.obs.registry import TIME_BUCKETS, coerce
+
+
+class _Instrumented:
+    """Shared metering + life-cycle plumbing for every adapter."""
+
+    name = "abstract"
+
+    def __init__(self, metrics=None) -> None:
+        self.metrics = coerce(metrics)
+        self._m_items = self.metrics.counter("backend.ingest.items")
+        self._m_batches = self.metrics.counter("backend.ingest.batches")
+        self._m_snapshot_seconds = self.metrics.histogram(
+            "backend.snapshot.seconds", buckets=TIME_BUCKETS
+        )
+        self._closed = False
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise BackendError(f"backend {self.name!r} is closed")
+
+    def _meter_ingest(self, items: int) -> int:
+        self._m_items.inc(items)
+        self._m_batches.inc()
+        return items
+
+    def query(self, k: int = 10) -> List[CounterEntry]:
+        return self.snapshot().top_k(k)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class SequentialBackend(_Instrumented):
+    """Plain Space Saving on the caller's thread (the baseline)."""
+
+    name = "sequential"
+
+    def __init__(self, capacity: int = 256, metrics=None) -> None:
+        super().__init__(metrics)
+        self._counter = SpaceSaving(capacity=capacity)
+
+    def ingest(self, batch: Sequence[Element]) -> int:
+        self._ensure_open()
+        self._counter.process_many(batch)
+        return self._meter_ingest(len(batch))
+
+    def snapshot(self) -> Snapshot:
+        started = time.perf_counter()
+        snap = Snapshot(
+            scheme=self.name,
+            processed=self._counter.processed,
+            entries=self._counter.entries(),
+            error_bound=self._counter.max_error(),
+        )
+        self._m_snapshot_seconds.observe(time.perf_counter() - started)
+        return snap
+
+    def estimate(self, element: Element) -> int:
+        return self._counter.estimate(element)
+
+
+class CotsSimBackend(_Instrumented):
+    """The simulated CoTS framework behind the protocol (replay adapter).
+
+    The simulator consumes whole streams, so batches are buffered and
+    each snapshot replays everything ingested so far through
+    :func:`repro.cots.run_cots` — snapshot cost grows with the stream,
+    which is the true price of querying a simulation, not an adapter
+    artifact.
+    """
+
+    name = "cots-sim"
+
+    def __init__(
+        self, capacity: int = 256, threads: int = 4, metrics=None
+    ) -> None:
+        super().__init__(metrics)
+        self.capacity = capacity
+        self.threads = threads
+        self._buffer: List[Element] = []
+
+    def ingest(self, batch: Sequence[Element]) -> int:
+        self._ensure_open()
+        self._buffer.extend(batch)
+        return self._meter_ingest(len(batch))
+
+    def _run(self):
+        from repro.cots import CoTSRunConfig, run_cots
+
+        return run_cots(
+            self._buffer,
+            CoTSRunConfig(threads=self.threads, capacity=self.capacity),
+        )
+
+    def snapshot(self) -> Snapshot:
+        started = time.perf_counter()
+        counter = self._run().counter
+        snap = Snapshot(
+            scheme=self.name,
+            processed=counter.processed,
+            entries=counter.entries(),
+            error_bound=counter.max_error(),
+            extras={"threads": self.threads, "replayed": len(self._buffer)},
+        )
+        self._m_snapshot_seconds.observe(time.perf_counter() - started)
+        return snap
+
+    def estimate(self, element: Element) -> int:
+        if not self._buffer:
+            return 0
+        return self._run().counter.estimate(element)
+
+
+class NativeThreadsBackend(_Instrumented):
+    """Real-thread Independent Structures (per-thread shard + merge)."""
+
+    name = "native-threads"
+
+    def __init__(
+        self, capacity: int = 256, threads: int = 4, metrics=None
+    ) -> None:
+        super().__init__(metrics)
+        from repro.native.sharded import ShardedSpaceSaving
+
+        self._sharded = ShardedSpaceSaving(
+            threads=threads, capacity=capacity
+        )
+
+    def ingest(self, batch: Sequence[Element]) -> int:
+        self._ensure_open()
+        self._sharded.count(list(batch))
+        return self._meter_ingest(len(batch))
+
+    def snapshot(self) -> Snapshot:
+        started = time.perf_counter()
+        merged = self._sharded.merged()
+        snap = Snapshot(
+            scheme=self.name,
+            processed=merged.processed,
+            entries=merged.entries(),
+            error_bound=merged.max_error(),
+            extras={"threads": self._sharded.threads},
+        )
+        self._m_snapshot_seconds.observe(time.perf_counter() - started)
+        return snap
+
+    def estimate(self, element: Element) -> int:
+        return self._sharded.merged().estimate(element)
+
+
+class MPBackend(_Instrumented):
+    """Multiprocess pools (sharded shm/pickle and one-table) as backends."""
+
+    def __init__(self, config, name: str, metrics=None) -> None:
+        super().__init__(metrics)
+        self.name = name
+        from repro.mp.one_table import OneTablePool
+        from repro.mp.pool import ShardedProcessPool
+
+        pool_cls = (
+            OneTablePool if config.mode == "one_table"
+            else ShardedProcessPool
+        )
+        self._pool = pool_cls(config, metrics=metrics)
+
+    def ingest(self, batch: Sequence[Element]) -> int:
+        self._ensure_open()
+        sent = self._pool.count(batch)
+        return self._meter_ingest(sent)
+
+    def snapshot(self) -> Snapshot:
+        self._ensure_open()
+        started = time.perf_counter()
+        merged = self._pool.merged()
+        snap = Snapshot(
+            scheme=self.name,
+            processed=merged.processed,
+            entries=merged.entries(),
+            error_bound=merged.max_error(),
+            extras={
+                "workers": self._pool.workers,
+                "mode": self._pool.config.mode,
+            },
+        )
+        self._m_snapshot_seconds.observe(time.perf_counter() - started)
+        return snap
+
+    def estimate(self, element: Element) -> int:
+        self._ensure_open()
+        return self._pool.merged().estimate(element)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.close()
+        super().close()
+
+
+class SketchCMBackend(_Instrumented):
+    """Scalar Count-Min behind the protocol (the differential reference)."""
+
+    name = "sketch-cm"
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        epsilon: float = 0.001,
+        delta: float = 0.01,
+        seed: Optional[int] = 0,
+        metrics=None,
+    ) -> None:
+        super().__init__(metrics)
+        self._sketch = CountMinSketch(
+            epsilon=epsilon, delta=delta, seed=seed,
+            track_candidates=capacity,
+        )
+
+    def ingest(self, batch: Sequence[Element]) -> int:
+        self._ensure_open()
+        self._sketch.process_many(batch)
+        return self._meter_ingest(len(batch))
+
+    def snapshot(self) -> Snapshot:
+        started = time.perf_counter()
+        snap = Snapshot(
+            scheme=self.name,
+            processed=self._sketch.processed,
+            entries=self._sketch.entries(),
+            error_bound=self._sketch.error_bound(),
+            extras={
+                "depth": self._sketch.depth,
+                "width": self._sketch.width,
+            },
+        )
+        self._m_snapshot_seconds.observe(time.perf_counter() - started)
+        return snap
+
+    def estimate(self, element: Element) -> int:
+        return self._sketch.estimate(element)
+
+
+class _VectorSketchBackend(_Instrumented):
+    """Shared ingest loop of the vectorized sketch backends.
+
+    Chunks are coded through the sketch's own codec and land via the
+    vectorized ``process_weighted`` lane; each chunk's heaviest codes
+    feed the bounded candidate identifier (counts are never taken from
+    it — every reported number is a table read).
+    """
+
+    def __init__(self, sketch, capacity: int, metrics=None) -> None:
+        super().__init__(metrics)
+        self._sketch = sketch
+        self._capacity = capacity
+        self._hot = SpaceSaving(capacity=capacity)
+        self._m_updates = self.metrics.counter("sketch.updates")
+        self._m_cells = self.metrics.counter("sketch.cells_touched")
+        self._m_occupancy = self.metrics.gauge("sketch.table.occupancy")
+
+    def ingest(self, batch: Sequence[Element]) -> int:
+        self._ensure_open()
+        codes, weights = self._sketch.codec.encode_chunk(batch)
+        self._sketch.process_weighted(codes, weights)
+        n = len(codes)
+        if n:
+            cap = self._capacity
+            if n > cap:
+                top = np.argpartition(weights, n - cap)[n - cap:]
+                pairs = zip(codes[top].tolist(), weights[top].tolist())
+            else:
+                pairs = zip(codes.tolist(), weights.tolist())
+            self._hot.process_weighted(pairs)
+        if self.metrics.enabled:
+            self._m_updates.inc(n)
+            self._m_cells.inc(n * self._sketch.depth)
+        return self._meter_ingest(len(batch))
+
+    def _error_bound(self) -> int:
+        raise NotImplementedError
+
+    def snapshot(self) -> Snapshot:
+        started = time.perf_counter()
+        decode = self._sketch.codec.decode
+        entries = sorted(
+            (
+                CounterEntry(
+                    decode(int(code.element)),
+                    self._sketch.estimate_code(int(code.element)),
+                    self._error_bound(),
+                )
+                for code in self._hot.entries()
+            ),
+            key=lambda entry: (-entry.count, repr(entry.element)),
+        )
+        if self.metrics.enabled:
+            table = self._sketch.table
+            self._m_occupancy.set(
+                float(np.count_nonzero(table)) / table.size
+            )
+        snap = Snapshot(
+            scheme=self.name,
+            processed=self._sketch.processed,
+            entries=entries,
+            error_bound=self._error_bound(),
+            extras={
+                "depth": self._sketch.depth,
+                "width": self._sketch.width,
+            },
+        )
+        self._m_snapshot_seconds.observe(time.perf_counter() - started)
+        return snap
+
+    def estimate(self, element: Element) -> int:
+        return self._sketch.estimate(element)
+
+
+class SketchCMVecBackend(_VectorSketchBackend):
+    """Vectorized Count-Min: NumPy kernels on the coded chunk lane."""
+
+    name = "sketch-cm-vec"
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        epsilon: float = 0.001,
+        delta: float = 0.01,
+        seed: Optional[int] = 0,
+        conservative: bool = False,
+        metrics=None,
+    ) -> None:
+        super().__init__(
+            CountMinSketch(
+                epsilon=epsilon, delta=delta, seed=seed,
+                conservative=conservative,
+            ),
+            capacity,
+            metrics,
+        )
+
+    def _error_bound(self) -> int:
+        return self._sketch.error_bound()
+
+
+class SketchCSVecBackend(_VectorSketchBackend):
+    """Vectorized Count Sketch (median-of-signed estimates)."""
+
+    name = "sketch-cs-vec"
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        width: int = 4096,
+        depth: int = 5,
+        seed: Optional[int] = 0,
+        metrics=None,
+    ) -> None:
+        super().__init__(
+            CountSketch(width=width, depth=depth, seed=seed),
+            capacity,
+            metrics,
+        )
+
+    def _error_bound(self) -> int:
+        # Count Sketch error is an L2 quantity; no additive L1 contract
+        return 0

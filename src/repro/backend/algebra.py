@@ -1,0 +1,154 @@
+"""The mergeable-summary algebra: serialize / deserialize / merge / widen.
+
+Any backend's snapshot state is one of three summary kinds — a
+:class:`~repro.core.space_saving.SpaceSaving` counter set, a
+:class:`~repro.core.sketches.count_min.CountMinSketch` table or a
+:class:`~repro.core.sketches.count_sketch.CountSketch` table — and the
+distributed/serving tiers need the same four operations on all of them:
+
+``serialize`` / ``deserialize``
+    A plain-dict wire form that round-trips **bit-exactly** (tables,
+    counts, errors, processed totals, hash parameters, vocabularies).
+``merge``
+    A *pure* fold of two summaries of the same kind into one whose
+    estimates dominate each part's (never an underestimate of the
+    combined stream) — Space Saving via the repo's guaranteed merge,
+    sketch tables by cell-wise addition (requires identical geometry,
+    hash parameters and aligned codecs; raises otherwise).
+``widen``
+    A *pure* copy whose advertised error bound grew by ``slack``
+    occurrences — how unsynchronized overcounts (one-table bands),
+    bounded staleness and transport-induced uncertainty are charged.
+    Widening is monotone and never touches counts.
+
+The Hypothesis property tests in ``tests/backend/test_algebra.py`` pin
+dominance, monotone widening and exact round-trips for every kind.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+from repro.core.counters import CounterEntry
+from repro.core.merge import merge_space_saving
+from repro.core.sketches.count_min import CountMinSketch
+from repro.core.sketches.count_sketch import CountSketch
+from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
+
+Summary = Union[SpaceSaving, CountMinSketch, CountSketch]
+
+#: wire-form ``kind`` discriminators
+KIND_SPACE_SAVING = "space-saving"
+KIND_COUNT_MIN = "count-min"
+KIND_COUNT_SKETCH = "count-sketch"
+
+
+def serialize(summary: Summary) -> Dict[str, Any]:
+    """Plain-dict wire form; ``deserialize`` restores it bit-exactly."""
+    if isinstance(summary, SpaceSaving):
+        return {
+            "kind": KIND_SPACE_SAVING,
+            "capacity": summary.capacity,
+            "processed": summary.processed,
+            "entries": [
+                [entry.element, entry.count, entry.error]
+                for entry in summary.entries()
+            ],
+        }
+    if isinstance(summary, (CountMinSketch, CountSketch)):
+        return summary.serialize()
+    raise ConfigurationError(
+        f"not a mergeable summary: {type(summary).__name__}"
+    )
+
+
+def deserialize(doc: Dict[str, Any]) -> Summary:
+    """Inverse of :func:`serialize` for every summary kind."""
+    kind = doc.get("kind")
+    if kind == KIND_SPACE_SAVING:
+        return SpaceSaving.from_entries(
+            doc["capacity"],
+            [CounterEntry(e, count, error)
+             for e, count, error in doc["entries"]],
+            doc["processed"],
+        )
+    if kind == KIND_COUNT_MIN:
+        return CountMinSketch.deserialize(doc)
+    if kind == KIND_COUNT_SKETCH:
+        return CountSketch.deserialize(doc)
+    raise ConfigurationError(f"unknown summary kind {kind!r}")
+
+
+def merge(left: Summary, right: Summary) -> Summary:
+    """Pure merge of two same-kind summaries (dominating estimates).
+
+    Space Saving folds through :func:`~repro.core.merge.
+    merge_space_saving` (keeps the ``count - error <= true <= count``
+    contract, absence widening included).  Sketches add tables
+    cell-wise — Count-Min estimates then dominate each part's and still
+    upper-bound the combined true counts; Count Sketch stays unbiased.
+    """
+    if isinstance(left, SpaceSaving) and isinstance(right, SpaceSaving):
+        return merge_space_saving(
+            [left, right], capacity=max(left.capacity, right.capacity)
+        )
+    if type(left) is not type(right):
+        raise ConfigurationError(
+            f"cannot merge {type(left).__name__} with "
+            f"{type(right).__name__}"
+        )
+    if isinstance(left, (CountMinSketch, CountSketch)):
+        return left.merge(right)
+    raise ConfigurationError(
+        f"not a mergeable summary: {type(left).__name__}"
+    )
+
+
+def widen(summary: Summary, slack: int) -> Summary:
+    """A copy whose advertised error bound grew by ``slack`` (pure).
+
+    Counts are untouched; only the uncertainty interval stretches, so
+    the lower-bound contract survives any overcount source worth at
+    most ``slack`` occurrences (staleness, band sharing, lossy
+    transport).  For Count Sketch — whose error is an L2 quantity the
+    repo reports per use site — widening round-trips the summary
+    unchanged except for candidate bookkeeping and is mainly useful for
+    protocol uniformity.
+    """
+    if slack < 0:
+        raise ConfigurationError(f"slack must be >= 0, got {slack}")
+    if isinstance(summary, SpaceSaving):
+        return SpaceSaving.from_entries(
+            summary.capacity,
+            [
+                CounterEntry(entry.element, entry.count, entry.error + slack)
+                for entry in summary.entries()
+            ],
+            summary.processed,
+        )
+    if isinstance(summary, CountMinSketch):
+        widened = CountMinSketch.deserialize(summary.serialize())
+        widened.widen(slack)
+        return widened
+    if isinstance(summary, CountSketch):
+        return CountSketch.deserialize(summary.serialize())
+    raise ConfigurationError(
+        f"not a mergeable summary: {type(summary).__name__}"
+    )
+
+
+def error_bound(summary: Summary) -> int:
+    """The summary's additive error bound in occurrences."""
+    if isinstance(summary, SpaceSaving):
+        return summary.max_error()
+    if isinstance(summary, CountMinSketch):
+        return summary.error_bound()
+    if isinstance(summary, CountSketch):
+        # L2-flavoured bound surfaced as an occurrence count: the repo
+        # reports CountSketch error per use site; 0 marks "no additive
+        # L1 contract" rather than "exact"
+        return 0
+    raise ConfigurationError(
+        f"not a mergeable summary: {type(summary).__name__}"
+    )

@@ -1,0 +1,81 @@
+"""The unified Backend protocol every counting engine implements.
+
+Before PR 8 the repo had three incompatible driver shapes: the
+simulated schemes (``run_*(stream, SchemeConfig) -> SchemeResult``), the
+multiprocess driver (``run_mp(stream, MPConfig) -> MPResult``) and the
+native-thread classes (construct, ``count``, ``merged``).  Every layer
+above them — bench, scenarios, CLI, experiments — carried its own
+adapter glue.  This package collapses them to one small surface:
+
+``ingest(batch)``
+    Feed a batch of stream elements; returns the number ingested.
+    Callable repeatedly — backends are incremental (the simulated
+    drivers, which must replay a whole stream, buffer internally and
+    say so in their docs).
+``snapshot()``
+    A :class:`Snapshot`: the queryable state *now* — entries, processed
+    total, the additive error bound, and backend-specific extras.
+``query(k)`` / ``estimate(element)``
+    Convenience queries over the current snapshot semantics: top-k
+    entries and a point estimate.
+``close()``
+    Release processes/shm/threads.  Idempotent; a closed backend only
+    rejects further ``ingest``.
+
+The contract all implementations share (pinned by the conformance
+tests): estimates upper-bound true counts, ``count - error`` lower
+bounds them, ``processed`` equals the total ingested weight, and
+``snapshot()`` reflects every batch ingested before the call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Hashable, Iterator, List, Protocol, Sequence
+
+from repro.core.counters import CounterEntry
+
+Element = Hashable
+
+
+@dataclasses.dataclass
+class Snapshot:
+    """One queryable view of a backend's state (a mergeable summary)."""
+
+    scheme: str                     #: backend registry name
+    processed: int                  #: total ingested occurrences
+    entries: List[CounterEntry]     #: candidates, descending estimate
+    error_bound: int                #: additive bound on any estimate
+    extras: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def top_k(self, k: int) -> List[CounterEntry]:
+        return self.entries[:k]
+
+    def __iter__(self) -> Iterator[CounterEntry]:
+        return iter(self.entries)
+
+
+class Backend(Protocol):
+    """Structural protocol — adapters need not inherit anything."""
+
+    name: str
+
+    def ingest(self, batch: Sequence[Element]) -> int:
+        """Feed one batch; returns the number of elements ingested."""
+        ...
+
+    def snapshot(self) -> Snapshot:
+        """The queryable state reflecting all prior ``ingest`` calls."""
+        ...
+
+    def query(self, k: int = 10) -> List[CounterEntry]:
+        """Top-k entries of the current state."""
+        ...
+
+    def estimate(self, element: Element) -> int:
+        """Point estimate for one element (0 if unknown)."""
+        ...
+
+    def close(self) -> None:
+        """Release resources; idempotent."""
+        ...

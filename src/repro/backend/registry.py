@@ -1,0 +1,114 @@
+"""Name -> Backend factory registry (the one switchboard).
+
+Every layer that lets a user pick a counting engine — ``scenarios
+--backend``, the bench suites, the conformance tests — resolves the
+name here, so adding a backend is one entry, not four call sites.
+
+Factories take one uniform keyword set and ignore what they don't use
+(a sequential counter has no ``workers``); that keeps the call sites
+engine-agnostic, which is the entire point of the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend.adapters import (
+    CotsSimBackend,
+    MPBackend,
+    NativeThreadsBackend,
+    SequentialBackend,
+    SketchCMBackend,
+    SketchCMVecBackend,
+    SketchCSVecBackend,
+)
+from repro.backend.base import Backend
+from repro.errors import ConfigurationError
+
+#: every registered backend name, in documentation order
+BACKEND_NAMES = (
+    "sequential",
+    "cots-sim",
+    "native-threads",
+    "mp-shm",
+    "mp-pickle",
+    "mp-one-table",
+    "sketch-cm",
+    "sketch-cm-vec",
+    "sketch-cs-vec",
+)
+
+#: names whose summaries carry merge semantics (absence of a light
+#: element is allowed within the merged error bound)
+MERGED_BACKENDS = ("cots-sim", "native-threads", "mp-shm", "mp-pickle")
+
+#: names whose summaries are sketch reads (estimates upper-bound truth
+#: under a widened eps*N bound; recall is delegated to a candidate set)
+SKETCH_BACKENDS = ("mp-one-table", "sketch-cm", "sketch-cm-vec",
+                   "sketch-cs-vec")
+
+
+def create_backend(
+    name: str,
+    *,
+    capacity: int = 256,
+    threads: int = 4,
+    workers: int = 2,
+    chunk_elements: int = 32_768,
+    timeout: float = 60.0,
+    epsilon: float = 0.001,
+    delta: float = 0.01,
+    seed: Optional[int] = 0,
+    metrics=None,
+) -> Backend:
+    """Build a started backend by registry name.
+
+    ``capacity`` budgets the counter/candidate set everywhere;
+    ``threads`` drives the simulated and native-thread engines;
+    ``workers``/``chunk_elements``/``timeout`` the multiprocess pools;
+    ``epsilon``/``delta``/``seed`` the sketch tables.  Unknown names
+    raise :class:`~repro.errors.ConfigurationError` listing the
+    registry.
+    """
+    if name == "sequential":
+        return SequentialBackend(capacity=capacity, metrics=metrics)
+    if name == "cots-sim":
+        return CotsSimBackend(
+            capacity=capacity, threads=threads, metrics=metrics
+        )
+    if name == "native-threads":
+        return NativeThreadsBackend(
+            capacity=capacity, threads=threads, metrics=metrics
+        )
+    if name in ("mp-shm", "mp-pickle", "mp-one-table"):
+        from repro.mp.config import MPConfig
+
+        config = MPConfig(
+            workers=workers,
+            capacity=capacity,
+            chunk_elements=chunk_elements,
+            timeout=timeout,
+            transport="pickle" if name == "mp-pickle" else "shm",
+            mode="one_table" if name == "mp-one-table" else "sharded",
+            sketch_epsilon=epsilon,
+            sketch_delta=delta,
+            sketch_seed=seed,
+        )
+        return MPBackend(config, name=name, metrics=metrics)
+    if name == "sketch-cm":
+        return SketchCMBackend(
+            capacity=capacity, epsilon=epsilon, delta=delta, seed=seed,
+            metrics=metrics,
+        )
+    if name == "sketch-cm-vec":
+        return SketchCMVecBackend(
+            capacity=capacity, epsilon=epsilon, delta=delta, seed=seed,
+            metrics=metrics,
+        )
+    if name == "sketch-cs-vec":
+        return SketchCSVecBackend(
+            capacity=capacity, seed=seed, metrics=metrics
+        )
+    raise ConfigurationError(
+        f"unknown backend {name!r}; registered: {list(BACKEND_NAMES)}"
+    )

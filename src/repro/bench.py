@@ -66,7 +66,7 @@ from repro.obs.registry import MetricsRegistry, merge_snapshots
 SCHEMA_VERSION = 1
 
 #: suites runnable by ``run_suite`` and their default report files
-SUITES = ("core", "mp", "scenarios")
+SUITES = ("core", "mp", "scenarios", "sketch")
 
 #: pinned workload parameters per scale preset
 SCALES: Dict[str, Dict[str, int | float]] = {
@@ -202,11 +202,73 @@ SCENARIO_SCALES: Dict[str, Dict[str, Any]] = {
     },
 }
 
+#: pinned parameters of the ``sketch`` ladder per scale preset.  The
+#: ladder climbs the PR 8 perf story: scalar Count-Min per element →
+#: Counter pre-aggregation → the vectorized NumPy kernel (gated ≥ 3×
+#: over per-element, tables bit-identical) → the one-table mp mode at
+#: 1/2/4/8 workers, where the zero-merge snapshot read is gated at
+#: ≤ 10% of the sharded pool's snapshot+merge path and every rung must
+#: be bound-compliant (no estimate below truth, widened ε·N respected).
+#: ``alpha`` matches the mp suite's 1.1 for the same load-balance
+#: reason (hash routing sends all of one element's traffic to one
+#: band's home worker).
+SKETCH_SCALES: Dict[str, Dict[str, Any]] = {
+    "tiny": {
+        "length": 60_000,
+        "alphabet": 4_000,
+        "alpha": 1.1,
+        "capacity": 128,
+        "chunk_elements": 8_192,
+        "workers": [1, 2],
+        "epsilon": 0.005,
+        "delta": 0.05,
+        "sketch_seed": 13,
+        "cs_width": 2_048,
+        "cs_depth": 5,
+        "seed": 7,
+        "repeats": 1,
+        "timeout": 120.0,
+    },
+    "default": {
+        "length": 1_000_000,
+        "alphabet": 50_000,
+        "alpha": 1.1,
+        "capacity": 256,
+        "chunk_elements": 65_536,
+        "workers": [1, 2, 4, 8],
+        "epsilon": 0.001,
+        "delta": 0.01,
+        "sketch_seed": 13,
+        "cs_width": 8_192,
+        "cs_depth": 5,
+        "seed": 7,
+        "repeats": 2,
+        "timeout": 300.0,
+    },
+    "large": {
+        "length": 4_000_000,
+        "alphabet": 200_000,
+        "alpha": 1.1,
+        "capacity": 1_024,
+        "chunk_elements": 262_144,
+        "workers": [1, 2, 4, 8],
+        "epsilon": 0.0005,
+        "delta": 0.01,
+        "sketch_seed": 13,
+        "cs_width": 16_384,
+        "cs_depth": 5,
+        "seed": 7,
+        "repeats": 2,
+        "timeout": 600.0,
+    },
+}
+
 # ``--scale smoke`` is the documented CI spelling for the scenarios
 # suite; alias it on the other suites so the flag means "smallest rung"
-# everywhere instead of failing on two of the three suites.
+# everywhere instead of failing on the other suites.
 SCALES["smoke"] = SCALES["tiny"]
 MP_SCALES["smoke"] = MP_SCALES["tiny"]
+SKETCH_SCALES["smoke"] = SKETCH_SCALES["tiny"]
 
 
 def _peak_rss_kb() -> int:
@@ -560,6 +622,244 @@ def _bench_scenarios(params: Dict[str, Any]) -> List[Dict[str, Any]]:
     return entries
 
 
+def _bench_sketch(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The sketch ladder: scalar → pre-agg → vectorized → one-table mp.
+
+    The first three rungs are the kernel story (same seed, tables must
+    stay bit-identical so the speedup is a pure implementation win);
+    the mp rungs compare the one-table mode's zero-merge snapshot read
+    against the sharded pool's snapshot+merge path at matched worker
+    counts, with per-rung bound-compliance checked against exact ground
+    truth (an underestimating Count-Min table is a correctness bug, not
+    a perf trade).
+    """
+    import numpy as np
+
+    from repro.backend.adapters import SketchCMVecBackend
+    from repro.core.sketches.count_min import CountMinSketch
+    from repro.core.sketches.count_sketch import CountSketch
+    from repro.mp.config import MPConfig
+    from repro.mp.one_table import OneTablePool
+    from repro.mp.pool import ShardedProcessPool
+    from repro.schedcheck.auditor import exact_counts
+    from repro.workloads.zipf import zipf_stream
+
+    stream = zipf_stream(
+        int(params["length"]),
+        int(params["alphabet"]),
+        float(params["alpha"]),
+        seed=int(params["seed"]),
+    )
+    length = len(stream)
+    capacity = int(params["capacity"])
+    chunk = int(params["chunk_elements"])
+    epsilon = float(params["epsilon"])
+    delta = float(params["delta"])
+    sketch_seed = int(params["sketch_seed"])
+    repeats = int(params["repeats"])
+    timeout = float(params["timeout"])
+    entries: List[Dict[str, Any]] = []
+
+    scalar_holder: Dict[str, Any] = {}
+
+    def run_scalar_per_element() -> None:
+        sketch = CountMinSketch(
+            epsilon=epsilon, delta=delta, seed=sketch_seed
+        )
+        update = sketch.update
+        for element in stream:
+            update(element, 1)
+        scalar_holder["sketch"] = sketch
+
+    preagg_holder: Dict[str, Any] = {}
+
+    def run_scalar_preagg() -> None:
+        sketch = CountMinSketch(
+            epsilon=epsilon, delta=delta, seed=sketch_seed
+        )
+        sketch.process_many(stream)
+        preagg_holder["sketch"] = sketch
+
+    vec_holder: Dict[str, Any] = {}
+
+    def run_vectorized() -> None:
+        registry = MetricsRegistry()
+        backend = SketchCMVecBackend(
+            capacity=capacity, epsilon=epsilon, delta=delta,
+            seed=sketch_seed, metrics=registry,
+        )
+        try:
+            for index in range(0, length, chunk):
+                backend.ingest(stream[index:index + chunk])
+            backend.snapshot()  # populates the occupancy gauge
+            vec_holder["sketch"] = backend._sketch
+            vec_holder["metrics"] = registry.snapshot()
+        finally:
+            backend.close()
+
+    scalar_secs = _best_of(repeats, run_scalar_per_element)
+    preagg_secs = _best_of(repeats, run_scalar_preagg)
+    vec_secs = _best_of(repeats, run_vectorized)
+    scalar_table = scalar_holder["sketch"].table
+    identical_preagg = bool(
+        np.array_equal(scalar_table, preagg_holder["sketch"].table)
+    )
+    identical_vec = bool(
+        np.array_equal(scalar_table, vec_holder["sketch"].table)
+    )
+    entries.extend(
+        [
+            {
+                "name": "sketch-cm-scalar-per-element",
+                "kind": "wallclock",
+                "elements": length,
+                "wall_seconds": scalar_secs,
+                "throughput_eps": length / scalar_secs,
+                "peak_rss_kb": _peak_rss_kb(),
+                "metrics": {},
+            },
+            {
+                "name": "sketch-cm-scalar-preagg",
+                "kind": "wallclock",
+                "elements": length,
+                "wall_seconds": preagg_secs,
+                "throughput_eps": length / preagg_secs,
+                "speedup_vs_per_element": scalar_secs / preagg_secs,
+                "identical_results": identical_preagg,
+                "peak_rss_kb": _peak_rss_kb(),
+                "metrics": {},
+            },
+            {
+                "name": "sketch-cm-vectorized",
+                "kind": "wallclock",
+                "elements": length,
+                "wall_seconds": vec_secs,
+                "throughput_eps": length / vec_secs,
+                "speedup_vs_per_element": scalar_secs / vec_secs,
+                "identical_results": identical_vec,
+                "peak_rss_kb": _peak_rss_kb(),
+                "metrics": vec_holder["metrics"],
+            },
+        ]
+    )
+
+    cs_holder: Dict[str, Any] = {}
+
+    def run_count_sketch() -> None:
+        sketch = CountSketch(
+            width=int(params["cs_width"]),
+            depth=int(params["cs_depth"]),
+            seed=sketch_seed,
+        )
+        for index in range(0, length, chunk):
+            codes, weights = sketch.codec.encode_chunk(
+                stream[index:index + chunk]
+            )
+            sketch.process_weighted(codes, weights)
+        cs_holder["sketch"] = sketch
+
+    cs_secs = _best_of(repeats, run_count_sketch)
+    entries.append(
+        {
+            "name": "sketch-countsketch-vectorized",
+            "kind": "wallclock",
+            "elements": length,
+            "wall_seconds": cs_secs,
+            "throughput_eps": length / cs_secs,
+            "peak_rss_kb": _peak_rss_kb(),
+            "metrics": {},
+        }
+    )
+
+    truth = exact_counts(stream)
+    for workers in params["workers"]:
+        workers = int(workers)
+        with ShardedProcessPool(
+            MPConfig(
+                workers=workers,
+                capacity=capacity,
+                chunk_elements=chunk,
+                timeout=timeout,
+            )
+        ) as pool:
+            count_started = time.perf_counter()
+            pool.count(stream)
+            pool.merged()  # quiesce + warm the snapshot path
+            sharded_count_secs = time.perf_counter() - count_started
+            sharded_merge_secs = _best_of(
+                repeats, lambda pool=pool: pool.merged()
+            )
+        registry = MetricsRegistry()
+        with OneTablePool(
+            MPConfig(
+                workers=workers,
+                capacity=capacity,
+                chunk_elements=chunk,
+                timeout=timeout,
+                mode="one_table",
+                sketch_epsilon=epsilon,
+                sketch_delta=delta,
+                sketch_seed=sketch_seed,
+            ),
+            metrics=registry,
+        ) as pool:
+            count_started = time.perf_counter()
+            pool.count(stream)
+            merged = pool.merged()  # flush + strict read
+            count_secs = time.perf_counter() - count_started
+            # ingest is quiescent now: the zero-merge top-k read is the
+            # mode's headline quantity (sharded must merge all shards to
+            # answer the same query); the full-summary peek is secondary
+            pool.top_k(10, strict=True)  # warm, like merged() above
+            snapshot_secs = _best_of(
+                repeats, lambda pool=pool: pool.top_k(10, strict=True)
+            )
+            peek_secs = _best_of(
+                repeats, lambda pool=pool: pool.peek(strict=True)
+            )
+            band_bound = int(pool.band_bounds().max(initial=0))
+        max_under = 0
+        max_over = 0
+        violations = 0
+        for entry in merged.entries():
+            true_count = truth.get(entry.element, 0)
+            over = entry.count - true_count
+            max_over = max(max_over, over)
+            max_under = max(max_under, -over)
+            if entry.count < true_count:
+                violations += 1
+            if entry.count - entry.error > true_count:
+                violations += 1
+            if over > entry.error:
+                violations += 1
+        entries.append(
+            {
+                "name": f"sketch-one-table-w{workers}",
+                "kind": "sketch-mp",
+                "workers": workers,
+                "elements": length,
+                "wall_seconds": count_secs,
+                "throughput_eps": length / count_secs,
+                "snapshot_seconds": snapshot_secs,
+                "peek_seconds": peek_secs,
+                "sharded_wall_seconds": sharded_count_secs,
+                "sharded_merge_seconds": sharded_merge_secs,
+                "snapshot_ratio_vs_sharded": (
+                    snapshot_secs / sharded_merge_secs
+                    if sharded_merge_secs > 0
+                    else 0.0
+                ),
+                "max_band_bound": band_bound,
+                "max_overestimate": max_over,
+                "max_underestimate": max_under,
+                "bound_compliant": violations == 0,
+                "peak_rss_kb": _peak_rss_kb(),
+                "metrics": registry.snapshot(),
+            }
+        )
+    return entries
+
+
 def default_output(suite: str) -> pathlib.Path:
     """The conventional report file for ``suite`` (BENCH_<suite>.json)."""
     return pathlib.Path(f"BENCH_{suite}.json")
@@ -572,7 +872,10 @@ def run_suite(scale: str = "tiny", suite: str = "core") -> Dict[str, Any]:
             f"suite must be one of {sorted(SUITES)}, got {suite!r}"
         )
     scales = {
-        "core": SCALES, "mp": MP_SCALES, "scenarios": SCENARIO_SCALES,
+        "core": SCALES,
+        "mp": MP_SCALES,
+        "scenarios": SCENARIO_SCALES,
+        "sketch": SKETCH_SCALES,
     }[suite]
     if scale not in scales:
         raise ConfigurationError(
@@ -585,6 +888,8 @@ def run_suite(scale: str = "tiny", suite: str = "core") -> Dict[str, Any]:
         results.extend(_bench_simulated(params))
     elif suite == "scenarios":
         results.extend(_bench_scenarios(params))
+    elif suite == "sketch":
+        results.extend(_bench_sketch(params))
     else:
         results.extend(_bench_mp(params))
     report = {
@@ -597,7 +902,7 @@ def run_suite(scale: str = "tiny", suite: str = "core") -> Dict[str, Any]:
         "params": params,
         "results": results,
     }
-    if suite == "mp":
+    if suite in ("mp", "sketch"):
         # Real-parallelism numbers depend on the silicon: record it so
         # the speedup column is interpretable (a 1-core host cannot
         # show wall-clock scaling no matter what the code does).
@@ -643,6 +948,14 @@ def format_report(report: Dict[str, Any]) -> str:
                 f"  {entry['throughput_eps'] / 1e6:8.2f} M el/s (wall)"
                 f"  x{entry['speedup_vs_sequential']:.2f} vs sequential"
                 f"  equivalent={entry['equivalent']}"
+            )
+        elif entry["kind"] == "sketch-mp":
+            line = (
+                f"  {entry['name']:32s} {entry['wall_seconds'] * 1e3:10.1f} ms"
+                f"  snapshot={entry['snapshot_seconds'] * 1e3:.2f} ms"
+                f" ({entry['snapshot_ratio_vs_sharded'] * 100:.1f}% of "
+                f"sharded merge)"
+                f"  bound_compliant={entry['bound_compliant']}"
             )
         else:
             line = (

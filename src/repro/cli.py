@@ -200,11 +200,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=("core", "mp", "scenarios"),
+        choices=("core", "mp", "scenarios", "sketch"),
         default="core",
         help="core: hot path + simulated schemes; mp: the multiprocess "
         "sharded backend scaling curve; scenarios: the accuracy matrix "
-        "of every scenario on every backend (default: core)",
+        "of every scenario on every backend; sketch: the scalar vs "
+        "vectorized vs one-table Count-Min ladder (default: core)",
     )
     bench.add_argument(
         "--scale",
@@ -304,9 +305,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument(
         "--backend",
-        choices=("sequential", "cots", "mp-shm", "mp-pickle"),
+        choices=("sequential", "cots", "mp-shm", "mp-pickle",
+                 "mp-one-table", "sketch-cm-vec"),
         default="sequential",
-        help="counting backend under test (default: sequential)",
+        help="counting backend under test; sketch backends are scored "
+        "on Count-Min overestimate bounds (default: sequential)",
     )
     scenarios.add_argument("--length", type=int, default=20_000)
     scenarios.add_argument("--alphabet", type=int, default=2_000)

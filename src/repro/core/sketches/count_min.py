@@ -9,22 +9,59 @@ An optional *conservative update* mode only raises the cells that equal
 the current minimum, tightening estimates at the same memory.
 A small candidate heap turns the sketch into a frequent-elements /
 top-k answerer so it satisfies the package-wide counter protocol.
+
+Two perf-relevant design points (PR 8):
+
+* The table is a NumPy ``(depth, width)`` ``int64`` array and elements
+  are hashed via their :class:`~repro.core.coding.StreamCodec` *codes*,
+  never via builtin ``hash()`` — str/bytes hashing is salted by
+  ``PYTHONHASHSEED``, so the old tables were not reproducible across
+  processes.  Codes are stable (pure function of key arrival order).
+* :meth:`CountMinSketch.process_weighted` is the vectorized lane: one
+  :func:`~repro.core.sketches.kernels.row_hashes` pass computes every
+  row's cells for a whole pre-aggregated ``(codes, weights)`` chunk and
+  lands them with ``np.add.at`` (plain mode, commutative hence exactly
+  the scalar result) or collision-free grouped scatter-max
+  (conservative mode, bit-exact vs the sequential loop by
+  construction).  The scalar :meth:`update` path is kept untouched as
+  the differential reference.
+
+The mergeable-summary algebra (:meth:`merge` / :meth:`serialize` /
+:meth:`widen`) makes the sketch a first-class citizen of the
+``repro.backend`` protocol: same-shape tables add cell-wise, error
+bounds widen monotonically, and serialization round-trips bit-exactly.
 """
 
 from __future__ import annotations
 
+import collections
 import math
 import random
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
+import numpy as np
+
+from repro.core.coding import SENTINEL_CODE, StreamCodec
 from repro.core.counters import CounterEntry, Element
+from repro.core.sketches.kernels import (
+    MERSENNE_PRIME,
+    collision_free_groups,
+    row_hashes,
+)
 from repro.errors import ConfigurationError
 
-_MERSENNE_PRIME = (1 << 61) - 1
+_MERSENNE_PRIME = MERSENNE_PRIME
+_MASK61 = (1 << 61) - 1
 
 
 class _UniversalHash:
-    """A 2-universal hash ``h(x) = ((a*x + b) mod p) mod width``."""
+    """A 2-universal hash ``h(x) = ((a*x + b) mod p) mod width``.
+
+    Hashes an ``int64`` *code* (see :class:`~repro.core.coding.
+    StreamCodec`), never a Python object — builtin ``hash()`` of
+    str/bytes depends on ``PYTHONHASHSEED`` and made sketch tables
+    unreproducible across processes.
+    """
 
     __slots__ = ("a", "b", "width")
 
@@ -33,8 +70,8 @@ class _UniversalHash:
         self.b = rng.randrange(0, _MERSENNE_PRIME)
         self.width = width
 
-    def __call__(self, element: Element) -> int:
-        x = hash(element) & ((1 << 61) - 1)
+    def __call__(self, code: int) -> int:
+        x = code & _MASK61
         return ((self.a * x + self.b) % _MERSENNE_PRIME) % self.width
 
 
@@ -59,15 +96,21 @@ class CountMinSketch:
             )
         self.epsilon = epsilon
         self.delta = delta
+        self.seed = seed
         self.width = math.ceil(math.e / epsilon)
         self.depth = max(1, math.ceil(math.log(1.0 / delta)))
         self.conservative = conservative
         rng = random.Random(seed)
         self._hashes = [_UniversalHash(rng, self.width) for _ in range(self.depth)]
-        self._rows = [[0] * self.width for _ in range(self.depth)]
+        # vectorized copies of the per-row hash parameters
+        self._va = np.array([h.a for h in self._hashes], dtype=np.uint64)
+        self._vb = np.array([h.b for h in self._hashes], dtype=np.uint64)
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
         self._processed = 0
+        self._slack = 0
         self._track = track_candidates
         self._candidates: Dict[Element, int] = {}
+        self.codec = StreamCodec()
 
     # ------------------------------------------------------------------
     # Updates
@@ -77,29 +120,88 @@ class CountMinSketch:
         self.update(element, 1)
 
     def update(self, element: Element, count: int) -> None:
-        """Add ``count`` occurrences of ``element``."""
+        """Add ``count`` occurrences of ``element`` (scalar reference path)."""
         if count < 1:
             raise ConfigurationError(f"count must be >= 1, got {count}")
-        cells = [h(element) for h in self._hashes]
-        if self.conservative:
-            current = min(
-                self._rows[row][cell] for row, cell in enumerate(cells)
-            )
-            target = current + count
-            for row, cell in enumerate(cells):
-                if self._rows[row][cell] < target:
-                    self._rows[row][cell] = target
-        else:
-            for row, cell in enumerate(cells):
-                self._rows[row][cell] += count
-        self._processed += count
+        code = self.codec.encode_one(element)
+        self.update_code(code, count)
         if self._track:
             self._note_candidate(element)
 
+    def update_code(self, code: int, count: int) -> None:
+        """Scalar update addressed by codec code (no candidate tracking)."""
+        table = self._table
+        cells = [h(code) for h in self._hashes]
+        if self.conservative:
+            target = min(
+                int(table[row, cell]) for row, cell in enumerate(cells)
+            ) + count
+            for row, cell in enumerate(cells):
+                if table[row, cell] < target:
+                    table[row, cell] = target
+        else:
+            for row, cell in enumerate(cells):
+                table[row, cell] += count
+        self._processed += count
+
     def process_many(self, elements: Iterable[Element]) -> None:
-        """Consume every element of an iterable."""
-        for element in elements:
-            self.process(element)
+        """Consume a whole iterable, one ``update`` per *distinct* element.
+
+        Pre-aggregation (PR 1's fast lane, here via one ``Counter``
+        pass) is equivalent to consuming the stream with equal elements
+        grouped together: for a single element, ``update(e, k)`` equals
+        ``k`` consecutive ``update(e, 1)`` calls in both plain and
+        conservative modes, so only the interleaving *between* distinct
+        elements is reordered — the same latitude
+        ``SpaceSaving.process_many`` documents.
+        """
+        for element, count in collections.Counter(elements).items():
+            self.update(element, count)
+
+    def process_weighted(
+        self, codes: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Vectorized lane: add a pre-aggregated ``(codes, weights)`` chunk.
+
+        ``codes`` must come from :attr:`codec` (``encode_chunk`` /
+        ``encode_one``) or be identity-coded ints — codes from a foreign
+        codec would land non-integer keys in the wrong cells.  Candidate
+        tracking is *not* performed here (the lane never sees keys);
+        backends pair the sketch with a candidate tracker instead.
+
+        Plain mode uses ``np.add.at`` per row — unbuffered scatter-add
+        is commutative, so the table is *bit-identical* to the scalar
+        path.  Conservative mode walks collision-free groups in order;
+        within a group the gather-min/scatter-max two-phase update is
+        exactly the sequential per-element result.
+        """
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        weights = np.ascontiguousarray(weights, dtype=np.int64)
+        if codes.shape != weights.shape or codes.ndim != 1:
+            raise ConfigurationError(
+                "codes and weights must be aligned 1-d arrays, got "
+                f"{codes.shape} vs {weights.shape}"
+            )
+        if not len(codes):
+            return
+        if weights.min() < 1:
+            raise ConfigurationError("weights must all be >= 1")
+        table = self._table
+        cells = row_hashes(codes, self._va, self._vb, self.width)
+        if self.conservative:
+            for start, stop in collision_free_groups(cells):
+                sub = cells[:, start:stop]
+                readings = np.take_along_axis(table, sub, axis=1)
+                targets = readings.min(axis=0) + weights[start:stop]
+                # no intra-group duplicates per row, so fancy-index
+                # assignment is well-defined
+                np.put_along_axis(
+                    table, sub, np.maximum(readings, targets), axis=1
+                )
+        else:
+            for row in range(self.depth):
+                np.add.at(table[row], cells[row], weights)
+        self._processed += int(weights.sum())
 
     def _note_candidate(self, element: Element) -> None:
         estimate = self.estimate(element)
@@ -117,11 +219,34 @@ class CountMinSketch:
         """Total count added to the sketch."""
         return self._processed
 
+    @property
+    def table(self) -> np.ndarray:
+        """Read-only view of the ``(depth, width)`` counter table."""
+        view = self._table.view()
+        view.flags.writeable = False
+        return view
+
     def estimate(self, element: Element) -> int:
         """Point estimate: row-wise minimum (overcounts by <= eps*N whp)."""
+        code = self.codec.peek(element)
+        if code is None:
+            code = SENTINEL_CODE
+        return self.estimate_code(code)
+
+    def estimate_code(self, code: int) -> int:
+        """Point estimate addressed by codec code."""
+        table = self._table
         return min(
-            self._rows[row][h(element)] for row, h in enumerate(self._hashes)
+            int(table[row, h(code)]) for row, h in enumerate(self._hashes)
         )
+
+    def error_bound(self) -> int:
+        """Additive overcount bound: ``ceil(eps * N)`` plus any widening.
+
+        Holds per element with probability ``1 - delta``; :meth:`widen`
+        (merge staleness, one-table band sharing) only ever grows it.
+        """
+        return math.ceil(self.epsilon * self._processed) + self._slack
 
     def entries(self) -> List[CounterEntry]:
         """Tracked candidates sorted by descending estimate.
@@ -147,3 +272,123 @@ class CountMinSketch:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         return self.entries()[:k]
+
+    # ------------------------------------------------------------------
+    # Mergeable-summary algebra
+    # ------------------------------------------------------------------
+    def widen(self, slack: int) -> None:
+        """Grow the reported error bound by ``slack`` (never shrinks).
+
+        Used by the one-table backend for unsynchronized band sharing
+        and by bounded-staleness snapshots: the table itself is
+        untouched, only the advertised +/- interval widens.
+        """
+        if slack < 0:
+            raise ConfigurationError(f"slack must be >= 0, got {slack}")
+        self._slack += slack
+
+    def compatible_with(self, other: "CountMinSketch") -> bool:
+        """True when ``other``'s table is cell-addressable like ours."""
+        return (
+            self.width == other.width
+            and self.depth == other.depth
+            and all(
+                (mine.a, mine.b) == (theirs.a, theirs.b)
+                for mine, theirs in zip(self._hashes, other._hashes)
+            )
+            and self.codec.aligned_with(other.codec)
+        )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Pure merge: a new sketch summarizing both input streams.
+
+        Tables add cell-wise, so for every element the merged estimate
+        dominates each part's estimate and never drops below the true
+        combined count.  Requires identical shape and hash parameters
+        *and* aligned codecs (one vocabulary a prefix of the other —
+        guaranteed when both sketches coded the same key arrival order,
+        e.g. codes fanned out from one parent codec); merging sketches
+        that coded different non-integer streams independently would
+        place the same key in different cells and silently undercount.
+        """
+        if not self.compatible_with(other):
+            raise ConfigurationError(
+                "cannot merge incompatible sketches: shapes, hash "
+                "parameters, and codec vocabularies must align"
+            )
+        merged = CountMinSketch(
+            epsilon=self.epsilon,
+            delta=self.delta,
+            conservative=self.conservative and other.conservative,
+            track_candidates=max(self._track, other._track),
+            seed=self.seed,
+        )
+        merged._table = self._table + other._table
+        merged._processed = self._processed + other._processed
+        merged._slack = self._slack + other._slack
+        merged.codec = (
+            self.codec if self.codec.vocab_size >= other.codec.vocab_size
+            else other.codec
+        ).clone()
+        for element in {**other._candidates, **self._candidates}:
+            merged._candidates[element] = merged.estimate(element)
+        if merged._track:
+            while len(merged._candidates) > merged._track:
+                weakest = min(
+                    merged._candidates,
+                    key=lambda e: (merged._candidates[e], repr(e)),
+                )
+                del merged._candidates[weakest]
+        return merged
+
+    def serialize(self) -> Dict[str, Any]:
+        """Plain-dict summary that :meth:`deserialize` restores bit-exactly.
+
+        Values are stdlib/NumPy-free (lists of ints) so the document is
+        JSON- and pickle-friendly; the vocabulary rides along as-is, so
+        cross-process transport needs picklable keys (always true for
+        the str/int/tuple keys the workloads produce).
+        """
+        return {
+            "kind": "count-min",
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "conservative": self.conservative,
+            "track_candidates": self._track,
+            "seed": self.seed,
+            "a": [h.a for h in self._hashes],
+            "b": [h.b for h in self._hashes],
+            "table": self._table.ravel().tolist(),
+            "processed": self._processed,
+            "slack": self._slack,
+            "vocab": list(self.codec._rev),
+            "candidates": dict(self._candidates),
+        }
+
+    @classmethod
+    def deserialize(cls, doc: Dict[str, Any]) -> "CountMinSketch":
+        """Inverse of :meth:`serialize` (bit-exact round-trip)."""
+        if doc.get("kind") != "count-min":
+            raise ConfigurationError(
+                f"not a count-min summary: kind={doc.get('kind')!r}"
+            )
+        sketch = cls(
+            epsilon=doc["epsilon"],
+            delta=doc["delta"],
+            conservative=doc["conservative"],
+            track_candidates=doc["track_candidates"],
+            seed=doc["seed"],
+        )
+        for hash_, a, b in zip(sketch._hashes, doc["a"], doc["b"]):
+            hash_.a, hash_.b = a, b
+        sketch._va = np.array(doc["a"], dtype=np.uint64)
+        sketch._vb = np.array(doc["b"], dtype=np.uint64)
+        sketch._table = np.array(doc["table"], dtype=np.int64).reshape(
+            sketch.depth, sketch.width
+        )
+        sketch._processed = doc["processed"]
+        sketch._slack = doc["slack"]
+        for key in doc["vocab"]:
+            sketch.codec.encode_one(key)
+        sketch._candidates = dict(doc["candidates"])
+        return sketch

@@ -4,18 +4,31 @@ Like Count-Min but each row also hashes the element to a sign in
 {-1, +1}; the estimate is the *median* of the signed row readings, which
 is unbiased and has error bounded by the stream's L2 norm rather than L1.
 Cited as [3] in the paper's related work.
+
+Shares Count-Min's PR 8 machinery: NumPy ``(depth, width)`` table,
+codec-code hashing (stable across processes), a vectorized
+``process_weighted`` lane (signed ``np.add.at`` is commutative, so it is
+bit-identical to the scalar path), and the serialize/merge algebra
+(signed tables add cell-wise — unbiasedness is preserved, though the
+Count-Min dominance property does not apply to signed estimates).
 """
 
 from __future__ import annotations
 
+import collections
 import math
 import random
 import statistics
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
+import numpy as np
+
+from repro.core.coding import SENTINEL_CODE, StreamCodec
 from repro.core.counters import CounterEntry, Element
-from repro.errors import ConfigurationError
 from repro.core.sketches.count_min import _UniversalHash
+from repro.core.sketches.kernels import row_hashes, sign_from_bits
+from repro.errors import ConfigurationError
+
 
 class CountSketch:
     """Median-of-signed-counters sketch with optional candidate tracking."""
@@ -37,13 +50,19 @@ class CountSketch:
             )
         self.width = width
         self.depth = depth
+        self.seed = seed
         rng = random.Random(seed)
         self._bucket_hashes = [_UniversalHash(rng, width) for _ in range(depth)]
         self._sign_hashes = [_UniversalHash(rng, 2) for _ in range(depth)]
-        self._rows = [[0] * width for _ in range(depth)]
+        self._ba = np.array([h.a for h in self._bucket_hashes], dtype=np.uint64)
+        self._bb = np.array([h.b for h in self._bucket_hashes], dtype=np.uint64)
+        self._sa = np.array([h.a for h in self._sign_hashes], dtype=np.uint64)
+        self._sb = np.array([h.b for h in self._sign_hashes], dtype=np.uint64)
+        self._table = np.zeros((depth, width), dtype=np.int64)
         self._processed = 0
         self._track = track_candidates
         self._candidates: Dict[Element, int] = {}
+        self.codec = StreamCodec()
 
     @staticmethod
     def for_error(epsilon: float, delta: float = 0.01, **kwargs) -> "CountSketch":
@@ -64,21 +83,57 @@ class CountSketch:
         self.update(element, 1)
 
     def update(self, element: Element, count: int) -> None:
-        """Add ``count`` occurrences of ``element``."""
+        """Add ``count`` occurrences of ``element`` (scalar reference path)."""
         if count < 1:
             raise ConfigurationError(f"count must be >= 1, got {count}")
+        code = self.codec.encode_one(element)
+        table = self._table
         for row in range(self.depth):
-            cell = self._bucket_hashes[row](element)
-            sign = 1 if self._sign_hashes[row](element) else -1
-            self._rows[row][cell] += sign * count
+            cell = self._bucket_hashes[row](code)
+            sign = 1 if self._sign_hashes[row](code) else -1
+            table[row, cell] += sign * count
         self._processed += count
         if self._track:
             self._note_candidate(element)
 
     def process_many(self, elements: Iterable[Element]) -> None:
-        """Consume every element of an iterable."""
-        for element in elements:
-            self.process(element)
+        """Consume a whole iterable, one ``update`` per *distinct* element.
+
+        Signed additions commute, so the pre-aggregated table is
+        identical to the per-element loop's; only candidate noting
+        order changes (the same latitude ``process_many`` documents
+        package-wide).
+        """
+        for element, count in collections.Counter(elements).items():
+            self.update(element, count)
+
+    def process_weighted(
+        self, codes: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Vectorized lane: add a pre-aggregated ``(codes, weights)`` chunk.
+
+        ``codes`` must come from :attr:`codec` (or be identity-coded
+        ints).  Signed scatter-adds commute, so the resulting table is
+        *bit-identical* to the scalar path for any ordering.  Candidate
+        tracking is not performed here (the lane never sees keys).
+        """
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        weights = np.ascontiguousarray(weights, dtype=np.int64)
+        if codes.shape != weights.shape or codes.ndim != 1:
+            raise ConfigurationError(
+                "codes and weights must be aligned 1-d arrays, got "
+                f"{codes.shape} vs {weights.shape}"
+            )
+        if not len(codes):
+            return
+        if weights.min() < 1:
+            raise ConfigurationError("weights must all be >= 1")
+        table = self._table
+        cells = row_hashes(codes, self._ba, self._bb, self.width)
+        signs = sign_from_bits(row_hashes(codes, self._sa, self._sb, 2))
+        for row in range(self.depth):
+            np.add.at(table[row], cells[row], signs[row] * weights)
+        self._processed += int(weights.sum())
 
     def _note_candidate(self, element: Element) -> None:
         candidates = self._candidates
@@ -95,13 +150,28 @@ class CountSketch:
         """Total count added to the sketch."""
         return self._processed
 
+    @property
+    def table(self) -> np.ndarray:
+        """Read-only view of the ``(depth, width)`` counter table."""
+        view = self._table.view()
+        view.flags.writeable = False
+        return view
+
     def estimate(self, element: Element) -> int:
         """Unbiased median estimate (may be negative; clamped at 0)."""
+        code = self.codec.peek(element)
+        if code is None:
+            code = SENTINEL_CODE
+        return self.estimate_code(code)
+
+    def estimate_code(self, code: int) -> int:
+        """Median estimate addressed by codec code."""
+        table = self._table
         readings = []
         for row in range(self.depth):
-            cell = self._bucket_hashes[row](element)
-            sign = 1 if self._sign_hashes[row](element) else -1
-            readings.append(sign * self._rows[row][cell])
+            cell = self._bucket_hashes[row](code)
+            sign = 1 if self._sign_hashes[row](code) else -1
+            readings.append(sign * int(table[row, cell]))
         return max(0, round(statistics.median(readings)))
 
     def entries(self) -> List[CounterEntry]:
@@ -123,3 +193,101 @@ class CountSketch:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         return self.entries()[:k]
+
+    # ------------------------------------------------------------------
+    # Mergeable-summary algebra
+    # ------------------------------------------------------------------
+    def compatible_with(self, other: "CountSketch") -> bool:
+        """True when ``other``'s table is cell-addressable like ours."""
+        return (
+            self.width == other.width
+            and self.depth == other.depth
+            and all(
+                (mine.a, mine.b) == (theirs.a, theirs.b)
+                for mine, theirs in zip(
+                    self._bucket_hashes + self._sign_hashes,
+                    other._bucket_hashes + other._sign_hashes,
+                )
+            )
+            and self.codec.aligned_with(other.codec)
+        )
+
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        """Pure merge: signed tables add cell-wise (unbiasedness holds)."""
+        if not self.compatible_with(other):
+            raise ConfigurationError(
+                "cannot merge incompatible sketches: shapes, hash "
+                "parameters, and codec vocabularies must align"
+            )
+        merged = CountSketch(
+            width=self.width,
+            depth=self.depth,
+            track_candidates=max(self._track, other._track),
+            seed=self.seed,
+        )
+        merged._table = self._table + other._table
+        merged._processed = self._processed + other._processed
+        merged.codec = (
+            self.codec if self.codec.vocab_size >= other.codec.vocab_size
+            else other.codec
+        ).clone()
+        for element in {**other._candidates, **self._candidates}:
+            merged._candidates[element] = merged.estimate(element)
+        if merged._track:
+            while len(merged._candidates) > merged._track:
+                weakest = min(
+                    merged._candidates,
+                    key=lambda e: (merged._candidates[e], repr(e)),
+                )
+                del merged._candidates[weakest]
+        return merged
+
+    def serialize(self) -> Dict[str, Any]:
+        """Plain-dict summary that :meth:`deserialize` restores bit-exactly."""
+        return {
+            "kind": "count-sketch",
+            "width": self.width,
+            "depth": self.depth,
+            "track_candidates": self._track,
+            "seed": self.seed,
+            "bucket_a": [h.a for h in self._bucket_hashes],
+            "bucket_b": [h.b for h in self._bucket_hashes],
+            "sign_a": [h.a for h in self._sign_hashes],
+            "sign_b": [h.b for h in self._sign_hashes],
+            "table": self._table.ravel().tolist(),
+            "processed": self._processed,
+            "vocab": list(self.codec._rev),
+            "candidates": dict(self._candidates),
+        }
+
+    @classmethod
+    def deserialize(cls, doc: Dict[str, Any]) -> "CountSketch":
+        """Inverse of :meth:`serialize` (bit-exact round-trip)."""
+        if doc.get("kind") != "count-sketch":
+            raise ConfigurationError(
+                f"not a count-sketch summary: kind={doc.get('kind')!r}"
+            )
+        sketch = cls(
+            width=doc["width"],
+            depth=doc["depth"],
+            track_candidates=doc["track_candidates"],
+            seed=doc["seed"],
+        )
+        for hash_, a, b in zip(sketch._bucket_hashes,
+                               doc["bucket_a"], doc["bucket_b"]):
+            hash_.a, hash_.b = a, b
+        for hash_, a, b in zip(sketch._sign_hashes,
+                               doc["sign_a"], doc["sign_b"]):
+            hash_.a, hash_.b = a, b
+        sketch._ba = np.array(doc["bucket_a"], dtype=np.uint64)
+        sketch._bb = np.array(doc["bucket_b"], dtype=np.uint64)
+        sketch._sa = np.array(doc["sign_a"], dtype=np.uint64)
+        sketch._sb = np.array(doc["sign_b"], dtype=np.uint64)
+        sketch._table = np.array(doc["table"], dtype=np.int64).reshape(
+            doc["depth"], doc["width"]
+        )
+        sketch._processed = doc["processed"]
+        for key in doc["vocab"]:
+            sketch.codec.encode_one(key)
+        sketch._candidates = dict(doc["candidates"])
+        return sketch

@@ -125,10 +125,13 @@ class SpaceSaving:
             kept = sorted(
                 kept, key=lambda e: (-e.count, str(e.element), e.error)
             )[:capacity]
-        for entry in sorted(kept, key=lambda e: e.count):
-            instance.summary.insert(
-                entry.element, count=entry.count, error=entry.error
-            )
+        # ascending bulk build: each row joins the current max bucket or
+        # appends a new one, so the whole construction is O(n log n) in
+        # the sort and O(1) per row — no bucket-list walk per entry
+        instance.summary.build_ascending(
+            (entry.element, entry.count, entry.error)
+            for entry in sorted(kept, key=lambda e: e.count)
+        )
         instance._processed = processed
         return instance
 

@@ -184,18 +184,69 @@ class StreamSummary:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def insert(self, element: Element, count: int = 1, error: int = 0) -> SummaryNode:
-        """Start monitoring ``element`` with the given count and error."""
+    def insert(
+        self,
+        element: Element,
+        count: int = 1,
+        error: int = 0,
+        hint: Optional[SummaryBucket] = None,
+    ) -> SummaryNode:
+        """Start monitoring ``element`` with the given count and error.
+
+        ``hint`` must be a live bucket with frequency <= ``count`` (the
+        bucket search walks forward from it instead of from the
+        minimum).  Bulk builders inserting in ascending count order pass
+        the previous insert's bucket and get O(1) placement instead of
+        a full bucket-list walk per entry.
+        """
         if element in self._nodes:
             raise ReproError(f"element {element!r} already monitored")
         if count < 1:
             raise ReproError(f"count must be >= 1, got {count}")
         node = SummaryNode(element, error=error)
         self._nodes[element] = node
-        bucket = self._bucket_at_or_insert(count, hint=self._min)
+        bucket = self._bucket_at_or_insert(
+            count, hint=hint if hint is not None else self._min
+        )
         bucket.attach(node)
         self._total += count
         return node
+
+    def build_ascending(self, triples) -> None:
+        """Bulk-insert ``(element, count, error)`` rows pre-sorted by
+        ascending count into an **empty or lower-frequency** summary.
+
+        Every count must be >= the current maximum frequency (trivially
+        true on a fresh summary), so each row either joins the current
+        maximum bucket or appends a new one — no bucket search at all.
+        The bulk builders behind merge/snapshot paths
+        (:meth:`SpaceSaving.from_entries`) call this; ad-hoc inserts
+        should keep using :meth:`insert`.
+        """
+        bucket = self._max
+        for element, count, error in triples:
+            if element in self._nodes:
+                raise ReproError(f"element {element!r} already monitored")
+            if count < 1:
+                raise ReproError(f"count must be >= 1, got {count}")
+            if bucket is not None and count < bucket.freq:
+                raise ReproError(
+                    "build_ascending rows must be sorted by ascending "
+                    f"count (got {count} after {bucket.freq})"
+                )
+            node = SummaryNode(element, error=error)
+            self._nodes[element] = node
+            if bucket is None:
+                bucket = SummaryBucket(count)
+                self._min = self._max = bucket
+            elif count > bucket.freq:
+                following = SummaryBucket(count)
+                following.prev = bucket
+                bucket.next = following
+                self._max = following
+                bucket = following
+            bucket.attach(node)
+            self._total += count
 
     def increment(self, element: Element, by: int = 1) -> SummaryNode:
         """Raise ``element``'s count by ``by``, keeping the sort order."""

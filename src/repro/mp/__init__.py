@@ -18,11 +18,14 @@ design that QPOPSS and Cafaro et al. show actually scales on real cores.
 
 from repro.mp.config import MPConfig
 from repro.mp.driver import MPResult, run_mp, summaries_equivalent
+from repro.mp.one_table import OneTablePool, SharedCountMinTable
 from repro.mp.pool import ShardedProcessPool
 
 __all__ = [
     "MPConfig",
     "MPResult",
+    "OneTablePool",
+    "SharedCountMinTable",
     "ShardedProcessPool",
     "run_mp",
     "summaries_equivalent",

@@ -36,6 +36,17 @@ FAULTS = ("raise", "exit", "hang")
 #: pre-aggregating shm plane intentionally trades away.
 TRANSPORTS = ("shm", "pickle")
 
+#: counting modes.  ``sharded`` (default) gives every worker a private
+#: Space Saving shard merged at query time.  ``one_table`` follows the
+#: "One Table to Count Them All" design: all workers update a single
+#: shared-memory Count-Min table (each worker owns a disjoint column
+#: band, so updates are race-free without locks) and queries read the
+#: table directly — zero merge, at the cost of a widened eps*N bound
+#: (each element only enjoys its band's width).  One-table requires the
+#: shm transport (the table and the rings share the data plane) and
+#: hash partitioning (an element's home shard *is* its column band).
+MODES = ("sharded", "one_table")
+
 
 @dataclasses.dataclass
 class MPConfig:
@@ -86,6 +97,10 @@ class MPConfig:
     fault: Optional[str] = None      #: testing-only fault injection
     transport: str = "shm"           #: see :data:`TRANSPORTS`
     ring_segments: int = 2           #: shm segments per worker (2 = double buffer)
+    mode: str = "sharded"            #: see :data:`MODES`
+    sketch_epsilon: float = 0.001    #: one-table Count-Min eps (pre-widening)
+    sketch_delta: float = 0.01       #: one-table Count-Min failure probability
+    sketch_seed: Optional[int] = 0   #: one-table hash seed (shared by workers)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -131,3 +146,28 @@ class MPConfig:
             raise ConfigurationError(
                 f"ring_segments must be >= 1, got {self.ring_segments}"
             )
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if not 0 < self.sketch_epsilon < 1:
+            raise ConfigurationError(
+                f"sketch_epsilon must be in (0, 1), got {self.sketch_epsilon}"
+            )
+        if not 0 < self.sketch_delta < 1:
+            raise ConfigurationError(
+                f"sketch_delta must be in (0, 1), got {self.sketch_delta}"
+            )
+        if self.mode == "one_table":
+            if self.transport != "shm":
+                raise ConfigurationError(
+                    "mode='one_table' requires transport='shm' (the table "
+                    f"and the rings share the data plane), got "
+                    f"{self.transport!r}"
+                )
+            if self.partition_how != "hash":
+                raise ConfigurationError(
+                    "mode='one_table' requires partition_how='hash' (an "
+                    "element's home shard is its column band), got "
+                    f"{self.partition_how!r}"
+                )

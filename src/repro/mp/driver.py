@@ -77,22 +77,44 @@ def run_mp(
     :func:`repro.obs.export.write_chrome_trace`.
     """
     config = config or MPConfig()
+    one_table = config.mode == "one_table"
     started = time.perf_counter()
-    pool = ShardedProcessPool(config, metrics=metrics, tracer=tracer)
+    if one_table:
+        from repro.mp.one_table import OneTablePool
+
+        pool = OneTablePool(config, metrics=metrics, tracer=tracer)
+    else:
+        pool = ShardedProcessPool(config, metrics=metrics, tracer=tracer)
     startup = time.perf_counter() - started
-    try:
-        counting_started = time.perf_counter()
-        elements = pool.count(stream)
-        counter = pool.merged()
-        wall = time.perf_counter() - counting_started
-    finally:
-        pool.close()
     extras = {
         "partition_how": config.partition_how,
         "chunk_elements": config.chunk_elements,
         "capacity": config.capacity,
         "transport": config.transport,
+        "mode": config.mode,
     }
+    try:
+        counting_started = time.perf_counter()
+        elements = pool.count(stream)
+        counter = pool.merged()
+        wall = time.perf_counter() - counting_started
+        if one_table:
+            # ingest is quiescent after merged()'s flush; time the pure
+            # query path separately — the zero-merge read is the mode's
+            # entire reason to exist, so benches gate on it
+            query_started = time.perf_counter()
+            counter = pool.merged()
+            extras["snapshot_seconds"] = time.perf_counter() - query_started
+            extras["table"] = {
+                "depth": pool._table.depth,
+                "width": pool._table.width,
+                "band_width": pool._table.band_width,
+                "epsilon": config.sketch_epsilon,
+                "delta": config.sketch_delta,
+                "max_band_bound": int(pool.band_bounds().max(initial=0)),
+            }
+    finally:
+        pool.close()
     if metrics is not None:
         for index, items in enumerate(pool.worker_items):
             metrics.gauge(f"mp.worker.{index}.items_per_sec").set(
@@ -100,7 +122,7 @@ def run_mp(
             )
         extras["metrics"] = metrics.snapshot()
     return MPResult(
-        scheme="mp-sharded",
+        scheme="mp-one-table" if one_table else "mp-sharded",
         workers=config.workers,
         elements=elements,
         wall_seconds=wall,

@@ -49,7 +49,7 @@ import collections
 import multiprocessing
 import queue as queue_module
 import time
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.counters import CounterEntry
 from repro.core.merge import hierarchical_merge
@@ -144,27 +144,15 @@ class ShardedProcessPool:
             for _ in range(self.config.workers)
         ]
         self._replies = context.Queue()
-        self._processes = [
-            context.Process(
-                target=shard_main,
-                args=(
-                    index,
-                    self._tasks[index],
-                    self._replies,
-                    self.config.capacity,
-                    self.config.fault,
-                    self.tracer.enabled,
-                    (
-                        self._rings[index].name,
-                        self.config.chunk_elements,
-                        self.config.ring_segments,
-                    ) if self._use_shm else None,
-                ),
+        self._processes = []
+        for index in range(self.config.workers):
+            target, args = self._worker_spec(index)
+            self._processes.append(context.Process(
+                target=target,
+                args=args,
                 name=f"repro-mp-shard-{index}",
                 daemon=True,
-            )
-            for index in range(self.config.workers)
-        ]
+            ))
         self._dispatched = 0
         self._snapshot_token = 0
         self._closed = False
@@ -174,6 +162,34 @@ class ShardedProcessPool:
         except BaseException:
             self._release_rings()
             raise
+
+    def _worker_spec(self, index: int) -> Tuple[Any, tuple]:
+        """(target, args) for worker ``index`` — subclass extension point.
+
+        The one-table pool swaps in a different worker main (same queue
+        protocol, different counting structure) without re-implementing
+        the pool life cycle.
+        """
+        return shard_main, (
+            index,
+            self._tasks[index],
+            self._replies,
+            self.config.capacity,
+            self.config.fault,
+            self.tracer.enabled,
+            (
+                self._rings[index].name,
+                self.config.chunk_elements,
+                self.config.ring_segments,
+            ) if self._use_shm else None,
+        )
+
+    def _note_chunk(self, codes, weights) -> None:
+        """Hook: one encoded chunk is about to be routed (shm plane only).
+
+        The base pool does nothing; the one-table pool tracks heavy
+        candidate codes here (the table alone cannot enumerate keys).
+        """
 
     # ------------------------------------------------------------------
     # Life cycle
@@ -321,6 +337,7 @@ class ShardedProcessPool:
                 dispatch_start = tracer.now()
             self._poll_for_errors()
             codes, weights = codec.encode_chunk(chunk)
+            self._note_chunk(codes, weights)
             routed = route_coded(
                 codes, weights, self.workers, self.config.partition_how
             )

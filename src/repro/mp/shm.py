@@ -62,12 +62,15 @@ Three pieces:
 
 from __future__ import annotations
 
-import collections
 from multiprocessing import shared_memory
-from typing import Hashable, Iterable, List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+# StreamCodec moved to repro.core.coding when the sketches started
+# hashing codec codes (PR 8) — core cannot import mp without inverting
+# the layering.  Re-exported here so existing imports keep working.
+from repro.core.coding import INT_CODE_BOUND, StreamCodec  # noqa: F401
 from repro.errors import StreamError
 
 #: segment status flag values (one byte at each segment's offset 0)
@@ -81,116 +84,9 @@ HEADER_BYTES = 64
 #: bytes per (code, weight) record — two little-endian int64s
 RECORD_BYTES = 16
 
-#: identity-coded ints must survive ``key << 1`` inside int64
-INT_CODE_BOUND = 1 << 62
-
-
 def segment_bytes(slots: int) -> int:
     """On-disk size of one ring segment holding up to ``slots`` records."""
     return HEADER_BYTES + slots * RECORD_BYTES
-
-
-# ----------------------------------------------------------------------
-# Vocabulary / integer coding
-# ----------------------------------------------------------------------
-class StreamCodec:
-    """Parent-owned key <-> int64 code mapping (the shared vocabulary).
-
-    Even codes are machine-size ints coded as themselves (``key << 1``);
-    odd codes index the vocabulary list (``(index << 1) | 1``).  The
-    split keeps the overwhelmingly common integer-stream case free of
-    any per-key dictionary work while arbitrary hashable keys still
-    round-trip exactly.
-    """
-
-    __slots__ = ("_codes", "_rev")
-
-    def __init__(self) -> None:
-        self._codes: dict = {}
-        self._rev: List[Hashable] = []
-
-    @property
-    def vocab_size(self) -> int:
-        """Distinct non-integer keys registered so far."""
-        return len(self._rev)
-
-    def encode_chunk(
-        self, chunk: Sequence[Hashable]
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Pre-aggregate one chunk into distinct ``(codes, weights)``.
-
-        Returns two aligned ``int64`` arrays: each distinct element of
-        ``chunk`` appears once with its occurrence count.  Applying the
-        pairs in order is equivalent to consuming the chunk with equal
-        elements grouped together (the same reordering latitude the
-        batched ``process_many`` lane already documents).
-        """
-        if not len(chunk):
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        if type(chunk[0]) is not int:
-            # cheap pre-filter: don't pay numpy dtype inference for
-            # streams that obviously aren't integer-keyed
-            return self._encode_counter(chunk)
-        try:
-            # Element inference is the fast-lane gate: a plain int list
-            # infers an integer dtype, anything else (floats, strings,
-            # objects, tuple keys -> ndim != 1, huge ints -> OverflowError)
-            # drops to the Counter lane.
-            arr = np.asarray(chunk)
-        except (ValueError, OverflowError):
-            return self._encode_counter(chunk)
-        kind = arr.dtype.kind
-        if arr.ndim == 1 and (
-            kind == "i" or (kind == "u" and arr.dtype.itemsize <= 4)
-        ):
-            codes = arr.astype(np.int64, copy=False)
-            if (
-                arr.dtype.itemsize <= 4
-                or kind == "u"
-                or (
-                    int(codes.min()) > -INT_CODE_BOUND
-                    and int(codes.max()) < INT_CODE_BOUND
-                )
-            ):
-                values, weights = np.unique(codes, return_counts=True)
-                return values << 1, weights
-        return self._encode_counter(chunk)
-
-    def _encode_counter(
-        self, chunk: Sequence[Hashable]
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Slow lane: one Counter pass, then per-distinct-key coding."""
-        counts = collections.Counter(chunk)
-        codes = np.empty(len(counts), dtype=np.int64)
-        weights = np.empty(len(counts), dtype=np.int64)
-        lookup = self._codes
-        rev = self._rev
-        for slot, (key, count) in enumerate(counts.items()):
-            code = lookup.get(key)
-            if code is None:
-                if type(key) is int and -INT_CODE_BOUND < key < INT_CODE_BOUND:
-                    code = key << 1
-                else:
-                    code = (len(rev) << 1) | 1
-                    rev.append(key)
-                lookup[key] = code
-            codes[slot] = code
-            weights[slot] = count
-        return codes, weights
-
-    def decode(self, code: int) -> Hashable:
-        """The key behind one code (exact inverse of encoding)."""
-        if code & 1:
-            return self._rev[code >> 1]
-        return code >> 1
-
-    def decode_entries(
-        self, entries: Iterable[Tuple[int, int, int]]
-    ) -> List[Tuple[Hashable, int, int]]:
-        """Decode a shard snapshot's ``(code, count, error)`` triples."""
-        decode = self.decode
-        return [(decode(code), count, error) for code, count, error in entries]
 
 
 # ----------------------------------------------------------------------
@@ -362,6 +258,20 @@ class ShmRingReader:
         """
         codes = self._codes[segment][:count].tolist()
         weights = self._weights[segment][:count].tolist()
+        self._status[segment][0] = SEG_FREE
+        return codes, weights
+
+    def read_arrays(self, segment: int, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`read`, but returns ``int64`` array copies.
+
+        The vectorized consumers (one-table sketch workers) feed numpy
+        kernels directly — materializing Python ints via ``tolist`` just
+        to re-box them into arrays would throw the zero-copy win away.
+        The copies decouple from the buffer exactly like :meth:`read`
+        does, and the segment is freed before returning.
+        """
+        codes = self._codes[segment][:count].copy()
+        weights = self._weights[segment][:count].copy()
         self._status[segment][0] = SEG_FREE
         return codes, weights
 

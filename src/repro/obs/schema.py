@@ -115,6 +115,30 @@ METRIC_SPECS: Dict[str, MetricSpec] = {
         _spec("mp.shm.stall_seconds", "histogram", "seconds", "mp",
               "wall-clock time dispatch spent waiting for a busy ring "
               "segment to free"),
+        # --------------------------------------------------- backend
+        _spec("backend.ingest.items", "counter", "elements", "backend",
+              "stream elements accepted through Backend.ingest"),
+        _spec("backend.ingest.batches", "counter", "batches", "backend",
+              "ingest calls (batches) accepted by the backend adapter"),
+        _spec("backend.snapshot.seconds", "histogram", "seconds", "backend",
+              "wall-clock latency of one Backend.snapshot materialization"),
+        _spec("backend.merge_avoided.bytes", "counter", "bytes", "backend",
+              "serialized summary bytes the one-table mode did NOT have "
+              "to ship and merge (what the sharded path would move per "
+              "snapshot)"),
+        # ---------------------------------------------------- sketch
+        _spec("sketch.updates", "counter", "updates", "sketch",
+              "weighted updates applied to the sketch table (distinct "
+              "keys per pre-aggregated batch, not raw occurrences)"),
+        _spec("sketch.cells_touched", "counter", "cells", "sketch",
+              "table cells written by sketch updates (depth rows per "
+              "distinct key for plain update; masked subset under "
+              "conservative update)"),
+        _spec("sketch.table.occupancy", "gauge", "fraction", "sketch",
+              "fraction of sketch table cells that are non-zero"),
+        _spec("sketch.flush.seconds", "histogram", "seconds", "sketch",
+              "wall-clock latency of one one-table flush barrier "
+              "(token dispatch until every worker acknowledges)"),
         # -------------------------------------------------- scenario
         _spec("scenario.stream.elements", "counter", "elements", "scenario",
               "stream occurrences counted by the scenario run"),

@@ -20,6 +20,7 @@ from repro.scenarios.audit import (
     AccuracyReport,
     hits_at_k,
     score_accuracy,
+    score_sketch_accuracy,
     selfcheck,
     true_top_k,
 )
@@ -39,6 +40,7 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.runner import (
     BACKENDS,
+    SKETCH_BACKENDS,
     ScenarioRun,
     run_backend,
     run_scenario,
@@ -52,6 +54,7 @@ __all__ = [
     "FuzzReport",
     "LANES",
     "SCENARIOS",
+    "SKETCH_BACKENDS",
     "Scenario",
     "ScenarioParams",
     "ScenarioRun",
@@ -65,6 +68,7 @@ __all__ = [
     "run_backend",
     "run_scenario",
     "score_accuracy",
+    "score_sketch_accuracy",
     "selfcheck",
     "true_top_k",
 ]

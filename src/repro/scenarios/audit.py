@@ -123,6 +123,71 @@ def score_accuracy(
     )
 
 
+def score_sketch_accuracy(
+    counter: SpaceSaving,
+    truth: Mapping[Hashable, int],
+    k: int = 10,
+) -> AccuracyReport:
+    """Score a *sketch-backed* summary (Count-Min reads, widened bounds).
+
+    Sketch backends (``mp-one-table``, ``sketch-cm-vec``) report
+    candidates whose counts are Count-Min table reads and whose
+    ``error`` fields carry the widened ε·N bound the backend promised
+    (band sharing and staleness already charged).  The contract audited
+    here is therefore one-sided and per-entry:
+
+    * an estimate below the true count is a violation (CM never
+      under-estimates),
+    * a guaranteed floor (``count - error``) above the true count is a
+      violation,
+    * an over-estimate beyond the entry's own advertised bound is a
+      violation.
+
+    Recall against the exact top-k is *reported but not enforced*: the
+    candidate identifier is best-effort by design (the table cannot
+    enumerate keys), so a missing borderline hitter is not a guarantee
+    breach the way it is for Space Saving.  Adversaries that poison
+    Space Saving's eviction order (``eviction-poison``) are scored on
+    exactly these overestimate bounds.
+    """
+    processed = counter.processed
+    entries = counter.entries()
+    bound = float(max((entry.error for entry in entries), default=0))
+    answer = [entry.element for entry in entries[:k]]
+    exact = true_top_k(truth, k)
+    hits = hits_at_k(answer, exact)
+    recall = hits / len(exact) if exact else 1.0
+    precision = hits / len(answer) if answer else 1.0
+    violations = 0
+    max_over = 0
+    max_under = 0
+    for entry in entries:
+        true_count = truth.get(entry.element, 0)
+        over = entry.count - true_count
+        if over > max_over:
+            max_over = over
+        if -over > max_under:
+            max_under = -over
+        if entry.count < true_count:
+            violations += 1          # CM estimates upper-bound truth
+        if entry.count - entry.error > true_count:
+            violations += 1          # guaranteed floor must lower-bound
+        if over > entry.error + 1e-9:
+            violations += 1          # over-estimate beyond widened ε·N
+    return AccuracyReport(
+        k=k,
+        recall_at_k=recall,
+        precision_at_k=precision,
+        max_overestimate=max_over,
+        max_underestimate=max_under,
+        error_bound=bound,
+        bound_excess=max(0.0, max_over - bound),
+        guarantee_violations=violations,
+        monitored=len(entries),
+        processed=processed,
+    )
+
+
 #: the hand-computed selfcheck case: stream aaaa bb c d at capacity 3.
 #: The summary holds a:4(err 0), b:2(err 0), d:2(err 1); the exact top-3
 #: is {a, b, c} (c beats d on the str tie-break), so recall = precision

@@ -22,7 +22,12 @@ from repro.errors import ConfigurationError
 from repro.mp.config import MPConfig
 from repro.mp.driver import run_mp
 from repro.obs.registry import MetricsRegistry
-from repro.scenarios.audit import AccuracyReport, score_accuracy, selfcheck
+from repro.scenarios.audit import (
+    AccuracyReport,
+    score_accuracy,
+    score_sketch_accuracy,
+    selfcheck,
+)
 from repro.scenarios.registry import (
     ScenarioParams,
     Stream,
@@ -31,7 +36,19 @@ from repro.scenarios.registry import (
 from repro.schedcheck.auditor import exact_counts
 
 #: every backend the scenario matrix exercises
-BACKENDS = ("sequential", "cots", "mp-shm", "mp-pickle")
+BACKENDS = (
+    "sequential",
+    "cots",
+    "mp-shm",
+    "mp-pickle",
+    "mp-one-table",
+    "sketch-cm-vec",
+)
+
+#: backends whose summaries are Count-Min table reads: scored with the
+#: one-sided sketch contract (overestimate bounds), not Space Saving's
+#: recall guarantee — the adversary suite runs against them too
+SKETCH_BACKENDS = ("mp-one-table", "sketch-cm-vec")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,8 +106,7 @@ def run_backend(
             ),
         )
         return result.counter, time.perf_counter() - started
-    if backend in ("mp-shm", "mp-pickle"):
-        transport = backend.split("-", 1)[1]
+    if backend in ("mp-shm", "mp-pickle", "mp-one-table"):
         chunk = chunk_elements or min(
             32_768, max(256, len(stream) // (workers * 4) or 256)
         )
@@ -98,11 +114,28 @@ def run_backend(
             workers=workers,
             capacity=capacity,
             chunk_elements=chunk,
-            transport=transport,
+            transport="pickle" if backend == "mp-pickle" else "shm",
+            mode="one_table" if backend == "mp-one-table" else "sharded",
             timeout=timeout,
         )
         result = run_mp(stream, config, metrics=metrics)
         return result.counter, result.wall_seconds
+    if backend == "sketch-cm-vec":
+        from repro.backend.adapters import SketchCMVecBackend
+
+        adapter = SketchCMVecBackend(capacity=capacity, metrics=metrics)
+        try:
+            started = time.perf_counter()
+            for index in range(0, len(stream), 8192):
+                adapter.ingest(stream[index:index + 8192])
+            snap = adapter.snapshot()
+            wall = time.perf_counter() - started
+        finally:
+            adapter.close()
+        counter = SpaceSaving.from_entries(
+            capacity, snap.entries, snap.processed
+        )
+        return counter, wall
     raise ConfigurationError(
         f"unknown backend {backend!r} (known: {', '.join(BACKENDS)})"
     )
@@ -135,9 +168,12 @@ def run_scenario(
         timeout=timeout,
         metrics=metrics,
     )
-    report = score_accuracy(
-        counter, truth, k=k, merged=backend.startswith("mp-")
-    )
+    if backend in SKETCH_BACKENDS:
+        report = score_sketch_accuracy(counter, truth, k=k)
+    else:
+        report = score_accuracy(
+            counter, truth, k=k, merged=backend.startswith("mp-")
+        )
     snapshot: Dict[str, Dict] = {}
     if metrics is not None:
         metrics.counter("scenario.stream.elements").inc(len(stream))

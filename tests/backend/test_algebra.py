@@ -1,0 +1,211 @@
+"""Hypothesis property tests of the mergeable-summary algebra.
+
+Pins the three contracts ``repro.backend.algebra`` advertises for every
+summary kind: merge dominance (the merged estimate never drops below
+either part's), monotone error-bound widening, and bit-exact
+serialize/deserialize round-trips.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.algebra import (
+    deserialize,
+    error_bound,
+    merge,
+    serialize,
+    widen,
+)
+from repro.core.sketches.count_min import CountMinSketch
+from repro.core.sketches.count_sketch import CountSketch
+from repro.core.space_saving import SpaceSaving
+from repro.errors import ConfigurationError
+
+_elements = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.text(alphabet="abcdef", min_size=1, max_size=3),
+)
+_streams = st.lists(_elements, min_size=0, max_size=250)
+_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _space_saving(stream, capacity=12):
+    counter = SpaceSaving(capacity=capacity)
+    counter.process_many(stream)
+    return counter
+
+
+def _count_min(stream, seed):
+    sketch = CountMinSketch(epsilon=0.02, delta=0.1, seed=seed)
+    sketch.process_many(stream)
+    return sketch
+
+
+def _count_sketch(stream, seed):
+    sketch = CountSketch(width=128, depth=3, seed=seed)
+    sketch.process_many(stream)
+    return sketch
+
+
+class TestMergeDominance:
+    @given(left=_streams, right=_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_space_saving_merge_dominates_parts(self, left, right):
+        a, b = _space_saving(left), _space_saving(right)
+        merged = merge(a, b)
+        truth = Counter(left) + Counter(right)
+        assert merged.processed == len(left) + len(right)
+        for element, true_count in truth.items():
+            estimate = merged.estimate(element)
+            if estimate:
+                assert estimate >= true_count - merged.max_error()
+
+    @given(left=_streams, right=_streams, seed=_seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_count_min_merge_dominates_parts(self, left, right, seed):
+        a = CountMinSketch(epsilon=0.02, delta=0.1, seed=seed)
+        b = CountMinSketch(epsilon=0.02, delta=0.1, seed=seed)
+        # merge requires aligned codecs: pre-register the union
+        # vocabulary in one shared order, as one distributed codec would
+        for key in dict.fromkeys(list(left) + list(right)):
+            a.codec.encode_one(key)
+            b.codec.encode_one(key)
+        a.process_many(left)
+        b.process_many(right)
+        merged = merge(a, b)
+        truth = Counter(left) + Counter(right)
+        assert merged.processed == len(left) + len(right)
+        for element, true_count in truth.items():
+            assert merged.estimate(element) >= true_count
+            assert merged.estimate(element) >= a.estimate(element)
+            assert merged.estimate(element) >= b.estimate(element)
+
+    @given(left=_streams, right=_streams, seed=_seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_count_sketch_merge_is_additive(self, left, right, seed):
+        a = CountSketch(width=128, depth=3, seed=seed)
+        b = CountSketch(width=128, depth=3, seed=seed)
+        for key in dict.fromkeys(list(left) + list(right)):
+            a.codec.encode_one(key)
+            b.codec.encode_one(key)
+        a.process_many(left)
+        b.process_many(right)
+        merged = merge(a, b)
+        assert np.array_equal(merged.table, a.table + b.table)
+        assert merged.processed == len(left) + len(right)
+
+    @given(stream=_streams, seed=_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_cross_kind_merge_rejected(self, stream, seed):
+        counter = _space_saving(stream)
+        sketch = _count_min(stream, seed)
+        for left, right in ((counter, sketch), (sketch, counter)):
+            try:
+                merge(left, right)
+            except ConfigurationError:
+                pass
+            else:
+                raise AssertionError("cross-kind merge must raise")
+
+
+class TestWidening:
+    @given(stream=_streams, slacks=st.lists(
+        st.integers(min_value=0, max_value=40), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_space_saving_widening_is_monotone(self, stream, slacks):
+        summary = _space_saving(stream)
+        previous = error_bound(summary)
+        for slack in slacks:
+            summary = widen(summary, slack)
+            bound = error_bound(summary)
+            assert bound >= previous
+            previous = bound
+
+    @given(stream=_streams, seed=_seeds, slacks=st.lists(
+        st.integers(min_value=0, max_value=40), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_count_min_widening_is_monotone_and_pure(self, stream, seed,
+                                                     slacks):
+        summary = _count_min(stream, seed)
+        original_bound = error_bound(summary)
+        original_table = summary.table.copy()
+        widened = summary
+        previous = original_bound
+        for slack in slacks:
+            widened = widen(widened, slack)
+            bound = error_bound(widened)
+            assert bound == previous + slack
+            assert np.array_equal(widened.table, original_table)
+            previous = bound
+        # purity: the source summary never moved
+        assert error_bound(summary) == original_bound
+
+    @given(stream=_streams, seed=_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_widened_estimates_still_upper_bound_truth(self, stream,
+                                                       seed):
+        summary = widen(_count_min(stream, seed), 17)
+        for element, true_count in Counter(stream).items():
+            assert summary.estimate(element) >= true_count
+
+    def test_negative_slack_rejected(self):
+        try:
+            widen(_space_saving([1, 2, 3]), -1)
+        except ConfigurationError:
+            pass
+        else:
+            raise AssertionError("negative slack must raise")
+
+
+class TestRoundTrip:
+    @given(stream=_streams)
+    @settings(max_examples=80, deadline=None)
+    def test_space_saving_round_trip(self, stream):
+        summary = _space_saving(stream)
+        restored = deserialize(serialize(summary))
+        assert serialize(restored) == serialize(summary)
+        assert restored.processed == summary.processed
+        for entry in summary.entries():
+            assert restored.estimate(entry.element) == entry.count
+
+    @given(stream=_streams, seed=_seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_count_min_round_trip_bit_exact(self, stream, seed):
+        summary = _count_min(stream, seed)
+        doc = serialize(summary)
+        restored = deserialize(doc)
+        assert np.array_equal(restored.table, summary.table)
+        assert serialize(restored) == doc
+        for element in set(stream):
+            assert restored.estimate(element) == summary.estimate(element)
+
+    @given(stream=_streams, seed=_seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_count_sketch_round_trip_bit_exact(self, stream, seed):
+        summary = _count_sketch(stream, seed)
+        doc = serialize(summary)
+        restored = deserialize(doc)
+        assert np.array_equal(restored.table, summary.table)
+        assert serialize(restored) == doc
+        for element in set(stream):
+            assert restored.estimate(element) == summary.estimate(element)
+
+    @given(left=_streams, right=_streams, seed=_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_commutes_with_round_trip(self, left, right, seed):
+        a = CountMinSketch(epsilon=0.02, delta=0.1, seed=seed)
+        b = CountMinSketch(epsilon=0.02, delta=0.1, seed=seed)
+        for key in dict.fromkeys(list(left) + list(right)):
+            a.codec.encode_one(key)
+            b.codec.encode_one(key)
+        a.process_many(left)
+        b.process_many(right)
+        direct = merge(a, b)
+        via_wire = merge(deserialize(serialize(a)),
+                         deserialize(serialize(b)))
+        assert np.array_equal(direct.table, via_wire.table)

@@ -15,7 +15,14 @@ _PARAMS = ScenarioParams(length=1_500, alphabet=250, capacity=32, seed=3)
 
 
 def test_backend_tuple_covers_the_matrix():
-    assert BACKENDS == ("sequential", "cots", "mp-shm", "mp-pickle")
+    assert BACKENDS == (
+        "sequential",
+        "cots",
+        "mp-shm",
+        "mp-pickle",
+        "mp-one-table",
+        "sketch-cm-vec",
+    )
 
 
 @pytest.mark.parametrize("backend", ["sequential", "cots"])

@@ -48,6 +48,25 @@ _MICRO_SCENARIOS = {
 }
 
 
+#: a micro sketch scale: short stream, small table, 2 workers max
+_MICRO_SKETCH = {
+    "length": 4_000,
+    "alphabet": 400,
+    "alpha": 1.1,
+    "capacity": 48,
+    "chunk_elements": 512,
+    "workers": [1, 2],
+    "epsilon": 0.01,
+    "delta": 0.05,
+    "sketch_seed": 13,
+    "cs_width": 256,
+    "cs_depth": 5,
+    "seed": 7,
+    "repeats": 1,
+    "timeout": 60.0,
+}
+
+
 @pytest.fixture
 def micro_scale(monkeypatch):
     monkeypatch.setitem(bench.SCALES, "tiny", _MICRO)
@@ -61,6 +80,11 @@ def micro_mp_scale(monkeypatch):
 @pytest.fixture
 def micro_scenario_scale(monkeypatch):
     monkeypatch.setitem(bench.SCENARIO_SCALES, "tiny", _MICRO_SCENARIOS)
+
+
+@pytest.fixture
+def micro_sketch_scale(monkeypatch):
+    monkeypatch.setitem(bench.SKETCH_SCALES, "tiny", _MICRO_SKETCH)
 
 
 def test_run_suite_rejects_unknown_scale():
@@ -267,8 +291,62 @@ def test_scenario_suite_report_shape(micro_scenario_scale):
 
 def test_scenario_smoke_scale_is_registered():
     # the CI lane runs --scale smoke; it must resolve for all suites
-    for scales in (bench.SCALES, bench.MP_SCALES, bench.SCENARIO_SCALES):
+    for scales in (bench.SCALES, bench.MP_SCALES, bench.SCENARIO_SCALES,
+                   bench.SKETCH_SCALES):
         assert "smoke" in scales
+
+
+def test_sketch_suite_report_shape(micro_sketch_scale):
+    report = bench.run_suite("tiny", suite="sketch")
+    assert report["suite"] == "sketch"
+    assert report["host_cores"] >= 1
+    names = [entry["name"] for entry in report["results"]]
+    assert names == [
+        "sketch-cm-scalar-per-element",
+        "sketch-cm-scalar-preagg",
+        "sketch-cm-vectorized",
+        "sketch-countsketch-vectorized",
+        "sketch-one-table-w1",
+        "sketch-one-table-w2",
+    ]
+    by_name = {entry["name"]: entry for entry in report["results"]}
+    for lane in ("sketch-cm-scalar-preagg", "sketch-cm-vectorized"):
+        entry = by_name[lane]
+        assert entry["kind"] == "wallclock"
+        assert entry["identical_results"] is True
+        assert entry["speedup_vs_per_element"] > 0
+    for entry in report["results"]:
+        assert entry["wall_seconds"] > 0
+        assert entry["peak_rss_kb"] > 0
+    rungs = [e for e in report["results"] if e["kind"] == "sketch-mp"]
+    assert [e["workers"] for e in rungs] == [1, 2]
+    for rung in rungs:
+        assert rung["bound_compliant"] is True
+        assert rung["max_underestimate"] == 0
+        assert rung["snapshot_seconds"] > 0
+        assert rung["peek_seconds"] > 0
+        assert rung["sharded_merge_seconds"] > 0
+        assert rung["snapshot_ratio_vs_sharded"] > 0
+        assert rung["max_band_bound"] >= 0
+        counters = rung["metrics"]["counters"]
+        assert counters["sketch.updates"] > 0
+        # one shared table: w-1 private tables never shipped or folded
+        if rung["workers"] > 1:
+            assert counters["backend.merge_avoided.bytes"] > 0
+
+    text = bench.format_report(report)
+    assert "sketch-one-table-w2" in text
+    assert "bound_compliant=True" in text
+
+
+def test_sketch_vectorized_entry_embeds_sketch_metrics(micro_sketch_scale):
+    report = bench.run_suite("tiny", suite="sketch")
+    by_name = {e["name"]: e["metrics"] for e in report["results"]}
+    snap = by_name["sketch-cm-vectorized"]
+    # updates are pre-aggregated: distinct keys per batch, not occurrences
+    assert 0 < snap["counters"]["sketch.updates"] <= _MICRO_SKETCH["length"]
+    assert snap["counters"]["backend.ingest.items"] == _MICRO_SKETCH["length"]
+    assert 0.0 < snap["gauges"]["sketch.table.occupancy"] <= 1.0
 
 
 def test_cli_bench_scenarios_default_output(

@@ -107,6 +107,28 @@ def smoke_run() -> List[Emission]:
            metrics=registry)
     snapshots.append(("mp", registry.snapshot()))
 
+    from repro.backend import create_backend
+
+    registry = MetricsRegistry()
+    backend = create_backend("sketch-cm-vec", epsilon=0.01, delta=0.05,
+                             seed=13, metrics=registry)
+    try:
+        backend.ingest(stream)
+        backend.snapshot()
+    finally:
+        backend.close()
+    snapshots.append(("sketch-backend", registry.snapshot()))
+
+    registry = MetricsRegistry()
+    run_mp(
+        stream,
+        MPConfig(workers=2, capacity=48, chunk_elements=512,
+                 mode="one_table", sketch_epsilon=0.01,
+                 sketch_delta=0.05, sketch_seed=13),
+        metrics=registry,
+    )
+    snapshots.append(("mp-one-table", registry.snapshot()))
+
     from repro.scenarios import ScenarioParams, fuzz, run_scenario
 
     registry = MetricsRegistry()
