@@ -38,9 +38,14 @@ from repro.core.counters import CounterEntry
 Element = Hashable
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class Snapshot:
-    """One queryable view of a backend's state (a mergeable summary)."""
+    """One queryable view of a backend's state (a mergeable summary).
+
+    Frozen: a snapshot is an immutable point-in-time view, which is
+    what lets the serve tier answer any number of concurrent queries
+    from one snapshot without synchronizing with ingest.
+    """
 
     scheme: str                     #: backend registry name
     processed: int                  #: total ingested occurrences

@@ -76,6 +76,26 @@ Commands
         python -m repro scenarios --scenario eviction-poison --k 20
         python -m repro scenarios --fuzz 25 --seed 42
 
+``serve``
+    Boot the async TCP serve tier: live ``ingest`` plus the paper's
+    full §3.2 query model (point / set / interval / continuous) over a
+    newline-delimited JSON protocol, micro-batched into any registered
+    backend and answered from bounded-staleness snapshots (protocol
+    reference and operator guide: docs/serve.md)::
+
+        python -m repro serve --backend sequential --port 7070
+        python -m repro serve --backend mp-one-table --workers 4
+
+``serve-bench``
+    Load-generate against an in-process server: N thousand genuinely
+    concurrent client connections stream zipfian keys and queries
+    through real sockets, then every answer is audited against exact
+    ground truth; writes BENCH_serve.json (connections, ingest
+    events/s, p50/p99 query latency, measured staleness)::
+
+        python -m repro serve-bench --scale smoke
+        python -m repro serve-bench --scale default --backend mp-shm
+
 ``trace``
     Record a traced run and print its timeline; ``--mode`` picks the
     simulated shared scheme (engine-effect trace), a span-traced
@@ -336,6 +356,65 @@ def _build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--verbose", action="store_true",
                            help="fuzz mode: print one line per "
                            "composition")
+
+    from repro.backend.registry import BACKEND_NAMES
+
+    serve = commands.add_parser(
+        "serve",
+        help="boot the async TCP serve tier (NDJSON protocol, "
+        "micro-batched ingest, snapshot queries; see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7070,
+                       help="TCP port; 0 picks an ephemeral port "
+                       "(default: 7070)")
+    serve.add_argument("--backend", choices=BACKEND_NAMES,
+                       default="sequential",
+                       help="counting engine behind the server "
+                       "(default: sequential)")
+    serve.add_argument("--capacity", type=int, default=256,
+                       help="counter/candidate budget: the error bound "
+                       "is N/capacity (default: 256)")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="simulated threads (cots-sim / "
+                       "native-threads backends)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes (mp backends)")
+    serve.add_argument("--epsilon", type=float, default=0.001,
+                       help="sketch error bound (sketch backends)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="sketch hash seed (sketch backends)")
+    serve.add_argument("--batch-events", type=int, default=2048,
+                       help="micro-batch size in events (default: 2048)")
+    serve.add_argument("--batch-interval", type=float, default=0.05,
+                       help="partial-batch flush period in seconds "
+                       "(default: 0.05)")
+    serve.add_argument("--max-pending-batches", type=int, default=16,
+                       help="backpressure budget: pending micro-batches "
+                       "before ingest frames are refused (default: 16)")
+    serve.add_argument("--snapshot-interval", type=float, default=0.2,
+                       help="query-view refresh period in seconds; the "
+                       "staleness bound is batch-interval + this "
+                       "(default: 0.2)")
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="load-generate N thousand concurrent connections against "
+        "an in-process server and write BENCH_serve.json",
+    )
+    serve_bench.add_argument(
+        "--scale", choices=("smoke", "default"), default="default",
+        help="load preset; smoke (1000 connections) is the CI gate "
+        "(default: default)",
+    )
+    serve_bench.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="sequential",
+        help="counting engine under load (default: sequential)",
+    )
+    serve_bench.add_argument(
+        "--output", type=pathlib.Path, default=None,
+        help="result file (default: ./BENCH_serve.json)",
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -762,6 +841,63 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serve tier until interrupted."""
+    import asyncio
+
+    from repro.errors import ConfigurationError
+    from repro.obs import MetricsRegistry
+    from repro.serve import ServeConfig, run_server
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            backend=args.backend,
+            capacity=args.capacity,
+            threads=args.threads,
+            workers=args.workers,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            batch_events=args.batch_events,
+            batch_interval=args.batch_interval,
+            max_pending_batches=args.max_pending_batches,
+            snapshot_interval=args.snapshot_interval,
+        )
+    except ConfigurationError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    try:
+        asyncio.run(run_server(config, metrics=MetricsRegistry()))
+    except KeyboardInterrupt:
+        print("serve: interrupted, shut down cleanly")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Run the serve load bench; exit 1 on any violation."""
+    import json
+
+    from repro.serve import format_serve_report, run_serve_bench
+
+    output = args.output if args.output is not None else pathlib.Path(
+        "BENCH_serve.json"
+    )
+    report = run_serve_bench(scale=args.scale, backend=args.backend)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(format_serve_report(report))
+    print(f"wrote {output}")
+    entry = report["results"][0]
+    if entry["guarantee_violations"] or entry["protocol_errors"]:
+        print(
+            f"serve-bench: {entry['guarantee_violations']} guarantee "
+            f"violation(s), {entry['protocol_errors']} protocol error(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Record a traced run and print/export its timeline.
 
@@ -871,6 +1007,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "schedcheck": _cmd_schedcheck,
         "scenarios": _cmd_scenarios,
+        "serve": _cmd_serve,
+        "serve-bench": _cmd_serve_bench,
         "trace": _cmd_trace,
     }
     try:

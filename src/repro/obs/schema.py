@@ -179,6 +179,54 @@ METRIC_SPECS: Dict[str, MetricSpec] = {
               "fuzzed compositions whose differential or audit failed "
               "(each is shrunk to a minimal reproducer)",
               worse="up", tolerance=0.0),
+        # ----------------------------------------------------- serve
+        _spec("serve.connections.accepted", "counter", "connections",
+              "serve",
+              "TCP connections accepted by the serve tier"),
+        _spec("serve.connections.active", "gauge", "connections", "serve",
+              "currently open client connections"),
+        _spec("serve.connections.dropped_slow", "counter", "connections",
+              "serve",
+              "subscribers disconnected because their socket write "
+              "buffer exceeded max_buffer_bytes (slow-reader protection)"),
+        _spec("serve.ingest.events", "counter", "elements", "serve",
+              "stream events accepted off the wire (acked to clients)"),
+        _spec("serve.ingest.frames", "counter", "frames", "serve",
+              "accepted ingest frames"),
+        _spec("serve.ingest.rejected", "counter", "elements", "serve",
+              "events refused with the backpressure error code (the "
+              "client retries; never silently dropped)"),
+        _spec("serve.batch.fill", "histogram", "elements", "serve",
+              "micro-batch sizes handed to the flusher (full batches at "
+              "batch_events; partial tails from the ticker and flush)"),
+        _spec("serve.batch.flush_seconds", "histogram", "seconds", "serve",
+              "wall-clock latency of one backend.ingest micro-batch"),
+        _spec("serve.queue.depth", "gauge", "batches", "serve",
+              "pending micro-batches awaiting the flusher (bounded by "
+              "max_pending_batches — the backpressure budget)"),
+        _spec("serve.snapshot.refreshes", "counter", "refreshes", "serve",
+              "query-view rebuilds (skipped when no new events arrived)"),
+        _spec("serve.snapshot.seconds", "histogram", "seconds", "serve",
+              "wall-clock latency of one query-view rebuild"),
+        _spec("serve.snapshot.staleness_seconds", "histogram", "seconds",
+              "serve",
+              "view age reported with each query answer (bounded by "
+              "batch_interval + snapshot_interval)"),
+        _spec("serve.query.requests", "counter", "queries", "serve",
+              "one-shot queries answered (point/set/topk and the "
+              "first answer of interval registrations)"),
+        _spec("serve.query.seconds", "histogram", "seconds", "serve",
+              "in-server evaluation latency of one query (excludes "
+              "network and loop scheduling)"),
+        _spec("serve.subscriptions.active", "gauge", "subscriptions",
+              "serve",
+              "live interval + continuous query registrations"),
+        _spec("serve.subscriptions.pushes", "counter", "frames", "serve",
+              "push frames sent to interval/continuous subscribers"),
+        _spec("serve.protocol.errors", "counter", "errors", "serve",
+              "malformed frames and failed requests (excludes "
+              "backpressure, which is flow control)",
+              worse="up", tolerance=0.0),
         # ------------------------------------------------------- sim
         _spec("sim.makespan_cycles", "gauge", "cycles", "sim",
               "simulated makespan of the run",

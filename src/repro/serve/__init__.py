@@ -1,0 +1,44 @@
+"""The serve tier: async TCP ingest + the live §3.2 query model.
+
+``python -m repro serve`` boots a :class:`StreamServer`;
+``python -m repro serve-bench`` runs the N-thousand-connection load
+generator.  Protocol reference and operator guide: docs/serve.md.
+"""
+
+from repro.serve.bench import (
+    SERVE_SCALES,
+    format_serve_report,
+    run_serve_bench,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    QUERY_KINDS,
+    QuerySpec,
+    WireProtocolError,
+    decode_request,
+    encode_frame,
+    encode_request,
+    error_payload,
+    is_push,
+)
+from repro.serve.server import ServeConfig, StreamServer, run_server
+
+__all__ = [
+    "ERROR_CODES",
+    "OPS",
+    "QUERY_KINDS",
+    "QuerySpec",
+    "SERVE_SCALES",
+    "ServeConfig",
+    "StreamServer",
+    "WireProtocolError",
+    "decode_request",
+    "encode_frame",
+    "encode_request",
+    "error_payload",
+    "format_serve_report",
+    "is_push",
+    "run_server",
+    "run_serve_bench",
+]

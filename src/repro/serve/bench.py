@@ -1,0 +1,372 @@
+"""The serve-tier load generator: ``python -m repro serve-bench``.
+
+Boots a :class:`~repro.serve.server.StreamServer` in-process on an
+ephemeral port, simulates **N thousand concurrent client connections**
+feeding zipfian keys through real sockets, and writes a
+``BENCH_serve.json`` in the same report shape as the other suites
+(schema docs: docs/benchmarks.md).  Each simulated client connects,
+holds its socket open while every other client connects (so the
+concurrency number is genuinely simultaneous), streams its slice of
+one seeded zipf stream as ``ingest`` frames — retrying on
+``backpressure`` exactly like a production client — and interleaves
+point and top-k queries whose latencies and reported staleness are
+sampled client-side.
+
+After the load phase a control connection issues ``flush`` (the read
+barrier) and **audits the guarantee**: every answer is checked against
+the exact ground-truth counts of the full stream — monitored estimates
+must upper-bound truth within the reported ε·N ``error_bound``, and
+unmonitored elements must have truth at or below the bound (the
+Count-Sketch backend is two-sided, so its check is ``|est - truth| <=
+bound``, mirroring the conformance suite).  ``guarantee_violations``
+in the report must be zero; the CI serve-smoke job gates on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.serve.protocol import is_push
+from repro.serve.server import ServeConfig, StreamServer
+from repro.workloads.zipf import zipf_stream
+
+#: pinned workload parameters per scale preset.  ``connections`` is the
+#: simultaneously-open socket count the run must sustain; ``alpha`` is
+#: mild so the audit exercises both monitored and unmonitored elements.
+SERVE_SCALES: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "connections": 1000,
+        "events_per_client": 30,
+        "ingest_frame_events": 10,
+        "queries_per_client": 2,
+        "alphabet": 2_000,
+        "alpha": 1.3,
+        "capacity": 256,
+        "batch_events": 4_096,
+        "batch_interval": 0.02,
+        "max_pending_batches": 64,
+        "snapshot_interval": 0.1,
+        "point_checks": 200,
+        "top_k": 10,
+        "seed": 7,
+    },
+    "default": {
+        "connections": 2_000,
+        "events_per_client": 100,
+        "ingest_frame_events": 25,
+        "queries_per_client": 4,
+        "alphabet": 10_000,
+        "alpha": 1.3,
+        "capacity": 512,
+        "batch_events": 8_192,
+        "batch_interval": 0.02,
+        "max_pending_batches": 64,
+        "snapshot_interval": 0.1,
+        "point_checks": 400,
+        "top_k": 20,
+        "seed": 7,
+    },
+}
+
+#: schema shared with repro.bench reports
+SCHEMA_VERSION = 1
+
+#: cap on simultaneous connection *attempts* (the listen backlog is
+#: finite; established sockets stay open so concurrency still peaks at
+#: the full connection count)
+_CONNECT_GATE = 200
+
+
+def _peak_rss_kb() -> int:
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return int(usage + children)
+
+
+def _raise_nofile_limit(wanted: int) -> None:
+    """Best-effort soft-limit bump so N thousand sockets fit."""
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < wanted:
+            resource.setrlimit(
+                resource.RLIMIT_NOFILE, (min(wanted, hard), hard)
+            )
+    except (ValueError, OSError):
+        pass
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _Client:
+    """One simulated connection: lockstep NDJSON request/response."""
+
+    def __init__(self, host: str, port: int, limit: int = 1 << 22) -> None:
+        self._host = host
+        self._port = port
+        self._limit = limit
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self, attempts: int = 20) -> None:
+        for attempt in range(attempts):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self._host, self._port, limit=self._limit
+                )
+                return
+            except OSError:
+                if attempt == attempts - 1:
+                    raise
+                await asyncio.sleep(0.05 * (attempt + 1))
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._writer.write(
+            json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        )
+        await self._writer.drain()
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionResetError("server closed the connection")
+            response = json.loads(line)
+            if not is_push(response):
+                return response
+
+    async def ingest(self, events: List[Any]) -> Dict[str, Any]:
+        """Send one ingest frame, retrying on backpressure like a
+        production client (bounded exponential backoff)."""
+        delay = 0.01
+        while True:
+            response = await self.request({"op": "ingest", "events": events})
+            if response.get("ok"):
+                return response
+            if response.get("error") != "backpressure":
+                raise ConfigurationError(
+                    f"unexpected ingest error: {response}"
+                )
+            await asyncio.sleep(delay)
+            delay = min(delay * 2, 0.2)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+async def _run_bench(
+    params: Dict[str, Any], backend: str
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    connections = params["connections"]
+    events_per_client = params["events_per_client"]
+    frame_events = params["ingest_frame_events"]
+    queries_per_client = params["queries_per_client"]
+    _raise_nofile_limit(connections * 2 + 512)
+
+    stream = zipf_stream(
+        length=connections * events_per_client,
+        alphabet=params["alphabet"],
+        alpha=params["alpha"],
+        seed=params["seed"],
+    )
+    truth = collections.Counter(stream)
+
+    metrics = MetricsRegistry()
+    config = ServeConfig(
+        backend=backend,
+        port=0,
+        capacity=params["capacity"],
+        batch_events=params["batch_events"],
+        batch_interval=params["batch_interval"],
+        max_pending_batches=params["max_pending_batches"],
+        snapshot_interval=params["snapshot_interval"],
+        seed=params["seed"],
+    )
+    latencies: List[float] = []
+    staleness: List[float] = []
+    connected = 0
+    peak_connected = 0
+    all_connected = asyncio.Event()
+    connect_gate = asyncio.Semaphore(_CONNECT_GATE)
+
+    async with StreamServer(config, metrics=metrics) as server:
+        host, port = config.host, server.port
+
+        async def one_client(index: int) -> None:
+            nonlocal connected, peak_connected
+            client = _Client(host, port)
+            async with connect_gate:
+                await client.connect()
+            connected += 1
+            peak_connected = max(peak_connected, connected)
+            if connected == connections:
+                all_connected.set()
+            try:
+                # hold the socket until *every* client is connected, so
+                # the reported concurrency is genuinely simultaneous
+                await all_connected.wait()
+                slice_ = stream[
+                    index * events_per_client:(index + 1) * events_per_client
+                ]
+                for offset in range(0, len(slice_), frame_events):
+                    await client.ingest(slice_[offset:offset + frame_events])
+                for q in range(queries_per_client):
+                    if q % 2 == 0:
+                        payload = {
+                            "op": "query", "kind": "point",
+                            "element": slice_[q % len(slice_)],
+                        }
+                    else:
+                        payload = {
+                            "op": "query", "kind": "topk",
+                            "k": params["top_k"],
+                        }
+                    start = time.perf_counter()
+                    response = await client.request(payload)
+                    latencies.append(time.perf_counter() - start)
+                    if not response.get("ok"):
+                        raise ConfigurationError(
+                            f"query failed: {response}"
+                        )
+                    staleness.append(response["staleness"])
+            finally:
+                connected -= 1
+                await client.close()
+
+        ingest_start = time.perf_counter()
+        await asyncio.gather(
+            *(one_client(index) for index in range(connections))
+        )
+        load_seconds = time.perf_counter() - ingest_start
+
+        # ---- guarantee audit (exact ground truth, post-flush) --------
+        control = _Client(host, port)
+        await control.connect()
+        flush = await control.request({"op": "flush"})
+        assert flush.get("ok"), flush
+        error_bound = flush["error_bound"]
+        processed = flush["processed"]
+        two_sided = backend == "sketch-cs-vec"
+        violations = 0
+
+        def audit(estimate: int, true_count: int) -> int:
+            if two_sided:
+                return 0 if abs(estimate - true_count) <= error_bound else 1
+            if estimate < true_count:
+                return 1
+            return 0 if estimate - true_count <= error_bound else 1
+
+        if processed != len(stream):
+            violations += 1
+
+        top = await control.request(
+            {"op": "query", "kind": "topk", "k": params["capacity"]}
+        )
+        for entry in top["results"]:
+            violations += audit(entry["count"], truth[entry["element"]])
+
+        # point-check the hottest elements plus a cold/absent sample
+        ranked = [element for element, _ in truth.most_common()]
+        sample = ranked[: params["point_checks"] // 2]
+        sample += ranked[-(params["point_checks"] // 4):]
+        sample += [params["alphabet"] + offset for offset in range(
+            params["point_checks"] // 4)]
+        for element in sample:
+            answer = await control.request(
+                {"op": "query", "kind": "point", "element": element}
+            )
+            true_count = truth.get(element, 0)
+            if answer["monitored"]:
+                violations += audit(answer["count"], true_count)
+            elif true_count > error_bound:
+                violations += 1     # unmonitored ⇒ truth must be <= ε·N
+
+        stats = (await control.request({"op": "stats"}))["stats"]
+        await control.close()
+        snapshot = metrics.snapshot()
+
+    counters = snapshot["counters"]
+    entry = {
+        "name": f"serve-{backend}",
+        "backend": backend,
+        "connections": connections,
+        "peak_concurrent": peak_connected,
+        "ingest_events": counters.get("serve.ingest.events", 0),
+        "load_seconds": round(load_seconds, 4),
+        "ingest_eps": round(len(stream) / load_seconds, 1),
+        "query_count": len(latencies),
+        "query_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "query_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "staleness_p50_s": round(_percentile(staleness, 0.50), 4),
+        "staleness_max_s": round(max(staleness), 4) if staleness else 0.0,
+        "staleness_bound_s": config.staleness_bound,
+        "error_bound": error_bound,
+        "processed": processed,
+        "guarantee_violations": violations,
+        "protocol_errors": counters.get("serve.protocol.errors", 0),
+        "backpressure_rejections": counters.get("serve.ingest.rejected", 0),
+        "peak_rss_kb": _peak_rss_kb(),
+        "metrics": snapshot,
+    }
+    return entry, stats
+
+
+def run_serve_bench(
+    scale: str = "smoke", backend: str = "sequential"
+) -> Dict[str, Any]:
+    """Run the serve load bench and return the report dict."""
+    if scale not in SERVE_SCALES:
+        raise ConfigurationError(
+            f"scale must be one of {sorted(SERVE_SCALES)}, got {scale!r}"
+        )
+    params = dict(SERVE_SCALES[scale])
+    params["backend"] = backend
+    entry, _stats = asyncio.run(_run_bench(params, backend))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "serve",
+        "scale": scale,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "params": params,
+        "results": [entry],
+        "host_cores": os.cpu_count(),
+    }
+
+
+def format_serve_report(report: Dict[str, Any]) -> str:
+    """Human-readable one-line summary (mirrors ``repro.bench``)."""
+    lines = [
+        f"serve bench — scale={report['scale']} "
+        f"python={report['python']}",
+    ]
+    for entry in report["results"]:
+        lines.append(
+            f"  {entry['name']:<24} conns={entry['peak_concurrent']} "
+            f"eps={entry['ingest_eps']:.0f} "
+            f"p50={entry['query_p50_ms']:.2f}ms "
+            f"p99={entry['query_p99_ms']:.2f}ms "
+            f"staleness_max={entry['staleness_max_s']:.3f}s "
+            f"violations={entry['guarantee_violations']} "
+            f"proto_errors={entry['protocol_errors']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,713 @@
+"""The asyncio serve tier: live ingest + the §3.2 query model on sockets.
+
+One :class:`StreamServer` owns one backend from
+:func:`repro.backend.create_backend` — any of the nine registered
+engines — and splits the work across three concerns so the hot ingest
+path never waits on a reader (the Gulisano-style snapshot-read design
+the ISSUE motivates):
+
+**Ingest plane.**  ``ingest`` frames append to a pending buffer; full
+micro-batches of ``batch_events`` elements move onto a bounded
+:class:`asyncio.Queue` (``max_pending_batches`` deep — the backpressure
+budget) that a single flusher task drains into ``backend.ingest``
+inside a one-thread executor, so the event loop never blocks on the
+counting core and backend access stays serialized.  A ticker flushes
+partial batches every ``batch_interval`` seconds so a trickle of
+events still lands.
+
+**Query plane.**  Queries are answered from an immutable
+:class:`~repro.backend.base.Snapshot` refreshed every
+``snapshot_interval`` seconds — never from live backend state — so a
+million concurrent readers cost the ingest path nothing.  Every answer
+reports its ``staleness`` (seconds since the view was built); the
+worst case an acknowledged event can remain invisible is
+``batch_interval + snapshot_interval`` plus one backend ingest, which
+``stats`` reports as ``staleness_bound``.
+
+**Backpressure.**  When admitting a frame would need more micro-batch
+slots than the queue has free, the server answers an error with code
+``backpressure`` and drops the events (the client retries); the budget
+is structural — the queue's ``maxsize`` makes exceeding it impossible,
+not merely unlikely.  A subscriber whose socket buffer exceeds
+``max_buffer_bytes`` is disconnected instead of letting its unread
+pushes grow server memory without bound.
+
+Wire protocol: :mod:`repro.serve.protocol`; reference and operator
+guide: docs/serve.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import dataclasses
+import itertools
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.backend.base import Snapshot
+from repro.backend.registry import BACKEND_NAMES, create_backend
+from repro.errors import ConfigurationError
+from repro.obs.registry import TIME_BUCKETS, MetricsRegistry, coerce
+from repro.obs.tracing import Tracer, coerce_tracer
+from repro.serve.protocol import (
+    FlushRequest,
+    IngestRequest,
+    IntervalRequest,
+    PingRequest,
+    QueryRequest,
+    QuerySpec,
+    StatsRequest,
+    SubscribeRequest,
+    UnsubscribeRequest,
+    WireProtocolError,
+    decode_request,
+    encode_frame,
+    error_payload,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Everything a :class:`StreamServer` needs, validated up front."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       #: 0 = ephemeral (read it back)
+    backend: str = "sequential"
+    capacity: int = 256
+    threads: int = 4                    #: simulated/native-thread engines
+    workers: int = 2                    #: multiprocess engines
+    epsilon: float = 0.001              #: sketch engines
+    delta: float = 0.01
+    seed: int = 0
+    batch_events: int = 2048            #: micro-batch size (elements)
+    batch_interval: float = 0.05        #: partial-batch flush period (s)
+    max_pending_batches: int = 16       #: backpressure budget (batches)
+    snapshot_interval: float = 0.2      #: query-view refresh period (s)
+    max_frame_bytes: int = 65536        #: one NDJSON line's byte budget
+    max_buffer_bytes: int = 1 << 20     #: slow-subscriber disconnect line
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"backend must be one of {list(BACKEND_NAMES)}, "
+                f"got {self.backend!r}"
+            )
+        for field, minimum in (
+            ("capacity", 1), ("batch_events", 1), ("max_pending_batches", 1),
+            ("max_frame_bytes", 1024), ("max_buffer_bytes", 1024),
+        ):
+            if getattr(self, field) < minimum:
+                raise ConfigurationError(
+                    f"{field} must be >= {minimum}, got {getattr(self, field)}"
+                )
+        for field in ("batch_interval", "snapshot_interval"):
+            if not getattr(self, field) > 0:
+                raise ConfigurationError(
+                    f"{field} must be > 0, got {getattr(self, field)}"
+                )
+
+    @property
+    def staleness_bound(self) -> float:
+        """Worst-case seconds an acked event stays invisible to queries."""
+        return self.batch_interval + self.snapshot_interval
+
+
+@dataclasses.dataclass(frozen=True)
+class _View:
+    """One immutable query view: a snapshot plus its point-lookup index."""
+
+    snapshot: Snapshot
+    index: Dict[Any, Any]               #: element -> CounterEntry
+    refreshed_at: float                 #: monotonic clock at build time
+
+    def staleness(self) -> float:
+        return time.monotonic() - self.refreshed_at
+
+
+class _Subscription:
+    """One registered continuous (period) or interval (every) query."""
+
+    __slots__ = ("sub_id", "spec", "period", "every", "writer",
+                 "last_processed", "seq", "task")
+
+    def __init__(self, sub_id, spec, writer, period=None, every=None):
+        self.sub_id: str = sub_id
+        self.spec: QuerySpec = spec
+        self.writer: asyncio.StreamWriter = writer
+        self.period: Optional[float] = period
+        self.every: Optional[int] = every
+        self.last_processed = 0
+        self.seq = 0
+        self.task: Optional[asyncio.Task] = None
+
+
+class StreamServer:
+    """The serve tier: one backend, many sockets, snapshot reads.
+
+    Lifecycle::
+
+        server = StreamServer(ServeConfig(backend="sequential"))
+        await server.start()          # backend up, listening, tasks running
+        ...                           # server.port is the bound port
+        await server.stop()           # drain, close backend, release all
+
+    or ``async with StreamServer(cfg) as server: ...``.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.config = config
+        self.metrics = coerce(metrics)
+        self.tracer = coerce_tracer(tracer)
+        self._backend = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        # one thread: backend calls are serialized *and* off the loop
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-backend"
+        )
+        self._pending: List[Any] = []
+        self._queue: asyncio.Queue = asyncio.Queue(
+            maxsize=config.max_pending_batches
+        )
+        self._view: Optional[_View] = None
+        self._processed = 0             #: acked into the backend
+        self._accepted = 0              #: acked off the wire (>= processed)
+        self._tasks: List[asyncio.Task] = []
+        self._subs: Dict[str, _Subscription] = {}
+        self._sub_ids = itertools.count(1)
+        self._connections = 0
+        self._closed = False
+        m = self.metrics
+        self._m_accepted = m.counter("serve.connections.accepted")
+        self._m_active = m.gauge("serve.connections.active")
+        self._m_dropped_slow = m.counter("serve.connections.dropped_slow")
+        self._m_events = m.counter("serve.ingest.events")
+        self._m_frames = m.counter("serve.ingest.frames")
+        self._m_rejected = m.counter("serve.ingest.rejected")
+        self._m_batch_fill = m.histogram("serve.batch.fill")
+        self._m_flush_seconds = m.histogram(
+            "serve.batch.flush_seconds", TIME_BUCKETS
+        )
+        self._m_queue_depth = m.gauge("serve.queue.depth")
+        self._m_refreshes = m.counter("serve.snapshot.refreshes")
+        self._m_snap_seconds = m.histogram(
+            "serve.snapshot.seconds", TIME_BUCKETS
+        )
+        self._m_staleness = m.histogram(
+            "serve.snapshot.staleness_seconds", TIME_BUCKETS
+        )
+        self._m_queries = m.counter("serve.query.requests")
+        self._m_query_seconds = m.histogram(
+            "serve.query.seconds", TIME_BUCKETS
+        )
+        self._m_subs_active = m.gauge("serve.subscriptions.active")
+        self._m_pushes = m.counter("serve.subscriptions.pushes")
+        self._m_proto_errors = m.counter("serve.protocol.errors")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the backend, bind the socket, start the service tasks."""
+        loop = asyncio.get_running_loop()
+        cfg = self.config
+        self._backend = await loop.run_in_executor(
+            self._executor,
+            lambda: create_backend(
+                cfg.backend,
+                capacity=cfg.capacity,
+                threads=cfg.threads,
+                workers=cfg.workers,
+                epsilon=cfg.epsilon,
+                delta=cfg.delta,
+                seed=cfg.seed,
+                metrics=self.metrics if self.metrics.enabled else None,
+            ),
+        )
+        await self._refresh_view()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=cfg.host,
+            port=cfg.port,
+            limit=cfg.max_frame_bytes,
+        )
+        self._tasks = [
+            asyncio.create_task(self._flusher(), name="serve-flusher"),
+            asyncio.create_task(self._ticker(), name="serve-ticker"),
+            asyncio.create_task(self._refresher(), name="serve-refresher"),
+        ]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise ConfigurationError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Drain pending work, close every task, socket and the backend."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for sub in list(self._subs.values()):
+            self._drop_subscription(sub.sub_id)
+        # drain what was already acked so close() honours the contract
+        while self._pending:
+            batch = self._pending[: self.config.batch_events]
+            await self._queue.put(batch)
+            del self._pending[: len(batch)]
+        await self._queue.join()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        backend = self._backend
+        if backend is not None:
+            await loop.run_in_executor(self._executor, backend.close)
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "StreamServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Service tasks
+    # ------------------------------------------------------------------
+    async def _flusher(self) -> None:
+        """Drain micro-batches into the backend (the only ingest path)."""
+        loop = asyncio.get_running_loop()
+        backend = self._backend
+        while True:
+            batch = await self._queue.get()
+            try:
+                with self.tracer.span(
+                    "serve", "flush", "serve", {"events": len(batch)}
+                ):
+                    start = time.perf_counter()
+                    await loop.run_in_executor(
+                        self._executor, backend.ingest, batch
+                    )
+                    self._m_flush_seconds.observe(time.perf_counter() - start)
+                self._processed += len(batch)
+            finally:
+                self._queue.task_done()
+                self._m_queue_depth.set(self._queue.qsize())
+
+    async def _ticker(self) -> None:
+        """Move partial batches onto the queue every ``batch_interval``."""
+        while True:
+            await asyncio.sleep(self.config.batch_interval)
+            self._flush_pending(partial=True)
+
+    async def _refresher(self) -> None:
+        """Rebuild the query view every ``snapshot_interval``."""
+        while True:
+            await asyncio.sleep(self.config.snapshot_interval)
+            view = self._view
+            if view is not None and self._processed == view.snapshot.processed:
+                continue            # nothing new: keep the current view
+            await self._refresh_view()
+            self._fire_interval_subscriptions()
+
+    async def _refresh_view(self) -> None:
+        loop = asyncio.get_running_loop()
+        backend = self._backend
+        with self.tracer.span("serve", "snapshot.refresh", "serve"):
+            start = time.perf_counter()
+            snapshot = await loop.run_in_executor(self._executor, backend.snapshot)
+            self._m_snap_seconds.observe(time.perf_counter() - start)
+        self._view = _View(
+            snapshot=snapshot,
+            index={entry.element: entry for entry in snapshot.entries},
+            refreshed_at=time.monotonic(),
+        )
+        self._m_refreshes.inc()
+
+    # ------------------------------------------------------------------
+    # Ingest plane
+    # ------------------------------------------------------------------
+    def _flush_pending(self, partial: bool) -> None:
+        """Move pending events onto the queue; partial flushes allow a
+        short tail batch (the ticker and ``flush`` use them)."""
+        batch_events = self.config.batch_events
+        while self._pending:
+            if len(self._pending) < batch_events and not partial:
+                break
+            batch = self._pending[:batch_events]
+            try:
+                self._queue.put_nowait(batch)
+            except asyncio.QueueFull:
+                break               # budget full; admission keeps this rare
+            del self._pending[: len(batch)]
+            self._m_batch_fill.observe(len(batch))
+        self._m_queue_depth.set(self._queue.qsize())
+
+    def _admit(self, events: Tuple[Any, ...]) -> bool:
+        """True when the pending-batch budget can absorb ``events``."""
+        batch_events = self.config.batch_events
+        total = len(self._pending) + len(events)
+        needed = (total + batch_events - 1) // batch_events
+        free = self.config.max_pending_batches - self._queue.qsize()
+        return needed <= free
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        self._m_accepted.inc()
+        self._m_active.set(self._connections)
+        self.tracer.instant("serve", "accept", "serve")
+        owned_subs: List[str] = []
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._m_proto_errors.inc()
+                    writer.write(encode_frame(error_payload(
+                        "frame-too-large",
+                        f"frame exceeds {self.config.max_frame_bytes} bytes",
+                    )))
+                    break           # framing is lost: drop the connection
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                await self._handle_frame(line, writer, owned_subs)
+                if writer.is_closing():
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            for sub_id in owned_subs:
+                self._drop_subscription(sub_id)
+            self._connections -= 1
+            self._m_active.set(self._connections)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_frame(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        owned_subs: List[str],
+    ) -> None:
+        try:
+            request = decode_request(line)
+        except WireProtocolError as exc:
+            self._m_proto_errors.inc()
+            writer.write(encode_frame(error_payload(exc.code, str(exc))))
+            await writer.drain()
+            return
+        try:
+            payload = await self._dispatch(request, writer, owned_subs)
+        except WireProtocolError as exc:
+            # backpressure is flow control, not a protocol violation —
+            # it is metered by serve.ingest.rejected instead
+            if exc.code != "backpressure":
+                self._m_proto_errors.inc()
+            payload = error_payload(exc.code, str(exc), request.id)
+        except Exception as exc:    # noqa: BLE001 - report, don't kill the loop
+            self._m_proto_errors.inc()
+            payload = error_payload(
+                "server-error", f"{type(exc).__name__}: {exc}", request.id
+            )
+        writer.write(encode_frame(payload))
+        await writer.drain()
+
+    async def _dispatch(
+        self,
+        request,
+        writer: asyncio.StreamWriter,
+        owned_subs: List[str],
+    ) -> Dict[str, Any]:
+        if isinstance(request, IngestRequest):
+            return self._do_ingest(request)
+        if isinstance(request, QueryRequest):
+            return self._do_query(request.spec, request.id)
+        if isinstance(request, IntervalRequest):
+            return self._register_interval(request, writer, owned_subs)
+        if isinstance(request, SubscribeRequest):
+            return self._register_continuous(request, writer, owned_subs)
+        if isinstance(request, UnsubscribeRequest):
+            return self._do_unsubscribe(request, owned_subs)
+        if isinstance(request, FlushRequest):
+            return await self._do_flush(request)
+        if isinstance(request, StatsRequest):
+            return self._do_stats(request)
+        assert isinstance(request, PingRequest)
+        return self._ok(request.id, pong=True)
+
+    @staticmethod
+    def _ok(request_id, **fields) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"ok": True}
+        if request_id is not None:
+            payload["id"] = request_id
+        payload.update(fields)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Op implementations
+    # ------------------------------------------------------------------
+    def _do_ingest(self, request: IngestRequest) -> Dict[str, Any]:
+        if self._closed:
+            raise WireProtocolError("server-error", "server is stopping")
+        if not self._admit(request.events):
+            self._m_rejected.inc(len(request.events))
+            raise WireProtocolError(
+                "backpressure",
+                f"pending-batch budget full "
+                f"({self.config.max_pending_batches} batches of "
+                f"{self.config.batch_events}); retry after a delay",
+            )
+        self._pending.extend(request.events)
+        self._accepted += len(request.events)
+        self._m_events.inc(len(request.events))
+        self._m_frames.inc()
+        self._flush_pending(partial=False)
+        return self._ok(request.id, accepted=len(request.events))
+
+    def _answer(self, spec: QuerySpec) -> Dict[str, Any]:
+        """Evaluate one point/set/topk spec against the current view."""
+        view = self._view
+        snapshot = view.snapshot
+        answer: Dict[str, Any] = {
+            "kind": spec.kind,
+            "processed": snapshot.processed,
+            "error_bound": snapshot.error_bound,
+            "staleness": round(view.staleness(), 6),
+        }
+        if spec.kind == "point":
+            answer.update(self._point(view, spec.element))
+            if spec.phi is not None:
+                # §3.2 Query 1: is the element's frequency above phi*N?
+                answer["frequent"] = (
+                    answer["count"] >= spec.phi * snapshot.processed
+                )
+            if spec.k is not None:
+                # §3.2 Query 2: does it sit in the current top-k set?
+                top = {entry.element for entry in snapshot.top_k(spec.k)}
+                answer["in_top_k"] = spec.element in top
+        elif spec.kind == "set":
+            if spec.elements is not None:
+                answer["results"] = [
+                    dict(self._point(view, element), element=element)
+                    for element in spec.elements
+                ]
+            else:
+                threshold = spec.phi * snapshot.processed
+                answer["results"] = [
+                    self._entry_wire(entry)
+                    for entry in snapshot.entries
+                    if entry.count >= threshold
+                ]
+                answer["threshold"] = threshold
+        else:  # topk
+            answer["results"] = [
+                self._entry_wire(entry) for entry in snapshot.top_k(spec.k)
+            ]
+        return answer
+
+    def _point(self, view: _View, element) -> Dict[str, Any]:
+        entry = view.index.get(element)
+        if entry is not None:
+            return {
+                "count": entry.count, "error": entry.error, "monitored": True,
+            }
+        # unmonitored: the summary guarantees truth <= error_bound, so
+        # the bound itself is the tightest safe upper-bounding estimate
+        bound = view.snapshot.error_bound
+        return {"count": bound, "error": bound, "monitored": False}
+
+    @staticmethod
+    def _entry_wire(entry) -> Dict[str, Any]:
+        return {
+            "element": entry.element, "count": entry.count,
+            "error": entry.error,
+        }
+
+    def _do_query(self, spec: QuerySpec, request_id) -> Dict[str, Any]:
+        self._m_queries.inc()
+        with self.tracer.span("serve", "query", "serve", {"kind": spec.kind}):
+            start = time.perf_counter()
+            answer = self._answer(spec)
+            self._m_query_seconds.observe(time.perf_counter() - start)
+        self._m_staleness.observe(answer["staleness"])
+        return self._ok(request_id, **answer)
+
+    # -- subscriptions -------------------------------------------------
+    def _register_interval(
+        self, request: IntervalRequest, writer, owned_subs
+    ) -> Dict[str, Any]:
+        sub = _Subscription(
+            sub_id=f"sub-{next(self._sub_ids)}",
+            spec=request.inner,
+            writer=writer,
+            every=request.every,
+        )
+        sub.last_processed = self._view.snapshot.processed
+        self._subs[sub.sub_id] = sub
+        owned_subs.append(sub.sub_id)
+        self._m_subs_active.set(len(self._subs))
+        # first answer rides on the response; later ones arrive as pushes
+        answer = self._do_query(request.inner, request.id)
+        answer.update(subscription=sub.sub_id, every=request.every)
+        return answer
+
+    def _register_continuous(
+        self, request: SubscribeRequest, writer, owned_subs
+    ) -> Dict[str, Any]:
+        sub = _Subscription(
+            sub_id=f"sub-{next(self._sub_ids)}",
+            spec=request.inner,
+            writer=writer,
+            period=request.period,
+        )
+        self._subs[sub.sub_id] = sub
+        owned_subs.append(sub.sub_id)
+        sub.task = asyncio.create_task(
+            self._continuous_pusher(sub), name=sub.sub_id
+        )
+        self._m_subs_active.set(len(self._subs))
+        return self._ok(
+            request.id, subscription=sub.sub_id, period=request.period
+        )
+
+    def _do_unsubscribe(self, request, owned_subs) -> Dict[str, Any]:
+        if request.subscription not in self._subs:
+            raise WireProtocolError(
+                "unknown-subscription",
+                f"no active subscription {request.subscription!r}",
+            )
+        self._drop_subscription(request.subscription)
+        if request.subscription in owned_subs:
+            owned_subs.remove(request.subscription)
+        return self._ok(request.id, unsubscribed=request.subscription)
+
+    def _drop_subscription(self, sub_id: str) -> None:
+        sub = self._subs.pop(sub_id, None)
+        if sub is not None and sub.task is not None:
+            sub.task.cancel()
+        self._m_subs_active.set(len(self._subs))
+
+    def _push(self, sub: _Subscription) -> bool:
+        """Send one push; returns False when the subscriber was dropped."""
+        writer = sub.writer
+        if writer.is_closing():
+            self._drop_subscription(sub.sub_id)
+            return False
+        transport = writer.transport
+        if (
+            transport is not None
+            and transport.get_write_buffer_size() > self.config.max_buffer_bytes
+        ):
+            # a reader this far behind would grow server memory forever
+            self._m_dropped_slow.inc()
+            self._drop_subscription(sub.sub_id)
+            writer.close()
+            return False
+        sub.seq += 1
+        payload = dict(self._answer(sub.spec), push=sub.sub_id, seq=sub.seq)
+        writer.write(encode_frame(payload))
+        self._m_pushes.inc()
+        return True
+
+    async def _continuous_pusher(self, sub: _Subscription) -> None:
+        """§3.2 Query 4: the inner query pushed every ``period`` seconds."""
+        while True:
+            await asyncio.sleep(sub.period)
+            if not self._push(sub):
+                return
+
+    def _fire_interval_subscriptions(self) -> None:
+        """§3.2 Query 3 on refresh: push when ``every`` events elapsed."""
+        processed = self._view.snapshot.processed
+        for sub in list(self._subs.values()):
+            if sub.every is None:
+                continue
+            if processed - sub.last_processed >= sub.every:
+                sub.last_processed = processed
+                self._push(sub)
+
+    # -- flush & stats -------------------------------------------------
+    async def _do_flush(self, request: FlushRequest) -> Dict[str, Any]:
+        """A read barrier: everything acked before this is queryable after."""
+        while self._pending:
+            batch = self._pending[: self.config.batch_events]
+            await self._queue.put(batch)    # waits for budget, never drops
+            del self._pending[: len(batch)]
+            self._m_batch_fill.observe(len(batch))
+        await self._queue.join()
+        await self._refresh_view()
+        self._fire_interval_subscriptions()
+        return self._ok(
+            request.id,
+            processed=self._view.snapshot.processed,
+            error_bound=self._view.snapshot.error_bound,
+        )
+
+    def _do_stats(self, request: StatsRequest) -> Dict[str, Any]:
+        view = self._view
+        cfg = self.config
+        return self._ok(request.id, stats={
+            "backend": cfg.backend,
+            "connections": self._connections,
+            "accepted_events": self._accepted,
+            "processed": self._processed,
+            "pending_events": len(self._pending),
+            "queue_depth": self._queue.qsize(),
+            "max_pending_batches": cfg.max_pending_batches,
+            "batch_events": cfg.batch_events,
+            "subscriptions": len(self._subs),
+            "snapshot_processed": view.snapshot.processed,
+            "error_bound": view.snapshot.error_bound,
+            "staleness": round(view.staleness(), 6),
+            "staleness_bound": cfg.staleness_bound,
+        })
+
+
+async def run_server(
+    config: ServeConfig,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    ready: Optional[asyncio.Event] = None,
+) -> None:
+    """Start a server and serve until cancelled (the CLI entry point)."""
+    server = StreamServer(config, metrics=metrics, tracer=tracer)
+    await server.start()
+    if ready is not None:
+        ready.set()
+    print(
+        f"serving backend={config.backend} on "
+        f"{config.host}:{server.port} "
+        f"(batch={config.batch_events} budget={config.max_pending_batches} "
+        f"staleness_bound={config.staleness_bound:.2f}s)",
+        flush=True,
+    )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

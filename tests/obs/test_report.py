@@ -53,8 +53,8 @@ def test_spec_names_follow_layer_dot_convention():
         assert name.count(".") >= 1
         assert spec.kind in ("counter", "gauge", "histogram")
         assert spec.layer in (
-            "core", "cots", "mp", "backend", "sketch", "scenario", "sim",
-            "bench"
+            "core", "cots", "mp", "backend", "sketch", "scenario", "serve",
+            "sim", "bench"
         )
 
 

@@ -1,0 +1,302 @@
+"""End-to-end tests for the asyncio serve tier.
+
+Every test boots a real :class:`StreamServer` on an ephemeral port,
+talks to it over genuine TCP, and shuts it down — all inside
+``asyncio.run`` so no async test plugin is needed.  The accuracy test
+checks served answers against an exact ``Counter`` ground truth and
+against a sequential reference backend fed the identical stream, which
+pins the read-barrier semantics of ``flush``: everything acknowledged
+before the flush is queryable (and correct) after it.
+"""
+
+import asyncio
+import collections
+import json
+
+from repro.backend import create_backend
+from repro.obs.registry import MetricsRegistry
+from repro.serve import ServeConfig, StreamServer, is_push
+from repro.workloads import zipf_stream
+
+TIMEOUT = 30.0
+
+
+class _Client:
+    """A tiny NDJSON test client; pushes are collected, not returned."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.pushes = []
+
+    @classmethod
+    async def connect(cls, port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def read_frame(self):
+        line = await asyncio.wait_for(self.reader.readline(), TIMEOUT)
+        assert line, "server closed the connection mid-read"
+        return json.loads(line)
+
+    async def request(self, obj):
+        self.writer.write(json.dumps(obj).encode() + b"\n")
+        await self.writer.drain()
+        while True:
+            payload = await self.read_frame()
+            if is_push(payload):
+                self.pushes.append(payload)
+                continue
+            return payload
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _run(coro):
+    asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+# ----------------------------------------------------------------------
+# Accuracy: served answers match a sequential reference within epsilon*N
+# ----------------------------------------------------------------------
+def test_end_to_end_accuracy_against_sequential_reference():
+    capacity = 64
+    stream = zipf_stream(length=4000, alphabet=500, alpha=1.5, seed=11)
+    truth = collections.Counter(stream)
+
+    reference = create_backend("sequential", capacity=capacity)
+    try:
+        reference.ingest(stream)
+        ref_snapshot = reference.snapshot()
+    finally:
+        reference.close()
+
+    async def main():
+        config = ServeConfig(
+            port=0, backend="sequential", capacity=capacity,
+            batch_events=256, batch_interval=0.01, snapshot_interval=0.05,
+        )
+        async with StreamServer(config) as server:
+            client = await _Client.connect(server.port)
+
+            for start in range(0, len(stream), 500):
+                reply = await client.request(
+                    {"op": "ingest", "events": stream[start:start + 500]}
+                )
+                assert reply["ok"], reply
+                assert reply["accepted"] == len(stream[start:start + 500])
+
+            # the read barrier: after flush, everything acked is visible
+            flushed = await client.request({"op": "flush"})
+            assert flushed["ok"] and flushed["processed"] == len(stream)
+            bound = flushed["error_bound"]
+            assert bound == ref_snapshot.error_bound
+
+            # top-k matches the reference exactly: same engine, same order
+            top = await client.request({"op": "query", "kind": "topk", "k": 10})
+            assert top["ok"] and top["processed"] == len(stream)
+            assert 0 <= top["staleness"] <= config.staleness_bound + 1.0
+            expected = [
+                {"element": e.element, "count": e.count, "error": e.error}
+                for e in ref_snapshot.top_k(10)
+            ]
+            assert top["results"] == expected
+
+            # point estimates honour the Space Saving guarantee vs truth
+            hot = [element for element, _ in truth.most_common(20)]
+            cold = ["absent-%d" % i for i in range(5)]
+            for element in hot + cold:
+                reply = await client.request(
+                    {"op": "query", "kind": "point", "element": element}
+                )
+                assert reply["ok"], reply
+                exact = truth.get(element, 0)
+                if reply["monitored"]:
+                    assert exact <= reply["count"] <= exact + bound
+                    assert reply["count"] - reply["error"] <= exact
+                else:
+                    assert exact <= bound
+                assert reply["count"] == reference_estimate(ref_snapshot, element, bound)
+
+            # set + membership forms answer from the same snapshot
+            reply = await client.request(
+                {"op": "query", "kind": "point", "element": hot[0],
+                 "phi": 0.001, "k": 3}
+            )
+            assert reply["frequent"] is True and reply["in_top_k"] is True
+
+            await client.close()
+
+    def reference_estimate(snapshot, element, bound):
+        for entry in snapshot.entries:
+            if entry.element == element:
+                return entry.count
+        return bound
+
+    _run(main())
+
+
+# ----------------------------------------------------------------------
+# Backpressure: the structural budget refuses what it cannot absorb
+# ----------------------------------------------------------------------
+def test_backpressure_flood_is_refused_not_dropped():
+    async def main():
+        metrics = MetricsRegistry()
+        config = ServeConfig(
+            port=0, backend="sequential", capacity=32,
+            batch_events=4, max_pending_batches=2,
+            batch_interval=0.01, snapshot_interval=0.05,
+        )
+        async with StreamServer(config, metrics=metrics) as server:
+            client = await _Client.connect(server.port)
+
+            # a frame needing more slots than the whole budget is refused
+            flood = ["e%d" % i for i in range(64)]
+            reply = await client.request({"op": "ingest", "events": flood,
+                                          "id": "flood"})
+            assert reply["ok"] is False
+            assert reply["error"] == "backpressure"
+            assert reply["id"] == "flood"
+
+            # a frame within budget is accepted — refusal, not breakage
+            reply = await client.request({"op": "ingest", "events": ["a", "b"]})
+            assert reply["ok"] is True
+
+            # refused events are metered as flow control, never as
+            # protocol errors (the CI gate counts the latter)
+            counters = metrics.snapshot()["counters"]
+            assert counters["serve.ingest.rejected"] == 64
+            assert counters["serve.protocol.errors"] == 0
+
+            # nothing was silently dropped: only the accepted events land
+            flushed = await client.request({"op": "flush"})
+            assert flushed["processed"] == 2
+
+            stats = (await client.request({"op": "stats"}))["stats"]
+            assert stats["queue_depth"] <= config.max_pending_batches
+            assert stats["accepted_events"] == 2
+
+            await client.close()
+
+    _run(main())
+
+
+# ----------------------------------------------------------------------
+# Subscriptions: continuous (period) and interval (every) pushes
+# ----------------------------------------------------------------------
+def test_subscribe_pushes_and_unsubscribe():
+    async def main():
+        config = ServeConfig(
+            port=0, backend="sequential", capacity=32,
+            batch_events=8, batch_interval=0.01, snapshot_interval=0.02,
+        )
+        async with StreamServer(config) as server:
+            client = await _Client.connect(server.port)
+            await client.request({"op": "ingest", "events": ["x"] * 6 + ["y"]})
+
+            reply = await client.request({
+                "op": "subscribe",
+                "inner": {"kind": "topk", "k": 2},
+                "period": 0.02,
+            })
+            assert reply["ok"]
+            sub_id = reply["subscription"]
+
+            # collect pushes off the wire until two have arrived
+            while len(client.pushes) < 2:
+                payload = await client.read_frame()
+                if is_push(payload):
+                    client.pushes.append(payload)
+            first, second = client.pushes[:2]
+            assert first["push"] == sub_id and second["push"] == sub_id
+            assert second["seq"] > first["seq"]
+            assert first["kind"] == "topk"
+            assert {r["element"] for r in first["results"]} <= {"x", "y"}
+
+            reply = await client.request(
+                {"op": "unsubscribe", "subscription": sub_id}
+            )
+            assert reply["ok"] and reply["unsubscribed"] == sub_id
+
+            # cancelling twice is the documented error, not a crash
+            reply = await client.request(
+                {"op": "unsubscribe", "subscription": sub_id}
+            )
+            assert reply["ok"] is False
+            assert reply["error"] == "unknown-subscription"
+
+            await client.close()
+
+    _run(main())
+
+
+def test_interval_query_pushes_after_every_events():
+    async def main():
+        config = ServeConfig(
+            port=0, backend="sequential", capacity=32,
+            batch_events=8, batch_interval=0.01, snapshot_interval=0.02,
+        )
+        async with StreamServer(config) as server:
+            client = await _Client.connect(server.port)
+
+            reply = await client.request({
+                "op": "query", "kind": "interval",
+                "inner": {"kind": "point", "element": "x"},
+                "every": 5, "id": "iv",
+            })
+            # the first answer rides on the registration response
+            assert reply["ok"] and reply["id"] == "iv"
+            assert reply["kind"] == "point" and "count" in reply
+            sub_id = reply["subscription"]
+
+            await client.request({"op": "ingest", "events": ["x"] * 6})
+            # flush refreshes the view and fires interval subscriptions
+            await client.request({"op": "flush"})
+
+            while not client.pushes:
+                payload = await client.read_frame()
+                if is_push(payload):
+                    client.pushes.append(payload)
+            push = client.pushes[0]
+            assert push["push"] == sub_id
+            assert push["kind"] == "point" and push["count"] >= 6
+
+            await client.close()
+
+    _run(main())
+
+
+# ----------------------------------------------------------------------
+# Framing: oversized lines report frame-too-large and drop the link
+# ----------------------------------------------------------------------
+def test_frame_too_large_closes_connection():
+    async def main():
+        config = ServeConfig(
+            port=0, backend="sequential", capacity=32,
+            max_frame_bytes=1024,
+            batch_events=8, batch_interval=0.01, snapshot_interval=0.05,
+        )
+        async with StreamServer(config) as server:
+            client = await _Client.connect(server.port)
+            client.writer.write(b'{"op": "ingest", "events": ["' +
+                                b"x" * 4096 + b'"]}\n')
+            await client.writer.drain()
+            payload = await client.read_frame()
+            assert payload["ok"] is False
+            assert payload["error"] == "frame-too-large"
+            # framing is unrecoverable: the server hangs up
+            tail = await asyncio.wait_for(client.reader.read(), TIMEOUT)
+            assert tail == b""
+            await client.close()
+
+            # the server itself is fine: new connections still work
+            fresh = await _Client.connect(server.port)
+            assert (await fresh.request({"op": "ping"}))["pong"] is True
+            await fresh.close()
+
+    _run(main())

@@ -61,6 +61,7 @@ def test_smoke_run_names_all_resolve():
     assert emissions
     assert check_metrics.check(emissions) == []
     runs = {e.where for e in emissions}
-    assert len(runs) == 8                     # all eight smoke layers recorded
+    assert len(runs) == 9                     # all nine smoke layers recorded
     assert "runtime (scenario run)" in runs
     assert "runtime (scenario-fuzz run)" in runs
+    assert "runtime (serve run)" in runs

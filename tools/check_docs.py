@@ -8,6 +8,14 @@ parser (``repro.cli._build_parser``).  Parse-only validation catches
 renamed/removed subcommands, dropped flags and invalid choice values
 without running anything expensive.
 
+Plain ``json`` fences are treated as **serve wire-protocol examples**
+(one NDJSON frame per line, exactly the on-the-wire format): every
+line must parse as JSON, and every object carrying an ``op`` key —
+i.e. every request frame — must additionally decode through
+``repro.serve.protocol.decode_request``, so docs/serve.md can never
+show a request the server would reject.  (Annotated pretty-printed
+JSON keeps using ``jsonc`` fences, which are not checked.)
+
 Usage::
 
     PYTHONPATH=src python tools/check_docs.py            # repo root
@@ -21,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import io
+import json
 import pathlib
 import re
 import shlex
@@ -35,6 +44,16 @@ FENCE_RE = re.compile(
     r"^```(?:bash|sh|shell)\s*$(.*?)^```\s*$",
     re.MULTILINE | re.DOTALL,
 )
+
+#: fenced blocks holding serve wire-protocol frames (one per line)
+JSON_FENCE_RE = re.compile(
+    r"^```json\s*$(.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+#: request frames embedded in shell examples (single-quoted, as they
+#: would be passed to printf/echo and piped into nc)
+INLINE_FRAME_RE = re.compile(r"'(\{\"op\"[^']*\})'")
 
 #: environment-variable prefixes and invocation wrappers to strip
 ENV_ASSIGNMENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=\S+$")
@@ -92,7 +111,7 @@ def _extract_argv(command: str) -> List[str] | None:
         tokens = tokens[1:]
     # cut at the first redirection / pipe / chain operator
     for index, token in enumerate(tokens):
-        if token in (">", ">>", "<", "|", "&&", "||", ";") or (
+        if token in (">", ">>", "<", "|", "&", "&&", "||", ";") or (
             token.startswith((">", "<")) and len(token) > 1
         ):
             tokens = tokens[:index]
@@ -113,6 +132,48 @@ def extract_examples(path: pathlib.Path) -> List[Example]:
             if argv is not None:
                 examples.append(Example(path, line_no, command, argv))
     return examples
+
+
+class Frame(NamedTuple):
+    """One wire-protocol frame found in a ``json`` fence."""
+
+    path: pathlib.Path
+    line: int
+    text: str
+
+
+def extract_frames(path: pathlib.Path) -> List[Frame]:
+    """Every NDJSON frame line inside plain ``json`` fences."""
+    text = path.read_text(encoding="utf-8")
+    frames: List[Frame] = []
+    for match in JSON_FENCE_RE.finditer(text):
+        block_first_line = text.count("\n", 0, match.start(1)) + 1
+        for offset, raw in enumerate(match.group(1).splitlines()):
+            line = raw.strip()
+            if line:
+                frames.append(Frame(path, block_first_line + offset, line))
+    for match in FENCE_RE.finditer(text):
+        block_start = match.start(1)
+        for inline in INLINE_FRAME_RE.finditer(match.group(1)):
+            line_no = text.count("\n", 0, block_start + inline.start()) + 1
+            frames.append(Frame(path, line_no, inline.group(1)))
+    return frames
+
+
+def validate_frame(frame: Frame) -> str | None:
+    """Check one frame line; return an error message or None."""
+    from repro.serve.protocol import WireProtocolError, decode_request
+
+    try:
+        obj = json.loads(frame.text)
+    except json.JSONDecodeError as exc:
+        return f"not valid JSON: {exc}"
+    if isinstance(obj, dict) and "op" in obj:
+        try:
+            decode_request(frame.text)
+        except WireProtocolError as exc:
+            return f"invalid request ({exc.code}): {exc}"
+    return None
 
 
 def validate(example: Example, parser: argparse.ArgumentParser) -> str | None:
@@ -141,13 +202,19 @@ def main(argv: List[str] | None = None) -> int:
     parser = _build_parser()
     files = args.files or default_doc_files()
     examples: List[Example] = []
+    frames: List[Frame] = []
     for path in files:
         examples.extend(extract_examples(path))
+        frames.extend(extract_frames(path))
     failures = []
     for example in examples:
         error = validate(example, parser)
         if error is not None:
             failures.append((example, error))
+    for frame in frames:
+        error = validate_frame(frame)
+        if error is not None:
+            failures.append((frame, error))
     rel = lambda p: p.relative_to(REPO_ROOT) if p.is_relative_to(REPO_ROOT) else p  # noqa: E731
     if failures:
         print(f"check_docs: {len(failures)} stale example(s):")
@@ -156,8 +223,9 @@ def main(argv: List[str] | None = None) -> int:
             print(f"      {error}")
         return 1
     print(
-        f"check_docs: {len(examples)} `python -m repro` example(s) across "
-        f"{len(files)} file(s) all parse"
+        f"check_docs: {len(examples)} `python -m repro` example(s) and "
+        f"{len(frames)} protocol frame(s) across {len(files)} file(s) "
+        f"all parse"
     )
     return 0
 

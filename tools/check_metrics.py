@@ -145,6 +145,8 @@ def smoke_run() -> List[Emission]:
          metrics=registry)
     snapshots.append(("scenario-fuzz", registry.snapshot()))
 
+    snapshots.append(("serve", _serve_smoke()))
+
     emissions: List[Emission] = []
     for run_name, snapshot in snapshots:
         for family, kind in (("counters", "counter"), ("gauges", "gauge"),
@@ -154,6 +156,53 @@ def smoke_run() -> List[Emission]:
                     Emission(name, kind, f"runtime ({run_name} run)")
                 )
     return emissions
+
+
+def _serve_smoke() -> dict:
+    """One tiny serve session (ingest, query, subscribe, reject, error)
+    against a real registry, so every ``serve.*`` name is recorded."""
+    import asyncio
+    import json
+
+    from repro.obs import MetricsRegistry
+    from repro.serve import ServeConfig, StreamServer
+
+    registry = MetricsRegistry()
+
+    async def session() -> None:
+        config = ServeConfig(
+            backend="sequential", capacity=32, batch_events=4,
+            batch_interval=0.01, snapshot_interval=0.01,
+            max_pending_batches=1,
+        )
+        async with StreamServer(config, metrics=registry) as server:
+            reader, writer = await asyncio.open_connection(
+                config.host, server.port
+            )
+
+            async def request(payload: dict) -> dict:
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+                while True:
+                    response = json.loads(await reader.readline())
+                    if "push" not in response:
+                        return response
+
+            await request({"op": "ingest", "events": list(range(4))})
+            await request({"op": "flush"})
+            await request({"op": "query", "kind": "topk", "k": 3})
+            await request({"op": "subscribe",
+                           "inner": {"kind": "topk", "k": 1},
+                           "period": 0.01})
+            await asyncio.sleep(0.03)
+            # one oversized frame (protocol error) and one rejected burst
+            await request({"op": "nope"})
+            await request({"op": "ingest", "events": list(range(64))})
+            writer.close()
+            await writer.wait_closed()
+
+    asyncio.run(session())
+    return registry.snapshot()
 
 
 def check(emissions: List[Emission]) -> List[str]:
