@@ -201,6 +201,11 @@ METRIC_SPECS: Dict[str, MetricSpec] = {
               "batch_events; partial tails from the ticker and flush)"),
         _spec("serve.batch.flush_seconds", "histogram", "seconds", "serve",
               "wall-clock latency of one backend.ingest micro-batch"),
+        _spec("serve.batch.flush_failures", "counter", "batches", "serve",
+              "micro-batches dropped because backend.ingest raised "
+              "(the flusher survives; the batch's events are lost "
+              "from the counts, so processed < accepted_events)",
+              worse="up", tolerance=0.0),
         _spec("serve.queue.depth", "gauge", "batches", "serve",
               "pending micro-batches awaiting the flusher (bounded by "
               "max_pending_batches — the backpressure budget)"),

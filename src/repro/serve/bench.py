@@ -204,6 +204,7 @@ async def _run_bench(
     staleness: List[float] = []
     connected = 0
     peak_connected = 0
+    ingest_start: Optional[float] = None
     all_connected = asyncio.Event()
     connect_gate = asyncio.Semaphore(_CONNECT_GATE)
 
@@ -211,7 +212,7 @@ async def _run_bench(
         host, port = config.host, server.port
 
         async def one_client(index: int) -> None:
-            nonlocal connected, peak_connected
+            nonlocal connected, peak_connected, ingest_start
             client = _Client(host, port)
             async with connect_gate:
                 await client.connect()
@@ -223,6 +224,10 @@ async def _run_bench(
                 # hold the socket until *every* client is connected, so
                 # the reported concurrency is genuinely simultaneous
                 await all_connected.wait()
+                # the first client through the barrier starts the load
+                # clock: connection ramp-up must not deflate ingest_eps
+                if ingest_start is None:
+                    ingest_start = time.perf_counter()
                 slice_ = stream[
                     index * events_per_client:(index + 1) * events_per_client
                 ]
@@ -251,11 +256,17 @@ async def _run_bench(
                 connected -= 1
                 await client.close()
 
-        ingest_start = time.perf_counter()
+        connect_start = time.perf_counter()
         await asyncio.gather(
             *(one_client(index) for index in range(connections))
         )
-        load_seconds = time.perf_counter() - ingest_start
+        load_end = time.perf_counter()
+        # ingest_start is set once every client passed the barrier; the
+        # fallback only matters if gather somehow returned without it
+        if ingest_start is None:
+            ingest_start = connect_start
+        connect_seconds = ingest_start - connect_start
+        load_seconds = load_end - ingest_start
 
         # ---- guarantee audit (exact ground truth, post-flush) --------
         control = _Client(host, port)
@@ -310,6 +321,7 @@ async def _run_bench(
         "connections": connections,
         "peak_concurrent": peak_connected,
         "ingest_events": counters.get("serve.ingest.events", 0),
+        "connect_seconds": round(connect_seconds, 4),
         "load_seconds": round(load_seconds, 4),
         "ingest_eps": round(len(stream) / load_seconds, 1),
         "query_count": len(latencies),

@@ -42,6 +42,7 @@ import asyncio
 import concurrent.futures
 import dataclasses
 import itertools
+import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -193,6 +194,7 @@ class StreamServer:
         self._m_flush_seconds = m.histogram(
             "serve.batch.flush_seconds", TIME_BUCKETS
         )
+        self._m_flush_failures = m.counter("serve.batch.flush_failures")
         self._m_queue_depth = m.gauge("serve.queue.depth")
         self._m_refreshes = m.counter("serve.snapshot.refreshes")
         self._m_snap_seconds = m.histogram(
@@ -263,11 +265,13 @@ class StreamServer:
             await self._server.wait_closed()
         for sub in list(self._subs.values()):
             self._drop_subscription(sub.sub_id)
-        # drain what was already acked so close() honours the contract
+        # drain what was already acked so close() honours the contract;
+        # the batch leaves _pending *before* the await so a concurrent
+        # ticker/flush can never re-queue or drop the same events
         while self._pending:
             batch = self._pending[: self.config.batch_events]
-            await self._queue.put(batch)
             del self._pending[: len(batch)]
+            await self._queue.put(batch)
         await self._queue.join()
         for task in self._tasks:
             task.cancel()
@@ -304,6 +308,19 @@ class StreamServer:
                     )
                     self._m_flush_seconds.observe(time.perf_counter() - start)
                 self._processed += len(batch)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:    # noqa: BLE001 - the flusher must live
+                # one bad batch must not kill the only ingest path: the
+                # queue would fill forever and flush/stop would hang on
+                # join().  The batch's events are lost from the counts
+                # (stats shows processed < accepted_events), metered here.
+                self._m_flush_failures.inc()
+                print(
+                    f"serve: backend.ingest failed, dropping batch of "
+                    f"{len(batch)} events: {type(exc).__name__}: {exc}",
+                    file=sys.stderr, flush=True,
+                )
             finally:
                 self._queue.task_done()
                 self._m_queue_depth.set(self._queue.qsize())
@@ -595,14 +612,19 @@ class StreamServer:
         )
 
     def _do_unsubscribe(self, request, owned_subs) -> Dict[str, Any]:
-        if request.subscription not in self._subs:
+        # only the registering connection may cancel a subscription; an
+        # unowned (or dead) id gets the same answer so ids leak nothing
+        if (
+            request.subscription not in owned_subs
+            or request.subscription not in self._subs
+        ):
             raise WireProtocolError(
                 "unknown-subscription",
-                f"no active subscription {request.subscription!r}",
+                f"no active subscription {request.subscription!r} "
+                "on this connection",
             )
         self._drop_subscription(request.subscription)
-        if request.subscription in owned_subs:
-            owned_subs.remove(request.subscription)
+        owned_subs.remove(request.subscription)
         return self._ok(request.id, unsubscribed=request.subscription)
 
     def _drop_subscription(self, sub_id: str) -> None:
@@ -653,10 +675,13 @@ class StreamServer:
     # -- flush & stats -------------------------------------------------
     async def _do_flush(self, request: FlushRequest) -> Dict[str, Any]:
         """A read barrier: everything acked before this is queryable after."""
+        # claim the batch synchronously: if the await suspends on a full
+        # queue, the ticker or a concurrent flush sees _pending without
+        # these events, so nothing is queued twice or deleted unqueued
         while self._pending:
             batch = self._pending[: self.config.batch_events]
-            await self._queue.put(batch)    # waits for budget, never drops
             del self._pending[: len(batch)]
+            await self._queue.put(batch)    # waits for budget, never drops
             self._m_batch_fill.observe(len(batch))
         await self._queue.join()
         await self._refresh_view()

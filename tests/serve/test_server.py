@@ -12,6 +12,7 @@ before the flush is queryable (and correct) after it.
 import asyncio
 import collections
 import json
+import time
 
 from repro.backend import create_backend
 from repro.obs.registry import MetricsRegistry
@@ -235,6 +236,49 @@ def test_subscribe_pushes_and_unsubscribe():
     _run(main())
 
 
+def test_unsubscribe_requires_owning_connection():
+    async def main():
+        config = ServeConfig(
+            port=0, backend="sequential", capacity=32,
+            batch_events=8, batch_interval=0.01, snapshot_interval=0.02,
+        )
+        async with StreamServer(config) as server:
+            owner = await _Client.connect(server.port)
+            reply = await owner.request({
+                "op": "subscribe",
+                "inner": {"kind": "topk", "k": 2},
+                "period": 0.02,
+            })
+            assert reply["ok"]
+            sub_id = reply["subscription"]
+
+            # sub ids are sequential and guessable; another connection
+            # must not be able to cancel someone else's feed with one
+            intruder = await _Client.connect(server.port)
+            reply = await intruder.request(
+                {"op": "unsubscribe", "subscription": sub_id}
+            )
+            assert reply["ok"] is False
+            assert reply["error"] == "unknown-subscription"
+            await intruder.close()
+
+            # the subscription survived the attempt: pushes keep coming
+            while not owner.pushes:
+                payload = await owner.read_frame()
+                if is_push(payload):
+                    owner.pushes.append(payload)
+            assert owner.pushes[0]["push"] == sub_id
+
+            # and the registering connection can still cancel it
+            reply = await owner.request(
+                {"op": "unsubscribe", "subscription": sub_id}
+            )
+            assert reply["ok"] and reply["unsubscribed"] == sub_id
+            await owner.close()
+
+    _run(main())
+
+
 def test_interval_query_pushes_after_every_events():
     async def main():
         config = ServeConfig(
@@ -266,6 +310,107 @@ def test_interval_query_pushes_after_every_events():
             assert push["push"] == sub_id
             assert push["kind"] == "point" and push["count"] >= 6
 
+            await client.close()
+
+    _run(main())
+
+
+# ----------------------------------------------------------------------
+# Ingest accounting: exactly-once under concurrent flush, and a flusher
+# that survives a backend failure instead of wedging the queue
+# ----------------------------------------------------------------------
+def test_concurrent_flush_and_ingest_count_exactly_once():
+    """Concurrent flushes + the ticker must never re-queue or drop a
+    pending batch while a ``queue.put`` is suspended on a full budget
+    (the batch leaves ``_pending`` before the await)."""
+    async def main():
+        config = ServeConfig(
+            port=0, backend="sequential", capacity=64,
+            batch_events=4, max_pending_batches=1,
+            batch_interval=0.005, snapshot_interval=0.02,
+        )
+        async with StreamServer(config) as server:
+            # slow the backend so the one-slot queue stays full and
+            # flush's queue.put genuinely suspends mid-drain
+            real_ingest = server._backend.ingest
+
+            def slow_ingest(batch):
+                time.sleep(0.002)
+                real_ingest(batch)
+
+            server._backend.ingest = slow_ingest
+            sent = 0
+
+            async def worker(tag):
+                nonlocal sent
+                client = await _Client.connect(server.port)
+                for i in range(25):
+                    events = ["%s-%d-%d" % (tag, i, j) for j in range(3)]
+                    while True:
+                        reply = await client.request(
+                            {"op": "ingest", "events": events}
+                        )
+                        if reply["ok"]:
+                            break
+                        assert reply["error"] == "backpressure"
+                        await asyncio.sleep(0.003)
+                    sent += len(events)
+                    if i % 5 == 0:
+                        assert (await client.request({"op": "flush"}))["ok"]
+                await client.close()
+
+            await asyncio.gather(*(worker(tag) for tag in ("a", "b", "c")))
+
+            control = await _Client.connect(server.port)
+            flushed = await control.request({"op": "flush"})
+            assert flushed["ok"] and flushed["processed"] == sent
+            stats = (await control.request({"op": "stats"}))["stats"]
+            assert stats["accepted_events"] == sent
+            assert stats["processed"] == sent
+            await control.close()
+
+    _run(main())
+
+
+def test_flusher_survives_backend_ingest_failure():
+    async def main():
+        metrics = MetricsRegistry()
+        config = ServeConfig(
+            port=0, backend="sequential", capacity=32,
+            batch_events=4, batch_interval=0.01, snapshot_interval=0.02,
+        )
+        async with StreamServer(config, metrics=metrics) as server:
+            real_ingest = server._backend.ingest
+            tripped = []
+
+            def flaky_ingest(batch):
+                if not tripped:
+                    tripped.append(True)
+                    raise RuntimeError("injected backend failure")
+                real_ingest(batch)
+
+            server._backend.ingest = flaky_ingest
+            client = await _Client.connect(server.port)
+
+            # the first full batch hits the injected failure and is lost
+            reply = await client.request({"op": "ingest", "events": ["a"] * 4})
+            assert reply["ok"]
+            # flush must still return: task_done fires even on failure,
+            # so queue.join() cannot hang on the dead batch
+            flushed = await client.request({"op": "flush"})
+            assert flushed["ok"] and flushed["processed"] == 0
+
+            # the flusher survived: later batches land and are queryable
+            reply = await client.request({"op": "ingest", "events": ["b"] * 4})
+            assert reply["ok"]
+            flushed = await client.request({"op": "flush"})
+            assert flushed["ok"] and flushed["processed"] == 4
+
+            counters = metrics.snapshot()["counters"]
+            assert counters["serve.batch.flush_failures"] == 1
+            stats = (await client.request({"op": "stats"}))["stats"]
+            assert stats["accepted_events"] == 8   # acked, one batch lost
+            assert stats["processed"] == 4
             await client.close()
 
     _run(main())
