@@ -226,6 +226,19 @@ class MPBackend(_Instrumented):
         self._ensure_open()
         return self._pool.merged().estimate(element)
 
+    def telemetry(self) -> dict:
+        """Latest worker beacons merged into one registry-shaped snapshot.
+
+        Drains the pool's reply queue (non-blocking, failing fast on
+        worker errors) and merges each worker's latest
+        ``mp.beacon.<i>.*`` snapshot.  Backends without live worker
+        telemetry simply do not define this method — the serve tier
+        feature-detects it with ``getattr``.
+        """
+        self._ensure_open()
+        self._pool.poll_beacons()
+        return self._pool.beacon_snapshot()
+
     def close(self) -> None:
         if not self._closed:
             self._pool.close()

@@ -96,6 +96,15 @@ Commands
         python -m repro serve-bench --scale smoke
         python -m repro serve-bench --scale default --backend mp-shm
 
+``top``
+    Live terminal dashboard for a running server: attaches to its
+    ``metrics`` push stream and renders windowed rates, latency
+    quantiles, per-worker beacon occupancy and SLO alert state;
+    ``--once --json`` turns it into a scriptable probe::
+
+        python -m repro top --port 7070
+        python -m repro top --port 7070 --once --json
+
 ``trace``
     Record a traced run and print its timeline; ``--mode`` picks the
     simulated shared scheme (engine-effect trace), a span-traced
@@ -396,6 +405,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="query-view refresh period in seconds; the "
                        "staleness bound is batch-interval + this "
                        "(default: 0.2)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="also expose Prometheus text metrics on this "
+                       "HTTP port (0 picks an ephemeral port; default: "
+                       "off)")
+    serve.add_argument("--watchdog-interval", type=float, default=0.5,
+                       help="telemetry sample + SLO evaluation period in "
+                       "seconds (default: 0.5)")
+    serve.add_argument("--probe-keys", type=int, default=128,
+                       help="shadow-truth accuracy probe size in distinct "
+                       "keys; 0 disables the drift alert (default: 128)")
+    serve.add_argument("--fault", choices=("flush-failure",), default=None,
+                       help="inject a serve fault for alert drills "
+                       "(testing only)")
 
     serve_bench = commands.add_parser(
         "serve-bench",
@@ -415,6 +437,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", type=pathlib.Path, default=None,
         help="result file (default: ./BENCH_serve.json)",
     )
+
+    top = commands.add_parser(
+        "top",
+        help="live terminal dashboard for a running server: attaches to "
+        "its metrics stream (rates, latency quantiles, worker beacons, "
+        "alert state)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7070,
+                     help="the server's NDJSON port (default: 7070)")
+    top.add_argument("--period", type=float, default=1.0,
+                     help="refresh period in seconds (default: 1.0)")
+    top.add_argument("--frames", type=int, default=0,
+                     help="render N frames then exit (0 = until ^C)")
+    top.add_argument("--once", action="store_true",
+                     help="fetch one metrics answer, render it, exit")
+    top.add_argument("--json", action="store_true", dest="as_json",
+                     help="print raw JSON payloads instead of rendering")
+    top.add_argument("--raw", action="store_true",
+                     help="include the full cumulative metrics snapshot "
+                     "in each payload (with --json)")
 
     trace = commands.add_parser(
         "trace",
@@ -863,6 +906,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_interval=args.batch_interval,
             max_pending_batches=args.max_pending_batches,
             snapshot_interval=args.snapshot_interval,
+            metrics_port=args.metrics_port,
+            watchdog_interval=args.watchdog_interval,
+            probe_keys=args.probe_keys,
+            fault=args.fault,
         )
     except ConfigurationError as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -895,7 +942,42 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if not entry["latency_crosscheck_ok"]:
+        print(
+            "serve-bench: sampled and histogram-derived latency "
+            "quantiles diverge by more than one bucket",
+            file=sys.stderr,
+        )
+        return 1
+    if not (entry["metrics_op_ok"] and entry["prometheus_scrape_ok"]):
+        print(
+            "serve-bench: the mid-load live-telemetry probe failed "
+            f"(metrics_op_ok={entry['metrics_op_ok']}, "
+            f"prometheus_scrape_ok={entry['prometheus_scrape_ok']})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Attach the live dashboard to a running server."""
+    import asyncio
+
+    from repro.serve import run_top
+
+    try:
+        return asyncio.run(run_top(
+            host=args.host,
+            port=args.port,
+            period=args.period,
+            frames=args.frames,
+            once=args.once,
+            as_json=args.as_json,
+            raw=args.raw,
+        ))
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1009,6 +1091,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "serve": _cmd_serve,
         "serve-bench": _cmd_serve_bench,
+        "top": _cmd_top,
         "trace": _cmd_trace,
     }
     try:

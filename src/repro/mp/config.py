@@ -81,6 +81,13 @@ class MPConfig:
       other), more deepens the dispatch pipeline at the cost of
       ``ring_segments * chunk_elements * 16`` bytes per worker.
 
+    ``beacon_every`` makes workers ship a small telemetry snapshot
+    (elements processed, batches drained, live ring occupancy) on the
+    reply queue every N batches; the parent folds the latest beacon per
+    worker and the live-telemetry plane (``repro top``) renders them.
+    Beacons are observation only — they never touch counts — and 0
+    disables them entirely.
+
     ``fault`` is a testing-only hook that makes workers misbehave on
     purpose (``raise``: raise during counting; ``exit``: hard-exit the
     process; ``hang``: stop draining the task queue) so the typed
@@ -98,6 +105,7 @@ class MPConfig:
     transport: str = "shm"           #: see :data:`TRANSPORTS`
     ring_segments: int = 2           #: shm segments per worker (2 = double buffer)
     mode: str = "sharded"            #: see :data:`MODES`
+    beacon_every: int = 32           #: batches between worker telemetry beacons (0 = off)
     sketch_epsilon: float = 0.001    #: one-table Count-Min eps (pre-widening)
     sketch_delta: float = 0.01       #: one-table Count-Min failure probability
     sketch_seed: Optional[int] = 0   #: one-table hash seed (shared by workers)
@@ -149,6 +157,11 @@ class MPConfig:
         if self.mode not in MODES:
             raise ConfigurationError(
                 f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if self.beacon_every < 0:
+            raise ConfigurationError(
+                f"beacon_every must be >= 0 (0 disables beacons), "
+                f"got {self.beacon_every}"
             )
         if not 0 < self.sketch_epsilon < 1:
             raise ConfigurationError(

@@ -62,7 +62,7 @@ from repro.core.space_saving import SpaceSaving
 from repro.errors import BackendError, WorkerTimeoutError
 from repro.mp.config import MPConfig
 from repro.mp.pool import ShardedProcessPool
-from repro.mp.worker import CRASH_EXIT_CODE, _HANG_SECONDS
+from repro.mp.worker import CRASH_EXIT_CODE, _HANG_SECONDS, put_beacon
 from repro.obs.registry import TIME_BUCKETS
 from repro.obs.tracing import NULL_TRACER, Tracer
 
@@ -148,6 +148,7 @@ def one_table_main(
     ring: Tuple[str, int, int],
     fault: Optional[str] = None,
     trace: bool = False,
+    beacon_every: int = 0,
 ) -> None:
     """Entry point of one one-table worker process (top-level: spawn-safe).
 
@@ -168,6 +169,7 @@ def one_table_main(
     va = np.array(hash_a, dtype=np.uint64)
     vb = np.array(hash_b, dtype=np.uint64)
     reader = ShmRingReader(ring[0], ring[1], ring[2])
+    batches_done = 0
     try:
         while True:
             message = tasks.get()
@@ -190,6 +192,12 @@ def one_table_main(
                     # publish progress only after the cells landed: the
                     # parent derives staleness bounds from this counter
                     table.add_applied(index, int(weights.sum()))
+                batches_done += 1
+                if beacon_every and batches_done % beacon_every == 0:
+                    put_beacon(
+                        replies, index, table.applied(index), batches_done,
+                        reader.busy_segments(),
+                    )
             elif kind == "flush":
                 # FIFO queue: every batch dispatched before this command
                 # is already applied, so the ack certifies quiescence
@@ -296,6 +304,7 @@ class OneTablePool(ShardedProcessPool):
             ),
             self.config.fault,
             self.tracer.enabled,
+            self.config.beacon_every,
         )
 
     def _note_chunk(self, codes, weights) -> None:
@@ -361,6 +370,8 @@ class OneTablePool(ShardedProcessPool):
                         message[3], offset=offset,
                         track_prefix=f"shard-{message[0]}/",
                     )
+            elif kind == "beacon":
+                self._fold_beacon(message)
             else:
                 self._m_replies_discarded.inc()
                 self._discarded_replies[str(kind)] += 1

@@ -58,7 +58,7 @@ from repro.errors import BackendError, WorkerCrashError, WorkerTimeoutError
 from repro.mp.config import MPConfig
 from repro.mp.shm import ShmRing, StreamCodec, route_coded
 from repro.mp.worker import shard_main
-from repro.obs.registry import TIME_BUCKETS, coerce
+from repro.obs.registry import TIME_BUCKETS, coerce, merge_snapshots
 from repro.obs.tracing import coerce_tracer
 from repro.workloads.partition import chunked, partition
 
@@ -122,9 +122,14 @@ class ShardedProcessPool:
         self._m_ring_occupancy = self.metrics.histogram(
             "mp.shm.ring_occupancy", buckets=(0, 1, 2, 4, 8)
         )
+        self._m_beacons_received = self.metrics.counter(
+            "mp.beacons.received"
+        )
         #: per-worker dispatched element counts (kept even without a
         #: registry, so callers can derive items/sec after a run)
         self.worker_items: List[int] = [0] * self.config.workers
+        #: latest telemetry beacon per worker (registry-shaped snapshots)
+        self.worker_beacons: Dict[int, Dict] = {}
         #: kinds of stale replies swallowed by error/shutdown sweeps
         self._discarded_replies: collections.Counter = collections.Counter()
         self._use_shm = self.config.transport == "shm"
@@ -182,6 +187,7 @@ class ShardedProcessPool:
                 self.config.chunk_elements,
                 self.config.ring_segments,
             ) if self._use_shm else None,
+            self.config.beacon_every,
         )
 
     def _note_chunk(self, codes, weights) -> None:
@@ -274,6 +280,8 @@ class ShardedProcessPool:
                 return
             if message[1] == "stopped":
                 seen += 1
+            elif message[1] == "beacon":
+                self._fold_beacon(message)
             else:
                 self._m_replies_discarded.inc()
                 self._discarded_replies[str(message[1])] += 1
@@ -281,6 +289,38 @@ class ShardedProcessPool:
     def worker_exitcodes(self) -> List[Optional[int]]:
         """Exit codes of the (joined) workers; None while running."""
         return [process.exitcode for process in self._processes]
+
+    # ------------------------------------------------------------------
+    # Worker telemetry beacons
+    # ------------------------------------------------------------------
+    def _fold_beacon(self, message: tuple) -> None:
+        """Keep the latest beacon per worker (never counted as discarded)."""
+        self.worker_beacons[message[0]] = message[2]
+        self._m_beacons_received.inc()
+
+    def poll_beacons(self) -> Dict[int, Dict]:
+        """Drain pending replies and return the latest beacon per worker.
+
+        Non-blocking: sweeps whatever is already on the reply queue
+        (folding beacons, failing fast on worker errors like any
+        dispatch does) and returns a copy of the per-worker beacon
+        snapshots.  Workers that have not beaconed yet are absent.
+        """
+        self._ensure_open()
+        self._poll_for_errors()
+        return dict(self.worker_beacons)
+
+    def beacon_snapshot(self) -> Dict[str, Dict]:
+        """All workers' latest beacons merged into one registry snapshot.
+
+        Per-worker names are disjoint (``mp.beacon.<i>.*``), so the
+        merge is a union — the shape the serve tier folds into its own
+        registry snapshot for exposition.
+        """
+        return merge_snapshots(*(
+            self.worker_beacons[index]
+            for index in sorted(self.worker_beacons)
+        ))
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -482,6 +522,8 @@ class ShardedProcessPool:
             else:
                 if message[1] == "error":
                     details[message[0]] = message[2]
+                elif message[1] == "beacon":
+                    self._fold_beacon(message)
                 else:
                     self._m_replies_discarded.inc()
                     self._discarded_replies[str(message[1])] += 1
@@ -552,6 +594,9 @@ class ShardedProcessPool:
             kind = message[1]
             if kind == "error":
                 self._fail_crashed(message[0], detail=message[2])
+            if kind == "beacon":
+                self._fold_beacon(message)
+                continue
             if kind != "snapshot" or message[2] != token:
                 continue  # stale reply from an earlier, abandoned query
             index = message[0]

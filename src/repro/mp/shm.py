@@ -248,6 +248,16 @@ class ShmRingReader:
                 buf, dtype="<i8", count=slots, offset=base + slots * 8))
         self._closed = False
 
+    def busy_segments(self) -> int:
+        """Segments currently published BUSY (the worker's backlog).
+
+        The worker-side twin of :meth:`ShmRing.busy_segments`, read for
+        telemetry beacons: how far the parent is ahead of this worker.
+        """
+        return sum(
+            1 for s in range(self.segments) if self._status[s][0] != SEG_FREE
+        )
+
     def read(self, segment: int, count: int) -> Tuple[List[int], List[int]]:
         """Copy ``count`` records out of ``segment`` and free it.
 

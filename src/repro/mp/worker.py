@@ -26,6 +26,14 @@ processes so the GIL is out of the picture.  The loop is command-driven:
     the reply queue, and failing to deliver the ack must never turn a
     clean shutdown into a crash exit — so it is swallowed, not raised.
 
+With ``beacon_every > 0`` the worker additionally ships an
+``(index, "beacon", snapshot)`` message every that many drained
+batches: a tiny registry-shaped snapshot (``mp.beacon.<i>.*`` names
+from the catalogue) carrying elements processed, batches drained and
+the live shm-ring occupancy.  Beacons are advisory telemetry — an
+undeliverable beacon is dropped, never raised — and the parent folds
+only the latest one per worker.
+
 Failures never disappear: any exception is reported on the reply queue
 as an ``("error", ...)`` message before the process exits non-zero, so
 the parent can raise a typed :class:`~repro.errors.WorkerCrashError`
@@ -56,6 +64,38 @@ CRASH_EXIT_CODE = 17
 _HANG_SECONDS = 600.0
 
 
+def beacon_snapshot(
+    index: int, processed: int, batches: int, ring_busy: int
+) -> dict:
+    """A worker's telemetry beacon, shaped like a registry snapshot.
+
+    Snapshot-shaped on purpose: the parent (and the serve tier above
+    it) folds beacons with :func:`repro.obs.registry.merge_snapshots`
+    and renders them through the same exposition paths as every other
+    metric.  Names follow the ``mp.beacon.<i>.*`` catalogue templates.
+    """
+    prefix = f"mp.beacon.{index}"
+    return {
+        "counters": {
+            f"{prefix}.processed": processed,
+            f"{prefix}.batches": batches,
+        },
+        "gauges": {f"{prefix}.ring_busy": float(ring_busy)},
+        "histograms": {},
+    }
+
+
+def put_beacon(
+    replies: Any, index: int, processed: int, batches: int, ring_busy: int
+) -> None:
+    """Best-effort beacon delivery (telemetry must never kill a worker)."""
+    try:
+        replies.put((index, "beacon",
+                     beacon_snapshot(index, processed, batches, ring_busy)))
+    except Exception:
+        pass
+
+
 def shard_main(
     index: int,
     tasks: Any,
@@ -64,6 +104,7 @@ def shard_main(
     fault: Optional[str] = None,
     trace: bool = False,
     ring: Optional[Tuple[str, int, int]] = None,
+    beacon_every: int = 0,
 ) -> None:
     """Entry point of one worker process (top-level: spawn-safe).
 
@@ -79,6 +120,7 @@ def shard_main(
         from repro.mp.shm import ShmRingReader
 
         reader = ShmRingReader(ring[0], ring[1], ring[2])
+    batches_done = 0
     try:
         while True:
             message = tasks.get()
@@ -103,6 +145,12 @@ def shard_main(
                     ):
                         codes, weights = reader.read(message[1], message[2])
                         shard.process_weighted(zip(codes, weights))
+                batches_done += 1
+                if beacon_every and batches_done % beacon_every == 0:
+                    put_beacon(
+                        replies, index, shard.processed, batches_done,
+                        reader.busy_segments() if reader is not None else 0,
+                    )
             elif kind == "snapshot":
                 with tracer.span("worker", "snapshot", "mp.worker"):
                     entries = [

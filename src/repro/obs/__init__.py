@@ -46,7 +46,22 @@ from repro.obs.registry import (
     empty_snapshot,
     merge_snapshots,
 )
-from repro.obs.schema import METRIC_SPECS, MetricSpec, lookup
+from repro.obs.schema import (
+    ALERT_RULES,
+    METRIC_SPECS,
+    AlertRule,
+    MetricSpec,
+    lookup,
+)
+from repro.obs.live import (
+    RollingWindow,
+    Watchdog,
+    counter_increase,
+    histogram_increase,
+    histogram_quantile,
+    prometheus_series,
+    render_prometheus,
+)
 from repro.obs.report import (
     REPORT_SCHEMA_VERSION,
     format_snapshot,
@@ -79,6 +94,8 @@ from repro.obs.diff import (
 )
 
 __all__ = [
+    "ALERT_RULES",
+    "AlertRule",
     "BENCH_FIELD_SPECS",
     "Counter",
     "DEFAULT_BUCKETS",
@@ -98,20 +115,27 @@ __all__ = [
     "NullRegistry",
     "NullTracer",
     "REPORT_SCHEMA_VERSION",
+    "RollingWindow",
     "Span",
     "TIME_BUCKETS",
     "Tracer",
+    "Watchdog",
     "ascii_timeline",
     "chrome_trace",
     "coerce",
     "coerce_tracer",
+    "counter_increase",
     "diff_reports",
     "empty_snapshot",
     "format_snapshot",
+    "histogram_increase",
+    "histogram_quantile",
     "iter_entry_metrics",
     "load_report",
     "lookup",
     "merge_snapshots",
+    "prometheus_series",
+    "render_prometheus",
     "render_report",
     "report_json",
     "select_entries",

@@ -1,0 +1,591 @@
+"""Live telemetry: rolling windows, quantiles, exposition, watchdogs.
+
+:mod:`repro.obs.registry` snapshots are cumulative — perfect for
+post-run reports, useless for an operator asking "what is the ingest
+rate *right now*?".  This module turns any sequence of periodically
+sampled snapshots into windowed telemetry:
+
+* :class:`RollingWindow` keeps the last N timestamped snapshots in a
+  ring buffer and derives per-second counter rates, gauge trends and
+  histogram quantiles over the window.
+* Counter math is **reset-safe**: a counter that goes backwards between
+  two samples is treated as a restart (the new value is the increase),
+  the same convention Prometheus ``rate()`` uses.  Histograms reset as
+  a unit — any bucket going backwards marks the whole histogram
+  restarted.
+* :func:`histogram_quantile` interpolates p50/p90/p99 from the
+  fixed-bucket layouts the registry already records (linear within the
+  bucket, Prometheus ``histogram_quantile`` style).
+* :func:`render_prometheus` writes the zero-dependency Prometheus text
+  exposition format, deriving family names, labels, HELP and TYPE from
+  the :data:`~repro.obs.schema.METRIC_SPECS` catalogue so the schema
+  stays the single source of truth.
+* :class:`Watchdog` evaluates the declarative
+  :data:`~repro.obs.schema.ALERT_RULES` over a rolling window and
+  reports firing/resolved transitions as structured events.
+
+Everything here is read-only over snapshots: sampling a registry can
+never change algorithm behaviour, so NullRegistry parity is preserved
+by construction (an empty snapshot yields an empty summary).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.schema import ALERT_RULES, AlertRule, MetricSpec, lookup
+
+#: quantiles every summary derives from histogram windows
+SUMMARY_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+_PLACEHOLDER_LABELS = {"<i>": "index", "<tag>": "tag", "<stat>": "stat"}
+_NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+# ----------------------------------------------------------------------
+# Reset-safe delta math over cumulative snapshots
+# ----------------------------------------------------------------------
+def counter_increase(values: Sequence[float]) -> float:
+    """Total increase across consecutive cumulative readings.
+
+    A reading lower than its predecessor means the emitting process
+    restarted; the new reading is counted as fresh increase (Prometheus
+    ``increase()`` semantics).  Fewer than two readings yield 0.
+    """
+    total = 0.0
+    for prev, cur in zip(values, values[1:]):
+        total += cur - prev if cur >= prev else cur
+    return total
+
+
+def histogram_increase(
+    older: Optional[Dict], newer: Optional[Dict]
+) -> Optional[Dict]:
+    """Windowed histogram delta between two cumulative snapshots.
+
+    Returns a snapshot-shaped dict (``buckets``/``counts``/``count``/
+    ``sum``) holding only the window's observations.  If the newer
+    histogram has different buckets, a smaller total, or any bucket
+    that went backwards, the emitter restarted and the newer histogram
+    *is* the increase.  ``None`` inputs propagate sensibly: no older
+    sample means everything in ``newer`` is new.
+    """
+    if newer is None:
+        return None
+    if older is None or older["buckets"] != newer["buckets"]:
+        return {
+            "buckets": list(newer["buckets"]),
+            "counts": list(newer["counts"]),
+            "count": newer["count"],
+            "sum": newer["sum"],
+        }
+    reset = newer["count"] < older["count"] or any(
+        n < o for o, n in zip(older["counts"], newer["counts"])
+    )
+    if reset:
+        counts = list(newer["counts"])
+        count = newer["count"]
+        total = newer["sum"]
+    else:
+        counts = [n - o for o, n in zip(older["counts"], newer["counts"])]
+        count = newer["count"] - older["count"]
+        total = newer["sum"] - older["sum"]
+    return {
+        "buckets": list(newer["buckets"]),
+        "counts": counts,
+        "count": count,
+        "sum": total,
+    }
+
+
+def histogram_quantile(
+    q: float, buckets: Sequence[float], counts: Sequence[int]
+) -> Optional[float]:
+    """Interpolated quantile from fixed-bucket counts.
+
+    ``buckets`` are the inclusive upper bounds; ``counts`` has one
+    entry per bound plus the final overflow bucket (the registry's
+    layout).  Linear interpolation within the bucket, lower edge 0 for
+    the first bucket; a quantile landing in the overflow bucket clamps
+    to the highest finite bound (Prometheus convention).  Returns
+    ``None`` when the histogram is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q!r}")
+    if len(counts) != len(buckets) + 1:
+        raise ConfigurationError(
+            f"counts must have len(buckets)+1 entries, got "
+            f"{len(counts)} for {len(buckets)} bounds"
+        )
+    total = sum(counts)
+    if total <= 0:
+        return None
+    target = q * total
+    cumulative = 0.0
+    for index, bucket_count in enumerate(counts):
+        cumulative += bucket_count
+        if cumulative >= target and bucket_count > 0:
+            if index == len(buckets):
+                return float(buckets[-1])
+            upper = float(buckets[index])
+            if index == 0:
+                lower = min(0.0, upper)
+            else:
+                lower = float(buckets[index - 1])
+            fraction = (target - (cumulative - bucket_count)) / bucket_count
+            return lower + (upper - lower) * fraction
+    return float(buckets[-1])
+
+
+# ----------------------------------------------------------------------
+# The rolling window
+# ----------------------------------------------------------------------
+class WindowSample:
+    """One timestamped registry snapshot."""
+
+    __slots__ = ("at", "snapshot")
+
+    def __init__(self, at: float, snapshot: Dict[str, Dict]) -> None:
+        self.at = at
+        self.snapshot = snapshot
+
+
+class RollingWindow:
+    """A ring buffer of timestamped snapshots with windowed derivations.
+
+    The caller supplies timestamps (monotonic seconds) so simulated and
+    wall-clock time both work; samples must arrive in non-decreasing
+    time order.
+    """
+
+    def __init__(self, max_samples: int = 120) -> None:
+        if max_samples < 2:
+            raise ConfigurationError(
+                f"rolling window needs at least 2 samples, got {max_samples}"
+            )
+        self.max_samples = max_samples
+        self._samples: Deque[WindowSample] = deque(maxlen=max_samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sample(self, snapshot: Dict[str, Dict], at: float) -> None:
+        """Record one cumulative snapshot taken at time ``at``."""
+        if self._samples and at < self._samples[-1].at:
+            raise ConfigurationError(
+                f"samples must be time-ordered: {at} < {self._samples[-1].at}"
+            )
+        self._samples.append(WindowSample(at, snapshot))
+
+    def samples(self, window: Optional[float] = None) -> List[WindowSample]:
+        """Samples within the trailing ``window`` seconds (all if None).
+
+        Includes the newest sample at or before the window edge as the
+        baseline, so deltas cover the full window span.
+        """
+        if not self._samples:
+            return []
+        if window is None:
+            return list(self._samples)
+        edge = self._samples[-1].at - window
+        kept: List[WindowSample] = []
+        for item in reversed(self._samples):
+            kept.append(item)
+            if item.at <= edge:
+                break
+        kept.reverse()
+        return kept
+
+    def span(self, window: Optional[float] = None) -> float:
+        """Seconds covered by the selected samples (0 if fewer than 2)."""
+        picked = self.samples(window)
+        if len(picked) < 2:
+            return 0.0
+        return picked[-1].at - picked[0].at
+
+    def latest(self) -> Optional[WindowSample]:
+        """The newest sample, or ``None`` when empty."""
+        return self._samples[-1] if self._samples else None
+
+    # ------------------------------------------------------------------
+    # Windowed derivations
+    # ------------------------------------------------------------------
+    def increase(self, name: str, window: Optional[float] = None) -> float:
+        """Reset-safe counter increase over the window.
+
+        A counter absent from a sample reads as 0 — registry counters
+        are born at 0, so a counter first incremented mid-window still
+        contributes its full rise.
+        """
+        picked = self.samples(window)
+        return counter_increase([
+            s.snapshot.get("counters", {}).get(name, 0)
+            for s in picked
+        ])
+
+    def rate(self, name: str, window: Optional[float] = None) -> float:
+        """Per-second counter rate over the window (0 on a degenerate span)."""
+        span = self.span(window)
+        if span <= 0:
+            return 0.0
+        return self.increase(name, window) / span
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Latest value of gauge ``name`` (``None`` if never set)."""
+        latest = self.latest()
+        if latest is None:
+            return None
+        return latest.snapshot.get("gauges", {}).get(name)
+
+    def histogram_window(
+        self, name: str, window: Optional[float] = None
+    ) -> Optional[Dict]:
+        """Windowed (delta) histogram for ``name``, reset-safe."""
+        picked = self.samples(window)
+        if not picked:
+            return None
+        newest = picked[-1].snapshot.get("histograms", {}).get(name)
+        oldest = picked[0].snapshot.get("histograms", {}).get(name)
+        if newest is None:
+            return None
+        if len(picked) < 2:
+            oldest = None
+        return histogram_increase(oldest, newest)
+
+    def quantile(
+        self, name: str, q: float, window: Optional[float] = None
+    ) -> Optional[float]:
+        """Interpolated quantile of histogram ``name`` over the window."""
+        delta = self.histogram_window(name, window)
+        if delta is None:
+            return None
+        return histogram_quantile(q, delta["buckets"], delta["counts"])
+
+    def summary(self, window: Optional[float] = None) -> Dict[str, object]:
+        """The full windowed digest: rates, trends, quantiles.
+
+        The shape served by the ``metrics`` op and consumed by
+        ``repro top``::
+
+            {
+              "window_seconds": float, "samples": int,
+              "rates":     {counter: per_second},
+              "increases": {counter: window_delta},
+              "gauges":    {gauge: {"last","min","max","delta"}},
+              "quantiles": {hist: {"p50","p90","p99","count","rate"}},
+            }
+        """
+        picked = self.samples(window)
+        span = picked[-1].at - picked[0].at if len(picked) >= 2 else 0.0
+        rates: Dict[str, float] = {}
+        increases: Dict[str, float] = {}
+        gauges: Dict[str, Dict[str, float]] = {}
+        quantiles: Dict[str, Dict[str, Optional[float]]] = {}
+        if not picked:
+            return {
+                "window_seconds": 0.0,
+                "samples": 0,
+                "rates": rates,
+                "increases": increases,
+                "gauges": gauges,
+                "quantiles": quantiles,
+            }
+        names_c: set = set()
+        names_g: set = set()
+        names_h: set = set()
+        for item in picked:
+            names_c.update(item.snapshot.get("counters", {}))
+            names_g.update(item.snapshot.get("gauges", {}))
+            names_h.update(item.snapshot.get("histograms", {}))
+        for name in sorted(names_c):
+            increase = counter_increase([
+                s.snapshot.get("counters", {}).get(name, 0)
+                for s in picked
+            ])
+            increases[name] = increase
+            rates[name] = increase / span if span > 0 else 0.0
+        for name in sorted(names_g):
+            seen = [
+                s.snapshot.get("gauges", {}).get(name)
+                for s in picked
+            ]
+            seen = [v for v in seen if v is not None]
+            if not seen:
+                continue
+            gauges[name] = {
+                "last": seen[-1],
+                "min": min(seen),
+                "max": max(seen),
+                "delta": seen[-1] - seen[0],
+            }
+        for name in sorted(names_h):
+            newest = picked[-1].snapshot.get("histograms", {}).get(name)
+            if newest is None:
+                continue
+            oldest = (
+                picked[0].snapshot.get("histograms", {}).get(name)
+                if len(picked) >= 2 else None
+            )
+            delta = histogram_increase(oldest, newest)
+            if delta is None:
+                continue
+            entry: Dict[str, Optional[float]] = {
+                "count": float(delta["count"]),
+                "rate": delta["count"] / span if span > 0 else 0.0,
+            }
+            for q in SUMMARY_QUANTILES:
+                key = f"p{int(q * 100)}"
+                entry[key] = histogram_quantile(
+                    q, delta["buckets"], delta["counts"]
+                )
+            quantiles[name] = entry
+        return {
+            "window_seconds": span,
+            "samples": len(picked),
+            "rates": rates,
+            "increases": increases,
+            "gauges": gauges,
+            "quantiles": quantiles,
+        }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (zero-dependency)
+# ----------------------------------------------------------------------
+def _sanitize(part: str) -> str:
+    return _NAME_SANITIZE_RE.sub("_", part)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    return format(bound, "g")
+
+
+def prometheus_series(name: str) -> Tuple[str, Dict[str, str], Optional[MetricSpec]]:
+    """Map a registry metric name to (family, labels, spec).
+
+    Catalogue templates drive the mapping: ``mp.worker.3.items``
+    resolves against ``mp.worker.<i>.items``, the placeholder segment
+    becomes a label (``index="3"``) and the family name is built from
+    the static segments (``repro_mp_worker_items``).  Names outside the
+    catalogue are sanitized wholesale with no labels.
+    """
+    spec = lookup(name)
+    parts = name.split(".")
+    if spec is None or "<" not in spec.name:
+        return "repro_" + "_".join(_sanitize(p) for p in parts), {}, spec
+    labels: Dict[str, str] = {}
+    family_parts: List[str] = []
+    for template_part, concrete in zip(spec.name.split("."), parts):
+        label = _PLACEHOLDER_LABELS.get(template_part)
+        if label is None:
+            family_parts.append(_sanitize(template_part))
+        else:
+            labels[label] = concrete
+    return "repro_" + "_".join(family_parts), labels, spec
+
+
+def _render_labels(labels: Dict[str, str], extra: str = "") -> str:
+    pairs = [
+        f'{key}="{_escape_label(value)}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(snapshot: Dict[str, Dict]) -> str:
+    """Render a registry snapshot as Prometheus text exposition.
+
+    Counters get a ``_total`` suffix, histograms the standard
+    cumulative ``_bucket{le=...}``/``_sum``/``_count`` triple with a
+    ``+Inf`` bucket; HELP and TYPE lines come from the METRIC_SPECS
+    catalogue (uncatalogued names render without HELP).  Output is
+    deterministic: families sorted, series sorted within a family.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family_for(name: str, kind: str) -> Dict[str, object]:
+        base, labels, spec = prometheus_series(name)
+        family = base + "_total" if kind == "counter" else base
+        entry = families.setdefault(
+            family,
+            {"kind": kind, "help": spec.help if spec else None, "lines": []},
+        )
+        entry["_labels"] = labels
+        return entry
+
+    for name, value in snapshot.get("counters", {}).items():
+        entry = family_for(name, "counter")
+        labels = entry.pop("_labels")
+        entry["lines"].append((labels, "", _format_number(value)))
+    for name, value in snapshot.get("gauges", {}).items():
+        entry = family_for(name, "gauge")
+        labels = entry.pop("_labels")
+        entry["lines"].append((labels, "", _format_number(value)))
+    for name, hist in snapshot.get("histograms", {}).items():
+        entry = family_for(name, "histogram")
+        labels = entry.pop("_labels")
+        cumulative = 0
+        for bound, bucket_count in zip(hist["buckets"], hist["counts"]):
+            cumulative += bucket_count
+            entry["lines"].append(
+                (labels, f'_bucket|le="{_format_bound(bound)}"',
+                 str(cumulative))
+            )
+        entry["lines"].append((labels, '_bucket|le="+Inf"', str(hist["count"])))
+        entry["lines"].append((labels, "_sum", _format_number(hist["sum"])))
+        entry["lines"].append((labels, "_count", str(hist["count"])))
+
+    out: List[str] = []
+    for family in sorted(families):
+        entry = families[family]
+        if entry["help"]:
+            out.append(f"# HELP {family} {entry['help']}")
+        out.append(f"# TYPE {family} {entry['kind']}")
+        for labels, suffix, value in entry["lines"]:
+            if "|" in suffix:
+                tail, le = suffix.split("|", 1)
+                rendered = _render_labels(labels, le)
+                out.append(f"{family}{tail}{rendered} {value}")
+            else:
+                rendered = _render_labels(labels)
+                out.append(f"{family}{suffix}{rendered} {value}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ----------------------------------------------------------------------
+# The SLO watchdog
+# ----------------------------------------------------------------------
+class AlertState:
+    """Mutable firing state of one rule."""
+
+    __slots__ = ("rule", "threshold", "firing", "since", "value")
+
+    def __init__(self, rule: AlertRule, threshold: float) -> None:
+        self.rule = rule
+        self.threshold = threshold
+        self.firing = False
+        self.since: Optional[float] = None
+        self.value: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "alert": self.rule.name,
+            "metric": self.rule.metric,
+            "kind": self.rule.kind,
+            "severity": self.rule.severity,
+            "threshold": self.threshold,
+            "firing": self.firing,
+            "since": self.since,
+            "value": self.value,
+        }
+
+
+class Watchdog:
+    """Evaluates declarative alert rules over a rolling window.
+
+    ``thresholds`` overrides per-rule thresholds (the serve tier pins
+    the staleness rule to its configured bound this way).  Each
+    :meth:`evaluate` returns the firing/resolved *transition* events —
+    steady state emits nothing, so the event stream stays quiet unless
+    something changes.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[AlertRule] = ALERT_RULES,
+        thresholds: Optional[Dict[str, float]] = None,
+    ) -> None:
+        overrides = dict(thresholds or {})
+        self._states: Dict[str, AlertState] = {}
+        for rule in rules:
+            if rule.name in self._states:
+                raise ConfigurationError(
+                    f"duplicate alert rule name {rule.name!r}"
+                )
+            threshold = overrides.pop(rule.name, rule.threshold)
+            self._states[rule.name] = AlertState(rule, threshold)
+        if overrides:
+            raise ConfigurationError(
+                f"threshold overrides for unknown rules: {sorted(overrides)}"
+            )
+
+    def _rule_value(
+        self, rule: AlertRule, window: RollingWindow
+    ) -> Optional[float]:
+        if rule.kind == "gauge":
+            return window.gauge(rule.metric)
+        if rule.kind == "increase":
+            if len(window.samples(rule.window)) < 2:
+                return None
+            return window.increase(rule.metric, rule.window)
+        if rule.kind == "rate":
+            if window.span(rule.window) <= 0:
+                return None
+            return window.rate(rule.metric, rule.window)
+        raise ConfigurationError(f"unknown alert rule kind {rule.kind!r}")
+
+    def evaluate(
+        self, window: RollingWindow, now: float
+    ) -> List[Dict[str, object]]:
+        """Re-evaluate every rule; return firing/resolved transitions."""
+        events: List[Dict[str, object]] = []
+        for state in self._states.values():
+            value = self._rule_value(state.rule, window)
+            state.value = value
+            firing = value is not None and value > state.threshold
+            if firing and not state.firing:
+                state.firing = True
+                state.since = now
+                events.append(self._event(state, "firing", now))
+            elif not firing and state.firing:
+                state.firing = False
+                events.append(self._event(state, "resolved", now))
+                state.since = None
+        return events
+
+    @staticmethod
+    def _event(state: AlertState, kind: str, now: float) -> Dict[str, object]:
+        return {
+            "event": "alert",
+            "state": kind,
+            "alert": state.rule.name,
+            "metric": state.rule.metric,
+            "severity": state.rule.severity,
+            "value": state.value,
+            "threshold": state.threshold,
+            "at": now,
+            "help": state.rule.help,
+        }
+
+    def states(self) -> List[Dict[str, object]]:
+        """Current state of every rule (sorted by name, JSON-ready)."""
+        return [
+            self._states[name].as_dict() for name in sorted(self._states)
+        ]
+
+    def firing(self) -> List[str]:
+        """Names of currently firing alerts, sorted."""
+        return sorted(
+            name for name, state in self._states.items() if state.firing
+        )

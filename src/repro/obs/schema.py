@@ -232,6 +232,42 @@ METRIC_SPECS: Dict[str, MetricSpec] = {
               "malformed frames and failed requests (excludes "
               "backpressure, which is flow control)",
               worse="up", tolerance=0.0),
+        _spec("serve.snapshot.staleness", "gauge", "seconds", "serve",
+              "current query-view age, sampled by the live-telemetry "
+              "watchdog each tick (the histogram sibling only observes "
+              "on query answers)"),
+        _spec("serve.accuracy.tracked_keys", "gauge", "keys", "serve",
+              "keys tracked by the shadow-truth accuracy probe (the "
+              "first probe_keys distinct keys seen, so their true "
+              "counts are exact from stream start)"),
+        _spec("serve.accuracy.max_overestimate", "gauge", "elements",
+              "serve",
+              "worst (estimate - shadow truth) over probe keys at the "
+              "last watchdog tick"),
+        _spec("serve.accuracy.error_bound", "gauge", "elements", "serve",
+              "the promised eps*N over-estimation bound at the last "
+              "watchdog tick (N = processed events)"),
+        _spec("serve.accuracy.bound_excess", "gauge", "elements", "serve",
+              "how far the probe's worst over-estimate exceeds eps*N "
+              "(must stay 0; drives the accuracy-drift alert)",
+              worse="up", tolerance=0.0),
+        _spec("serve.alerts.firing", "gauge", "alerts", "serve",
+              "SLO watchdog rules currently in the firing state"),
+        _spec("serve.alerts.transitions", "counter", "events", "serve",
+              "firing/resolved alert transitions emitted as NDJSON "
+              "events by the watchdog"),
+        _spec("mp.beacon.<i>.processed", "counter", "elements", "mp",
+              "elements worker <i> reports processed via its periodic "
+              "telemetry beacon (worker-side truth, vs the parent-side "
+              "mp.worker.<i>.items routing counter)"),
+        _spec("mp.beacon.<i>.batches", "counter", "batches", "mp",
+              "batches/segments worker <i> reports consumed via its "
+              "telemetry beacon"),
+        _spec("mp.beacon.<i>.ring_busy", "gauge", "segments", "mp",
+              "busy segments worker <i> observed in its shm ring at "
+              "beacon time (live occupancy; 0 for pickled transport)"),
+        _spec("mp.beacons.received", "counter", "beacons", "mp",
+              "worker telemetry beacons folded by the parent pool"),
         # ------------------------------------------------------- sim
         _spec("sim.makespan_cycles", "gauge", "cycles", "sim",
               "simulated makespan of the run",
@@ -249,6 +285,68 @@ METRIC_SPECS: Dict[str, MetricSpec] = {
               "busy fraction of simulated core <i> over the makespan"),
     ]
 }
+
+
+@dataclasses.dataclass(frozen=True)
+class AlertRule:
+    """One declarative SLO rule, evaluated over a rolling window.
+
+    ``kind`` selects the evaluation: ``"rate"`` (per-second counter
+    rate over the trailing ``window`` seconds), ``"increase"`` (counter
+    delta over the window) or ``"gauge"`` (latest sampled value;
+    ``window`` is ignored).  The rule fires while the evaluated value
+    exceeds ``threshold``.  Thresholds here are static defaults — the
+    serve tier overrides per-deployment bounds (e.g. staleness) when it
+    builds its :class:`~repro.obs.live.Watchdog`.
+    """
+
+    name: str        #: unique rule name (the alert's identity in events)
+    metric: str      #: catalogue metric the rule evaluates
+    kind: str        #: rate | increase | gauge
+    threshold: float  #: fires while value > threshold
+    window: float    #: trailing seconds consulted (rate/increase)
+    severity: str    #: warning | critical
+    help: str        #: one-line operator guidance
+
+
+#: the SLO rulebook, co-located with the catalogue it refers to
+ALERT_RULES: tuple = (
+    AlertRule(
+        name="serve-flush-failures",
+        metric="serve.batch.flush_failures",
+        kind="increase", threshold=0.0, window=30.0, severity="critical",
+        help="backend.ingest raised and a micro-batch was dropped; "
+             "processed counts are now behind accepted events",
+    ),
+    AlertRule(
+        name="serve-backpressure",
+        metric="serve.ingest.rejected",
+        kind="rate", threshold=500.0, window=10.0, severity="warning",
+        help="clients are being pushed back faster than 500 events/s; "
+             "the flusher is not keeping up with offered load",
+    ),
+    AlertRule(
+        name="serve-staleness",
+        metric="serve.snapshot.staleness",
+        kind="gauge", threshold=5.0, window=0.0, severity="critical",
+        help="the query view is older than the deployment's staleness "
+             "bound (serve overrides this threshold from its config)",
+    ),
+    AlertRule(
+        name="mp-ring-stalls",
+        metric="mp.shm.ring_stalls",
+        kind="rate", threshold=50.0, window=10.0, severity="warning",
+        help="shm dispatch keeps finding ring segments busy; a worker "
+             "is slow and the ring is backpressuring",
+    ),
+    AlertRule(
+        name="serve-accuracy-drift",
+        metric="serve.accuracy.bound_excess",
+        kind="gauge", threshold=0.0, window=0.0, severity="critical",
+        help="the shadow-truth probe found an over-estimate beyond the "
+             "eps*N guarantee — the summary is violating its bound",
+    ),
+)
 
 
 def lookup(name: str) -> Optional[MetricSpec]:

@@ -22,13 +22,20 @@ from repro.serve.protocol import (
     error_payload,
     is_push,
 )
-from repro.serve.server import ServeConfig, StreamServer, run_server
+from repro.serve.server import (
+    SERVE_FAULTS,
+    ServeConfig,
+    StreamServer,
+    run_server,
+)
+from repro.serve.top import render_dashboard, run_top
 
 __all__ = [
     "ERROR_CODES",
     "OPS",
     "QUERY_KINDS",
     "QuerySpec",
+    "SERVE_FAULTS",
     "SERVE_SCALES",
     "ServeConfig",
     "StreamServer",
@@ -39,6 +46,8 @@ __all__ = [
     "error_payload",
     "format_serve_report",
     "is_push",
+    "render_dashboard",
     "run_server",
     "run_serve_bench",
+    "run_top",
 ]

@@ -34,8 +34,11 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+import bisect
+
 from repro.errors import ConfigurationError
-from repro.obs.registry import MetricsRegistry
+from repro.obs.live import histogram_quantile
+from repro.obs.registry import TIME_BUCKETS, Histogram, MetricsRegistry
 from repro.serve.protocol import is_push
 from repro.serve.server import ServeConfig, StreamServer
 from repro.workloads.zipf import zipf_stream
@@ -111,6 +114,39 @@ def _percentile(samples: List[float], fraction: float) -> float:
     ordered = sorted(samples)
     index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
     return ordered[index]
+
+
+def latency_crosscheck(
+    samples: List[float], quantiles: Tuple[float, ...] = (0.50, 0.99)
+) -> Dict[str, Any]:
+    """Cross-check sampled percentiles against histogram quantiles.
+
+    The same latency samples are derived two ways — exact order
+    statistics (:func:`_percentile`) and the bucketed estimator every
+    live consumer sees (:func:`repro.obs.live.histogram_quantile` over
+    a :data:`TIME_BUCKETS` histogram).  Both land in the report, and
+    the check fails when they disagree by more than one bucket: the
+    histogram estimator interpolates inside a bucket, so anything
+    further apart means the quantile math (not the bucketing) is wrong.
+    """
+    hist = Histogram(TIME_BUCKETS)
+    for value in samples:
+        hist.observe(value)
+    result: Dict[str, Any] = {"ok": True}
+    for q in quantiles:
+        key = f"p{int(q * 100)}"
+        sampled = _percentile(samples, q)
+        derived = histogram_quantile(q, hist.bounds, hist.counts)
+        result[f"sampled_{key}_s"] = sampled
+        result[f"hist_{key}_s"] = derived
+        if derived is None:
+            result["ok"] = result["ok"] and not samples
+            continue
+        sampled_bucket = bisect.bisect_left(hist.bounds, sampled)
+        derived_bucket = bisect.bisect_left(hist.bounds, derived)
+        if abs(sampled_bucket - derived_bucket) > 1:
+            result["ok"] = False
+    return result
 
 
 class _Client:
@@ -199,6 +235,7 @@ async def _run_bench(
         max_pending_batches=params["max_pending_batches"],
         snapshot_interval=params["snapshot_interval"],
         seed=params["seed"],
+        metrics_port=0,
     )
     latencies: List[float] = []
     staleness: List[float] = []
@@ -256,8 +293,46 @@ async def _run_bench(
                 connected -= 1
                 await client.close()
 
+        # the live-telemetry probe runs *while the load is in flight*:
+        # one metrics op on the NDJSON port and one Prometheus scrape,
+        # both issued the moment every client is connected and streaming
+        probe: Dict[str, bool] = {
+            "metrics_op_ok": False, "prometheus_scrape_ok": False,
+        }
+
+        async def live_probe() -> None:
+            await all_connected.wait()
+            client = _Client(host, port)
+            try:
+                await client.connect()
+                answer = await client.request({"op": "metrics"})
+                probe["metrics_op_ok"] = bool(
+                    answer.get("ok") and "summary" in answer
+                )
+            finally:
+                await client.close()
+            reader, writer = await asyncio.open_connection(
+                host, server.metrics_http_port
+            )
+            try:
+                writer.write(
+                    f"GET /metrics HTTP/1.0\r\nHost: {host}\r\n\r\n".encode()
+                )
+                await writer.drain()
+                text = (await reader.read()).decode("utf-8", "replace")
+                probe["prometheus_scrape_ok"] = (
+                    "repro_serve_ingest_events_total" in text
+                )
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+
         connect_start = time.perf_counter()
         await asyncio.gather(
+            live_probe(),
             *(one_client(index) for index in range(connections))
         )
         load_end = time.perf_counter()
@@ -315,6 +390,7 @@ async def _run_bench(
         snapshot = metrics.snapshot()
 
     counters = snapshot["counters"]
+    crosscheck = latency_crosscheck(latencies)
     entry = {
         "name": f"serve-{backend}",
         "backend": backend,
@@ -327,6 +403,11 @@ async def _run_bench(
         "query_count": len(latencies),
         "query_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
         "query_p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "hist_p50_ms": round((crosscheck["hist_p50_s"] or 0.0) * 1e3, 3),
+        "hist_p99_ms": round((crosscheck["hist_p99_s"] or 0.0) * 1e3, 3),
+        "latency_crosscheck_ok": crosscheck["ok"],
+        "metrics_op_ok": probe["metrics_op_ok"],
+        "prometheus_scrape_ok": probe["prometheus_scrape_ok"],
         "staleness_p50_s": round(_percentile(staleness, 0.50), 4),
         "staleness_max_s": round(max(staleness), 4) if staleness else 0.0,
         "staleness_bound_s": config.staleness_bound,
@@ -380,5 +461,12 @@ def format_serve_report(report: Dict[str, Any]) -> str:
             f"staleness_max={entry['staleness_max_s']:.3f}s "
             f"violations={entry['guarantee_violations']} "
             f"proto_errors={entry['protocol_errors']}"
+        )
+        lines.append(
+            f"  {'':<24} hist_p50={entry['hist_p50_ms']:.2f}ms "
+            f"hist_p99={entry['hist_p99_ms']:.2f}ms "
+            f"crosscheck={'ok' if entry['latency_crosscheck_ok'] else 'FAIL'} "
+            f"metrics_op={'ok' if entry['metrics_op_ok'] else 'FAIL'} "
+            f"prometheus={'ok' if entry['prometheus_scrape_ok'] else 'FAIL'}"
         )
     return "\n".join(lines)

@@ -25,6 +25,11 @@ flush      force pending micro-batches into the backend and refresh
            the snapshot (a read barrier: answers after the response
            reflect everything ingested before the flush)
 stats      server counters, staleness, config echo
+metrics    live telemetry: the rolling-window summary (rates, gauge
+           trends, histogram quantiles), alert states and worker
+           beacons — one-shot, or a periodic push subscription with
+           ``period`` (seconds); ``raw: true`` adds the full
+           cumulative registry snapshot
 ping       liveness probe
 ========== =======================================================
 
@@ -44,7 +49,8 @@ from repro.errors import ReproError
 
 #: every request discriminator, in documentation order
 OPS = (
-    "ingest", "query", "subscribe", "unsubscribe", "flush", "stats", "ping",
+    "ingest", "query", "subscribe", "unsubscribe", "flush", "stats",
+    "metrics", "ping",
 )
 
 #: one-shot query kinds ("interval" additionally registers a push)
@@ -170,13 +176,27 @@ class StatsRequest:
 
 
 @dataclasses.dataclass(frozen=True)
+class MetricsRequest:
+    """Live telemetry: one-shot, or a push subscription with ``period``.
+
+    ``raw`` additionally includes the full cumulative registry snapshot
+    in every answer (the windowed summary is always present).
+    """
+
+    period: Optional[float] = None
+    raw: bool = False
+    id: Optional[Union[str, int]] = None
+
+
+@dataclasses.dataclass(frozen=True)
 class PingRequest:
     id: Optional[Union[str, int]] = None
 
 
 Request = Union[
     IngestRequest, QueryRequest, IntervalRequest, SubscribeRequest,
-    UnsubscribeRequest, FlushRequest, StatsRequest, PingRequest,
+    UnsubscribeRequest, FlushRequest, StatsRequest, MetricsRequest,
+    PingRequest,
 ]
 
 
@@ -315,6 +335,24 @@ def decode_request(raw: Union[str, bytes]) -> Request:
         return FlushRequest(id=request_id)
     if op == "stats":
         return StatsRequest(id=request_id)
+
+    if op == "metrics":
+        period = obj.get("period")
+        if period is not None:
+            if isinstance(period, bool) or not isinstance(
+                period, (int, float)
+            ):
+                raise _bad(
+                    f"metrics 'period' must be seconds > 0, got {period!r}"
+                )
+            if not period > 0:
+                raise _bad(f"period must be > 0, got {period!r}")
+            period = float(period)
+        raw = obj.get("raw", False)
+        if not isinstance(raw, bool):
+            raise _bad(f"metrics 'raw' must be a boolean, got {raw!r}")
+        return MetricsRequest(period=period, raw=raw, id=request_id)
+
     return PingRequest(id=request_id)
 
 
@@ -349,6 +387,12 @@ def request_wire(request: Request) -> Dict[str, Any]:
         wire = {"op": "flush"}
     elif isinstance(request, StatsRequest):
         wire = {"op": "stats"}
+    elif isinstance(request, MetricsRequest):
+        wire = {"op": "metrics"}
+        if request.period is not None:
+            wire["period"] = request.period
+        if request.raw:
+            wire["raw"] = True
     elif isinstance(request, PingRequest):
         wire = {"op": "ping"}
     else:  # pragma: no cover - the union above is exhaustive

@@ -42,6 +42,7 @@ import asyncio
 import concurrent.futures
 import dataclasses
 import itertools
+import json
 import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -49,12 +50,19 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.backend.base import Snapshot
 from repro.backend.registry import BACKEND_NAMES, create_backend
 from repro.errors import ConfigurationError
-from repro.obs.registry import TIME_BUCKETS, MetricsRegistry, coerce
+from repro.obs.live import RollingWindow, Watchdog, render_prometheus
+from repro.obs.registry import (
+    TIME_BUCKETS,
+    MetricsRegistry,
+    coerce,
+    merge_snapshots,
+)
 from repro.obs.tracing import Tracer, coerce_tracer
 from repro.serve.protocol import (
     FlushRequest,
     IngestRequest,
     IntervalRequest,
+    MetricsRequest,
     PingRequest,
     QueryRequest,
     QuerySpec,
@@ -66,6 +74,9 @@ from repro.serve.protocol import (
     encode_frame,
     error_payload,
 )
+
+#: serve-tier fault-injection hooks (testing/drills only)
+SERVE_FAULTS = ("flush-failure",)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,6 +98,11 @@ class ServeConfig:
     snapshot_interval: float = 0.2      #: query-view refresh period (s)
     max_frame_bytes: int = 65536        #: one NDJSON line's byte budget
     max_buffer_bytes: int = 1 << 20     #: slow-subscriber disconnect line
+    metrics_port: Optional[int] = None  #: Prometheus text endpoint (None = off)
+    watchdog_interval: float = 0.5      #: telemetry sample + SLO eval period (s)
+    window_samples: int = 120           #: rolling-window ring size (samples)
+    probe_keys: int = 128               #: shadow-truth accuracy probe keys (0 = off)
+    fault: Optional[str] = None         #: testing-only serve fault injection
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
@@ -97,16 +113,30 @@ class ServeConfig:
         for field, minimum in (
             ("capacity", 1), ("batch_events", 1), ("max_pending_batches", 1),
             ("max_frame_bytes", 1024), ("max_buffer_bytes", 1024),
+            ("window_samples", 2), ("probe_keys", 0),
         ):
             if getattr(self, field) < minimum:
                 raise ConfigurationError(
                     f"{field} must be >= {minimum}, got {getattr(self, field)}"
                 )
-        for field in ("batch_interval", "snapshot_interval"):
+        for field in ("batch_interval", "snapshot_interval",
+                      "watchdog_interval"):
             if not getattr(self, field) > 0:
                 raise ConfigurationError(
                     f"{field} must be > 0, got {getattr(self, field)}"
                 )
+        if self.metrics_port is not None and not (
+            0 <= self.metrics_port <= 65535
+        ):
+            raise ConfigurationError(
+                f"metrics_port must be in [0, 65535] or None, "
+                f"got {self.metrics_port}"
+            )
+        if self.fault is not None and self.fault not in SERVE_FAULTS:
+            raise ConfigurationError(
+                f"fault must be one of {SERVE_FAULTS} or None, "
+                f"got {self.fault!r}"
+            )
 
     @property
     def staleness_bound(self) -> float:
@@ -127,20 +157,27 @@ class _View:
 
 
 class _Subscription:
-    """One registered continuous (period) or interval (every) query."""
+    """One registered continuous (period), interval (every) or metrics sub.
+
+    ``spec`` is the inner query for query subscriptions and ``None``
+    for metrics subscriptions (``raw`` then says whether each push
+    carries the full cumulative snapshot).
+    """
 
     __slots__ = ("sub_id", "spec", "period", "every", "writer",
-                 "last_processed", "seq", "task")
+                 "last_processed", "seq", "task", "raw")
 
-    def __init__(self, sub_id, spec, writer, period=None, every=None):
+    def __init__(self, sub_id, spec, writer, period=None, every=None,
+                 raw=False):
         self.sub_id: str = sub_id
-        self.spec: QuerySpec = spec
+        self.spec: Optional[QuerySpec] = spec
         self.writer: asyncio.StreamWriter = writer
         self.period: Optional[float] = period
         self.every: Optional[int] = every
         self.last_processed = 0
         self.seq = 0
         self.task: Optional[asyncio.Task] = None
+        self.raw: bool = raw
 
 
 class StreamServer:
@@ -210,6 +247,28 @@ class StreamServer:
         self._m_subs_active = m.gauge("serve.subscriptions.active")
         self._m_pushes = m.counter("serve.subscriptions.pushes")
         self._m_proto_errors = m.counter("serve.protocol.errors")
+        self._m_staleness_now = m.gauge("serve.snapshot.staleness")
+        self._m_probe_keys = m.gauge("serve.accuracy.tracked_keys")
+        self._m_probe_over = m.gauge("serve.accuracy.max_overestimate")
+        self._m_probe_bound = m.gauge("serve.accuracy.error_bound")
+        self._m_probe_excess = m.gauge("serve.accuracy.bound_excess")
+        self._m_alerts_firing = m.gauge("serve.alerts.firing")
+        self._m_alert_transitions = m.counter("serve.alerts.transitions")
+        # -- live telemetry plane ---------------------------------------
+        self._live = RollingWindow(config.window_samples)
+        # the deployment's real staleness bound drives the static rule:
+        # fire when acked events stay invisible well past the promise
+        # (the slack absorbs one watchdog tick + one slow backend ingest)
+        self._watch = Watchdog(thresholds={
+            "serve-staleness":
+                3.0 * config.staleness_bound + config.watchdog_interval,
+        })
+        self._beacons: Dict[str, Dict] = {}
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        self._flushes = 0
+        #: shadow truth: exact counts of the first ``probe_keys``
+        #: distinct keys (admitted at first sight, so never undercounted)
+        self._probe: Dict[Any, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -238,10 +297,20 @@ class StreamServer:
             port=cfg.port,
             limit=cfg.max_frame_bytes,
         )
+        if cfg.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http,
+                host=cfg.host,
+                port=cfg.metrics_port,
+            )
+        # baseline window sample at t=0: a failure burst that completes
+        # before the first watchdog tick still shows up as an increase
+        self._live.sample(self._full_snapshot(), time.monotonic())
         self._tasks = [
             asyncio.create_task(self._flusher(), name="serve-flusher"),
             asyncio.create_task(self._ticker(), name="serve-ticker"),
             asyncio.create_task(self._refresher(), name="serve-refresher"),
+            asyncio.create_task(self._watchdog_loop(), name="serve-watchdog"),
         ]
 
     @property
@@ -250,6 +319,13 @@ class StreamServer:
         if self._server is None or not self._server.sockets:
             raise ConfigurationError("server is not started")
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_http_port(self) -> Optional[int]:
+        """The bound Prometheus port (None when the endpoint is off)."""
+        if self._metrics_server is None or not self._metrics_server.sockets:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -263,6 +339,9 @@ class StreamServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         for sub in list(self._subs.values()):
             self._drop_subscription(sub.sub_id)
         # drain what was already acked so close() honours the contract;
@@ -296,9 +375,16 @@ class StreamServer:
         """Drain micro-batches into the backend (the only ingest path)."""
         loop = asyncio.get_running_loop()
         backend = self._backend
+        fault = self.config.fault
         while True:
             batch = await self._queue.get()
             try:
+                self._flushes += 1
+                if fault == "flush-failure" and self._flushes % 2 == 0:
+                    # alert drill: every other micro-batch fails exactly
+                    # like a raising backend.ingest would (the odd ones
+                    # land, so the server keeps making progress)
+                    raise RuntimeError("injected flush-failure fault")
                 with self.tracer.span(
                     "serve", "flush", "serve", {"events": len(batch)}
                 ):
@@ -354,6 +440,169 @@ class StreamServer:
             refreshed_at=time.monotonic(),
         )
         self._m_refreshes.inc()
+
+    # ------------------------------------------------------------------
+    # Live telemetry plane
+    # ------------------------------------------------------------------
+    async def _watchdog_loop(self) -> None:
+        """Sample the registry, evaluate SLO rules, emit alert events."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.watchdog_interval)
+            try:
+                await self._watchdog_tick(loop)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - telemetry must not die
+                print(
+                    f"serve: watchdog tick failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    file=sys.stderr, flush=True,
+                )
+
+    async def _watchdog_tick(self, loop: asyncio.AbstractEventLoop) -> None:
+        view = self._view
+        # staleness gauge: the view's age *while it is behind* — an idle
+        # server's old-but-complete view is not stale in the SLO sense
+        behind = (
+            view is None
+            or self._processed != view.snapshot.processed
+            or bool(self._pending)
+            or self._queue.qsize() > 0
+        )
+        lag = view.staleness() if (behind and view is not None) else 0.0
+        self._m_staleness_now.set(round(lag, 6))
+        self._update_probe_gauges(view)
+        telemetry = getattr(self._backend, "telemetry", None)
+        if telemetry is not None:
+            try:
+                self._beacons = await loop.run_in_executor(
+                    self._executor, telemetry
+                )
+            except Exception:  # noqa: BLE001 - beacons are advisory
+                pass
+        self._live.sample(self._full_snapshot(), time.monotonic())
+        events = self._watch.evaluate(self._live, time.time())
+        if events:
+            self._m_alert_transitions.inc(len(events))
+            for event in events:
+                print(json.dumps(event, sort_keys=True),
+                      file=sys.stderr, flush=True)
+            self._push_alert_events(events)
+        self._m_alerts_firing.set(len(self._watch.firing()))
+
+    def _update_probe_gauges(self, view: Optional[_View]) -> None:
+        """Shadow-truth accuracy drift: live bound-excess over probe keys.
+
+        Truth counts *accepted* events while the view reflects
+        *processed* ones, so a lagging view can only shrink the measured
+        over-estimate — the drift alert never false-fires, it can only
+        fire one refresh late.  Count Sketch backends have no additive
+        L1 contract (``error_bound`` is 0), so excess stays unmeasured
+        there.
+        """
+        probe = self._probe
+        if not probe or view is None:
+            return
+        self._m_probe_keys.set(len(probe))
+        bound = view.snapshot.error_bound
+        self._m_probe_bound.set(bound)
+        index = view.index
+        worst = None
+        for element, truth in probe.items():
+            entry = index.get(element)
+            estimate = entry.count if entry is not None else bound
+            over = estimate - truth
+            if worst is None or over > worst:
+                worst = over
+        if worst is None:
+            return
+        self._m_probe_over.set(worst)
+        if self.config.backend != "sketch-cs-vec" and bound > 0:
+            self._m_probe_excess.set(max(0.0, float(worst - bound)))
+
+    def _full_snapshot(self) -> Dict[str, Dict]:
+        """Registry snapshot merged with the latest worker beacons."""
+        snap = self.metrics.snapshot()
+        if self._beacons:
+            snap = merge_snapshots(snap, self._beacons)
+        return snap
+
+    def _metrics_payload(self, raw: bool) -> Dict[str, Any]:
+        """The ``metrics`` answer: windowed summary, alerts, beacons."""
+        view = self._view
+        payload: Dict[str, Any] = {
+            "summary": self._live.summary(),
+            "alerts": self._watch.states(),
+            "firing": self._watch.firing(),
+            "beacons": self._beacons,
+            "backend": self.config.backend,
+            "processed": self._processed,
+            "accepted": self._accepted,
+            "staleness": (
+                round(view.staleness(), 6) if view is not None else None
+            ),
+        }
+        if raw:
+            payload["snapshot"] = self._full_snapshot()
+        return payload
+
+    def _push_alert_events(self, events: List[Dict[str, Any]]) -> None:
+        """Fan alert transitions out to metrics subscribers immediately."""
+        for sub in list(self._subs.values()):
+            if sub.spec is not None or sub.period is None:
+                continue
+            for event in events:
+                if not self._push_frame(sub, dict(event)):
+                    break
+
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One Prometheus scrape: minimal HTTP/1.0, zero dependencies."""
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0
+            )
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            while True:     # drain headers up to the blank line
+                header = await asyncio.wait_for(
+                    reader.readline(), timeout=5.0
+                )
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if path.split("?")[0] == "/metrics":
+                body = render_prometheus(self._full_snapshot()).encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+                status = "200 OK"
+            elif path.split("?")[0] == "/healthz":
+                body = b'{"ok":true}\n'
+                content_type = "application/json"
+                status = "200 OK"
+            else:
+                body = b"not found\n"
+                content_type = "text/plain"
+                status = "404 Not Found"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
 
     # ------------------------------------------------------------------
     # Ingest plane
@@ -473,6 +722,12 @@ class StreamServer:
             return await self._do_flush(request)
         if isinstance(request, StatsRequest):
             return self._do_stats(request)
+        if isinstance(request, MetricsRequest):
+            if request.period is None:
+                return self._ok(
+                    request.id, **self._metrics_payload(request.raw)
+                )
+            return self._register_metrics(request, writer, owned_subs)
         assert isinstance(request, PingRequest)
         return self._ok(request.id, pong=True)
 
@@ -499,6 +754,18 @@ class StreamServer:
                 f"{self.config.batch_events}); retry after a delay",
             )
         self._pending.extend(request.events)
+        probe = self._probe
+        room = self.config.probe_keys
+        if room:
+            # shadow truth for the drift alert: exact counts of the first
+            # ``probe_keys`` distinct keys, admitted at first sight so
+            # every occurrence from the stream's start is captured
+            for event in request.events:
+                truth = probe.get(event)
+                if truth is not None:
+                    probe[event] = truth + 1
+                elif len(probe) < room:
+                    probe[event] = 1
         self._accepted += len(request.events)
         self._m_events.inc(len(request.events))
         self._m_frames.inc()
@@ -633,8 +900,8 @@ class StreamServer:
             sub.task.cancel()
         self._m_subs_active.set(len(self._subs))
 
-    def _push(self, sub: _Subscription) -> bool:
-        """Send one push; returns False when the subscriber was dropped."""
+    def _push_frame(self, sub: _Subscription, payload: Dict[str, Any]) -> bool:
+        """Send one push frame; returns False when the subscriber dropped."""
         writer = sub.writer
         if writer.is_closing():
             self._drop_subscription(sub.sub_id)
@@ -650,16 +917,49 @@ class StreamServer:
             writer.close()
             return False
         sub.seq += 1
-        payload = dict(self._answer(sub.spec), push=sub.sub_id, seq=sub.seq)
+        payload = dict(payload, push=sub.sub_id, seq=sub.seq)
         writer.write(encode_frame(payload))
         self._m_pushes.inc()
         return True
+
+    def _push(self, sub: _Subscription) -> bool:
+        """Send one query push; returns False when the subscriber dropped."""
+        return self._push_frame(sub, self._answer(sub.spec))
 
     async def _continuous_pusher(self, sub: _Subscription) -> None:
         """§3.2 Query 4: the inner query pushed every ``period`` seconds."""
         while True:
             await asyncio.sleep(sub.period)
             if not self._push(sub):
+                return
+
+    def _register_metrics(
+        self, request: MetricsRequest, writer, owned_subs
+    ) -> Dict[str, Any]:
+        """A periodic metrics push stream on the same subscription plumbing."""
+        sub = _Subscription(
+            sub_id=f"sub-{next(self._sub_ids)}",
+            spec=None,
+            writer=writer,
+            period=request.period,
+            raw=request.raw,
+        )
+        self._subs[sub.sub_id] = sub
+        owned_subs.append(sub.sub_id)
+        sub.task = asyncio.create_task(
+            self._metrics_pusher(sub), name=sub.sub_id
+        )
+        self._m_subs_active.set(len(self._subs))
+        # first payload rides on the response; later ones arrive as pushes
+        answer = self._ok(request.id, **self._metrics_payload(request.raw))
+        answer.update(subscription=sub.sub_id, period=request.period)
+        return answer
+
+    async def _metrics_pusher(self, sub: _Subscription) -> None:
+        """The metrics stream: one summary frame every ``period`` seconds."""
+        while True:
+            await asyncio.sleep(sub.period)
+            if not self._push_frame(sub, self._metrics_payload(sub.raw)):
                 return
 
     def _fire_interval_subscriptions(self) -> None:
@@ -709,6 +1009,7 @@ class StreamServer:
             "error_bound": view.snapshot.error_bound,
             "staleness": round(view.staleness(), 6),
             "staleness_bound": cfg.staleness_bound,
+            "alerts_firing": self._watch.firing(),
         })
 
 
@@ -730,6 +1031,12 @@ async def run_server(
         f"staleness_bound={config.staleness_bound:.2f}s)",
         flush=True,
     )
+    if server.metrics_http_port is not None:
+        print(
+            f"metrics: http://{config.host}:{server.metrics_http_port}"
+            f"/metrics (Prometheus text)",
+            flush=True,
+        )
     try:
         await server.serve_forever()
     except asyncio.CancelledError:

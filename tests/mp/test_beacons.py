@@ -1,0 +1,98 @@
+"""Worker telemetry beacons: the mp pool's live occupancy feed.
+
+Beacons are advisory (`mp.beacon.<i>.*` snapshots shipped on the reply
+queue every N batches) — these tests pin that they arrive, fold
+latest-wins per worker, merge into one registry-shaped snapshot, and
+surface through the Backend ``telemetry()`` hook the serve tier
+feature-detects.  They must never change counting results or keep a
+pool from joining cleanly.
+"""
+
+from repro.backend import create_backend
+from repro.mp import MPConfig, ShardedProcessPool
+from repro.obs.registry import MetricsRegistry
+from repro.workloads import zipf_stream
+
+
+def _assert_joined(pool):
+    assert pool.closed
+    assert all(code is not None for code in pool.worker_exitcodes())
+
+
+def test_pool_collects_per_worker_beacons():
+    stream = zipf_stream(20_000, 2_000, 1.2, seed=11)
+    metrics = MetricsRegistry()
+    with ShardedProcessPool(
+        MPConfig(workers=2, capacity=128, chunk_elements=512,
+                 beacon_every=2),
+        metrics=metrics,
+    ) as pool:
+        assert pool.count(stream) == len(stream)
+        beacons = pool.poll_beacons()
+        assert set(beacons) == {0, 1}
+        total = 0
+        for index, snap in beacons.items():
+            prefix = f"mp.beacon.{index}"
+            counters = snap["counters"]
+            assert counters[f"{prefix}.batches"] >= 2
+            assert counters[f"{prefix}.processed"] > 0
+            total += counters[f"{prefix}.processed"]
+            assert f"{prefix}.ring_busy" in snap["gauges"]
+        # beacons lag by up to beacon_every batches but never overcount
+        assert 0 < total <= len(stream)
+
+        merged = pool.beacon_snapshot()
+        assert merged["counters"]["mp.beacon.0.processed"] == (
+            beacons[0]["counters"]["mp.beacon.0.processed"]
+        )
+        assert merged["counters"]["mp.beacon.1.batches"] == (
+            beacons[1]["counters"]["mp.beacon.1.batches"]
+        )
+    _assert_joined(pool)
+    counters = metrics.snapshot()["counters"]
+    assert counters["mp.beacons.received"] > 0
+    # beacons ride the reply queue but are folded, never "discarded"
+    assert counters.get("mp.replies.discarded", 0) == 0
+
+
+def test_beacons_do_not_change_counts():
+    stream = zipf_stream(10_000, 1_000, 1.3, seed=7)
+    results = {}
+    for every in (0, 2):
+        with ShardedProcessPool(
+            MPConfig(workers=2, capacity=128, chunk_elements=512,
+                     beacon_every=every)
+        ) as pool:
+            pool.count(stream)
+            merged = pool.merged()
+            if every == 0:
+                assert pool.poll_beacons() == {}
+            results[every] = sorted(
+                (str(e.element), e.count, e.error)
+                for e in merged.entries()
+            )
+        _assert_joined(pool)
+    assert results[0] == results[2]
+
+
+def test_backend_telemetry_merges_worker_beacons():
+    stream = zipf_stream(40_000, 500, 1.2, seed=3)
+    backend = create_backend(
+        "mp-shm", capacity=128, workers=2, chunk_elements=256,
+    )
+    try:
+        # the adapter uses MPConfig's default beacon_every (32 batches);
+        # ~156 chunks over 2 workers puts each well past that
+        backend.ingest(stream)
+        telemetry = backend.telemetry()
+        counters = telemetry["counters"]
+        beacon_names = [n for n in counters if n.startswith("mp.beacon.")]
+        assert beacon_names, "no beacons surfaced through telemetry()"
+        assert any(n.endswith(".processed") for n in beacon_names)
+        assert any(
+            n.startswith("mp.beacon.") for n in telemetry["gauges"]
+        )
+        # telemetry is read-only: counting is unaffected
+        assert backend.snapshot().processed == len(stream)
+    finally:
+        backend.close()

@@ -1,0 +1,50 @@
+"""The serve-bench latency cross-check (satellite of the live plane).
+
+``latency_crosscheck`` derives the same samples two ways — exact order
+statistics and the TIME_BUCKETS histogram estimator live consumers see
+— and flags when they land more than one bucket apart.  Fed from one
+sample list the two can only diverge if the quantile math itself is
+wrong, so these tests are a tripwire around that math.
+"""
+
+import random
+
+from repro.obs.registry import TIME_BUCKETS
+from repro.serve.bench import latency_crosscheck
+
+
+def test_crosscheck_agrees_on_single_bucket_load():
+    # everything in the (0.001, 0.005] bucket
+    samples = [0.002 + 0.0001 * i for i in range(50)]
+    result = latency_crosscheck(samples)
+    assert result["ok"] is True
+    assert set(result) == {
+        "ok", "sampled_p50_s", "hist_p50_s", "sampled_p99_s", "hist_p99_s",
+    }
+    assert 0.001 < result["sampled_p50_s"] <= 0.005
+    assert 0.001 < result["hist_p50_s"] <= 0.005
+
+
+def test_crosscheck_agrees_on_spread_load():
+    rng = random.Random(42)
+    samples = [rng.uniform(0.0002, 0.2) for _ in range(500)]
+    result = latency_crosscheck(samples)
+    assert result["ok"] is True
+    # both estimators are recorded so the report carries the evidence
+    assert result["sampled_p99_s"] > result["sampled_p50_s"]
+    assert result["hist_p99_s"] > result["hist_p50_s"]
+
+
+def test_crosscheck_overflow_bucket():
+    # beyond the highest bound: the histogram clamps, still within one
+    # bucket of the sampled truth's bucket index
+    samples = [TIME_BUCKETS[-1] * 3] * 20
+    result = latency_crosscheck(samples)
+    assert result["ok"] is True
+    assert result["hist_p50_s"] == TIME_BUCKETS[-1]
+
+
+def test_crosscheck_empty_samples_is_ok():
+    result = latency_crosscheck([])
+    assert result["ok"] is True
+    assert result["hist_p50_s"] is None and result["hist_p99_s"] is None

@@ -57,7 +57,7 @@ def test_main_exits_nonzero_on_drift(tmp_path, monkeypatch, capsys):
 
 
 def test_smoke_run_names_all_resolve():
-    emissions = check_metrics.smoke_run()
+    emissions, serve_snapshot = check_metrics.smoke_run()
     assert emissions
     assert check_metrics.check(emissions) == []
     runs = {e.where for e in emissions}
@@ -65,3 +65,20 @@ def test_smoke_run_names_all_resolve():
     assert "runtime (scenario run)" in runs
     assert "runtime (scenario-fuzz run)" in runs
     assert "runtime (serve run)" in runs
+    # the serve snapshot feeds the Prometheus exposition audit
+    assert serve_snapshot["counters"]
+    assert check_metrics.check_prometheus(serve_snapshot) == []
+
+
+def test_alert_rules_resolve_against_catalogue():
+    assert check_metrics.check_alert_rules() == []
+
+
+def test_prometheus_audit_flags_malformed_exposition():
+    failures = check_metrics.check_prometheus(
+        {"counters": {"serve.ingest.events": 3}, "gauges": {},
+         "histograms": {}},
+        text='repro_serve_ingest_events_total 3\n',
+    )
+    # samples without a TYPE line must be flagged
+    assert any("no TYPE" in f for f in failures)

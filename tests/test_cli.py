@@ -266,3 +266,61 @@ def test_report_json_tolerates_pre_metrics_reports(tmp_path, capsys):
 def test_no_command_is_an_error():
     with pytest.raises(SystemExit):
         main([])
+
+
+# ----------------------------------------------------------------------
+# Live telemetry flags: serve's watchdog/exposition knobs and repro top
+# ----------------------------------------------------------------------
+def test_serve_parser_accepts_telemetry_flags():
+    from repro.cli import _build_parser
+
+    args = _build_parser().parse_args([
+        "serve", "--port", "0", "--metrics-port", "9109",
+        "--watchdog-interval", "0.2", "--probe-keys", "64",
+        "--fault", "flush-failure",
+    ])
+    assert args.metrics_port == 9109
+    assert args.watchdog_interval == 0.2
+    assert args.probe_keys == 64
+    assert args.fault == "flush-failure"
+
+
+def test_serve_parser_defaults_leave_telemetry_extras_off():
+    from repro.cli import _build_parser
+
+    args = _build_parser().parse_args(["serve", "--port", "0"])
+    assert args.metrics_port is None
+    assert args.fault is None
+    assert args.probe_keys == 128
+
+
+def test_serve_parser_rejects_unknown_fault():
+    from repro.cli import _build_parser
+
+    with pytest.raises(SystemExit):
+        _build_parser().parse_args(["serve", "--fault", "power-loss"])
+
+
+def test_top_parser_flags():
+    from repro.cli import _build_parser
+
+    args = _build_parser().parse_args([
+        "top", "--port", "7071", "--period", "0.5", "--frames", "3",
+        "--once", "--json", "--raw",
+    ])
+    assert args.command == "top"
+    assert args.port == 7071 and args.period == 0.5 and args.frames == 3
+    assert args.once and args.as_json and args.raw
+
+
+def test_top_connect_failure_exits_nonzero(capsys):
+    import socket
+
+    # bind-then-close: a port with nothing listening behind it
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    code = main(["top", "--port", str(port), "--once"])
+    assert code == 2
+    assert "cannot connect" in capsys.readouterr().err

@@ -16,6 +16,15 @@ This tool catches that from both ends:
    multiprocess / scenario-suite runs against real registries; every
    name in the resulting snapshots must resolve, with the recorded
    family matching the spec's kind.
+3. **Alert-rule audit** — every :data:`~repro.obs.schema.ALERT_RULES`
+   entry must name a catalogued metric whose kind its evaluation mode
+   can read (``rate``/``increase`` need a counter, ``gauge`` needs a
+   gauge), with unique rule names.
+4. **Prometheus exposition audit** — the serve smoke snapshot is
+   rendered through :func:`repro.obs.live.render_prometheus` and the
+   output is held against the text-format grammar: HELP/TYPE per
+   family, ``_total`` on counters, cumulative monotone ``_bucket``
+   series ending in ``+Inf`` with matching ``_count``.
 
 Usage::
 
@@ -76,8 +85,12 @@ def scan_source() -> List[Emission]:
     return emissions
 
 
-def smoke_run() -> List[Emission]:
-    """Record from every layer into real registries; return the names."""
+def smoke_run() -> "tuple[List[Emission], dict]":
+    """Record from every layer into real registries.
+
+    Returns the emitted names plus the serve run's snapshot (the
+    Prometheus exposition audit renders that one — it spans serve,
+    backend and alert series at once)."""
     from repro.core.space_saving import SpaceSaving
     from repro.cots import CoTSRunConfig, run_cots
     from repro.mp import MPConfig, run_mp
@@ -145,7 +158,8 @@ def smoke_run() -> List[Emission]:
          metrics=registry)
     snapshots.append(("scenario-fuzz", registry.snapshot()))
 
-    snapshots.append(("serve", _serve_smoke()))
+    serve_snapshot = _serve_smoke()
+    snapshots.append(("serve", serve_snapshot))
 
     emissions: List[Emission] = []
     for run_name, snapshot in snapshots:
@@ -155,7 +169,7 @@ def smoke_run() -> List[Emission]:
                 emissions.append(
                     Emission(name, kind, f"runtime ({run_name} run)")
                 )
-    return emissions
+    return emissions, serve_snapshot
 
 
 def _serve_smoke() -> dict:
@@ -205,6 +219,111 @@ def _serve_smoke() -> dict:
     return registry.snapshot()
 
 
+def check_alert_rules() -> List[str]:
+    """Failure messages for alert rules that drifted from the catalogue."""
+    from repro.obs.schema import ALERT_RULES, lookup
+
+    readable_by = {"rate": "counter", "increase": "counter",
+                   "gauge": "gauge"}
+    failures: List[str] = []
+    seen = set()
+    for rule in ALERT_RULES:
+        if rule.name in seen:
+            failures.append(f"alert rule {rule.name!r} is defined twice")
+        seen.add(rule.name)
+        spec = lookup(rule.metric)
+        if spec is None:
+            failures.append(
+                f"alert rule {rule.name!r} watches {rule.metric!r}, "
+                "which has no METRIC_SPECS entry"
+            )
+            continue
+        wanted = readable_by.get(rule.kind)
+        if wanted is None:
+            failures.append(
+                f"alert rule {rule.name!r} has unknown kind {rule.kind!r}"
+            )
+        elif spec.kind != wanted:
+            failures.append(
+                f"alert rule {rule.name!r} ({rule.kind}) needs a {wanted} "
+                f"but {rule.metric!r} is catalogued as a {spec.kind}"
+            )
+    return failures
+
+
+#: one exposition sample line: name{labels} value
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+\-]+|NaN|[+-]Inf)$"
+)
+
+
+def check_prometheus(snapshot: dict, text: str | None = None) -> List[str]:
+    """Hold ``render_prometheus`` output against the text format.
+
+    ``text`` overrides the rendered exposition (tests feed malformed
+    documents through the same audit).
+    """
+    failures: List[str] = []
+    if text is None:
+        from repro.obs.live import render_prometheus
+
+        text = render_prometheus(snapshot)
+    if text and not text.endswith("\n"):
+        failures.append("prometheus: output must end with a newline")
+    helped, typed = set(), {}
+    samples: dict = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            failures.append(f"prometheus:{lineno}: blank line")
+        elif line.startswith("# HELP "):
+            helped.add(line.split()[2])
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            typed[parts[2]] = parts[3]
+        elif line.startswith("#"):
+            failures.append(f"prometheus:{lineno}: unknown comment {line!r}")
+        else:
+            match = SAMPLE_RE.match(line)
+            if match is None:
+                failures.append(f"prometheus:{lineno}: bad sample {line!r}")
+                continue
+            samples.setdefault(match.group(1), []).append(
+                (match.group(2) or "", float(match.group(3)))
+            )
+    for family, kind in typed.items():
+        if family not in helped:
+            failures.append(f"prometheus: family {family!r} has no HELP")
+        if kind == "counter" and not family.endswith("_total"):
+            failures.append(
+                f"prometheus: counter family {family!r} lacks _total"
+            )
+        if kind == "histogram":
+            buckets = samples.get(f"{family}_bucket", [])
+            if not any('le="+Inf"' in labels for labels, _ in buckets):
+                failures.append(
+                    f"prometheus: histogram {family!r} has no +Inf bucket"
+                )
+            values = [value for _, value in buckets]
+            if values != sorted(values):
+                failures.append(
+                    f"prometheus: histogram {family!r} buckets are not "
+                    "cumulative"
+                )
+            counts = samples.get(f"{family}_count", [])
+            if values and counts and counts[0][1] != values[-1]:
+                failures.append(
+                    f"prometheus: histogram {family!r} _count "
+                    f"{counts[0][1]} != +Inf bucket {values[-1]}"
+                )
+    for family in samples:
+        base = re.sub(r"_(bucket|sum|count)$", "", family)
+        if family not in typed and base not in typed:
+            failures.append(
+                f"prometheus: family {family!r} has samples but no TYPE"
+            )
+    return failures
+
+
 def check(emissions: List[Emission]) -> List[str]:
     """Failure messages for emissions the catalogue cannot resolve."""
     from repro.obs.schema import lookup
@@ -236,19 +355,27 @@ def main(argv: List[str] | None = None) -> int:
 
     emissions = scan_source()
     static_count = len(emissions)
+    serve_snapshot = None
     if not args.static_only:
-        emissions.extend(smoke_run())
+        runtime, serve_snapshot = smoke_run()
+        emissions.extend(runtime)
     failures = check(emissions)
+    failures += check_alert_rules()
+    if serve_snapshot is not None:
+        failures += check_prometheus(serve_snapshot)
     if failures:
-        print(f"check_metrics: {len(failures)} undocumented metric(s):")
+        print(f"check_metrics: {len(failures)} failure(s):")
         for failure in failures:
             print(f"  {failure}")
         return 1
     runtime_count = len(emissions) - static_count
+    from repro.obs.schema import ALERT_RULES
+
     print(
         f"check_metrics: {static_count} call site(s) and "
         f"{runtime_count} recorded name(s) all resolve against "
-        "METRIC_SPECS"
+        f"METRIC_SPECS; {len(ALERT_RULES)} alert rule(s) and the "
+        "Prometheus exposition check out"
     )
     return 0
 
